@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 10 / Table IV: explanation generation and
+//! panel-rating cost for the case-study queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclesql_core::experiments::{fig10, table4, ExperimentContext};
+
+fn bench_fig10(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let study = fig10::run(ctx);
+    eprintln!(
+        "fig10: {}/{} simulated participants prefer CycleSQL",
+        study.prefer_cyclesql,
+        fig10::PARTICIPANTS
+    );
+    let mut group = c.benchmark_group("fig10_user_study");
+    group.sample_size(10);
+    group.bench_function("table4_case_study", |b| b.iter(|| table4::run(ctx)));
+    group.bench_function("fig10_full_study", |b| b.iter(|| fig10::run(ctx)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

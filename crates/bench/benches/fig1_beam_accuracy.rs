@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 1: the beam-width accuracy sweep.
+//!
+//! Times one full any-beam evaluation pass per beam size on the quick
+//! suite, and prints the resulting accuracy curve once so the bench doubles
+//! as a regeneration harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesql_core::any_beam_accuracy;
+use cyclesql_core::experiments::ExperimentContext;
+use cyclesql_benchgen::Split;
+use cyclesql_models::{ModelProfile, SimulatedModel};
+
+fn bench_fig1(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let model = SimulatedModel::new(ModelProfile::resdsql_3b());
+    // Print the curve once, like the figure.
+    for k in [1usize, 2, 4, 8] {
+        let acc = any_beam_accuracy(&model, &ctx.spider, Split::Dev, k);
+        eprintln!("fig1: RESDSQL_3B k={k} any-beam EX={acc:.1}%");
+    }
+    let mut group = c.benchmark_group("fig1_beam_accuracy");
+    group.sample_size(10);
+    for k in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| any_beam_accuracy(&model, &ctx.spider, Split::Dev, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

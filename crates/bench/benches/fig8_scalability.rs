@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 8: measures the CycleSQL loop overhead itself
+//! (provenance + enrichment + explanation + verification) per candidate —
+//! the quantity behind Figure 8b's latency deltas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclesql_core::experiments::{fig8, ExperimentContext};
+use cyclesql_core::{CycleSql, LoopVerifier};
+use cyclesql_models::{ModelProfile, SimulatedModel, TranslationRequest};
+
+fn bench_fig8(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let models = vec![SimulatedModel::new(ModelProfile::resdsql_3b())];
+    let r = fig8::run(ctx, &models);
+    eprintln!(
+        "fig8: {} avg iterations {:.2}, latency {:.1} -> {:.1} ms",
+        r.rows[0].model, r.rows[0].avg_iterations, r.rows[0].base_latency_ms, r.rows[0].cycle_latency_ms
+    );
+
+    let model = &models[0];
+    let item = &ctx.spider.dev[0];
+    let db = ctx.spider.database(item);
+    let req = TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
+    let candidates = model.translate(&req);
+    let cycle = CycleSql::new(LoopVerifier::Trained(ctx.verifier.clone()));
+    c.bench_function("fig8_loop_overhead_per_item", |b| {
+        b.iter(|| cycle.run(item, db, &candidates))
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

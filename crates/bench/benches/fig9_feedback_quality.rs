@@ -1,0 +1,21 @@
+//! Criterion bench for Figure 9: premise generation cost for the two
+//! feedback channels (data-grounded explanation vs SQL2NL back-translation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclesql_core::experiments::ExperimentContext;
+use cyclesql_core::{candidate_premise, FeedbackKind};
+
+fn bench_fig9(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let item = &ctx.spider.dev[0];
+    let db = ctx.spider.database(item);
+    c.bench_function("fig9_premise_data_grounded", |b| {
+        b.iter(|| candidate_premise(db, &item.gold_sql, FeedbackKind::DataGrounded))
+    });
+    c.bench_function("fig9_premise_sql2nl", |b| {
+        b.iter(|| candidate_premise(db, &item.gold_sql, FeedbackKind::Sql2Nl))
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Substrate microbenchmarks (performance-book style): parser throughput,
+//! executor cost per query class, provenance-rewrite overhead, explanation
+//! generation, and NLI feature extraction + scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclesql_core::experiments::ExperimentContext;
+use cyclesql_nli::extract_features;
+use cyclesql_provenance::track_provenance;
+use cyclesql_sql::{canonical_key, parse, to_sql};
+use cyclesql_storage::execute;
+
+const COMPLEX_SQL: &str =
+    "SELECT count(T2.language), T1.name FROM country AS T1 JOIN countrylanguage AS T2 \
+     ON T1.code = T2.countrycode WHERE T1.continent = 'Europe' \
+     GROUP BY T1.name HAVING count(*) >= 2 ORDER BY count(*) DESC LIMIT 3";
+
+fn bench_substrates(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let db = ctx.spider.databases.get("world_1").expect("world db");
+    let query = parse(COMPLEX_SQL).expect("parse");
+    let result = execute(db, &query).expect("execute");
+
+    c.bench_function("micro_parse_complex", |b| b.iter(|| parse(COMPLEX_SQL).unwrap()));
+    c.bench_function("micro_print", |b| b.iter(|| to_sql(&query)));
+    c.bench_function("micro_canonicalize", |b| b.iter(|| canonical_key(&query)));
+    c.bench_function("micro_execute_group_join", |b| b.iter(|| execute(db, &query).unwrap()));
+    c.bench_function("micro_provenance_track", |b| {
+        b.iter(|| track_provenance(db, &query, &result, 0).unwrap())
+    });
+
+    // Hash-join fast path vs the forced nested-loop general path.
+    let equi = parse(
+        "SELECT count(*) FROM countrylanguage AS T1 JOIN country AS T2 ON T1.countrycode = T2.code",
+    )
+    .unwrap();
+    let nested = parse(
+        "SELECT count(*) FROM countrylanguage AS T1 JOIN country AS T2 \
+         ON T1.countrycode = T2.code AND 1 = 1",
+    )
+    .unwrap();
+    c.bench_function("micro_join_hash_path", |b| b.iter(|| execute(db, &equi).unwrap()));
+    c.bench_function("micro_join_nested_path", |b| b.iter(|| execute(db, &nested).unwrap()));
+
+    let prov = track_provenance(db, &query, &result, 0).unwrap();
+    c.bench_function("micro_explanation_generate", |b| {
+        b.iter(|| cyclesql_explain::generate_explanation(db, &query, &result, 0, &prov))
+    });
+
+    let explanation = cyclesql_explain::generate_explanation(db, &query, &result, 0, &prov);
+    let question = "Return the name of European countries having at least 2 languages.";
+    c.bench_function("micro_nli_features_and_score", |b| {
+        b.iter(|| {
+            let f = extract_features(question, &explanation.text, &explanation.facets);
+            ctx.verifier.model.score(&f)
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

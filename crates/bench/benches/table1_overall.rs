@@ -1,0 +1,30 @@
+//! Criterion bench for Table I: one base-vs-CycleSQL evaluation of a model
+//! over the SPIDER dev split (the table's core measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesql_core::experiments::{table1, ExperimentContext};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+
+fn bench_table1(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let mut group = c.benchmark_group("table1_overall");
+    group.sample_size(10);
+    for profile in [ModelProfile::resdsql_3b(), ModelProfile::gpt35()] {
+        let model = SimulatedModel::new(profile);
+        let name = model.profile.name.to_string();
+        // Print the paired dev result once.
+        let rows = table1::run_dev_only(ctx, std::slice::from_ref(&model));
+        let (_, pair) = &rows[0];
+        eprintln!(
+            "table1: {name} dev EX base={:.1} cycle={:.1}",
+            pair.base.ex, pair.cycle.ex
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| table1::run_dev_only(ctx, std::slice::from_ref(m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

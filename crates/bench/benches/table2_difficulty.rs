@@ -1,0 +1,19 @@
+//! Criterion bench for Table II: the per-difficulty EX breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclesql_core::experiments::{table2, ExperimentContext};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+
+fn bench_table2(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let models = vec![SimulatedModel::new(ModelProfile::resdsql_3b())];
+    let r = table2::run(ctx, &models);
+    eprintln!("table2 base EX by difficulty: {:?}", r.rows[0].base);
+    let mut group = c.benchmark_group("table2_difficulty");
+    group.sample_size(10);
+    group.bench_function("resdsql_3b", |b| b.iter(|| table2::run(ctx, &models)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Table III: verification cost per verifier variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclesql_core::experiments::ExperimentContext;
+use cyclesql_core::{candidate_premise, FeedbackKind};
+use cyclesql_nli::{LlmStrawmanVerifier, PrebuiltNliVerifier, Verifier, VerifyInput};
+
+fn bench_table3(c: &mut Criterion) {
+    let ctx = ExperimentContext::shared_quick();
+    let item = &ctx.spider.dev[0];
+    let db = ctx.spider.database(item);
+    let (text, facets) =
+        candidate_premise(db, &item.gold_sql, FeedbackKind::DataGrounded).expect("premise");
+    let input = VerifyInput {
+        question: &item.question,
+        premise_text: &text,
+        facets: &facets,
+        sql: &item.gold_sql,
+    };
+    let trained = cyclesql_nli::TrainedVerifier { model: ctx.verifier.model.clone() };
+    c.bench_function("table3_verify_trained", |b| b.iter(|| trained.verify(&input)));
+    let llm = LlmStrawmanVerifier;
+    c.bench_function("table3_verify_llm_strawman", |b| b.iter(|| llm.verify(&input)));
+    let pre = PrebuiltNliVerifier;
+    c.bench_function("table3_verify_prebuilt", |b| b.iter(|| pre.verify(&input)));
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! `explain-sql` — explain any SQL query over a benchmark database.
+//!
+//! Usage:
+//! ```text
+//!   explain-sql [--db <name>] [--row <i>] [--plan] [--list-dbs] "<SQL>"
+//! ```
+//!
+//! Runs the full CycleSQL explanation pipeline on the given query: executes
+//! it, tracks why-provenance, prints the provenance table, and renders the
+//! raw and polished natural-language explanations. Empty results get the
+//! culprit-conjunct diagnosis.
+
+use cyclesql_benchgen::{build_science_suite, build_spider_suite, SuiteConfig, Variant};
+use cyclesql_explain::{generate_explanation, polish, sql_to_nl};
+use cyclesql_provenance::{diagnose_empty_result, track_provenance};
+use cyclesql_sql::parse;
+use cyclesql_storage::{execute, Database};
+use std::collections::HashMap;
+
+fn load_databases() -> HashMap<String, Database> {
+    let mut dbs = HashMap::new();
+    let spider = build_spider_suite(Variant::Spider, SuiteConfig::default());
+    dbs.extend(spider.databases);
+    let science = build_science_suite(SuiteConfig::default());
+    dbs.extend(science.databases);
+    dbs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut db_name = "world_1".to_string();
+    let mut row_idx = 0usize;
+    let mut sql = String::new();
+    let mut list = false;
+    let mut show_plan = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => {
+                db_name = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--row" => {
+                row_idx = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
+                i += 2;
+            }
+            "--list-dbs" => {
+                list = true;
+                i += 1;
+            }
+            "--plan" => {
+                show_plan = true;
+                i += 1;
+            }
+            other => {
+                sql = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    let dbs = load_databases();
+    if list {
+        println!("available databases:");
+        let mut names: Vec<&String> = dbs.keys().collect();
+        names.sort();
+        for name in names {
+            let db = &dbs[name.as_str()];
+            let tables: Vec<String> = db
+                .schema
+                .tables
+                .iter()
+                .map(|t| format!("{}({})", t.name, t.columns.len()))
+                .collect();
+            println!("  {name}: {}", tables.join(", "));
+        }
+        return;
+    }
+    if sql.is_empty() {
+        eprintln!("usage: explain-sql [--db <name>] [--row <i>] [--list-dbs] \"<SQL>\"");
+        std::process::exit(2);
+    }
+    let Some(db) = dbs.get(&db_name) else {
+        eprintln!("unknown database {db_name}; use --list-dbs");
+        std::process::exit(2);
+    };
+
+    let query = match parse(&sql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if show_plan {
+        println!("plan:\n{}", cyclesql_storage::describe_plan(db, &query).render());
+    }
+    let result = match execute(db, &query) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("execution error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("result: {} row(s)", result.len());
+    for row in result.rows.iter().take(5) {
+        let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", vals.join(" | "));
+    }
+    if result.len() > 5 {
+        println!("  … ({} more)", result.len() - 5);
+    }
+
+    if result.is_empty() {
+        if let Ok(diag) = diagnose_empty_result(db, &query) {
+            println!("\nempty-result diagnosis: {}", diag.to_phrase());
+        }
+    }
+
+    match track_provenance(db, &query, &result, row_idx.min(result.len().saturating_sub(1))) {
+        Ok(prov) => {
+            if !prov.empty_result {
+                println!("\nwhy-provenance ({} source tuple(s)):", prov.table.len());
+                println!("{}", prov.table.to_ascii());
+            }
+            let explanation = generate_explanation(db, &query, &result, row_idx.min(result.len().saturating_sub(1)), &prov);
+            println!("\nexplanation : {}", explanation.text);
+            println!("polished    : {}", polish(&explanation.text));
+            let baseline = sql_to_nl(db, &query);
+            println!("sql2nl      : {}", baseline.text);
+        }
+        Err(e) => eprintln!("provenance error: {e}"),
+    }
+}

@@ -1,0 +1,204 @@
+//! `repro` — regenerates every table and figure of the CycleSQL paper.
+//!
+//! Usage:
+//! ```text
+//!   repro [--quick] [--fig1] [--table1] [--table2] [--fig8] [--fig9]
+//!         [--table3] [--fig10] [--table4] [--ext-human] [--ext-ablation]
+//!         [--ext-arch] [--json <dir>] [--dump-suite <dir>]
+//! ```
+//!
+//! With no experiment flags, everything runs. `--quick` uses the reduced
+//! suite configuration (fast sanity pass); the default is the full-size
+//! suites. `--json <dir>` additionally writes each result as JSON.
+
+use cyclesql_core::experiments::{
+    ext_ablation, ext_arch, ext_human, fig1, fig10, fig8, fig9, table1, table2, table3, table4,
+    ExperimentContext,
+};
+use cyclesql_models::SimulatedModel;
+use std::time::Instant;
+
+/// Writes the generated benchmark (items + schemas) as JSON so the
+/// synthetic suites can be inspected or consumed by external tooling.
+fn dump_suite(ctx: &ExperimentContext, dir: &str) {
+    use serde_json::json;
+    let _ = std::fs::create_dir_all(dir);
+    let items: Vec<serde_json::Value> = ctx
+        .spider
+        .train
+        .iter()
+        .chain(&ctx.spider.dev)
+        .chain(&ctx.spider.test)
+        .map(|i| {
+            json!({
+                "id": i.id,
+                "db": i.db_name,
+                "split": format!("{:?}", i.split),
+                "question": i.question,
+                "gold_sql": i.gold_sql,
+                "difficulty": i.difficulty.label(),
+                "template": i.template,
+            })
+        })
+        .collect();
+    let schemas: Vec<serde_json::Value> = ctx
+        .spider
+        .databases
+        .values()
+        .map(|db| serde_json::to_value(&db.schema).expect("schema serializes"))
+        .collect();
+    let _ = std::fs::write(
+        format!("{dir}/spider_items.json"),
+        serde_json::to_string_pretty(&items).expect("items serialize"),
+    );
+    let _ = std::fs::write(
+        format!("{dir}/spider_schemas.json"),
+        serde_json::to_string_pretty(&schemas).expect("schemas serialize"),
+    );
+    eprintln!("dumped {} items and {} schemas to {dir}/", items.len(), schemas.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let dump_dir = args
+        .iter()
+        .position(|a| a == "--dump-suite")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            a.starts_with("--") && *a != "--quick" && *a != "--json" && *a != "--dump-suite"
+        })
+        .map(|a| a.trim_start_matches("--"))
+        .collect();
+    let run_all = wanted.is_empty();
+    let want = |name: &str| run_all || wanted.contains(&name);
+
+    eprintln!(
+        "building benchmark suites and training the verifier ({})...",
+        if quick { "quick" } else { "full" }
+    );
+    let t0 = Instant::now();
+    let ctx = if quick { ExperimentContext::quick() } else { ExperimentContext::full() };
+    eprintln!(
+        "context ready in {:.1}s: dev={} items, train={} items, verifier trained on +{}/-{} examples\n",
+        t0.elapsed().as_secs_f64(),
+        ctx.spider.dev.len(),
+        ctx.spider.train.len(),
+        ctx.stats.positives,
+        ctx.stats.negatives,
+    );
+
+    if let Some(dir) = &dump_dir {
+        dump_suite(&ctx, dir);
+        if wanted.is_empty() && args.iter().any(|a| a == "--dump-suite") && args.len() <= 3 {
+            return;
+        }
+    }
+
+    let models = SimulatedModel::all();
+    fn emit_json_impl(json_dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
+        if let Some(dir) = json_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let path = format!("{dir}/{name}.json");
+            match serde_json::to_string_pretty(value) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(&path, s) {
+                        eprintln!("failed writing {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("failed serializing {name}: {e}"),
+            }
+        }
+    }
+    macro_rules! emit_json {
+        ($name:expr, $value:expr) => {
+            emit_json_impl(&json_dir, $name, $value)
+        };
+    }
+
+    if want("fig1") {
+        let t = Instant::now();
+        let r = fig1::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("fig1", &r);
+        eprintln!("[fig1 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("table1") {
+        let t = Instant::now();
+        let r = table1::run(&ctx, &models);
+        println!("{}", r.render());
+        emit_json!("table1", &r);
+        eprintln!("[table1 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("table2") {
+        let t = Instant::now();
+        let r = table2::run(&ctx, &models);
+        println!("{}", r.render());
+        emit_json!("table2", &r);
+        eprintln!("[table2 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("fig8") {
+        let t = Instant::now();
+        let r = fig8::run(&ctx, &models);
+        println!("{}", r.render());
+        emit_json!("fig8", &r);
+        eprintln!("[fig8 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("fig9") {
+        let t = Instant::now();
+        let r = fig9::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("fig9", &r);
+        eprintln!("[fig9 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("table3") {
+        let t = Instant::now();
+        let r = table3::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("table3", &r);
+        eprintln!("[table3 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("table4") {
+        let t = Instant::now();
+        let r = table4::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("table4", &r);
+        eprintln!("[table4 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("fig10") {
+        let t = Instant::now();
+        let r = fig10::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("fig10", &r);
+        eprintln!("[fig10 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("ext-human") {
+        let t = Instant::now();
+        let r = ext_human::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("ext_human", &r);
+        eprintln!("[ext-human done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("ext-ablation") {
+        let t = Instant::now();
+        let r = ext_ablation::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("ext_ablation", &r);
+        eprintln!("[ext-ablation done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    if want("ext-arch") {
+        let t = Instant::now();
+        let r = ext_arch::run(&ctx);
+        println!("{}", r.render());
+        emit_json!("ext_arch", &r);
+        eprintln!("[ext-arch done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,4 @@
+//! # cyclesql-bench
+//!
+//! Criterion benchmarks (one per paper table/figure) and the `repro` binary
+//! that regenerates every table and figure as plain text / JSON.

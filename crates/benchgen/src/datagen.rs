@@ -1,0 +1,450 @@
+//! Table-driven database generation: column generators and string pools.
+//!
+//! Every domain is declared as a list of [`TableSpec`]s whose columns carry a
+//! [`ColGen`] describing how to synthesize values. Generation is fully
+//! deterministic given a seed, so benchmark suites are reproducible.
+
+use cyclesql_storage::{
+    ColumnDef, DataType, Database, DatabaseSchema, TableSchema, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How to generate values for one column.
+#[derive(Debug, Clone)]
+pub enum ColGen {
+    /// Sequential integer primary key starting at 1.
+    Serial,
+    /// Distinct-ish names drawn from a pool (suffixing on exhaustion).
+    NameFrom(&'static [&'static str]),
+    /// Categorical values drawn (with repetition) from a pool.
+    Category(&'static [&'static str]),
+    /// Uniform integer in `[lo, hi]`.
+    IntRange(i64, i64),
+    /// Uniform float in `[lo, hi]`, rounded to one decimal.
+    FloatRange(f64, f64),
+    /// Foreign key to another table's serial primary key.
+    Fk(&'static str),
+    /// Foreign key to another table's text key column.
+    FkText(&'static str, &'static str),
+    /// Distinct 3-letter upper-case codes.
+    Code,
+    /// `'T'` / `'F'` flags.
+    Flag,
+}
+
+impl ColGen {
+    /// The declared type of columns produced by this generator.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColGen::Serial | ColGen::IntRange(..) | ColGen::Fk(_) => DataType::Int,
+            ColGen::FloatRange(..) => DataType::Float,
+            ColGen::NameFrom(_) | ColGen::Category(_) | ColGen::FkText(..) | ColGen::Code
+            | ColGen::Flag => DataType::Text,
+        }
+    }
+}
+
+/// One column of a domain table.
+#[derive(Debug, Clone)]
+pub struct ColSpec {
+    /// SQL column name.
+    pub name: &'static str,
+    /// NL phrase override (defaults to the name with `_` → space).
+    pub nl: Option<&'static str>,
+    /// Value generator.
+    pub gen: ColGen,
+}
+
+impl ColSpec {
+    /// Shorthand constructor.
+    pub fn new(name: &'static str, gen: ColGen) -> Self {
+        ColSpec { name, nl: None, gen }
+    }
+
+    /// Constructor with an NL phrase.
+    pub fn with_nl(name: &'static str, gen: ColGen, nl: &'static str) -> Self {
+        ColSpec { name, nl: Some(nl), gen }
+    }
+}
+
+/// One table of a domain.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name.
+    pub name: &'static str,
+    /// NL phrase for the table.
+    pub nl: Option<&'static str>,
+    /// Row count to generate.
+    pub rows: usize,
+    /// Column specs.
+    pub cols: Vec<ColSpec>,
+}
+
+/// A whole domain definition.
+#[derive(Debug, Clone)]
+pub struct DomainDef {
+    /// Database name (e.g. `world_1`).
+    pub db_name: &'static str,
+    /// Tables in creation order (parents before FK children).
+    pub tables: Vec<TableSpec>,
+}
+
+/// Generates the database for a domain definition.
+///
+/// The `seed` controls every sampled value; `scale` multiplies row counts
+/// (used by the test-suite metric to create database variants of different
+/// sizes).
+pub fn generate_database(def: &DomainDef, seed: u64, scale: f64) -> Database {
+    let mut schema = DatabaseSchema::new(def.db_name);
+    for t in &def.tables {
+        let columns: Vec<ColumnDef> = t
+            .cols
+            .iter()
+            .map(|c| match c.nl {
+                Some(nl) => ColumnDef::with_nl(c.name, c.gen.data_type(), nl),
+                None => ColumnDef::new(c.name, c.gen.data_type()),
+            })
+            .collect();
+        let mut ts = TableSchema::new(t.name, columns);
+        if let Some(nl) = t.nl {
+            ts = ts.with_nl(nl);
+        }
+        schema.add_table(ts);
+        for (ci, c) in t.cols.iter().enumerate() {
+            match &c.gen {
+                ColGen::Fk(parent) => {
+                    // Parent serial pk is that table's first Serial column.
+                    schema.add_foreign_key(t.name, t.cols[ci].name, parent, "id_placeholder");
+                }
+                ColGen::FkText(parent, col) => {
+                    schema.add_foreign_key(t.name, t.cols[ci].name, parent, col);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Fix up serial-FK targets: point at the parent's serial column name.
+    let fk_targets: Vec<(String, String)> = schema
+        .foreign_keys
+        .iter()
+        .filter(|fk| fk.to_column == "id_placeholder")
+        .map(|fk| (fk.from_table.clone(), fk.to_table.clone()))
+        .collect();
+    for (from, to) in fk_targets {
+        let serial_col = def
+            .tables
+            .iter()
+            .find(|t| t.name == to)
+            .and_then(|t| {
+                t.cols
+                    .iter()
+                    .find(|c| matches!(c.gen, ColGen::Serial))
+                    .map(|c| c.name.to_string())
+            })
+            .unwrap_or_else(|| "id".to_string());
+        for fk in &mut schema.foreign_keys {
+            if fk.from_table == from && fk.to_table == to && fk.to_column == "id_placeholder" {
+                fk.to_column = serial_col.clone();
+            }
+        }
+    }
+
+    let mut db = Database::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in &def.tables {
+        let n = ((t.rows as f64) * scale).round().max(2.0) as usize;
+        // Pre-compute referenced key pools.
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(t.cols.len());
+            for c in &t.cols {
+                row.push(gen_value(&c.gen, i, &mut rng, &db));
+            }
+            rows.push(row);
+        }
+        let table = db.table_mut(t.name).expect("table just created");
+        for r in rows {
+            table.push_row(r);
+        }
+    }
+    db
+}
+
+fn gen_value(gen: &ColGen, i: usize, rng: &mut StdRng, db: &Database) -> Value {
+    match gen {
+        ColGen::Serial => Value::Int(i as i64 + 1),
+        ColGen::NameFrom(pool) => {
+            let base = pool[i % pool.len()];
+            if i < pool.len() {
+                Value::from(base)
+            } else {
+                Value::Str(format!("{base} {}", i / pool.len() + 1))
+            }
+        }
+        ColGen::Category(pool) => Value::from(pool[rng.gen_range(0..pool.len())]),
+        ColGen::IntRange(lo, hi) => Value::Int(rng.gen_range(*lo..=*hi)),
+        ColGen::FloatRange(lo, hi) => {
+            Value::Float((rng.gen_range(*lo..=*hi) * 10.0).round() / 10.0)
+        }
+        ColGen::Fk(parent) => {
+            let len = db.table(parent).map(|t| t.len()).unwrap_or(1).max(1);
+            Value::Int(rng.gen_range(0..len) as i64 + 1)
+        }
+        ColGen::FkText(parent, col) => {
+            let t = db.table(parent);
+            match t {
+                Some(t) if !t.is_empty() => {
+                    let ri = rng.gen_range(0..t.len());
+                    t.value(ri, col).cloned().unwrap_or(Value::Null)
+                }
+                _ => Value::Null,
+            }
+        }
+        ColGen::Code => {
+            // Deterministic distinct 3-letter codes: base-26 of the index.
+            let mut n = i;
+            let mut s = String::new();
+            for _ in 0..3 {
+                s.push((b'A' + (n % 26) as u8) as char);
+                n /= 26;
+            }
+            Value::Str(s)
+        }
+        ColGen::Flag => Value::from(if rng.gen_bool(0.6) { "T" } else { "F" }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared string pools
+// ---------------------------------------------------------------------------
+
+/// Person first/last names.
+pub const PEOPLE: &[&str] = &[
+    "Kyle Reed", "Maria Gonzalez", "Wei Chen", "Aisha Khan", "John Smith", "Elena Petrova",
+    "Tariq Aziz", "Sofia Rossi", "Hiro Tanaka", "Emma Dubois", "Lucas Silva", "Nina Berg",
+    "Omar Hassan", "Grace Lee", "Ivan Novak", "Lea Fischer", "Noah Brown", "Zara Ali",
+    "Liam Murphy", "Ana Costa", "Tom Baker", "Rita Patel", "Sam Carter", "Julia Weber",
+];
+
+/// Country names.
+pub const COUNTRIES: &[&str] = &[
+    "Aruba", "France", "Seychelles", "Estonia", "Brazil", "Japan", "Kenya", "Norway",
+    "Peru", "Canada", "Greece", "Vietnam", "Morocco", "Iceland", "Chile", "Nepal",
+    "Fiji", "Austria", "Ghana", "Latvia", "Oman", "Cuba", "Malta", "Laos",
+];
+
+/// City names.
+pub const CITIES: &[&str] = &[
+    "Los Angeles", "Tokyo", "Sydney", "Chicago", "Boston", "Paris", "Nairobi", "Oslo",
+    "Lima", "Toronto", "Athens", "Hanoi", "Rabat", "Reykjavik", "Santiago", "Kathmandu",
+    "Suva", "Vienna", "Accra", "Riga", "Muscat", "Havana", "Valletta", "Vientiane",
+];
+
+/// Continent names.
+pub const CONTINENTS: &[&str] =
+    &["Europe", "Asia", "Africa", "North America", "South America", "Oceania"];
+
+/// Human languages.
+pub const LANGUAGES: &[&str] = &[
+    "English", "French", "Spanish", "Dutch", "Papiamento", "Japanese", "Swahili",
+    "Norwegian", "Portuguese", "Greek", "Vietnamese", "Arabic", "Icelandic", "Hindi",
+];
+
+/// Aircraft model names.
+pub const AIRCRAFT: &[&str] = &[
+    "Boeing 747-400", "Airbus A340-300", "Boeing 737-800", "Airbus A320", "Embraer 190",
+    "Boeing 777-300", "Airbus A380", "Bombardier CRJ900", "Boeing 787-9", "ATR 72",
+];
+
+/// Singer names.
+pub const SINGERS: &[&str] = &[
+    "Joe Sharp", "Timbaland", "Justin Brown", "Rose White", "John Nizinik", "Tribal King",
+    "Mila Reyes", "Dawn Park", "Leo Grant", "Ava Stone", "Kai Jones", "Noa Levi",
+];
+
+/// Concert themes.
+pub const THEMES: &[&str] = &[
+    "Free choice", "Bleeding Love", "Wide Awake", "Happy Tonight", "Party All Night",
+    "Summer Fest", "Winter Gala", "Acoustic Evening",
+];
+
+/// Stadium names.
+pub const STADIUMS: &[&str] = &[
+    "Stark's Park", "Hampden Park", "Balmoor", "Glebe Park", "Gayfield Park",
+    "Recreation Park", "Forthbank Stadium", "Ochilview Park",
+];
+
+/// Pet types.
+pub const PET_TYPES: &[&str] = &["cat", "dog", "bird", "fish", "hamster", "rabbit"];
+
+/// Company names.
+pub const COMPANIES: &[&str] = &[
+    "Apple", "Globex", "Initech", "Umbrella", "Soylent", "Hooli", "Vandelay", "Acme",
+    "Wayne Enterprises", "Stark Industries", "Wonka", "Tyrell",
+];
+
+/// Industries.
+pub const INDUSTRIES: &[&str] =
+    &["Technology", "Finance", "Healthcare", "Retail", "Energy", "Media"];
+
+/// Product names.
+pub const PRODUCTS: &[&str] = &[
+    "Laptop", "Phone", "Tablet", "Monitor", "Keyboard", "Mouse", "Headphones", "Camera",
+    "Printer", "Router", "Speaker", "Charger",
+];
+
+/// Book titles.
+pub const BOOKS: &[&str] = &[
+    "The Silent Sea", "Winter Light", "Paper Towns", "Deep Work", "The Long Walk",
+    "River of Stars", "Quiet Minds", "The Glass Key", "Iron Gold", "Small Things",
+    "Blue Horizon", "The Last Map",
+];
+
+/// Genres.
+pub const GENRES: &[&str] = &["fiction", "science", "history", "poetry", "biography", "fantasy"];
+
+/// Gene symbols (ScienceBenchmark-style oncology domain).
+pub const GENES: &[&str] = &[
+    "TP53", "EGFR", "KRAS", "BRCA1", "BRCA2", "MYC", "PTEN", "RB1", "ALK", "BRAF",
+    "PIK3CA", "APC", "NRAS", "ERBB2", "CDKN2A", "VHL",
+];
+
+/// Cancer types.
+pub const CANCER_TYPES: &[&str] =
+    &["lung", "breast", "colon", "melanoma", "glioma", "leukemia", "ovarian", "prostate"];
+
+/// Mutation effects.
+pub const MUTATION_EFFECTS: &[&str] =
+    &["missense", "nonsense", "frameshift", "silent", "splice_site", "in_frame_del"];
+
+/// EU-style research areas (cordis domain).
+pub const RESEARCH_AREAS: &[&str] = &[
+    "quantum computing", "climate modeling", "gene therapy", "robotics", "photonics",
+    "battery storage", "neuroscience", "materials",
+];
+
+/// Institution names.
+pub const INSTITUTIONS: &[&str] = &[
+    "ETH Zurich", "Fudan University", "MIT", "Oxford", "Sorbonne", "TU Delft",
+    "KTH", "EPFL", "Kyoto University", "NUS", "Tsinghua", "Caltech",
+];
+
+/// Astronomical object classes (sdss domain).
+pub const OBJECT_CLASSES: &[&str] = &["star", "galaxy", "quasar", "unknown"];
+
+/// Spectral survey programs.
+pub const SURVEYS: &[&str] = &["legacy", "boss", "eboss", "segue1", "segue2"];
+
+/// Tryout positions (paper's prompt example schema).
+pub const POSITIONS: &[&str] = &["goalie", "striker", "mid", "defender"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_domain() -> DomainDef {
+        DomainDef {
+            db_name: "tiny",
+            tables: vec![
+                TableSpec {
+                    name: "owner",
+                    nl: None,
+                    rows: 5,
+                    cols: vec![
+                        ColSpec::new("oid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(PEOPLE)),
+                        ColSpec::new("age", ColGen::IntRange(18, 70)),
+                    ],
+                },
+                TableSpec {
+                    name: "pet",
+                    nl: None,
+                    rows: 8,
+                    cols: vec![
+                        ColSpec::new("pid", ColGen::Serial),
+                        ColSpec::new("oid", ColGen::Fk("owner")),
+                        ColSpec::new("ptype", ColGen::Category(PET_TYPES)),
+                        ColSpec::new("weight", ColGen::FloatRange(0.5, 40.0)),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let def = tiny_domain();
+        let a = generate_database(&def, 42, 1.0);
+        let b = generate_database(&def, 42, 1.0);
+        assert_eq!(a.table("pet").unwrap().rows, b.table("pet").unwrap().rows);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let def = tiny_domain();
+        let a = generate_database(&def, 42, 1.0);
+        let b = generate_database(&def, 43, 1.0);
+        assert_ne!(a.table("pet").unwrap().rows, b.table("pet").unwrap().rows);
+    }
+
+    #[test]
+    fn fk_values_reference_existing_parents() {
+        let def = tiny_domain();
+        let db = generate_database(&def, 7, 1.0);
+        let owners = db.table("owner").unwrap().len() as i64;
+        for row in &db.table("pet").unwrap().rows {
+            match &row[1] {
+                Value::Int(oid) => assert!(*oid >= 1 && *oid <= owners),
+                other => panic!("unexpected fk value {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fk_schema_edge_points_at_serial_pk() {
+        let def = tiny_domain();
+        let db = generate_database(&def, 7, 1.0);
+        let fk = &db.schema.foreign_keys[0];
+        assert_eq!(fk.from_table, "pet");
+        assert_eq!(fk.to_table, "owner");
+        assert_eq!(fk.to_column, "oid");
+    }
+
+    #[test]
+    fn scale_changes_row_counts() {
+        let def = tiny_domain();
+        let small = generate_database(&def, 1, 0.5);
+        let big = generate_database(&def, 1, 2.0);
+        assert!(big.table("pet").unwrap().len() > small.table("pet").unwrap().len());
+    }
+
+    #[test]
+    fn serials_are_sequential() {
+        let def = tiny_domain();
+        let db = generate_database(&def, 3, 1.0);
+        let t = db.table("owner").unwrap();
+        for (i, row) in t.rows.iter().enumerate() {
+            assert_eq!(row[0], Value::Int(i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let db = Database::new(DatabaseSchema::new("x"));
+        for i in 0..100 {
+            let v = gen_value(&ColGen::Code, i, &mut rng, &db);
+            assert!(seen.insert(v.to_string()), "duplicate code at {i}");
+        }
+    }
+
+    #[test]
+    fn name_pool_exhaustion_suffixes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let db = Database::new(DatabaseSchema::new("x"));
+        let v = gen_value(&ColGen::NameFrom(&["A", "B"]), 3, &mut rng, &db);
+        assert_eq!(v.to_string(), "B 2");
+    }
+}

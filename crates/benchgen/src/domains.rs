@@ -1,0 +1,790 @@
+//! Domain definitions: schemas, generation specs, and question roles.
+//!
+//! Each domain mirrors a SPIDER-family database (a `world_1`-like world
+//! database, a `concert_singer`-like bridge schema, a `network_1`-like
+//! friendship graph, …) plus three ScienceBenchmark-style scientific
+//! domains (oncology, EU research projects, a sky survey).
+
+use crate::datagen::{self, ColGen, ColSpec, DomainDef, TableSpec};
+
+/// The primary entity table of a domain, as seen by question templates.
+#[derive(Debug, Clone)]
+pub struct RoleTable {
+    /// Table name.
+    pub table: String,
+    /// Key column joined against (primary key).
+    pub key: String,
+    /// Human-name column used in questions ("Aruba", "Kyle").
+    pub name_col: String,
+    /// Numeric columns usable in comparisons/aggregates.
+    pub num_cols: Vec<String>,
+    /// Categorical columns usable in filters/grouping.
+    pub cat_cols: Vec<String>,
+}
+
+/// A 1:N detail table hanging off the entity.
+#[derive(Debug, Clone)]
+pub struct RoleDetail {
+    /// Table name.
+    pub table: String,
+    /// FK column in the detail table.
+    pub fk: String,
+    /// The entity column it references.
+    pub parent_key: String,
+    /// Categorical columns of the detail.
+    pub cat_cols: Vec<String>,
+    /// Numeric columns of the detail.
+    pub num_cols: Vec<String>,
+}
+
+/// A bridge table realizing an M:N link between the entity and a second
+/// entity (the Figure-6 subject–relationship–object topology).
+#[derive(Debug, Clone)]
+pub struct RoleBridge {
+    /// Bridge table name.
+    pub table: String,
+    /// FK in the bridge pointing at the primary entity.
+    pub left_fk: String,
+    /// The second entity.
+    pub right: RoleTable,
+    /// FK in the bridge pointing at the second entity.
+    pub right_fk: String,
+}
+
+/// A fully-described domain: data spec plus template roles.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// The data-generation definition.
+    pub def: DomainDef,
+    /// Primary entity role.
+    pub entity: RoleTable,
+    /// Optional detail role.
+    pub detail: Option<RoleDetail>,
+    /// Optional bridge role.
+    pub bridge: Option<RoleBridge>,
+}
+
+fn role(
+    table: &str,
+    key: &str,
+    name_col: &str,
+    num_cols: &[&str],
+    cat_cols: &[&str],
+) -> RoleTable {
+    RoleTable {
+        table: table.into(),
+        key: key.into(),
+        name_col: name_col.into(),
+        num_cols: num_cols.iter().map(|s| s.to_string()).collect(),
+        cat_cols: cat_cols.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn detail(
+    table: &str,
+    fk: &str,
+    parent_key: &str,
+    cat_cols: &[&str],
+    num_cols: &[&str],
+) -> RoleDetail {
+    RoleDetail {
+        table: table.into(),
+        fk: fk.into(),
+        parent_key: parent_key.into(),
+        cat_cols: cat_cols.iter().map(|s| s.to_string()).collect(),
+        num_cols: num_cols.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// The flights domain (the paper's Figure 2 database).
+pub fn flight_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "flight_1",
+            tables: vec![
+                TableSpec {
+                    name: "aircraft",
+                    nl: None,
+                    rows: 12,
+                    cols: vec![
+                        ColSpec::new("aid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::AIRCRAFT)),
+                        ColSpec::new("distance", ColGen::IntRange(1500, 9000)),
+                    ],
+                },
+                TableSpec {
+                    name: "flight",
+                    nl: None,
+                    rows: 60,
+                    cols: vec![
+                        ColSpec::with_nl("flno", ColGen::Serial, "flight number"),
+                        ColSpec::new("aid", ColGen::Fk("aircraft")),
+                        ColSpec::new("origin", ColGen::Category(datagen::CITIES)),
+                        ColSpec::new("destination", ColGen::Category(datagen::CITIES)),
+                        ColSpec::new("price", ColGen::FloatRange(80.0, 1500.0)),
+                    ],
+                },
+            ],
+        },
+        entity: role("aircraft", "aid", "name", &["distance"], &[]),
+        detail: Some(detail("flight", "aid", "aid", &["origin", "destination"], &["price"])),
+        bridge: None,
+    }
+}
+
+/// The world domain (`world_1`): countries and their languages.
+pub fn world_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "world_1",
+            tables: vec![
+                TableSpec {
+                    name: "country",
+                    nl: None,
+                    rows: 24,
+                    cols: vec![
+                        ColSpec::new("code", ColGen::Code),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::COUNTRIES)),
+                        ColSpec::new("continent", ColGen::Category(datagen::CONTINENTS)),
+                        ColSpec::new("population", ColGen::IntRange(50_000, 90_000_000)),
+                        ColSpec::with_nl(
+                            "surfacearea",
+                            ColGen::IntRange(300, 3_000_000),
+                            "surface area",
+                        ),
+                    ],
+                },
+                TableSpec {
+                    name: "city",
+                    nl: None,
+                    rows: 60,
+                    cols: vec![
+                        ColSpec::new("cid", ColGen::Serial),
+                        ColSpec::with_nl(
+                            "countrycode",
+                            ColGen::FkText("country", "code"),
+                            "country code",
+                        ),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::CITIES)),
+                        ColSpec::new("population", ColGen::IntRange(10_000, 20_000_000)),
+                    ],
+                },
+                TableSpec {
+                    name: "countrylanguage",
+                    nl: Some("country language"),
+                    rows: 70,
+                    cols: vec![
+                        ColSpec::new("lid", ColGen::Serial),
+                        ColSpec::with_nl(
+                            "countrycode",
+                            ColGen::FkText("country", "code"),
+                            "country code",
+                        ),
+                        ColSpec::new("language", ColGen::Category(datagen::LANGUAGES)),
+                        ColSpec::with_nl("isofficial", ColGen::Flag, "is official"),
+                    ],
+                },
+            ],
+        },
+        entity: role("country", "code", "name", &["population", "surfacearea"], &["continent"]),
+        detail: Some(detail(
+            "countrylanguage",
+            "countrycode",
+            "code",
+            &["language", "isofficial"],
+            &[],
+        )),
+        bridge: None,
+    }
+}
+
+/// The concerts domain (`concert_singer`): singers, concerts, and the
+/// bridge table between them.
+pub fn concert_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "concert_singer",
+            tables: vec![
+                TableSpec {
+                    name: "singer",
+                    nl: None,
+                    rows: 16,
+                    cols: vec![
+                        ColSpec::with_nl("singer_id", ColGen::Serial, "singer id"),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::SINGERS)),
+                        ColSpec::new("age", ColGen::IntRange(18, 70)),
+                        ColSpec::new("country", ColGen::Category(datagen::COUNTRIES)),
+                    ],
+                },
+                TableSpec {
+                    name: "concert",
+                    nl: None,
+                    rows: 20,
+                    cols: vec![
+                        ColSpec::with_nl("concert_id", ColGen::Serial, "concert id"),
+                        ColSpec::new("theme", ColGen::Category(datagen::THEMES)),
+                        ColSpec::new("stadium", ColGen::Category(datagen::STADIUMS)),
+                        ColSpec::new("year", ColGen::IntRange(2010, 2024)),
+                    ],
+                },
+                TableSpec {
+                    name: "singer_in_concert",
+                    nl: Some("singer in concert"),
+                    rows: 45,
+                    cols: vec![
+                        ColSpec::new("sic_id", ColGen::Serial),
+                        ColSpec::with_nl("concert_id", ColGen::Fk("concert"), "concert id"),
+                        ColSpec::with_nl("singer_id", ColGen::Fk("singer"), "singer id"),
+                    ],
+                },
+            ],
+        },
+        entity: role("singer", "singer_id", "name", &["age"], &["country"]),
+        detail: None,
+        bridge: Some(RoleBridge {
+            table: "singer_in_concert".into(),
+            left_fk: "singer_id".into(),
+            right: role("concert", "concert_id", "theme", &["year"], &["stadium"]),
+            right_fk: "concert_id".into(),
+        }),
+    }
+}
+
+/// The friendship domain (`network_1`): high schoolers and friendships —
+/// the paper's error-analysis example schema.
+pub fn school_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "network_1",
+            tables: vec![
+                TableSpec {
+                    name: "highschooler",
+                    nl: Some("high schooler"),
+                    rows: 20,
+                    cols: vec![
+                        ColSpec::new("id", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::PEOPLE)),
+                        ColSpec::new("grade", ColGen::IntRange(9, 12)),
+                    ],
+                },
+                TableSpec {
+                    name: "friend",
+                    nl: None,
+                    rows: 50,
+                    cols: vec![
+                        ColSpec::new("fid", ColGen::Serial),
+                        ColSpec::with_nl("student_id", ColGen::Fk("highschooler"), "student id"),
+                        ColSpec::with_nl("friend_id", ColGen::Fk("highschooler"), "friend id"),
+                    ],
+                },
+            ],
+        },
+        entity: role("highschooler", "id", "name", &["grade"], &[]),
+        detail: Some(detail("friend", "student_id", "id", &[], &[])),
+        bridge: None,
+    }
+}
+
+/// The pets domain (`pets_1`).
+pub fn pets_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "pets_1",
+            tables: vec![
+                TableSpec {
+                    name: "student",
+                    nl: None,
+                    rows: 18,
+                    cols: vec![
+                        ColSpec::with_nl("stuid", ColGen::Serial, "student id"),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::PEOPLE)),
+                        ColSpec::new("age", ColGen::IntRange(17, 30)),
+                        ColSpec::new("major", ColGen::Category(datagen::GENRES)),
+                    ],
+                },
+                TableSpec {
+                    name: "pets",
+                    nl: None,
+                    rows: 24,
+                    cols: vec![
+                        ColSpec::with_nl("petid", ColGen::Serial, "pet id"),
+                        ColSpec::with_nl("pettype", ColGen::Category(datagen::PET_TYPES), "pet type"),
+                        ColSpec::with_nl("pet_age", ColGen::IntRange(1, 15), "pet age"),
+                        ColSpec::new("weight", ColGen::FloatRange(0.5, 40.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "has_pet",
+                    nl: Some("has pet"),
+                    rows: 30,
+                    cols: vec![
+                        ColSpec::new("hid", ColGen::Serial),
+                        ColSpec::with_nl("stuid", ColGen::Fk("student"), "student id"),
+                        ColSpec::with_nl("petid", ColGen::Fk("pets"), "pet id"),
+                    ],
+                },
+            ],
+        },
+        entity: role("student", "stuid", "name", &["age"], &["major"]),
+        detail: None,
+        bridge: Some(RoleBridge {
+            table: "has_pet".into(),
+            left_fk: "stuid".into(),
+            right: role("pets", "petid", "pettype", &["pet_age", "weight"], &["pettype"]),
+            right_fk: "petid".into(),
+        }),
+    }
+}
+
+/// The employment domain.
+pub fn company_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "company_employee",
+            tables: vec![
+                TableSpec {
+                    name: "company",
+                    nl: None,
+                    rows: 14,
+                    cols: vec![
+                        ColSpec::new("cid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::COMPANIES)),
+                        ColSpec::new("industry", ColGen::Category(datagen::INDUSTRIES)),
+                        ColSpec::new("revenue", ColGen::FloatRange(1.0, 500.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "people",
+                    nl: None,
+                    rows: 30,
+                    cols: vec![
+                        ColSpec::new("pid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::PEOPLE)),
+                        ColSpec::new("age", ColGen::IntRange(21, 65)),
+                    ],
+                },
+                TableSpec {
+                    name: "employment",
+                    nl: None,
+                    rows: 40,
+                    cols: vec![
+                        ColSpec::new("eid", ColGen::Serial),
+                        ColSpec::with_nl("company_id", ColGen::Fk("company"), "company id"),
+                        ColSpec::with_nl("people_id", ColGen::Fk("people"), "people id"),
+                        ColSpec::with_nl("year_joined", ColGen::IntRange(2000, 2024), "year joined"),
+                    ],
+                },
+            ],
+        },
+        entity: role("company", "cid", "name", &["revenue"], &["industry"]),
+        detail: None,
+        bridge: Some(RoleBridge {
+            table: "employment".into(),
+            left_fk: "company_id".into(),
+            right: role("people", "pid", "name", &["age"], &[]),
+            right_fk: "people_id".into(),
+        }),
+    }
+}
+
+/// The orders domain.
+pub fn orders_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "orders_1",
+            tables: vec![
+                TableSpec {
+                    name: "customers",
+                    nl: None,
+                    rows: 20,
+                    cols: vec![
+                        ColSpec::new("cid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::PEOPLE)),
+                        ColSpec::new("city", ColGen::Category(datagen::CITIES)),
+                        ColSpec::new("age", ColGen::IntRange(18, 80)),
+                    ],
+                },
+                TableSpec {
+                    name: "products",
+                    nl: None,
+                    rows: 12,
+                    cols: vec![
+                        ColSpec::new("pid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::PRODUCTS)),
+                        ColSpec::new("category", ColGen::Category(datagen::INDUSTRIES)),
+                        ColSpec::new("price", ColGen::FloatRange(5.0, 2000.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "orders",
+                    nl: None,
+                    rows: 60,
+                    cols: vec![
+                        ColSpec::new("oid", ColGen::Serial),
+                        ColSpec::with_nl("customer_id", ColGen::Fk("customers"), "customer id"),
+                        ColSpec::with_nl("product_id", ColGen::Fk("products"), "product id"),
+                        ColSpec::new("quantity", ColGen::IntRange(1, 9)),
+                    ],
+                },
+            ],
+        },
+        entity: role("customers", "cid", "name", &["age"], &["city"]),
+        detail: None,
+        bridge: Some(RoleBridge {
+            table: "orders".into(),
+            left_fk: "customer_id".into(),
+            right: role("products", "pid", "name", &["price"], &["category"]),
+            right_fk: "product_id".into(),
+        }),
+    }
+}
+
+/// The library domain.
+pub fn library_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "library_1",
+            tables: vec![
+                TableSpec {
+                    name: "author",
+                    nl: None,
+                    rows: 12,
+                    cols: vec![
+                        ColSpec::new("aid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::PEOPLE)),
+                        ColSpec::new("country", ColGen::Category(datagen::COUNTRIES)),
+                    ],
+                },
+                TableSpec {
+                    name: "book",
+                    nl: None,
+                    rows: 40,
+                    cols: vec![
+                        ColSpec::new("bid", ColGen::Serial),
+                        ColSpec::new("title", ColGen::NameFrom(datagen::BOOKS)),
+                        ColSpec::with_nl("author_id", ColGen::Fk("author"), "author id"),
+                        ColSpec::new("genre", ColGen::Category(datagen::GENRES)),
+                        ColSpec::new("pages", ColGen::IntRange(80, 900)),
+                        ColSpec::new("year", ColGen::IntRange(1950, 2024)),
+                    ],
+                },
+            ],
+        },
+        entity: role("author", "aid", "name", &[], &["country"]),
+        detail: Some(detail("book", "author_id", "aid", &["genre"], &["pages", "year"])),
+        bridge: None,
+    }
+}
+
+/// ScienceBenchmark-style oncology domain (OncoMX-like).
+pub fn oncomx_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "oncomx",
+            tables: vec![
+                TableSpec {
+                    name: "gene",
+                    nl: None,
+                    rows: 16,
+                    cols: vec![
+                        ColSpec::new("gid", ColGen::Serial),
+                        ColSpec::new("symbol", ColGen::NameFrom(datagen::GENES)),
+                        ColSpec::new("chromosome", ColGen::IntRange(1, 22)),
+                    ],
+                },
+                TableSpec {
+                    name: "sample",
+                    nl: None,
+                    rows: 30,
+                    cols: vec![
+                        ColSpec::new("sid", ColGen::Serial),
+                        ColSpec::with_nl(
+                            "cancer_type",
+                            ColGen::Category(datagen::CANCER_TYPES),
+                            "cancer type",
+                        ),
+                        ColSpec::new("stage", ColGen::IntRange(1, 4)),
+                    ],
+                },
+                TableSpec {
+                    name: "mutation",
+                    nl: None,
+                    rows: 80,
+                    cols: vec![
+                        ColSpec::new("mid", ColGen::Serial),
+                        ColSpec::with_nl("gene_id", ColGen::Fk("gene"), "gene id"),
+                        ColSpec::with_nl("sample_id", ColGen::Fk("sample"), "sample id"),
+                        ColSpec::new("effect", ColGen::Category(datagen::MUTATION_EFFECTS)),
+                        ColSpec::with_nl("vaf", ColGen::FloatRange(0.01, 0.99), "variant allele frequency"),
+                    ],
+                },
+            ],
+        },
+        entity: role("gene", "gid", "symbol", &["chromosome"], &[]),
+        detail: None,
+        bridge: Some(RoleBridge {
+            table: "mutation".into(),
+            left_fk: "gene_id".into(),
+            right: role("sample", "sid", "cancer_type", &["stage"], &["cancer_type"]),
+            right_fk: "sample_id".into(),
+        }),
+    }
+}
+
+/// ScienceBenchmark-style EU research-projects domain (CORDIS-like).
+pub fn cordis_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "cordis",
+            tables: vec![
+                TableSpec {
+                    name: "institution",
+                    nl: None,
+                    rows: 12,
+                    cols: vec![
+                        ColSpec::new("iid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::INSTITUTIONS)),
+                        ColSpec::new("country", ColGen::Category(datagen::COUNTRIES)),
+                    ],
+                },
+                TableSpec {
+                    name: "project",
+                    nl: None,
+                    rows: 24,
+                    cols: vec![
+                        ColSpec::new("pid", ColGen::Serial),
+                        ColSpec::new("title", ColGen::NameFrom(datagen::BOOKS)),
+                        ColSpec::new("area", ColGen::Category(datagen::RESEARCH_AREAS)),
+                        ColSpec::new("budget", ColGen::FloatRange(0.2, 15.0)),
+                        ColSpec::with_nl("start_year", ColGen::IntRange(2014, 2024), "start year"),
+                    ],
+                },
+                TableSpec {
+                    name: "participation",
+                    nl: None,
+                    rows: 50,
+                    cols: vec![
+                        ColSpec::new("paid", ColGen::Serial),
+                        ColSpec::with_nl("project_id", ColGen::Fk("project"), "project id"),
+                        ColSpec::with_nl("institution_id", ColGen::Fk("institution"), "institution id"),
+                    ],
+                },
+            ],
+        },
+        entity: role("institution", "iid", "name", &[], &["country"]),
+        detail: None,
+        bridge: Some(RoleBridge {
+            table: "participation".into(),
+            left_fk: "institution_id".into(),
+            right: role("project", "pid", "title", &["budget", "start_year"], &["area"]),
+            right_fk: "project_id".into(),
+        }),
+    }
+}
+
+/// ScienceBenchmark-style sky-survey domain (SDSS-like).
+pub fn sdss_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "sdss",
+            tables: vec![
+                TableSpec {
+                    name: "skyobject",
+                    nl: Some("sky object"),
+                    rows: 40,
+                    cols: vec![
+                        ColSpec::new("oid", ColGen::Serial),
+                        ColSpec::new("class", ColGen::Category(datagen::OBJECT_CLASSES)),
+                        ColSpec::with_nl("ra", ColGen::FloatRange(0.0, 360.0), "right ascension"),
+                        ColSpec::with_nl("dec", ColGen::FloatRange(-90.0, 90.0), "declination"),
+                        ColSpec::new("magnitude", ColGen::FloatRange(10.0, 25.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "spectrum",
+                    nl: None,
+                    rows: 90,
+                    cols: vec![
+                        ColSpec::with_nl("specid", ColGen::Serial, "spectrum id"),
+                        ColSpec::with_nl("object_id", ColGen::Fk("skyobject"), "object id"),
+                        ColSpec::new("survey", ColGen::Category(datagen::SURVEYS)),
+                        ColSpec::new("redshift", ColGen::FloatRange(0.0, 6.0)),
+                        ColSpec::with_nl("snr", ColGen::FloatRange(1.0, 80.0), "signal to noise ratio"),
+                    ],
+                },
+            ],
+        },
+        entity: role("skyobject", "oid", "class", &["magnitude", "ra", "dec"], &["class"]),
+        detail: Some(detail("spectrum", "object_id", "oid", &["survey"], &["redshift", "snr"])),
+        bridge: None,
+    }
+}
+
+/// The SPIDER-like training/dev/test domains, in a stable order.
+pub fn spider_domains() -> Vec<Domain> {
+    vec![
+        flight_domain(),
+        school_domain(),
+        pets_domain(),
+        company_domain(),
+        orders_domain(),
+        library_domain(),
+        restaurant_domain(),
+        university_domain(),
+        world_domain(),
+        concert_domain(),
+    ]
+}
+
+/// The ScienceBenchmark-like domains.
+pub fn science_domains() -> Vec<Domain> {
+    vec![oncomx_domain(), cordis_domain(), sdss_domain()]
+}
+
+/// The restaurants domain (`restaurant_1`): an additional training domain.
+pub fn restaurant_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "restaurant_1",
+            tables: vec![
+                TableSpec {
+                    name: "restaurant",
+                    nl: None,
+                    rows: 16,
+                    cols: vec![
+                        ColSpec::new("rid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::COMPANIES)),
+                        ColSpec::new("city", ColGen::Category(datagen::CITIES)),
+                        ColSpec::new("rating", ColGen::FloatRange(1.0, 5.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "dish",
+                    nl: None,
+                    rows: 50,
+                    cols: vec![
+                        ColSpec::new("did", ColGen::Serial),
+                        ColSpec::with_nl("restaurant_id", ColGen::Fk("restaurant"), "restaurant id"),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::PRODUCTS)),
+                        ColSpec::new("cuisine", ColGen::Category(datagen::GENRES)),
+                        ColSpec::new("price", ColGen::FloatRange(4.0, 60.0)),
+                    ],
+                },
+            ],
+        },
+        entity: role("restaurant", "rid", "name", &["rating"], &["city"]),
+        detail: Some(detail("dish", "restaurant_id", "rid", &["cuisine"], &["price"])),
+        bridge: None,
+    }
+}
+
+/// The university domain (`college_1`): an additional training domain with
+/// a bridge (enrollment) relationship.
+pub fn university_domain() -> Domain {
+    Domain {
+        def: DomainDef {
+            db_name: "college_1",
+            tables: vec![
+                TableSpec {
+                    name: "department",
+                    nl: None,
+                    rows: 10,
+                    cols: vec![
+                        ColSpec::new("depid", ColGen::Serial),
+                        ColSpec::new("name", ColGen::NameFrom(datagen::RESEARCH_AREAS)),
+                        ColSpec::new("budget", ColGen::FloatRange(0.5, 30.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "course",
+                    nl: None,
+                    rows: 24,
+                    cols: vec![
+                        ColSpec::new("cid", ColGen::Serial),
+                        ColSpec::new("title", ColGen::NameFrom(datagen::BOOKS)),
+                        ColSpec::new("credits", ColGen::IntRange(1, 6)),
+                        ColSpec::new("level", ColGen::Category(datagen::GENRES)),
+                    ],
+                },
+                TableSpec {
+                    name: "enrollment",
+                    nl: None,
+                    rows: 60,
+                    cols: vec![
+                        ColSpec::new("eid", ColGen::Serial),
+                        ColSpec::with_nl("department_id", ColGen::Fk("department"), "department id"),
+                        ColSpec::with_nl("course_id", ColGen::Fk("course"), "course id"),
+                        ColSpec::with_nl("year", ColGen::IntRange(2015, 2024), "year"),
+                    ],
+                },
+            ],
+        },
+        entity: role("department", "depid", "name", &["budget"], &[]),
+        detail: None,
+        bridge: Some(RoleBridge {
+            table: "enrollment".into(),
+            left_fk: "department_id".into(),
+            right: role("course", "cid", "title", &["credits"], &["level"]),
+            right_fk: "course_id".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate_database;
+
+    #[test]
+    fn all_domains_generate() {
+        for d in spider_domains().into_iter().chain(science_domains()) {
+            let db = generate_database(&d.def, 11, 1.0);
+            assert!(db.total_rows() > 0, "{} empty", d.def.db_name);
+            // Entity role resolves.
+            let t = db.table(&d.entity.table).unwrap_or_else(|| {
+                panic!("{}: missing entity table {}", d.def.db_name, d.entity.table)
+            });
+            assert!(
+                t.schema.column_index(&d.entity.name_col).is_some(),
+                "{}: bad name col",
+                d.def.db_name
+            );
+            for c in d.entity.num_cols.iter().chain(&d.entity.cat_cols) {
+                assert!(
+                    t.schema.column_index(c).is_some(),
+                    "{}: missing entity col {c}",
+                    d.def.db_name
+                );
+            }
+            if let Some(det) = &d.detail {
+                let dt = db.table(&det.table).expect("detail table");
+                assert!(dt.schema.column_index(&det.fk).is_some());
+                for c in det.cat_cols.iter().chain(&det.num_cols) {
+                    assert!(dt.schema.column_index(c).is_some(), "missing detail col {c}");
+                }
+            }
+            if let Some(b) = &d.bridge {
+                let bt = db.table(&b.table).expect("bridge table");
+                assert!(bt.schema.column_index(&b.left_fk).is_some());
+                assert!(bt.schema.column_index(&b.right_fk).is_some());
+                assert!(db.table(&b.right.table).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_domains_have_bridge_fks_in_schema() {
+        let d = concert_domain();
+        let db = generate_database(&d.def, 5, 1.0);
+        assert!(db.schema.fk_between("singer_in_concert", "singer").is_some());
+        assert!(db.schema.fk_between("singer_in_concert", "concert").is_some());
+    }
+
+    #[test]
+    fn world_uses_text_foreign_keys() {
+        let d = world_domain();
+        let db = generate_database(&d.def, 5, 1.0);
+        let fk = db.schema.fk_between("countrylanguage", "country").unwrap();
+        assert_eq!(fk.to_column, "code");
+    }
+}

@@ -1,0 +1,312 @@
+//! Benchmark suites: items, splits, and suite assembly.
+
+use crate::datagen::generate_database;
+use crate::domains::{science_domains, spider_domains, Domain};
+use crate::templates::generate_items;
+use crate::variants::{perturb_question, Variant};
+use cyclesql_sql::Difficulty;
+use cyclesql_storage::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Which split an item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training data (used to train the NLI verifier).
+    Train,
+    /// Validation data (the paper's primary evaluation split).
+    Dev,
+    /// Held-out test data.
+    Test,
+}
+
+/// One benchmark item: a question over a database with its gold SQL.
+#[derive(Debug, Clone)]
+pub struct BenchmarkItem {
+    /// Stable identifier.
+    pub id: String,
+    /// Database the question targets.
+    pub db_name: String,
+    /// The (possibly perturbed) NL question.
+    pub question: String,
+    /// The unperturbed question (model simulators key their behaviour off
+    /// the perturbation distance between the two).
+    pub base_question: String,
+    /// Gold SQL.
+    pub gold_sql: String,
+    /// Spider difficulty of the gold SQL.
+    pub difficulty: Difficulty,
+    /// Which split the item is in.
+    pub split: Split,
+    /// The structural template that generated the item (e.g. `intersect`).
+    pub template: &'static str,
+}
+
+/// A complete benchmark suite: databases plus item splits.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSuite {
+    /// The variant this suite realizes.
+    pub variant: Variant,
+    /// Databases by name.
+    pub databases: HashMap<String, Database>,
+    /// Training items.
+    pub train: Vec<BenchmarkItem>,
+    /// Dev (validation) items.
+    pub dev: Vec<BenchmarkItem>,
+    /// Test items.
+    pub test: Vec<BenchmarkItem>,
+}
+
+impl BenchmarkSuite {
+    /// The database an item runs against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item references a database not in this suite (items and
+    /// suites are constructed together; a mismatch is a bug).
+    pub fn database(&self, item: &BenchmarkItem) -> &Database {
+        self.databases
+            .get(&item.db_name)
+            .unwrap_or_else(|| panic!("no database {} in suite", item.db_name))
+    }
+
+    /// Items of a split.
+    pub fn split(&self, split: Split) -> &[BenchmarkItem] {
+        match split {
+            Split::Train => &self.train,
+            Split::Dev => &self.dev,
+            Split::Test => &self.test,
+        }
+    }
+
+    /// Regenerates a database with a different data seed but the same
+    /// schema — the distilled-database construction behind the test-suite
+    /// (TS) metric.
+    pub fn database_variant(&self, db_name: &str, variant_seed: u64) -> Option<Database> {
+        let domain = all_domains().into_iter().find(|d| d.def.db_name == db_name)?;
+        Some(generate_database(&domain.def, variant_seed, 0.8 + (variant_seed % 3) as f64 * 0.3))
+    }
+}
+
+fn all_domains() -> Vec<Domain> {
+    let mut v = spider_domains();
+    v.extend(science_domains());
+    v
+}
+
+/// Configuration for suite generation.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Instantiations per template per domain (train split).
+    pub train_per_template: usize,
+    /// Instantiations per template per domain (dev/test splits).
+    pub eval_per_template: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig { seed: 0xC1C1E, train_per_template: 3, eval_per_template: 3 }
+    }
+}
+
+/// Builds a SPIDER-like suite (or one of its variants).
+///
+/// Train uses the first eight domains; dev and test use the remaining two
+/// with *different data seeds*, mirroring SPIDER's disjoint-database splits.
+pub fn build_spider_suite(variant: Variant, config: SuiteConfig) -> BenchmarkSuite {
+    assert!(
+        matches!(variant, Variant::Spider | Variant::Realistic | Variant::Syn | Variant::Dk),
+        "use build_science_suite for the science benchmark"
+    );
+    let domains = spider_domains();
+    let (train_domains, eval_domains) = domains.split_at(8);
+    let mut suite = BenchmarkSuite {
+        variant,
+        databases: HashMap::new(),
+        train: Vec::new(),
+        dev: Vec::new(),
+        test: Vec::new(),
+    };
+    // Train: base questions only (the verifier trains on SPIDER's train set;
+    // variants are evaluated with the frozen verifier).
+    for (di, d) in train_domains.iter().enumerate() {
+        let db = generate_database(&d.def, config.seed ^ (di as u64 + 1), 1.0);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7E57 ^ (di as u64));
+        let items = generate_items(d, &db, &mut rng, config.train_per_template);
+        for (i, it) in items.into_iter().enumerate() {
+            suite.train.push(BenchmarkItem {
+                id: format!("{}-train-{}-{}", d.def.db_name, it.template, i),
+                db_name: d.def.db_name.to_string(),
+                question: it.question.clone(),
+                base_question: it.question,
+                gold_sql: it.gold_sql,
+                difficulty: it.difficulty,
+                split: Split::Train,
+                template: it.template,
+            });
+        }
+        suite.databases.insert(d.def.db_name.to_string(), db);
+    }
+    // Dev and test: same eval domains, different item seeds (mirrors SPIDER
+    // where dev and test share no queries).
+    for (split, split_name, seed_salt) in
+        [(Split::Dev, "dev", 0xD0Du64), (Split::Test, "test", 0x7E57AB1Eu64)]
+    {
+        for (di, d) in eval_domains.iter().enumerate() {
+            let db_seed = config.seed ^ 0xBEEF ^ (di as u64 + 10);
+            let db = generate_database(&d.def, db_seed, 1.0);
+            let mut rng = StdRng::seed_from_u64(config.seed ^ seed_salt ^ (di as u64));
+            let items = generate_items(d, &db, &mut rng, config.eval_per_template);
+            for (i, it) in items.into_iter().enumerate() {
+                let question = perturb_question(&it.question, variant);
+                suite.split_mut(split).push(BenchmarkItem {
+                    id: format!("{}-{split_name}-{}-{}", d.def.db_name, it.template, i),
+                    db_name: d.def.db_name.to_string(),
+                    question,
+                    base_question: it.question,
+                    gold_sql: it.gold_sql,
+                    difficulty: it.difficulty,
+                    split,
+                    template: it.template,
+                });
+            }
+            suite.databases.entry(d.def.db_name.to_string()).or_insert(db);
+        }
+    }
+    suite
+}
+
+/// Builds the ScienceBenchmark-like suite: three scientific domains with
+/// dev-only evaluation items (the paper reports EM per science domain).
+pub fn build_science_suite(config: SuiteConfig) -> BenchmarkSuite {
+    let mut suite = BenchmarkSuite {
+        variant: Variant::Science,
+        databases: HashMap::new(),
+        train: Vec::new(),
+        dev: Vec::new(),
+        test: Vec::new(),
+    };
+    for (di, d) in science_domains().iter().enumerate() {
+        let db = generate_database(&d.def, config.seed ^ (0x5C1 + di as u64), 1.0);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5C1E4CE ^ (di as u64));
+        let items = generate_items(d, &db, &mut rng, config.eval_per_template);
+        for (i, it) in items.into_iter().enumerate() {
+            suite.dev.push(BenchmarkItem {
+                id: format!("{}-dev-{}-{}", d.def.db_name, it.template, i),
+                db_name: d.def.db_name.to_string(),
+                question: it.question.clone(),
+                base_question: it.question,
+                gold_sql: it.gold_sql,
+                difficulty: it.difficulty,
+                split: Split::Dev,
+                template: it.template,
+            });
+        }
+        suite.databases.insert(d.def.db_name.to_string(), db);
+    }
+    suite
+}
+
+impl BenchmarkSuite {
+    fn split_mut(&mut self, split: Split) -> &mut Vec<BenchmarkItem> {
+        match split {
+            Split::Train => &mut self.train,
+            Split::Dev => &mut self.dev,
+            Split::Test => &mut self.test,
+        }
+    }
+
+    /// The science-domain names, in suite order (oncomx, cordis, sdss).
+    pub fn science_db_names() -> [&'static str; 3] {
+        ["oncomx", "cordis", "sdss"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_sql::parse;
+    use cyclesql_storage::execute;
+
+    #[test]
+    fn spider_suite_has_disjoint_split_databases() {
+        let s = build_spider_suite(Variant::Spider, SuiteConfig::default());
+        assert!(!s.train.is_empty() && !s.dev.is_empty() && !s.test.is_empty());
+        let train_dbs: std::collections::HashSet<_> =
+            s.train.iter().map(|i| i.db_name.clone()).collect();
+        let dev_dbs: std::collections::HashSet<_> =
+            s.dev.iter().map(|i| i.db_name.clone()).collect();
+        assert!(train_dbs.is_disjoint(&dev_dbs), "{train_dbs:?} vs {dev_dbs:?}");
+    }
+
+    #[test]
+    fn all_gold_sql_executes() {
+        let s = build_spider_suite(Variant::Spider, SuiteConfig::default());
+        for item in s.train.iter().chain(&s.dev).chain(&s.test) {
+            let q = parse(&item.gold_sql).expect("parse gold");
+            execute(s.database(item), &q)
+                .unwrap_or_else(|e| panic!("{}: {e}", item.id));
+        }
+    }
+
+    #[test]
+    fn variant_suites_perturb_eval_questions_only() {
+        let base = build_spider_suite(Variant::Spider, SuiteConfig::default());
+        let syn = build_spider_suite(Variant::Syn, SuiteConfig::default());
+        assert_eq!(base.dev.len(), syn.dev.len());
+        let changed = base
+            .dev
+            .iter()
+            .zip(&syn.dev)
+            .filter(|(a, b)| a.question != b.question)
+            .count();
+        assert!(changed > base.dev.len() / 4, "only {changed} questions perturbed");
+        // Gold SQL identical across variants.
+        for (a, b) in base.dev.iter().zip(&syn.dev) {
+            assert_eq!(a.gold_sql, b.gold_sql);
+        }
+    }
+
+    #[test]
+    fn science_suite_covers_three_domains() {
+        let s = build_science_suite(SuiteConfig::default());
+        for db in BenchmarkSuite::science_db_names() {
+            assert!(s.dev.iter().any(|i| i.db_name == db), "missing {db}");
+        }
+    }
+
+    #[test]
+    fn suite_generation_is_deterministic() {
+        let a = build_spider_suite(Variant::Spider, SuiteConfig::default());
+        let b = build_spider_suite(Variant::Spider, SuiteConfig::default());
+        assert_eq!(
+            a.dev.iter().map(|i| &i.id).collect::<Vec<_>>(),
+            b.dev.iter().map(|i| &i.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn database_variants_share_schema_not_data() {
+        let s = build_spider_suite(Variant::Spider, SuiteConfig::default());
+        let name = &s.dev[0].db_name;
+        let v1 = s.database_variant(name, 1).unwrap();
+        let v2 = s.database_variant(name, 2).unwrap();
+        assert_eq!(v1.schema.tables.len(), v2.schema.tables.len());
+        assert_ne!(
+            v1.tables.iter().map(|t| t.len()).collect::<Vec<_>>(),
+            v2.tables.iter().map(|t| t.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dev_and_test_items_differ() {
+        let s = build_spider_suite(Variant::Spider, SuiteConfig::default());
+        let dev_sqls: std::collections::HashSet<_> =
+            s.dev.iter().map(|i| i.gold_sql.clone()).collect();
+        let overlap = s.test.iter().filter(|i| dev_sqls.contains(&i.gold_sql)).count();
+        assert!(overlap < s.test.len(), "test split duplicates dev entirely");
+    }
+}

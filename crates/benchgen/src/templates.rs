@@ -1,0 +1,717 @@
+//! Question templates: generate (NL question, gold SQL) pairs over a domain.
+//!
+//! Twenty-plus structural templates span the Spider difficulty spectrum —
+//! plain selections, filtered retrievals, aggregates, grouping with HAVING,
+//! superlatives via ORDER BY + LIMIT, IN / NOT IN subqueries, INTERSECT /
+//! EXCEPT, and three-table bridge joins. Every generated pair is validated
+//! by executing the gold SQL; items whose gold query errors are discarded.
+
+use crate::domains::Domain;
+use cyclesql_sql::{classify, parse, Difficulty};
+use cyclesql_storage::{execute, Database, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One generated benchmark item (pre-split).
+#[derive(Debug, Clone)]
+pub struct GeneratedItem {
+    /// NL question.
+    pub question: String,
+    /// Gold SQL (parseable, executable on the domain database).
+    pub gold_sql: String,
+    /// Spider difficulty of the gold SQL.
+    pub difficulty: Difficulty,
+    /// Template class identifier (used for coverage assertions).
+    pub template: &'static str,
+}
+
+/// Generates up to `per_template` instantiations of every applicable
+/// template for a domain.
+pub fn generate_items(
+    domain: &Domain,
+    db: &Database,
+    rng: &mut StdRng,
+    per_template: usize,
+) -> Vec<GeneratedItem> {
+    let mut out = Vec::new();
+    let ctx = Ctx { domain, db };
+    for template in TEMPLATES {
+        let target = per_template * template.weight;
+        let mut made = 0;
+        let mut attempts = 0;
+        while made < target && attempts < target * 4 {
+            attempts += 1;
+            let Some((question, sql)) = (template.gen)(&ctx, rng) else {
+                break; // template inapplicable to this domain
+            };
+            let Ok(parsed) = parse(&sql) else {
+                debug_assert!(false, "template {} produced unparseable SQL: {sql}", template.name);
+                continue;
+            };
+            let Ok(result) = execute(db, &parsed) else { continue };
+            // Keep empty-result golds occasionally (the paper's empty-result
+            // path needs coverage) but bias toward informative ones.
+            if result.is_empty() && rng.gen_bool(0.7) {
+                continue;
+            }
+            if out.iter().any(|i: &GeneratedItem| i.gold_sql == sql) {
+                continue;
+            }
+            out.push(GeneratedItem {
+                question,
+                difficulty: classify(&parsed),
+                gold_sql: sql,
+                template: template.name,
+            });
+            made += 1;
+        }
+    }
+    out
+}
+
+struct Ctx<'a> {
+    domain: &'a Domain,
+    db: &'a Database,
+}
+
+impl Ctx<'_> {
+    fn table_nl(&self, table: &str) -> String {
+        self.db
+            .schema
+            .table(table)
+            .map(|t| t.nl_name.clone())
+            .unwrap_or_else(|| table.replace('_', " "))
+    }
+
+    fn col_nl(&self, table: &str, col: &str) -> String {
+        self.db
+            .schema
+            .table(table)
+            .and_then(|t| t.column(col))
+            .map(|c| c.nl_name.clone())
+            .unwrap_or_else(|| col.replace('_', " "))
+    }
+
+    /// Samples an existing text value from `table.col`.
+    fn sample_text(&self, table: &str, col: &str, rng: &mut StdRng) -> Option<String> {
+        let t = self.db.table(table)?;
+        if t.is_empty() {
+            return None;
+        }
+        let ri = rng.gen_range(0..t.len());
+        match t.value(ri, col)? {
+            Value::Str(s) => Some(s.clone()),
+            other => Some(other.to_string()),
+        }
+    }
+
+    /// Samples a numeric threshold near the column's median.
+    fn sample_threshold(&self, table: &str, col: &str, rng: &mut StdRng) -> Option<i64> {
+        let t = self.db.table(table)?;
+        let mut vals: Vec<f64> = t
+            .rows
+            .iter()
+            .filter_map(|r| {
+                let ci = t.schema.column_index(col)?;
+                r[ci].as_f64()
+            })
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = rng.gen_range(vals.len() / 4..=(3 * vals.len() / 4).min(vals.len() - 1));
+        Some(vals[pick] as i64)
+    }
+}
+
+type GenFn = fn(&Ctx<'_>, &mut StdRng) -> Option<(String, String)>;
+
+struct Template {
+    name: &'static str,
+    gen: GenFn,
+    /// Sampling weight: harder structural classes are over-sampled so the
+    /// difficulty mix tracks SPIDER's (≈24/43/17/16).
+    weight: usize,
+}
+
+/// Naive English pluralizer for table nouns ("country" → "countries").
+pub(crate) fn pluralize(noun: &str) -> String {
+    let n = noun.trim();
+    // Irregular/zero plurals common in the schema vocabulary.
+    match n {
+        "aircraft" | "fish" | "sheep" | "species" => return n.to_string(),
+        _ => {}
+    }
+    if let Some(stem) = n.strip_suffix('y') {
+        if !stem.ends_with(|c: char| "aeiou".contains(c)) {
+            return format!("{stem}ies");
+        }
+    }
+    if n.ends_with('s') || n.ends_with("sh") || n.ends_with("ch") {
+        return format!("{n}es");
+    }
+    format!("{n}s")
+}
+
+const TEMPLATES: &[Template] = &[
+    Template { name: "list_all", gen: t_list_all, weight: 1 },
+    Template { name: "count_all", gen: t_count_all, weight: 1 },
+    Template { name: "lookup_num", gen: t_lookup_num, weight: 2 },
+    Template { name: "filter_gt", gen: t_filter_gt, weight: 2 },
+    Template { name: "agg_stat", gen: t_agg_stat, weight: 2 },
+    Template { name: "superlative", gen: t_superlative, weight: 2 },
+    Template { name: "count_cat", gen: t_count_cat, weight: 2 },
+    Template { name: "distinct_cat", gen: t_distinct_cat, weight: 1 },
+    Template { name: "group_count", gen: t_group_count, weight: 2 },
+    Template { name: "detail_count", gen: t_detail_count, weight: 2 },
+    Template { name: "detail_list", gen: t_detail_list, weight: 2 },
+    Template { name: "group_having", gen: t_group_having, weight: 3 },
+    Template { name: "in_subquery", gen: t_in_subquery, weight: 3 },
+    Template { name: "not_in_subquery", gen: t_not_in_subquery, weight: 3 },
+    Template { name: "intersect", gen: t_intersect, weight: 3 },
+    Template { name: "above_average", gen: t_above_average, weight: 2 },
+    Template { name: "group_superlative", gen: t_group_superlative, weight: 2 },
+    Template { name: "bridge_count", gen: t_bridge_count, weight: 2 },
+    Template { name: "bridge_list", gen: t_bridge_list, weight: 3 },
+    Template { name: "except", gen: t_except, weight: 3 },
+    Template { name: "multi_condition", gen: t_multi_condition, weight: 2 },
+    Template { name: "between", gen: t_between, weight: 2 },
+    Template { name: "order_topk", gen: t_order_topk, weight: 2 },
+    Template { name: "count_distinct", gen: t_count_distinct, weight: 1 },
+];
+
+fn t_list_all(c: &Ctx<'_>, _rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    Some((
+        format!(
+            "List the {} of all {}.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table))
+        ),
+        format!("SELECT {} FROM {}", e.name_col, e.table),
+    ))
+}
+
+fn t_count_all(c: &Ctx<'_>, _rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    Some((
+        format!("How many {} are there?", pluralize(&c.table_nl(&e.table))),
+        format!("SELECT count(*) FROM {}", e.table),
+    ))
+}
+
+fn t_lookup_num(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let name = c.sample_text(&e.table, &e.name_col, rng)?;
+    Some((
+        format!(
+            "What is the {} of the {} {}?",
+            c.col_nl(&e.table, num),
+            c.table_nl(&e.table),
+            name
+        ),
+        format!("SELECT {num} FROM {} WHERE {} = '{}'", e.table, e.name_col, esc(&name)),
+    ))
+}
+
+fn t_filter_gt(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let v = c.sample_threshold(&e.table, num, rng)?;
+    Some((
+        format!(
+            "List the {} of {} whose {} is greater than {}.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, num),
+            v
+        ),
+        format!("SELECT {} FROM {} WHERE {num} > {v}", e.name_col, e.table),
+    ))
+}
+
+fn t_agg_stat(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let (func, word) = *pick(
+        &[("avg", "average"), ("min", "minimum"), ("max", "maximum"), ("sum", "total")],
+        rng,
+    )?;
+    Some((
+        format!(
+            "What is the {word} {} of all {}?",
+            c.col_nl(&e.table, num),
+            pluralize(&c.table_nl(&e.table))
+        ),
+        format!("SELECT {func}({num}) FROM {}", e.table),
+    ))
+}
+
+fn t_superlative(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let desc = rng.gen_bool(0.5);
+    Some((
+        format!(
+            "Return the {} of the {} with the {} {}.",
+            c.col_nl(&e.table, &e.name_col),
+            c.table_nl(&e.table),
+            if desc { "highest" } else { "lowest" },
+            c.col_nl(&e.table, num)
+        ),
+        format!(
+            "SELECT {} FROM {} ORDER BY {num} {} LIMIT 1",
+            e.name_col,
+            e.table,
+            if desc { "DESC" } else { "ASC" }
+        ),
+    ))
+}
+
+fn t_count_cat(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let cat = pick(&e.cat_cols, rng)?;
+    let v = c.sample_text(&e.table, cat, rng)?;
+    Some((
+        format!(
+            "How many {} have {} {}?",
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, cat),
+            v
+        ),
+        format!("SELECT count(*) FROM {} WHERE {cat} = '{}'", e.table, esc(&v)),
+    ))
+}
+
+fn t_distinct_cat(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let cat = pick(&e.cat_cols, rng)?;
+    Some((
+        format!(
+            "List the distinct {} values of {}.",
+            c.col_nl(&e.table, cat),
+            pluralize(&c.table_nl(&e.table))
+        ),
+        format!("SELECT DISTINCT {cat} FROM {}", e.table),
+    ))
+}
+
+fn t_group_count(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let cat = pick(&e.cat_cols, rng)?;
+    Some((
+        format!(
+            "For each {}, how many {} are there?",
+            c.col_nl(&e.table, cat),
+            pluralize(&c.table_nl(&e.table))
+        ),
+        format!("SELECT {cat}, count(*) FROM {} GROUP BY {cat}", e.table),
+    ))
+}
+
+fn t_detail_count(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    let name = c.sample_text(&e.table, &e.name_col, rng)?;
+    Some((
+        format!(
+            "Count the number of {} of the {} {}.",
+            pluralize(&c.table_nl(&d.table)),
+            c.table_nl(&e.table),
+            name
+        ),
+        format!(
+            "SELECT count(*) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+            d.table, e.table, d.fk, d.parent_key, e.name_col, esc(&name)
+        ),
+    ))
+}
+
+fn t_detail_list(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    let dcat = pick(&d.cat_cols, rng)?;
+    let name = c.sample_text(&e.table, &e.name_col, rng)?;
+    Some((
+        format!(
+            "What are the {} values of the {} of the {} {}?",
+            c.col_nl(&d.table, dcat),
+            pluralize(&c.table_nl(&d.table)),
+            c.table_nl(&e.table),
+            name
+        ),
+        format!(
+            "SELECT T1.{dcat} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+            d.table, e.table, d.fk, d.parent_key, e.name_col, esc(&name)
+        ),
+    ))
+}
+
+fn t_group_having(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    let k = rng.gen_range(2..=3);
+    Some((
+        format!(
+            "Return the {} of {} having at least {} {}.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table)),
+            k,
+            pluralize(&c.table_nl(&d.table))
+        ),
+        format!(
+            "SELECT T2.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} \
+             GROUP BY T2.{} HAVING count(*) >= {k}",
+            e.name_col, d.table, e.table, d.fk, d.parent_key, e.name_col
+        ),
+    ))
+}
+
+fn t_in_subquery(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    let dcat = pick(&d.cat_cols, rng)?;
+    let v = c.sample_text(&d.table, dcat, rng)?;
+    Some((
+        format!(
+            "List the {} of {} that have a {} with {} {}.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table)),
+            c.table_nl(&d.table),
+            c.col_nl(&d.table, dcat),
+            v
+        ),
+        format!(
+            "SELECT {} FROM {} WHERE {} IN (SELECT {} FROM {} WHERE {dcat} = '{}')",
+            e.name_col,
+            e.table,
+            d.parent_key,
+            d.fk,
+            d.table,
+            esc(&v)
+        ),
+    ))
+}
+
+fn t_not_in_subquery(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    let dcat = pick(&d.cat_cols, rng)?;
+    let v = c.sample_text(&d.table, dcat, rng)?;
+    Some((
+        format!(
+            "Which {} have no {} with {} {}?",
+            pluralize(&c.table_nl(&e.table)),
+            c.table_nl(&d.table),
+            c.col_nl(&d.table, dcat),
+            v
+        ),
+        format!(
+            "SELECT {} FROM {} WHERE {} NOT IN (SELECT {} FROM {} WHERE {dcat} = '{}')",
+            e.name_col,
+            e.table,
+            d.parent_key,
+            d.fk,
+            d.table,
+            esc(&v)
+        ),
+    ))
+}
+
+fn t_intersect(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    let dcat = pick(&d.cat_cols, rng)?;
+    let v1 = c.sample_text(&d.table, dcat, rng)?;
+    let mut v2 = c.sample_text(&d.table, dcat, rng)?;
+    for _ in 0..6 {
+        if v2 != v1 {
+            break;
+        }
+        v2 = c.sample_text(&d.table, dcat, rng)?;
+    }
+    if v1 == v2 {
+        return None;
+    }
+    let branch = |v: &str| {
+        format!(
+            "SELECT T1.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{dcat} = '{}'",
+            e.name_col, e.table, d.table, d.parent_key, d.fk, esc(v)
+        )
+    };
+    Some((
+        format!(
+            "Which {} have both a {} with {} {} and one with {} {}?",
+            pluralize(&c.table_nl(&e.table)),
+            c.table_nl(&d.table),
+            c.col_nl(&d.table, dcat),
+            v1,
+            c.col_nl(&d.table, dcat),
+            v2
+        ),
+        format!("{} INTERSECT {}", branch(&v1), branch(&v2)),
+    ))
+}
+
+fn t_above_average(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    Some((
+        format!(
+            "List the {} of {} whose {} is above the average.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, num)
+        ),
+        format!(
+            "SELECT {} FROM {} WHERE {num} > (SELECT avg({num}) FROM {})",
+            e.name_col, e.table, e.table
+        ),
+    ))
+}
+
+fn t_group_superlative(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let cat = pick(&e.cat_cols, rng)?;
+    Some((
+        format!(
+            "Which {} has the most {}?",
+            c.col_nl(&e.table, cat),
+            pluralize(&c.table_nl(&e.table))
+        ),
+        format!(
+            "SELECT {cat} FROM {} GROUP BY {cat} ORDER BY count(*) DESC LIMIT 1",
+            e.table
+        ),
+    ))
+}
+
+fn t_bridge_count(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let b = c.domain.bridge.as_ref()?;
+    let name = c.sample_text(&e.table, &e.name_col, rng)?;
+    Some((
+        format!(
+            "How many {} entries does the {} {} have?",
+            c.table_nl(&b.table),
+            c.table_nl(&e.table),
+            name
+        ),
+        format!(
+            "SELECT count(*) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+            b.table, e.table, b.left_fk, e.key, e.name_col, esc(&name)
+        ),
+    ))
+}
+
+fn t_bridge_list(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let b = c.domain.bridge.as_ref()?;
+    let name = c.sample_text(&e.table, &e.name_col, rng)?;
+    Some((
+        format!(
+            "List the {} of {} linked to the {} {}.",
+            c.col_nl(&b.right.table, &b.right.name_col),
+            pluralize(&c.table_nl(&b.right.table)),
+            c.table_nl(&e.table),
+            name
+        ),
+        format!(
+            "SELECT T3.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} \
+             JOIN {} AS T3 ON T1.{} = T3.{} WHERE T2.{} = '{}'",
+            b.right.name_col,
+            b.table,
+            e.table,
+            b.left_fk,
+            e.key,
+            b.right.table,
+            b.right_fk,
+            b.right.key,
+            e.name_col,
+            esc(&name)
+        ),
+    ))
+}
+
+fn t_except(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let cat = pick(&e.cat_cols, rng)?;
+    let v = c.sample_text(&e.table, cat, rng)?;
+    Some((
+        format!(
+            "List the {} of all {} excluding those with {} {}.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, cat),
+            v
+        ),
+        format!(
+            "SELECT {} FROM {} EXCEPT SELECT {} FROM {} WHERE {cat} = '{}'",
+            e.name_col,
+            e.table,
+            e.name_col,
+            e.table,
+            esc(&v)
+        ),
+    ))
+}
+
+fn t_multi_condition(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let cat = pick(&e.cat_cols, rng)?;
+    let num = pick(&e.num_cols, rng)?;
+    let v = c.sample_text(&e.table, cat, rng)?;
+    let th = c.sample_threshold(&e.table, num, rng)?;
+    Some((
+        format!(
+            "Give the {} of {} that have {} {} and a {} greater than {}.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, cat),
+            v,
+            c.col_nl(&e.table, num),
+            th
+        ),
+        format!(
+            "SELECT {} FROM {} WHERE {cat} = '{}' AND {num} > {th}",
+            e.name_col,
+            e.table,
+            esc(&v)
+        ),
+    ))
+}
+
+fn t_between(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let lo = c.sample_threshold(&e.table, num, rng)?;
+    let hi = lo + (lo / 2).max(5);
+    Some((
+        format!(
+            "Find the {} of {} whose {} is between {} and {}.",
+            c.col_nl(&e.table, &e.name_col),
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, num),
+            lo,
+            hi
+        ),
+        format!("SELECT {} FROM {} WHERE {num} BETWEEN {lo} AND {hi}", e.name_col, e.table),
+    ))
+}
+
+fn t_order_topk(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let k = rng.gen_range(2..=5);
+    Some((
+        format!(
+            "Show the {} of the top {} {} by {}.",
+            c.col_nl(&e.table, &e.name_col),
+            k,
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, num)
+        ),
+        format!("SELECT {} FROM {} ORDER BY {num} DESC LIMIT {k}", e.name_col, e.table),
+    ))
+}
+
+fn t_count_distinct(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let cat = pick(&e.cat_cols, rng)?;
+    Some((
+        format!(
+            "How many different {} values do the {} have?",
+            c.col_nl(&e.table, cat),
+            pluralize(&c.table_nl(&e.table))
+        ),
+        format!("SELECT count(DISTINCT {cat}) FROM {}", e.table),
+    ))
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.gen_range(0..items.len())])
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate_database;
+    use crate::domains::{spider_domains, world_domain};
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_domains_yield_items_and_gold_sql_executes() {
+        for d in spider_domains() {
+            let db = generate_database(&d.def, 19, 1.0);
+            let mut rng = StdRng::seed_from_u64(5);
+            let items = generate_items(&d, &db, &mut rng, 2);
+            assert!(items.len() >= 15, "{}: only {} items", d.def.db_name, items.len());
+            for it in &items {
+                let q = parse(&it.gold_sql).expect("gold parses");
+                execute(&db, &q).expect("gold executes");
+            }
+        }
+    }
+
+    #[test]
+    fn difficulty_spectrum_is_covered() {
+        let d = world_domain();
+        let db = generate_database(&d.def, 19, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = generate_items(&d, &db, &mut rng, 3);
+        for diff in Difficulty::ALL {
+            assert!(
+                items.iter().any(|i| i.difficulty == diff),
+                "missing difficulty {diff:?}; have {:?}",
+                items.iter().map(|i| (i.template, i.difficulty)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = world_domain();
+        let db = generate_database(&d.def, 19, 1.0);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = generate_items(&d, &db, &mut r1, 2);
+        let b = generate_items(&d, &db, &mut r2, 2);
+        assert_eq!(
+            a.iter().map(|i| &i.gold_sql).collect::<Vec<_>>(),
+            b.iter().map(|i| &i.gold_sql).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn questions_mention_sampled_values() {
+        let d = world_domain();
+        let db = generate_database(&d.def, 19, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = generate_items(&d, &db, &mut rng, 2);
+        let lookup = items.iter().find(|i| i.template == "lookup_num").unwrap();
+        // The question carries the literal that the SQL filters on.
+        let val_in_sql = lookup.gold_sql.split('\'').nth(1).unwrap();
+        assert!(lookup.question.contains(val_in_sql), "{:?}", lookup);
+    }
+
+    #[test]
+    fn set_op_templates_present() {
+        let d = world_domain();
+        let db = generate_database(&d.def, 19, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = generate_items(&d, &db, &mut rng, 3);
+        assert!(items.iter().any(|i| i.template == "intersect"));
+        assert!(items.iter().any(|i| i.template == "except"));
+        assert!(items.iter().any(|i| i.template == "not_in_subquery"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Benchmark variants: question perturbations modelling SPIDER-REALISTIC,
+//! SPIDER-SYN, and SPIDER-DK.
+//!
+//! - **Realistic** removes explicit column-name mentions, forcing models to
+//!   map vague phrasings onto schema items.
+//! - **Syn** substitutes schema-related terms with hand-picked synonyms,
+//!   breaking lexical matching.
+//! - **DK** rephrases values and conditions with domain knowledge the
+//!   surface text no longer states directly.
+//!
+//! The perturbations apply to the NL question only; the gold SQL is
+//! unchanged — exactly the construction of the original datasets. Each
+//! variant also carries a *perturbation severity* in `[0, 1]` used by the
+//! simulated translation models (real models degrade on these variants; the
+//! severity drives that calibrated degradation).
+
+use serde::{Deserialize, Serialize};
+
+/// The benchmark family a suite belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// The base SPIDER-like suite.
+    Spider,
+    /// Column mentions removed.
+    Realistic,
+    /// Synonym substitution.
+    Syn,
+    /// Domain-knowledge phrasing.
+    Dk,
+    /// The ScienceBenchmark-like suite.
+    Science,
+}
+
+impl Variant {
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Spider => "SPIDER",
+            Variant::Realistic => "REALISTIC",
+            Variant::Syn => "SYN",
+            Variant::Dk => "DK",
+            Variant::Science => "SCIENCE",
+        }
+    }
+
+    /// How strongly the variant perturbs model inputs (0 = none).
+    pub fn severity(self) -> f64 {
+        match self {
+            Variant::Spider => 0.0,
+            Variant::Realistic => 0.35,
+            Variant::Syn => 0.45,
+            Variant::Dk => 0.55,
+            Variant::Science => 0.25,
+        }
+    }
+}
+
+/// Synonym map used by the SYN variant (schema term → handpicked synonym).
+const SYNONYMS: &[(&str, &str)] = &[
+    ("name", "title"),
+    ("population", "populace size"),
+    ("continent", "landmass"),
+    ("language", "tongue"),
+    ("country", "nation"),
+    ("city", "town"),
+    ("flight", "air trip"),
+    ("aircraft", "airplane"),
+    ("origin", "departure place"),
+    ("destination", "arrival place"),
+    ("singer", "vocalist"),
+    ("concert", "show"),
+    ("age", "years of age"),
+    ("grade", "school year"),
+    ("student", "pupil"),
+    ("pet", "companion animal"),
+    ("weight", "mass"),
+    ("company", "firm"),
+    ("industry", "sector"),
+    ("revenue", "earnings"),
+    ("customer", "client"),
+    ("product", "item"),
+    ("price", "cost"),
+    ("author", "writer"),
+    ("book", "volume"),
+    ("genre", "category"),
+    ("gene", "genetic locus"),
+    ("mutation", "variant"),
+    ("project", "grant"),
+    ("institution", "organisation"),
+    ("magnitude", "brightness"),
+    ("redshift", "z value"),
+];
+
+/// Vague replacements used by the REALISTIC variant (column phrase → vague
+/// wording that no longer names the column).
+const VAGUE: &[(&str, &str)] = &[
+    ("population", "size"),
+    ("surface area", "extent"),
+    ("distance", "range"),
+    ("price", "how much it costs"),
+    ("pages", "length"),
+    ("revenue", "how much it makes"),
+    ("weight", "how heavy it is"),
+    ("capacity", "how many fit"),
+    ("grade", "year"),
+    ("age", "how old"),
+    ("magnitude", "how bright it looks"),
+    ("budget", "funding"),
+];
+
+/// Domain-knowledge rephrasings used by the DK variant.
+const DK_PHRASES: &[(&str, &str)] = &[
+    ("Europe", "the old continent"),
+    ("North America", "the continent of Canada and the US"),
+    ("English", "the language of England"),
+    ("French", "the language spoken in Paris"),
+    ("dog", "man's best friend"),
+    ("cat", "the feline pet"),
+    ("Technology", "the tech sector"),
+    ("fiction", "made-up stories"),
+    ("lung", "the respiratory organ"),
+    ("star", "a sun-like body"),
+    ("quasar", "an active galactic nucleus"),
+    ("greater than", "exceeding"),
+    ("at least", "no fewer than"),
+];
+
+/// Applies a variant's perturbation to a question.
+pub fn perturb_question(question: &str, variant: Variant) -> String {
+    match variant {
+        Variant::Spider | Variant::Science => question.to_string(),
+        Variant::Syn => replace_all(question, SYNONYMS),
+        Variant::Realistic => replace_all(question, VAGUE),
+        Variant::Dk => replace_all(question, DK_PHRASES),
+    }
+}
+
+fn replace_all(q: &str, map: &[(&str, &str)]) -> String {
+    let mut out = q.to_string();
+    for (from, to) in map {
+        // Case-sensitive first, then capitalized form.
+        out = out.replace(from, to);
+        let cap = capitalize(from);
+        if out.contains(&cap) {
+            out = out.replace(&cap, &capitalize(to));
+        }
+    }
+    out
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spider_is_identity() {
+        let q = "How many countries are there?";
+        assert_eq!(perturb_question(q, Variant::Spider), q);
+    }
+
+    #[test]
+    fn syn_substitutes_schema_terms() {
+        let q = "What is the population of the country France?";
+        let p = perturb_question(q, Variant::Syn);
+        assert!(p.contains("populace size"), "{p}");
+        assert!(p.contains("nation"), "{p}");
+        assert!(!p.contains("population"), "{p}");
+    }
+
+    #[test]
+    fn realistic_removes_column_mentions() {
+        let q = "List the names of countries whose population is greater than 1000.";
+        let p = perturb_question(q, Variant::Realistic);
+        assert!(!p.contains("population"), "{p}");
+        assert!(p.contains("size"), "{p}");
+    }
+
+    #[test]
+    fn dk_requires_domain_knowledge() {
+        let q = "Which cities are in European countries where English is not the official language?";
+        let p = perturb_question(q, Variant::Dk);
+        assert!(p.contains("the language of England"), "{p}");
+    }
+
+    #[test]
+    fn severity_ordering_matches_paper_difficulty() {
+        assert!(Variant::Spider.severity() < Variant::Realistic.severity());
+        assert!(Variant::Realistic.severity() < Variant::Syn.severity());
+        assert!(Variant::Syn.severity() < Variant::Dk.severity());
+    }
+
+    #[test]
+    fn capitalized_terms_also_replaced() {
+        let p = perturb_question("Country names please.", Variant::Syn);
+        assert!(p.starts_with("Nation"), "{p}");
+    }
+}
+
+#[cfg(test)]
+mod suite_variant_tests {
+    use super::*;
+    use crate::suite::{build_spider_suite, SuiteConfig};
+
+    #[test]
+    fn variants_share_gold_sql_and_ids_with_base() {
+        let cfg = SuiteConfig { seed: 3, train_per_template: 1, eval_per_template: 1 };
+        let base = build_spider_suite(Variant::Spider, cfg);
+        for v in [Variant::Realistic, Variant::Syn, Variant::Dk] {
+            let variant = build_spider_suite(v, cfg);
+            assert_eq!(base.dev.len(), variant.dev.len(), "{v:?}");
+            for (a, b) in base.dev.iter().zip(&variant.dev) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.gold_sql, b.gold_sql);
+                assert_eq!(a.base_question, b.base_question);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_is_idempotent_per_variant() {
+        for v in [Variant::Realistic, Variant::Syn, Variant::Dk] {
+            let q = "Which countries have a population greater than 1000 in Europe?";
+            let once = perturb_question(q, v);
+            let twice = perturb_question(&once, v);
+            assert_eq!(once, twice, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn science_variant_is_identity_but_flagged() {
+        assert_eq!(Variant::Science.severity(), 0.25);
+        assert_eq!(
+            perturb_question("How many genes are there?", Variant::Science),
+            "How many genes are there?"
+        );
+    }
+}

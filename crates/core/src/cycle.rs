@@ -1,0 +1,370 @@
+//! The CycleSQL feedback loop (Figure 3): iterate over a model's ranked
+//! candidates, explain each candidate's result from tracked provenance, and
+//! accept the first candidate whose explanation entails the NL question.
+
+use cyclesql_benchgen::BenchmarkItem;
+use cyclesql_explain::{generate_explanation, sql_to_nl, Explanation, ExplanationFacets};
+use cyclesql_models::Candidate;
+use cyclesql_nli::{
+    AlwaysAcceptVerifier, LlmStrawmanVerifier, PrebuiltNliVerifier, TrainedVerifier, Verifier,
+    VerifyInput,
+};
+use cyclesql_provenance::{track_provenance, Provenance, ProvenanceTable};
+use cyclesql_sql::parse;
+use cyclesql_storage::{execute, Database};
+use std::time::{Duration, Instant};
+
+/// Which feedback channel the loop uses (Figure 9's comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackKind {
+    /// Data-grounded explanations from enriched provenance (CycleSQL).
+    DataGrounded,
+    /// Plain SQL2NL back-translation (the baseline feedback).
+    Sql2Nl,
+}
+
+/// The verifier plugged into the loop (Table III's variants).
+pub enum LoopVerifier {
+    /// The dedicated focal-loss-trained NLI model.
+    Trained(TrainedVerifier),
+    /// The 5-shot prompted-LLM strawman.
+    LlmStrawman(LlmStrawmanVerifier),
+    /// The pre-built generic NLI strawman.
+    Prebuilt(PrebuiltNliVerifier),
+    /// Accepts everything (degenerates to the base model's top-1).
+    AlwaysAccept(AlwaysAcceptVerifier),
+    /// The oracle: accepts exactly the execution-correct candidates
+    /// (the paper's headroom estimate).
+    Oracle,
+    /// Any other verifier implementation (ablation harnesses, custom
+    /// integrations).
+    Custom(Box<dyn Verifier>),
+}
+
+impl LoopVerifier {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoopVerifier::Trained(v) => v.name(),
+            LoopVerifier::LlmStrawman(v) => v.name(),
+            LoopVerifier::Prebuilt(v) => v.name(),
+            LoopVerifier::AlwaysAccept(v) => v.name(),
+            LoopVerifier::Oracle => "oracle",
+            LoopVerifier::Custom(v) => v.name(),
+        }
+    }
+}
+
+/// The CycleSQL framework instance.
+pub struct CycleSql {
+    /// The plugged-in verifier.
+    pub verifier: LoopVerifier,
+    /// Which feedback channel to generate.
+    pub feedback: FeedbackKind,
+}
+
+/// Outcome of one feedback-loop run.
+#[derive(Debug, Clone)]
+pub struct LoopOutcome {
+    /// The selected SQL (the first validated candidate, or the top-1
+    /// fallback when none validates).
+    pub chosen_sql: String,
+    /// Candidates examined before acceptance (the paper's iteration count;
+    /// equals the candidate count when nothing validates).
+    pub iterations: usize,
+    /// Whether any candidate validated.
+    pub accepted: bool,
+    /// The explanation of the chosen candidate, when one was generated.
+    pub explanation: Option<Explanation>,
+    /// Wall-clock overhead of the loop itself (excluding model inference).
+    pub overhead: Duration,
+}
+
+impl CycleSql {
+    /// Builds a loop with the given verifier and data-grounded feedback.
+    pub fn new(verifier: LoopVerifier) -> Self {
+        CycleSql { verifier, feedback: FeedbackKind::DataGrounded }
+    }
+
+    /// Runs the feedback loop over ranked candidates.
+    ///
+    /// `item` supplies the NL question (hypothesis); the gold SQL on the
+    /// item is used **only** by the oracle verifier (the paper's headroom
+    /// configuration) — the trained/strawman verifiers never see it.
+    pub fn run(
+        &self,
+        item: &BenchmarkItem,
+        db: &Database,
+        candidates: &[Candidate],
+    ) -> LoopOutcome {
+        let start = Instant::now();
+        let mut chosen: Option<(String, Option<Explanation>, usize)> = None;
+        let mut first_explained: Option<Explanation> = None;
+
+        for (i, cand) in candidates.iter().enumerate() {
+            let iteration = i + 1;
+            let Ok(query) = parse(&cand.sql) else { continue };
+            let Ok(result) = execute(db, &query) else { continue };
+
+            let verdict_entails = match &self.verifier {
+                LoopVerifier::Oracle => {
+                    // Headroom estimate: entailment iff execution-correct.
+                    crate::metrics::ex_correct(db, &cand.sql, &item.gold_sql)
+                }
+                other => {
+                    let (premise_text, facets, explanation) = match self.feedback {
+                        FeedbackKind::DataGrounded => {
+                            let prov = track_provenance(db, &query, &result, 0)
+                                .unwrap_or_else(|_| empty_provenance());
+                            let e = generate_explanation(db, &query, &result, 0, &prov);
+                            (e.text.clone(), e.facets.clone(), Some(e))
+                        }
+                        FeedbackKind::Sql2Nl => {
+                            let s = sql_to_nl(db, &query);
+                            (s.text.clone(), s.facets.clone(), None)
+                        }
+                    };
+                    if first_explained.is_none() {
+                        first_explained = explanation.clone();
+                    }
+                    let input = VerifyInput {
+                        question: &item.question,
+                        premise_text: &premise_text,
+                        facets: &facets,
+                        sql: &cand.sql,
+                    };
+                    let entails = match other {
+                        LoopVerifier::Trained(v) => v.verify(&input).entails,
+                        LoopVerifier::LlmStrawman(v) => v.verify(&input).entails,
+                        LoopVerifier::Prebuilt(v) => v.verify(&input).entails,
+                        LoopVerifier::AlwaysAccept(v) => v.verify(&input).entails,
+                        LoopVerifier::Custom(v) => v.verify(&input).entails,
+                        LoopVerifier::Oracle => unreachable!(),
+                    };
+                    if entails {
+                        chosen = Some((cand.sql.clone(), explanation, iteration));
+                    }
+                    entails
+                }
+            };
+            if verdict_entails {
+                if chosen.is_none() {
+                    chosen = Some((cand.sql.clone(), None, iteration));
+                }
+                break;
+            }
+        }
+
+        let overhead = start.elapsed();
+        match chosen {
+            Some((sql, explanation, iterations)) => LoopOutcome {
+                chosen_sql: sql,
+                iterations,
+                accepted: true,
+                explanation,
+                overhead,
+            },
+            None => LoopOutcome {
+                // Nothing validated: fall back to the top-1 candidate.
+                chosen_sql: candidates.first().map(|c| c.sql.clone()).unwrap_or_default(),
+                iterations: candidates.len(),
+                accepted: false,
+                explanation: first_explained,
+                overhead,
+            },
+        }
+    }
+}
+
+/// Builds the premise (text + facets) for a candidate without running the
+/// verifier — the training-data pipeline and the experiments share this.
+pub fn candidate_premise(
+    db: &Database,
+    sql: &str,
+    feedback: FeedbackKind,
+) -> Option<(String, ExplanationFacets)> {
+    let query = parse(sql).ok()?;
+    match feedback {
+        FeedbackKind::DataGrounded => {
+            let result = execute(db, &query).ok()?;
+            let prov = track_provenance(db, &query, &result, 0)
+                .unwrap_or_else(|_| empty_provenance());
+            let e = generate_explanation(db, &query, &result, 0, &prov);
+            Some((e.text, e.facets))
+        }
+        FeedbackKind::Sql2Nl => {
+            let s = sql_to_nl(db, &query);
+            Some((s.text, s.facets))
+        }
+    }
+}
+
+fn empty_provenance() -> Provenance {
+    Provenance {
+        rewritten: Vec::new(),
+        table: ProvenanceTable { columns: Vec::new(), rows: Vec::new() },
+        empty_result: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+    use cyclesql_models::{ModelProfile, SimulatedModel, TranslationRequest};
+
+    fn setup() -> (cyclesql_benchgen::BenchmarkSuite, SimulatedModel) {
+        (
+            build_spider_suite(Variant::Spider, SuiteConfig::default()),
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+        )
+    }
+
+    #[test]
+    fn oracle_loop_achieves_any_beam_ceiling() {
+        let (suite, model) = setup();
+        let cycle = CycleSql::new(LoopVerifier::Oracle);
+        let mut oracle_correct = 0usize;
+        let mut any_correct = 0usize;
+        for item in suite.dev.iter().take(60) {
+            let db = suite.database(item);
+            let req = TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
+            let cands = model.translate(&req);
+            let outcome = cycle.run(item, db, &cands);
+            if crate::metrics::ex_correct(db, &outcome.chosen_sql, &item.gold_sql) {
+                oracle_correct += 1;
+            }
+            if cands
+                .iter()
+                .any(|c| crate::metrics::ex_correct(db, &c.sql, &item.gold_sql))
+            {
+                any_correct += 1;
+            }
+        }
+        assert_eq!(oracle_correct, any_correct, "oracle = any-beam ceiling");
+    }
+
+    #[test]
+    fn always_accept_equals_top1() {
+        let (suite, model) = setup();
+        let cycle = CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier));
+        for item in suite.dev.iter().take(20) {
+            let db = suite.database(item);
+            let req = TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
+            let cands = model.translate(&req);
+            let outcome = cycle.run(item, db, &cands);
+            // First parseable+executable candidate is accepted; with a
+            // seq2seq profile every candidate is valid, so it's the top-1.
+            assert_eq!(outcome.chosen_sql, cands[0].sql);
+            assert_eq!(outcome.iterations, 1);
+            assert!(outcome.accepted);
+        }
+    }
+
+    #[test]
+    fn fallback_to_top1_when_nothing_validates() {
+        let (suite, model) = setup();
+        // The prebuilt strawman rejects long mechanical premises; force
+        // rejection of everything with an impossible trained model.
+        let mut nli = cyclesql_nli::NliModel::untrained();
+        nli.threshold = 1.1; // unreachable
+        let cycle = CycleSql::new(LoopVerifier::Trained(TrainedVerifier { model: nli }));
+        let item = &suite.dev[0];
+        let db = suite.database(item);
+        let req = TranslationRequest { item, db, k: 4, severity: 0.0, science: false };
+        let cands = model.translate(&req);
+        let outcome = cycle.run(item, db, &cands);
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.chosen_sql, cands[0].sql);
+        assert_eq!(outcome.iterations, 4);
+    }
+
+    #[test]
+    fn unparseable_candidates_are_skipped() {
+        let (suite, _) = setup();
+        let item = &suite.dev[0];
+        let db = suite.database(item);
+        let cands = vec![
+            Candidate { sql: "THIS IS NOT SQL @@@".into(), rank: 0, score: 1.0 },
+            Candidate { sql: item.gold_sql.clone(), rank: 1, score: 0.9 },
+        ];
+        let cycle = CycleSql::new(LoopVerifier::Oracle);
+        let outcome = cycle.run(item, db, &cands);
+        assert!(outcome.accepted);
+        assert_eq!(outcome.chosen_sql, item.gold_sql);
+        assert_eq!(outcome.iterations, 2);
+    }
+
+    #[test]
+    fn premise_builders_for_both_feedback_kinds() {
+        let (suite, _) = setup();
+        let item = &suite.dev[0];
+        let db = suite.database(item);
+        let grounded = candidate_premise(db, &item.gold_sql, FeedbackKind::DataGrounded).unwrap();
+        let sql2nl = candidate_premise(db, &item.gold_sql, FeedbackKind::Sql2Nl).unwrap();
+        assert_ne!(grounded.0, sql2nl.0);
+        // Data-grounded premises quote result values; SQL2NL ones don't.
+        assert!(sql2nl.1.result_values.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod more_loop_tests {
+    use super::*;
+    use crate::experiments::ExperimentContext;
+    use cyclesql_models::Candidate;
+
+    #[test]
+    fn empty_candidate_list_yields_empty_fallback() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = ctx.cycle();
+        let outcome = cycle.run(item, db, &[]);
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.iterations, 0);
+        assert!(outcome.chosen_sql.is_empty());
+    }
+
+    #[test]
+    fn candidates_referencing_missing_tables_are_skipped() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let candidates = vec![
+            Candidate { sql: "SELECT x FROM nonexistent_table".into(), rank: 0, score: 1.0 },
+            Candidate { sql: item.gold_sql.clone(), rank: 1, score: 0.9 },
+        ];
+        let cycle = CycleSql::new(LoopVerifier::Oracle);
+        let outcome = cycle.run(item, db, &candidates);
+        assert!(outcome.accepted);
+        assert_eq!(outcome.chosen_sql, item.gold_sql);
+    }
+
+    #[test]
+    fn sql2nl_feedback_loop_runs_end_to_end() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = CycleSql {
+            verifier: LoopVerifier::Trained(ctx.verifier.clone()),
+            feedback: FeedbackKind::Sql2Nl,
+        };
+        let candidates = vec![Candidate { sql: item.gold_sql.clone(), rank: 0, score: 1.0 }];
+        let outcome = cycle.run(item, db, &candidates);
+        // SQL2NL premises never carry an explanation object.
+        assert!(outcome.explanation.is_none());
+        assert_eq!(outcome.chosen_sql, item.gold_sql);
+    }
+
+    #[test]
+    fn loop_overhead_is_measured() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = ctx.cycle();
+        let candidates = vec![Candidate { sql: item.gold_sql.clone(), rank: 0, score: 1.0 }];
+        let outcome = cycle.run(item, db, &candidates);
+        assert!(outcome.overhead.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The evaluation harness: runs a model (with or without CycleSQL) over a
+//! benchmark split and reports EM / EX / TS, per-difficulty breakdowns,
+//! average iterations, and latency.
+
+use crate::cycle::{CycleSql, LoopVerifier};
+use crate::metrics::{em_correct, ex_correct, ts_correct, Accuracy, VariantCache};
+use cyclesql_benchgen::{BenchmarkSuite, Split, Variant};
+use cyclesql_models::{SimulatedModel, TranslationRequest};
+use cyclesql_sql::Difficulty;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Aggregate evaluation results for one (model, configuration, split).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct EvalResult {
+    /// Exact-match accuracy (%).
+    pub em: f64,
+    /// Execution accuracy (%).
+    pub ex: f64,
+    /// Test-suite accuracy (%).
+    pub ts: f64,
+    /// Execution accuracy by difficulty (%), in Easy→ExtraHard order.
+    pub ex_by_difficulty: [f64; 4],
+    /// Item counts by difficulty.
+    pub counts_by_difficulty: [usize; 4],
+    /// Average loop iterations (1.0 for base runs).
+    pub avg_iterations: f64,
+    /// Average inference latency in milliseconds (simulated base latency
+    /// plus measured loop overhead).
+    pub avg_latency_ms: f64,
+    /// Items evaluated.
+    pub total: usize,
+}
+
+/// How to run the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Base: take the model's top-1 output.
+    Base,
+    /// CycleSQL: run the feedback loop over the candidate list.
+    CycleSql,
+}
+
+/// Options for one evaluation pass.
+pub struct EvalOptions<'a> {
+    /// The benchmark suite.
+    pub suite: &'a BenchmarkSuite,
+    /// Which split to evaluate.
+    pub split: Split,
+    /// Base or +CycleSQL.
+    pub mode: EvalMode,
+    /// The loop (verifier + feedback); required for `EvalMode::CycleSql`.
+    pub cycle: Option<&'a CycleSql>,
+    /// Candidate count; defaults to the model's profile default.
+    pub k: Option<usize>,
+    /// Compute the TS metric (disable to speed up large sweeps).
+    pub compute_ts: bool,
+}
+
+fn difficulty_index(d: Difficulty) -> usize {
+    match d {
+        Difficulty::Easy => 0,
+        Difficulty::Medium => 1,
+        Difficulty::Hard => 2,
+        Difficulty::ExtraHard => 3,
+    }
+}
+
+/// Evaluates one model under the given options.
+pub fn evaluate(model: &SimulatedModel, opts: &EvalOptions<'_>) -> EvalResult {
+    let items = opts.suite.split(opts.split);
+    let severity = opts.suite.variant.severity();
+    let science = opts.suite.variant == Variant::Science;
+    let k = opts.k.unwrap_or(model.profile.default_k);
+    let cache = VariantCache::new();
+
+    let mut em = Accuracy::default();
+    let mut ex = Accuracy::default();
+    let mut ts = Accuracy::default();
+    let mut ex_diff = [Accuracy::default(); 4];
+    let mut iterations_sum = 0usize;
+    let mut latency_sum_ms = 0.0f64;
+
+    for item in items {
+        let db = opts.suite.database(item);
+        let req = TranslationRequest { item, db, k, severity, science };
+        let candidates = model.translate(&req);
+        let (chosen, iterations, overhead_ms) = match opts.mode {
+            EvalMode::Base => (
+                candidates.first().map(|c| c.sql.clone()).unwrap_or_default(),
+                1usize,
+                0.0,
+            ),
+            EvalMode::CycleSql => {
+                let cycle = opts.cycle.expect("CycleSql mode requires a loop");
+                let outcome = cycle.run(item, db, &candidates);
+                (
+                    outcome.chosen_sql,
+                    outcome.iterations,
+                    outcome.overhead.as_secs_f64() * 1e3,
+                )
+            }
+        };
+        let ex_ok = ex_correct(db, &chosen, &item.gold_sql);
+        em.record(em_correct(&chosen, &item.gold_sql));
+        ex.record(ex_ok);
+        ex_diff[difficulty_index(item.difficulty)].record(ex_ok);
+        if opts.compute_ts {
+            ts.record(ts_correct(opts.suite, &cache, db, &item.db_name, &chosen, &item.gold_sql));
+        }
+        iterations_sum += iterations;
+        latency_sum_ms += model.inference_latency_ms() + overhead_ms;
+    }
+
+    let total = items.len().max(1);
+    EvalResult {
+        em: em.pct(),
+        ex: ex.pct(),
+        ts: ts.pct(),
+        ex_by_difficulty: [
+            ex_diff[0].pct(),
+            ex_diff[1].pct(),
+            ex_diff[2].pct(),
+            ex_diff[3].pct(),
+        ],
+        counts_by_difficulty: [
+            ex_diff[0].total,
+            ex_diff[1].total,
+            ex_diff[2].total,
+            ex_diff[3].total,
+        ],
+        avg_iterations: iterations_sum as f64 / total as f64,
+        avg_latency_ms: latency_sum_ms / total as f64,
+        total: items.len(),
+    }
+}
+
+/// Per-science-domain EM (the paper's SCIENCEBENCHMARK columns report EM
+/// per database).
+pub fn evaluate_science_em(
+    model: &SimulatedModel,
+    suite: &BenchmarkSuite,
+    mode: EvalMode,
+    cycle: Option<&CycleSql>,
+    k: Option<usize>,
+) -> HashMap<String, f64> {
+    assert_eq!(suite.variant, Variant::Science);
+    let k = k.unwrap_or(model.profile.default_k);
+    let mut per_db: HashMap<String, Accuracy> = HashMap::new();
+    for item in &suite.dev {
+        let db = suite.database(item);
+        let req = TranslationRequest {
+            item,
+            db,
+            k,
+            severity: suite.variant.severity(),
+            science: true,
+        };
+        let candidates = model.translate(&req);
+        let chosen = match mode {
+            EvalMode::Base => candidates.first().map(|c| c.sql.clone()).unwrap_or_default(),
+            EvalMode::CycleSql => cycle.expect("loop").run(item, db, &candidates).chosen_sql,
+        };
+        per_db
+            .entry(item.db_name.clone())
+            .or_default()
+            .record(em_correct(&chosen, &item.gold_sql));
+    }
+    per_db.into_iter().map(|(k, v)| (k, v.pct())).collect()
+}
+
+/// Accuracy when matching *any* beam candidate (Figure 1's evaluation rule).
+pub fn any_beam_accuracy(
+    model: &SimulatedModel,
+    suite: &BenchmarkSuite,
+    split: Split,
+    k: usize,
+) -> f64 {
+    let mut acc = Accuracy::default();
+    for item in suite.split(split) {
+        let db = suite.database(item);
+        let req = TranslationRequest {
+            item,
+            db,
+            k,
+            severity: suite.variant.severity(),
+            science: suite.variant == Variant::Science,
+        };
+        let candidates = model.translate(&req);
+        acc.record(
+            candidates
+                .iter()
+                .any(|c| ex_correct(db, &c.sql, &item.gold_sql)),
+        );
+    }
+    acc.pct()
+}
+
+/// Convenience: evaluates base and +CycleSQL side by side.
+pub fn evaluate_pair(
+    model: &SimulatedModel,
+    suite: &BenchmarkSuite,
+    split: Split,
+    cycle: &CycleSql,
+    compute_ts: bool,
+) -> (EvalResult, EvalResult) {
+    let base = evaluate(
+        model,
+        &EvalOptions { suite, split, mode: EvalMode::Base, cycle: None, k: None, compute_ts },
+    );
+    let with = evaluate(
+        model,
+        &EvalOptions {
+            suite,
+            split,
+            mode: EvalMode::CycleSql,
+            cycle: Some(cycle),
+            k: None,
+            compute_ts,
+        },
+    );
+    (base, with)
+}
+
+/// Shared handle to a frozen verifier-backed loop.
+pub fn trained_loop(verifier: cyclesql_nli::TrainedVerifier) -> CycleSql {
+    CycleSql::new(LoopVerifier::Trained(verifier))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train_verifier, CollectConfig};
+    use cyclesql_benchgen::{build_spider_suite, SuiteConfig};
+    use cyclesql_models::ModelProfile;
+    use cyclesql_nli::TrainConfig;
+
+    fn small_suite() -> BenchmarkSuite {
+        build_spider_suite(
+            Variant::Spider,
+            SuiteConfig { seed: 21, train_per_template: 1, eval_per_template: 1 },
+        )
+    }
+
+    #[test]
+    fn cyclesql_improves_ex_over_base() {
+        let suite = small_suite();
+        let model = SimulatedModel::new(ModelProfile::resdsql_3b());
+        let (verifier, _, _) = train_verifier(
+            &suite,
+            &[SimulatedModel::new(ModelProfile::resdsql_large()),
+              SimulatedModel::new(ModelProfile::gpt35())],
+            CollectConfig::default(),
+            TrainConfig::default(),
+        );
+        let cycle = trained_loop(verifier);
+        let (base, with) = evaluate_pair(&model, &suite, Split::Dev, &cycle, false);
+        assert!(
+            with.ex >= base.ex,
+            "CycleSQL must not hurt EX: base {} vs cycle {}",
+            base.ex,
+            with.ex
+        );
+        assert!(with.avg_iterations >= 1.0);
+    }
+
+    #[test]
+    fn oracle_is_an_upper_bound() {
+        let suite = small_suite();
+        let model = SimulatedModel::new(ModelProfile::resdsql_3b());
+        let oracle = CycleSql::new(LoopVerifier::Oracle);
+        let (base, with_oracle) = evaluate_pair(&model, &suite, Split::Dev, &oracle, false);
+        assert!(with_oracle.ex >= base.ex);
+        // Oracle EX equals the any-beam ceiling.
+        let ceiling = any_beam_accuracy(&model, &suite, Split::Dev, 8);
+        assert!((with_oracle.ex - ceiling).abs() < 1e-9);
+    }
+
+    #[test]
+    fn any_beam_accuracy_grows_with_k() {
+        let suite = small_suite();
+        let model = SimulatedModel::new(ModelProfile::resdsql_large());
+        let k1 = any_beam_accuracy(&model, &suite, Split::Dev, 1);
+        let k8 = any_beam_accuracy(&model, &suite, Split::Dev, 8);
+        assert!(k8 >= k1, "beam widening cannot lose accuracy: {k1} vs {k8}");
+    }
+
+    #[test]
+    fn difficulty_counts_partition_total() {
+        let suite = small_suite();
+        let model = SimulatedModel::new(ModelProfile::smbop());
+        let r = evaluate(
+            &model,
+            &EvalOptions {
+                suite: &suite,
+                split: Split::Dev,
+                mode: EvalMode::Base,
+                cycle: None,
+                k: None,
+                compute_ts: false,
+            },
+        );
+        assert_eq!(r.counts_by_difficulty.iter().sum::<usize>(), r.total);
+        assert!(r.avg_latency_ms > 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared experiment setup: all five benchmark suites and the frozen
+//! verifier trained once on the SPIDER-like training split (the paper's
+//! fire/ice protocol — train on SPIDER, freeze for the variants).
+
+use crate::cycle::{CycleSql, FeedbackKind, LoopVerifier};
+use crate::training::{train_verifier, CollectConfig, CollectStats};
+use cyclesql_benchgen::{
+    build_science_suite, build_spider_suite, BenchmarkSuite, SuiteConfig, Variant,
+};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+use cyclesql_nli::{TrainConfig, TrainedVerifier};
+
+/// All suites plus the frozen verifier.
+pub struct ExperimentContext {
+    /// The base SPIDER-like suite (with train/dev/test splits).
+    pub spider: BenchmarkSuite,
+    /// SPIDER-REALISTIC-like.
+    pub realistic: BenchmarkSuite,
+    /// SPIDER-SYN-like.
+    pub syn: BenchmarkSuite,
+    /// SPIDER-DK-like.
+    pub dk: BenchmarkSuite,
+    /// SCIENCEBENCHMARK-like.
+    pub science: BenchmarkSuite,
+    /// The verifier trained on the SPIDER train split (frozen elsewhere).
+    pub verifier: TrainedVerifier,
+    /// Training-collection statistics.
+    pub stats: CollectStats,
+}
+
+impl ExperimentContext {
+    /// Builds the context with the given suite size configuration.
+    pub fn with_config(config: SuiteConfig) -> Self {
+        let spider = build_spider_suite(Variant::Spider, config);
+        let realistic = build_spider_suite(Variant::Realistic, config);
+        let syn = build_spider_suite(Variant::Syn, config);
+        let dk = build_spider_suite(Variant::Dk, config);
+        let science = build_science_suite(config);
+        // Error sources for negatives: a spread of model families, as in the
+        // paper's "collected from various translation models".
+        let error_sources = vec![
+            SimulatedModel::new(ModelProfile::smbop()),
+            SimulatedModel::new(ModelProfile::resdsql_large()),
+            SimulatedModel::new(ModelProfile::gpt35()),
+        ];
+        let (verifier, stats, _trace) = train_verifier(
+            &spider,
+            &error_sources,
+            CollectConfig::default(),
+            TrainConfig::default(),
+        );
+        ExperimentContext { spider, realistic, syn, dk, science, verifier, stats }
+    }
+
+    /// The full-size context used by the `repro` binary.
+    pub fn full() -> Self {
+        Self::with_config(SuiteConfig::default())
+    }
+
+    /// A reduced context for tests and Criterion benches.
+    pub fn quick() -> Self {
+        Self::with_config(SuiteConfig { seed: 0xC1C1E, train_per_template: 1, eval_per_template: 1 })
+    }
+
+    /// A process-wide shared quick context (suites and verifier training are
+    /// expensive; tests and benches reuse one instance).
+    pub fn shared_quick() -> &'static ExperimentContext {
+        static SHARED: std::sync::OnceLock<ExperimentContext> = std::sync::OnceLock::new();
+        SHARED.get_or_init(ExperimentContext::quick)
+    }
+
+    /// A fresh loop around the frozen verifier (data-grounded feedback).
+    pub fn cycle(&self) -> CycleSql {
+        CycleSql::new(LoopVerifier::Trained(self.verifier.clone()))
+    }
+
+    /// A loop with SQL2NL feedback and a matching verifier (Figure 9).
+    pub fn cycle_with(&self, verifier: TrainedVerifier, feedback: FeedbackKind) -> CycleSql {
+        CycleSql { verifier: LoopVerifier::Trained(verifier), feedback }
+    }
+
+    /// The SPIDER-family suites with their display labels, Table I order.
+    pub fn spider_family(&self) -> [(&'static str, &BenchmarkSuite); 4] {
+        [
+            ("SPIDER", &self.spider),
+            ("REALISTIC", &self.realistic),
+            ("SYN", &self.syn),
+            ("DK", &self.dk),
+        ]
+    }
+}

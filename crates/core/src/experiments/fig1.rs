@@ -1,0 +1,110 @@
+//! Figure 1: translation accuracy on the SPIDER dev split vs beam size
+//! (or chat-completion count), matching any beam result.
+
+use super::ExperimentContext;
+use crate::eval::any_beam_accuracy;
+use cyclesql_benchgen::Split;
+use cyclesql_models::{ModelProfile, SimulatedModel};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// The beam widths swept by the figure.
+pub const BEAM_SIZES: [usize; 7] = [1, 2, 3, 4, 5, 8, 16];
+
+/// One model's accuracy-vs-beam curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct BeamCurve {
+    /// Model name.
+    pub model: String,
+    /// `(beam size, any-beam EX %)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Figure 1's full data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Result {
+    /// One curve per plotted model.
+    pub curves: Vec<BeamCurve>,
+}
+
+/// Runs the Figure-1 sweep: the paper plots PICARD, RESDSQL, GPT-3.5-Turbo
+/// and DAIL-SQL.
+pub fn run(ctx: &ExperimentContext) -> Fig1Result {
+    let models = [
+        ModelProfile::picard(),
+        ModelProfile::resdsql_3b(),
+        ModelProfile::gpt35(),
+        ModelProfile::dailsql(),
+    ];
+    let curves = models
+        .into_iter()
+        .map(|profile| {
+            let model = SimulatedModel::new(profile);
+            let points = BEAM_SIZES
+                .iter()
+                .map(|&k| (k, any_beam_accuracy(&model, &ctx.spider, Split::Dev, k)))
+                .collect();
+            BeamCurve { model: model.profile.name.to_string(), points }
+        })
+        .collect();
+    Fig1Result { curves }
+}
+
+impl Fig1Result {
+    /// Plain-text rendering of the figure data.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 1: any-beam execution accuracy (%) on SPIDER dev vs beam size"
+        );
+        let _ = write!(out, "{:<16}", "model \\ k");
+        for k in BEAM_SIZES {
+            let _ = write!(out, "{k:>8}");
+        }
+        let _ = writeln!(out);
+        for c in &self.curves {
+            let _ = write!(out, "{:<16}", c.model);
+            for (_, acc) in &c.points {
+                let _ = write!(out, "{acc:>8.1}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone_nondecreasing() {
+        let ctx = ExperimentContext::shared_quick();
+        let result = run(ctx);
+        assert_eq!(result.curves.len(), 4);
+        for c in &result.curves {
+            for w in c.points.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1 - 1e-9,
+                    "{}: accuracy dropped with wider beam: {:?}",
+                    c.model,
+                    c.points
+                );
+            }
+            // The paper's plateau: beam-1 accuracy below the widest beam.
+            let first = c.points.first().unwrap().1;
+            let last = c.points.last().unwrap().1;
+            assert!(last >= first, "{}", c.model);
+        }
+    }
+
+    #[test]
+    fn render_includes_all_models() {
+        let ctx = ExperimentContext::shared_quick();
+        let text = run(ctx).render();
+        for name in ["PICARD_3B", "RESDSQL_3B", "GPT-3.5-Turbo", "DAILSQL_3.5"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment drivers: one module per paper table/figure.
+//!
+//! Each driver returns a serializable result struct and renders a plain-text
+//! report matching the paper's layout; the `repro` binary in `crates/bench`
+//! prints them.
+
+pub mod context;
+pub mod ext_ablation;
+pub mod ext_arch;
+pub mod ext_human;
+pub mod fig1;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use context::ExperimentContext;

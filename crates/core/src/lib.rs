@@ -1,0 +1,48 @@
+//! # cyclesql-core
+//!
+//! The CycleSQL framework: the plug-and-play feedback loop over end-to-end
+//! NL2SQL models, the verifier training pipeline, evaluation metrics
+//! (EM / EX / TS), and experiment drivers that regenerate every table and
+//! figure of the paper.
+//!
+//! ```
+//! use cyclesql_core::{CycleSql, LoopVerifier, ex_correct};
+//! use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+//! use cyclesql_models::Candidate;
+//!
+//! let suite = build_spider_suite(
+//!     Variant::Spider,
+//!     SuiteConfig { seed: 7, train_per_template: 1, eval_per_template: 1 },
+//! );
+//! let item = &suite.dev[0];
+//! let db = suite.database(item);
+//! // A wrong candidate followed by the gold one: the oracle-verified loop
+//! // walks past the error.
+//! let candidates = vec![
+//!     Candidate { sql: "SELECT count(*) FROM country WHERE 1 = 0".into(), rank: 0, score: 1.0 },
+//!     Candidate { sql: item.gold_sql.clone(), rank: 1, score: 0.9 },
+//! ];
+//! let cycle = CycleSql::new(LoopVerifier::Oracle);
+//! let outcome = cycle.run(item, db, &candidates);
+//! assert!(ex_correct(db, &outcome.chosen_sql, &item.gold_sql));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod eval;
+pub mod experiments;
+pub mod human;
+pub mod metrics;
+pub mod training;
+
+pub use cycle::{candidate_premise, CycleSql, FeedbackKind, LoopOutcome, LoopVerifier};
+pub use eval::{
+    any_beam_accuracy, evaluate, evaluate_pair, evaluate_science_em, trained_loop, EvalMode,
+    EvalOptions, EvalResult,
+};
+pub use human::{
+    HumanJudge, InteractiveCycleSql, InteractiveOutcome, SimulatedHuman,
+};
+pub use metrics::{em_correct, ex_correct, ts_correct, Accuracy, VariantCache, TS_VARIANTS};
+pub use training::{collect_training_data, train_verifier, CollectConfig, CollectStats};

@@ -1,0 +1,171 @@
+//! Verifier training pipeline (Section IV-D "Training Data").
+//!
+//! Positives come from the human-curated gold pairs of the training split:
+//! execute the gold SQL, explain a result, pair with the question under the
+//! "entailment" label. Negatives come from *erroneous model translations*
+//! on the same split: candidates whose execution diverges from the gold
+//! (bag semantics) are explained and labeled "contradiction". The resulting
+//! label distribution is heavily imbalanced toward negatives — which is why
+//! the trainer uses focal loss.
+
+use crate::cycle::{candidate_premise, FeedbackKind};
+use crate::metrics::ex_correct;
+use cyclesql_benchgen::BenchmarkSuite;
+use cyclesql_models::{SimulatedModel, TranslationRequest};
+use cyclesql_nli::{extract_features, NliModel, TrainConfig, TrainedVerifier, TrainingExample};
+
+/// Configuration for training-set collection.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectConfig {
+    /// Candidates requested per (model, item) when mining negatives.
+    pub k: usize,
+    /// Cap on negative examples per item (bounds the imbalance).
+    pub max_negatives_per_item: usize,
+    /// Which feedback channel the premises use.
+    pub feedback: FeedbackKind,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig { k: 4, max_negatives_per_item: 6, feedback: FeedbackKind::DataGrounded }
+    }
+}
+
+/// Collection statistics (for reports and imbalance assertions).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectStats {
+    /// Positive (entailment) examples.
+    pub positives: usize,
+    /// Negative (contradiction) examples.
+    pub negatives: usize,
+}
+
+/// Collects verifier training data from a suite's training split using the
+/// given models as error sources.
+pub fn collect_training_data(
+    suite: &BenchmarkSuite,
+    models: &[SimulatedModel],
+    config: CollectConfig,
+) -> (Vec<TrainingExample>, CollectStats) {
+    let mut examples = Vec::new();
+    let mut stats = CollectStats::default();
+    for item in &suite.train {
+        let db = suite.database(item);
+        // Positive: the gold translation's explanation entails the question.
+        if let Some((text, facets)) = candidate_premise(db, &item.gold_sql, config.feedback) {
+            examples.push(TrainingExample {
+                features: extract_features(&item.question, &text, &facets),
+                entailment: true,
+            });
+            stats.positives += 1;
+        }
+        // Negatives: erroneous translations from the baseline models.
+        let mut negatives_here = 0usize;
+        for model in models {
+            if negatives_here >= config.max_negatives_per_item {
+                break;
+            }
+            let req = TranslationRequest {
+                item,
+                db,
+                k: config.k,
+                severity: 0.0,
+                science: false,
+            };
+            for cand in model.translate(&req) {
+                if negatives_here >= config.max_negatives_per_item {
+                    break;
+                }
+                if ex_correct(db, &cand.sql, &item.gold_sql) {
+                    continue; // only erroneous translations become negatives
+                }
+                if let Some((text, facets)) = candidate_premise(db, &cand.sql, config.feedback) {
+                    examples.push(TrainingExample {
+                        features: extract_features(&item.question, &text, &facets),
+                        entailment: false,
+                    });
+                    stats.negatives += 1;
+                    negatives_here += 1;
+                }
+            }
+        }
+    }
+    (examples, stats)
+}
+
+/// Trains the verifier on a suite's training split (the paper's "fire"
+/// configuration; freeze the returned verifier for the variant benchmarks).
+pub fn train_verifier(
+    suite: &BenchmarkSuite,
+    models: &[SimulatedModel],
+    collect: CollectConfig,
+    train: TrainConfig,
+) -> (TrainedVerifier, CollectStats, Vec<f64>) {
+    let (examples, stats) = collect_training_data(suite, models, collect);
+    let (model, trace) = NliModel::train(&examples, train);
+    (TrainedVerifier { model }, stats, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+    use cyclesql_models::ModelProfile;
+
+    fn small_suite() -> BenchmarkSuite {
+        build_spider_suite(
+            Variant::Spider,
+            SuiteConfig { seed: 77, train_per_template: 1, eval_per_template: 1 },
+        )
+    }
+
+    #[test]
+    fn collection_is_imbalanced_toward_negatives() {
+        let suite = small_suite();
+        let models = vec![
+            SimulatedModel::new(ModelProfile::resdsql_large()),
+            SimulatedModel::new(ModelProfile::gpt35()),
+        ];
+        let (examples, stats) =
+            collect_training_data(&suite, &models, CollectConfig::default());
+        assert!(stats.positives > 50, "positives {}", stats.positives);
+        assert!(
+            stats.negatives > stats.positives,
+            "the paper's skew: negatives ({}) > positives ({})",
+            stats.negatives,
+            stats.positives
+        );
+        assert_eq!(examples.len(), stats.positives + stats.negatives);
+    }
+
+    #[test]
+    fn trained_verifier_separates_held_out_pairs() {
+        let suite = small_suite();
+        let models = vec![SimulatedModel::new(ModelProfile::resdsql_large())];
+        let (verifier, _, trace) = train_verifier(
+            &suite,
+            &models,
+            CollectConfig::default(),
+            TrainConfig::default(),
+        );
+        assert!(trace.last().unwrap() < &trace[0], "loss decreased");
+        // Evaluate on dev gold pairs (all should lean entail) and corrupted
+        // pairs (should lean contradict).
+        let mut pos_ok = 0usize;
+        let mut pos_total = 0usize;
+        for item in suite.dev.iter().take(40) {
+            let db = suite.database(item);
+            if let Some((text, facets)) =
+                candidate_premise(db, &item.gold_sql, FeedbackKind::DataGrounded)
+            {
+                let features = extract_features(&item.question, &text, &facets);
+                pos_total += 1;
+                pos_ok += verifier.model.entails(&features) as usize;
+            }
+        }
+        assert!(
+            pos_ok as f64 / pos_total as f64 > 0.7,
+            "gold entailment recall too low: {pos_ok}/{pos_total}"
+        );
+    }
+}

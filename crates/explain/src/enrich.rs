@@ -1,0 +1,254 @@
+//! Semantics enrichment (Section IV-B): overlays operation-level semantics
+//! from the translated SQL query onto the data-level provenance table.
+//!
+//! Each [`QueryUnit`] of the original query is attached to the provenance
+//! element it "contributes" to: a specific provenance column, the whole
+//! table (global semantics, e.g. `count(*)` or a star projection), or the
+//! result itself (`LIMIT`, set operators).
+
+use cyclesql_provenance::ProvenanceTable;
+use cyclesql_sql::{decompose, ClauseKind, Query, QueryUnit, UnitSemantics};
+
+/// Where an annotation lands in the provenance table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotationTarget {
+    /// A specific provenance column (by index).
+    Column(usize),
+    /// The whole provenance table (global semantics).
+    Table,
+    /// The query result itself (ordering, limits, set operations).
+    Result,
+}
+
+/// One semantics annotation: a query unit anchored to a provenance element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// The query unit carrying the semantics.
+    pub unit: QueryUnit,
+    /// Where it is anchored.
+    pub target: AnnotationTarget,
+}
+
+/// The enriched provenance: data plus anchored operation-level semantics.
+#[derive(Debug, Clone)]
+pub struct EnrichedProvenance {
+    /// The underlying provenance table (empty for empty-result queries).
+    pub table: ProvenanceTable,
+    /// Anchored annotations, in query-clause order.
+    pub annotations: Vec<Annotation>,
+}
+
+impl EnrichedProvenance {
+    /// Annotations anchored to a given column.
+    pub fn column_annotations(&self, col: usize) -> Vec<&Annotation> {
+        self.annotations
+            .iter()
+            .filter(|a| a.target == AnnotationTarget::Column(col))
+            .collect()
+    }
+
+    /// Annotations anchored at table level.
+    pub fn table_annotations(&self) -> Vec<&Annotation> {
+        self.annotations.iter().filter(|a| a.target == AnnotationTarget::Table).collect()
+    }
+
+    /// Annotations anchored at result level.
+    pub fn result_annotations(&self) -> Vec<&Annotation> {
+        self.annotations.iter().filter(|a| a.target == AnnotationTarget::Result).collect()
+    }
+
+    /// Invariant check used by tests: every annotation from the query landed
+    /// somewhere (no unit is silently dropped during enrichment).
+    pub fn is_total_for(&self, query: &Query) -> bool {
+        self.annotations.len() == decompose(query).len()
+    }
+}
+
+/// Enriches the provenance table with the semantics of `query`.
+///
+/// Every decomposed query unit is anchored: to its column when the unit's
+/// primary column appears in the provenance, to the table when it carries
+/// global semantics (aggregates, star projections, subquery predicates whose
+/// column is absent), and to the result for ordering/limit/set operations.
+pub fn enrich(query: &Query, table: &ProvenanceTable) -> EnrichedProvenance {
+    let units = decompose(query);
+    let annotations = units
+        .into_iter()
+        .map(|unit| {
+            let target = anchor(&unit, table);
+            Annotation { unit, target }
+        })
+        .collect();
+    EnrichedProvenance { table: table.clone(), annotations }
+}
+
+fn anchor(unit: &QueryUnit, table: &ProvenanceTable) -> AnnotationTarget {
+    let col_target = |c: &cyclesql_sql::ColumnRef| -> AnnotationTarget {
+        // Provenance columns carry *real* table names while units may carry
+        // aliases; `column_index` falls back to bare-name matching.
+        match table.column_index(c.table.as_deref(), &c.column) {
+            Some(i) => AnnotationTarget::Column(i),
+            None => AnnotationTarget::Table,
+        }
+    };
+    match &unit.semantics {
+        UnitSemantics::Projection { column } => col_target(column),
+        UnitSemantics::ProjectAll { .. } => AnnotationTarget::Table,
+        UnitSemantics::Aggregate { column, .. } => match column {
+            // Aggregation is global semantics over the (grouped) table, per
+            // the paper's Figure 5 where `count(*)` annotates the table.
+            None => AnnotationTarget::Table,
+            Some(c) => match table.column_index(c.table.as_deref(), &c.column) {
+                Some(i) => AnnotationTarget::Column(i),
+                None => AnnotationTarget::Table,
+            },
+        },
+        UnitSemantics::Comparison { column, .. }
+        | UnitSemantics::Like { column, .. }
+        | UnitSemantics::Between { column, .. }
+        | UnitSemantics::NullCheck { column, .. }
+        | UnitSemantics::InValues { column, .. }
+        | UnitSemantics::GroupKey { column } => col_target(column),
+        UnitSemantics::ColumnComparison { left, .. } => {
+            if unit.clause == ClauseKind::Join {
+                // Join predicates describe the table linkage.
+                AnnotationTarget::Table
+            } else {
+                col_target(left)
+            }
+        }
+        UnitSemantics::SubqueryPredicate { column, .. } => match column {
+            Some(c) => col_target(c),
+            None => AnnotationTarget::Table,
+        },
+        UnitSemantics::Disjunction { columns, .. } => match columns.first() {
+            Some(c) => col_target(c),
+            None => AnnotationTarget::Table,
+        },
+        UnitSemantics::HavingCondition { .. } => AnnotationTarget::Table,
+        UnitSemantics::OrderKey { .. }
+        | UnitSemantics::RowLimit { .. }
+        | UnitSemantics::SetOperation { .. } => AnnotationTarget::Result,
+        UnitSemantics::Opaque { columns, .. } => match columns.first() {
+            Some(c) => col_target(c),
+            None => AnnotationTarget::Table,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_provenance::track_provenance;
+    use cyclesql_sql::parse;
+    use cyclesql_storage::{
+        execute, ColumnDef, DataType, Database, DatabaseSchema, TableSchema, Value,
+    };
+
+    fn flight_db() -> Database {
+        let mut schema = DatabaseSchema::new("flight_1");
+        schema.add_table(TableSchema::new(
+            "aircraft",
+            vec![
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        ));
+        schema.add_table(TableSchema::new(
+            "flight",
+            vec![
+                ColumnDef::new("flno", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+            ],
+        ));
+        schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+        let mut db = Database::new(schema);
+        db.insert("aircraft", vec![Value::Int(1), Value::from("Boeing 747-400")]);
+        db.insert("aircraft", vec![Value::Int(3), Value::from("Airbus A340-300")]);
+        db.insert("flight", vec![Value::Int(7), Value::Int(3)]);
+        db.insert("flight", vec![Value::Int(13), Value::Int(3)]);
+        db
+    }
+
+    fn enriched_for(sql: &str) -> (EnrichedProvenance, Query) {
+        let db = flight_db();
+        let q = parse(sql).unwrap();
+        let result = execute(&db, &q).unwrap();
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        (enrich(&q, &prov.table), q)
+    }
+
+    use cyclesql_sql::Query;
+
+    #[test]
+    fn figure5_count_annotates_table_filter_annotates_column() {
+        let (e, q) = enriched_for(
+            "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+             WHERE T2.name = 'Airbus A340-300'",
+        );
+        assert!(e.is_total_for(&q));
+        // count(*) → table level
+        let table_anns = e.table_annotations();
+        assert!(table_anns.iter().any(|a| matches!(
+            &a.unit.semantics,
+            UnitSemantics::Aggregate { column: None, .. }
+        )));
+        // name filter → the aircraft.name column
+        let name_col = e.table.column_index(Some("aircraft"), "name").unwrap();
+        let col_anns = e.column_annotations(name_col);
+        assert!(col_anns.iter().any(|a| matches!(
+            &a.unit.semantics,
+            UnitSemantics::Comparison { .. }
+        )));
+    }
+
+    #[test]
+    fn join_condition_is_table_level() {
+        let (e, _) = enriched_for(
+            "SELECT T1.flno FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid",
+        );
+        assert!(e.table_annotations().iter().any(|a| a.unit.clause == ClauseKind::Join));
+    }
+
+    #[test]
+    fn limit_is_result_level() {
+        let (e, _) =
+            enriched_for("SELECT flno FROM flight ORDER BY flno DESC LIMIT 1");
+        let result_anns = e.result_annotations();
+        assert!(result_anns.iter().any(|a| a.unit.clause == ClauseKind::Limit));
+        assert!(result_anns.iter().any(|a| a.unit.clause == ClauseKind::OrderBy));
+    }
+
+    #[test]
+    fn projection_lands_on_its_column() {
+        let (e, _) = enriched_for("SELECT flno FROM flight WHERE aid = 3");
+        let flno = e.table.column_index(Some("flight"), "flno").unwrap();
+        assert!(e
+            .column_annotations(flno)
+            .iter()
+            .any(|a| a.unit.clause == ClauseKind::Select));
+    }
+
+    #[test]
+    fn enrichment_total_for_complex_query() {
+        let (e, q) = enriched_for(
+            "SELECT count(*), T2.name FROM flight AS T1 JOIN aircraft AS T2 \
+             ON T1.aid = T2.aid GROUP BY T2.name HAVING count(*) > 1 \
+             ORDER BY count(*) DESC LIMIT 1",
+        );
+        assert!(e.is_total_for(&q), "every unit must be anchored");
+    }
+
+    #[test]
+    fn empty_provenance_anchors_everything_globally() {
+        let db = flight_db();
+        let q = parse("SELECT flno FROM flight WHERE aid = 99").unwrap();
+        let result = execute(&db, &q).unwrap();
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        assert!(prov.empty_result);
+        let e = enrich(&q, &prov.table);
+        assert!(e.is_total_for(&q));
+        assert!(e.annotations.iter().all(|a| a.target != AnnotationTarget::Result
+            || matches!(a.unit.clause, ClauseKind::OrderBy | ClauseKind::Limit | ClauseKind::SetOp)));
+    }
+}

@@ -1,0 +1,235 @@
+//! The provenance graph (Section IV-C): a directed graph over provenance
+//! elements — the (joint) table, its columns, and the representative row's
+//! values — with semantics labels assigned from the enrichment annotations.
+
+use crate::enrich::{Annotation, AnnotationTarget, EnrichedProvenance};
+use cyclesql_storage::Value;
+
+#[allow(missing_docs)] // field names are self-describing
+/// Node payloads of the provenance graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// The (possibly joint) provenance table, e.g. `flight-aircraft`.
+    Table { name: String },
+    /// A provenance column.
+    Column { table: String, column: String },
+    /// A value of the representative provenance row.
+    Value { value: Value },
+}
+
+/// Edge types, mirroring the paper's `hasAttribute` / `hasValue`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Table → column.
+    HasAttribute,
+    /// Column → value.
+    HasValue,
+}
+
+/// One node with its semantics labels.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Payload.
+    pub kind: NodeKind,
+    /// Annotations assigned as semantics labels.
+    pub labels: Vec<Annotation>,
+}
+
+/// One typed edge between node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node index.
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Relationship type.
+    pub kind: EdgeKind,
+}
+
+/// The provenance graph `G_p(V_p, E_p)`.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceGraph {
+    /// Nodes (index 0 is always the table node when the graph is nonempty).
+    pub nodes: Vec<Node>,
+    /// Edges.
+    pub edges: Vec<Edge>,
+}
+
+impl ProvenanceGraph {
+    /// The table node, if the graph is nonempty.
+    pub fn table_node(&self) -> Option<&Node> {
+        self.nodes.first()
+    }
+
+    /// Iterates `(column-node, value-node)` pairs in column order.
+    pub fn column_value_pairs(&self) -> Vec<(&Node, Option<&Node>)> {
+        let mut out = Vec::new();
+        for e in &self.edges {
+            if e.kind == EdgeKind::HasAttribute {
+                let col = &self.nodes[e.to];
+                let val = self
+                    .edges
+                    .iter()
+                    .find(|v| v.kind == EdgeKind::HasValue && v.from == e.to)
+                    .map(|v| &self.nodes[v.to]);
+                out.push((col, val));
+            }
+        }
+        out
+    }
+
+    /// Count of nodes by kind, used in tests.
+    pub fn count_kind(&self, pred: impl Fn(&NodeKind) -> bool) -> usize {
+        self.nodes.iter().filter(|n| pred(&n.kind)).count()
+    }
+}
+
+/// Builds the provenance graph for one representative provenance row
+/// (`row_idx` into the enriched table). Annotations anchored to columns
+/// become labels of the matching column nodes; table-level annotations label
+/// the table node.
+pub fn build_graph(enriched: &EnrichedProvenance, row_idx: usize) -> ProvenanceGraph {
+    let table = &enriched.table;
+    if table.columns.is_empty() {
+        return ProvenanceGraph::default();
+    }
+    let joint_name = table.source_tables().join("-");
+    let mut nodes = vec![Node {
+        kind: NodeKind::Table { name: joint_name },
+        labels: enriched
+            .table_annotations()
+            .into_iter()
+            .cloned()
+            .collect(),
+    }];
+    let mut edges = Vec::new();
+    let row = table.rows.get(row_idx);
+    for (ci, col) in table.columns.iter().enumerate() {
+        let col_node = Node {
+            kind: NodeKind::Column { table: col.table.clone(), column: col.column.clone() },
+            labels: enriched.column_annotations(ci).into_iter().cloned().collect(),
+        };
+        nodes.push(col_node);
+        let col_idx = nodes.len() - 1;
+        edges.push(Edge { from: 0, to: col_idx, kind: EdgeKind::HasAttribute });
+        if let Some(row) = row {
+            nodes.push(Node {
+                kind: NodeKind::Value { value: row.values[ci].clone() },
+                labels: Vec::new(),
+            });
+            let val_idx = nodes.len() - 1;
+            edges.push(Edge { from: col_idx, to: val_idx, kind: EdgeKind::HasValue });
+        }
+    }
+    // Result-level annotations also label the table node so the traversal
+    // surfaces them; they are rendered last by the generator.
+    let result_labels: Vec<Annotation> = enriched
+        .result_annotations()
+        .into_iter()
+        .cloned()
+        .collect();
+    nodes[0].labels.extend(result_labels);
+    let _ = AnnotationTarget::Result;
+    ProvenanceGraph { nodes, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enrich::enrich;
+    use cyclesql_provenance::track_provenance;
+    use cyclesql_sql::parse;
+    use cyclesql_storage::{
+        execute, ColumnDef, DataType, Database, DatabaseSchema, TableSchema,
+    };
+
+    fn db() -> Database {
+        let mut schema = DatabaseSchema::new("flight_1");
+        schema.add_table(TableSchema::new(
+            "aircraft",
+            vec![
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        ));
+        schema.add_table(TableSchema::new(
+            "flight",
+            vec![
+                ColumnDef::new("flno", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+            ],
+        ));
+        schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+        let mut d = Database::new(schema);
+        d.insert("aircraft", vec![Value::Int(3), Value::from("Airbus A340-300")]);
+        d.insert("flight", vec![Value::Int(7), Value::Int(3)]);
+        d.insert("flight", vec![Value::Int(13), Value::Int(3)]);
+        d
+    }
+
+    fn graph_for(sql: &str) -> ProvenanceGraph {
+        let db = db();
+        let q = parse(sql).unwrap();
+        let result = execute(&db, &q).unwrap();
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        let e = enrich(&q, &prov.table);
+        build_graph(&e, 0)
+    }
+
+    #[test]
+    fn joint_table_node_named_after_sources() {
+        let g = graph_for(
+            "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+             WHERE T2.name = 'Airbus A340-300'",
+        );
+        match &g.table_node().unwrap().kind {
+            NodeKind::Table { name } => {
+                assert!(name.contains("flight") && name.contains("aircraft"), "{name}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn has_attribute_and_has_value_edges() {
+        let g = graph_for("SELECT flno FROM flight WHERE aid = 3");
+        let attrs = g.edges.iter().filter(|e| e.kind == EdgeKind::HasAttribute).count();
+        let vals = g.edges.iter().filter(|e| e.kind == EdgeKind::HasValue).count();
+        assert_eq!(attrs, vals);
+        assert!(attrs >= 2); // flno + aid at least
+    }
+
+    #[test]
+    fn column_nodes_carry_filter_labels() {
+        let g = graph_for("SELECT flno FROM flight WHERE aid = 3");
+        let labeled_cols = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Column { .. }) && !n.labels.is_empty())
+            .count();
+        assert!(labeled_cols >= 2, "projection + filter labels expected");
+    }
+
+    #[test]
+    fn aggregate_labels_table_node() {
+        let g = graph_for("SELECT count(*) FROM flight");
+        assert!(!g.table_node().unwrap().labels.is_empty());
+    }
+
+    #[test]
+    fn empty_provenance_gives_empty_graph() {
+        let g = graph_for("SELECT flno FROM flight WHERE aid = 99");
+        assert!(g.nodes.is_empty());
+    }
+
+    #[test]
+    fn column_value_pairs_align() {
+        let g = graph_for("SELECT flno FROM flight WHERE aid = 3");
+        let pairs = g.column_value_pairs();
+        assert!(!pairs.is_empty());
+        for (col, val) in pairs {
+            assert!(matches!(col.kind, NodeKind::Column { .. }));
+            assert!(val.is_some());
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Join-related semantics discovery (Section IV-C, Figure 6).
+//!
+//! Database schemata are viewed as graphs — nodes are tables, edges are
+//! foreign-key relationships. A pool of pre-defined graph topologies carries
+//! common join semantics (object–attribute, subject–relationship–object,
+//! self-reference). When a query joins tables, the induced subgraph is
+//! matched for isomorphism against the pool; on a hit the semantics template
+//! is instantiated with the concrete table names, otherwise the table names
+//! themselves describe the join.
+
+use cyclesql_storage::DatabaseSchema;
+use std::collections::HashSet;
+
+/// The recognized join-semantics categories in the topology pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinTopology {
+    /// Two tables, one FK: `B` holds attributes/details of `A`
+    /// (e.g. `flight` → `aircraft`).
+    ObjectAttribute,
+    /// Three tables where a bridge holds FKs to the two others
+    /// (e.g. `singer_in_concert` → `singer`, `concert`).
+    SubjectRelationshipObject,
+    /// A table joined with itself through a link table (friendship graphs).
+    SelfReference,
+    /// A hub table referenced by several satellites (star schema fragment).
+    Star,
+    /// No pool match: fall back to table names.
+    Unmatched,
+}
+
+/// The discovered semantics for one join group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSemantics {
+    /// The matched topology.
+    pub topology: JoinTopology,
+    /// An NL phrase describing the joined relation, e.g. `"singer with concert"`.
+    pub phrase: String,
+    /// The joined tables, in query order.
+    pub tables: Vec<String>,
+}
+
+/// Discovers join semantics for a set of joined tables against a schema.
+///
+/// `tables` lists the *real* table names in join order (duplicates allowed
+/// for self-joins).
+pub fn discover_join_semantics(schema: &DatabaseSchema, tables: &[String]) -> JoinSemantics {
+    let distinct: Vec<String> = {
+        let mut seen = HashSet::new();
+        tables.iter().filter(|t| seen.insert((*t).clone())).cloned().collect()
+    };
+
+    let nl = |name: &str| -> String {
+        schema.table(name).map(|t| t.nl_name.clone()).unwrap_or_else(|| name.replace('_', " "))
+    };
+
+    match distinct.len() {
+        0 => JoinSemantics {
+            topology: JoinTopology::Unmatched,
+            phrase: String::new(),
+            tables: vec![],
+        },
+        1 => {
+            if tables.len() > 1 {
+                // Same table joined with itself.
+                JoinSemantics {
+                    topology: JoinTopology::SelfReference,
+                    phrase: format!("{} paired with other {}", nl(&distinct[0]), nl(&distinct[0])),
+                    tables: distinct,
+                }
+            } else {
+                JoinSemantics {
+                    topology: JoinTopology::Unmatched,
+                    phrase: nl(&distinct[0]),
+                    tables: distinct,
+                }
+            }
+        }
+        2 => {
+            let (a, b) = (&distinct[0], &distinct[1]);
+            if schema.fk_between(a, b).is_some() {
+                // One FK edge between two tables: object-attribute. The FK
+                // owner is the "detail" side.
+                let fk = schema.fk_between(a, b).expect("edge exists");
+                let (object, attribute) =
+                    if fk.from_table == *a { (b.clone(), a.clone()) } else { (a.clone(), b.clone()) };
+                JoinSemantics {
+                    topology: JoinTopology::ObjectAttribute,
+                    phrase: format!("{} with {}", nl(&attribute), nl(&object)),
+                    tables: distinct,
+                }
+            } else {
+                JoinSemantics {
+                    topology: JoinTopology::Unmatched,
+                    phrase: format!("{} joined with {}", nl(a), nl(b)),
+                    tables: distinct,
+                }
+            }
+        }
+        3 => {
+            // Look for a bridge table holding FKs to the other two: the
+            // Figure 6 subject-relationship-object topology.
+            for bridge_idx in 0..3 {
+                let bridge = &distinct[bridge_idx];
+                let others: Vec<&String> =
+                    distinct.iter().enumerate().filter(|(i, _)| *i != bridge_idx).map(|(_, t)| t).collect();
+                let fks = schema.foreign_keys_from(bridge);
+                let hits = others
+                    .iter()
+                    .filter(|o| fks.iter().any(|fk| fk.to_table == ***o))
+                    .count();
+                if hits == 2 {
+                    return JoinSemantics {
+                        topology: JoinTopology::SubjectRelationshipObject,
+                        phrase: format!("{} with {}", nl(others[0]), nl(others[1])),
+                        tables: distinct,
+                    };
+                }
+            }
+            // A hub referenced by the two others: star fragment.
+            for hub_idx in 0..3 {
+                let hub = &distinct[hub_idx];
+                let others: Vec<&String> =
+                    distinct.iter().enumerate().filter(|(i, _)| *i != hub_idx).map(|(_, t)| t).collect();
+                let hits = others
+                    .iter()
+                    .filter(|o| {
+                        schema
+                            .foreign_keys_from(o)
+                            .iter()
+                            .any(|fk| fk.to_table == *hub)
+                    })
+                    .count();
+                if hits == 2 {
+                    return JoinSemantics {
+                        topology: JoinTopology::Star,
+                        phrase: format!(
+                            "{} and {} of {}",
+                            nl(others[0]),
+                            nl(others[1]),
+                            nl(hub)
+                        ),
+                        tables: distinct,
+                    };
+                }
+            }
+            JoinSemantics {
+                topology: JoinTopology::Unmatched,
+                phrase: distinct.iter().map(|t| nl(t)).collect::<Vec<_>>().join(" joined with "),
+                tables: distinct,
+            }
+        }
+        _ => JoinSemantics {
+            topology: JoinTopology::Unmatched,
+            phrase: distinct.iter().map(|t| nl(t)).collect::<Vec<_>>().join(" joined with "),
+            tables: distinct,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_storage::{ColumnDef, DataType, TableSchema};
+
+    fn concert_schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new("concert_singer");
+        s.add_table(TableSchema::new(
+            "singer",
+            vec![ColumnDef::new("singer_id", DataType::Int), ColumnDef::new("name", DataType::Text)],
+        ));
+        s.add_table(TableSchema::new(
+            "concert",
+            vec![ColumnDef::new("concert_id", DataType::Int), ColumnDef::new("theme", DataType::Text)],
+        ));
+        s.add_table(TableSchema::new(
+            "singer_in_concert",
+            vec![
+                ColumnDef::new("concert_id", DataType::Int),
+                ColumnDef::new("singer_id", DataType::Int),
+            ],
+        ));
+        s.add_foreign_key("singer_in_concert", "concert_id", "concert", "concert_id");
+        s.add_foreign_key("singer_in_concert", "singer_id", "singer", "singer_id");
+        s
+    }
+
+    #[test]
+    fn figure6_bridge_table_matches_subject_relationship_object() {
+        let s = concert_schema();
+        let sem = discover_join_semantics(
+            &s,
+            &["singer_in_concert".into(), "concert".into(), "singer".into()],
+        );
+        assert_eq!(sem.topology, JoinTopology::SubjectRelationshipObject);
+        assert!(
+            sem.phrase.contains("singer") && sem.phrase.contains("concert"),
+            "{}",
+            sem.phrase
+        );
+    }
+
+    #[test]
+    fn two_table_fk_is_object_attribute() {
+        let s = concert_schema();
+        let sem = discover_join_semantics(&s, &["singer_in_concert".into(), "singer".into()]);
+        assert_eq!(sem.topology, JoinTopology::ObjectAttribute);
+    }
+
+    #[test]
+    fn two_tables_without_fk_fall_back_to_names() {
+        let s = concert_schema();
+        let sem = discover_join_semantics(&s, &["singer".into(), "concert".into()]);
+        assert_eq!(sem.topology, JoinTopology::Unmatched);
+        assert!(sem.phrase.contains("joined with"));
+    }
+
+    #[test]
+    fn self_join_detected() {
+        let s = concert_schema();
+        let sem = discover_join_semantics(&s, &["singer".into(), "singer".into()]);
+        assert_eq!(sem.topology, JoinTopology::SelfReference);
+    }
+
+    #[test]
+    fn single_table_has_plain_phrase() {
+        let s = concert_schema();
+        let sem = discover_join_semantics(&s, &["singer".into()]);
+        assert_eq!(sem.phrase, "singer");
+    }
+
+    #[test]
+    fn star_fragment_detected() {
+        let mut s = concert_schema();
+        s.add_table(TableSchema::new(
+            "review",
+            vec![
+                ColumnDef::new("review_id", DataType::Int),
+                ColumnDef::new("concert_id", DataType::Int),
+            ],
+        ));
+        s.add_foreign_key("review", "concert_id", "concert", "concert_id");
+        let sem = discover_join_semantics(
+            &s,
+            &["singer_in_concert".into(), "concert".into(), "review".into()],
+        );
+        assert_eq!(sem.topology, JoinTopology::Star);
+    }
+}

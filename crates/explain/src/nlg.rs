@@ -1,0 +1,594 @@
+//! Rule-based natural-language explanation generation (Algorithm 1).
+//!
+//! The generator follows the paper's pipeline: a result-set summary
+//! (`Generate-SUMMARY`), a provenance graph for the target result
+//! (`Build-GRAPH`), per-element NL phrases (`Generate-PHASE`), and the final
+//! composition (`Compose-PHASE`) joined with descriptive connectives.
+//!
+//! Alongside the free text, the generator exposes [`ExplanationFacets`] — a
+//! structured digest of exactly what the explanation (plus the result and
+//! SQL it quotes, per the paper's premise construction) conveys. The NLI
+//! verifier features consume the facets; everything in them is derivable
+//! from the premise text, never from hidden gold data.
+
+use crate::enrich::enrich;
+use crate::graph::build_graph;
+use crate::join_sem::discover_join_semantics;
+use cyclesql_provenance::Provenance;
+use cyclesql_sql::{
+    AggFunc, BinOp, ClauseKind, Literal, Query, SetOp, SortOrder, UnitSemantics,
+};
+use cyclesql_storage::{Database, ResultSet, Value};
+use serde::{Deserialize, Serialize};
+
+/// Structured digest of an explanation's content.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExplanationFacets {
+    /// Aggregates conveyed: function plus the NL name of its column (if any).
+    pub agg_funcs: Vec<(AggFunc, Option<String>)>,
+    /// Filter comparisons: (column NL name, operator, rendered value).
+    pub comparisons: Vec<(String, BinOp, String)>,
+    /// NL names of projected columns.
+    pub projected_columns: Vec<String>,
+    /// Grouping keys (NL names).
+    pub group_keys: Vec<String>,
+    /// HAVING conditions: (aggregate, operator, rendered value).
+    pub having: Vec<(Option<AggFunc>, BinOp, String)>,
+    /// Ordering: (key NL phrase, direction, aggregate if the key is one).
+    pub order: Option<(String, SortOrder, Option<AggFunc>)>,
+    /// Row limit.
+    pub limit: Option<u64>,
+    /// Set operation, if any.
+    pub set_op: Option<SetOp>,
+    /// Count of negated predicates (NOT IN, NOT LIKE, !=, NOT EXISTS).
+    pub negations: usize,
+    /// Whether the query deduplicates (`DISTINCT`).
+    pub distinct: bool,
+    /// Result column count.
+    pub num_columns: usize,
+    /// Result row count.
+    pub num_rows: usize,
+    /// Values of the explained result row, rendered.
+    pub result_values: Vec<String>,
+    /// Real table names involved (join chain).
+    pub join_tables: Vec<String>,
+    /// Conditions surfaced from nested subqueries.
+    pub subquery_conditions: Vec<(String, BinOp, String)>,
+    /// LIKE patterns conveyed.
+    pub like_patterns: Vec<String>,
+    /// Whether the explained result was empty.
+    pub empty_result: bool,
+}
+
+/// A generated natural-language explanation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Explanation {
+    /// The `Generate-SUMMARY` sentence.
+    pub summary: String,
+    /// Per-element phrases, in graph-traversal order.
+    pub phrases: Vec<String>,
+    /// The fully composed explanation text.
+    pub text: String,
+    /// Structured digest (drives NLI features and groundedness checks).
+    pub facets: ExplanationFacets,
+    /// Every concrete value the text mentions (groundedness invariant:
+    /// each occurs in the provenance or result).
+    pub grounded_values: Vec<String>,
+}
+
+impl Explanation {
+    /// The NLI premise: explanation text, result row, and SQL joined with
+    /// the paper's separator token.
+    pub fn premise(&self, sql: &str) -> String {
+        format!(
+            "{} | {} | {}",
+            self.text,
+            self.facets.result_values.join(", "),
+            sql
+        )
+    }
+}
+
+/// Generates the NL explanation for `result.rows[row_idx]` of `query`.
+///
+/// `prov` is the tracked provenance for that row (possibly the empty-result
+/// fallback, in which case the explanation is built from operation-level
+/// semantics only).
+pub fn generate_explanation(
+    db: &Database,
+    query: &Query,
+    result: &ResultSet,
+    row_idx: usize,
+    prov: &Provenance,
+) -> Explanation {
+    let enriched = enrich(query, &prov.table);
+    let graph = build_graph(&enriched, 0);
+    let _ = &graph; // the graph mirrors the enriched table; phrases read both
+
+    let core = query.leading_select();
+    let mut facets = ExplanationFacets {
+        distinct: core.distinct,
+        num_columns: result.columns.len(),
+        num_rows: result.len(),
+        empty_result: result.is_empty(),
+        ..ExplanationFacets::default()
+    };
+    let mut grounded: Vec<String> = Vec::new();
+
+    // --- Generate-SUMMARY -------------------------------------------------
+    let agg_kinds: Vec<AggFunc> = summary_agg_kinds(query);
+    let col_note = if agg_kinds.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<&str> = agg_kinds.iter().map(|a| a.name()).collect();
+        format!(" of aggregation type ({})", names.join(", "))
+    };
+    let summary = format!(
+        "The query returns a result set with {}{} and {}.",
+        plural(result.columns.len(), "column"),
+        col_note,
+        plural(result.len(), "row"),
+    );
+
+    // --- Join semantics ---------------------------------------------------
+    let join_tables: Vec<String> =
+        core.from.tables().iter().map(|t| t.name.clone()).collect();
+    facets.join_tables = join_tables.clone();
+    let join_sem = discover_join_semantics(&db.schema, &join_tables);
+    let subject = if join_sem.phrase.is_empty() {
+        core.from.base.name.replace('_', " ")
+    } else {
+        join_sem.phrase.clone()
+    };
+
+    // --- Per-element phrases (Generate-PHASE) ------------------------------
+    let mut filter_phrases: Vec<String> = Vec::new();
+    let mut result_phrases: Vec<String> = Vec::new();
+    let mut tail_phrases: Vec<String> = Vec::new();
+
+    let result_row: Option<&Vec<Value>> = result.rows.get(row_idx);
+    let prov_row = prov.table.rows.first();
+
+    let nl_col = |c: &cyclesql_sql::ColumnRef| -> String { column_nl(db, &join_tables, c) };
+
+    // Track which projection index each aggregate unit corresponds to so the
+    // aggregate phrase can quote the actual result value.
+    let mut proj_seen = 0usize;
+    for ann in &enriched.annotations {
+        let u = &ann.unit;
+        match &u.semantics {
+            UnitSemantics::Aggregate { func, distinct, column } => {
+                let value = result_row.and_then(|r| r.get(proj_seen)).cloned();
+                proj_seen += 1;
+                let col_nl = column.as_ref().map(&nl_col);
+                facets.agg_funcs.push((*func, col_nl.clone()));
+                let vtext = value.as_ref().map(|v| v.to_string()).unwrap_or_default();
+                if !vtext.is_empty() {
+                    grounded.push(vtext.clone());
+                }
+                let phrase = match (func, &col_nl) {
+                    (AggFunc::Count, None) => {
+                        // Count the base entity, not the whole join phrase
+                        // ("4 country languages", not "4 country language
+                        // with countrys").
+                        let noun = join_tables
+                            .first()
+                            .and_then(|t| db.schema.table(t))
+                            .map(|t| t.nl_name.clone())
+                            .unwrap_or_else(|| subject.clone());
+                        if vtext == "1" {
+                            format!("there is 1 {noun} in total")
+                        } else {
+                            format!("there are {vtext} {} in total", pluralize(&noun))
+                        }
+                    }
+                    (AggFunc::Count, Some(c)) => {
+                        let d = if *distinct { "distinct " } else { "" };
+                        format!("the count of {d}{c} is {vtext}")
+                    }
+                    (AggFunc::Sum, Some(c)) => format!("the total {c} is {vtext}"),
+                    (AggFunc::Avg, Some(c)) => format!("the average {c} is {vtext}"),
+                    (AggFunc::Min, Some(c)) => format!("the minimum {c} is {vtext}"),
+                    (AggFunc::Max, Some(c)) => format!("the maximum {c} is {vtext}"),
+                    (f, None) => format!("the {} value is {vtext}", f.name()),
+                };
+                result_phrases.push(phrase);
+            }
+            UnitSemantics::Projection { column } => {
+                let value = result_row.and_then(|r| r.get(proj_seen)).cloned();
+                proj_seen += 1;
+                let c = nl_col(column);
+                facets.projected_columns.push(c.clone());
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let vtext = v.to_string();
+                        grounded.push(vtext.clone());
+                        result_phrases.push(format!("the {c} is {vtext}"));
+                    } else {
+                        result_phrases.push(format!("the {c} is unknown (NULL)"));
+                    }
+                } else {
+                    result_phrases.push(format!("returns the {c}"));
+                }
+            }
+            UnitSemantics::ProjectAll { .. } => {
+                proj_seen = result.columns.len();
+                facets.projected_columns.push("all columns".into());
+                if let Some(r) = result_row {
+                    let vals: Vec<String> =
+                        r.iter().map(|v| v.to_string()).collect();
+                    grounded.extend(vals.iter().cloned());
+                    result_phrases
+                        .push(format!("the full record is ({})", vals.join(", ")));
+                }
+            }
+            UnitSemantics::Comparison { column, op, value } => {
+                if u.clause == ClauseKind::Join {
+                    continue;
+                }
+                let c = nl_col(column);
+                let vtext = literal_text(value);
+                grounded.push(vtext.clone());
+                facets.comparisons.push((c.clone(), *op, vtext.clone()));
+                if *op == BinOp::NotEq {
+                    facets.negations += 1;
+                }
+                filter_phrases.push(format!("{c} {} {vtext}", op_phrase(*op)));
+                // Ground with the actual provenance witness when available.
+                if let (Some(prow), Some(ci)) = (
+                    prov_row,
+                    prov.table.column_index(column.table.as_deref(), &column.column),
+                ) {
+                    let witness = prow.values[ci].to_string();
+                    if witness != vtext && *op != BinOp::Eq {
+                        grounded.push(witness.clone());
+                        filter_phrases.push(format!(
+                            "for example the {c} {witness} is {} {vtext}",
+                            op_phrase(*op)
+                        ));
+                    }
+                }
+            }
+            UnitSemantics::ColumnComparison { left, op, right } => {
+                if u.clause == ClauseKind::Join {
+                    continue; // join linkage is conveyed by the subject phrase
+                }
+                filter_phrases.push(format!(
+                    "{} {} {}",
+                    nl_col(left),
+                    op_phrase(*op),
+                    nl_col(right)
+                ));
+            }
+            UnitSemantics::Like { column, pattern, negated } => {
+                let c = nl_col(column);
+                facets.like_patterns.push(pattern.clone());
+                if *negated {
+                    facets.negations += 1;
+                }
+                let frag = pattern.trim_matches('%').to_string();
+                grounded.push(frag.clone());
+                filter_phrases.push(if *negated {
+                    format!("{c} does not contain '{frag}'")
+                } else {
+                    format!("{c} contains '{frag}'")
+                });
+            }
+            UnitSemantics::Between { column, low, high, negated } => {
+                let c = nl_col(column);
+                let (lo, hi) = (literal_text(low), literal_text(high));
+                grounded.push(lo.clone());
+                grounded.push(hi.clone());
+                facets.comparisons.push((c.clone(), BinOp::GtEq, lo.clone()));
+                facets.comparisons.push((c.clone(), BinOp::LtEq, hi.clone()));
+                if *negated {
+                    facets.negations += 1;
+                    filter_phrases.push(format!("{c} is not between {lo} and {hi}"));
+                } else {
+                    filter_phrases.push(format!("{c} is between {lo} and {hi}"));
+                }
+            }
+            UnitSemantics::NullCheck { column, negated } => {
+                let c = nl_col(column);
+                filter_phrases.push(if *negated {
+                    format!("{c} is present (not null)")
+                } else {
+                    format!("{c} is missing (null)")
+                });
+            }
+            UnitSemantics::InValues { column, values, negated } => {
+                let c = nl_col(column);
+                let vals: Vec<String> = values.iter().map(literal_text).collect();
+                grounded.extend(vals.iter().cloned());
+                for v in &vals {
+                    facets.comparisons.push((
+                        c.clone(),
+                        if *negated { BinOp::NotEq } else { BinOp::Eq },
+                        v.clone(),
+                    ));
+                }
+                if *negated {
+                    facets.negations += 1;
+                    filter_phrases.push(format!("{c} is none of {}", vals.join(", ")));
+                } else {
+                    filter_phrases.push(format!("{c} is one of {}", vals.join(", ")));
+                }
+            }
+            UnitSemantics::SubqueryPredicate { column, negated, op, sql } => {
+                if *negated {
+                    facets.negations += 1;
+                }
+                let lead = match column {
+                    Some(c) => nl_col(c),
+                    None => "the entry".to_string(),
+                };
+                if let (Some(op), Some(_)) = (op, column) {
+                    // Scalar-subquery comparison: ground the nested value by
+                    // executing the subquery against the database.
+                    let nested_value = cyclesql_sql::parse(sql)
+                        .ok()
+                        .and_then(|sub| cyclesql_storage::execute(db, &sub).ok())
+                        .and_then(|r| r.rows.first().and_then(|row| row.first().cloned()))
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "a nested value".to_string());
+                    grounded.push(nested_value.clone());
+                    facets.comparisons.push((lead.clone(), *op, nested_value.clone()));
+                    filter_phrases.push(format!(
+                        "{lead} is {} the nested value {nested_value}",
+                        op_phrase(*op)
+                    ));
+                } else {
+                    let inner = render_subquery_conditions(db, sql, &mut facets, &mut grounded);
+                    filter_phrases.push(if *negated {
+                        format!("{lead} excludes entries where {inner}")
+                    } else {
+                        format!("{lead} matches entries where {inner}")
+                    });
+                }
+            }
+            UnitSemantics::Disjunction { sql, columns } => {
+                let cols: Vec<String> = columns.iter().map(&nl_col).collect();
+                // Surface the disjunct values for grounding.
+                filter_phrases.push(format!(
+                    "either condition on {} holds ({sql})",
+                    cols.join(" or ")
+                ));
+            }
+            UnitSemantics::HavingCondition { func, column, op, value } => {
+                let vtext = literal_text(value);
+                grounded.push(vtext.clone());
+                facets.having.push((*func, *op, vtext.clone()));
+                let what = match (func, column) {
+                    (Some(AggFunc::Count), None) => "the number of entries per group".to_string(),
+                    (Some(f), Some(c)) => format!("the {} of {}", f.name(), nl_col(c)),
+                    (Some(f), None) => format!("the {} per group", f.name()),
+                    (None, Some(c)) => nl_col(c),
+                    (None, None) => "the group".to_string(),
+                };
+                filter_phrases.push(format!("{what} is {} {vtext}", op_phrase(*op)));
+            }
+            UnitSemantics::GroupKey { column } => {
+                let c = nl_col(column);
+                facets.group_keys.push(c.clone());
+                filter_phrases.insert(0, format!("for each {c}"));
+            }
+            UnitSemantics::OrderKey { expr_sql, agg, column, order } => {
+                let key = match (agg, column) {
+                    (Some(f), Some(c)) => format!("the {} of {}", f.name(), nl_col(c)),
+                    (Some(AggFunc::Count), None) => "the number of entries".to_string(),
+                    (Some(f), None) => format!("the {} value", f.name()),
+                    (None, Some(c)) => nl_col(c),
+                    (None, None) => expr_sql.clone(),
+                };
+                facets.order = Some((key.clone(), *order, *agg));
+                tail_phrases.push(match order {
+                    SortOrder::Asc => format!("sorted by {key} in ascending order"),
+                    SortOrder::Desc => format!("sorted by {key} in descending order"),
+                });
+            }
+            UnitSemantics::RowLimit { n } => {
+                facets.limit = Some(*n);
+                tail_phrases.push(if *n == 1 {
+                    "keeping only the top result".to_string()
+                } else {
+                    format!("keeping the top {n} results")
+                });
+            }
+            UnitSemantics::SetOperation { op } => {
+                facets.set_op = Some(*op);
+                tail_phrases.push(
+                    match op {
+                        SetOp::Union => "combining the rows satisfying either condition",
+                        SetOp::Intersect => "keeping only rows satisfying both conditions",
+                        SetOp::Except => "excluding rows matching the second condition",
+                    }
+                    .to_string(),
+                );
+            }
+            UnitSemantics::Opaque { sql, .. } => {
+                filter_phrases.push(format!("satisfying {sql}"));
+            }
+        }
+    }
+
+    facets.result_values = result_row
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .unwrap_or_default();
+    grounded.extend(facets.result_values.iter().cloned());
+
+    // --- Compose-PHASE -----------------------------------------------------
+    let mut phrases = Vec::new();
+    let mut body = String::new();
+    if !filter_phrases.is_empty() {
+        body.push_str(&format!(
+            "That is, for {subject}, filtered by {}",
+            filter_phrases.join(" and ")
+        ));
+        phrases.extend(filter_phrases.clone());
+    } else if !result_phrases.is_empty() {
+        body.push_str(&format!("That is, for {subject}"));
+    }
+    if !result_phrases.is_empty() {
+        if body.is_empty() {
+            body.push_str(&format!("Here, {}", result_phrases.join(", and ")));
+        } else {
+            body.push_str(&format!(", {}", result_phrases.join(", and ")));
+        }
+        phrases.extend(result_phrases.clone());
+    }
+    if !tail_phrases.is_empty() {
+        if body.is_empty() {
+            body.push_str(&format!("The result is {}", tail_phrases.join(", ")));
+        } else {
+            body.push_str(&format!(", {}", tail_phrases.join(", ")));
+        }
+        phrases.extend(tail_phrases.clone());
+    }
+    if !body.is_empty() {
+        body.push('.');
+    }
+    if result.is_empty() {
+        body.push_str(" No rows satisfy the stated conditions.");
+        // Empty-result diagnosis (future-work extension): name the culprit
+        // condition and a near-miss witness so even empty results stay
+        // data-grounded.
+        if let Ok(diag) = cyclesql_provenance::diagnose_empty_result(db, query) {
+            body.push(' ');
+            body.push_str(&diag.to_phrase());
+        }
+    }
+
+    let text = if body.is_empty() { summary.clone() } else { format!("{summary} {body}") };
+
+    Explanation { summary, phrases, text, facets, grounded_values: grounded }
+}
+
+/// Aggregation kinds mentioned in the top-level projections (for the
+/// summary sentence).
+fn summary_agg_kinds(q: &Query) -> Vec<AggFunc> {
+    let mut out = Vec::new();
+    for item in &q.leading_select().projections {
+        if let cyclesql_sql::SelectItem::Expr { expr, .. } = item {
+            expr.visit(&mut |e| {
+                if let cyclesql_sql::Expr::Agg { func, .. } = e {
+                    if !out.contains(func) {
+                        out.push(*func);
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Surfaces the filter conditions of a nested subquery so that e.g.
+/// `NOT IN (SELECT ... WHERE isofficial = 'T' AND language = 'English')`
+/// explains what is being excluded (the paper's Q4 example).
+fn render_subquery_conditions(
+    db: &Database,
+    sql: &str,
+    facets: &mut ExplanationFacets,
+    grounded: &mut Vec<String>,
+) -> String {
+    let Ok(sub) = cyclesql_sql::parse(sql) else {
+        return "a nested condition holds".to_string();
+    };
+    let tables: Vec<String> =
+        sub.leading_select().from.tables().iter().map(|t| t.name.clone()).collect();
+    let mut parts = Vec::new();
+    for unit in cyclesql_sql::decompose(&sub) {
+        if let UnitSemantics::Comparison { column, op, value } = &unit.semantics {
+            if unit.clause == ClauseKind::Where {
+                let c = column_nl(db, &tables, column);
+                let v = literal_text(value);
+                grounded.push(v.clone());
+                facets.subquery_conditions.push((c.clone(), *op, v.clone()));
+                parts.push(format!("{c} {} {v}", op_phrase(*op)));
+            }
+        }
+    }
+    if parts.is_empty() {
+        "a nested condition holds".to_string()
+    } else {
+        parts.join(" and ")
+    }
+}
+
+/// NL name for a column: the schema's `nl_name` when resolvable.
+fn column_nl(db: &Database, tables: &[String], c: &cyclesql_sql::ColumnRef) -> String {
+    // Try the qualifier as a real table first, then search the join chain.
+    if let Some(t) = &c.table {
+        if let Some(ts) = db.schema.table(t) {
+            if let Some(col) = ts.column(&c.column) {
+                return col.nl_name.clone();
+            }
+        }
+    }
+    for t in tables {
+        if let Some(ts) = db.schema.table(t) {
+            if let Some(col) = ts.column(&c.column) {
+                return col.nl_name.clone();
+            }
+        }
+    }
+    c.column.replace('_', " ")
+}
+
+fn op_phrase(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "equal to",
+        BinOp::NotEq => "not equal to",
+        BinOp::Lt => "less than",
+        BinOp::LtEq => "less than or equal to",
+        BinOp::Gt => "greater than",
+        BinOp::GtEq => "greater than or equal to",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Add => "plus",
+        BinOp::Sub => "minus",
+        BinOp::Mul => "times",
+        BinOp::Div => "divided by",
+    }
+}
+
+fn literal_text(l: &Literal) -> String {
+    match l {
+        Literal::Str(s) => s.clone(),
+        Literal::Int(n) => n.to_string(),
+        Literal::Float(x) => {
+            if x.fract() == 0.0 {
+                format!("{}", *x as i64)
+            } else {
+                x.to_string()
+            }
+        }
+        Literal::Bool(b) => if *b { "T" } else { "F" }.to_string(),
+        Literal::Null => "NULL".to_string(),
+    }
+}
+
+fn plural(n: usize, noun: &str) -> String {
+    if n == 1 {
+        format!("one {noun}")
+    } else {
+        format!("{n} {noun}s")
+    }
+}
+
+fn pluralize(subject: &str) -> String {
+    let s = subject.trim();
+    // Irregular/zero plurals common in the schema vocabulary.
+    match s {
+        "aircraft" | "fish" | "sheep" | "species" => return s.to_string(),
+        _ => {}
+    }
+    if let Some(stem) = s.strip_suffix('y') {
+        if !stem.ends_with(|c: char| "aeiou".contains(c)) {
+            return format!("{stem}ies");
+        }
+    }
+    if s.ends_with('s') || s.ends_with("sh") || s.ends_with("ch") {
+        return format!("{s}es");
+    }
+    format!("{s}s")
+}

@@ -1,0 +1,379 @@
+//! End-to-end NLG tests reproducing the paper's running examples.
+
+use crate::nlg::generate_explanation;
+use crate::polish::polish;
+use crate::sql2nl::sql_to_nl;
+use cyclesql_provenance::track_provenance;
+use cyclesql_sql::{parse, AggFunc, BinOp, SetOp};
+use cyclesql_storage::{
+    execute, ColumnDef, DataType, Database, DatabaseSchema, TableSchema, Value,
+};
+
+fn flight_db() -> Database {
+    let mut schema = DatabaseSchema::new("flight_1");
+    schema.add_table(TableSchema::new(
+        "aircraft",
+        vec![
+            ColumnDef::new("aid", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+        ],
+    ));
+    schema.add_table(TableSchema::new(
+        "flight",
+        vec![
+            ColumnDef::with_nl("flno", DataType::Int, "flight number"),
+            ColumnDef::new("aid", DataType::Int),
+            ColumnDef::new("origin", DataType::Text),
+        ],
+    ));
+    schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+    let mut db = Database::new(schema);
+    db.insert("aircraft", vec![Value::Int(1), Value::from("Boeing 747-400")]);
+    db.insert("aircraft", vec![Value::Int(3), Value::from("Airbus A340-300")]);
+    db.insert("flight", vec![Value::Int(2), Value::Int(1), Value::from("LA")]);
+    db.insert("flight", vec![Value::Int(7), Value::Int(3), Value::from("LA")]);
+    db.insert("flight", vec![Value::Int(13), Value::Int(3), Value::from("LA")]);
+    db
+}
+
+fn world_db() -> Database {
+    let mut schema = DatabaseSchema::new("world_1");
+    schema.add_table(TableSchema::new(
+        "country",
+        vec![
+            ColumnDef::new("code", DataType::Text),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("continent", DataType::Text),
+            ColumnDef::new("population", DataType::Int),
+        ],
+    ));
+    schema.add_table(
+        TableSchema::new(
+            "countrylanguage",
+            vec![
+                ColumnDef::new("countrycode", DataType::Text),
+                ColumnDef::new("language", DataType::Text),
+                ColumnDef::new("isofficial", DataType::Text),
+            ],
+        )
+        .with_primary_key(vec![0, 1]),
+    );
+    schema.add_foreign_key("countrylanguage", "countrycode", "country", "code");
+    let mut db = Database::new(schema);
+    for (code, name, cont, pop) in [
+        ("ABW", "Aruba", "North America", 103000),
+        ("FRA", "France", "Europe", 59225700),
+        ("SYC", "Seychelles", "Africa", 77000),
+        ("EST", "Estonia", "Europe", 1439200),
+    ] {
+        db.insert(
+            "country",
+            vec![Value::from(code), Value::from(name), Value::from(cont), Value::Int(pop)],
+        );
+    }
+    for (code, lang, off) in [
+        ("ABW", "Dutch", "T"),
+        ("ABW", "English", "F"),
+        ("ABW", "Papiamento", "T"),
+        ("ABW", "Spanish", "F"),
+        ("FRA", "French", "T"),
+        ("SYC", "English", "T"),
+        ("SYC", "French", "T"),
+        ("EST", "Estonian", "T"),
+    ] {
+        db.insert("countrylanguage", vec![Value::from(code), Value::from(lang), Value::from(off)]);
+    }
+    db
+}
+
+fn explain(db: &Database, sql: &str) -> crate::nlg::Explanation {
+    let q = parse(sql).unwrap();
+    let result = execute(db, &q).unwrap();
+    let prov = track_provenance(db, &q, &result, 0).unwrap();
+    generate_explanation(db, &q, &result, 0, &prov)
+}
+
+#[test]
+fn example1_count_explanation_matches_paper_shape() {
+    let db = flight_db();
+    let e = explain(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    // Summary sentence: one column of aggregation type (count), one row.
+    assert!(e.summary.contains("one column"), "{}", e.summary);
+    assert!(e.summary.contains("count"), "{}", e.summary);
+    assert!(e.summary.contains("one row"), "{}", e.summary);
+    // Reasoning step 1: the filter.
+    assert!(e.text.contains("Airbus A340-300"), "{}", e.text);
+    // Reasoning step 2: "there are 2 ... in total".
+    assert!(e.text.contains("there are 2"), "{}", e.text);
+    assert!(e.text.contains("in total"), "{}", e.text);
+}
+
+#[test]
+fn count_facets_capture_aggregate_and_filter() {
+    let db = flight_db();
+    let e = explain(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    assert_eq!(e.facets.agg_funcs, vec![(AggFunc::Count, None)]);
+    assert_eq!(e.facets.comparisons.len(), 1);
+    assert_eq!(e.facets.comparisons[0].1, BinOp::Eq);
+    assert_eq!(e.facets.comparisons[0].2, "Airbus A340-300");
+    assert_eq!(e.facets.result_values, vec!["2".to_string()]);
+}
+
+#[test]
+fn groundedness_every_value_in_text_comes_from_data() {
+    let db = flight_db();
+    let e = explain(
+        &db,
+        "SELECT flno FROM flight WHERE origin = 'LA'",
+    );
+    // Every grounded value must appear in the provenance or the result:
+    // here flno values and 'LA'.
+    for v in &e.grounded_values {
+        assert!(
+            v == "LA" || ["2", "7", "13"].contains(&v.as_str()),
+            "ungrounded value {v} in {:?}",
+            e.grounded_values
+        );
+    }
+}
+
+#[test]
+fn plain_projection_quotes_result_value() {
+    let db = world_db();
+    let e = explain(&db, "SELECT continent FROM country WHERE name = 'Aruba'");
+    assert!(e.text.contains("North America"), "{}", e.text);
+    assert!(e.text.contains("Aruba"), "{}", e.text);
+}
+
+#[test]
+fn wrong_aggregate_yields_different_explanation() {
+    // The Figure-2 motivation: count vs the correct flno projection must
+    // produce distinguishable explanations.
+    let db = flight_db();
+    let wrong = explain(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    let right = explain(
+        &db,
+        "SELECT T1.flno FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    assert_ne!(wrong.text, right.text);
+    assert!(wrong.text.contains("in total"));
+    assert!(right.text.contains("flight number"), "{}", right.text);
+    assert!(wrong.facets.agg_funcs.len() == 1 && right.facets.agg_funcs.is_empty());
+}
+
+#[test]
+fn relaxed_comparison_is_reflected() {
+    // The error-analysis example: population >= 80000 vs = 80000 must render
+    // different operator phrases.
+    let db = world_db();
+    let ge = explain(
+        &db,
+        "SELECT name FROM country WHERE continent = 'Europe' AND population >= 80000",
+    );
+    let eq = explain(
+        &db,
+        "SELECT name FROM country WHERE continent = 'Europe' AND population = 1439200",
+    );
+    assert!(ge.text.contains("greater than or equal to 80000"), "{}", ge.text);
+    assert!(eq.text.contains("equal to 1439200"), "{}", eq.text);
+}
+
+#[test]
+fn provenance_witness_included_for_inequalities() {
+    // "the population is 1439200 greater than or equal to 80000" shape:
+    // the witness value from the provenance appears.
+    let db = world_db();
+    let e = explain(
+        &db,
+        "SELECT name FROM country WHERE population >= 80000",
+    );
+    assert!(
+        e.text.contains("for example"),
+        "witness clause expected: {}",
+        e.text
+    );
+}
+
+#[test]
+fn group_by_having_explanation() {
+    let db = world_db();
+    let e = explain(
+        &db,
+        "SELECT count(T2.language), T1.name FROM country AS T1 \
+         JOIN countrylanguage AS T2 ON T1.code = T2.countrycode \
+         GROUP BY T1.name HAVING count(*) > 2",
+    );
+    assert!(e.text.contains("for each name"), "{}", e.text);
+    assert!(e.text.contains("greater than 2"), "{}", e.text);
+    assert_eq!(e.facets.group_keys, vec!["name".to_string()]);
+    assert_eq!(e.facets.having.len(), 1);
+}
+
+#[test]
+fn intersect_explanation_mentions_both_branches() {
+    let db = world_db();
+    let e = explain(
+        &db,
+        "SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode \
+         WHERE T2.language = 'English' INTERSECT \
+         SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode \
+         WHERE T2.language = 'French'",
+    );
+    assert!(e.text.contains("English"), "{}", e.text);
+    assert!(e.text.contains("French"), "{}", e.text);
+    assert_eq!(e.facets.set_op, Some(SetOp::Intersect));
+    assert!(e.text.contains("Seychelles"), "{}", e.text);
+}
+
+#[test]
+fn not_in_subquery_surfaces_nested_conditions() {
+    // The paper's Q4: nested NOT IN conditions are surfaced.
+    let db = world_db();
+    let e = explain(
+        &db,
+        "SELECT name FROM country WHERE continent = 'Europe' AND name NOT IN \
+         (SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 \
+          ON T1.code = T2.countrycode WHERE T2.isofficial = 'T' AND T2.language = 'English')",
+    );
+    assert!(e.text.contains("excludes"), "{}", e.text);
+    assert!(e.text.contains("English"), "{}", e.text);
+    assert!(e.facets.negations >= 1);
+    assert!(!e.facets.subquery_conditions.is_empty());
+}
+
+#[test]
+fn order_limit_explanation() {
+    let db = world_db();
+    let e = explain(
+        &db,
+        "SELECT name FROM country ORDER BY population DESC LIMIT 1",
+    );
+    assert!(e.text.contains("descending"), "{}", e.text);
+    assert!(e.text.contains("top result"), "{}", e.text);
+    assert_eq!(e.facets.limit, Some(1));
+}
+
+#[test]
+fn empty_result_fallback_explains_without_data() {
+    let db = world_db();
+    let q = parse("SELECT name FROM country WHERE population > 999999999").unwrap();
+    let result = execute(&db, &q).unwrap();
+    let prov = track_provenance(&db, &q, &result, 0).unwrap();
+    assert!(prov.empty_result);
+    let e = generate_explanation(&db, &q, &result, 0, &prov);
+    assert!(e.text.contains("No rows satisfy"), "{}", e.text);
+    assert!(e.facets.empty_result);
+    // Operation-level semantics still present.
+    assert_eq!(e.facets.comparisons.len(), 1);
+}
+
+#[test]
+fn sql2nl_baseline_lacks_data_grounding() {
+    let db = flight_db();
+    let q = parse(
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    )
+    .unwrap();
+    let s = sql_to_nl(&db, &q);
+    // Conveys the operation but not the value 2.
+    assert!(s.text.contains("number of entries"), "{}", s.text);
+    assert!(!s.text.contains(" 2 "), "{}", s.text);
+    assert!(s.facets.result_values.is_empty());
+}
+
+#[test]
+fn polish_preserves_grounded_values() {
+    let db = flight_db();
+    let e = explain(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    let p = polish(&e.text);
+    assert!(p.contains("Airbus A340-300"), "{p}");
+    assert!(p.contains('2'), "{p}");
+}
+
+#[test]
+fn premise_contains_all_three_parts() {
+    let db = flight_db();
+    let sql = "SELECT count(*) FROM flight";
+    let e = explain(&db, sql);
+    let premise = e.premise(sql);
+    let parts: Vec<&str> = premise.split(" | ").collect();
+    assert_eq!(parts.len(), 3);
+    assert!(parts[2].contains("SELECT"));
+}
+
+#[test]
+fn join_subject_uses_discovered_semantics() {
+    let db = flight_db();
+    let e = explain(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    // flight→aircraft FK: object-attribute ⇒ "flight with aircraft".
+    assert!(e.text.contains("flight with aircraft"), "{}", e.text);
+}
+
+#[test]
+fn empty_result_explanation_includes_culprit_diagnosis() {
+    let db = world_db();
+    let q = parse(
+        "SELECT name FROM country WHERE continent = 'Europe' AND population > 999999999",
+    )
+    .unwrap();
+    let result = execute(&db, &q).unwrap();
+    assert!(result.is_empty());
+    let prov = track_provenance(&db, &q, &result, 0).unwrap();
+    let e = generate_explanation(&db, &q, &result, 0, &prov);
+    assert!(
+        e.text.contains("eliminates all"),
+        "empty-result diagnosis folded in: {}",
+        e.text
+    );
+}
+
+#[test]
+fn scalar_subquery_comparison_grounds_nested_value() {
+    let db = world_db();
+    let q = parse(
+        "SELECT name FROM country WHERE population > (SELECT avg(population) FROM country)",
+    )
+    .unwrap();
+    let result = execute(&db, &q).unwrap();
+    let prov = track_provenance(&db, &q, &result, 0).unwrap();
+    let e = generate_explanation(&db, &q, &result, 0, &prov);
+    assert!(e.text.contains("nested value"), "{}", e.text);
+    // The nested average is quoted numerically.
+    assert!(
+        e.facets.comparisons.iter().any(|(_, _, v)| v.parse::<f64>().is_ok()),
+        "{:?}",
+        e.facets.comparisons
+    );
+}
+
+#[test]
+fn singular_count_uses_is() {
+    let db = world_db();
+    let q = parse("SELECT count(*) FROM country WHERE name = 'Aruba'").unwrap();
+    let result = execute(&db, &q).unwrap();
+    let prov = track_provenance(&db, &q, &result, 0).unwrap();
+    let e = generate_explanation(&db, &q, &result, 0, &prov);
+    assert!(e.text.contains("there is 1 country in total"), "{}", e.text);
+}

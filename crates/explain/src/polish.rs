@@ -1,0 +1,91 @@
+//! The "polishing model" (Section V-B): a fluency pass over generated
+//! explanations.
+//!
+//! The paper uses a 5-shot prompted LLM purely to improve readability for
+//! the user study; the semantics must not change. Here the same role is
+//! played by a deterministic rule-based rewriter: it fixes capitalization,
+//! deduplicates repeated connectives, contracts stilted constructions, and
+//! smooths awkward operator phrasings. The substitution is documented in
+//! DESIGN.md.
+
+/// Polishes an explanation for readability without changing its semantics.
+pub fn polish(text: &str) -> String {
+    let mut s = text.to_string();
+
+    // Smooth stilted phrasings. Compound comparison phrases are protected
+    // first so the generic "equal to" rule cannot mangle them.
+    for (from, to) in [
+        ("greater than or equal to", "at least"),
+        ("less than or equal to", "at most"),
+        ("equal to", "of"),
+        (" , ", ", "),
+        ("filtered by name of", "filtered by the name"),
+        ("That is, for", "For"),
+        ("keeping only the top result", "keeping just the best match"),
+        (" in total.", " altogether."),
+        ("is present (not null)", "is recorded"),
+        ("is missing (null)", "is not recorded"),
+    ] {
+        s = s.replace(from, to);
+    }
+
+    // Collapse duplicated connectives introduced by composition.
+    while s.contains("and and") {
+        s = s.replace("and and", "and");
+    }
+    while s.contains("  ") {
+        s = s.replace("  ", " ");
+    }
+
+    // Sentence casing: capitalize after each period.
+    let mut out = String::with_capacity(s.len());
+    let mut capitalize = true;
+    for ch in s.chars() {
+        if capitalize && ch.is_ascii_alphabetic() {
+            out.extend(ch.to_uppercase());
+            capitalize = false;
+        } else {
+            out.push(ch);
+            if ch == '.' {
+                capitalize = true;
+            } else if !ch.is_whitespace() {
+                capitalize = false;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capitalizes_sentences() {
+        assert_eq!(polish("hello. world."), "Hello. World.");
+    }
+
+    #[test]
+    fn collapses_duplicate_connectives() {
+        assert_eq!(polish("a and and b"), "A and b");
+    }
+
+    #[test]
+    fn smooths_operator_phrasing() {
+        let p = polish("filtered by name equal to Aruba.");
+        assert!(p.contains("the name Aruba"), "{p}");
+    }
+
+    #[test]
+    fn idempotent_on_polished_text() {
+        let once = polish("there are 2 flights in total.");
+        let twice = polish(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn preserves_values() {
+        let p = polish("the population is 1439200 greater than or equal to 80000.");
+        assert!(p.contains("1439200") && p.contains("80000"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Programmatic explanation-quality rating — the simulated substitute for
+//! the paper's 20-participant user study (Section V-B2, Figure 10).
+//!
+//! Two dimensions mirror the study's questionnaire:
+//!
+//! - **Query-result interpretability** — does the explanation ground the
+//!   result in concrete data (witness values, counts, provenance rows)?
+//! - **Textual entailment with the NL query** — does the explanation cover
+//!   the semantic units of the question's SQL (filters, aggregates,
+//!   grouping, ordering, set operations)?
+//!
+//! Scores are on the study's 1–10 scale. A seeded per-"participant" jitter
+//! reproduces the averaged-rating setup.
+
+use crate::nlg::ExplanationFacets;
+use cyclesql_sql::{decompose, Query};
+
+/// Ratings for one explanation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityScore {
+    /// Query-result interpretability (1–10).
+    pub interpretability: f64,
+    /// Textual entailment with the NL question (1–10).
+    pub entailment: f64,
+    /// Overall rating (mean of dimensions, 1–10).
+    pub overall: f64,
+}
+
+/// The study's coarse summary buckets (great / neutral / bad).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatingBucket {
+    /// Scores in [7, 10].
+    Great,
+    /// Scores in [3, 7).
+    Neutral,
+    /// Scores in [0, 3).
+    Bad,
+}
+
+impl QualityScore {
+    /// Buckets the overall score as in Figure 10a.
+    pub fn bucket(&self) -> RatingBucket {
+        if self.overall >= 7.0 {
+            RatingBucket::Great
+        } else if self.overall >= 3.0 {
+            RatingBucket::Neutral
+        } else {
+            RatingBucket::Bad
+        }
+    }
+}
+
+/// Rates an explanation given its facets, the text, and the query it
+/// explains. `data_grounded` distinguishes CycleSQL explanations (which
+/// quote witness values) from SQL2NL ones.
+pub fn rate_explanation(
+    query: &Query,
+    text: &str,
+    facets: &ExplanationFacets,
+    data_grounded: bool,
+) -> QualityScore {
+    let units = decompose(query);
+    let unit_count = units.len().max(1);
+
+    // Coverage: how many semantic units the facets convey.
+    let conveyed = facets.agg_funcs.len()
+        + facets.comparisons.len()
+        + facets.projected_columns.len()
+        + facets.group_keys.len()
+        + facets.having.len()
+        + facets.order.iter().count()
+        + facets.limit.iter().count()
+        + facets.set_op.iter().count()
+        + facets.subquery_conditions.len()
+        + facets.like_patterns.len();
+    let coverage = (conveyed as f64 / unit_count as f64).min(1.0);
+
+    // Grounding: result values actually quoted in the text.
+    let quoted = facets
+        .result_values
+        .iter()
+        .filter(|v| !v.is_empty() && text.contains(v.as_str()))
+        .count();
+    let grounding = if facets.result_values.is_empty() {
+        if data_grounded {
+            0.6
+        } else {
+            0.2
+        }
+    } else {
+        quoted as f64 / facets.result_values.len() as f64
+    };
+
+    // Readability: penalize extremes of length.
+    let words = text.split_whitespace().count() as f64;
+    let readability = if words < 8.0 {
+        0.5
+    } else if words > 120.0 {
+        0.6
+    } else {
+        1.0
+    };
+
+    let interpretability =
+        (1.0 + 9.0 * (0.55 * grounding + 0.35 * coverage + 0.10 * readability)).clamp(1.0, 10.0);
+    let entailment =
+        (1.0 + 9.0 * (0.70 * coverage + 0.20 * grounding + 0.10 * readability)).clamp(1.0, 10.0);
+    let overall = (interpretability + entailment) / 2.0;
+    QualityScore { interpretability, entailment, overall }
+}
+
+/// Averages ratings across `n` simulated participants with deterministic
+/// per-participant jitter (participants don't all score identically).
+pub fn panel_rating(
+    query: &Query,
+    text: &str,
+    facets: &ExplanationFacets,
+    data_grounded: bool,
+    participants: usize,
+    seed: u64,
+) -> QualityScore {
+    let base = rate_explanation(query, text, facets, data_grounded);
+    let mut sum_i = 0.0;
+    let mut sum_e = 0.0;
+    for p in 0..participants.max(1) {
+        // Cheap deterministic jitter in [-0.75, 0.75].
+        let h = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(p as u64)
+            .wrapping_mul(0xBF58476D1CE4E5B9);
+        let jitter = ((h >> 32) as f64 / u32::MAX as f64 - 0.5) * 1.5;
+        sum_i += (base.interpretability + jitter).clamp(1.0, 10.0);
+        sum_e += (base.entailment + jitter * 0.8).clamp(1.0, 10.0);
+    }
+    let n = participants.max(1) as f64;
+    let interpretability = sum_i / n;
+    let entailment = sum_e / n;
+    QualityScore { interpretability, entailment, overall: (interpretability + entailment) / 2.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_sql::parse;
+
+    fn facets_with(values: Vec<&str>, comparisons: usize) -> ExplanationFacets {
+        let mut f = ExplanationFacets {
+            result_values: values.into_iter().map(String::from).collect(),
+            ..Default::default()
+        };
+        for i in 0..comparisons {
+            f.comparisons.push((format!("c{i}"), cyclesql_sql::BinOp::Eq, format!("v{i}")));
+        }
+        f
+    }
+
+    #[test]
+    fn grounded_explanations_score_higher() {
+        let q = parse("SELECT count(*) FROM t WHERE name = 'X'").unwrap();
+        let mut grounded = facets_with(vec!["4"], 1);
+        grounded.agg_funcs.push((cyclesql_sql::AggFunc::Count, None));
+        let g = rate_explanation(
+            &q,
+            "The query returns one row. For t, filtered by name equal to X, there are 4 entries in total.",
+            &grounded,
+            true,
+        );
+        let ungrounded = facets_with(vec![], 1);
+        let u = rate_explanation(
+            &q,
+            "The query retrieves the number of entries from t where the name is equal to X.",
+            &ungrounded,
+            false,
+        );
+        assert!(
+            g.interpretability > u.interpretability,
+            "grounded {g:?} vs sql2nl {u:?}"
+        );
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let q = parse("SELECT a FROM t").unwrap();
+        let s = rate_explanation(&q, "short.", &ExplanationFacets::default(), false);
+        assert!(s.overall >= 1.0 && s.overall <= 10.0);
+    }
+
+    #[test]
+    fn buckets_match_figure10() {
+        let great = QualityScore { interpretability: 8.0, entailment: 8.0, overall: 8.0 };
+        assert_eq!(great.bucket(), RatingBucket::Great);
+        let neutral = QualityScore { interpretability: 5.0, entailment: 5.0, overall: 5.0 };
+        assert_eq!(neutral.bucket(), RatingBucket::Neutral);
+        let bad = QualityScore { interpretability: 2.0, entailment: 2.0, overall: 2.0 };
+        assert_eq!(bad.bucket(), RatingBucket::Bad);
+    }
+
+    #[test]
+    fn panel_rating_is_deterministic() {
+        let q = parse("SELECT a FROM t WHERE x = 1").unwrap();
+        let f = facets_with(vec!["1"], 1);
+        let a = panel_rating(&q, "the a is 1, filtered by x equal to 1.", &f, true, 20, 7);
+        let b = panel_rating(&q, "the a is 1, filtered by x equal to 1.", &f, true, 20, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panel_rating_close_to_base() {
+        let q = parse("SELECT a FROM t WHERE x = 1").unwrap();
+        let f = facets_with(vec!["1"], 1);
+        let base = rate_explanation(&q, "the a is 1, filtered by x equal to 1.", &f, true);
+        let panel = panel_rating(&q, "the a is 1, filtered by x equal to 1.", &f, true, 50, 3);
+        assert!((panel.overall - base.overall).abs() < 1.0);
+    }
+}

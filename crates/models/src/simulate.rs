@@ -1,0 +1,458 @@
+//! The simulated translation models: calibrated candidate-list generators.
+//!
+//! A simulated model never reveals correctness to the caller — it returns a
+//! ranked list of SQL strings exactly as a beam decoder or a chat-completion
+//! API would. Whether a candidate is right is decided downstream by
+//! executing it, precisely as the paper's evaluation does.
+
+use crate::error_ops::apply_random_error;
+use crate::profile::{ModelKind, ModelProfile};
+use cyclesql_benchgen::BenchmarkItem;
+use cyclesql_sql::{
+    parse, to_sql, AggFunc, BinOp, Expr, FuncArg, Literal, Query, SelectItem,
+};
+use cyclesql_storage::{execute, Database};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One translation candidate, as emitted by a model.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The candidate SQL text (may be unparseable for LLM profiles).
+    pub sql: String,
+    /// Rank in the beam / completion list (0 = top).
+    pub rank: usize,
+    /// Model confidence score (monotonically decreasing in rank).
+    pub score: f64,
+}
+
+/// A translation request.
+#[derive(Debug, Clone, Copy)]
+pub struct TranslationRequest<'a> {
+    /// The benchmark item to translate.
+    pub item: &'a BenchmarkItem,
+    /// The database it targets.
+    pub db: &'a Database,
+    /// Number of candidates (beam size / completion count).
+    pub k: usize,
+    /// Perturbation severity of the benchmark variant in `[0, 1]`.
+    pub severity: f64,
+    /// Whether the item comes from the science benchmark (domain shift).
+    pub science: bool,
+}
+
+/// A simulated end-to-end NL2SQL model.
+#[derive(Debug, Clone)]
+pub struct SimulatedModel {
+    /// The behavioural profile.
+    pub profile: ModelProfile,
+}
+
+impl SimulatedModel {
+    /// Wraps a profile.
+    pub fn new(profile: ModelProfile) -> Self {
+        SimulatedModel { profile }
+    }
+
+    /// All eight baseline models.
+    pub fn all() -> Vec<SimulatedModel> {
+        ModelProfile::all().into_iter().map(SimulatedModel::new).collect()
+    }
+
+    /// Produces the ranked candidate list for an item. Deterministic per
+    /// (model, item).
+    pub fn translate(&self, req: &TranslationRequest<'_>) -> Vec<Candidate> {
+        let Ok(gold) = parse(&req.item.gold_sql) else {
+            return Vec::new();
+        };
+        let mut rng = StdRng::seed_from_u64(
+            fxhash(self.profile.name) ^ fxhash(&req.item.id) ^ 0x5117,
+        );
+
+        // Effective top-1 correctness under perturbation / domain shift.
+        let mut p1 = self.profile.top1_for(req.item.difficulty);
+        p1 *= 1.0 - self.profile.perturbation_sensitivity * req.severity;
+        if req.science {
+            p1 *= self.profile.science_factor;
+        }
+        let p1 = p1.clamp(0.02, 0.98);
+
+        // Where does the first correct candidate sit?
+        let first_correct: Option<usize> = if rng.gen_bool(p1) {
+            Some(0)
+        } else if rng.gen_bool(self.profile.beam_recovery.clamp(0.0, 1.0)) {
+            let mut rank = 1usize;
+            while rank + 1 < req.k && rng.gen_bool(self.profile.rank_depth) {
+                rank += 1;
+            }
+            Some(rank)
+        } else {
+            None
+        };
+
+        let mut candidates = Vec::with_capacity(req.k);
+        for rank in 0..req.k {
+            let sql = if Some(rank) == first_correct {
+                let style_p = if req.science {
+                    self.profile.science_style_divergence
+                } else {
+                    self.profile.style_divergence
+                };
+                let styled = rng.gen_bool(style_p);
+                if styled {
+                    to_sql(&restyle(&gold, req.db, &mut rng))
+                } else {
+                    to_sql(&gold)
+                }
+            } else if self.profile.kind == ModelKind::Llm
+                && rng.gen_bool(self.profile.invalid_rate)
+            {
+                // LLMs occasionally emit non-SQL garbage.
+                format!("{} AND AND ???", req.item.gold_sql)
+            } else {
+                wrong_candidate(&gold, req.db, &mut rng)
+            };
+            candidates.push(Candidate {
+                sql,
+                rank,
+                score: 1.0 - rank as f64 * 0.07,
+            });
+        }
+        candidates
+    }
+
+    /// Simulated wall-clock for one inference call (producing the whole
+    /// candidate list — beam search and the `n` API parameter both amortize
+    /// candidates into a single call).
+    pub fn inference_latency_ms(&self) -> f64 {
+        self.profile.latency_ms
+    }
+}
+
+/// Builds an incorrect candidate: 1–2 error operators, retried until the
+/// result is executable and (best-effort) execution-distinct from the gold.
+fn wrong_candidate(gold: &Query, db: &Database, rng: &mut StdRng) -> String {
+    let gold_result = execute(db, gold).ok();
+    for _attempt in 0..4 {
+        let mut q = match apply_random_error(gold, db, rng) {
+            Some(q) => q,
+            None => break,
+        };
+        if rng.gen_bool(0.35) {
+            if let Some(q2) = apply_random_error(&q, db, rng) {
+                q = q2;
+            }
+        }
+        let sql = to_sql(&q);
+        let Ok(reparsed) = parse(&sql) else { continue };
+        let Ok(result) = execute(db, &reparsed) else { continue };
+        if let Some(gr) = &gold_result {
+            if result.bag_eq(gr) {
+                // Accidentally equivalent — usually retry, occasionally let
+                // it through (real model errors are sometimes benign).
+                if rng.gen_bool(0.85) {
+                    continue;
+                }
+            }
+        }
+        return sql;
+    }
+    // Fallback: a structurally-different but valid query (count over base).
+    let base = gold.leading_select().from.base.clone();
+    format!("SELECT count(*) FROM {}", base.name)
+}
+
+/// Restyles a correct query without changing its semantics: breaks EM,
+/// preserves EX (the LLM signature of low exact-match, high execution
+/// accuracy).
+fn restyle(gold: &Query, db: &Database, rng: &mut StdRng) -> Query {
+    let mut q = gold.clone();
+    let choice = rng.gen_range(0..3);
+    match choice {
+        0 => {
+            // count(*) → count(<pk>): the paper's CHESS "ID-like projection"
+            // signature (here EX-preserving because generated keys are
+            // non-null).
+            let base = q.leading_select().from.base.clone();
+            let pk = db
+                .schema
+                .table(&base.name)
+                .and_then(|t| t.primary_key_names().first().map(|s| s.to_string()));
+            if let Some(pk) = pk {
+                let core = q.leading_select_mut();
+                for item in &mut core.projections {
+                    if let SelectItem::Expr {
+                        expr: Expr::Agg { func: AggFunc::Count, arg: arg @ FuncArg::Star, .. },
+                        ..
+                    } = item
+                    {
+                        *arg = FuncArg::Expr(Box::new(Expr::col(
+                            cyclesql_sql::ColumnRef {
+                                table: base.alias.clone().or_else(|| Some(base.name.clone())),
+                                column: pk.clone(),
+                            },
+                        )));
+                        return q;
+                    }
+                }
+            }
+            add_tautology(&mut q);
+            q
+        }
+        1 => {
+            // x = 'v'  →  x IN ('v').
+            let core = q.leading_select_mut();
+            if let Some(w) = &mut core.where_clause {
+                if eq_to_in(w) {
+                    return q;
+                }
+            }
+            add_tautology(&mut q);
+            q
+        }
+        _ => {
+            add_tautology(&mut q);
+            q
+        }
+    }
+}
+
+/// Appends a `1 = 1` tautology conjunct (semantics-preserving EM breaker).
+fn add_tautology(q: &mut Query) {
+    let core = q.leading_select_mut();
+    let tautology = Expr::binary(
+        BinOp::Eq,
+        Expr::lit(Literal::Int(1)),
+        Expr::lit(Literal::Int(1)),
+    );
+    core.where_clause = Some(match core.where_clause.take() {
+        Some(w) => Expr::and(w, tautology),
+        None => tautology,
+    });
+}
+
+fn eq_to_in(e: &mut Expr) -> bool {
+    match e {
+        Expr::Binary { op: BinOp::Eq, left, right } => {
+            if let (Expr::Column(_), Expr::Literal(lit)) = (&**left, &**right) {
+                let lit = lit.clone();
+                let col = std::mem::replace(&mut **left, Expr::lit(Literal::Null));
+                *e = Expr::InList {
+                    expr: Box::new(col),
+                    list: vec![Expr::lit(lit)],
+                    negated: false,
+                };
+                true
+            } else {
+                false
+            }
+        }
+        Expr::Binary { left, right, .. } => eq_to_in(left) || eq_to_in(right),
+        _ => false,
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+    use cyclesql_sql::exact_match;
+
+    fn setup() -> (cyclesql_benchgen::BenchmarkSuite, SimulatedModel) {
+        (
+            build_spider_suite(Variant::Spider, SuiteConfig::default()),
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+        )
+    }
+
+    #[test]
+    fn translation_is_deterministic() {
+        let (suite, model) = setup();
+        let item = &suite.dev[0];
+        let req = TranslationRequest {
+            item,
+            db: suite.database(item),
+            k: 8,
+            severity: 0.0,
+            science: false,
+        };
+        let a = model.translate(&req);
+        let b = model.translate(&req);
+        assert_eq!(
+            a.iter().map(|c| &c.sql).collect::<Vec<_>>(),
+            b.iter().map(|c| &c.sql).collect::<Vec<_>>()
+        );
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn scores_decrease_with_rank() {
+        let (suite, model) = setup();
+        let item = &suite.dev[0];
+        let req = TranslationRequest {
+            item,
+            db: suite.database(item),
+            k: 8,
+            severity: 0.0,
+            science: false,
+        };
+        let cands = model.translate(&req);
+        for w in cands.windows(2) {
+            assert!(w[0].score > w[1].score);
+        }
+    }
+
+    #[test]
+    fn top1_accuracy_tracks_profile() {
+        // Over the dev split, measured top-1 EX should be within a few
+        // points of the calibrated profile (law of large numbers on ~350
+        // items).
+        let (suite, model) = setup();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for item in &suite.dev {
+            let db = suite.database(item);
+            let gold = parse(&item.gold_sql).unwrap();
+            let gold_result = execute(db, &gold).unwrap();
+            let req = TranslationRequest { item, db, k: 1, severity: 0.0, science: false };
+            let cands = model.translate(&req);
+            total += 1;
+            if let Ok(q) = parse(&cands[0].sql) {
+                if let Ok(r) = execute(db, &q) {
+                    if r.bag_eq(&gold_result) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        // Dev-split difficulty mix weights the profile; expect 0.65–0.92.
+        assert!((0.60..=0.95).contains(&acc), "top-1 accuracy {acc}");
+    }
+
+    #[test]
+    fn beam_contains_more_correct_than_top1() {
+        let (suite, model) = setup();
+        let mut top1 = 0usize;
+        let mut any = 0usize;
+        for item in &suite.dev {
+            let db = suite.database(item);
+            let gold = parse(&item.gold_sql).unwrap();
+            let gold_result = execute(db, &gold).unwrap();
+            let req = TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
+            let cands = model.translate(&req);
+            let correct_at = |c: &Candidate| {
+                parse(&c.sql)
+                    .ok()
+                    .and_then(|q| execute(db, &q).ok())
+                    .is_some_and(|r| r.bag_eq(&gold_result))
+            };
+            if correct_at(&cands[0]) {
+                top1 += 1;
+            }
+            if cands.iter().any(correct_at) {
+                any += 1;
+            }
+        }
+        assert!(any > top1, "beam must recover extra correct answers ({any} vs {top1})");
+    }
+
+    #[test]
+    fn severity_degrades_accuracy() {
+        let (suite, model) = setup();
+        let mut base = 0usize;
+        let mut perturbed = 0usize;
+        for item in &suite.dev {
+            let db = suite.database(item);
+            let gold = parse(&item.gold_sql).unwrap();
+            let gold_result = execute(db, &gold).unwrap();
+            for (severity, counter) in [(0.0, &mut base), (0.55, &mut perturbed)] {
+                let req = TranslationRequest { item, db, k: 1, severity, science: false };
+                let cands = model.translate(&req);
+                if let Ok(q) = parse(&cands[0].sql) {
+                    if let Ok(r) = execute(db, &q) {
+                        if r.bag_eq(&gold_result) {
+                            *counter += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(perturbed < base, "severity should hurt: {perturbed} vs {base}");
+    }
+
+    #[test]
+    fn llm_restyles_break_em_not_ex() {
+        let (suite, _) = setup();
+        let model = SimulatedModel::new(ModelProfile::gpt35());
+        let mut styled = 0usize;
+        let mut checked = 0usize;
+        for item in &suite.dev {
+            let db = suite.database(item);
+            let gold = parse(&item.gold_sql).unwrap();
+            let gold_result = execute(db, &gold).unwrap();
+            let req = TranslationRequest { item, db, k: 1, severity: 0.0, science: false };
+            let cands = model.translate(&req);
+            let Ok(q) = parse(&cands[0].sql) else { continue };
+            let Ok(r) = execute(db, &q) else { continue };
+            if r.bag_eq(&gold_result) {
+                checked += 1;
+                if !exact_match(&q, &gold) {
+                    styled += 1;
+                }
+            }
+        }
+        assert!(checked > 30, "only {checked} correct top-1 candidates");
+        let ratio = styled as f64 / checked as f64;
+        assert!(
+            (0.2..=0.6).contains(&ratio),
+            "GPT-3.5 style divergence should be heavy: {ratio}"
+        );
+    }
+
+    #[test]
+    fn restyle_preserves_execution() {
+        let (suite, _) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        for item in suite.dev.iter().take(60) {
+            let db = suite.database(item);
+            let gold = parse(&item.gold_sql).unwrap();
+            let gold_result = execute(db, &gold).unwrap();
+            let styled = restyle(&gold, db, &mut rng);
+            let r = execute(db, &styled)
+                .unwrap_or_else(|e| panic!("restyle broke {}: {e}", item.id));
+            assert!(
+                r.bag_eq(&gold_result),
+                "restyle changed semantics for {}: {}",
+                item.id,
+                to_sql(&styled)
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_translate_without_panic() {
+        let (suite, _) = setup();
+        let item = &suite.dev[3];
+        for model in SimulatedModel::all() {
+            let req = TranslationRequest {
+                item,
+                db: suite.database(item),
+                k: model.profile.default_k,
+                severity: 0.0,
+                science: false,
+            };
+            let cands = model.translate(&req);
+            assert_eq!(cands.len(), model.profile.default_k, "{}", model.profile.name);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Focal loss (Lin et al. 2017), as adapted by the paper for the NLI
+//! verifier's imbalanced entailment/contradiction training data.
+//!
+//! `FL(p_t) = -alpha_t * (1 - p_t)^gamma * log(p_t)` where `p_t = p` for the
+//! positive class and `1 - p` otherwise, with `alpha_t = alpha` for
+//! positives and `1 - alpha` for negatives. At `gamma = 0`,
+//! `alpha = 0.5` (scaled by 2) this reduces to cross-entropy.
+
+/// Focal-loss hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FocalLoss {
+    /// Focusing parameter γ (the paper uses 2.0).
+    pub gamma: f64,
+    /// Class-balance weight α on the positive class (the paper uses 0.75).
+    pub alpha: f64,
+    /// Extra per-class rescaling (the paper re-scales classes to 2.7 / 1.0).
+    pub class_weights: (f64, f64),
+}
+
+impl Default for FocalLoss {
+    fn default() -> Self {
+        // The paper's training settings (Section V-A1).
+        FocalLoss { gamma: 2.0, alpha: 0.75, class_weights: (2.7, 1.0) }
+    }
+}
+
+impl FocalLoss {
+    /// Plain cross-entropy as a special case (used by tests).
+    pub fn cross_entropy() -> Self {
+        FocalLoss { gamma: 0.0, alpha: 0.5, class_weights: (1.0, 1.0) }
+    }
+
+    /// The loss for predicted probability `p` (of the positive class) and
+    /// label `positive`.
+    pub fn loss(&self, p: f64, positive: bool) -> f64 {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        if positive {
+            -self.alpha
+                * self.class_weights.0
+                * (1.0 - p).powf(self.gamma)
+                * p.ln()
+        } else {
+            -(1.0 - self.alpha) * self.class_weights.1 * p.powf(self.gamma) * (1.0 - p).ln()
+        }
+    }
+
+    /// `d loss / d z` where `p = sigmoid(z)` — the gradient backpropagated
+    /// into the linear model.
+    pub fn grad_logit(&self, p: f64, positive: bool) -> f64 {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        if positive {
+            self.alpha
+                * self.class_weights.0
+                * (1.0 - p).powf(self.gamma)
+                * (self.gamma * p * p.ln() - (1.0 - p))
+        } else {
+            -(1.0 - self.alpha)
+                * self.class_weights.1
+                * p.powf(self.gamma)
+                * (self.gamma * (1.0 - p) * (1.0 - p).ln() - p)
+        }
+    }
+}
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_cross_entropy_at_gamma_zero() {
+        let fl = FocalLoss { gamma: 0.0, alpha: 0.5, class_weights: (2.0, 2.0) };
+        for p in [0.1f64, 0.5, 0.9] {
+            let ce_pos = -p.ln();
+            assert!((fl.loss(p, true) - ce_pos).abs() < 1e-12);
+            let ce_neg = -(1.0 - p).ln();
+            assert!((fl.loss(p, false) - ce_neg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn downweights_easy_examples() {
+        let fl = FocalLoss { gamma: 2.0, alpha: 0.5, class_weights: (2.0, 2.0) };
+        let ce = FocalLoss { gamma: 0.0, alpha: 0.5, class_weights: (2.0, 2.0) };
+        // Well-classified positive (p = 0.95): focal ≪ CE.
+        assert!(fl.loss(0.95, true) < 0.01 * ce.loss(0.95, true) + 1e-9);
+        // Hard positive (p = 0.05): focal close to CE.
+        assert!(fl.loss(0.05, true) > 0.8 * ce.loss(0.05, true));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let fl = FocalLoss::default();
+        for &positive in &[true, false] {
+            for &z in &[-2.0, -0.3, 0.0, 0.7, 2.5] {
+                let eps = 1e-6;
+                let f = |z: f64| fl.loss(sigmoid(z), positive);
+                let numeric = (f(z + eps) - f(z - eps)) / (2.0 * eps);
+                let analytic = fl.grad_logit(sigmoid(z), positive);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "z={z} positive={positive}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_weights_positive_class() {
+        let fl = FocalLoss { gamma: 0.0, alpha: 0.75, class_weights: (1.0, 1.0) };
+        // Same miss-probability: the positive-class loss is 3x the negative.
+        let pos = fl.loss(0.3, true);
+        let neg = fl.loss(0.7, false);
+        assert!((pos / neg - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(100.0) > 0.999999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,280 @@
+//! The NLI classifier: a linear model over entailment features, trained with
+//! focal loss (the from-scratch stand-in for the paper's fine-tuned T5-Large
+//! encoder with a classification head).
+
+use crate::features::FEATURE_DIM;
+use crate::loss::{sigmoid, FocalLoss};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One training example: feature vector plus entailment label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingExample {
+    /// Features from [`crate::features::extract_features`].
+    pub features: Vec<f64>,
+    /// `true` = entailment (+1), `false` = contradiction (−1).
+    pub entailment: bool,
+}
+
+/// Trainer hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Loss settings (γ, α, class weights).
+    pub loss: FocalLoss,
+    /// Learning rate (the paper uses 5e-6 for T5; the linear model trains
+    /// with a correspondingly larger step).
+    pub learning_rate: f64,
+    /// Epochs over the training data.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            loss: FocalLoss::default(),
+            learning_rate: 0.05,
+            epochs: 30,
+            l2: 1e-4,
+            seed: 0x11A1,
+        }
+    }
+}
+
+/// The trained NLI model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NliModel {
+    /// Linear weights (length [`FEATURE_DIM`]).
+    pub weights: Vec<f64>,
+    /// Decision threshold on the entailment probability.
+    pub threshold: f64,
+}
+
+impl Default for NliModel {
+    fn default() -> Self {
+        NliModel::untrained()
+    }
+}
+
+impl NliModel {
+    /// An untrained model (zero weights, 0.5 threshold). Scores everything
+    /// at exactly the threshold; callers should train before use.
+    pub fn untrained() -> Self {
+        NliModel { weights: vec![0.0; FEATURE_DIM], threshold: 0.5 }
+    }
+
+    /// Entailment probability for a feature vector.
+    pub fn score(&self, features: &[f64]) -> f64 {
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(features)
+            .map(|(w, x)| w * x)
+            .sum();
+        sigmoid(z)
+    }
+
+    /// Binary entailment decision.
+    pub fn entails(&self, features: &[f64]) -> bool {
+        self.score(features) >= self.threshold
+    }
+
+    /// Trains the model with mini-batch SGD under focal loss.
+    ///
+    /// Deterministic given the config seed. Returns the per-epoch mean loss
+    /// trace (useful for convergence assertions).
+    pub fn train(examples: &[TrainingExample], config: TrainConfig) -> (NliModel, Vec<f64>) {
+        let mut model = NliModel::untrained();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut trace = Vec::with_capacity(config.epochs);
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                let ex = &examples[i];
+                let p = model.score(&ex.features);
+                total += config.loss.loss(p, ex.entailment);
+                let g = config.loss.grad_logit(p, ex.entailment);
+                for (w, x) in model.weights.iter_mut().zip(&ex.features) {
+                    *w -= config.learning_rate * (g * x + config.l2 * *w);
+                }
+            }
+            trace.push(if examples.is_empty() { 0.0 } else { total / examples.len() as f64 });
+        }
+        model.calibrate_threshold(examples);
+        (model, trace)
+    }
+
+    /// Calibrates the acceptance threshold for the verification loop.
+    ///
+    /// Accepting a wrong candidate is much costlier than rejecting a correct
+    /// one (rejection falls back to the top-1, acceptance commits), so the
+    /// threshold maximizes `TPR − 2.5·FPR` over the training scores.
+    pub fn calibrate_threshold(&mut self, examples: &[TrainingExample]) {
+        let positives: Vec<f64> = examples
+            .iter()
+            .filter(|e| e.entailment)
+            .map(|e| self.score(&e.features))
+            .collect();
+        let negatives: Vec<f64> = examples
+            .iter()
+            .filter(|e| !e.entailment)
+            .map(|e| self.score(&e.features))
+            .collect();
+        if positives.is_empty() || negatives.is_empty() {
+            return;
+        }
+        let mut best = (self.threshold, f64::MIN);
+        for step in 1..=39 {
+            let th = step as f64 * 0.025;
+            let tpr = positives.iter().filter(|&&s| s >= th).count() as f64
+                / positives.len() as f64;
+            let fpr = negatives.iter().filter(|&&s| s >= th).count() as f64
+                / negatives.len() as f64;
+            let objective = tpr - 2.5 * fpr;
+            if objective > best.1 {
+                best = (th, objective);
+            }
+        }
+        self.threshold = best.0;
+    }
+
+    /// Accuracy on a labeled set.
+    pub fn accuracy(&self, examples: &[TrainingExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|ex| self.entails(&ex.features) == ex.entailment)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Synthetic linearly-separable data along feature 0.
+    fn synthetic(n: usize, seed: u64, imbalance: f64) -> Vec<TrainingExample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let positive = rng.gen_bool(imbalance);
+                let mut features = vec![0.0; FEATURE_DIM];
+                let signal: f64 = if positive { 1.0 } else { -1.0 };
+                features[0] = signal + rng.gen_range(-0.4..0.4);
+                features[1] = rng.gen_range(-1.0..1.0); // noise
+                features[FEATURE_DIM - 1] = 1.0; // bias
+                TrainingExample { features, entailment: positive }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = synthetic(400, 3, 0.5);
+        let (model, trace) = NliModel::train(&data, TrainConfig::default());
+        assert!(model.accuracy(&data) > 0.95, "accuracy {}", model.accuracy(&data));
+        assert!(
+            trace.last().unwrap() < &trace[0],
+            "loss should decrease: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn handles_imbalanced_data() {
+        // 15% positives, like the paper's skew toward model-error negatives.
+        let data = synthetic(600, 5, 0.15);
+        let (model, _) = NliModel::train(&data, TrainConfig::default());
+        // Focal loss + class weights keep the positive class learnable.
+        let positives: Vec<_> = data.iter().filter(|e| e.entailment).cloned().collect();
+        assert!(
+            model.accuracy(&positives) > 0.85,
+            "positive-class recall {}",
+            model.accuracy(&positives)
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = synthetic(100, 7, 0.5);
+        let (a, _) = NliModel::train(&data, TrainConfig::default());
+        let (b, _) = NliModel::train(&data, TrainConfig::default());
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn untrained_model_scores_half() {
+        let m = NliModel::untrained();
+        assert!((m.score(&vec![1.0; FEATURE_DIM]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_training_set_is_harmless() {
+        let (m, trace) = NliModel::train(&[], TrainConfig::default());
+        assert_eq!(trace.len(), TrainConfig::default().epochs);
+        assert_eq!(m.weights, NliModel::untrained().weights);
+    }
+}
+
+impl NliModel {
+    /// Serializes the trained model to a JSON string (weights + threshold).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("NliModel serializes")
+    }
+
+    /// Deserializes a model saved with [`NliModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message for malformed input or a
+    /// dimension mismatch against [`FEATURE_DIM`].
+    pub fn from_json(json: &str) -> Result<NliModel, String> {
+        let model: NliModel = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if model.weights.len() != FEATURE_DIM {
+            return Err(format!(
+                "weight dimension {} does not match FEATURE_DIM {FEATURE_DIM}",
+                model.weights.len()
+            ));
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_scores() {
+        let mut model = NliModel::untrained();
+        model.weights[0] = 0.7;
+        model.weights[FEATURE_DIM - 1] = -0.2;
+        model.threshold = 0.62;
+        let json = model.to_json();
+        let restored = NliModel::from_json(&json).expect("roundtrip");
+        let features = vec![0.5; FEATURE_DIM];
+        assert_eq!(model.score(&features), restored.score(&features));
+        assert_eq!(model.threshold, restored.threshold);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let bad = r#"{"weights": [0.1, 0.2], "threshold": 0.5}"#;
+        assert!(NliModel::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(NliModel::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! Provenance capture: executes the rewritten queries and assembles the
+//! provenance table (the paper's Figure 4 artifact).
+
+use crate::error::ProvError;
+use crate::rewrite::rewrite_for_provenance;
+use cyclesql_sql::Query;
+use cyclesql_storage::{execute_with_lineage, Database, ResultSet, SourceRef, Value};
+use std::collections::HashSet;
+
+/// One provenance-table column: a qualified source column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvColumn {
+    /// Real (schema) table name the column belongs to.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Display label, e.g. `flight.flno`.
+    pub display: String,
+}
+
+/// One provenance row with its composite tuple identifier (`<a3, f2>`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvRow {
+    /// Tuple identifier built from source lineage.
+    pub tuple_id: String,
+    /// Values aligned with the provenance columns.
+    pub values: Vec<Value>,
+    /// Source tuples behind this row.
+    pub sources: Vec<SourceRef>,
+}
+
+/// The provenance table for one query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceTable {
+    /// Provenance columns.
+    pub columns: Vec<ProvColumn>,
+    /// Provenance rows.
+    pub rows: Vec<ProvRow>,
+}
+
+impl ProvenanceTable {
+    /// Index of a column by (table?, column) reference, trying qualified then
+    /// bare matching.
+    pub fn column_index(&self, table: Option<&str>, column: &str) -> Option<usize> {
+        if let Some(t) = table {
+            if let Some(i) = self
+                .columns
+                .iter()
+                .position(|c| c.table == t && c.column == column)
+            {
+                return Some(i);
+            }
+        }
+        self.columns.iter().position(|c| c.column == column)
+    }
+
+    /// Distinct source tables in column order.
+    pub fn source_tables(&self) -> Vec<String> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for c in &self.columns {
+            if seen.insert(c.table.clone()) {
+                out.push(c.table.clone());
+            }
+        }
+        out
+    }
+
+    /// Number of provenance rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the provenance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Full provenance-tracking output for one query result.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    /// Rewritten provenance queries (one per select core).
+    pub rewritten: Vec<Query>,
+    /// The assembled provenance table.
+    pub table: ProvenanceTable,
+    /// Set when the original result was empty and tracking was skipped
+    /// (the paper's empty-result fallback).
+    pub empty_result: bool,
+}
+
+/// Tracks why-provenance for `result.rows[row_idx]` of `original` on `db`.
+///
+/// For an empty result, returns a [`Provenance`] with `empty_result = true`
+/// and an empty table — the caller falls back to operation-level semantics.
+///
+/// # Errors
+///
+/// Returns [`ProvError`] if the rewritten query fails to execute or the row
+/// index is out of bounds of a non-empty result.
+pub fn track_provenance(
+    db: &Database,
+    original: &Query,
+    result: &ResultSet,
+    row_idx: usize,
+) -> Result<Provenance, ProvError> {
+    if result.is_empty() {
+        return Ok(Provenance {
+            rewritten: Vec::new(),
+            table: ProvenanceTable { columns: Vec::new(), rows: Vec::new() },
+            empty_result: true,
+        });
+    }
+    let row = result
+        .rows
+        .get(row_idx)
+        .ok_or(ProvError::NoSuchResultRow { index: row_idx, len: result.len() })?;
+
+    let rewrites = rewrite_for_provenance(db, original, &result.columns, row);
+    let mut columns: Vec<ProvColumn> = Vec::new();
+    let mut rows: Vec<ProvRow> = Vec::new();
+    let mut seen_ids: HashSet<String> = HashSet::new();
+    let mut queries = Vec::new();
+
+    for rw in &rewrites {
+        let out = execute_with_lineage(db, &rw.query)?;
+        // Resolve display columns for this branch (first branch wins the
+        // column layout; later branches append unseen columns).
+        let branch_cols = resolve_columns(db, &rw.query, &out.result);
+        let mut col_map: Vec<usize> = Vec::with_capacity(branch_cols.len());
+        for bc in &branch_cols {
+            let idx = match columns.iter().position(|c| c == bc) {
+                Some(i) => i,
+                None => {
+                    columns.push(bc.clone());
+                    columns.len() - 1
+                }
+            };
+            col_map.push(idx);
+        }
+        for (ri, values) in out.result.rows.iter().enumerate() {
+            let sources = out.lineage[ri].clone();
+            let tuple_id = tuple_id_for(&sources);
+            if !seen_ids.insert(tuple_id.clone()) {
+                continue;
+            }
+            let mut aligned = vec![Value::Null; columns.len()];
+            for (vi, v) in values.iter().enumerate() {
+                aligned[col_map[vi]] = v.clone();
+            }
+            rows.push(ProvRow { tuple_id, values: aligned, sources });
+        }
+        queries.push(rw.query.clone());
+    }
+
+    // Rows captured from earlier branches may be shorter than the final
+    // column count; pad.
+    let width = columns.len();
+    for r in &mut rows {
+        r.values.resize(width, Value::Null);
+    }
+
+    Ok(Provenance {
+        rewritten: queries,
+        table: ProvenanceTable { columns, rows },
+        empty_result: false,
+    })
+}
+
+/// Builds a composite tuple id such as `<a3, f2>` from lineage.
+fn tuple_id_for(sources: &[SourceRef]) -> String {
+    let parts: Vec<String> = sources
+        .iter()
+        .map(|s| {
+            let initial = s.table.chars().next().unwrap_or('?');
+            format!("{initial}{}", s.row + 1)
+        })
+        .collect();
+    if parts.len() == 1 {
+        parts.into_iter().next().expect("one part")
+    } else {
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+/// Maps the rewritten query's projected column refs to real tables.
+fn resolve_columns(db: &Database, rewritten: &Query, result: &ResultSet) -> Vec<ProvColumn> {
+    let core = rewritten.leading_select();
+    // alias -> real table
+    let alias_map: Vec<(String, String)> = core
+        .from
+        .tables()
+        .iter()
+        .map(|t| (t.visible_name().to_string(), t.name.clone()))
+        .collect();
+    let resolve_table = |qualifier: Option<&str>, column: &str| -> String {
+        if let Some(q) = qualifier {
+            if let Some((_, real)) = alias_map.iter().find(|(vis, real)| vis == q || real == q) {
+                return real.clone();
+            }
+        }
+        // Bare column: find the table that has it.
+        for (_, real) in &alias_map {
+            if db
+                .schema
+                .table(real)
+                .and_then(|t| t.column_index(column))
+                .is_some()
+            {
+                return real.clone();
+            }
+        }
+        alias_map.first().map(|(_, r)| r.clone()).unwrap_or_default()
+    };
+    let mut cols = Vec::new();
+    for (i, item) in core.projections.iter().enumerate() {
+        if let cyclesql_sql::SelectItem::Expr { expr: cyclesql_sql::Expr::Column(c), .. } = item {
+            let table = resolve_table(c.table.as_deref(), &c.column);
+            cols.push(ProvColumn {
+                display: format!("{table}.{}", c.column),
+                table,
+                column: c.column.clone(),
+            });
+        } else {
+            // Shouldn't happen post-rewrite; keep alignment with a synthetic
+            // column.
+            cols.push(ProvColumn {
+                table: String::new(),
+                column: result.columns.get(i).cloned().unwrap_or_default(),
+                display: result.columns.get(i).cloned().unwrap_or_default(),
+            });
+        }
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_sql::parse;
+    use cyclesql_storage::{execute, ColumnDef, DataType, DatabaseSchema, TableSchema};
+
+    fn flight_db() -> Database {
+        let mut schema = DatabaseSchema::new("flight_1");
+        schema.add_table(TableSchema::new(
+            "aircraft",
+            vec![
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        ));
+        schema.add_table(TableSchema::new(
+            "flight",
+            vec![
+                ColumnDef::new("flno", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("origin", DataType::Text),
+            ],
+        ));
+        schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+        let mut db = Database::new(schema);
+        db.insert("aircraft", vec![Value::Int(1), Value::from("Boeing 747-400")]);
+        db.insert("aircraft", vec![Value::Int(3), Value::from("Airbus A340-300")]);
+        db.insert("flight", vec![Value::Int(2), Value::Int(1), Value::from("LA")]);
+        db.insert("flight", vec![Value::Int(7), Value::Int(3), Value::from("LA")]);
+        db.insert("flight", vec![Value::Int(13), Value::Int(3), Value::from("LA")]);
+        db
+    }
+
+    #[test]
+    fn figure4_provenance_has_two_rows() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+             WHERE T2.name = 'Airbus A340-300'",
+        )
+        .unwrap();
+        let result = execute(&db, &q).unwrap();
+        assert_eq!(result.rows[0][0], Value::Int(2));
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        assert!(!prov.empty_result);
+        assert_eq!(prov.table.len(), 2, "why-provenance = the two A340 flights");
+        // Provenance count equals the aggregate value — the rewrite-soundness
+        // invariant for count queries.
+        assert_eq!(prov.table.len() as i64, 2);
+        // Columns include the filter column and both primary keys.
+        let displays: Vec<&str> =
+            prov.table.columns.iter().map(|c| c.display.as_str()).collect();
+        assert!(displays.contains(&"aircraft.name"), "{displays:?}");
+        assert!(displays.contains(&"flight.flno"), "{displays:?}");
+    }
+
+    #[test]
+    fn tuple_ids_are_composite_for_joins() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+             WHERE T2.name = 'Airbus A340-300'",
+        )
+        .unwrap();
+        let result = execute(&db, &q).unwrap();
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        for row in &prov.table.rows {
+            assert!(row.tuple_id.starts_with('<'), "{}", row.tuple_id);
+            assert_eq!(row.sources.len(), 2);
+        }
+    }
+
+    #[test]
+    fn provenance_rows_satisfy_original_predicate() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT flno FROM flight WHERE origin = 'LA'",
+        )
+        .unwrap();
+        let result = execute(&db, &q).unwrap();
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        let origin_idx = prov.table.column_index(Some("flight"), "origin").unwrap();
+        for row in &prov.table.rows {
+            assert_eq!(row.values[origin_idx], Value::from("LA"));
+        }
+    }
+
+    #[test]
+    fn result_row_pinning_limits_provenance() {
+        let db = flight_db();
+        let q = parse("SELECT flno FROM flight WHERE origin = 'LA'").unwrap();
+        let result = execute(&db, &q).unwrap();
+        // Pin to the row with flno = 7.
+        let idx = result.rows.iter().position(|r| r[0] == Value::Int(7)).unwrap();
+        let prov = track_provenance(&db, &q, &result, idx).unwrap();
+        assert_eq!(prov.table.len(), 1);
+        let flno_idx = prov.table.column_index(Some("flight"), "flno").unwrap();
+        assert_eq!(prov.table.rows[0].values[flno_idx], Value::Int(7));
+    }
+
+    #[test]
+    fn empty_result_sets_flag() {
+        let db = flight_db();
+        let q = parse("SELECT flno FROM flight WHERE origin = 'Nowhere'").unwrap();
+        let result = execute(&db, &q).unwrap();
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        assert!(prov.empty_result);
+        assert!(prov.table.is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_row_errors() {
+        let db = flight_db();
+        let q = parse("SELECT flno FROM flight").unwrap();
+        let result = execute(&db, &q).unwrap();
+        let err = track_provenance(&db, &q, &result, 99).unwrap_err();
+        assert!(matches!(err, ProvError::NoSuchResultRow { .. }));
+    }
+
+    #[test]
+    fn set_op_provenance_merges_branches() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT origin FROM flight WHERE aid = 1 \
+             INTERSECT SELECT origin FROM flight WHERE aid = 3",
+        )
+        .unwrap();
+        let result = execute(&db, &q).unwrap();
+        assert_eq!(result.rows, vec![vec![Value::from("LA")]]);
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        // Branch 1: flight row 1 (aid=1, LA); branch 2: rows 2 and 3.
+        assert_eq!(prov.table.len(), 3);
+    }
+
+    #[test]
+    fn source_tables_listed_in_order() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid",
+        )
+        .unwrap();
+        let result = execute(&db, &q).unwrap();
+        let prov = track_provenance(&db, &q, &result, 0).unwrap();
+        let tables = prov.table.source_tables();
+        assert!(tables.contains(&"flight".to_string()));
+        assert!(tables.contains(&"aircraft".to_string()));
+    }
+}
+
+impl ProvenanceTable {
+    /// Renders the provenance table as aligned ASCII (the paper's Figure 4
+    /// artifact).
+    pub fn to_ascii(&self) -> String {
+        let mut headers: Vec<String> = vec!["tupleID".to_string()];
+        headers.extend(self.columns.iter().map(|c| c.display.clone()));
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        for r in &self.rows {
+            let mut row = vec![r.tuple_id.clone()];
+            row.extend(r.values.iter().map(|v| v.to_string()));
+            rows.push(row);
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        let sep = format!(
+            "+{}+",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+        );
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&render_row(&headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+#[cfg(test)]
+mod ascii_tests {
+    use super::*;
+
+    #[test]
+    fn ascii_table_is_aligned() {
+        let table = ProvenanceTable {
+            columns: vec![
+                ProvColumn { table: "flight".into(), column: "flno".into(), display: "flight.flno".into() },
+                ProvColumn { table: "aircraft".into(), column: "name".into(), display: "aircraft.name".into() },
+            ],
+            rows: vec![
+                ProvRow {
+                    tuple_id: "<f2, a3>".into(),
+                    values: vec![Value::Int(7), Value::from("Airbus A340-300")],
+                    sources: vec![],
+                },
+                ProvRow {
+                    tuple_id: "<f3, a3>".into(),
+                    values: vec![Value::Int(13), Value::from("Airbus A340-300")],
+                    sources: vec![],
+                },
+            ],
+        };
+        let ascii = table.to_ascii();
+        let lines: Vec<&str> = ascii.lines().collect();
+        // Header + 2 rows + 3 separators.
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{ascii}");
+        assert!(ascii.contains("flight.flno"));
+        assert!(ascii.contains("<f3, a3>"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let table = ProvenanceTable { columns: vec![], rows: vec![] };
+        let ascii = table.to_ascii();
+        assert!(ascii.contains("tupleID"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Empty-result diagnosis — the paper's stated future-work direction
+//! ("better supporting empty-result queries").
+//!
+//! When a query returns nothing, why-provenance has no witnesses to show.
+//! This module produces the next-best data-grounded evidence: which `WHERE`
+//! conjunct(s) are *responsible* for the emptiness, and a near-miss witness
+//! row that satisfies every other conjunct. The technique is conjunct
+//! relaxation: re-execute the query with each conjunct removed; a conjunct
+//! whose removal (alone) produces rows is a culprit.
+
+use crate::error::ProvError;
+use cyclesql_sql::{Expr, Query, QueryBody};
+use cyclesql_storage::{execute, Database, Value};
+
+/// One culprit conjunct with its evidence.
+#[derive(Debug, Clone)]
+pub struct Culprit {
+    /// The conjunct's SQL rendering (e.g. `population > 999999999`).
+    pub condition: String,
+    /// How many rows appear once this conjunct is dropped.
+    pub rows_without: usize,
+    /// A near-miss witness: one row satisfying all *other* conjuncts.
+    pub witness: Option<Vec<Value>>,
+    /// Column labels for the witness.
+    pub witness_columns: Vec<String>,
+}
+
+/// Diagnosis of an empty result.
+#[derive(Debug, Clone)]
+pub struct EmptyResultDiagnosis {
+    /// Conjuncts each individually responsible for the emptiness.
+    pub culprits: Vec<Culprit>,
+    /// Whether even the fully-relaxed query (no `WHERE` at all) is empty —
+    /// the emptiness then comes from the data or the joins, not the filters.
+    pub empty_without_filters: bool,
+    /// Rows produced with the whole `WHERE` clause removed.
+    pub rows_unfiltered: usize,
+}
+
+impl EmptyResultDiagnosis {
+    /// A one-sentence NL rendering of the diagnosis, suitable for appending
+    /// to an explanation.
+    pub fn to_phrase(&self) -> String {
+        if self.empty_without_filters {
+            return "No rows exist even without the filters — the join itself finds no matching data.".to_string();
+        }
+        match self.culprits.first() {
+            None => format!(
+                "No single condition is individually responsible; the conditions only conflict in combination ({} rows exist unfiltered).",
+                self.rows_unfiltered
+            ),
+            Some(c) => {
+                let witness = c
+                    .witness
+                    .as_ref()
+                    .map(|w| {
+                        let vals: Vec<String> = w
+                            .iter()
+                            .zip(&c.witness_columns)
+                            .take(3)
+                            .map(|(v, col)| format!("{col} = {v}"))
+                            .collect();
+                        format!(" For example, a near-miss row has {}.", vals.join(", "))
+                    })
+                    .unwrap_or_default();
+                format!(
+                    "The condition '{}' eliminates all {} candidate row(s).{}",
+                    c.condition, c.rows_without, witness
+                )
+            }
+        }
+    }
+}
+
+/// Diagnoses why `query` returned no rows on `db`.
+///
+/// # Errors
+///
+/// Returns [`ProvError::Unsupported`] for set-operation queries (each branch
+/// would need its own diagnosis) and propagates execution errors.
+pub fn diagnose_empty_result(
+    db: &Database,
+    query: &Query,
+) -> Result<EmptyResultDiagnosis, ProvError> {
+    if query.body.has_set_op() {
+        return Err(ProvError::Unsupported(
+            "empty-result diagnosis for set operations".to_string(),
+        ));
+    }
+    let core = query.leading_select();
+    let conjuncts: Vec<Expr> = core
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+
+    // Baseline: no filters at all (keeps joins and grouping).
+    let unfiltered = relaxed_query(query, &conjuncts, None);
+    let unfiltered_result = execute(db, &unfiltered)?;
+    if unfiltered_result.is_empty() {
+        return Ok(EmptyResultDiagnosis {
+            culprits: Vec::new(),
+            empty_without_filters: true,
+            rows_unfiltered: 0,
+        });
+    }
+
+    let mut culprits = Vec::new();
+    for (i, conjunct) in conjuncts.iter().enumerate() {
+        let relaxed = relaxed_query(query, &conjuncts, Some(i));
+        let result = execute(db, &relaxed)?;
+        if !result.is_empty() {
+            culprits.push(Culprit {
+                condition: conjunct.to_string(),
+                rows_without: result.len(),
+                witness: result.rows.first().cloned(),
+                witness_columns: result.columns.clone(),
+            });
+        }
+    }
+    Ok(EmptyResultDiagnosis {
+        culprits,
+        empty_without_filters: false,
+        rows_unfiltered: unfiltered_result.len(),
+    })
+}
+
+/// The query with either one conjunct dropped (`drop = Some(i)`) or the
+/// whole `WHERE` removed (`drop = None`). `LIMIT` is also dropped so the
+/// witness count is meaningful.
+fn relaxed_query(query: &Query, conjuncts: &[Expr], drop: Option<usize>) -> Query {
+    let mut q = query.clone();
+    q.limit = None;
+    if let QueryBody::Select(core) = &mut q.body {
+        core.where_clause = match drop {
+            None => None,
+            Some(i) => Expr::from_conjuncts(
+                conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, c)| c.clone())
+                    .collect(),
+            ),
+        };
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_sql::parse;
+    use cyclesql_storage::{ColumnDef, DataType, DatabaseSchema, TableSchema};
+
+    fn db() -> Database {
+        let mut schema = DatabaseSchema::new("d");
+        schema.add_table(TableSchema::new(
+            "country",
+            vec![
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("continent", DataType::Text),
+                ColumnDef::new("population", DataType::Int),
+            ],
+        ));
+        let mut d = Database::new(schema);
+        for (n, c, p) in [
+            ("France", "Europe", 59_000_000),
+            ("Estonia", "Europe", 1_400_000),
+            ("Kenya", "Africa", 50_000_000),
+        ] {
+            d.insert("country", vec![Value::from(n), Value::from(c), Value::Int(p)]);
+        }
+        d
+    }
+
+    #[test]
+    fn single_culprit_identified_with_witness() {
+        let d = db();
+        let q = parse(
+            "SELECT name FROM country WHERE continent = 'Europe' AND population > 999999999",
+        )
+        .unwrap();
+        let diag = diagnose_empty_result(&d, &q).unwrap();
+        assert!(!diag.empty_without_filters);
+        assert_eq!(diag.culprits.len(), 1);
+        let c = &diag.culprits[0];
+        assert!(c.condition.contains("population"), "{}", c.condition);
+        assert_eq!(c.rows_without, 2); // the two European countries
+        assert!(c.witness.is_some());
+        let phrase = diag.to_phrase();
+        assert!(phrase.contains("eliminates all 2"), "{phrase}");
+    }
+
+    #[test]
+    fn conflicting_pair_yields_two_culprits() {
+        let d = db();
+        // Each condition alone is satisfiable; together they conflict.
+        let q = parse(
+            "SELECT name FROM country WHERE continent = 'Africa' AND population < 10000000",
+        )
+        .unwrap();
+        let diag = diagnose_empty_result(&d, &q).unwrap();
+        assert_eq!(diag.culprits.len(), 2, "{:?}", diag.culprits);
+    }
+
+    #[test]
+    fn empty_table_reported_as_data_emptiness() {
+        let mut schema = DatabaseSchema::new("d");
+        schema.add_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("x", DataType::Int)],
+        ));
+        let d = Database::new(schema);
+        let q = parse("SELECT x FROM t WHERE x > 0").unwrap();
+        let diag = diagnose_empty_result(&d, &q).unwrap();
+        assert!(diag.empty_without_filters);
+        assert!(diag.to_phrase().contains("even without the filters"));
+    }
+
+    #[test]
+    fn jointly_unsatisfiable_only_in_combination() {
+        let d = db();
+        let q = parse(
+            "SELECT name FROM country WHERE population > 55000000 AND population < 2000000",
+        )
+        .unwrap();
+        let diag = diagnose_empty_result(&d, &q).unwrap();
+        // Both conjuncts individually leave rows, so both are culprits.
+        assert_eq!(diag.culprits.len(), 2);
+    }
+
+    #[test]
+    fn set_ops_unsupported() {
+        let d = db();
+        let q = parse("SELECT name FROM country INTERSECT SELECT name FROM country WHERE 1 = 2")
+            .unwrap();
+        assert!(matches!(
+            diagnose_empty_result(&d, &q),
+            Err(ProvError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn limit_does_not_hide_witnesses() {
+        let d = db();
+        let q = parse(
+            "SELECT name FROM country WHERE population > 999999999 ORDER BY name LIMIT 1",
+        )
+        .unwrap();
+        let diag = diagnose_empty_result(&d, &q).unwrap();
+        assert_eq!(diag.culprits.len(), 1);
+        assert_eq!(diag.culprits[0].rows_without, 3);
+    }
+}

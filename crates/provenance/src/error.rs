@@ -1,0 +1,36 @@
+//! Provenance errors.
+
+use cyclesql_storage::ExecError;
+use std::fmt;
+
+#[allow(missing_docs)] // field names are self-describing
+/// Errors raised while tracking provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvError {
+    /// The rewritten query failed to execute.
+    Exec(ExecError),
+    /// The query shape is unsupported for provenance tracking.
+    Unsupported(String),
+    /// The requested result row does not exist.
+    NoSuchResultRow { index: usize, len: usize },
+}
+
+impl fmt::Display for ProvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvError::Exec(e) => write!(f, "provenance execution failed: {e}"),
+            ProvError::Unsupported(msg) => write!(f, "unsupported for provenance: {msg}"),
+            ProvError::NoSuchResultRow { index, len } => {
+                write!(f, "result row {index} out of bounds (result has {len} rows)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProvError {}
+
+impl From<ExecError> for ProvError {
+    fn from(e: ExecError) -> Self {
+        ProvError::Exec(e)
+    }
+}

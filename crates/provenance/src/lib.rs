@@ -1,0 +1,42 @@
+//! # cyclesql-provenance
+//!
+//! Why-provenance via query rewriting — stage 1 of the CycleSQL loop.
+//!
+//! Given an executed query and one of its result rows, the crate rewrites
+//! the query with the paper's three heuristic rules (result transformation,
+//! projection enhancement, aggregation deconstruction), executes the
+//! rewrite, and assembles a [`ProvenanceTable`] whose rows are the source
+//! tuples that explain the chosen result.
+//!
+//! ```
+//! use cyclesql_provenance::track_provenance;
+//! use cyclesql_sql::parse;
+//! use cyclesql_storage::{execute, ColumnDef, DataType, Database, DatabaseSchema, TableSchema, Value};
+//!
+//! let mut schema = DatabaseSchema::new("demo");
+//! schema.add_table(TableSchema::new(
+//!     "aircraft",
+//!     vec![ColumnDef::new("aid", DataType::Int), ColumnDef::new("name", DataType::Text)],
+//! ));
+//! let mut db = Database::new(schema);
+//! db.insert("aircraft", vec![Value::Int(3), Value::from("Airbus A340-300")]);
+//!
+//! let q = parse("SELECT count(*) FROM aircraft WHERE name = 'Airbus A340-300'").unwrap();
+//! let result = execute(&db, &q).unwrap();
+//! let prov = track_provenance(&db, &q, &result, 0).unwrap();
+//! assert_eq!(prov.table.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod empty;
+pub mod error;
+pub mod rewrite;
+pub mod where_prov;
+
+pub use capture::{track_provenance, ProvColumn, ProvRow, Provenance, ProvenanceTable};
+pub use empty::{diagnose_empty_result, Culprit, EmptyResultDiagnosis};
+pub use error::ProvError;
+pub use rewrite::{rewrite_for_provenance, RewrittenCore};
+pub use where_prov::{cell_value, where_provenance, CellRef, WhereProvenance};

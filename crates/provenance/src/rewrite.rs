@@ -1,0 +1,362 @@
+//! Query rewriting for why-provenance (Section IV-A of the paper).
+//!
+//! Three heuristic rules transform an executed query into one whose result
+//! *is* the provenance of a chosen output row:
+//!
+//! - **Rule 1 (Result Transformation)** — the target result row's values are
+//!   turned into `WHERE` equality conditions on their projected columns,
+//!   pinning the provenance to that row. Skipped for star projections and
+//!   aggregate columns.
+//! - **Rule 2 (Projection Enhancement)** — every column referenced anywhere
+//!   in the query, plus the primary keys of referenced tables, becomes a
+//!   projection column, so the provenance carries all query-relevant data.
+//! - **Rule 3 (Aggregation Deconstruction)** — aggregate functions and
+//!   `GROUP BY` collapse rows and hide lineage, so they are removed;
+//!   aggregate `HAVING` conjuncts are dropped (their semantics are
+//!   re-attached later during enrichment), non-aggregate ones move to
+//!   `WHERE`. `ORDER BY`/`LIMIT` are dropped for the same reason.
+
+use cyclesql_sql::{
+    ColumnRef, Expr, Literal, Query, QueryBody, SelectCore, SelectItem, SortOrder,
+};
+use cyclesql_storage::{Database, Value};
+
+/// The rewriting of one select core.
+#[derive(Debug, Clone)]
+pub struct RewrittenCore {
+    /// The provenance query for this core (a full query so it can execute
+    /// standalone).
+    pub query: Query,
+    /// Columns projected by the rewrite, qualified as `(visible_table, column)`.
+    pub projected: Vec<ColumnRef>,
+}
+
+/// Rewrites every select core of `original` for the given target result row.
+///
+/// `result_columns` / `result_row` come from executing the original query.
+/// Set-operation queries yield one rewritten core per branch; their
+/// provenance is unioned by the caller.
+pub fn rewrite_for_provenance(
+    db: &Database,
+    original: &Query,
+    result_columns: &[String],
+    result_row: &[Value],
+) -> Vec<RewrittenCore> {
+    let cores = original.body.select_cores();
+    cores
+        .into_iter()
+        .map(|core| rewrite_core(db, core, result_columns, result_row))
+        .collect()
+}
+
+fn rewrite_core(
+    db: &Database,
+    core: &SelectCore,
+    result_columns: &[String],
+    result_row: &[Value],
+) -> RewrittenCore {
+    let mut new_core = core.clone();
+
+    // ---- Rule 1: result transformation --------------------------------
+    let mut result_conditions: Vec<Expr> = Vec::new();
+    let has_star = core
+        .projections
+        .iter()
+        .any(|p| matches!(p, SelectItem::Star | SelectItem::QualifiedStar(_)));
+    if !has_star {
+        for (i, item) in core.projections.iter().enumerate() {
+            let (Some(_), Some(value)) = (result_columns.get(i), result_row.get(i)) else {
+                continue;
+            };
+            if let SelectItem::Expr { expr: Expr::Column(c), .. } = item {
+                if let Some(lit) = value_to_literal(value) {
+                    result_conditions.push(Expr::binary(
+                        cyclesql_sql::BinOp::Eq,
+                        Expr::Column(c.clone()),
+                        Expr::Literal(lit),
+                    ));
+                }
+                // NULL result values can't be pinned with equality; skip.
+                let _ = c;
+            }
+        }
+    }
+
+    // ---- Rule 3: aggregation deconstruction ----------------------------
+    // (Applied before Rule 2 so the enhanced projection list reflects the
+    // deconstructed query.)
+    new_core.group_by.clear();
+    let mut having_moved: Vec<Expr> = Vec::new();
+    if let Some(h) = new_core.having.take() {
+        for conj in h.conjuncts() {
+            if !conj.contains_aggregate() {
+                having_moved.push(conj.clone());
+            }
+        }
+    }
+    new_core.distinct = false;
+
+    // ---- Rule 2: projection enhancement --------------------------------
+    let mut projected: Vec<ColumnRef> = Vec::new();
+    let push_col = |c: &ColumnRef, projected: &mut Vec<ColumnRef>| {
+        if !projected.iter().any(|p| p == c) {
+            projected.push(c.clone());
+        }
+    };
+    // Columns from the original projections (aggregate arguments included).
+    for item in &core.projections {
+        match item {
+            SelectItem::Expr { expr, .. } => {
+                for c in expr.columns() {
+                    push_col(c, &mut projected);
+                }
+            }
+            SelectItem::Star | SelectItem::QualifiedStar(_) => {}
+        }
+    }
+    // Columns from join conditions, WHERE, GROUP BY, HAVING, ORDER BY.
+    for j in &core.from.joins {
+        if let Some(on) = &j.on {
+            for c in on.columns() {
+                push_col(c, &mut projected);
+            }
+        }
+    }
+    if let Some(w) = &core.where_clause {
+        for c in w.columns() {
+            push_col(c, &mut projected);
+        }
+    }
+    for g in &core.group_by {
+        for c in g.columns() {
+            push_col(c, &mut projected);
+        }
+    }
+    if let Some(h) = &core.having {
+        for c in h.columns() {
+            push_col(c, &mut projected);
+        }
+    }
+    // Primary keys of every referenced table.
+    for tref in core.from.tables() {
+        if let Some(schema) = db.schema.table(&tref.name) {
+            for pk in schema.primary_key_names() {
+                let qualifier = tref.visible_name().to_string();
+                push_col(&ColumnRef { table: Some(qualifier), column: pk.to_string() }, &mut projected);
+            }
+        }
+    }
+    // A star projection asks for everything: project all columns of every
+    // referenced table (the retrieval-all fallback also covers queries where
+    // nothing else was collected).
+    if has_star || projected.is_empty() {
+        for tref in core.from.tables() {
+            if let Some(schema) = db.schema.table(&tref.name) {
+                for col in &schema.columns {
+                    push_col(
+                        &ColumnRef {
+                            table: Some(tref.visible_name().to_string()),
+                            column: col.name.clone(),
+                        },
+                        &mut projected,
+                    );
+                }
+            }
+        }
+    }
+
+    new_core.projections = projected
+        .iter()
+        .cloned()
+        .map(|c| SelectItem::Expr { expr: Expr::Column(c), alias: None })
+        .collect();
+
+    // Attach Rule-1 conditions and relocated HAVING conjuncts to WHERE.
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    if let Some(w) = new_core.where_clause.take() {
+        conjuncts.extend(w.conjuncts().into_iter().cloned());
+    }
+    conjuncts.extend(result_conditions);
+    conjuncts.extend(having_moved);
+    new_core.where_clause = Expr::from_conjuncts(conjuncts);
+
+    let query = Query {
+        body: QueryBody::Select(new_core),
+        order_by: Vec::new(),
+        limit: None,
+    };
+    let _ = SortOrder::Asc; // rule 3 drops ordering; keep the import honest
+    RewrittenCore { query, projected }
+}
+
+fn value_to_literal(v: &Value) -> Option<Literal> {
+    match v {
+        Value::Null => None,
+        Value::Int(n) => Some(Literal::Int(*n)),
+        Value::Float(x) => Some(Literal::Float(*x)),
+        Value::Str(s) => Some(Literal::Str(s.clone())),
+        Value::Bool(b) => Some(Literal::Bool(*b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_sql::{parse, to_sql};
+    use cyclesql_storage::{ColumnDef, DataType, DatabaseSchema, TableSchema};
+
+    fn flight_db() -> Database {
+        let mut schema = DatabaseSchema::new("flight_1");
+        schema.add_table(TableSchema::new(
+            "aircraft",
+            vec![
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        ));
+        schema.add_table(TableSchema::new(
+            "flight",
+            vec![
+                ColumnDef::new("flno", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+            ],
+        ));
+        schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+        Database::new(schema)
+    }
+
+    #[test]
+    fn aggregation_deconstruction_strips_count_and_adds_pk() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+             WHERE T2.name = 'Airbus A340-300'",
+        )
+        .unwrap();
+        let rewritten = rewrite_for_provenance(&db, &q, &["count(*)".into()], &[Value::Int(2)]);
+        assert_eq!(rewritten.len(), 1);
+        let sql = to_sql(&rewritten[0].query);
+        assert!(!sql.contains("count"), "aggregate not removed: {sql}");
+        assert!(sql.contains("t2.name"), "where columns projected: {sql}");
+        assert!(sql.contains("t1.flno"), "pk projected: {sql}");
+        assert!(sql.contains("WHERE"), "original filter kept: {sql}");
+    }
+
+    #[test]
+    fn result_transformation_pins_projected_column() {
+        let db = flight_db();
+        let q = parse("SELECT name FROM aircraft WHERE aid > 0").unwrap();
+        let rewritten = rewrite_for_provenance(
+            &db,
+            &q,
+            &["name".into()],
+            &[Value::from("Airbus A340-300")],
+        );
+        let sql = to_sql(&rewritten[0].query);
+        assert!(
+            sql.contains("name = 'Airbus A340-300'"),
+            "result condition missing: {sql}"
+        );
+    }
+
+    #[test]
+    fn star_projection_skips_rule1() {
+        let db = flight_db();
+        let q = parse("SELECT * FROM aircraft").unwrap();
+        let rewritten = rewrite_for_provenance(
+            &db,
+            &q,
+            &["aid".into(), "name".into()],
+            &[Value::Int(1), Value::from("X")],
+        );
+        let sql = to_sql(&rewritten[0].query);
+        assert!(!sql.contains("WHERE"), "rule 1 should be skipped: {sql}");
+        // Fallback projects all columns.
+        assert!(sql.contains("aid") && sql.contains("name"));
+    }
+
+    #[test]
+    fn group_by_removed_and_key_pinned() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT count(*), T2.name FROM flight AS T1 JOIN aircraft AS T2 \
+             ON T1.aid = T2.aid GROUP BY T2.name HAVING count(*) > 1",
+        )
+        .unwrap();
+        let rewritten = rewrite_for_provenance(
+            &db,
+            &q,
+            &["count(*)".into(), "T2.name".into()],
+            &[Value::Int(2), Value::from("Airbus A340-300")],
+        );
+        let sql = to_sql(&rewritten[0].query);
+        assert!(!sql.contains("GROUP BY"), "{sql}");
+        assert!(!sql.contains("HAVING"), "{sql}");
+        assert!(!sql.contains("count"), "{sql}");
+        assert!(sql.contains("t2.name = 'Airbus A340-300'"), "group key pinned: {sql}");
+    }
+
+    #[test]
+    fn order_and_limit_dropped() {
+        let db = flight_db();
+        let q = parse("SELECT name FROM aircraft ORDER BY aid DESC LIMIT 1").unwrap();
+        let rewritten =
+            rewrite_for_provenance(&db, &q, &["name".into()], &[Value::from("X")]);
+        let sql = to_sql(&rewritten[0].query);
+        assert!(!sql.contains("ORDER BY") && !sql.contains("LIMIT"), "{sql}");
+    }
+
+    #[test]
+    fn set_op_yields_one_rewrite_per_branch() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT name FROM aircraft WHERE aid = 1 \
+             INTERSECT SELECT name FROM aircraft WHERE aid = 3",
+        )
+        .unwrap();
+        let rewritten =
+            rewrite_for_provenance(&db, &q, &["name".into()], &[Value::from("X")]);
+        assert_eq!(rewritten.len(), 2);
+        for rw in &rewritten {
+            let sql = to_sql(&rw.query);
+            assert!(sql.contains("name = 'X'"), "{sql}");
+        }
+    }
+
+    #[test]
+    fn null_result_value_not_pinned() {
+        let db = flight_db();
+        let q = parse("SELECT name FROM aircraft").unwrap();
+        let rewritten = rewrite_for_provenance(&db, &q, &["name".into()], &[Value::Null]);
+        let sql = to_sql(&rewritten[0].query);
+        assert!(!sql.contains("WHERE"), "{sql}");
+    }
+
+    #[test]
+    fn non_aggregate_having_moves_to_where() {
+        let db = flight_db();
+        let q = parse(
+            "SELECT count(*), name FROM aircraft GROUP BY name HAVING name != 'X' AND count(*) > 1",
+        )
+        .unwrap();
+        let rewritten = rewrite_for_provenance(
+            &db,
+            &q,
+            &["count(*)".into(), "name".into()],
+            &[Value::Int(2), Value::from("Y")],
+        );
+        let sql = to_sql(&rewritten[0].query);
+        assert!(sql.contains("name != 'X'"), "non-aggregate HAVING kept: {sql}");
+        assert!(!sql.contains("count"), "aggregate HAVING dropped: {sql}");
+    }
+
+    #[test]
+    fn distinct_removed_by_rule3() {
+        let db = flight_db();
+        let q = parse("SELECT DISTINCT name FROM aircraft").unwrap();
+        let rewritten =
+            rewrite_for_provenance(&db, &q, &["name".into()], &[Value::from("X")]);
+        let sql = to_sql(&rewritten[0].query);
+        assert!(!sql.contains("DISTINCT"), "{sql}");
+    }
+}

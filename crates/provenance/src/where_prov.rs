@@ -1,0 +1,243 @@
+//! Where-provenance: per-cell source attribution.
+//!
+//! The paper adopts *why*-provenance (which tuples justify an output row);
+//! the provenance literature it cites also defines *where*-provenance —
+//! which **source cell** an output value was copied from. This module adds
+//! that finer grain on top of the executor's lineage: for an output cell
+//! `(row, column)` it reports the `(table, row, column)` source cells the
+//! value came from, or the aggregated input cells for aggregate columns.
+
+use crate::error::ProvError;
+use cyclesql_sql::{Expr, FuncArg, Query, SelectItem};
+use cyclesql_storage::{execute_with_lineage, Database, SourceRef, Value};
+
+/// One source cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRef {
+    /// Source table.
+    pub table: String,
+    /// Source row index.
+    pub row: usize,
+    /// Source column name.
+    pub column: String,
+}
+
+/// Where-provenance of one output cell.
+#[derive(Debug, Clone)]
+pub enum WhereProvenance {
+    /// The value was copied verbatim from these source cell(s) (several when
+    /// the projection is ambiguous across joined duplicates).
+    Copied(Vec<CellRef>),
+    /// The value was computed by an aggregate over these input cells.
+    Aggregated {
+        /// The aggregate function name.
+        function: String,
+        /// The aggregated source cells.
+        inputs: Vec<CellRef>,
+    },
+    /// The value is computed (arithmetic, literals) and has no single
+    /// source cell.
+    Computed,
+}
+
+/// Computes where-provenance for output cell `(row_idx, col_idx)` of
+/// `query` on `db`.
+///
+/// # Errors
+///
+/// Propagates execution errors; returns [`ProvError::NoSuchResultRow`] for
+/// out-of-range rows and [`ProvError::Unsupported`] for set-operation
+/// queries or star projections (no single projection expression to trace).
+pub fn where_provenance(
+    db: &Database,
+    query: &Query,
+    row_idx: usize,
+    col_idx: usize,
+) -> Result<WhereProvenance, ProvError> {
+    if query.body.has_set_op() {
+        return Err(ProvError::Unsupported("where-provenance across set operations".into()));
+    }
+    let out = execute_with_lineage(db, query)?;
+    let lineage = out
+        .lineage
+        .get(row_idx)
+        .ok_or(ProvError::NoSuchResultRow { index: row_idx, len: out.lineage.len() })?;
+    let core = query.leading_select();
+    let item = core.projections.get(col_idx).ok_or_else(|| {
+        ProvError::Unsupported(format!("projection index {col_idx} out of range"))
+    })?;
+
+    // Visible-name → real-table resolution for qualified columns.
+    let alias_map: Vec<(String, String)> = core
+        .from
+        .tables()
+        .iter()
+        .map(|t| (t.visible_name().to_string(), t.name.clone()))
+        .collect();
+    let resolve = |c: &cyclesql_sql::ColumnRef| -> Vec<CellRef> {
+        let real: Option<String> = match &c.table {
+            Some(t) => alias_map
+                .iter()
+                .find(|(vis, real)| vis == t || real == t)
+                .map(|(_, real)| real.clone()),
+            None => alias_map
+                .iter()
+                .map(|(_, real)| real.clone())
+                .find(|real| {
+                    db.schema
+                        .table(real)
+                        .and_then(|s| s.column_index(&c.column))
+                        .is_some()
+                }),
+        };
+        match real {
+            Some(real) => lineage
+                .iter()
+                .filter(|src| src.table == real)
+                .map(|src: &SourceRef| CellRef {
+                    table: src.table.clone(),
+                    row: src.row,
+                    column: c.column.clone(),
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    };
+
+    match item {
+        SelectItem::Star | SelectItem::QualifiedStar(_) => Err(ProvError::Unsupported(
+            "where-provenance for star projections".into(),
+        )),
+        SelectItem::Expr { expr, .. } => match expr {
+            Expr::Column(c) => Ok(WhereProvenance::Copied(resolve(c))),
+            Expr::Agg { func, arg, .. } => {
+                let inputs = match arg {
+                    FuncArg::Star => lineage
+                        .iter()
+                        .map(|src| CellRef {
+                            table: src.table.clone(),
+                            row: src.row,
+                            column: "*".into(),
+                        })
+                        .collect(),
+                    FuncArg::Expr(inner) => match inner.as_ref() {
+                        Expr::Column(c) => resolve(c),
+                        _ => Vec::new(),
+                    },
+                };
+                Ok(WhereProvenance::Aggregated { function: func.name().to_string(), inputs })
+            }
+            _ => Ok(WhereProvenance::Computed),
+        },
+    }
+}
+
+/// Reads the value at a [`CellRef`] back from the database (used by tests
+/// to verify the copied-value invariant).
+pub fn cell_value(db: &Database, cell: &CellRef) -> Option<Value> {
+    db.table(&cell.table)?.value(cell.row, &cell.column).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_sql::parse;
+    use cyclesql_storage::{execute, ColumnDef, DataType, DatabaseSchema, TableSchema};
+
+    fn db() -> Database {
+        let mut schema = DatabaseSchema::new("d");
+        schema.add_table(TableSchema::new(
+            "aircraft",
+            vec![
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        ));
+        schema.add_table(TableSchema::new(
+            "flight",
+            vec![
+                ColumnDef::new("flno", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+            ],
+        ));
+        schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+        let mut d = Database::new(schema);
+        d.insert("aircraft", vec![Value::Int(1), Value::from("Boeing")]);
+        d.insert("aircraft", vec![Value::Int(3), Value::from("Airbus")]);
+        d.insert("flight", vec![Value::Int(7), Value::Int(3)]);
+        d.insert("flight", vec![Value::Int(13), Value::Int(3)]);
+        d
+    }
+
+    #[test]
+    fn copied_cell_matches_output_value() {
+        let d = db();
+        let q = parse(
+            "SELECT T1.flno FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+             WHERE T2.name = 'Airbus'",
+        )
+        .unwrap();
+        let result = execute(&d, &q).unwrap();
+        for (ri, row) in result.rows.iter().enumerate() {
+            match where_provenance(&d, &q, ri, 0).unwrap() {
+                WhereProvenance::Copied(cells) => {
+                    assert_eq!(cells.len(), 1);
+                    assert_eq!(cells[0].table, "flight");
+                    assert_eq!(
+                        cell_value(&d, &cells[0]).unwrap(),
+                        row[0],
+                        "copied value must equal output value"
+                    );
+                }
+                other => panic!("expected Copied, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_cites_all_input_cells() {
+        let d = db();
+        let q = parse(
+            "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+             WHERE T2.name = 'Airbus'",
+        )
+        .unwrap();
+        match where_provenance(&d, &q, 0, 0).unwrap() {
+            WhereProvenance::Aggregated { function, inputs } => {
+                assert_eq!(function, "count");
+                // Two flight rows plus the shared (deduplicated) aircraft row.
+                assert_eq!(inputs.len(), 3);
+            }
+            other => panic!("expected Aggregated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_computed() {
+        let d = db();
+        let q = parse("SELECT flno + 1 FROM flight").unwrap();
+        assert!(matches!(
+            where_provenance(&d, &q, 0, 0).unwrap(),
+            WhereProvenance::Computed
+        ));
+    }
+
+    #[test]
+    fn star_and_set_ops_unsupported() {
+        let d = db();
+        let star = parse("SELECT * FROM flight").unwrap();
+        assert!(where_provenance(&d, &star, 0, 0).is_err());
+        let setop = parse("SELECT flno FROM flight UNION SELECT flno FROM flight").unwrap();
+        assert!(where_provenance(&d, &setop, 0, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_row_errors() {
+        let d = db();
+        let q = parse("SELECT flno FROM flight").unwrap();
+        assert!(matches!(
+            where_provenance(&d, &q, 99, 0),
+            Err(ProvError::NoSuchResultRow { .. })
+        ));
+    }
+}

@@ -1,0 +1,697 @@
+//! Abstract syntax tree for the Spider SQL subset.
+//!
+//! The grammar covers everything the SPIDER benchmark family exercises:
+//! projections with aggregates and arithmetic, multi-way `JOIN ... ON`,
+//! `WHERE` with nested boolean logic, `GROUP BY` + `HAVING`, `ORDER BY` +
+//! `LIMIT`, `DISTINCT`, the three set operators, and `IN` / `NOT IN` /
+//! `EXISTS` / scalar subqueries.
+
+use serde::{Deserialize, Serialize};
+
+/// A literal value appearing in a SQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// 64-bit signed integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single- or double-quoted string literal.
+    Str(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+}
+
+impl Literal {
+    /// Whether two literals are the same ignoring numeric representation
+    /// (`1` vs `1.0`).
+    pub fn loosely_eq(&self, other: &Literal) -> bool {
+        match (self, other) {
+            (Literal::Int(a), Literal::Float(b)) | (Literal::Float(b), Literal::Int(a)) => {
+                (*a as f64 - b).abs() < f64::EPSILON
+            }
+            _ => self == other,
+        }
+    }
+}
+
+/// A possibly-qualified column reference such as `T1.name` or `name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Optional table name or alias qualifier.
+    pub table: Option<String>,
+    /// Column name (lower-cased by the parser).
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef { table: None, column: column.into().to_ascii_lowercase() }
+    }
+
+    /// A qualified column reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into().to_ascii_lowercase()),
+            column: column.into().to_ascii_lowercase(),
+        }
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// Aggregate functions supported by the Spider subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// SQL keyword for the function.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// All aggregate functions, in a stable order.
+    pub const ALL: [AggFunc; 5] =
+        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// Binary operators (comparison, boolean, arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// SQL surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+
+    /// Whether this is a comparison operator.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// The comparison with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    }
+}
+
+/// The argument of an aggregate call: `count(*)` or `count(expr)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FuncArg {
+    /// The `*` argument (valid for `COUNT`).
+    Star,
+    /// A regular expression argument.
+    Expr(Box<Expr>),
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// Scalar and boolean expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Literal),
+    /// Binary operation.
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    /// Logical negation (`NOT expr`).
+    Not(Box<Expr>),
+    /// Aggregate function call.
+    Agg { func: AggFunc, distinct: bool, arg: FuncArg },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery { expr: Box<Expr>, subquery: Box<Query>, negated: bool },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists { subquery: Box<Query>, negated: bool },
+    /// A scalar subquery used as a value.
+    ScalarSubquery(Box<Query>),
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// `expr [NOT] LIKE pattern`.
+    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+}
+
+impl Expr {
+    /// Shorthand for a column expression.
+    pub fn col(c: ColumnRef) -> Expr {
+        Expr::Column(c)
+    }
+
+    /// Shorthand for a literal expression.
+    pub fn lit(l: Literal) -> Expr {
+        Expr::Literal(l)
+    }
+
+    /// Shorthand for a binary expression.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Conjunction of two expressions.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::And, left, right)
+    }
+
+    /// Splits a boolean expression into its top-level `AND` conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Re-joins conjuncts into a single `AND` expression. Returns `None` for
+    /// an empty slice.
+    pub fn from_conjuncts(conjuncts: Vec<Expr>) -> Option<Expr> {
+        conjuncts.into_iter().reduce(Expr::and)
+    }
+
+    /// Whether the expression contains any aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Visits every sub-expression (pre-order), without descending into
+    /// subqueries.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Not(e) => e.visit(f),
+            Expr::Agg { arg: FuncArg::Expr(e), .. } => e.visit(f),
+            Expr::InSubquery { expr, .. } => expr.visit(f),
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for item in list {
+                    item.visit(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Collects every column referenced in the expression, not descending
+    /// into subqueries.
+    pub fn columns(&self) -> Vec<&ColumnRef> {
+        let mut cols = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column(c) = e {
+                cols.push(c);
+            }
+        });
+        cols
+    }
+
+    /// Collects the subqueries directly nested in this expression.
+    pub fn subqueries(&self) -> Vec<&Query> {
+        let mut subs = Vec::new();
+        self.visit(&mut |e| match e {
+            Expr::InSubquery { subquery, .. }
+            | Expr::Exists { subquery, .. }
+            | Expr::ScalarSubquery(subquery) => subs.push(subquery.as_ref()),
+            _ => {}
+        });
+        subs
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// One item in the `SELECT` projection list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `SELECT *`.
+    Star,
+    /// `SELECT table.*`.
+    QualifiedStar(String),
+    /// An expression with an optional `AS alias`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+impl SelectItem {
+    /// A plain column projection.
+    pub fn column(c: ColumnRef) -> SelectItem {
+        SelectItem::Expr { expr: Expr::Column(c), alias: None }
+    }
+}
+
+/// A base table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TableRef {
+    /// Table name (lower-cased).
+    pub name: String,
+    /// Optional alias (e.g. `T1`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Table reference without an alias.
+    pub fn named(name: impl Into<String>) -> Self {
+        TableRef { name: name.into().to_ascii_lowercase(), alias: None }
+    }
+
+    /// Table reference with an alias.
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            name: name.into().to_ascii_lowercase(),
+            alias: Some(alias.into().to_ascii_lowercase()),
+        }
+    }
+
+    /// Name the reference is visible under in the rest of the query.
+    pub fn visible_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// Join flavor. Spider uses inner joins almost exclusively; `LEFT` appears in
+/// a handful of queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinType {
+    Inner,
+    Left,
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// One `JOIN <table> [ON <condition>]` step in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    pub join_type: JoinType,
+    pub table: TableRef,
+    /// `ON` condition; `None` means a natural cross join (rare in Spider,
+    /// present for `FROM a JOIN b` without `ON`).
+    pub on: Option<Expr>,
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// The `FROM` clause: a base table and a chain of joins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FromClause {
+    pub base: TableRef,
+    pub joins: Vec<Join>,
+}
+
+impl FromClause {
+    /// `FROM` over a single table.
+    pub fn table(t: TableRef) -> Self {
+        FromClause { base: t, joins: Vec::new() }
+    }
+
+    /// All table references, base first.
+    pub fn tables(&self) -> Vec<&TableRef> {
+        std::iter::once(&self.base).chain(self.joins.iter().map(|j| &j.table)).collect()
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// Sort direction in `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+impl SortOrder {
+    /// The opposite direction.
+    pub fn reversed(self) -> SortOrder {
+        match self {
+            SortOrder::Asc => SortOrder::Desc,
+            SortOrder::Desc => SortOrder::Asc,
+        }
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub order: SortOrder,
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// A single `SELECT ... FROM ... [WHERE] [GROUP BY] [HAVING]` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectCore {
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    pub from: FromClause,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+impl SelectCore {
+    /// Whether any projection is an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        self.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// Set operators combining two query bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+impl SetOp {
+    /// SQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SetOp::Union => "UNION",
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+        }
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+#[allow(clippy::large_enum_variant)] // Select is the common case; boxing it would tax every query
+/// The body of a query: either a single select block or a set operation over
+/// two bodies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryBody {
+    Select(SelectCore),
+    SetOp { op: SetOp, left: Box<QueryBody>, right: Box<QueryBody> },
+}
+
+impl QueryBody {
+    /// The leftmost select core, which determines the output schema.
+    pub fn leading_select(&self) -> &SelectCore {
+        match self {
+            QueryBody::Select(core) => core,
+            QueryBody::SetOp { left, .. } => left.leading_select(),
+        }
+    }
+
+    /// Mutable access to the leftmost select core.
+    pub fn leading_select_mut(&mut self) -> &mut SelectCore {
+        match self {
+            QueryBody::Select(core) => core,
+            QueryBody::SetOp { left, .. } => left.leading_select_mut(),
+        }
+    }
+
+    /// All select cores in left-to-right order.
+    pub fn select_cores(&self) -> Vec<&SelectCore> {
+        match self {
+            QueryBody::Select(core) => vec![core],
+            QueryBody::SetOp { left, right, .. } => {
+                let mut cores = left.select_cores();
+                cores.extend(right.select_cores());
+                cores
+            }
+        }
+    }
+
+    /// Whether this body contains any set operation.
+    pub fn has_set_op(&self) -> bool {
+        matches!(self, QueryBody::SetOp { .. })
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// A full SQL query: body plus ordering and limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub body: QueryBody,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Wraps a select core into a full query with no ordering or limit.
+    pub fn simple(core: SelectCore) -> Query {
+        Query { body: QueryBody::Select(core), order_by: Vec::new(), limit: None }
+    }
+
+    /// The leftmost select core.
+    pub fn leading_select(&self) -> &SelectCore {
+        self.body.leading_select()
+    }
+
+    /// Mutable access to the leftmost select core.
+    pub fn leading_select_mut(&mut self) -> &mut SelectCore {
+        self.body.leading_select_mut()
+    }
+
+    /// All tables referenced anywhere in the query, including subqueries.
+    pub fn all_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for core in self.body.select_cores() {
+            for t in core.from.tables() {
+                out.push(t.name.clone());
+            }
+            let mut nested: Vec<&Query> = Vec::new();
+            if let Some(w) = &core.where_clause {
+                nested.extend(w.subqueries());
+            }
+            if let Some(h) = &core.having {
+                nested.extend(h.subqueries());
+            }
+            for q in nested {
+                out.extend(q.all_tables());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Whether the query (at any level) uses an aggregate function.
+    pub fn uses_aggregate(&self) -> bool {
+        self.body.select_cores().iter().any(|c| {
+            c.has_aggregate()
+                || c.having.as_ref().is_some_and(|h| h.contains_aggregate())
+                || !c.group_by.is_empty()
+        }) || self.order_by.iter().any(|o| o.expr.contains_aggregate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight_core() -> SelectCore {
+        SelectCore {
+            distinct: false,
+            projections: vec![SelectItem::Expr {
+                expr: Expr::Agg { func: AggFunc::Count, distinct: false, arg: FuncArg::Star },
+                alias: None,
+            }],
+            from: FromClause::table(TableRef::named("flight")),
+            where_clause: Some(Expr::binary(
+                BinOp::Eq,
+                Expr::col(ColumnRef::bare("name")),
+                Expr::lit(Literal::Str("Airbus A340-300".into())),
+            )),
+            group_by: vec![],
+            having: None,
+        }
+    }
+
+    #[test]
+    fn conjunct_split_and_rejoin() {
+        let a = Expr::binary(
+            BinOp::Eq,
+            Expr::col(ColumnRef::bare("a")),
+            Expr::lit(Literal::Int(1)),
+        );
+        let b = Expr::binary(
+            BinOp::Gt,
+            Expr::col(ColumnRef::bare("b")),
+            Expr::lit(Literal::Int(2)),
+        );
+        let c = Expr::binary(
+            BinOp::Lt,
+            Expr::col(ColumnRef::bare("c")),
+            Expr::lit(Literal::Int(3)),
+        );
+        let all = Expr::and(Expr::and(a.clone(), b.clone()), c.clone());
+        let parts = all.conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &a);
+        assert_eq!(parts[2], &c);
+        let rejoined = Expr::from_conjuncts(vec![a, b, c]).unwrap();
+        assert_eq!(rejoined.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn or_is_not_split() {
+        let a = Expr::binary(
+            BinOp::Eq,
+            Expr::col(ColumnRef::bare("a")),
+            Expr::lit(Literal::Int(1)),
+        );
+        let b = Expr::binary(
+            BinOp::Eq,
+            Expr::col(ColumnRef::bare("b")),
+            Expr::lit(Literal::Int(2)),
+        );
+        let or = Expr::binary(BinOp::Or, a, b);
+        assert_eq!(or.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let core = flight_core();
+        assert!(core.has_aggregate());
+        let q = Query::simple(core);
+        assert!(q.uses_aggregate());
+    }
+
+    #[test]
+    fn column_collection_skips_subqueries() {
+        let sub = Query::simple(SelectCore {
+            distinct: false,
+            projections: vec![SelectItem::column(ColumnRef::bare("inner_col"))],
+            from: FromClause::table(TableRef::named("t2")),
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+        });
+        let e = Expr::InSubquery {
+            expr: Box::new(Expr::col(ColumnRef::bare("outer_col"))),
+            subquery: Box::new(sub),
+            negated: false,
+        };
+        let cols = e.columns();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].column, "outer_col");
+        assert_eq!(e.subqueries().len(), 1);
+    }
+
+    #[test]
+    fn leading_select_of_set_op() {
+        let left = flight_core();
+        let mut right = flight_core();
+        right.distinct = true;
+        let body = QueryBody::SetOp {
+            op: SetOp::Intersect,
+            left: Box::new(QueryBody::Select(left)),
+            right: Box::new(QueryBody::Select(right)),
+        };
+        assert!(!body.leading_select().distinct);
+        assert_eq!(body.select_cores().len(), 2);
+        assert!(body.has_set_op());
+    }
+
+    #[test]
+    fn all_tables_includes_subqueries() {
+        let sub = Query::simple(SelectCore {
+            distinct: false,
+            projections: vec![SelectItem::column(ColumnRef::bare("code"))],
+            from: FromClause::table(TableRef::named("countrylanguage")),
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+        });
+        let core = SelectCore {
+            distinct: false,
+            projections: vec![SelectItem::Star],
+            from: FromClause::table(TableRef::named("country")),
+            where_clause: Some(Expr::InSubquery {
+                expr: Box::new(Expr::col(ColumnRef::bare("code"))),
+                subquery: Box::new(sub),
+                negated: true,
+            }),
+            group_by: vec![],
+            having: None,
+        };
+        let q = Query::simple(core);
+        assert_eq!(q.all_tables(), vec!["country".to_string(), "countrylanguage".to_string()]);
+    }
+
+    #[test]
+    fn binop_flip_and_comparison() {
+        assert!(BinOp::GtEq.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+        assert_eq!(BinOp::Lt.flipped(), BinOp::Gt);
+        assert_eq!(BinOp::Eq.flipped(), BinOp::Eq);
+    }
+
+    #[test]
+    fn literal_loose_equality() {
+        assert!(Literal::Int(2).loosely_eq(&Literal::Float(2.0)));
+        assert!(!Literal::Int(2).loosely_eq(&Literal::Float(2.5)));
+        assert!(Literal::Str("x".into()).loosely_eq(&Literal::Str("x".into())));
+    }
+}

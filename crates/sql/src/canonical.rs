@@ -1,0 +1,470 @@
+//! Canonicalization for *exact-match* (EM) evaluation.
+//!
+//! Spider's EM metric compares SQL structure while ignoring literal values.
+//! Canonicalization runs in two phases:
+//!
+//! 1. **Normalization** (rename-invariant): mask every literal to a
+//!    placeholder, normalize flipped comparisons (`5 < x` → `x > 5`), sort
+//!    commutative conjunct lists / `GROUP BY` keys / `IN` lists by a key
+//!    that masks table qualifiers, and drop projection aliases.
+//! 2. **Renaming**: walk the normalized tree and rename table aliases to
+//!    `t1`, `t2`, … in order of first appearance.
+//!
+//! Sorting before renaming (with qualifier-masked sort keys) makes the
+//! whole transform idempotent — a property the property tests pin down.
+//! Two queries exactly match iff their canonical forms are equal.
+
+use crate::ast::*;
+use crate::printer::to_sql;
+use std::collections::HashMap;
+
+/// Returns the canonical form of a query as a string key.
+pub fn canonical_key(q: &Query) -> String {
+    let mut q = q.clone();
+    canonicalize(&mut q);
+    to_sql(&q)
+}
+
+/// Whether two queries are an exact (syntactic, value-insensitive) match.
+pub fn exact_match(a: &Query, b: &Query) -> bool {
+    canonical_key(a) == canonical_key(b)
+}
+
+/// Canonicalizes a query in place.
+pub fn canonicalize(q: &mut Query) {
+    normalize_query(q);
+    // Canonical aliases must not collide with real table names: a fresh
+    // alias `t2` over a table literally named `t2` would make the printed
+    // form ambiguous and break idempotence.
+    let mut renamer = AliasRenamer { avoid: collect_table_names(q), ..Default::default() };
+    rename_query(q, &mut renamer);
+}
+
+fn collect_table_names(q: &Query) -> std::collections::HashSet<String> {
+    let mut names = std::collections::HashSet::new();
+    fn walk_body(b: &QueryBody, names: &mut std::collections::HashSet<String>) {
+        match b {
+            QueryBody::Select(core) => {
+                for t in core.from.tables() {
+                    names.insert(t.name.clone());
+                }
+                let mut subs: Vec<&Query> = Vec::new();
+                if let Some(w) = &core.where_clause {
+                    subs.extend(w.subqueries());
+                }
+                if let Some(h) = &core.having {
+                    subs.extend(h.subqueries());
+                }
+                for sq in subs {
+                    walk_body(&sq.body, names);
+                }
+            }
+            QueryBody::SetOp { left, right, .. } => {
+                walk_body(left, names);
+                walk_body(right, names);
+            }
+        }
+    }
+    walk_body(&q.body, &mut names);
+    names
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: rename-invariant normalization
+// ---------------------------------------------------------------------------
+
+fn normalize_query(q: &mut Query) {
+    normalize_body(&mut q.body);
+    for o in &mut q.order_by {
+        normalize_expr(&mut o.expr);
+    }
+    // LIMIT value is structural in Spider EM (LIMIT 1 vs LIMIT 3 differ).
+}
+
+fn normalize_body(body: &mut QueryBody) {
+    match body {
+        QueryBody::Select(core) => normalize_core(core),
+        QueryBody::SetOp { left, right, .. } => {
+            normalize_body(left);
+            normalize_body(right);
+        }
+    }
+}
+
+fn normalize_core(core: &mut SelectCore) {
+    for p in &mut core.projections {
+        if let SelectItem::Expr { expr, alias } = p {
+            normalize_expr(expr);
+            *alias = None;
+        }
+    }
+    for j in &mut core.from.joins {
+        if let Some(on) = &mut j.on {
+            normalize_expr(on);
+        }
+    }
+    if let Some(w) = &mut core.where_clause {
+        normalize_expr(w);
+        sort_conjuncts(w);
+    }
+    for g in &mut core.group_by {
+        normalize_expr(g);
+    }
+    core.group_by.sort_by_key(to_key);
+    if let Some(h) = &mut core.having {
+        normalize_expr(h);
+        sort_conjuncts(h);
+    }
+}
+
+fn normalize_expr(e: &mut Expr) {
+    match e {
+        Expr::Column(_) => {}
+        Expr::Literal(l) => *l = mask_literal(l),
+        Expr::Binary { op, left, right } => {
+            normalize_expr(left);
+            normalize_expr(right);
+            if op.is_comparison() {
+                // Flip so literals sit on the right, and the lexically
+                // smaller operand leads symmetric equalities.
+                let left_is_literal = matches!(left.as_ref(), Expr::Literal(_));
+                let right_is_literal = matches!(right.as_ref(), Expr::Literal(_));
+                let should_flip = !right_is_literal
+                    && (left_is_literal
+                        || (*op == BinOp::Eq && to_key(left) > to_key(right)));
+                if should_flip {
+                    std::mem::swap(left, right);
+                    *op = op.flipped();
+                }
+            }
+        }
+        Expr::Not(inner) => normalize_expr(inner),
+        Expr::Agg { arg: FuncArg::Expr(inner), .. } => normalize_expr(inner),
+        Expr::Agg { .. } => {}
+        Expr::InSubquery { expr, subquery, .. } => {
+            normalize_expr(expr);
+            normalize_query(subquery);
+        }
+        Expr::InList { expr, list, .. } => {
+            normalize_expr(expr);
+            for item in list.iter_mut() {
+                normalize_expr(item);
+            }
+            list.sort_by_key(to_key);
+        }
+        Expr::Exists { subquery, .. } => normalize_query(subquery),
+        Expr::ScalarSubquery(q) => normalize_query(q),
+        Expr::Between { expr, low, high, .. } => {
+            normalize_expr(expr);
+            normalize_expr(low);
+            normalize_expr(high);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            normalize_expr(expr);
+            *pattern = "?".to_string();
+        }
+        Expr::IsNull { expr, .. } => normalize_expr(expr),
+    }
+}
+
+fn mask_literal(_l: &Literal) -> Literal {
+    Literal::Str("?".to_string())
+}
+
+fn sort_conjuncts(e: &mut Expr) {
+    let parts: Vec<Expr> = e.conjuncts().into_iter().cloned().collect();
+    if parts.len() > 1 {
+        let mut parts = parts;
+        parts.sort_by_key(to_key);
+        if let Some(joined) = Expr::from_conjuncts(parts) {
+            *e = joined;
+        }
+    }
+}
+
+/// Ordering key for commutative lists: the rendered expression with every
+/// table qualifier masked, so ordering never depends on alias names.
+fn to_key(e: &Expr) -> String {
+    let mut masked = e.clone();
+    mask_qualifiers(&mut masked);
+    format!("{masked}")
+}
+
+fn mask_qualifiers(e: &mut Expr) {
+    match e {
+        Expr::Column(c)
+            if c.table.is_some() => {
+                c.table = Some("_".to_string());
+            }
+        Expr::Binary { left, right, .. } => {
+            mask_qualifiers(left);
+            mask_qualifiers(right);
+        }
+        Expr::Not(inner) => mask_qualifiers(inner),
+        Expr::Agg { arg: FuncArg::Expr(inner), .. } => mask_qualifiers(inner),
+        Expr::InList { expr, list, .. } => {
+            mask_qualifiers(expr);
+            for item in list {
+                mask_qualifiers(item);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            mask_qualifiers(expr);
+            mask_qualifiers(low);
+            mask_qualifiers(high);
+        }
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => mask_qualifiers(expr),
+        // Subqueries contribute their full text; masking inside them is
+        // unnecessary for a stable ordering key.
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: alias renaming (first-appearance order over the normalized tree)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct AliasRenamer {
+    /// Maps original alias/table name → canonical alias.
+    map: HashMap<String, String>,
+    /// Identifiers canonical aliases must not collide with (table names).
+    avoid: std::collections::HashSet<String>,
+    next: usize,
+}
+
+impl AliasRenamer {
+    fn canonical_for(&mut self, original: &str) -> String {
+        if let Some(c) = self.map.get(original) {
+            return c.clone();
+        }
+        let c = loop {
+            self.next += 1;
+            let candidate = format!("t{}", self.next);
+            if !self.avoid.contains(&candidate) {
+                break candidate;
+            }
+        };
+        self.map.insert(original.to_string(), c.clone());
+        c
+    }
+}
+
+fn rename_query(q: &mut Query, renamer: &mut AliasRenamer) {
+    rename_body(&mut q.body, renamer);
+    for o in &mut q.order_by {
+        rename_expr(&mut o.expr, renamer);
+    }
+}
+
+fn rename_body(body: &mut QueryBody, renamer: &mut AliasRenamer) {
+    match body {
+        QueryBody::Select(core) => rename_core(core, renamer),
+        QueryBody::SetOp { left, right, .. } => {
+            rename_body(left, renamer);
+            rename_body(right, renamer);
+        }
+    }
+}
+
+fn rename_core(core: &mut SelectCore, renamer: &mut AliasRenamer) {
+    // Register table aliases first: both the alias and the bare table name
+    // map to the same canonical alias so `flight.id` and `T1.id` agree.
+    register_table(&mut core.from.base, renamer);
+    for j in &mut core.from.joins {
+        register_table(&mut j.table, renamer);
+    }
+    for p in &mut core.projections {
+        match p {
+            SelectItem::Expr { expr, .. } => rename_expr(expr, renamer),
+            SelectItem::QualifiedStar(t) => *t = renamer.canonical_for(t),
+            SelectItem::Star => {}
+        }
+    }
+    for j in &mut core.from.joins {
+        if let Some(on) = &mut j.on {
+            rename_expr(on, renamer);
+        }
+    }
+    if let Some(w) = &mut core.where_clause {
+        rename_expr(w, renamer);
+    }
+    for g in &mut core.group_by {
+        rename_expr(g, renamer);
+    }
+    if let Some(h) = &mut core.having {
+        rename_expr(h, renamer);
+    }
+}
+
+fn register_table(t: &mut TableRef, renamer: &mut AliasRenamer) {
+    let visible = t.visible_name().to_string();
+    let canonical = renamer.canonical_for(&visible);
+    if t.alias.is_some() {
+        renamer.map.entry(t.name.clone()).or_insert_with(|| canonical.clone());
+    }
+    t.alias = Some(canonical);
+}
+
+fn rename_expr(e: &mut Expr, renamer: &mut AliasRenamer) {
+    match e {
+        Expr::Column(c) => {
+            if let Some(t) = &c.table {
+                c.table = Some(renamer.canonical_for(t));
+            }
+        }
+        Expr::Literal(_) => {}
+        Expr::Binary { left, right, .. } => {
+            rename_expr(left, renamer);
+            rename_expr(right, renamer);
+        }
+        Expr::Not(inner) => rename_expr(inner, renamer),
+        Expr::Agg { arg: FuncArg::Expr(inner), .. } => rename_expr(inner, renamer),
+        Expr::Agg { .. } => {}
+        Expr::InSubquery { expr, subquery, .. } => {
+            rename_expr(expr, renamer);
+            rename_query(subquery, renamer);
+        }
+        Expr::InList { expr, list, .. } => {
+            rename_expr(expr, renamer);
+            for item in list.iter_mut() {
+                rename_expr(item, renamer);
+            }
+        }
+        Expr::Exists { subquery, .. } => rename_query(subquery, renamer),
+        Expr::ScalarSubquery(q) => rename_query(q, renamer),
+        Expr::Between { expr, low, high, .. } => {
+            rename_expr(expr, renamer);
+            rename_expr(low, renamer);
+            rename_expr(high, renamer);
+        }
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => rename_expr(expr, renamer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn em(a: &str, b: &str) -> bool {
+        exact_match(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    #[test]
+    fn values_ignored() {
+        assert!(em(
+            "SELECT name FROM t WHERE age > 20",
+            "SELECT name FROM t WHERE age > 99",
+        ));
+    }
+
+    #[test]
+    fn alias_names_ignored() {
+        assert!(em(
+            "SELECT T1.name FROM country AS T1 JOIN city AS T2 ON T1.code = T2.countrycode",
+            "SELECT a.name FROM country AS a JOIN city AS b ON a.code = b.countrycode",
+        ));
+    }
+
+    #[test]
+    fn conjunct_order_ignored() {
+        assert!(em(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 9 AND x = 7",
+        ));
+    }
+
+    #[test]
+    fn different_aggregate_differs() {
+        assert!(!em("SELECT count(*) FROM t", "SELECT max(id) FROM t"));
+    }
+
+    #[test]
+    fn different_comparison_op_differs() {
+        assert!(!em(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x >= 1",
+        ));
+    }
+
+    #[test]
+    fn flipped_equality_matches() {
+        assert!(em(
+            "SELECT a FROM t WHERE 1 = x",
+            "SELECT a FROM t WHERE x = 1",
+        ));
+    }
+
+    #[test]
+    fn flipped_inequality_matches() {
+        assert!(em(
+            "SELECT a FROM t WHERE 5 < x",
+            "SELECT a FROM t WHERE x > 3",
+        ));
+    }
+
+    #[test]
+    fn projection_alias_ignored() {
+        assert!(em(
+            "SELECT count(*) AS n FROM t",
+            "SELECT count(*) FROM t",
+        ));
+    }
+
+    #[test]
+    fn in_list_order_ignored() {
+        assert!(em(
+            "SELECT a FROM t WHERE x IN (1, 2)",
+            "SELECT a FROM t WHERE x IN (2, 1)",
+        ));
+    }
+
+    #[test]
+    fn limit_value_is_structural() {
+        assert!(!em(
+            "SELECT a FROM t ORDER BY a LIMIT 1",
+            "SELECT a FROM t ORDER BY a LIMIT 3",
+        ));
+    }
+
+    #[test]
+    fn distinct_is_structural() {
+        assert!(!em("SELECT DISTINCT a FROM t", "SELECT a FROM t"));
+    }
+
+    #[test]
+    fn set_op_kind_is_structural() {
+        assert!(!em(
+            "SELECT a FROM t UNION SELECT a FROM u",
+            "SELECT a FROM t INTERSECT SELECT a FROM u",
+        ));
+    }
+
+    #[test]
+    fn table_name_vs_alias_qualification() {
+        assert!(em(
+            "SELECT flight.flno FROM flight AS T1 WHERE T1.origin = 'LA'",
+            "SELECT T1.flno FROM flight AS T1 WHERE T1.origin = 'LA'",
+        ));
+    }
+
+    #[test]
+    fn canonical_key_is_stable() {
+        let q = parse("SELECT a FROM t WHERE x = 1 AND y = 2").unwrap();
+        assert_eq!(canonical_key(&q), canonical_key(&q));
+    }
+
+    #[test]
+    fn idempotent_on_sorted_alias_conjuncts() {
+        // The regression behind the two-phase design: sorting must not
+        // change alias numbering on re-canonicalization.
+        let q = parse(
+            "SELECT * FROM a UNION SELECT * FROM a WHERE y.h = 1 AND x.a = 2 AND a = 3",
+        )
+        .unwrap();
+        let k1 = canonical_key(&q);
+        let k2 = canonical_key(&parse(&k1).unwrap());
+        assert_eq!(k1, k2);
+    }
+}

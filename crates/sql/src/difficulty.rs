@@ -1,0 +1,250 @@
+//! Spider difficulty ("hardness") classification.
+//!
+//! Re-implements the spirit of the official Spider evaluation script's
+//! hardness buckets: queries are scored by counting SQL components and
+//! bucketed into Easy / Medium / Hard / Extra-Hard. The official script
+//! counts "component1" (WHERE, GROUP BY, ORDER BY, LIMIT, JOIN, OR, LIKE)
+//! and "component2" (EXCEPT, UNION, INTERSECT, nested subqueries) occurrences
+//! plus "others" (aggregates beyond the first, multiple select columns,
+//! multiple WHERE conditions, multiple GROUP BY keys).
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// Spider hardness bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Difficulty {
+    Easy,
+    Medium,
+    Hard,
+    ExtraHard,
+}
+
+impl Difficulty {
+    /// Human-readable label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Difficulty::Easy => "Easy",
+            Difficulty::Medium => "Medium",
+            Difficulty::Hard => "Hard",
+            Difficulty::ExtraHard => "Extra Hard",
+        }
+    }
+
+    /// All buckets, easiest first.
+    pub const ALL: [Difficulty; 4] =
+        [Difficulty::Easy, Difficulty::Medium, Difficulty::Hard, Difficulty::ExtraHard];
+}
+
+/// Component counts used by the hardness rules. Exposed for tests and for
+/// benchmark generation (which targets specific difficulty mixes).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentCounts {
+    /// WHERE / GROUP BY / ORDER BY / LIMIT / JOIN / OR / LIKE occurrences.
+    pub comp1: usize,
+    /// Set ops and nested subqueries.
+    pub comp2: usize,
+    /// "Others": extra aggregates, extra select columns, extra WHERE
+    /// conditions, extra GROUP BY keys.
+    pub others: usize,
+}
+
+/// Counts hardness components for a query.
+pub fn component_counts(q: &Query) -> ComponentCounts {
+    let mut c = ComponentCounts::default();
+    count_query(q, &mut c, true);
+    c
+}
+
+fn count_query(q: &Query, c: &mut ComponentCounts, top_level: bool) {
+    if !q.order_by.is_empty() {
+        c.comp1 += 1;
+    }
+    if q.limit.is_some() {
+        c.comp1 += 1;
+    }
+    count_body(&q.body, c, top_level);
+}
+
+fn count_body(body: &QueryBody, c: &mut ComponentCounts, top_level: bool) {
+    match body {
+        QueryBody::Select(core) => count_core(core, c, top_level),
+        QueryBody::SetOp { left, right, .. } => {
+            c.comp2 += 1;
+            count_body(left, c, false);
+            count_body(right, c, false);
+        }
+    }
+}
+
+fn count_core(core: &SelectCore, c: &mut ComponentCounts, top_level: bool) {
+    if core.where_clause.is_some() {
+        c.comp1 += 1;
+    }
+    if !core.group_by.is_empty() {
+        c.comp1 += 1;
+    }
+    if !core.from.joins.is_empty() {
+        c.comp1 += 1;
+    }
+    // Aggregates: each beyond the first counts as "other".
+    let mut aggs = 0usize;
+    for p in &core.projections {
+        if let SelectItem::Expr { expr, .. } = p {
+            expr.visit(&mut |e| {
+                if matches!(e, Expr::Agg { .. }) {
+                    aggs += 1;
+                }
+            });
+        }
+    }
+    if let Some(h) = &core.having {
+        h.visit(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                aggs += 1;
+            }
+        });
+    }
+    if aggs > 1 {
+        c.others += aggs - 1;
+    }
+    if core.projections.len() > 1 {
+        c.others += 1;
+    }
+    if core.group_by.len() > 1 {
+        c.others += 1;
+    }
+    if let Some(w) = &core.where_clause {
+        let conjuncts = w.conjuncts();
+        if conjuncts.len() > 1 {
+            c.others += 1;
+        }
+        count_expr(w, c);
+    }
+    if let Some(h) = &core.having {
+        c.comp1 += 1;
+        count_expr(h, c);
+    }
+    let _ = top_level;
+}
+
+fn count_expr(e: &Expr, c: &mut ComponentCounts) {
+    e.visit(&mut |sub| match sub {
+        Expr::Binary { op: BinOp::Or, .. } => c.comp1 += 1,
+        Expr::Like { .. } => c.comp1 += 1,
+        _ => {}
+    });
+    for sq in e.subqueries() {
+        c.comp2 += 1;
+        let mut nested = ComponentCounts::default();
+        count_query(sq, &mut nested, false);
+        c.comp1 += nested.comp1;
+        c.comp2 += nested.comp2;
+        c.others += nested.others;
+    }
+}
+
+/// Classifies a query into a Spider hardness bucket.
+pub fn classify(q: &Query) -> Difficulty {
+    let c = component_counts(q);
+    // Rules adapted from the Spider evaluation script's `eval_hardness`.
+    if c.comp1 <= 1 && c.others == 0 && c.comp2 == 0 {
+        Difficulty::Easy
+    } else if (c.others <= 2 && c.comp1 <= 1 && c.comp2 == 0)
+        || (c.comp1 <= 2 && c.others < 2 && c.comp2 == 0)
+    {
+        Difficulty::Medium
+    } else if (c.others > 2 && c.comp1 <= 2 && c.comp2 == 0)
+        || (2 < c.comp1 && c.comp1 <= 3 && c.others <= 2 && c.comp2 == 0)
+        || (c.comp1 <= 1 && c.others == 0 && c.comp2 <= 1)
+    {
+        Difficulty::Hard
+    } else {
+        Difficulty::ExtraHard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diff(sql: &str) -> Difficulty {
+        classify(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn trivial_select_is_easy() {
+        assert_eq!(diff("SELECT name FROM singer"), Difficulty::Easy);
+        assert_eq!(diff("SELECT count(*) FROM singer"), Difficulty::Easy);
+        assert_eq!(
+            diff("SELECT name FROM singer WHERE age > 20"),
+            Difficulty::Easy
+        );
+    }
+
+    #[test]
+    fn join_with_filter_is_medium() {
+        assert_eq!(
+            diff(
+                "SELECT T1.name FROM country AS T1 JOIN city AS T2 \
+                 ON T1.code = T2.countrycode WHERE T2.pop > 100"
+            ),
+            Difficulty::Medium
+        );
+    }
+
+    #[test]
+    fn group_having_order_is_hard() {
+        let d = diff(
+            "SELECT count(T2.language), T1.name FROM country AS T1 \
+             JOIN countrylanguage AS T2 ON T1.code = T2.countrycode \
+             GROUP BY T1.name HAVING count(*) > 2 ORDER BY count(*) DESC LIMIT 3",
+        );
+        assert!(d >= Difficulty::Hard, "got {d:?}");
+    }
+
+    #[test]
+    fn intersect_of_joins_is_extra_hard() {
+        let d = diff(
+            "SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 \
+             ON T1.code = T2.countrycode WHERE T2.language = 'English' \
+             INTERSECT SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 \
+             ON T1.code = T2.countrycode WHERE T2.language = 'French'",
+        );
+        assert_eq!(d, Difficulty::ExtraHard);
+    }
+
+    #[test]
+    fn simple_subquery_is_hard() {
+        let d = diff(
+            "SELECT name FROM country WHERE code IN \
+             (SELECT countrycode FROM countrylanguage)",
+        );
+        assert_eq!(d, Difficulty::Hard);
+    }
+
+    #[test]
+    fn nested_subquery_with_filters_is_extra_hard() {
+        let d = diff(
+            "SELECT DISTINCT T2.name FROM country AS T1 JOIN city AS T2 \
+             ON T1.code = T2.countrycode WHERE T1.continent = 'Europe' \
+             AND T1.name NOT IN (SELECT T3.name FROM country AS T3 \
+             JOIN countrylanguage AS T4 ON T3.code = T4.countrycode \
+             WHERE T4.isofficial = 'T' AND T4.language = 'English')",
+        );
+        assert_eq!(d, Difficulty::ExtraHard);
+    }
+
+    #[test]
+    fn difficulty_ordering() {
+        assert!(Difficulty::Easy < Difficulty::Medium);
+        assert!(Difficulty::Hard < Difficulty::ExtraHard);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Difficulty::ExtraHard.label(), "Extra Hard");
+    }
+}

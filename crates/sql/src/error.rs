@@ -1,0 +1,33 @@
+//! Error types for SQL parsing.
+
+use std::fmt;
+
+/// Errors produced by the lexer or parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error (bad character, unterminated string).
+    Lex(String),
+    /// Syntactic error (unexpected token, premature end of input).
+    Parse(String),
+}
+
+impl SqlError {
+    pub(crate) fn lex(msg: impl Into<String>) -> SqlError {
+        SqlError::Lex(msg.into())
+    }
+
+    pub(crate) fn parse(msg: impl Into<String>) -> SqlError {
+        SqlError::Parse(msg.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(msg) => write!(f, "lex error: {msg}"),
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,44 @@
+//! # cyclesql-sql
+//!
+//! SQL front-end for the CycleSQL reproduction: a lexer, recursive-descent
+//! parser, AST, pretty-printer, exact-match canonicalizer, Spider difficulty
+//! classifier, and the clause-unit decomposition used by the semantics
+//! enrichment stage.
+//!
+//! The grammar is the Spider SQL subset: `SELECT` (with `DISTINCT`,
+//! aggregates, arithmetic), multi-way `JOIN ... ON`, `WHERE` with boolean
+//! logic and `IN`/`EXISTS`/scalar subqueries, `GROUP BY`/`HAVING`,
+//! `ORDER BY`/`LIMIT`, and `UNION`/`INTERSECT`/`EXCEPT`.
+//!
+//! ```
+//! use cyclesql_sql::{parse, to_sql};
+//!
+//! let q = parse("SELECT count(*) FROM flight WHERE name = 'Airbus A340-300'").unwrap();
+//! assert!(q.uses_aggregate());
+//! assert_eq!(
+//!     to_sql(&q),
+//!     "SELECT count(*) FROM flight WHERE name = 'Airbus A340-300'"
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod canonical;
+pub mod difficulty;
+pub mod error;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod units;
+
+pub use ast::{
+    AggFunc, BinOp, ColumnRef, Expr, FromClause, FuncArg, Join, JoinType, Literal, OrderItem,
+    Query, QueryBody, SelectCore, SelectItem, SetOp, SortOrder, TableRef,
+};
+pub use canonical::{canonical_key, canonicalize, exact_match};
+pub use difficulty::{classify, component_counts, ComponentCounts, Difficulty};
+pub use error::SqlError;
+pub use parser::parse;
+pub use printer::to_sql;
+pub use units::{decompose, ClauseKind, QueryUnit, UnitSemantics};

@@ -1,0 +1,704 @@
+//! Recursive-descent parser for the Spider SQL subset.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::{tokenize, Keyword, Token};
+
+/// Parses a SQL string into a [`Query`].
+///
+/// # Errors
+///
+/// Returns [`SqlError`] on lexical or syntactic problems.
+pub fn parse(input: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    p.eat_if(&Token::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::parse(format!(
+            "trailing tokens after query: {:?}",
+            &p.tokens[p.pos..p.tokens.len().min(p.pos + 4)]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat_if(&Token::Keyword(kw))
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), SqlError> {
+        if self.eat_if(tok) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), SqlError> {
+        self.expect(&Token::Keyword(kw))
+    }
+
+    fn expect_ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            // Aggregate keywords double as identifiers in some schemas
+            // (`min` column etc.) — accept them where an identifier is needed.
+            Some(Token::Keyword(kw))
+                if matches!(
+                    kw,
+                    Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max
+                ) =>
+            {
+                Ok(match kw {
+                    Keyword::Count => "count".into(),
+                    Keyword::Sum => "sum".into(),
+                    Keyword::Avg => "avg".into(),
+                    Keyword::Min => "min".into(),
+                    Keyword::Max => "max".into(),
+                    _ => unreachable!(),
+                })
+            }
+            other => Err(SqlError::parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // query := body [ORDER BY items] [LIMIT n]
+    fn parse_query(&mut self) -> Result<Query, SqlError> {
+        let body = self.parse_body()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let order = if self.eat_kw(Keyword::Desc) {
+                    SortOrder::Desc
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    SortOrder::Asc
+                };
+                order_by.push(OrderItem { expr, order });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_kw(Keyword::Limit) {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => limit = Some(n as u64),
+                other => {
+                    return Err(SqlError::parse(format!(
+                        "expected non-negative integer after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Query { body, order_by, limit })
+    }
+
+    // body := core (setop core)*   (left-associative)
+    fn parse_body(&mut self) -> Result<QueryBody, SqlError> {
+        let mut left = QueryBody::Select(self.parse_select_core()?);
+        loop {
+            let op = match self.peek() {
+                Some(Token::Keyword(Keyword::Union)) => SetOp::Union,
+                Some(Token::Keyword(Keyword::Intersect)) => SetOp::Intersect,
+                Some(Token::Keyword(Keyword::Except)) => SetOp::Except,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = QueryBody::Select(self.parse_select_core()?);
+            left = QueryBody::SetOp { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_select_core(&mut self) -> Result<SelectCore, SqlError> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut projections = Vec::new();
+        loop {
+            projections.push(self.parse_select_item()?);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw(Keyword::From)?;
+        let from = self.parse_from()?;
+        let where_clause =
+            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) { Some(self.parse_expr()?) } else { None };
+        Ok(SelectCore { distinct, projections, from, where_clause, group_by, having })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat_if(&Token::Star) {
+            return Ok(SelectItem::Star);
+        }
+        // table.* form
+        if let (Some(Token::Ident(name)), Some(Token::Dot)) = (self.peek(), self.peek2()) {
+            if self.tokens.get(self.pos + 2) == Some(&Token::Star) {
+                let name = name.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedStar(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else if let Some(Token::Ident(name)) = self.peek() {
+            // Bare alias (no AS) — only when followed by comma/FROM to avoid
+            // ambiguity; Spider rarely uses this but we accept it.
+            if matches!(
+                self.peek2(),
+                Some(Token::Comma) | Some(Token::Keyword(Keyword::From)) | None
+            ) {
+                let name = name.clone();
+                self.pos += 1;
+                Some(name)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause, SqlError> {
+        let base = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let join_type = if self.eat_kw(Keyword::Join) || self.eat_kw(Keyword::Inner) {
+                // `INNER JOIN` consumes the JOIN keyword too.
+                self.eat_kw(Keyword::Join);
+                JoinType::Inner
+            } else if self.eat_kw(Keyword::Left) {
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinType::Left
+            } else if self.eat_if(&Token::Comma) {
+                // Comma join is treated as an inner cross join.
+                JoinType::Inner
+            } else {
+                break;
+            };
+            let table = self.parse_table_ref()?;
+            let on = if self.eat_kw(Keyword::On) { Some(self.parse_expr()?) } else { None };
+            joins.push(Join { join_type, table, on });
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else if let Some(Token::Ident(a)) = self.peek() {
+            let a = a.clone();
+            self.pos += 1;
+            Some(a)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // Expression precedence (lowest to highest):
+    //   OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < add/sub < mul/div < atom
+    fn parse_expr(&mut self) -> Result<Expr, SqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, SqlError> {
+        // `expr NOT IN/BETWEEN/LIKE` is a postfix predicate handled in
+        // parse_comparison; `NOT EXISTS` and general `NOT expr` start here.
+        if self.peek() == Some(&Token::Keyword(Keyword::Not)) {
+            if self.peek2() == Some(&Token::Keyword(Keyword::Exists)) {
+                self.pos += 2;
+                self.expect(&Token::LParen)?;
+                let subquery = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Exists { subquery: Box::new(subquery), negated: true });
+            }
+            if self.peek2() == Some(&Token::LParen) {
+                self.pos += 1;
+                let inner = self.parse_not()?;
+                return Ok(Expr::Not(Box::new(inner)));
+            }
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw(Keyword::Exists) {
+            self.expect(&Token::LParen)?;
+            let subquery = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Exists { subquery: Box::new(subquery), negated: false });
+        }
+        let left = self.parse_additive()?;
+        // postfix predicates
+        let negated = self.eat_kw(Keyword::Not);
+        if self.eat_kw(Keyword::In) {
+            self.expect(&Token::LParen)?;
+            if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+                let subquery = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(subquery),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_additive()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw(Keyword::Between) {
+            let low = self.parse_additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::Like) {
+            match self.next() {
+                Some(Token::Str(pattern)) => {
+                    return Ok(Expr::Like { expr: Box::new(left), pattern, negated })
+                }
+                other => {
+                    return Err(SqlError::parse(format!(
+                        "expected string pattern after LIKE, found {other:?}"
+                    )))
+                }
+            }
+        }
+        if negated {
+            return Err(SqlError::parse("dangling NOT before non-predicate".to_string()));
+        }
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_atom()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Literal::Int(n)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Literal::Float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Literal::Str(s)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                match self.parse_atom()? {
+                    Expr::Literal(Literal::Int(n)) => Ok(Expr::lit(Literal::Int(-n))),
+                    Expr::Literal(Literal::Float(x)) => Ok(Expr::lit(Literal::Float(-x))),
+                    other => Ok(Expr::binary(BinOp::Sub, Expr::lit(Literal::Int(0)), other)),
+                }
+            }
+            Some(Token::Keyword(Keyword::True)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Literal::Bool(true)))
+            }
+            Some(Token::Keyword(Keyword::False)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Literal::Bool(false)))
+            }
+            Some(Token::Keyword(Keyword::Null)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Literal::Null))
+            }
+            Some(Token::Keyword(kw))
+                if matches!(
+                    kw,
+                    Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max
+                ) =>
+            {
+                // Aggregate call `func(...)`, or an identifier named like an
+                // aggregate (column called `min` etc.).
+                if self.peek2() == Some(&Token::LParen) {
+                    self.pos += 2;
+                    let func = match kw {
+                        Keyword::Count => AggFunc::Count,
+                        Keyword::Sum => AggFunc::Sum,
+                        Keyword::Avg => AggFunc::Avg,
+                        Keyword::Min => AggFunc::Min,
+                        Keyword::Max => AggFunc::Max,
+                        _ => unreachable!(),
+                    };
+                    let distinct = self.eat_kw(Keyword::Distinct);
+                    let arg = if self.eat_if(&Token::Star) {
+                        FuncArg::Star
+                    } else {
+                        FuncArg::Expr(Box::new(self.parse_expr()?))
+                    };
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Agg { func, distinct, arg });
+                }
+                self.parse_column_ref()
+            }
+            Some(Token::Ident(_)) => self.parse_column_ref(),
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+                    let q = self.parse_query()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::ScalarSubquery(Box::new(q)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(e)
+                }
+            }
+            other => Err(SqlError::parse(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+
+    fn parse_column_ref(&mut self) -> Result<Expr, SqlError> {
+        let first = self.expect_ident()?;
+        if self.eat_if(&Token::Dot) {
+            let column = self.expect_ident()?;
+            Ok(Expr::col(ColumnRef { table: Some(first), column }))
+        } else {
+            Ok(Expr::col(ColumnRef { table: None, column: first }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_count_query() {
+        let q = parse("SELECT count(*) FROM Flight WHERE name = 'Airbus A340-300'").unwrap();
+        let core = q.leading_select();
+        assert_eq!(core.projections.len(), 1);
+        assert!(core.has_aggregate());
+        assert!(core.where_clause.is_some());
+    }
+
+    #[test]
+    fn join_with_aliases() {
+        let q = parse(
+            "SELECT T1.name FROM Country AS T1 JOIN Countrylanguage AS T2 \
+             ON T1.code = T2.countrycode WHERE T2.language = 'English'",
+        )
+        .unwrap();
+        let core = q.leading_select();
+        assert_eq!(core.from.base.alias.as_deref(), Some("t1"));
+        assert_eq!(core.from.joins.len(), 1);
+        assert!(core.from.joins[0].on.is_some());
+    }
+
+    #[test]
+    fn intersect_query() {
+        let q = parse(
+            "SELECT name FROM a WHERE x = 1 INTERSECT SELECT name FROM a WHERE x = 2",
+        )
+        .unwrap();
+        assert!(q.body.has_set_op());
+        assert_eq!(q.body.select_cores().len(), 2);
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let q = parse(
+            "SELECT count(T2.language), T1.name FROM Country AS T1 \
+             JOIN Countrylanguage AS T2 ON T1.code = T2.countrycode \
+             GROUP BY T1.name HAVING count(*) > 2 ORDER BY count(*) DESC LIMIT 3",
+        )
+        .unwrap();
+        let core = q.leading_select();
+        assert_eq!(core.group_by.len(), 1);
+        assert!(core.having.as_ref().unwrap().contains_aggregate());
+        assert_eq!(q.order_by.len(), 1);
+        assert_eq!(q.order_by[0].order, SortOrder::Desc);
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn not_in_subquery() {
+        let q = parse(
+            "SELECT name FROM country WHERE code NOT IN \
+             (SELECT countrycode FROM countrylanguage WHERE language = 'English')",
+        )
+        .unwrap();
+        match q.leading_select().where_clause.as_ref().unwrap() {
+            Expr::InSubquery { negated, .. } => assert!(negated),
+            other => panic!("expected InSubquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let q = parse("SELECT a FROM t WHERE EXISTS (SELECT b FROM u)").unwrap();
+        assert!(matches!(
+            q.leading_select().where_clause,
+            Some(Expr::Exists { negated: false, .. })
+        ));
+        let q = parse("SELECT a FROM t WHERE NOT EXISTS (SELECT b FROM u)").unwrap();
+        assert!(matches!(
+            q.leading_select().where_clause,
+            Some(Expr::Exists { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn between_and_like() {
+        let q = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE '%x%'").unwrap();
+        let w = q.leading_select().where_clause.as_ref().unwrap();
+        let parts = w.conjuncts();
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(parts[0], Expr::Between { negated: false, .. }));
+        assert!(matches!(parts[1], Expr::Like { negated: false, .. }));
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let q = parse("SELECT name FROM t WHERE pop > (SELECT avg(pop) FROM t)").unwrap();
+        match q.leading_select().where_clause.as_ref().unwrap() {
+            Expr::Binary { op: BinOp::Gt, right, .. } => {
+                assert!(matches!(right.as_ref(), Expr::ScalarSubquery(_)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_distinct() {
+        let q = parse("SELECT count(DISTINCT name) FROM t").unwrap();
+        match &q.leading_select().projections[0] {
+            SelectItem::Expr { expr: Expr::Agg { func, distinct, .. }, .. } => {
+                assert_eq!(*func, AggFunc::Count);
+                assert!(distinct);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_star() {
+        let q = parse("SELECT t1.* FROM flight AS t1").unwrap();
+        assert!(matches!(&q.leading_select().projections[0], SelectItem::QualifiedStar(t) if t == "t1"));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("SELECT a + b * c FROM t").unwrap();
+        match &q.leading_select().projections[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::Mul, .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_and_precedence() {
+        let q = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
+        match q.leading_select().where_clause.as_ref().unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::And, .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT a FROM t extra garbage ,,,").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn negative_literal() {
+        let q = parse("SELECT a FROM t WHERE x = -5").unwrap();
+        match q.leading_select().where_clause.as_ref().unwrap() {
+            Expr::Binary { right, .. } => {
+                assert_eq!(right.as_ref(), &Expr::lit(Literal::Int(-5)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_value_list() {
+        let q = parse("SELECT a FROM t WHERE x IN (1, 2, 3)").unwrap();
+        match q.leading_select().where_clause.as_ref().unwrap() {
+            Expr::InList { list, negated, .. } => {
+                assert_eq!(list.len(), 3);
+                assert!(!negated);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let q = parse("SELECT a FROM t WHERE b IS NULL AND c IS NOT NULL").unwrap();
+        let w = q.leading_select().where_clause.as_ref().unwrap();
+        let parts = w.conjuncts();
+        assert!(matches!(parts[0], Expr::IsNull { negated: false, .. }));
+        assert!(matches!(parts[1], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn left_join() {
+        let q = parse("SELECT a FROM t LEFT JOIN u ON t.id = u.id").unwrap();
+        assert_eq!(q.leading_select().from.joins[0].join_type, JoinType::Left);
+    }
+
+    #[test]
+    fn aggregate_named_column() {
+        // `max` used as a column name.
+        let q = parse("SELECT max FROM stats WHERE max > 10").unwrap();
+        assert!(matches!(
+            &q.leading_select().projections[0],
+            SelectItem::Expr { expr: Expr::Column(c), .. } if c.column == "max"
+        ));
+    }
+
+    #[test]
+    fn nested_subquery_two_levels() {
+        let q = parse(
+            "SELECT name FROM c WHERE id IN (SELECT cid FROM d WHERE x IN \
+             (SELECT y FROM e))",
+        )
+        .unwrap();
+        let subs = q.leading_select().where_clause.as_ref().unwrap().subqueries();
+        assert_eq!(subs.len(), 1);
+        let inner = subs[0].leading_select().where_clause.as_ref().unwrap().subqueries();
+        assert_eq!(inner.len(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Pretty-printer: renders the AST back to SQL text.
+//!
+//! The printer produces a canonical surface form; `parse(print(ast)) == ast`
+//! is a tested invariant (see the property tests).
+
+use crate::ast::*;
+use std::fmt::{self, Write as _};
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(n) => write!(f, "{n}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep a fractional part so the literal round-trips as a float.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Binary { op, left, right } => {
+                let needs_paren = |e: &Expr, parent: BinOp| match e {
+                    Expr::Binary { op, .. } => precedence(*op) < precedence(parent),
+                    _ => false,
+                };
+                if needs_paren(left, *op) {
+                    write!(f, "({left})")?;
+                } else {
+                    write!(f, "{left}")?;
+                }
+                write!(f, " {} ", op.symbol())?;
+                // Right side: parenthesize equal precedence too, to preserve
+                // left-associativity on round-trip.
+                let rp = match right.as_ref() {
+                    Expr::Binary { op: rop, .. } => precedence(*rop) <= precedence(*op),
+                    _ => false,
+                };
+                if rp {
+                    write!(f, "({right})")
+                } else {
+                    write!(f, "{right}")
+                }
+            }
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Agg { func, distinct, arg } => {
+                write!(f, "{}(", func.name())?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    FuncArg::Star => write!(f, "*")?,
+                    FuncArg::Expr(e) => write!(f, "{e}")?,
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                write!(f, "{expr} {}IN ({subquery})", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Exists { subquery, negated } => {
+                write!(f, "{}EXISTS ({subquery})", if *negated { "NOT " } else { "" })
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Between { expr, low, high, negated } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like { expr, pattern, negated } => write!(
+                f,
+                "{expr} {}LIKE '{}'",
+                if *negated { "NOT " } else { "" },
+                pattern.replace('\'', "''")
+            ),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => write!(f, "*"),
+            SelectItem::QualifiedStar(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, p) in self.projections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " FROM {}", self.from.base)?;
+        for j in &self.from.joins {
+            match j.join_type {
+                JoinType::Inner => write!(f, " JOIN {}", j.table)?,
+                JoinType::Left => write!(f, " LEFT JOIN {}", j.table)?,
+            }
+            if let Some(on) = &j.on {
+                write!(f, " ON {on}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for QueryBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryBody::Select(core) => write!(f, "{core}"),
+            QueryBody::SetOp { op, left, right } => {
+                write!(f, "{left} {} {right}", op.keyword())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                match o.order {
+                    SortOrder::Asc => write!(f, " ASC")?,
+                    SortOrder::Desc => write!(f, " DESC")?,
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a query to a `String` (convenience wrapper over `Display`).
+pub fn to_sql(q: &Query) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{q}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(sql: &str) {
+        let q1 = parse(sql).unwrap_or_else(|e| panic!("parse {sql}: {e}"));
+        let printed = to_sql(&q1);
+        let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert_eq!(q1, q2, "round-trip mismatch for {sql} -> {printed}");
+    }
+
+    #[test]
+    fn roundtrip_corpus() {
+        for sql in [
+            "SELECT count(*) FROM flight WHERE name = 'Airbus A340-300'",
+            "SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode WHERE T2.language = 'English'",
+            "SELECT name FROM a WHERE x = 1 INTERSECT SELECT name FROM a WHERE x = 2",
+            "SELECT count(T2.language), T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode GROUP BY T1.name HAVING count(*) > 2",
+            "SELECT name FROM country WHERE code NOT IN (SELECT countrycode FROM countrylanguage WHERE language = 'English')",
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE '%x%'",
+            "SELECT name FROM t WHERE pop > (SELECT avg(pop) FROM t)",
+            "SELECT count(DISTINCT name) FROM t",
+            "SELECT t1.* FROM flight AS t1",
+            "SELECT a + b * c FROM t",
+            "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3",
+            "SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3",
+            "SELECT a FROM t WHERE b IS NULL AND c IS NOT NULL",
+            "SELECT a FROM t LEFT JOIN u ON t.id = u.id",
+            "SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 10",
+            "SELECT avg(x) FROM t WHERE NOT (a = 1)",
+            "SELECT a FROM t WHERE x IN (1, 2, 3)",
+            "SELECT DISTINCT a FROM t",
+            "SELECT name FROM c WHERE id IN (SELECT cid FROM d WHERE x IN (SELECT y FROM e))",
+            "SELECT a FROM t WHERE x = -5",
+            "SELECT a FROM t WHERE y = 2.5",
+            "SELECT sum(price) FROM orders UNION SELECT sum(cost) FROM expenses",
+            "SELECT a FROM t EXCEPT SELECT a FROM u",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn float_literal_roundtrips_as_float() {
+        let q = parse("SELECT a FROM t WHERE x = 2.0").unwrap();
+        let printed = to_sql(&q);
+        assert!(printed.contains("2.0"), "printed: {printed}");
+        roundtrip("SELECT a FROM t WHERE x = 2.0");
+    }
+
+    #[test]
+    fn string_escaping() {
+        roundtrip("SELECT a FROM t WHERE name = 'O''Brien'");
+    }
+
+    #[test]
+    fn parenthesization_preserves_or_under_and() {
+        let q = parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3").unwrap();
+        let printed = to_sql(&q);
+        assert!(printed.contains('('), "printed: {printed}");
+    }
+}

@@ -1,0 +1,393 @@
+//! Lexer for the Spider SQL subset.
+
+use crate::error::SqlError;
+
+/// SQL keywords recognized by the lexer. Anything else alphabetic becomes an
+/// [`Token::Ident`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    Distinct,
+    Join,
+    Inner,
+    Left,
+    Outer,
+    On,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    Between,
+    Like,
+    Is,
+    Null,
+    Union,
+    Intersect,
+    Except,
+    Asc,
+    Desc,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    True,
+    False,
+}
+
+impl Keyword {
+    fn parse(word: &str) -> Option<Keyword> {
+        Some(match word.to_ascii_lowercase().as_str() {
+            "select" => Keyword::Select,
+            "from" => Keyword::From,
+            "where" => Keyword::Where,
+            "group" => Keyword::Group,
+            "by" => Keyword::By,
+            "having" => Keyword::Having,
+            "order" => Keyword::Order,
+            "limit" => Keyword::Limit,
+            "distinct" => Keyword::Distinct,
+            "join" => Keyword::Join,
+            "inner" => Keyword::Inner,
+            "left" => Keyword::Left,
+            "outer" => Keyword::Outer,
+            "on" => Keyword::On,
+            "as" => Keyword::As,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "in" => Keyword::In,
+            "exists" => Keyword::Exists,
+            "between" => Keyword::Between,
+            "like" => Keyword::Like,
+            "is" => Keyword::Is,
+            "null" => Keyword::Null,
+            "union" => Keyword::Union,
+            "intersect" => Keyword::Intersect,
+            "except" => Keyword::Except,
+            "asc" => Keyword::Asc,
+            "desc" => Keyword::Desc,
+            "count" => Keyword::Count,
+            "sum" => Keyword::Sum,
+            "avg" => Keyword::Avg,
+            "min" => Keyword::Min,
+            "max" => Keyword::Max,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Recognized keyword.
+    Keyword(Keyword),
+    /// Identifier (table, column, alias); stored lower-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (quotes stripped, original case preserved).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `;`
+    Semicolon,
+}
+
+/// Tokenizes a SQL string.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Lex`] on unterminated strings or unexpected bytes.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::lex(format!("unexpected '!' at byte {i}")));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                let mut value = String::new();
+                loop {
+                    match input[j..].chars().next() {
+                        None => {
+                            return Err(SqlError::lex(format!(
+                                "unterminated string starting at byte {i}"
+                            )))
+                        }
+                        Some(ch) if ch == quote => {
+                            // Doubled quote is an escaped quote.
+                            if input[j + ch.len_utf8()..].starts_with(quote) {
+                                value.push(quote);
+                                j += ch.len_utf8() * 2;
+                            } else {
+                                j += ch.len_utf8();
+                                break;
+                            }
+                        }
+                        Some(ch) => {
+                            value.push(ch);
+                            j += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token::Str(value));
+                i = j;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut seen_dot = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.'
+                        && !seen_dot
+                        && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                    {
+                        seen_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if seen_dot {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| SqlError::lex(format!("bad float {text}: {e}")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| SqlError::lex(format!("bad int {text}: {e}")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '`' => {
+                // Backtick-quoted identifiers are accepted and unquoted.
+                let quoted = c == '`';
+                if quoted {
+                    i += 1;
+                }
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                if quoted {
+                    if bytes.get(i) == Some(&b'`') {
+                        i += 1;
+                    } else {
+                        return Err(SqlError::lex(format!(
+                            "unterminated backtick identifier at byte {start}"
+                        )));
+                    }
+                    tokens.push(Token::Ident(word.to_ascii_lowercase()));
+                } else if let Some(kw) = Keyword::parse(word) {
+                    tokens.push(Token::Keyword(kw));
+                } else {
+                    tokens.push(Token::Ident(word.to_ascii_lowercase()));
+                }
+            }
+            other => {
+                return Err(SqlError::lex(format!("unexpected character {other:?} at byte {i}")))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = tokenize("SELECT count(*) FROM Flight WHERE name = 'Airbus A340-300'")
+            .expect("tokenize");
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert_eq!(toks[1], Token::Keyword(Keyword::Count));
+        assert_eq!(toks[2], Token::LParen);
+        assert_eq!(toks[3], Token::Star);
+        assert!(toks.contains(&Token::Str("Airbus A340-300".into())));
+        assert!(toks.contains(&Token::Ident("flight".into())));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = tokenize("1 2.5 300").expect("tokenize");
+        assert_eq!(toks, vec![Token::Int(1), Token::Float(2.5), Token::Int(300)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a >= 1 AND b <> 2 AND c != 3 AND d <= 4").expect("tokenize");
+        assert!(toks.contains(&Token::GtEq));
+        assert_eq!(toks.iter().filter(|t| **t == Token::NotEq).count(), 2);
+        assert!(toks.contains(&Token::LtEq));
+    }
+
+    #[test]
+    fn escaped_quote_inside_string() {
+        let toks = tokenize("'it''s'").expect("tokenize");
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn double_quoted_string() {
+        let toks = tokenize("\"France\"").expect("tokenize");
+        assert_eq!(toks, vec![Token::Str("France".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn backtick_identifier() {
+        let toks = tokenize("`Order`").expect("tokenize");
+        assert_eq!(toks, vec![Token::Ident("order".into())]);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("sElEcT DISTINCT").expect("tokenize");
+        assert_eq!(
+            toks,
+            vec![Token::Keyword(Keyword::Select), Token::Keyword(Keyword::Distinct)]
+        );
+    }
+
+    #[test]
+    fn unicode_in_string_literal() {
+        let toks = tokenize("'Nabereznyje Tšelny'").expect("tokenize");
+        assert_eq!(toks, vec![Token::Str("Nabereznyje Tšelny".into())]);
+    }
+}

@@ -1,0 +1,468 @@
+//! Query decomposition into *query units* (Section IV-B of the paper).
+//!
+//! CycleSQL "treats the SQL query as a text string and divides the string
+//! into chunks that correspond to each clause". We operate on the AST
+//! instead, producing one [`QueryUnit`] per clause element: each projection
+//! item, each `WHERE` conjunct, each `GROUP BY` key, the `HAVING` predicate,
+//! each `ORDER BY` key, the `LIMIT`, and each set operator. A subquery
+//! "embodies complete semantics" and is kept as a single unit.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// The clause a unit was extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClauseKind {
+    Select,
+    Where,
+    GroupBy,
+    Having,
+    OrderBy,
+    Limit,
+    Join,
+    SetOp,
+}
+
+impl ClauseKind {
+    /// Keyword used when rendering annotations.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ClauseKind::Select => "SELECT",
+            ClauseKind::Where => "WHERE",
+            ClauseKind::GroupBy => "GROUP BY",
+            ClauseKind::Having => "HAVING",
+            ClauseKind::OrderBy => "ORDER BY",
+            ClauseKind::Limit => "LIMIT",
+            ClauseKind::Join => "JOIN",
+            ClauseKind::SetOp => "SET",
+        }
+    }
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// The semantic payload of a query unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UnitSemantics {
+    /// Plain column projection.
+    Projection { column: ColumnRef },
+    /// `SELECT *` or `SELECT t.*`.
+    ProjectAll { table: Option<String> },
+    /// Aggregate projection such as `count(*)` or `avg(T1.age)`.
+    Aggregate { func: AggFunc, distinct: bool, column: Option<ColumnRef> },
+    /// Comparison filter `column op literal`.
+    Comparison { column: ColumnRef, op: BinOp, value: Literal },
+    /// Comparison between two columns (usually a join predicate).
+    ColumnComparison { left: ColumnRef, op: BinOp, right: ColumnRef },
+    /// `column [NOT] LIKE pattern`.
+    Like { column: ColumnRef, pattern: String, negated: bool },
+    /// `column [NOT] BETWEEN low AND high`.
+    Between { column: ColumnRef, low: Literal, high: Literal, negated: bool },
+    /// `column IS [NOT] NULL`.
+    NullCheck { column: ColumnRef, negated: bool },
+    /// `column [NOT] IN (values...)`.
+    InValues { column: ColumnRef, values: Vec<Literal>, negated: bool },
+    /// A subquery predicate, kept whole. `column` is the outer column when
+    /// present (IN / comparison); `None` for EXISTS. `op` carries the
+    /// comparison operator for scalar-subquery comparisons.
+    SubqueryPredicate { column: Option<ColumnRef>, negated: bool, op: Option<BinOp>, sql: String },
+    /// A disjunction, kept whole (OR semantics don't decompose cleanly).
+    Disjunction { sql: String, columns: Vec<ColumnRef> },
+    /// A `HAVING` aggregate condition.
+    HavingCondition { func: Option<AggFunc>, column: Option<ColumnRef>, op: BinOp, value: Literal },
+    /// A grouping key.
+    GroupKey { column: ColumnRef },
+    /// An ordering key, possibly an aggregate.
+    OrderKey { expr_sql: String, agg: Option<AggFunc>, column: Option<ColumnRef>, order: SortOrder },
+    /// Row limit.
+    RowLimit { n: u64 },
+    /// Set operation combining two branches.
+    SetOperation { op: SetOp },
+    /// Fallback for structures not covered above — the raw rendering.
+    Opaque { sql: String, columns: Vec<ColumnRef> },
+}
+
+#[allow(missing_docs)] // variant/field names are self-describing
+/// One decomposed query unit: a clause element with its semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryUnit {
+    pub clause: ClauseKind,
+    pub semantics: UnitSemantics,
+    /// Index of the select core this unit came from (0 for a plain query;
+    /// 0/1/… across set-operation branches).
+    pub core_index: usize,
+}
+
+/// Decomposes a query into its units, in clause order.
+pub fn decompose(q: &Query) -> Vec<QueryUnit> {
+    let mut units = Vec::new();
+    decompose_body(&q.body, &mut units, &mut 0);
+    for o in &q.order_by {
+        let (agg, column) = match &o.expr {
+            Expr::Agg { func, arg, .. } => (
+                Some(*func),
+                match arg {
+                    FuncArg::Expr(e) => first_column(e),
+                    FuncArg::Star => None,
+                },
+            ),
+            other => (None, first_column(other)),
+        };
+        units.push(QueryUnit {
+            clause: ClauseKind::OrderBy,
+            semantics: UnitSemantics::OrderKey {
+                expr_sql: o.expr.to_string(),
+                agg,
+                column,
+                order: o.order,
+            },
+            core_index: 0,
+        });
+    }
+    if let Some(n) = q.limit {
+        units.push(QueryUnit {
+            clause: ClauseKind::Limit,
+            semantics: UnitSemantics::RowLimit { n },
+            core_index: 0,
+        });
+    }
+    units
+}
+
+fn decompose_body(body: &QueryBody, units: &mut Vec<QueryUnit>, core_idx: &mut usize) {
+    match body {
+        QueryBody::Select(core) => {
+            decompose_core(core, units, *core_idx);
+            *core_idx += 1;
+        }
+        QueryBody::SetOp { op, left, right } => {
+            decompose_body(left, units, core_idx);
+            units.push(QueryUnit {
+                clause: ClauseKind::SetOp,
+                semantics: UnitSemantics::SetOperation { op: *op },
+                core_index: *core_idx,
+            });
+            decompose_body(right, units, core_idx);
+        }
+    }
+}
+
+fn decompose_core(core: &SelectCore, units: &mut Vec<QueryUnit>, idx: usize) {
+    for p in &core.projections {
+        let semantics = match p {
+            SelectItem::Star => UnitSemantics::ProjectAll { table: None },
+            SelectItem::QualifiedStar(t) => UnitSemantics::ProjectAll { table: Some(t.clone()) },
+            SelectItem::Expr { expr, .. } => projection_semantics(expr),
+        };
+        units.push(QueryUnit { clause: ClauseKind::Select, semantics, core_index: idx });
+    }
+    for j in &core.from.joins {
+        if let Some(on) = &j.on {
+            for conj in on.conjuncts() {
+                units.push(QueryUnit {
+                    clause: ClauseKind::Join,
+                    semantics: predicate_semantics(conj),
+                    core_index: idx,
+                });
+            }
+        }
+    }
+    if let Some(w) = &core.where_clause {
+        for conj in w.conjuncts() {
+            units.push(QueryUnit {
+                clause: ClauseKind::Where,
+                semantics: predicate_semantics(conj),
+                core_index: idx,
+            });
+        }
+    }
+    for g in &core.group_by {
+        if let Some(c) = first_column(g) {
+            units.push(QueryUnit {
+                clause: ClauseKind::GroupBy,
+                semantics: UnitSemantics::GroupKey { column: c },
+                core_index: idx,
+            });
+        }
+    }
+    if let Some(h) = &core.having {
+        for conj in h.conjuncts() {
+            units.push(QueryUnit {
+                clause: ClauseKind::Having,
+                semantics: having_semantics(conj),
+                core_index: idx,
+            });
+        }
+    }
+}
+
+fn projection_semantics(expr: &Expr) -> UnitSemantics {
+    match expr {
+        Expr::Column(c) => UnitSemantics::Projection { column: c.clone() },
+        Expr::Agg { func, distinct, arg } => UnitSemantics::Aggregate {
+            func: *func,
+            distinct: *distinct,
+            column: match arg {
+                FuncArg::Star => None,
+                FuncArg::Expr(e) => first_column(e),
+            },
+        },
+        other => UnitSemantics::Opaque {
+            sql: other.to_string(),
+            columns: other.columns().into_iter().cloned().collect(),
+        },
+    }
+}
+
+fn predicate_semantics(e: &Expr) -> UnitSemantics {
+    match e {
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) => {
+                    UnitSemantics::Comparison { column: c.clone(), op: *op, value: v.clone() }
+                }
+                (Expr::Literal(v), Expr::Column(c)) => UnitSemantics::Comparison {
+                    column: c.clone(),
+                    op: op.flipped(),
+                    value: v.clone(),
+                },
+                (Expr::Column(a), Expr::Column(b)) => UnitSemantics::ColumnComparison {
+                    left: a.clone(),
+                    op: *op,
+                    right: b.clone(),
+                },
+                (Expr::Column(c), Expr::ScalarSubquery(q)) => UnitSemantics::SubqueryPredicate {
+                    column: Some(c.clone()),
+                    negated: false,
+                    op: Some(*op),
+                    sql: q.to_string(),
+                },
+                _ => UnitSemantics::Opaque {
+                    sql: e.to_string(),
+                    columns: e.columns().into_iter().cloned().collect(),
+                },
+            }
+        }
+        Expr::Binary { op: BinOp::Or, .. } => UnitSemantics::Disjunction {
+            sql: e.to_string(),
+            columns: e.columns().into_iter().cloned().collect(),
+        },
+        Expr::Like { expr, pattern, negated } => match first_column(expr) {
+            Some(c) => UnitSemantics::Like {
+                column: c,
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            None => opaque(e),
+        },
+        Expr::Between { expr, low, high, negated } => {
+            match (first_column(expr), literal_of(low), literal_of(high)) {
+                (Some(c), Some(lo), Some(hi)) => UnitSemantics::Between {
+                    column: c,
+                    low: lo,
+                    high: hi,
+                    negated: *negated,
+                },
+                _ => opaque(e),
+            }
+        }
+        Expr::IsNull { expr, negated } => match first_column(expr) {
+            Some(c) => UnitSemantics::NullCheck { column: c, negated: *negated },
+            None => opaque(e),
+        },
+        Expr::InList { expr, list, negated } => match first_column(expr) {
+            Some(c) => {
+                let values: Vec<Literal> = list
+                    .iter()
+                    .filter_map(literal_of)
+                    .collect();
+                if values.len() == list.len() {
+                    UnitSemantics::InValues { column: c, values, negated: *negated }
+                } else {
+                    opaque(e)
+                }
+            }
+            None => opaque(e),
+        },
+        Expr::InSubquery { expr, subquery, negated } => UnitSemantics::SubqueryPredicate {
+            column: first_column(expr),
+            negated: *negated,
+            op: None,
+            sql: subquery.to_string(),
+        },
+        Expr::Exists { subquery, negated } => UnitSemantics::SubqueryPredicate {
+            column: None,
+            negated: *negated,
+            op: None,
+            sql: subquery.to_string(),
+        },
+        Expr::Not(inner) => match predicate_semantics(inner) {
+            UnitSemantics::Comparison { column, op: BinOp::Eq, value } => {
+                UnitSemantics::Comparison { column, op: BinOp::NotEq, value }
+            }
+            _ => opaque(e),
+        },
+        _ => opaque(e),
+    }
+}
+
+fn having_semantics(e: &Expr) -> UnitSemantics {
+    if let Expr::Binary { op, left, right } = e {
+        if op.is_comparison() {
+            if let (Expr::Agg { func, arg, .. }, Expr::Literal(v)) =
+                (left.as_ref(), right.as_ref())
+            {
+                return UnitSemantics::HavingCondition {
+                    func: Some(*func),
+                    column: match arg {
+                        FuncArg::Star => None,
+                        FuncArg::Expr(inner) => first_column(inner),
+                    },
+                    op: *op,
+                    value: v.clone(),
+                };
+            }
+        }
+    }
+    predicate_semantics(e)
+}
+
+fn opaque(e: &Expr) -> UnitSemantics {
+    UnitSemantics::Opaque {
+        sql: e.to_string(),
+        columns: e.columns().into_iter().cloned().collect(),
+    }
+}
+
+fn first_column(e: &Expr) -> Option<ColumnRef> {
+    e.columns().first().map(|c| (*c).clone())
+}
+
+fn literal_of(e: &Expr) -> Option<Literal> {
+    match e {
+        Expr::Literal(l) => Some(l.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn units(sql: &str) -> Vec<QueryUnit> {
+        decompose(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn count_star_with_filter() {
+        let us = units("SELECT count(*) FROM flight WHERE name = 'Airbus A340-300'");
+        assert_eq!(us.len(), 2);
+        assert!(matches!(
+            &us[0].semantics,
+            UnitSemantics::Aggregate { func: AggFunc::Count, column: None, .. }
+        ));
+        assert!(matches!(
+            &us[1].semantics,
+            UnitSemantics::Comparison { op: BinOp::Eq, .. }
+        ));
+    }
+
+    #[test]
+    fn join_condition_is_column_comparison() {
+        let us = units(
+            "SELECT T1.name FROM country AS T1 JOIN city AS T2 ON T1.code = T2.countrycode",
+        );
+        assert!(us.iter().any(|u| u.clause == ClauseKind::Join
+            && matches!(&u.semantics, UnitSemantics::ColumnComparison { .. })));
+    }
+
+    #[test]
+    fn group_by_having_units() {
+        let us = units(
+            "SELECT count(*), name FROM t GROUP BY name HAVING count(*) > 2",
+        );
+        assert!(us.iter().any(|u| u.clause == ClauseKind::GroupBy));
+        let having = us.iter().find(|u| u.clause == ClauseKind::Having).unwrap();
+        assert!(matches!(
+            &having.semantics,
+            UnitSemantics::HavingCondition { func: Some(AggFunc::Count), op: BinOp::Gt, .. }
+        ));
+    }
+
+    #[test]
+    fn subquery_kept_whole() {
+        let us = units(
+            "SELECT name FROM country WHERE code NOT IN \
+             (SELECT countrycode FROM countrylanguage WHERE language = 'English')",
+        );
+        let sub = us.iter().find(|u| u.clause == ClauseKind::Where).unwrap();
+        match &sub.semantics {
+            UnitSemantics::SubqueryPredicate { negated, sql, column, .. } => {
+                assert!(*negated);
+                assert!(sql.contains("countrylanguage"));
+                assert_eq!(column.as_ref().unwrap().column, "code");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_and_limit_units() {
+        let us = units("SELECT a FROM t ORDER BY count(*) DESC LIMIT 3");
+        let order = us.iter().find(|u| u.clause == ClauseKind::OrderBy).unwrap();
+        assert!(matches!(
+            &order.semantics,
+            UnitSemantics::OrderKey { agg: Some(AggFunc::Count), order: SortOrder::Desc, .. }
+        ));
+        let limit = us.iter().find(|u| u.clause == ClauseKind::Limit).unwrap();
+        assert!(matches!(&limit.semantics, UnitSemantics::RowLimit { n: 3 }));
+    }
+
+    #[test]
+    fn set_op_unit_between_branch_units() {
+        let us = units(
+            "SELECT name FROM a WHERE x = 1 INTERSECT SELECT name FROM a WHERE y = 2",
+        );
+        let pos = us.iter().position(|u| u.clause == ClauseKind::SetOp).unwrap();
+        assert!(us[..pos].iter().any(|u| u.core_index == 0));
+        assert!(us[pos + 1..].iter().any(|u| u.core_index == 1));
+    }
+
+    #[test]
+    fn disjunction_kept_whole() {
+        let us = units("SELECT a FROM t WHERE x = 1 OR y = 2");
+        assert_eq!(
+            us.iter().filter(|u| u.clause == ClauseKind::Where).count(),
+            1
+        );
+        assert!(matches!(
+            &us.iter().find(|u| u.clause == ClauseKind::Where).unwrap().semantics,
+            UnitSemantics::Disjunction { .. }
+        ));
+    }
+
+    #[test]
+    fn between_and_null_checks() {
+        let us = units("SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL");
+        let wheres: Vec<_> = us.iter().filter(|u| u.clause == ClauseKind::Where).collect();
+        assert_eq!(wheres.len(), 2);
+        assert!(matches!(&wheres[0].semantics, UnitSemantics::Between { negated: false, .. }));
+        assert!(matches!(&wheres[1].semantics, UnitSemantics::NullCheck { negated: true, .. }));
+    }
+
+    #[test]
+    fn star_projection() {
+        let us = units("SELECT * FROM t");
+        assert!(matches!(&us[0].semantics, UnitSemantics::ProjectAll { table: None }));
+    }
+
+    #[test]
+    fn flipped_literal_comparison_normalized() {
+        let us = units("SELECT a FROM t WHERE 5 < x");
+        assert!(matches!(
+            &us.iter().find(|u| u.clause == ClauseKind::Where).unwrap().semantics,
+            UnitSemantics::Comparison { op: BinOp::Gt, .. }
+        ));
+    }
+}

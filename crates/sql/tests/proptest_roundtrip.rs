@@ -1,0 +1,318 @@
+//! Property tests: the pretty-printer and parser are mutual inverses over
+//! randomly generated ASTs, and canonicalization is stable and
+//! value-insensitive.
+
+use cyclesql_sql::*;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit"
+                | "distinct" | "join" | "inner" | "left" | "outer" | "on" | "as" | "and"
+                | "or" | "not" | "in" | "exists" | "between" | "like" | "is" | "null"
+                | "union" | "intersect" | "except" | "asc" | "desc" | "true" | "false"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|n| Literal::Int(n as i64)),
+        // Floats restricted to short decimals the lexer can re-read.
+        (-9999i32..9999, 1u8..9).prop_map(|(n, d)| Literal::Float(n as f64 + d as f64 / 10.0)),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn column() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(table, column)| ColumnRef { table, column })
+}
+
+fn comparison() -> impl Strategy<Value = Expr> {
+    (
+        column(),
+        prop_oneof![
+            Just(BinOp::Eq),
+            Just(BinOp::NotEq),
+            Just(BinOp::Lt),
+            Just(BinOp::LtEq),
+            Just(BinOp::Gt),
+            Just(BinOp::GtEq),
+        ],
+        literal(),
+    )
+        .prop_map(|(c, op, l)| Expr::binary(op, Expr::col(c), Expr::lit(l)))
+}
+
+fn predicate() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        comparison(),
+        (column(), literal(), literal(), any::<bool>()).prop_map(|(c, lo, hi, neg)| {
+            Expr::Between {
+                expr: Box::new(Expr::col(c)),
+                low: Box::new(Expr::lit(lo)),
+                high: Box::new(Expr::lit(hi)),
+                negated: neg,
+            }
+        }),
+        (column(), "[a-z%_]{1,6}", any::<bool>()).prop_map(|(c, pattern, negated)| {
+            Expr::Like { expr: Box::new(Expr::col(c)), pattern, negated }
+        }),
+        (column(), any::<bool>()).prop_map(|(c, negated)| Expr::IsNull {
+            expr: Box::new(Expr::col(c)),
+            negated,
+        }),
+        (column(), proptest::collection::vec(literal(), 1..4), any::<bool>()).prop_map(
+            |(c, lits, negated)| Expr::InList {
+                expr: Box::new(Expr::col(c)),
+                list: lits.into_iter().map(Expr::lit).collect(),
+                negated,
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), prop_oneof![Just(BinOp::And), Just(BinOp::Or)], inner)
+            .prop_map(|(l, op, r)| Expr::binary(op, l, r))
+    })
+}
+
+fn projection() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        Just(SelectItem::Star),
+        column().prop_map(SelectItem::column),
+        (
+            prop_oneof![
+                Just(AggFunc::Count),
+                Just(AggFunc::Sum),
+                Just(AggFunc::Avg),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max),
+            ],
+            any::<bool>(),
+            column()
+        )
+            .prop_map(|(func, distinct, c)| SelectItem::Expr {
+                expr: Expr::Agg {
+                    func,
+                    distinct,
+                    arg: FuncArg::Expr(Box::new(Expr::col(c))),
+                },
+                alias: None,
+            }),
+        Just(SelectItem::Expr {
+            expr: Expr::Agg { func: AggFunc::Count, distinct: false, arg: FuncArg::Star },
+            alias: None,
+        }),
+    ]
+}
+
+fn select_core() -> impl Strategy<Value = SelectCore> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(projection(), 1..4),
+        ident(),
+        proptest::option::of(ident()),
+        proptest::option::of((ident(), proptest::option::of(comparison()))),
+        proptest::option::of(predicate()),
+        proptest::collection::vec(column().prop_map(Expr::col), 0..2),
+        proptest::option::of(comparison()),
+    )
+        .prop_map(
+            |(distinct, projections, base, alias, join, where_clause, group_by, having)| {
+                let joins = join
+                    .map(|(t, on)| {
+                        vec![Join {
+                            join_type: JoinType::Inner,
+                            table: TableRef { name: t, alias: None },
+                            on,
+                        }]
+                    })
+                    .unwrap_or_default();
+                SelectCore {
+                    distinct,
+                    projections,
+                    from: FromClause { base: TableRef { name: base, alias }, joins },
+                    where_clause,
+                    group_by,
+                    having,
+                }
+            },
+        )
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        select_core(),
+        proptest::option::of(select_core().prop_map(|c| (SetOp::Union, c))),
+        proptest::collection::vec(
+            (column(), any::<bool>()).prop_map(|(c, desc)| OrderItem {
+                expr: Expr::col(c),
+                order: if desc { SortOrder::Desc } else { SortOrder::Asc },
+            }),
+            0..2,
+        ),
+        proptest::option::of(0u64..100),
+    )
+        .prop_map(|(core, setop, order_by, limit)| {
+            let body = match setop {
+                Some((op, right)) => QueryBody::SetOp {
+                    op,
+                    left: Box::new(QueryBody::Select(core)),
+                    right: Box::new(QueryBody::Select(right)),
+                },
+                None => QueryBody::Select(core),
+            };
+            Query { body, order_by, limit }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn printer_parser_roundtrip(q in query()) {
+        let printed = to_sql(&q);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+        prop_assert_eq!(&reparsed, &q, "round-trip mismatch for {}", printed);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent(q in query()) {
+        let k1 = canonical_key(&q);
+        let q1 = parse(&k1).unwrap_or_else(|e| panic!("canonical unparseable {k1}: {e}"));
+        let k2 = canonical_key(&q1);
+        prop_assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn exact_match_is_reflexive(q in query()) {
+        prop_assert!(exact_match(&q, &q));
+    }
+
+    #[test]
+    fn exact_match_ignores_literal_values(q in query()) {
+        // Mask every literal to a fixed value; the result must still match.
+        let mut masked = q.clone();
+        mask_literals(&mut masked);
+        prop_assert!(exact_match(&q, &masked), "value masking changed EM for {}", to_sql(&q));
+    }
+
+    #[test]
+    fn difficulty_is_total(q in query()) {
+        // classify never panics and yields one of the four buckets.
+        let d = classify(&q);
+        prop_assert!(Difficulty::ALL.contains(&d));
+    }
+
+    #[test]
+    fn decompose_is_total(q in query()) {
+        // Every query decomposes into at least its projections.
+        let units = decompose(&q);
+        let min = q.body.select_cores().iter().map(|c| c.projections.len()).sum::<usize>();
+        prop_assert!(units.len() >= min);
+    }
+}
+
+fn mask_literals(q: &mut Query) {
+    fn mask_expr(e: &mut Expr) {
+        match e {
+            Expr::Literal(l) => *l = Literal::Int(42),
+            Expr::Binary { left, right, .. } => {
+                mask_expr(left);
+                mask_expr(right);
+            }
+            Expr::Not(inner) => mask_expr(inner),
+            Expr::Agg { arg: FuncArg::Expr(inner), .. } => mask_expr(inner),
+            Expr::InList { expr, list, .. } => {
+                mask_expr(expr);
+                for item in list {
+                    mask_expr(item);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                mask_expr(expr);
+                mask_expr(low);
+                mask_expr(high);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                mask_expr(expr);
+                *pattern = "?".into();
+            }
+            Expr::IsNull { expr, .. } => mask_expr(expr),
+            _ => {}
+        }
+    }
+    fn mask_body(b: &mut QueryBody) {
+        match b {
+            QueryBody::Select(core) => {
+                for p in &mut core.projections {
+                    if let SelectItem::Expr { expr, .. } = p {
+                        mask_expr(expr);
+                    }
+                }
+                if let Some(w) = &mut core.where_clause {
+                    mask_expr(w);
+                }
+                for g in &mut core.group_by {
+                    mask_expr(g);
+                }
+                if let Some(h) = &mut core.having {
+                    mask_expr(h);
+                }
+                for j in &mut core.from.joins {
+                    if let Some(on) = &mut j.on {
+                        mask_expr(on);
+                    }
+                }
+            }
+            QueryBody::SetOp { left, right, .. } => {
+                mask_body(left);
+                mask_body(right);
+            }
+        }
+    }
+    mask_body(&mut q.body);
+    for o in &mut q.order_by {
+        mask_expr(&mut o.expr);
+    }
+}
+
+proptest! {
+    /// The lexer never panics, whatever bytes arrive.
+    #[test]
+    fn lexer_is_total(input in "\\PC{0,64}") {
+        let _ = cyclesql_sql::token::tokenize(&input);
+    }
+
+    /// The parser never panics on arbitrary strings either.
+    #[test]
+    fn parser_is_total(input in "\\PC{0,64}") {
+        let _ = parse(&input);
+    }
+
+    /// Parsing arbitrary keyword soup never panics and either errors or
+    /// yields a query that round-trips.
+    #[test]
+    fn keyword_soup_is_safe(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"), Just("BY"),
+                Just("a"), Just("b"), Just("t"), Just("="), Just("1"), Just("("), Just(")"),
+                Just("AND"), Just("OR"), Just("NOT"), Just("count"), Just("*"), Just(","),
+            ],
+            0..24
+        )
+    ) {
+        let input = words.join(" ");
+        if let Ok(q) = parse(&input) {
+            let printed = to_sql(&q);
+            prop_assert!(parse(&printed).is_ok(), "round-trip broke for {input} -> {printed}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Execution errors.
+
+use std::fmt;
+
+/// An error raised while executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    message: String,
+}
+
+impl ExecError {
+    /// Creates an error with a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ExecError { message: message.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}

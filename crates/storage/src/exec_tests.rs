@@ -1,0 +1,656 @@
+//! Executor tests over a fixture database modeled on the paper's Figure 2
+//! (Flight/Aircraft) plus a world-like database for set ops and subqueries.
+
+use crate::exec::{execute, execute_with_lineage};
+use crate::schema::{ColumnDef, DataType, DatabaseSchema, TableSchema};
+use crate::table::Database;
+use crate::value::Value;
+use cyclesql_sql::parse;
+
+/// The Figure-2 database: Flight and Aircraft.
+pub(crate) fn flight_db() -> Database {
+    let mut schema = DatabaseSchema::new("flight_1");
+    schema.add_table(TableSchema::new(
+        "aircraft",
+        vec![
+            ColumnDef::new("aid", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("distance", DataType::Int),
+        ],
+    ));
+    schema.add_table(
+        TableSchema::new(
+            "flight",
+            vec![
+                ColumnDef::new("flno", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("origin", DataType::Text),
+                ColumnDef::new("destination", DataType::Text),
+            ],
+        ),
+    );
+    schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+    let mut db = Database::new(schema);
+    for (aid, name, dist) in [
+        (1, "Boeing 747-400", 8430),
+        (2, "Boeing 737-800", 3383),
+        (3, "Airbus A340-300", 7120),
+    ] {
+        db.insert("aircraft", vec![Value::Int(aid), Value::from(name), Value::Int(dist)]);
+    }
+    for (flno, aid, origin, dest) in [
+        (2, 1, "Los Angeles", "Tokyo"),
+        (7, 3, "Los Angeles", "Sydney"),
+        (13, 3, "Los Angeles", "Chicago"),
+        (33, 2, "Boston", "Los Angeles"),
+    ] {
+        db.insert(
+            "flight",
+            vec![Value::Int(flno), Value::Int(aid), Value::from(origin), Value::from(dest)],
+        );
+    }
+    db
+}
+
+fn world_db() -> Database {
+    let mut schema = DatabaseSchema::new("world_1");
+    schema.add_table(TableSchema::new(
+        "country",
+        vec![
+            ColumnDef::new("code", DataType::Text),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("continent", DataType::Text),
+            ColumnDef::new("population", DataType::Int),
+        ],
+    ));
+    schema.add_table(
+        TableSchema::new(
+            "countrylanguage",
+            vec![
+                ColumnDef::new("countrycode", DataType::Text),
+                ColumnDef::new("language", DataType::Text),
+                ColumnDef::new("isofficial", DataType::Text),
+            ],
+        )
+        .with_primary_key(vec![0, 1]),
+    );
+    schema.add_foreign_key("countrylanguage", "countrycode", "country", "code");
+    let mut db = Database::new(schema);
+    for (code, name, cont, pop) in [
+        ("ABW", "Aruba", "North America", 103000),
+        ("FRA", "France", "Europe", 59225700),
+        ("SYC", "Seychelles", "Africa", 77000),
+        ("GBR", "United Kingdom", "Europe", 59623400),
+        ("EST", "Estonia", "Europe", 1439200),
+    ] {
+        db.insert(
+            "country",
+            vec![Value::from(code), Value::from(name), Value::from(cont), Value::Int(pop)],
+        );
+    }
+    for (code, lang, official) in [
+        ("ABW", "Dutch", "T"),
+        ("ABW", "English", "F"),
+        ("ABW", "Papiamento", "T"),
+        ("ABW", "Spanish", "F"),
+        ("FRA", "French", "T"),
+        ("SYC", "English", "T"),
+        ("SYC", "French", "T"),
+        ("GBR", "English", "T"),
+        ("EST", "Estonian", "T"),
+        ("EST", "Russian", "F"),
+    ] {
+        db.insert(
+            "countrylanguage",
+            vec![Value::from(code), Value::from(lang), Value::from(official)],
+        );
+    }
+    db
+}
+
+fn run(db: &Database, sql: &str) -> crate::result::ResultSet {
+    execute(db, &parse(sql).unwrap()).unwrap_or_else(|e| panic!("exec {sql}: {e}"))
+}
+
+#[test]
+fn figure2_count_query() {
+    let db = flight_db();
+    let r = run(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn figure2_correct_query_returns_flight_numbers() {
+    let db = flight_db();
+    let r = run(
+        &db,
+        "SELECT T1.flno FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    );
+    assert_eq!(r.len(), 2);
+    let flnos: Vec<i64> = r
+        .rows
+        .iter()
+        .map(|row| match &row[0] {
+            Value::Int(n) => *n,
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    assert!(flnos.contains(&7) && flnos.contains(&13));
+}
+
+#[test]
+fn lineage_tracks_joined_sources() {
+    let db = flight_db();
+    let q = parse(
+        "SELECT T1.flno FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    )
+    .unwrap();
+    let out = execute_with_lineage(&db, &q).unwrap();
+    assert_eq!(out.lineage.len(), 2);
+    for lin in &out.lineage {
+        assert_eq!(lin.len(), 2);
+        assert_eq!(lin[0].table, "flight");
+        assert_eq!(lin[1].table, "aircraft");
+        // Aircraft row 2 is the A340.
+        assert_eq!(lin[1].row, 2);
+    }
+}
+
+#[test]
+fn aggregate_lineage_is_group_union() {
+    let db = flight_db();
+    let q = parse(
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T2.name = 'Airbus A340-300'",
+    )
+    .unwrap();
+    let out = execute_with_lineage(&db, &q).unwrap();
+    assert_eq!(out.lineage.len(), 1);
+    let flights: Vec<usize> = out.lineage[0]
+        .iter()
+        .filter(|s| s.table == "flight")
+        .map(|s| s.row)
+        .collect();
+    assert_eq!(flights.len(), 2);
+}
+
+#[test]
+fn where_filters_and_comparison_ops() {
+    let db = flight_db();
+    assert_eq!(run(&db, "SELECT flno FROM flight WHERE aid >= 3").len(), 2);
+    assert_eq!(run(&db, "SELECT flno FROM flight WHERE aid != 3").len(), 2);
+    assert_eq!(run(&db, "SELECT flno FROM flight WHERE aid < 2").len(), 1);
+}
+
+#[test]
+fn group_by_with_count() {
+    let db = flight_db();
+    let r = run(&db, "SELECT origin, count(*) FROM flight GROUP BY origin");
+    assert_eq!(r.len(), 2);
+    let la = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::from("Los Angeles"))
+        .expect("LA group");
+    assert_eq!(la[1], Value::Int(3));
+}
+
+#[test]
+fn having_filters_groups() {
+    let db = flight_db();
+    let r = run(
+        &db,
+        "SELECT origin, count(*) FROM flight GROUP BY origin HAVING count(*) > 1",
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][0], Value::from("Los Angeles"));
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = flight_db();
+    let r = run(&db, "SELECT flno FROM flight ORDER BY flno DESC LIMIT 2");
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Int(33)], vec![Value::Int(13)]]
+    );
+}
+
+#[test]
+fn order_by_aggregate_in_grouped_query() {
+    let db = flight_db();
+    let r = run(
+        &db,
+        "SELECT origin FROM flight GROUP BY origin ORDER BY count(*) DESC LIMIT 1",
+    );
+    assert_eq!(r.rows, vec![vec![Value::from("Los Angeles")]]);
+}
+
+#[test]
+fn aggregates_min_max_sum_avg() {
+    let db = flight_db();
+    let r = run(&db, "SELECT min(distance), max(distance), sum(distance), avg(distance) FROM aircraft");
+    assert_eq!(r.rows[0][0], Value::Int(3383));
+    assert_eq!(r.rows[0][1], Value::Int(8430));
+    assert_eq!(r.rows[0][2], Value::Int(8430 + 3383 + 7120));
+    let avg = (8430.0 + 3383.0 + 7120.0) / 3.0;
+    assert_eq!(r.rows[0][3], Value::Float(avg));
+}
+
+#[test]
+fn count_on_empty_group_is_zero() {
+    let db = flight_db();
+    let r = run(&db, "SELECT count(*) FROM flight WHERE origin = 'Nowhere'");
+    assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+}
+
+#[test]
+fn sum_on_empty_is_null() {
+    let db = flight_db();
+    let r = run(&db, "SELECT sum(distance) FROM aircraft WHERE aid > 99");
+    assert_eq!(r.rows, vec![vec![Value::Null]]);
+}
+
+#[test]
+fn distinct_dedups() {
+    let db = flight_db();
+    let r = run(&db, "SELECT DISTINCT origin FROM flight");
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn count_distinct() {
+    let db = flight_db();
+    let r = run(&db, "SELECT count(DISTINCT origin) FROM flight");
+    assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn star_projection_expands() {
+    let db = flight_db();
+    let r = run(&db, "SELECT * FROM aircraft WHERE aid = 1");
+    assert_eq!(r.columns.len(), 3);
+    assert_eq!(r.rows[0][1], Value::from("Boeing 747-400"));
+}
+
+#[test]
+fn qualified_star_in_join() {
+    let db = flight_db();
+    let r = run(
+        &db,
+        "SELECT T2.* FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T1.flno = 2",
+    );
+    assert_eq!(r.columns.len(), 3);
+    assert_eq!(r.rows[0][1], Value::from("Boeing 747-400"));
+}
+
+#[test]
+fn left_join_pads_nulls() {
+    let mut db = flight_db();
+    // An aircraft with no flights.
+    db.insert("aircraft", vec![Value::Int(9), Value::from("Concorde"), Value::Int(4500)]);
+    let r = run(
+        &db,
+        "SELECT T1.name, T2.flno FROM aircraft AS T1 LEFT JOIN flight AS T2 ON T1.aid = T2.aid \
+         WHERE T1.name = 'Concorde'",
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][1], Value::Null);
+}
+
+#[test]
+fn in_subquery() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT name FROM country WHERE code IN \
+         (SELECT countrycode FROM countrylanguage WHERE language = 'French')",
+    );
+    assert_eq!(r.len(), 2); // France, Seychelles
+}
+
+#[test]
+fn not_in_subquery() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT name FROM country WHERE code NOT IN \
+         (SELECT countrycode FROM countrylanguage WHERE language = 'English')",
+    );
+    // ABW, SYC, GBR speak English; FRA and EST do not.
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn intersect_set_semantics() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode \
+         WHERE T2.language = 'English' \
+         INTERSECT \
+         SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode \
+         WHERE T2.language = 'French'",
+    );
+    assert_eq!(r.rows, vec![vec![Value::from("Seychelles")]]);
+}
+
+#[test]
+fn union_dedups() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT continent FROM country WHERE name = 'France' \
+         UNION SELECT continent FROM country WHERE name = 'Estonia'",
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][0], Value::from("Europe"));
+}
+
+#[test]
+fn except_removes_right_side() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT name FROM country EXCEPT SELECT name FROM country WHERE continent = 'Europe'",
+    );
+    assert_eq!(r.len(), 2); // Aruba, Seychelles
+}
+
+#[test]
+fn scalar_subquery_comparison() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT name FROM country WHERE population > (SELECT avg(population) FROM country)",
+    );
+    assert_eq!(r.len(), 2); // France, UK
+}
+
+#[test]
+fn exists_subquery() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT count(*) FROM country WHERE EXISTS (SELECT language FROM countrylanguage)",
+    );
+    assert_eq!(r.rows, vec![vec![Value::Int(5)]]);
+}
+
+#[test]
+fn like_predicate() {
+    let db = world_db();
+    let r = run(&db, "SELECT name FROM country WHERE name LIKE '%land%'");
+    assert_eq!(r.len(), 0);
+    let r = run(&db, "SELECT name FROM country WHERE name LIKE '%United%'");
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn between_predicate() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT name FROM country WHERE population BETWEEN 100000 AND 2000000",
+    );
+    assert_eq!(r.len(), 2); // Aruba, Estonia
+}
+
+#[test]
+fn in_value_list() {
+    let db = world_db();
+    let r = run(&db, "SELECT name FROM country WHERE code IN ('FRA', 'GBR')");
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn arithmetic_in_projection() {
+    let db = flight_db();
+    let r = run(&db, "SELECT distance / 10 FROM aircraft WHERE aid = 1");
+    assert_eq!(r.rows, vec![vec![Value::Int(843)]]);
+}
+
+#[test]
+fn or_predicate() {
+    let db = flight_db();
+    let r = run(
+        &db,
+        "SELECT flno FROM flight WHERE origin = 'Boston' OR destination = 'Tokyo'",
+    );
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn nested_two_level_subquery() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT name FROM country WHERE code IN (SELECT countrycode FROM countrylanguage \
+         WHERE language IN (SELECT language FROM countrylanguage WHERE countrycode = 'SYC'))",
+    );
+    // Countries speaking English or French.
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn unknown_table_errors() {
+    let db = flight_db();
+    assert!(execute(&db, &parse("SELECT x FROM missing").unwrap()).is_err());
+}
+
+#[test]
+fn unknown_column_errors() {
+    let db = flight_db();
+    assert!(execute(&db, &parse("SELECT missing FROM flight").unwrap()).is_err());
+}
+
+#[test]
+fn set_op_arity_mismatch_errors() {
+    let db = flight_db();
+    assert!(execute(
+        &db,
+        &parse("SELECT flno FROM flight UNION SELECT flno, aid FROM flight").unwrap()
+    )
+    .is_err());
+}
+
+#[test]
+fn group_key_null_handling() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT origin, count(*) FROM flight GROUP BY origin");
+    // NULL origin forms its own group.
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn count_column_skips_nulls() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT count(origin), count(*) FROM flight");
+    assert_eq!(r.rows[0][0], Value::Int(4));
+    assert_eq!(r.rows[0][1], Value::Int(5));
+}
+
+#[test]
+fn comparison_with_null_is_filtered_out() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT flno FROM flight WHERE aid > 0");
+    assert_eq!(r.len(), 4); // the NULL-aid row is excluded
+}
+
+#[test]
+fn is_null_predicate() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT flno FROM flight WHERE aid IS NULL");
+    assert_eq!(r.rows, vec![vec![Value::Int(99)]]);
+}
+
+#[test]
+fn bag_comparison_of_equivalent_queries() {
+    let db = world_db();
+    let a = run(&db, "SELECT count(code) FROM country");
+    let b = run(&db, "SELECT count(*) FROM country");
+    assert!(a.bag_eq(&b));
+}
+
+#[test]
+fn order_by_two_keys() {
+    let db = flight_db();
+    let r = run(&db, "SELECT origin, flno FROM flight ORDER BY origin ASC, flno DESC");
+    assert_eq!(r.rows[0][0], Value::from("Boston"));
+    assert_eq!(r.rows[1][1], Value::Int(13));
+}
+
+#[test]
+fn multi_column_group_by() {
+    let db = world_db();
+    let r = run(
+        &db,
+        "SELECT countrycode, isofficial, count(*) FROM countrylanguage \
+         GROUP BY countrycode, isofficial",
+    );
+    // ABW: T(2), F(2); FRA: T(1); SYC: T(2); GBR: T(1); EST: T(1), F(1)
+    assert_eq!(r.len(), 7);
+}
+
+#[test]
+fn comma_join_is_cross_product() {
+    let db = flight_db();
+    let r = run(&db, "SELECT count(*) FROM flight, aircraft");
+    assert_eq!(r.rows, vec![vec![Value::Int(12)]]);
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let db = flight_db();
+    let r = run(
+        &db,
+        "SELECT count(*) FROM flight AS a JOIN flight AS b ON a.origin = b.origin",
+    );
+    // LA flights pair 3x3=9, Boston 1x1=1.
+    assert_eq!(r.rows, vec![vec![Value::Int(10)]]);
+}
+
+#[test]
+fn having_without_group_by() {
+    let db = flight_db();
+    let r = run(&db, "SELECT count(*) FROM flight HAVING count(*) > 1");
+    assert_eq!(r.rows, vec![vec![Value::Int(4)]]);
+    let r = run(&db, "SELECT count(*) FROM flight HAVING count(*) > 100");
+    assert!(r.is_empty());
+}
+
+#[test]
+fn arithmetic_null_propagation() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT aid + 1 FROM flight WHERE flno = 99");
+    assert_eq!(r.rows, vec![vec![Value::Null]]);
+}
+
+#[test]
+fn division_by_zero_yields_null() {
+    let db = flight_db();
+    let r = run(&db, "SELECT distance / 0 FROM aircraft WHERE aid = 1");
+    assert_eq!(r.rows, vec![vec![Value::Null]]);
+}
+
+#[test]
+fn integer_division_truncates() {
+    let db = flight_db();
+    let r = run(&db, "SELECT 7 / 2 FROM aircraft WHERE aid = 1");
+    assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+}
+
+#[test]
+fn between_with_null_bound_filters_row_out() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT flno FROM flight WHERE aid BETWEEN 1 AND 3");
+    assert_eq!(r.len(), 4, "NULL aid row excluded");
+}
+
+#[test]
+fn not_of_null_is_filtered() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT flno FROM flight WHERE NOT (aid = 1)");
+    // NOT NULL = NULL → excluded; flights with aid != 1 remain.
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn in_list_with_null_needle_is_filtered() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(&db, "SELECT flno FROM flight WHERE aid IN (1, 2, 3)");
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn order_by_on_empty_result() {
+    let db = flight_db();
+    let r = run(&db, "SELECT flno FROM flight WHERE origin = 'Nowhere' ORDER BY flno DESC");
+    assert!(r.is_empty());
+}
+
+#[test]
+fn limit_zero_returns_nothing() {
+    let db = flight_db();
+    let r = run(&db, "SELECT flno FROM flight LIMIT 0");
+    assert!(r.is_empty());
+}
+
+#[test]
+fn limit_beyond_rows_is_harmless() {
+    let db = flight_db();
+    let r = run(&db, "SELECT flno FROM flight LIMIT 999");
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn hash_join_skips_null_keys() {
+    let mut db = flight_db();
+    // A flight with a NULL aid must never match any aircraft.
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid",
+    );
+    assert_eq!(r.rows, vec![vec![Value::Int(4)]]);
+}
+
+#[test]
+fn left_join_with_null_key_pads() {
+    let mut db = flight_db();
+    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    let r = run(
+        &db,
+        "SELECT T1.flno, T2.name FROM flight AS T1 LEFT JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         WHERE T1.flno = 99",
+    );
+    assert_eq!(r.rows, vec![vec![Value::Int(99), Value::Null]]);
+}
+
+#[test]
+fn avg_of_single_row() {
+    let db = flight_db();
+    let r = run(&db, "SELECT avg(distance) FROM aircraft WHERE aid = 1");
+    assert_eq!(r.rows, vec![vec![Value::Float(8430.0)]]);
+}
+
+#[test]
+fn string_ordering_is_lexicographic() {
+    let db = flight_db();
+    let r = run(&db, "SELECT name FROM aircraft ORDER BY name ASC LIMIT 1");
+    assert_eq!(r.rows, vec![vec![Value::from("Airbus A340-300")]]);
+}

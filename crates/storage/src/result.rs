@@ -1,0 +1,108 @@
+//! Query result sets and bag-semantics equivalence.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A query result: column display names plus rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Display names, e.g. `count(T2.language)` or `T1.name`.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// An empty result with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        ResultSet { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Multiset ("bag semantics") equivalence, ignoring row order and column
+    /// names. This mirrors the Spider evaluation script's execution-accuracy
+    /// comparison.
+    pub fn bag_eq(&self, other: &ResultSet) -> bool {
+        if self.columns.len() != other.columns.len() || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a: Vec<String> = self.rows.iter().map(|r| row_key(r)).collect();
+        let mut b: Vec<String> = other.rows.iter().map(|r| row_key(r)).collect();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// A deterministic fingerprint of the bag of rows (used by the
+    /// test-suite metric to compare across database variants cheaply).
+    pub fn fingerprint(&self) -> String {
+        let mut keys: Vec<String> = self.rows.iter().map(|r| row_key(r)).collect();
+        keys.sort();
+        format!("{}cols|{}", self.columns.len(), keys.join("\n"))
+    }
+}
+
+fn row_key(row: &[Value]) -> String {
+    let parts: Vec<String> = row.iter().map(Value::group_key).collect();
+    parts.join("\u{1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(cols: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet { columns: cols.iter().map(|s| s.to_string()).collect(), rows }
+    }
+
+    #[test]
+    fn bag_eq_ignores_row_order() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = rs(&["y"], vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert!(a.bag_eq(&b));
+    }
+
+    #[test]
+    fn bag_eq_is_duplicate_sensitive() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(1)]]);
+        let b = rs(&["x"], vec![vec![Value::Int(1)]]);
+        assert!(!a.bag_eq(&b));
+    }
+
+    #[test]
+    fn bag_eq_collapses_numeric_representation() {
+        let a = rs(&["x"], vec![vec![Value::Int(2)]]);
+        let b = rs(&["x"], vec![vec![Value::Float(2.0)]]);
+        assert!(a.bag_eq(&b));
+    }
+
+    #[test]
+    fn bag_eq_checks_arity() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)]]);
+        let b = rs(&["x", "y"], vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert!(!a.bag_eq(&b));
+    }
+
+    #[test]
+    fn nulls_compare_equal_in_bags() {
+        let a = rs(&["x"], vec![vec![Value::Null]]);
+        let b = rs(&["x"], vec![vec![Value::Null]]);
+        assert!(a.bag_eq(&b));
+    }
+
+    #[test]
+    fn fingerprint_stable_under_reorder() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = rs(&["x"], vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,220 @@
+//! Schemas: columns, tables, keys, and whole-database catalogs.
+
+use serde::{Deserialize, Serialize};
+
+#[allow(missing_docs)] // variant names are self-describing
+/// Declared column type. The engine is dynamically typed at runtime; the
+/// declared type drives data generation and NL rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, lower-case.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Human-friendly phrase for NL generation (e.g. `flno` → "flight number").
+    pub nl_name: String,
+}
+
+impl ColumnDef {
+    /// A column whose NL name equals its SQL name.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        let name = name.into().to_ascii_lowercase();
+        ColumnDef { nl_name: name.replace('_', " "), name, dtype }
+    }
+
+    /// A column with an explicit NL phrase.
+    pub fn with_nl(name: impl Into<String>, dtype: DataType, nl: impl Into<String>) -> Self {
+        ColumnDef { name: name.into().to_ascii_lowercase(), dtype, nl_name: nl.into() }
+    }
+}
+
+#[allow(missing_docs)] // field names are self-describing
+/// A foreign-key edge from `(from_table, from_column)` to
+/// `(to_table, to_column)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub from_table: String,
+    pub from_column: String,
+    pub to_table: String,
+    pub to_column: String,
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name, lower-case.
+    pub name: String,
+    /// Column definitions, in order.
+    pub columns: Vec<ColumnDef>,
+    /// Indices of primary-key columns.
+    pub primary_key: Vec<usize>,
+    /// Human-friendly phrase for the table ("flight", "high schooler").
+    pub nl_name: String,
+}
+
+impl TableSchema {
+    /// Creates a table schema; the first column is the primary key by default.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        let name = name.into().to_ascii_lowercase();
+        TableSchema {
+            nl_name: name.replace('_', " "),
+            name,
+            primary_key: if columns.is_empty() { vec![] } else { vec![0] },
+            columns,
+        }
+    }
+
+    /// Overrides the primary key columns (by index).
+    pub fn with_primary_key(mut self, pk: Vec<usize>) -> Self {
+        self.primary_key = pk;
+        self
+    }
+
+    /// Overrides the NL name.
+    pub fn with_nl(mut self, nl: impl Into<String>) -> Self {
+        self.nl_name = nl.into();
+        self
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Names of the primary-key columns.
+    pub fn primary_key_names(&self) -> Vec<&str> {
+        self.primary_key.iter().map(|&i| self.columns[i].name.as_str()).collect()
+    }
+}
+
+/// Schema of a whole database: tables plus foreign keys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseSchema {
+    /// Database identifier (e.g. `world_1`).
+    pub name: String,
+    /// Table schemas.
+    pub tables: Vec<TableSchema>,
+    /// Foreign-key edges.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl DatabaseSchema {
+    /// Creates an empty database schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        DatabaseSchema { name: name.into(), tables: Vec::new(), foreign_keys: Vec::new() }
+    }
+
+    /// Adds a table.
+    pub fn add_table(&mut self, table: TableSchema) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a foreign key.
+    pub fn add_foreign_key(
+        &mut self,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+        to_column: &str,
+    ) -> &mut Self {
+        self.foreign_keys.push(ForeignKey {
+            from_table: from_table.to_ascii_lowercase(),
+            from_column: from_column.to_ascii_lowercase(),
+            to_table: to_table.to_ascii_lowercase(),
+            to_column: to_column.to_ascii_lowercase(),
+        });
+        self
+    }
+
+    /// Looks up a table schema by name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        let lower = name.to_ascii_lowercase();
+        self.tables.iter().find(|t| t.name == lower)
+    }
+
+    /// Foreign keys leaving a table.
+    pub fn foreign_keys_from(&self, table: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys.iter().filter(|fk| fk.from_table == table).collect()
+    }
+
+    /// The foreign key (in either direction) connecting two tables, if any.
+    pub fn fk_between(&self, a: &str, b: &str) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| {
+            (fk.from_table == a && fk.to_table == b) || (fk.from_table == b && fk.to_table == a)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight_schema() -> DatabaseSchema {
+        let mut db = DatabaseSchema::new("flight_1");
+        db.add_table(TableSchema::new(
+            "aircraft",
+            vec![
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("distance", DataType::Int),
+            ],
+        ));
+        db.add_table(TableSchema::new(
+            "flight",
+            vec![
+                ColumnDef::new("flno", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+                ColumnDef::new("origin", DataType::Text),
+                ColumnDef::new("destination", DataType::Text),
+            ],
+        ));
+        db.add_foreign_key("flight", "aid", "aircraft", "aid");
+        db
+    }
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let db = flight_schema();
+        let t = db.table("Flight").unwrap();
+        assert_eq!(t.column_index("FLNO"), Some(0));
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    fn default_primary_key_is_first_column() {
+        let db = flight_schema();
+        assert_eq!(db.table("aircraft").unwrap().primary_key_names(), vec!["aid"]);
+    }
+
+    #[test]
+    fn fk_between_is_direction_insensitive() {
+        let db = flight_schema();
+        assert!(db.fk_between("flight", "aircraft").is_some());
+        assert!(db.fk_between("aircraft", "flight").is_some());
+        assert!(db.fk_between("aircraft", "aircraft").is_none());
+    }
+
+    #[test]
+    fn nl_names_default_from_sql_names() {
+        let c = ColumnDef::new("country_code", DataType::Text);
+        assert_eq!(c.nl_name, "country code");
+        let t = TableSchema::new("singer_in_concert", vec![]);
+        assert_eq!(t.nl_name, "singer in concert");
+    }
+}

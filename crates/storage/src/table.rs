@@ -1,0 +1,132 @@
+//! Tables, rows, and the in-memory database.
+
+use crate::schema::{DatabaseSchema, TableSchema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One row of values (positionally aligned with the table schema).
+pub type Row = Vec<Value>;
+
+/// A table: schema plus row storage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    /// Row storage.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Appends a row; panics in debug builds if the arity mismatches.
+    pub fn push_row(&mut self, row: Row) {
+        debug_assert_eq!(
+            row.len(),
+            self.schema.columns.len(),
+            "row arity mismatch for table {}",
+            self.schema.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at (row, column-name), if both exist.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let ci = self.schema.column_index(column)?;
+        self.rows.get(row).map(|r| &r[ci])
+    }
+}
+
+/// An in-memory database: a schema and its table data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    /// The database schema (tables + foreign keys).
+    pub schema: DatabaseSchema,
+    /// Tables, aligned with `schema.tables` order.
+    pub tables: Vec<Table>,
+}
+
+impl Database {
+    /// Creates a database with empty tables for every schema table.
+    pub fn new(schema: DatabaseSchema) -> Self {
+        let tables = schema.tables.iter().cloned().map(Table::new).collect();
+        Database { schema, tables }
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        let lower = name.to_ascii_lowercase();
+        self.tables.iter().find(|t| t.schema.name == lower)
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        let lower = name.to_ascii_lowercase();
+        self.tables.iter_mut().find(|t| t.schema.name == lower)
+    }
+
+    /// Inserts a row into a named table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table doesn't exist (databases are built
+    /// programmatically; a missing table is a construction bug).
+    pub fn insert(&mut self, table: &str, row: Row) {
+        self.table_mut(table)
+            .unwrap_or_else(|| panic!("no such table: {table}"))
+            .push_row(row);
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    fn mini_db() -> Database {
+        let mut schema = DatabaseSchema::new("mini");
+        schema.add_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("name", DataType::Text)],
+        ));
+        let mut db = Database::new(schema);
+        db.insert("t", vec![Value::Int(1), Value::from("a")]);
+        db.insert("t", vec![Value::Int(2), Value::from("b")]);
+        db
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let db = mini_db();
+        let t = db.table("T").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(1, "name"), Some(&Value::from("b")));
+        assert_eq!(t.value(5, "name"), None);
+        assert_eq!(db.total_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such table")]
+    fn insert_into_missing_table_panics() {
+        let mut db = mini_db();
+        db.insert("nope", vec![]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Runtime values with SQL (SQLite-flavoured) comparison semantics.
+
+use cyclesql_sql::Literal;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Text.
+    Str(String),
+    /// Boolean (stored as its own type; compares equal to 0/1 integers).
+    Bool(bool),
+}
+
+impl Value {
+    /// Converts a parsed SQL literal to a runtime value.
+    pub fn from_literal(l: &Literal) -> Value {
+        match l {
+            Literal::Int(n) => Value::Int(*n),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Null => Value::Null,
+        }
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one. Booleans are 0/1; numeric
+    /// strings parse (SQLite affinity-style).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// Truthiness for use in WHERE: NULL and unknown are false.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(n) => *n != 0,
+            Value::Float(x) => *x != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// SQL equality: NULL never equals anything (returns `None` = unknown).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        })
+    }
+
+    /// SQL ordering comparison; `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Total ordering for ORDER BY and grouping: NULL < numbers < text.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) | Value::Bool(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match rank(self).cmp(&rank(other)) {
+            Ordering::Equal => match (self, other) {
+                (Value::Null, Value::Null) => Ordering::Equal,
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                _ => {
+                    let a = self.as_f64().unwrap_or(f64::NEG_INFINITY);
+                    let b = other.as_f64().unwrap_or(f64::NEG_INFINITY);
+                    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+                }
+            },
+            other => other,
+        }
+    }
+
+    /// Key used for grouping and bag-equality: collapses numeric
+    /// representations (`2` and `2.0` group together, like SQLite results
+    /// compared by the Spider script).
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Str(s) => format!("s:{s}"),
+            Value::Bool(b) => format!("n:{}", if *b { 1.0 } else { 0.0 }),
+            Value::Int(n) => format!("n:{}", *n as f64),
+            Value::Float(x) => format!("n:{x}"),
+        }
+    }
+
+    /// SQL LIKE with `%` and `_` wildcards, case-insensitive (SQLite default).
+    pub fn sql_like(&self, pattern: &str) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Str(s) => Some(like_match(&s.to_lowercase(), &pattern.to_lowercase())),
+            other => {
+                let s = other.to_string().to_lowercase();
+                Some(like_match(&s, &pattern.to_lowercase()))
+            }
+        }
+    }
+}
+
+fn like_match(s: &str, pattern: &str) -> bool {
+    // Dynamic-programming match over chars.
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (n, m) = (s.len(), p.len());
+    let mut dp = vec![vec![false; m + 1]; n + 1];
+    dp[0][0] = true;
+    for j in 1..=m {
+        if p[j - 1] == '%' {
+            dp[0][j] = dp[0][j - 1];
+        }
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = match p[j - 1] {
+                '%' => dp[i][j - 1] || dp[i - 1][j],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && s[i - 1] == c,
+            };
+        }
+    }
+    dp[n][m]
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_eq(other).unwrap_or(false),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "T" } else { "F" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_equality_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        // But bag-comparison PartialEq treats NULL == NULL.
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.0)), Some(true));
+        assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.5)), Some(false));
+        assert_eq!(Value::Bool(true).sql_eq(&Value::Int(1)), Some(true));
+    }
+
+    #[test]
+    fn string_number_affinity() {
+        assert_eq!(Value::Str("80000".into()).as_f64(), Some(80000.0));
+        assert_eq!(
+            Value::Str("80000".into()).sql_cmp(&Value::Int(70000)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn string_comparison_lexicographic() {
+        assert_eq!(
+            Value::Str("apple".into()).sql_cmp(&Value::Str("banana".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn total_order_null_first() {
+        let mut vals = [Value::Str("a".into()), Value::Int(5), Value::Null];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert!(matches!(vals[1], Value::Int(5)));
+        assert!(matches!(&vals[2], Value::Str(s) if s == "a"));
+    }
+
+    #[test]
+    fn group_key_collapses_numeric_types() {
+        assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
+        assert_ne!(Value::Int(2).group_key(), Value::Str("2".into()).group_key());
+    }
+
+    #[test]
+    fn like_wildcards() {
+        assert_eq!(Value::Str("Airbus A340".into()).sql_like("%a340%"), Some(true));
+        assert_eq!(Value::Str("Airbus".into()).sql_like("air_us"), Some(true));
+        assert_eq!(Value::Str("Airbus".into()).sql_like("air"), Some(false));
+        assert_eq!(Value::Null.sql_like("%"), None);
+        assert_eq!(Value::Str("".into()).sql_like("%"), Some(true));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(3).is_truthy());
+        assert!(!Value::Str("".into()).is_truthy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Float(4.0).to_string(), "4");
+        assert_eq!(Value::Float(4.5).to_string(), "4.5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,238 @@
+//! Property tests for the executor: SQL-semantics invariants over randomly
+//! generated table data and predicates.
+
+use cyclesql_sql::parse;
+use cyclesql_storage::{
+    execute, ColumnDef, DataType, Database, DatabaseSchema, TableSchema, Value,
+};
+use proptest::prelude::*;
+
+fn db_with_rows(rows: &[(i64, String, i64)]) -> Database {
+    let mut schema = DatabaseSchema::new("prop");
+    schema.add_table(TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("score", DataType::Int),
+        ],
+    ));
+    schema.add_table(TableSchema::new(
+        "u",
+        vec![
+            ColumnDef::new("uid", DataType::Int),
+            ColumnDef::new("tid", DataType::Int),
+        ],
+    ));
+    schema.add_foreign_key("u", "tid", "t", "id");
+    let mut db = Database::new(schema);
+    for (i, (id, name, score)) in rows.iter().enumerate() {
+        db.insert("t", vec![Value::Int(*id), Value::from(name.clone()), Value::Int(*score)]);
+        // A child row for every other parent.
+        if i % 2 == 0 {
+            db.insert("u", vec![Value::Int(i as i64), Value::Int(*id)]);
+        }
+    }
+    db
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, String, i64)>> {
+    proptest::collection::vec(
+        (0i64..50, "[a-f]{1,4}", -100i64..100),
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn where_filter_is_sound(rows in rows_strategy(), threshold in -100i64..100) {
+        let db = db_with_rows(&rows);
+        let q = parse(&format!("SELECT score FROM t WHERE score > {threshold}")).unwrap();
+        let result = execute(&db, &q).unwrap();
+        for row in &result.rows {
+            match &row[0] {
+                Value::Int(s) => prop_assert!(*s > threshold),
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        // Completeness: the count matches a direct scan.
+        let expected = rows.iter().filter(|(_, _, s)| *s > threshold).count();
+        prop_assert_eq!(result.len(), expected);
+    }
+
+    #[test]
+    fn count_star_equals_row_count(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let q = parse("SELECT count(*) FROM t").unwrap();
+        let result = execute(&db, &q).unwrap();
+        prop_assert_eq!(&result.rows[0][0], &Value::Int(rows.len() as i64));
+    }
+
+    #[test]
+    fn limit_is_respected(rows in rows_strategy(), k in 0u64..30) {
+        let db = db_with_rows(&rows);
+        let q = parse(&format!("SELECT id FROM t ORDER BY id ASC LIMIT {k}")).unwrap();
+        let result = execute(&db, &q).unwrap();
+        prop_assert!(result.len() <= k as usize);
+        // Sortedness.
+        for w in result.rows.windows(2) {
+            let (a, b) = (&w[0][0], &w[1][0]);
+            prop_assert!(a.total_cmp(b) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn distinct_has_no_duplicates(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let q = parse("SELECT DISTINCT name FROM t").unwrap();
+        let result = execute(&db, &q).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in &result.rows {
+            prop_assert!(seen.insert(row[0].group_key()), "duplicate {:?}", row[0]);
+        }
+    }
+
+    #[test]
+    fn group_counts_sum_to_total(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let q = parse("SELECT name, count(*) FROM t GROUP BY name").unwrap();
+        let result = execute(&db, &q).unwrap();
+        let total: i64 = result
+            .rows
+            .iter()
+            .map(|r| match &r[1] {
+                Value::Int(n) => *n,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(total, rows.len() as i64);
+    }
+
+    #[test]
+    fn min_max_bound_all_values(rows in rows_strategy()) {
+        prop_assume!(!rows.is_empty());
+        let db = db_with_rows(&rows);
+        let q = parse("SELECT min(score), max(score) FROM t").unwrap();
+        let result = execute(&db, &q).unwrap();
+        let lo = result.rows[0][0].as_f64().unwrap();
+        let hi = result.rows[0][1].as_f64().unwrap();
+        for (_, _, s) in &rows {
+            prop_assert!(lo <= *s as f64 && *s as f64 <= hi);
+        }
+    }
+
+    #[test]
+    fn union_is_superset_of_both_sides(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let left = execute(&db, &parse("SELECT name FROM t WHERE score > 0").unwrap()).unwrap();
+        let union = execute(
+            &db,
+            &parse("SELECT name FROM t WHERE score > 0 UNION SELECT name FROM t WHERE score <= 0")
+                .unwrap(),
+        )
+        .unwrap();
+        let union_keys: std::collections::HashSet<String> =
+            union.rows.iter().map(|r| r[0].group_key()).collect();
+        for row in &left.rows {
+            prop_assert!(union_keys.contains(&row[0].group_key()));
+        }
+    }
+
+    #[test]
+    fn intersect_is_subset_of_both_sides(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let inter = execute(
+            &db,
+            &parse("SELECT name FROM t WHERE score > 0 INTERSECT SELECT name FROM t WHERE id > 10")
+                .unwrap(),
+        )
+        .unwrap();
+        let left = execute(&db, &parse("SELECT name FROM t WHERE score > 0").unwrap()).unwrap();
+        let left_keys: std::collections::HashSet<String> =
+            left.rows.iter().map(|r| r[0].group_key()).collect();
+        for row in &inter.rows {
+            prop_assert!(left_keys.contains(&row[0].group_key()));
+        }
+    }
+
+    #[test]
+    fn join_row_count_matches_fk_fanout(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let joined = execute(
+            &db,
+            &parse("SELECT count(*) FROM u AS a JOIN t AS b ON a.tid = b.id").unwrap(),
+        )
+        .unwrap();
+        // Every u row references an existing t id; ids may repeat in t, so
+        // the join count is the sum of per-u matches.
+        let u = db.table("u").unwrap();
+        let t = db.table("t").unwrap();
+        let mut expected = 0i64;
+        for urow in &u.rows {
+            let tid = &urow[1];
+            expected += t
+                .rows
+                .iter()
+                .filter(|tr| tr[0].sql_eq(tid) == Some(true))
+                .count() as i64;
+        }
+        prop_assert_eq!(&joined.rows[0][0], &Value::Int(expected));
+    }
+
+    #[test]
+    fn bag_eq_is_reflexive_and_symmetric(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let a = execute(&db, &parse("SELECT name, score FROM t").unwrap()).unwrap();
+        let b = execute(&db, &parse("SELECT name, score FROM t").unwrap()).unwrap();
+        prop_assert!(a.bag_eq(&a));
+        prop_assert!(a.bag_eq(&b) && b.bag_eq(&a));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The hash-join fast path must agree exactly with the nested-loop
+    /// general path. `ON a.x = b.y` takes the fast path; appending a
+    /// tautological conjunct forces the general path over identical data.
+    #[test]
+    fn hash_join_matches_nested_loop(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let fast = execute(
+            &db,
+            &parse("SELECT a.uid, b.name FROM u AS a JOIN t AS b ON a.tid = b.id").unwrap(),
+        )
+        .unwrap();
+        let general = execute(
+            &db,
+            &parse(
+                "SELECT a.uid, b.name FROM u AS a JOIN t AS b ON a.tid = b.id AND 1 = 1",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        prop_assert!(fast.bag_eq(&general), "fast: {fast:?} vs general: {general:?}");
+    }
+
+    /// Same equivalence for LEFT JOIN (null padding must match).
+    #[test]
+    fn hash_left_join_matches_nested_loop(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let fast = execute(
+            &db,
+            &parse("SELECT b.id, a.uid FROM t AS b LEFT JOIN u AS a ON a.tid = b.id").unwrap(),
+        )
+        .unwrap();
+        let general = execute(
+            &db,
+            &parse(
+                "SELECT b.id, a.uid FROM t AS b LEFT JOIN u AS a ON a.tid = b.id AND 1 = 1",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        prop_assert!(fast.bag_eq(&general), "fast: {fast:?} vs general: {general:?}");
+    }
+}

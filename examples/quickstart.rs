@@ -1,0 +1,113 @@
+//! Quickstart: build a database, run a query, track provenance, generate an
+//! explanation, and verify a translation — the whole CycleSQL pipeline on
+//! the paper's Figure-2 flights example.
+
+use cyclesql_core::{candidate_premise, ex_correct, CycleSql, FeedbackKind, LoopVerifier};
+use cyclesql_explain::generate_explanation;
+use cyclesql_models::Candidate;
+use cyclesql_provenance::track_provenance;
+use cyclesql_sql::parse;
+use cyclesql_storage::{
+    execute, ColumnDef, DataType, Database, DatabaseSchema, TableSchema, Value,
+};
+
+fn main() {
+    // 1. Build the Figure-2 database: Aircraft and Flight.
+    let mut schema = DatabaseSchema::new("flight_1");
+    schema.add_table(TableSchema::new(
+        "aircraft",
+        vec![
+            ColumnDef::new("aid", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("distance", DataType::Int),
+        ],
+    ));
+    schema.add_table(TableSchema::new(
+        "flight",
+        vec![
+            ColumnDef::with_nl("flno", DataType::Int, "flight number"),
+            ColumnDef::new("aid", DataType::Int),
+            ColumnDef::new("origin", DataType::Text),
+            ColumnDef::new("destination", DataType::Text),
+        ],
+    ));
+    schema.add_foreign_key("flight", "aid", "aircraft", "aid");
+    let mut db = Database::new(schema);
+    for (aid, name, dist) in [
+        (1, "Boeing 747-400", 8430),
+        (2, "Boeing 737-800", 3383),
+        (3, "Airbus A340-300", 7120),
+    ] {
+        db.insert("aircraft", vec![Value::Int(aid), Value::from(name), Value::Int(dist)]);
+    }
+    for (flno, aid, origin, dest) in [
+        (2, 1, "Los Angeles", "Tokyo"),
+        (7, 3, "Los Angeles", "Sydney"),
+        (13, 3, "Los Angeles", "Chicago"),
+        (33, 2, "Boston", "Los Angeles"),
+    ] {
+        db.insert(
+            "flight",
+            vec![Value::Int(flno), Value::Int(aid), Value::from(origin), Value::from(dest)],
+        );
+    }
+
+    // 2. The NL question and the model's (incorrect) first attempt.
+    let question = "What are all flight numbers with aircraft Airbus A340-300?";
+    let wrong_sql = "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 \
+                     ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'";
+    let right_sql = "SELECT T1.flno FROM flight AS T1 JOIN aircraft AS T2 \
+                     ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'";
+
+    println!("NL question : {question}\n");
+
+    // 3. Execute + explain the wrong attempt.
+    let query = parse(wrong_sql).expect("parse");
+    let result = execute(&db, &query).expect("execute");
+    println!("wrong SQL   : {wrong_sql}");
+    println!("result      : {}", result.rows[0][0]);
+    let prov = track_provenance(&db, &query, &result, 0).expect("provenance");
+    println!("provenance  : {} source tuples", prov.table.len());
+    for row in &prov.table.rows {
+        println!(
+            "  {} -> {:?}",
+            row.tuple_id,
+            row.values.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+    let explanation = generate_explanation(&db, &query, &result, 0, &prov);
+    println!("explanation : {}\n", explanation.text);
+
+    // 4. The premise for the wrong attempt conveys a *count* while the
+    //    question asks for flight numbers — the loop advances to the
+    //    correct candidate.
+    let item = cyclesql_benchgen::BenchmarkItem {
+        id: "quickstart".into(),
+        db_name: "flight_1".into(),
+        question: question.into(),
+        base_question: question.into(),
+        gold_sql: right_sql.into(),
+        difficulty: cyclesql_sql::classify(&parse(right_sql).unwrap()),
+        split: cyclesql_benchgen::Split::Dev,
+        template: "quickstart",
+    };
+    let candidates = vec![
+        Candidate { sql: wrong_sql.into(), rank: 0, score: 1.0 },
+        Candidate { sql: right_sql.into(), rank: 1, score: 0.9 },
+    ];
+    // The oracle verifier demonstrates the loop mechanics without training.
+    let cycle = CycleSql::new(LoopVerifier::Oracle);
+    let outcome = cycle.run(&item, &db, &candidates);
+    println!(
+        "loop outcome: accepted={} after {} iteration(s)",
+        outcome.accepted, outcome.iterations
+    );
+    println!("chosen SQL  : {}", outcome.chosen_sql);
+    assert!(ex_correct(&db, &outcome.chosen_sql, right_sql));
+
+    // 5. Both feedback channels, side by side.
+    let (grounded, _) = candidate_premise(&db, wrong_sql, FeedbackKind::DataGrounded).unwrap();
+    let (sql2nl, _) = candidate_premise(&db, wrong_sql, FeedbackKind::Sql2Nl).unwrap();
+    println!("\ndata-grounded premise: {grounded}");
+    println!("sql2nl premise       : {sql2nl}");
+}

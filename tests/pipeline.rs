@@ -1,0 +1,143 @@
+//! Cross-crate pipeline invariants: for every gold query of the quick dev
+//! split, the full parse → execute → provenance → enrich → explain →
+//! featurize chain holds the properties DESIGN.md commits to.
+
+use cyclesql_core::experiments::ExperimentContext;
+use cyclesql_explain::{enrich, generate_explanation};
+use cyclesql_nli::{extract_features, FEATURE_DIM};
+use cyclesql_provenance::track_provenance;
+use cyclesql_sql::{decompose, parse, AggFunc, Expr, FuncArg, SelectItem};
+use cyclesql_storage::{execute, Value};
+
+#[test]
+fn full_pipeline_invariants_over_dev_split() {
+    let ctx = ExperimentContext::shared_quick();
+    let mut explained = 0usize;
+    for item in &ctx.spider.dev {
+        let db = ctx.spider.database(item);
+        let query = parse(&item.gold_sql).expect("gold parses");
+        let result = execute(db, &query).expect("gold executes");
+        let prov = track_provenance(db, &query, &result, 0).expect("provenance tracks");
+
+        // Rewrite soundness for un-grouped count(*) queries: the provenance
+        // cardinality equals the count value.
+        if let Some(SelectItem::Expr {
+            expr: Expr::Agg { func: AggFunc::Count, arg: FuncArg::Star, .. },
+            ..
+        }) = query.leading_select().projections.first()
+        {
+            if query.leading_select().group_by.is_empty()
+                && !query.body.has_set_op()
+                && !prov.empty_result
+            {
+                if let Some(Value::Int(n)) = result.rows.first().and_then(|r| r.first()).cloned()
+                {
+                    assert_eq!(
+                        prov.table.len() as i64,
+                        n,
+                        "{}: provenance must witness the count",
+                        item.id
+                    );
+                }
+            }
+        }
+
+        // Enrichment totality: every decomposed unit is anchored.
+        let enriched = enrich(&query, &prov.table);
+        assert_eq!(
+            enriched.annotations.len(),
+            decompose(&query).len(),
+            "{}: annotation dropped",
+            item.id
+        );
+
+        // Explanation groundedness: every value quoted by the explanation
+        // occurs in the provenance table, the result, or the query itself.
+        let explanation = generate_explanation(db, &query, &result, 0, &prov);
+        let mut pool: Vec<String> = Vec::new();
+        for row in &prov.table.rows {
+            pool.extend(row.values.iter().map(|v| v.to_string()));
+        }
+        for row in &result.rows {
+            pool.extend(row.iter().map(|v| v.to_string()));
+        }
+        pool.push(item.gold_sql.clone());
+        // Scalar-subquery comparisons ground their nested value by executing
+        // the subquery — include those values in the pool.
+        if let Some(w) = &query.leading_select().where_clause {
+            for sub in w.subqueries() {
+                if let Ok(r) = execute(db, sub) {
+                    for row in &r.rows {
+                        pool.extend(row.iter().map(|v| v.to_string()));
+                    }
+                }
+            }
+        }
+        for v in &explanation.grounded_values {
+            assert!(
+                pool.iter().any(|p| p == v || p.contains(v.as_str())),
+                "{}: ungrounded value {v:?} in explanation {:?}",
+                item.id,
+                explanation.text
+            );
+        }
+
+        // The summary follows the paper's template.
+        assert!(
+            explanation.summary.starts_with("The query returns a result set with"),
+            "{}: {}",
+            item.id,
+            explanation.summary
+        );
+
+        // Feature extraction is total and fixed-dimension.
+        let f = extract_features(&item.question, &explanation.text, &explanation.facets);
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+
+        explained += 1;
+    }
+    assert!(explained > 30, "dev split too small: {explained}");
+}
+
+#[test]
+fn premise_always_has_three_segments() {
+    let ctx = ExperimentContext::shared_quick();
+    for item in ctx.spider.dev.iter().take(25) {
+        let db = ctx.spider.database(item);
+        let query = parse(&item.gold_sql).unwrap();
+        let result = execute(db, &query).unwrap();
+        let prov = track_provenance(db, &query, &result, 0).unwrap();
+        let e = generate_explanation(db, &query, &result, 0, &prov);
+        let premise = e.premise(&item.gold_sql);
+        assert_eq!(premise.split(" | ").count(), 3, "{}", item.id);
+    }
+}
+
+#[test]
+fn provenance_rows_satisfy_simple_equality_filters() {
+    let ctx = ExperimentContext::shared_quick();
+    for item in &ctx.spider.dev {
+        // Only plain single-table equality filters are easy to re-check.
+        if item.template != "lookup_num" {
+            continue;
+        }
+        let db = ctx.spider.database(item);
+        let query = parse(&item.gold_sql).unwrap();
+        let result = execute(db, &query).unwrap();
+        let prov = track_provenance(db, &query, &result, 0).unwrap();
+        if prov.empty_result {
+            continue;
+        }
+        // Extract the filter value from the SQL text.
+        let value = item.gold_sql.split('\'').nth(1).expect("filter literal");
+        for row in &prov.table.rows {
+            assert!(
+                row.values.iter().any(|v| v.to_string() == value),
+                "{}: provenance row {:?} misses filter witness {value}",
+                item.id,
+                row.tuple_id
+            );
+        }
+    }
+}
