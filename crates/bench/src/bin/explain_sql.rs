@@ -16,8 +16,9 @@ use cyclesql_provenance::{diagnose_empty_result, track_provenance};
 use cyclesql_sql::parse;
 use cyclesql_storage::{execute, Database};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-fn load_databases() -> HashMap<String, Database> {
+fn load_databases() -> HashMap<String, Arc<Database>> {
     let mut dbs = HashMap::new();
     let spider = build_spider_suite(Variant::Spider, SuiteConfig::default());
     dbs.extend(spider.databases);

@@ -10,6 +10,11 @@
 //! With no experiment flags, everything runs. `--quick` uses the reduced
 //! suite configuration (fast sanity pass); the default is the full-size
 //! suites. `--json <dir>` additionally writes each result as JSON.
+//!
+//! Every run also writes `BENCH_eval.json` in the working directory with
+//! the per-experiment wall-clock breakdown (context/suite build, each
+//! experiment, total), so evaluation-harness speedups are recorded
+//! alongside the results.
 
 use cyclesql_core::experiments::{
     ext_ablation, ext_arch, ext_human, fig1, fig10, fig8, fig9, table1, table2, table3, table4,
@@ -85,8 +90,11 @@ fn main() {
         "building benchmark suites and training the verifier ({})...",
         if quick { "quick" } else { "full" }
     );
+    let run_start = Instant::now();
     let t0 = Instant::now();
     let ctx = if quick { ExperimentContext::quick() } else { ExperimentContext::full() };
+    let context_build_s = t0.elapsed().as_secs_f64();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     eprintln!(
         "context ready in {:.1}s: dev={} items, train={} items, verifier trained on +{}/-{} examples\n",
         t0.elapsed().as_secs_f64(),
@@ -129,76 +137,126 @@ fn main() {
         let r = fig1::run(&ctx);
         println!("{}", r.render());
         emit_json!("fig1", &r);
-        eprintln!("[fig1 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("fig1".into(), secs));
+        eprintln!("[fig1 done in {secs:.1}s]\n");
     }
     if want("table1") {
         let t = Instant::now();
         let r = table1::run(&ctx, &models);
         println!("{}", r.render());
         emit_json!("table1", &r);
-        eprintln!("[table1 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("table1".into(), secs));
+        eprintln!("[table1 done in {secs:.1}s]\n");
     }
     if want("table2") {
         let t = Instant::now();
         let r = table2::run(&ctx, &models);
         println!("{}", r.render());
         emit_json!("table2", &r);
-        eprintln!("[table2 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("table2".into(), secs));
+        eprintln!("[table2 done in {secs:.1}s]\n");
     }
     if want("fig8") {
         let t = Instant::now();
         let r = fig8::run(&ctx, &models);
         println!("{}", r.render());
         emit_json!("fig8", &r);
-        eprintln!("[fig8 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("fig8".into(), secs));
+        eprintln!("[fig8 done in {secs:.1}s]\n");
     }
     if want("fig9") {
         let t = Instant::now();
         let r = fig9::run(&ctx);
         println!("{}", r.render());
         emit_json!("fig9", &r);
-        eprintln!("[fig9 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("fig9".into(), secs));
+        eprintln!("[fig9 done in {secs:.1}s]\n");
     }
     if want("table3") {
         let t = Instant::now();
         let r = table3::run(&ctx);
         println!("{}", r.render());
         emit_json!("table3", &r);
-        eprintln!("[table3 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("table3".into(), secs));
+        eprintln!("[table3 done in {secs:.1}s]\n");
     }
     if want("table4") {
         let t = Instant::now();
         let r = table4::run(&ctx);
         println!("{}", r.render());
         emit_json!("table4", &r);
-        eprintln!("[table4 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("table4".into(), secs));
+        eprintln!("[table4 done in {secs:.1}s]\n");
     }
     if want("fig10") {
         let t = Instant::now();
         let r = fig10::run(&ctx);
         println!("{}", r.render());
         emit_json!("fig10", &r);
-        eprintln!("[fig10 done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("fig10".into(), secs));
+        eprintln!("[fig10 done in {secs:.1}s]\n");
     }
     if want("ext-human") {
         let t = Instant::now();
         let r = ext_human::run(&ctx);
         println!("{}", r.render());
         emit_json!("ext_human", &r);
-        eprintln!("[ext-human done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("ext-human".into(), secs));
+        eprintln!("[ext-human done in {secs:.1}s]\n");
     }
     if want("ext-ablation") {
         let t = Instant::now();
         let r = ext_ablation::run(&ctx);
         println!("{}", r.render());
         emit_json!("ext_ablation", &r);
-        eprintln!("[ext-ablation done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("ext-ablation".into(), secs));
+        eprintln!("[ext-ablation done in {secs:.1}s]\n");
     }
     if want("ext-arch") {
         let t = Instant::now();
         let r = ext_arch::run(&ctx);
         println!("{}", r.render());
         emit_json!("ext_arch", &r);
-        eprintln!("[ext-arch done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        timings.push(("ext-arch".into(), secs));
+        eprintln!("[ext-arch done in {secs:.1}s]\n");
+    }
+
+    write_bench_eval(quick, context_build_s, &timings, run_start.elapsed().as_secs_f64());
+}
+
+/// Writes `BENCH_eval.json` with the run's wall-clock breakdown.
+fn write_bench_eval(quick: bool, context_build_s: f64, timings: &[(String, f64)], total_s: f64) {
+    use serde_json::json;
+    let experiments: serde_json::Map<String, serde_json::Value> = timings
+        .iter()
+        .map(|(name, secs)| (name.clone(), json!(secs)))
+        .collect();
+    let report = json!({
+        "quick": quick,
+        "context_build_s": context_build_s,
+        "experiments": experiments,
+        "total_s": total_s,
+    });
+    let path = "BENCH_eval.json";
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("failed writing {path}: {e}");
+            } else {
+                eprintln!("wall-clock breakdown written to {path}");
+            }
+        }
+        Err(e) => eprintln!("failed serializing {path}: {e}"),
     }
 }

@@ -9,6 +9,7 @@ use cyclesql_storage::Database;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which split an item belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,8 +49,9 @@ pub struct BenchmarkItem {
 pub struct BenchmarkSuite {
     /// The variant this suite realizes.
     pub variant: Variant,
-    /// Databases by name.
-    pub databases: HashMap<String, Database>,
+    /// Databases by name, behind shared handles so evaluation sessions and
+    /// worker threads can hold a database without cloning its data.
+    pub databases: HashMap<String, Arc<Database>>,
     /// Training items.
     pub train: Vec<BenchmarkItem>,
     /// Dev (validation) items.
@@ -68,6 +70,19 @@ impl BenchmarkSuite {
     pub fn database(&self, item: &BenchmarkItem) -> &Database {
         self.databases
             .get(&item.db_name)
+            .map(|db| db.as_ref())
+            .unwrap_or_else(|| panic!("no database {} in suite", item.db_name))
+    }
+
+    /// A shared handle to the database an item runs against.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BenchmarkSuite::database`].
+    pub fn database_arc(&self, item: &BenchmarkItem) -> Arc<Database> {
+        self.databases
+            .get(&item.db_name)
+            .cloned()
             .unwrap_or_else(|| panic!("no database {} in suite", item.db_name))
     }
 
@@ -148,7 +163,7 @@ pub fn build_spider_suite(variant: Variant, config: SuiteConfig) -> BenchmarkSui
                 template: it.template,
             });
         }
-        suite.databases.insert(d.def.db_name.to_string(), db);
+        suite.databases.insert(d.def.db_name.to_string(), Arc::new(db));
     }
     // Dev and test: same eval domains, different item seeds (mirrors SPIDER
     // where dev and test share no queries).
@@ -173,7 +188,7 @@ pub fn build_spider_suite(variant: Variant, config: SuiteConfig) -> BenchmarkSui
                     template: it.template,
                 });
             }
-            suite.databases.entry(d.def.db_name.to_string()).or_insert(db);
+            suite.databases.entry(d.def.db_name.to_string()).or_insert_with(|| Arc::new(db));
         }
     }
     suite
@@ -205,7 +220,7 @@ pub fn build_science_suite(config: SuiteConfig) -> BenchmarkSuite {
                 template: it.template,
             });
         }
-        suite.databases.insert(d.def.db_name.to_string(), db);
+        suite.databases.insert(d.def.db_name.to_string(), Arc::new(db));
     }
     suite
 }

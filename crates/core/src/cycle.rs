@@ -4,14 +4,15 @@
 
 use cyclesql_benchgen::BenchmarkItem;
 use cyclesql_explain::{generate_explanation, sql_to_nl, Explanation, ExplanationFacets};
-use cyclesql_models::Candidate;
+use cyclesql_models::{Candidate, PreparedCandidate};
 use cyclesql_nli::{
     AlwaysAcceptVerifier, LlmStrawmanVerifier, PrebuiltNliVerifier, TrainedVerifier, Verifier,
     VerifyInput,
 };
 use cyclesql_provenance::{track_provenance, Provenance, ProvenanceTable};
-use cyclesql_sql::parse;
-use cyclesql_storage::{execute, Database};
+use cyclesql_sql::{parse, Query};
+use cyclesql_storage::{execute, Database, ResultSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which feedback channel the loop uses (Figure 9's comparison).
@@ -78,6 +79,13 @@ pub struct LoopOutcome {
     pub explanation: Option<Explanation>,
     /// Wall-clock overhead of the loop itself (excluding model inference).
     pub overhead: Duration,
+    /// The chosen candidate's parsed query, when it parsed — consumers can
+    /// compute EM without re-parsing `chosen_sql`.
+    pub chosen_ast: Option<Arc<Query>>,
+    /// The chosen candidate's result on the loop's database, when it was
+    /// executed during the loop — consumers can compute EX without
+    /// re-executing `chosen_sql`.
+    pub chosen_result: Option<Arc<ResultSet>>,
 }
 
 impl CycleSql {
@@ -86,7 +94,11 @@ impl CycleSql {
         CycleSql { verifier, feedback: FeedbackKind::DataGrounded }
     }
 
-    /// Runs the feedback loop over ranked candidates.
+    /// Runs the feedback loop over ranked string candidates.
+    ///
+    /// Thin wrapper over [`CycleSql::run_prepared`]: parses each candidate
+    /// once and — for the oracle verifier only — executes the gold once,
+    /// instead of per candidate.
     ///
     /// `item` supplies the NL question (hypothesis); the gold SQL on the
     /// item is used **only** by the oracle verifier (the paper's headroom
@@ -97,30 +109,68 @@ impl CycleSql {
         db: &Database,
         candidates: &[Candidate],
     ) -> LoopOutcome {
+        let prepared: Vec<PreparedCandidate> = candidates
+            .iter()
+            .map(|c| PreparedCandidate {
+                sql: c.sql.clone(),
+                ast: parse(&c.sql).ok().map(Arc::new),
+                rank: c.rank,
+                score: c.score,
+            })
+            .collect();
+        let gold_result = match &self.verifier {
+            LoopVerifier::Oracle => {
+                parse(&item.gold_sql).ok().and_then(|q| execute(db, &q).ok())
+            }
+            _ => None,
+        };
+        self.run_prepared(item, db, &prepared, gold_result.as_ref())
+    }
+
+    /// Runs the feedback loop over prepared candidates.
+    ///
+    /// `gold_result` is the gold query's (cached) result on `db`; it is
+    /// consulted **only** by the oracle verifier, whose verdict is
+    /// "entails iff the candidate's result bag-equals the gold's" — the
+    /// same decision [`crate::metrics::ex_correct`] makes, minus all the
+    /// redundant parsing and gold re-execution.
+    pub fn run_prepared(
+        &self,
+        item: &BenchmarkItem,
+        db: &Database,
+        candidates: &[PreparedCandidate],
+        gold_result: Option<&ResultSet>,
+    ) -> LoopOutcome {
         let start = Instant::now();
-        let mut chosen: Option<(String, Option<Explanation>, usize)> = None;
+        let mut chosen: Option<ChosenCandidate> = None;
         let mut first_explained: Option<Explanation> = None;
+        // The top-1 candidate's artifacts, kept for the fallback outcome.
+        let mut top1_result: Option<Arc<ResultSet>> = None;
 
         for (i, cand) in candidates.iter().enumerate() {
             let iteration = i + 1;
-            let Ok(query) = parse(&cand.sql) else { continue };
-            let Ok(result) = execute(db, &query) else { continue };
+            let Some(query) = cand.ast.as_ref() else { continue };
+            let Ok(result) = execute(db, query) else { continue };
+            let result = Arc::new(result);
+            if i == 0 {
+                top1_result = Some(Arc::clone(&result));
+            }
 
             let verdict_entails = match &self.verifier {
                 LoopVerifier::Oracle => {
                     // Headroom estimate: entailment iff execution-correct.
-                    crate::metrics::ex_correct(db, &cand.sql, &item.gold_sql)
+                    gold_result.is_some_and(|g| result.bag_eq(g))
                 }
                 other => {
                     let (premise_text, facets, explanation) = match self.feedback {
                         FeedbackKind::DataGrounded => {
-                            let prov = track_provenance(db, &query, &result, 0)
+                            let prov = track_provenance(db, query, &result, 0)
                                 .unwrap_or_else(|_| empty_provenance());
-                            let e = generate_explanation(db, &query, &result, 0, &prov);
+                            let e = generate_explanation(db, query, &result, 0, &prov);
                             (e.text.clone(), e.facets.clone(), Some(e))
                         }
                         FeedbackKind::Sql2Nl => {
-                            let s = sql_to_nl(db, &query);
+                            let s = sql_to_nl(db, query);
                             (s.text.clone(), s.facets.clone(), None)
                         }
                     };
@@ -142,14 +192,26 @@ impl CycleSql {
                         LoopVerifier::Oracle => unreachable!(),
                     };
                     if entails {
-                        chosen = Some((cand.sql.clone(), explanation, iteration));
+                        chosen = Some(ChosenCandidate {
+                            sql: cand.sql.clone(),
+                            ast: Some(Arc::clone(query)),
+                            result: Some(Arc::clone(&result)),
+                            explanation,
+                            iterations: iteration,
+                        });
                     }
                     entails
                 }
             };
             if verdict_entails {
                 if chosen.is_none() {
-                    chosen = Some((cand.sql.clone(), None, iteration));
+                    chosen = Some(ChosenCandidate {
+                        sql: cand.sql.clone(),
+                        ast: Some(Arc::clone(query)),
+                        result: Some(result),
+                        explanation: None,
+                        iterations: iteration,
+                    });
                 }
                 break;
             }
@@ -157,12 +219,14 @@ impl CycleSql {
 
         let overhead = start.elapsed();
         match chosen {
-            Some((sql, explanation, iterations)) => LoopOutcome {
-                chosen_sql: sql,
-                iterations,
+            Some(c) => LoopOutcome {
+                chosen_sql: c.sql,
+                iterations: c.iterations,
                 accepted: true,
-                explanation,
+                explanation: c.explanation,
                 overhead,
+                chosen_ast: c.ast,
+                chosen_result: c.result,
             },
             None => LoopOutcome {
                 // Nothing validated: fall back to the top-1 candidate.
@@ -171,9 +235,20 @@ impl CycleSql {
                 accepted: false,
                 explanation: first_explained,
                 overhead,
+                chosen_ast: candidates.first().and_then(|c| c.ast.clone()),
+                chosen_result: top1_result,
             },
         }
     }
+}
+
+/// The accepted candidate's artifacts, accumulated during the loop.
+struct ChosenCandidate {
+    sql: String,
+    ast: Option<Arc<Query>>,
+    result: Option<Arc<ResultSet>>,
+    explanation: Option<Explanation>,
+    iterations: usize,
 }
 
 /// Builds the premise (text + facets) for a candidate without running the
@@ -184,16 +259,33 @@ pub fn candidate_premise(
     feedback: FeedbackKind,
 ) -> Option<(String, ExplanationFacets)> {
     let query = parse(sql).ok()?;
+    let result = match feedback {
+        FeedbackKind::DataGrounded => Some(execute(db, &query).ok()?),
+        FeedbackKind::Sql2Nl => None,
+    };
+    premise_from_parts(db, &query, result.as_ref(), feedback)
+}
+
+/// Builds the premise from already-parsed / already-executed artifacts.
+///
+/// `result` is the query's result on `db`; the data-grounded channel
+/// requires it (returns `None` without it), the SQL2NL channel ignores it.
+pub fn premise_from_parts(
+    db: &Database,
+    query: &Query,
+    result: Option<&ResultSet>,
+    feedback: FeedbackKind,
+) -> Option<(String, ExplanationFacets)> {
     match feedback {
         FeedbackKind::DataGrounded => {
-            let result = execute(db, &query).ok()?;
-            let prov = track_provenance(db, &query, &result, 0)
+            let result = result?;
+            let prov = track_provenance(db, query, result, 0)
                 .unwrap_or_else(|_| empty_provenance());
-            let e = generate_explanation(db, &query, &result, 0, &prov);
+            let e = generate_explanation(db, query, result, 0, &prov);
             Some((e.text, e.facets))
         }
         FeedbackKind::Sql2Nl => {
-            let s = sql_to_nl(db, &query);
+            let s = sql_to_nl(db, query);
             Some((s.text, s.facets))
         }
     }

@@ -1,27 +1,31 @@
 //! Shared experiment setup: all five benchmark suites and the frozen
 //! verifier trained once on the SPIDER-like training split (the paper's
 //! fire/ice protocol — train on SPIDER, freeze for the variants).
+//!
+//! Each suite is wrapped in an [`EvalSession`] at construction, so gold
+//! parses and gold executions (dev database and TS variants) are shared by
+//! every experiment driver that reads the context — across all models and
+//! modes, each happens exactly once per `(benchmark, item)`.
 
 use crate::cycle::{CycleSql, FeedbackKind, LoopVerifier};
+use crate::session::EvalSession;
 use crate::training::{train_verifier, CollectConfig, CollectStats};
-use cyclesql_benchgen::{
-    build_science_suite, build_spider_suite, BenchmarkSuite, SuiteConfig, Variant,
-};
+use cyclesql_benchgen::{build_science_suite, build_spider_suite, SuiteConfig, Variant};
 use cyclesql_models::{ModelProfile, SimulatedModel};
 use cyclesql_nli::{TrainConfig, TrainedVerifier};
 
-/// All suites plus the frozen verifier.
+/// All prepared suites plus the frozen verifier.
 pub struct ExperimentContext {
     /// The base SPIDER-like suite (with train/dev/test splits).
-    pub spider: BenchmarkSuite,
+    pub spider: EvalSession,
     /// SPIDER-REALISTIC-like.
-    pub realistic: BenchmarkSuite,
+    pub realistic: EvalSession,
     /// SPIDER-SYN-like.
-    pub syn: BenchmarkSuite,
+    pub syn: EvalSession,
     /// SPIDER-DK-like.
-    pub dk: BenchmarkSuite,
+    pub dk: EvalSession,
     /// SCIENCEBENCHMARK-like.
-    pub science: BenchmarkSuite,
+    pub science: EvalSession,
     /// The verifier trained on the SPIDER train split (frozen elsewhere).
     pub verifier: TrainedVerifier,
     /// Training-collection statistics.
@@ -31,11 +35,11 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Builds the context with the given suite size configuration.
     pub fn with_config(config: SuiteConfig) -> Self {
-        let spider = build_spider_suite(Variant::Spider, config);
-        let realistic = build_spider_suite(Variant::Realistic, config);
-        let syn = build_spider_suite(Variant::Syn, config);
-        let dk = build_spider_suite(Variant::Dk, config);
-        let science = build_science_suite(config);
+        let spider = EvalSession::new(build_spider_suite(Variant::Spider, config));
+        let realistic = EvalSession::new(build_spider_suite(Variant::Realistic, config));
+        let syn = EvalSession::new(build_spider_suite(Variant::Syn, config));
+        let dk = EvalSession::new(build_spider_suite(Variant::Dk, config));
+        let science = EvalSession::new(build_science_suite(config));
         // Error sources for negatives: a spread of model families, as in the
         // paper's "collected from various translation models".
         let error_sources = vec![
@@ -79,8 +83,8 @@ impl ExperimentContext {
         CycleSql { verifier: LoopVerifier::Trained(verifier), feedback }
     }
 
-    /// The SPIDER-family suites with their display labels, Table I order.
-    pub fn spider_family(&self) -> [(&'static str, &BenchmarkSuite); 4] {
+    /// The SPIDER-family sessions with their display labels, Table I order.
+    pub fn spider_family(&self) -> [(&'static str, &EvalSession); 4] {
         [
             ("SPIDER", &self.spider),
             ("REALISTIC", &self.realistic),

@@ -9,7 +9,7 @@
 
 use super::ExperimentContext;
 use crate::cycle::{CycleSql, FeedbackKind, LoopVerifier};
-use crate::eval::{evaluate, EvalMode, EvalOptions};
+use crate::eval::{evaluate, EvalMode, EvalOptions, Parallelism};
 use crate::training::{collect_training_data, CollectConfig};
 use cyclesql_benchgen::Split;
 use cyclesql_models::{ModelProfile, SimulatedModel};
@@ -59,12 +59,13 @@ pub fn run(ctx: &ExperimentContext) -> ExtAblationResult {
         evaluate(
             &model,
             &EvalOptions {
-                suite: &ctx.spider,
+                session: &ctx.spider,
                 split: Split::Dev,
                 mode: if cycle.is_some() { EvalMode::CycleSql } else { EvalMode::Base },
                 cycle,
                 k: None,
                 compute_ts: false,
+                parallelism: Parallelism::Auto,
             },
         )
         .ex

@@ -5,11 +5,11 @@
 
 use super::ExperimentContext;
 use crate::cycle::{CycleSql, LoopVerifier};
-use crate::eval::{evaluate, EvalMode, EvalOptions};
+use crate::eval::{evaluate, EvalMode, EvalOptions, Parallelism};
 use crate::human::{InteractiveCycleSql, SimulatedHuman};
-use crate::metrics::ex_correct;
 use cyclesql_benchgen::Split;
-use cyclesql_models::{ModelProfile, SimulatedModel, TranslationRequest};
+use cyclesql_models::{Candidate, ModelProfile, SimulatedModel, TranslationRequest};
+use cyclesql_storage::execute;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -43,23 +43,25 @@ pub fn run(ctx: &ExperimentContext) -> ExtHumanResult {
     let autonomous = evaluate(
         &model,
         &EvalOptions {
-            suite: &ctx.spider,
+            session: &ctx.spider,
             split: Split::Dev,
             mode: EvalMode::CycleSql,
             cycle: Some(&ctx.cycle()),
             k: None,
             compute_ts: false,
+            parallelism: Parallelism::Auto,
         },
     );
     let oracle = evaluate(
         &model,
         &EvalOptions {
-            suite: &ctx.spider,
+            session: &ctx.spider,
             split: Split::Dev,
             mode: EvalMode::CycleSql,
             cycle: Some(&CycleSql::new(LoopVerifier::Oracle)),
             k: None,
             compute_ts: false,
+            parallelism: Parallelism::Auto,
         },
     );
 
@@ -74,13 +76,29 @@ pub fn run(ctx: &ExperimentContext) -> ExtHumanResult {
             };
             let mut correct = 0usize;
             let mut escalations = 0usize;
-            for item in &ctx.spider.dev {
+            for (idx, item) in ctx.spider.dev.iter().enumerate() {
+                let prep = ctx.spider.prepared_item(Split::Dev, idx);
                 let db = ctx.spider.database(item);
                 let req =
                     TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
-                let candidates = model.translate(&req);
+                let prepared = model.translate_prepared(&req, prep.as_prepared_gold().as_ref());
+                let candidates: Vec<Candidate> = prepared
+                    .iter()
+                    .map(|c| Candidate { sql: c.sql.clone(), rank: c.rank, score: c.score })
+                    .collect();
                 let out = interactive.run(item, db, &candidates);
-                correct += ex_correct(db, &out.chosen_sql, &item.gold_sql) as usize;
+                // EX against the session's cached gold result: the chosen
+                // candidate's prepared AST is executed once.
+                let chosen_result = prepared
+                    .iter()
+                    .find(|c| c.sql == out.chosen_sql)
+                    .and_then(|c| c.ast.as_deref())
+                    .and_then(|q| execute(db, q).ok());
+                let ok = match (prep.gold_result.as_deref(), chosen_result.as_ref()) {
+                    (Some(g), Some(p)) => p.bag_eq(g),
+                    _ => false,
+                };
+                correct += ok as usize;
                 escalations += out.escalations;
             }
             let n = ctx.spider.dev.len().max(1);

@@ -9,10 +9,9 @@
 
 use super::table4;
 use super::ExperimentContext;
+use cyclesql_benchgen::Split;
 use cyclesql_explain::{panel_rating, sql_to_nl, QualityScore, RatingBucket};
 use cyclesql_provenance::track_provenance;
-use cyclesql_sql::parse;
-use cyclesql_storage::execute;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -66,24 +65,28 @@ pub fn run(ctx: &ExperimentContext) -> Fig10Result {
     let mut rows = Vec::new();
     let mut prefer = 0usize;
     for (qi, case) in cases.entries.iter().enumerate() {
-        let Some(item) = ctx
+        let Some((idx, item)) = ctx
             .spider
             .dev
             .iter()
-            .find(|i| i.gold_sql == case.sql && i.db_name == "world_1")
+            .enumerate()
+            .find(|(_, i)| i.gold_sql == case.sql && i.db_name == "world_1")
         else {
             continue;
         };
         let db = ctx.spider.database(item);
-        let query = parse(&case.sql).expect("case SQL parses");
-        let result = execute(db, &query).expect("case SQL executes");
-        let prov = track_provenance(db, &query, &result, 0).expect("provenance");
-        let grounded = cyclesql_explain::generate_explanation(db, &query, &result, 0, &prov);
-        let baseline = sql_to_nl(db, &query);
+        // The case SQL is the item's gold, so the session already holds its
+        // parsed AST and executed result.
+        let prep = ctx.spider.prepared_item(Split::Dev, idx);
+        let query = prep.gold_ast.as_deref().expect("case SQL parses");
+        let result = prep.gold_result.as_deref().expect("case SQL executes");
+        let prov = track_provenance(db, query, result, 0).expect("provenance");
+        let grounded = cyclesql_explain::generate_explanation(db, query, result, 0, &prov);
+        let baseline = sql_to_nl(db, query);
 
         let seed = 0xF16_u64 + qi as u64;
         let cyclesql_score = panel_rating(
-            &query,
+            query,
             &case.polished,
             &grounded.facets,
             true,
@@ -91,7 +94,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig10Result {
             seed,
         );
         let sql2nl_score =
-            panel_rating(&query, &baseline.text, &baseline.facets, false, PARTICIPANTS, seed);
+            panel_rating(query, &baseline.text, &baseline.facets, false, PARTICIPANTS, seed);
 
         // Per-participant preference: jittered overall comparison.
         for p in 0..PARTICIPANTS {

@@ -2,7 +2,7 @@
 //! (b) inference latency with and without CycleSQL.
 
 use super::ExperimentContext;
-use crate::eval::{evaluate, EvalMode, EvalOptions};
+use crate::eval::{evaluate, EvalMode, EvalOptions, Parallelism};
 use cyclesql_benchgen::Split;
 use cyclesql_models::SimulatedModel;
 use serde::Serialize;
@@ -40,23 +40,25 @@ pub fn run(ctx: &ExperimentContext, models: &[SimulatedModel]) -> Fig8Result {
             let base = evaluate(
                 model,
                 &EvalOptions {
-                    suite: &ctx.spider,
+                    session: &ctx.spider,
                     split: Split::Dev,
                     mode: EvalMode::Base,
                     cycle: None,
                     k: None,
                     compute_ts: false,
+                    parallelism: Parallelism::Auto,
                 },
             );
             let with = evaluate(
                 model,
                 &EvalOptions {
-                    suite: &ctx.spider,
+                    session: &ctx.spider,
                     split: Split::Dev,
                     mode: EvalMode::CycleSql,
                     cycle: Some(&cycle),
                     k: None,
                     compute_ts: false,
+                    parallelism: Parallelism::Auto,
                 },
             );
             Fig8Row {

@@ -5,7 +5,7 @@
 
 use super::ExperimentContext;
 use crate::cycle::FeedbackKind;
-use crate::eval::{evaluate, EvalMode, EvalOptions};
+use crate::eval::{evaluate, EvalMode, EvalOptions, Parallelism};
 use crate::training::{collect_training_data, CollectConfig};
 use cyclesql_benchgen::Split;
 use cyclesql_models::{ModelProfile, SimulatedModel};
@@ -64,17 +64,18 @@ pub fn run(ctx: &ExperimentContext) -> Fig9Result {
     ];
     let mut rows = Vec::new();
     for model in &models {
-        for (label, suite) in ctx.spider_family() {
+        for (label, session) in ctx.spider_family() {
             let eval_with = |mode: EvalMode, cycle| {
                 evaluate(
                     model,
                     &EvalOptions {
-                        suite,
+                        session,
                         split: Split::Dev,
                         mode,
                         cycle,
                         k: None,
                         compute_ts: false,
+                        parallelism: Parallelism::Auto,
                     },
                 )
             };

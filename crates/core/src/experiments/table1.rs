@@ -3,8 +3,11 @@
 //! the science benchmark.
 
 use super::ExperimentContext;
-use crate::eval::{evaluate, evaluate_pair, evaluate_science_em, EvalMode, EvalOptions, EvalResult};
-use cyclesql_benchgen::{BenchmarkSuite, Split};
+use crate::eval::{
+    evaluate, evaluate_pair, evaluate_science_em, EvalMode, EvalOptions, EvalResult, Parallelism,
+};
+use crate::session::EvalSession;
+use cyclesql_benchgen::Split;
 use cyclesql_models::SimulatedModel;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -55,8 +58,8 @@ pub fn run(ctx: &ExperimentContext, models: &[SimulatedModel]) -> Table1Result {
     let rows = models
         .iter()
         .map(|model| {
-            let pair = |suite: &BenchmarkSuite, split: Split, ts: bool| {
-                let (base, with) = evaluate_pair(model, suite, split, &cycle, ts);
+            let pair = |session: &EvalSession, split: Split, ts: bool| {
+                let (base, with) = evaluate_pair(model, session, split, &cycle, ts);
                 PairedResult { base, cycle: with }
             };
             let spider_dev = pair(&ctx.spider, Split::Dev, true);
@@ -98,23 +101,25 @@ pub fn run_dev_only(ctx: &ExperimentContext, models: &[SimulatedModel]) -> Vec<(
             let base = evaluate(
                 model,
                 &EvalOptions {
-                    suite: &ctx.spider,
+                    session: &ctx.spider,
                     split: Split::Dev,
                     mode: EvalMode::Base,
                     cycle: None,
                     k: None,
                     compute_ts: false,
+                    parallelism: Parallelism::Auto,
                 },
             );
             let with = evaluate(
                 model,
                 &EvalOptions {
-                    suite: &ctx.spider,
+                    session: &ctx.spider,
                     split: Split::Dev,
                     mode: EvalMode::CycleSql,
                     cycle: Some(&cycle),
                     k: None,
                     compute_ts: false,
+                    parallelism: Parallelism::Auto,
                 },
             );
             (model.profile.name.to_string(), PairedResult { base, cycle: with })

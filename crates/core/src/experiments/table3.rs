@@ -4,7 +4,7 @@
 
 use super::ExperimentContext;
 use crate::cycle::{CycleSql, LoopVerifier};
-use crate::eval::{evaluate, EvalMode, EvalOptions, EvalResult};
+use crate::eval::{evaluate, EvalMode, EvalOptions, EvalResult, Parallelism};
 use cyclesql_benchgen::Split;
 use cyclesql_models::{ModelProfile, SimulatedModel};
 use cyclesql_nli::{AlwaysAcceptVerifier, LlmStrawmanVerifier, PrebuiltNliVerifier};
@@ -38,24 +38,26 @@ pub fn run(ctx: &ExperimentContext) -> Table3Result {
         evaluate(
             &model,
             &EvalOptions {
-                suite: &ctx.spider,
+                session: &ctx.spider,
                 split: Split::Dev,
                 mode: EvalMode::CycleSql,
                 cycle: Some(cycle),
                 k: None,
                 compute_ts: true,
+                parallelism: Parallelism::Auto,
             },
         )
     };
     let base = evaluate(
         &model,
         &EvalOptions {
-            suite: &ctx.spider,
+            session: &ctx.spider,
             split: Split::Dev,
             mode: EvalMode::Base,
             cycle: None,
             k: None,
             compute_ts: true,
+            parallelism: Parallelism::Auto,
         },
     );
     let _ = AlwaysAcceptVerifier; // base ≡ always-accept; kept for clarity

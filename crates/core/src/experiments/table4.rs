@@ -3,11 +3,9 @@
 //! and the CycleSQL-generated (and polished) NL explanation.
 
 use super::ExperimentContext;
-use cyclesql_benchgen::BenchmarkItem;
+use cyclesql_benchgen::{BenchmarkItem, Split};
 use cyclesql_explain::{generate_explanation, polish};
 use cyclesql_provenance::track_provenance;
-use cyclesql_sql::parse;
-use cyclesql_storage::execute;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -50,15 +48,16 @@ const CASE_TEMPLATES: [(&str, &str); 5] = [
 pub fn run(ctx: &ExperimentContext) -> Table4Result {
     let mut entries = Vec::new();
     for (label, template) in CASE_TEMPLATES {
-        let Some(item) = ctx
+        let Some((idx, item)) = ctx
             .spider
             .dev
             .iter()
-            .find(|i| i.db_name == "world_1" && i.template == template)
+            .enumerate()
+            .find(|(_, i)| i.db_name == "world_1" && i.template == template)
         else {
             continue;
         };
-        if let Some(entry) = explain_item(ctx, item, label) {
+        if let Some(entry) = explain_item(ctx, idx, item, label) {
             entries.push(entry);
         }
     }
@@ -67,14 +66,17 @@ pub fn run(ctx: &ExperimentContext) -> Table4Result {
 
 fn explain_item(
     ctx: &ExperimentContext,
+    idx: usize,
     item: &BenchmarkItem,
     label: &str,
 ) -> Option<CaseStudyEntry> {
     let db = ctx.spider.database(item);
-    let query = parse(&item.gold_sql).ok()?;
-    let result = execute(db, &query).ok()?;
-    let prov = track_provenance(db, &query, &result, 0).ok()?;
-    let explanation = generate_explanation(db, &query, &result, 0, &prov);
+    // The gold AST and result come out of the session's prepared artifacts.
+    let prep = ctx.spider.prepared_item(Split::Dev, idx);
+    let query = prep.gold_ast.as_deref()?;
+    let result = prep.gold_result.as_deref()?;
+    let prov = track_provenance(db, query, result, 0).ok()?;
+    let explanation = generate_explanation(db, query, result, 0, &prov);
     let result_render = match result.rows.first() {
         Some(row) => {
             let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();

@@ -34,13 +34,17 @@ pub mod eval;
 pub mod experiments;
 pub mod human;
 pub mod metrics;
+pub mod session;
 pub mod training;
 
-pub use cycle::{candidate_premise, CycleSql, FeedbackKind, LoopOutcome, LoopVerifier};
+pub use cycle::{
+    candidate_premise, premise_from_parts, CycleSql, FeedbackKind, LoopOutcome, LoopVerifier,
+};
 pub use eval::{
     any_beam_accuracy, evaluate, evaluate_pair, evaluate_science_em, trained_loop, EvalMode,
-    EvalOptions, EvalResult,
+    EvalOptions, EvalResult, Parallelism,
 };
+pub use session::{EvalSession, PreparedItem};
 pub use human::{
     HumanJudge, InteractiveCycleSql, InteractiveOutcome, SimulatedHuman,
 };

@@ -7,12 +7,18 @@
 //! (bag semantics) are explained and labeled "contradiction". The resulting
 //! label distribution is heavily imbalanced toward negatives — which is why
 //! the trainer uses focal loss.
+//!
+//! Collection consumes a prepared [`EvalSession`]: the gold parse and gold
+//! execution per item come from the session's caches, and each mined
+//! candidate is parsed and executed exactly once (shared between the
+//! error check and the premise build).
 
-use crate::cycle::{candidate_premise, FeedbackKind};
-use crate::metrics::ex_correct;
-use cyclesql_benchgen::BenchmarkSuite;
+use crate::cycle::{premise_from_parts, FeedbackKind};
+use crate::session::EvalSession;
+use cyclesql_benchgen::Split;
 use cyclesql_models::{SimulatedModel, TranslationRequest};
 use cyclesql_nli::{extract_features, NliModel, TrainConfig, TrainedVerifier, TrainingExample};
+use cyclesql_storage::execute;
 
 /// Configuration for training-set collection.
 #[derive(Debug, Clone, Copy)]
@@ -43,16 +49,19 @@ pub struct CollectStats {
 /// Collects verifier training data from a suite's training split using the
 /// given models as error sources.
 pub fn collect_training_data(
-    suite: &BenchmarkSuite,
+    session: &EvalSession,
     models: &[SimulatedModel],
     config: CollectConfig,
 ) -> (Vec<TrainingExample>, CollectStats) {
     let mut examples = Vec::new();
     let mut stats = CollectStats::default();
-    for item in &suite.train {
-        let db = suite.database(item);
+    for (idx, item) in session.suite().train.iter().enumerate() {
+        let prep = session.prepared_item(Split::Train, idx);
+        let db = session.database(item);
         // Positive: the gold translation's explanation entails the question.
-        if let Some((text, facets)) = candidate_premise(db, &item.gold_sql, config.feedback) {
+        if let Some((text, facets)) = prep.gold_ast.as_deref().and_then(|gold| {
+            premise_from_parts(db, gold, prep.gold_result.as_deref(), config.feedback)
+        }) {
             examples.push(TrainingExample {
                 features: extract_features(&item.question, &text, &facets),
                 entailment: true,
@@ -72,14 +81,22 @@ pub fn collect_training_data(
                 severity: 0.0,
                 science: false,
             };
-            for cand in model.translate(&req) {
+            for cand in model.translate_prepared(&req, prep.as_prepared_gold().as_ref()) {
                 if negatives_here >= config.max_negatives_per_item {
                     break;
                 }
-                if ex_correct(db, &cand.sql, &item.gold_sql) {
+                let Some(ast) = cand.ast.as_deref() else { continue };
+                let result = execute(db, ast).ok();
+                let ex = match (prep.gold_result.as_deref(), result.as_ref()) {
+                    (Some(g), Some(c)) => c.bag_eq(g),
+                    _ => false,
+                };
+                if ex {
                     continue; // only erroneous translations become negatives
                 }
-                if let Some((text, facets)) = candidate_premise(db, &cand.sql, config.feedback) {
+                if let Some((text, facets)) =
+                    premise_from_parts(db, ast, result.as_ref(), config.feedback)
+                {
                     examples.push(TrainingExample {
                         features: extract_features(&item.question, &text, &facets),
                         entailment: false,
@@ -96,12 +113,12 @@ pub fn collect_training_data(
 /// Trains the verifier on a suite's training split (the paper's "fire"
 /// configuration; freeze the returned verifier for the variant benchmarks).
 pub fn train_verifier(
-    suite: &BenchmarkSuite,
+    session: &EvalSession,
     models: &[SimulatedModel],
     collect: CollectConfig,
     train: TrainConfig,
 ) -> (TrainedVerifier, CollectStats, Vec<f64>) {
-    let (examples, stats) = collect_training_data(suite, models, collect);
+    let (examples, stats) = collect_training_data(session, models, collect);
     let (model, trace) = NliModel::train(&examples, train);
     (TrainedVerifier { model }, stats, trace)
 }
@@ -109,25 +126,26 @@ pub fn train_verifier(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cycle::candidate_premise;
     use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
     use cyclesql_models::ModelProfile;
 
-    fn small_suite() -> BenchmarkSuite {
-        build_spider_suite(
+    fn small_session() -> EvalSession {
+        EvalSession::new(build_spider_suite(
             Variant::Spider,
             SuiteConfig { seed: 77, train_per_template: 1, eval_per_template: 1 },
-        )
+        ))
     }
 
     #[test]
     fn collection_is_imbalanced_toward_negatives() {
-        let suite = small_suite();
+        let session = small_session();
         let models = vec![
             SimulatedModel::new(ModelProfile::resdsql_large()),
             SimulatedModel::new(ModelProfile::gpt35()),
         ];
         let (examples, stats) =
-            collect_training_data(&suite, &models, CollectConfig::default());
+            collect_training_data(&session, &models, CollectConfig::default());
         assert!(stats.positives > 50, "positives {}", stats.positives);
         assert!(
             stats.negatives > stats.positives,
@@ -140,10 +158,10 @@ mod tests {
 
     #[test]
     fn trained_verifier_separates_held_out_pairs() {
-        let suite = small_suite();
+        let session = small_session();
         let models = vec![SimulatedModel::new(ModelProfile::resdsql_large())];
         let (verifier, _, trace) = train_verifier(
-            &suite,
+            &session,
             &models,
             CollectConfig::default(),
             TrainConfig::default(),
@@ -153,8 +171,8 @@ mod tests {
         // pairs (should lean contradict).
         let mut pos_ok = 0usize;
         let mut pos_total = 0usize;
-        for item in suite.dev.iter().take(40) {
-            let db = suite.database(item);
+        for item in session.suite().dev.iter().take(40) {
+            let db = session.database(item);
             if let Some((text, facets)) =
                 candidate_premise(db, &item.gold_sql, FeedbackKind::DataGrounded)
             {
@@ -167,5 +185,57 @@ mod tests {
             pos_ok as f64 / pos_total as f64 > 0.7,
             "gold entailment recall too low: {pos_ok}/{pos_total}"
         );
+    }
+
+    #[test]
+    fn prepared_collection_matches_string_path_reference() {
+        // Reference implementation: the seed's string-based collection loop.
+        let session = small_session();
+        let models = vec![SimulatedModel::new(ModelProfile::gpt35())];
+        let config = CollectConfig::default();
+        let mut ref_stats = CollectStats::default();
+        let mut ref_examples = Vec::new();
+        for item in &session.suite().train {
+            let db = session.database(item);
+            if let Some((text, facets)) = candidate_premise(db, &item.gold_sql, config.feedback) {
+                ref_examples.push(extract_features(&item.question, &text, &facets));
+                ref_stats.positives += 1;
+            }
+            let mut negatives_here = 0usize;
+            for model in &models {
+                if negatives_here >= config.max_negatives_per_item {
+                    break;
+                }
+                let req = TranslationRequest {
+                    item,
+                    db,
+                    k: config.k,
+                    severity: 0.0,
+                    science: false,
+                };
+                for cand in model.translate(&req) {
+                    if negatives_here >= config.max_negatives_per_item {
+                        break;
+                    }
+                    if crate::metrics::ex_correct(db, &cand.sql, &item.gold_sql) {
+                        continue;
+                    }
+                    if let Some((text, facets)) =
+                        candidate_premise(db, &cand.sql, config.feedback)
+                    {
+                        ref_examples.push(extract_features(&item.question, &text, &facets));
+                        ref_stats.negatives += 1;
+                        negatives_here += 1;
+                    }
+                }
+            }
+        }
+        let (examples, stats) = collect_training_data(&session, &models, config);
+        assert_eq!(stats.positives, ref_stats.positives);
+        assert_eq!(stats.negatives, ref_stats.negatives);
+        assert_eq!(examples.len(), ref_examples.len());
+        for (got, want) in examples.iter().zip(&ref_examples) {
+            assert_eq!(got.features, *want);
+        }
     }
 }

@@ -38,4 +38,6 @@ pub mod simulate;
 
 pub use error_ops::{apply_error_op, apply_random_error, ErrorOp};
 pub use profile::{ModelKind, ModelProfile};
-pub use simulate::{Candidate, SimulatedModel, TranslationRequest};
+pub use simulate::{
+    Candidate, PreparedCandidate, PreparedGold, SimulatedModel, TranslationRequest,
+};

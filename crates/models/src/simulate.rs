@@ -11,9 +11,10 @@ use cyclesql_benchgen::BenchmarkItem;
 use cyclesql_sql::{
     parse, to_sql, AggFunc, BinOp, Expr, FuncArg, Literal, Query, SelectItem,
 };
-use cyclesql_storage::{execute, Database};
+use cyclesql_storage::{execute, Database, ResultSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// One translation candidate, as emitted by a model.
 #[derive(Debug, Clone)]
@@ -24,6 +25,39 @@ pub struct Candidate {
     pub rank: usize,
     /// Model confidence score (monotonically decreasing in rank).
     pub score: f64,
+}
+
+/// Gold-side artifacts prepared once per item by an evaluation session:
+/// the parsed gold AST and (when the gold executes) its result on the
+/// item's database. Passing this into [`SimulatedModel::translate_prepared`]
+/// lets the simulator skip re-parsing and re-executing the gold query.
+#[derive(Debug, Clone)]
+pub struct PreparedGold {
+    /// The parsed gold query.
+    pub ast: Arc<Query>,
+    /// The gold result on the item's database; `None` if execution failed.
+    pub result: Option<Arc<ResultSet>>,
+}
+
+/// A candidate paired with its parse artifact, so downstream consumers
+/// (the cycle loop, metrics) never re-parse the SQL text.
+#[derive(Debug, Clone)]
+pub struct PreparedCandidate {
+    /// The candidate SQL text (may be unparseable for LLM profiles).
+    pub sql: String,
+    /// The parsed candidate; `None` when the text does not parse.
+    pub ast: Option<Arc<Query>>,
+    /// Rank in the beam / completion list (0 = top).
+    pub rank: usize,
+    /// Model confidence score (monotonically decreasing in rank).
+    pub score: f64,
+}
+
+impl PreparedCandidate {
+    /// Drops the parse artifact, leaving the plain string candidate.
+    pub fn into_candidate(self) -> Candidate {
+        Candidate { sql: self.sql, rank: self.rank, score: self.score }
+    }
 }
 
 /// A translation request.
@@ -62,9 +96,35 @@ impl SimulatedModel {
     /// Produces the ranked candidate list for an item. Deterministic per
     /// (model, item).
     pub fn translate(&self, req: &TranslationRequest<'_>) -> Vec<Candidate> {
-        let Ok(gold) = parse(&req.item.gold_sql) else {
-            return Vec::new();
+        self.translate_prepared(req, None)
+            .into_iter()
+            .map(PreparedCandidate::into_candidate)
+            .collect()
+    }
+
+    /// Like [`SimulatedModel::translate`], but reuses prepared gold
+    /// artifacts and emits candidates with their parsed ASTs attached.
+    ///
+    /// The RNG draw sequence is identical to the string path — the gold
+    /// parse and gold execution consume no randomness — so the candidate
+    /// lists are bit-for-bit the same whether or not `gold` is supplied.
+    pub fn translate_prepared(
+        &self,
+        req: &TranslationRequest<'_>,
+        gold: Option<&PreparedGold>,
+    ) -> Vec<PreparedCandidate> {
+        let gold_ast: Arc<Query> = match gold {
+            Some(g) => Arc::clone(&g.ast),
+            None => match parse(&req.item.gold_sql) {
+                Ok(q) => Arc::new(q),
+                Err(_) => return Vec::new(),
+            },
         };
+        // The gold result is only needed to keep wrong candidates
+        // execution-distinct; compute it lazily so a k=1 correct beam never
+        // executes the gold at all (matching the string path's cost shape).
+        let mut gold_result: Option<Option<Arc<ResultSet>>> =
+            gold.map(|g| g.result.clone());
         let mut rng = StdRng::seed_from_u64(
             fxhash(self.profile.name) ^ fxhash(&req.item.id) ^ 0x5117,
         );
@@ -92,7 +152,7 @@ impl SimulatedModel {
 
         let mut candidates = Vec::with_capacity(req.k);
         for rank in 0..req.k {
-            let sql = if Some(rank) == first_correct {
+            let (sql, ast) = if Some(rank) == first_correct {
                 let style_p = if req.science {
                     self.profile.science_style_divergence
                 } else {
@@ -100,20 +160,27 @@ impl SimulatedModel {
                 };
                 let styled = rng.gen_bool(style_p);
                 if styled {
-                    to_sql(&restyle(&gold, req.db, &mut rng))
+                    let q = restyle(&gold_ast, req.db, &mut rng);
+                    (to_sql(&q), Some(Arc::new(q)))
                 } else {
-                    to_sql(&gold)
+                    (to_sql(&gold_ast), Some(Arc::clone(&gold_ast)))
                 }
             } else if self.profile.kind == ModelKind::Llm
                 && rng.gen_bool(self.profile.invalid_rate)
             {
                 // LLMs occasionally emit non-SQL garbage.
-                format!("{} AND AND ???", req.item.gold_sql)
+                let sql = format!("{} AND AND ???", req.item.gold_sql);
+                let ast = parse(&sql).ok().map(Arc::new);
+                (sql, ast)
             } else {
-                wrong_candidate(&gold, req.db, &mut rng)
+                let gr = gold_result
+                    .get_or_insert_with(|| execute(req.db, &gold_ast).ok().map(Arc::new))
+                    .clone();
+                wrong_candidate(&gold_ast, gr.as_deref(), req.db, &mut rng)
             };
-            candidates.push(Candidate {
+            candidates.push(PreparedCandidate {
                 sql,
+                ast,
                 rank,
                 score: 1.0 - rank as f64 * 0.07,
             });
@@ -131,8 +198,15 @@ impl SimulatedModel {
 
 /// Builds an incorrect candidate: 1–2 error operators, retried until the
 /// result is executable and (best-effort) execution-distinct from the gold.
-fn wrong_candidate(gold: &Query, db: &Database, rng: &mut StdRng) -> String {
-    let gold_result = execute(db, gold).ok();
+///
+/// The gold result is supplied by the caller (computed at most once per
+/// translation) instead of being re-executed per wrong candidate.
+fn wrong_candidate(
+    gold: &Query,
+    gold_result: Option<&ResultSet>,
+    db: &Database,
+    rng: &mut StdRng,
+) -> (String, Option<Arc<Query>>) {
     for _attempt in 0..4 {
         let mut q = match apply_random_error(gold, db, rng) {
             Some(q) => q,
@@ -146,7 +220,7 @@ fn wrong_candidate(gold: &Query, db: &Database, rng: &mut StdRng) -> String {
         let sql = to_sql(&q);
         let Ok(reparsed) = parse(&sql) else { continue };
         let Ok(result) = execute(db, &reparsed) else { continue };
-        if let Some(gr) = &gold_result {
+        if let Some(gr) = gold_result {
             if result.bag_eq(gr) {
                 // Accidentally equivalent — usually retry, occasionally let
                 // it through (real model errors are sometimes benign).
@@ -155,11 +229,13 @@ fn wrong_candidate(gold: &Query, db: &Database, rng: &mut StdRng) -> String {
                 }
             }
         }
-        return sql;
+        return (sql, Some(Arc::new(reparsed)));
     }
     // Fallback: a structurally-different but valid query (count over base).
     let base = gold.leading_select().from.base.clone();
-    format!("SELECT count(*) FROM {}", base.name)
+    let sql = format!("SELECT count(*) FROM {}", base.name);
+    let ast = parse(&sql).ok().map(Arc::new);
+    (sql, ast)
 }
 
 /// Restyles a correct query without changing its semantics: breaks EM,
@@ -292,6 +368,37 @@ mod tests {
             b.iter().map(|c| &c.sql).collect::<Vec<_>>()
         );
         assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn prepared_translation_matches_string_path() {
+        // The prepared path must draw the same RNG sequence whether or not
+        // gold artifacts are supplied, for every profile.
+        let (suite, _) = setup();
+        for model in SimulatedModel::all() {
+            for item in suite.dev.iter().take(20) {
+                let db = suite.database(item);
+                let req = TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
+                let plain = model.translate(&req);
+                let gold_ast = Arc::new(parse(&item.gold_sql).unwrap());
+                let gold = PreparedGold {
+                    ast: Arc::clone(&gold_ast),
+                    result: execute(db, &gold_ast).ok().map(Arc::new),
+                };
+                let prepared = model.translate_prepared(&req, Some(&gold));
+                assert_eq!(plain.len(), prepared.len());
+                for (p, c) in plain.iter().zip(&prepared) {
+                    assert_eq!(p.sql, c.sql, "{} {}", model.profile.name, item.id);
+                    assert_eq!(p.rank, c.rank);
+                    assert_eq!(p.score, c.score);
+                    // The attached AST must agree with parsing the text.
+                    assert_eq!(c.ast.is_some(), parse(&c.sql).is_ok());
+                    if let Some(ast) = &c.ast {
+                        assert_eq!(to_sql(ast), to_sql(&parse(&c.sql).unwrap()));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

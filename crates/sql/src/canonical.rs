@@ -25,6 +25,28 @@ pub fn canonical_key(q: &Query) -> String {
     to_sql(&q)
 }
 
+/// A query's canonical form, computed once and reusable for any number of
+/// exact-match comparisons.
+///
+/// Canonicalization clones and rewrites the whole AST, so comparing one gold
+/// query against k candidates via [`exact_match`] repeats that work k times
+/// on the gold side. `CanonicalSql` lets callers hoist the gold half out of
+/// the loop: compute it once, then compare with cheap string equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalSql(String);
+
+impl CanonicalSql {
+    /// Canonicalizes `q` into its comparable form.
+    pub fn of(q: &Query) -> Self {
+        CanonicalSql(canonical_key(q))
+    }
+
+    /// The canonical SQL text backing this key.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
 /// Whether two queries are an exact (syntactic, value-insensitive) match.
 pub fn exact_match(a: &Query, b: &Query) -> bool {
     canonical_key(a) == canonical_key(b)

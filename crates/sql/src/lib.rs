@@ -36,7 +36,7 @@ pub use ast::{
     AggFunc, BinOp, ColumnRef, Expr, FromClause, FuncArg, Join, JoinType, Literal, OrderItem,
     Query, QueryBody, SelectCore, SelectItem, SetOp, SortOrder, TableRef,
 };
-pub use canonical::{canonical_key, canonicalize, exact_match};
+pub use canonical::{canonical_key, canonicalize, exact_match, CanonicalSql};
 pub use difficulty::{classify, component_counts, ComponentCounts, Difficulty};
 pub use error::SqlError;
 pub use parser::parse;

@@ -61,11 +61,15 @@ pub fn execute_with_lineage(db: &Database, q: &Query) -> Result<ExecOutput, Exec
     if let Some(n) = q.limit {
         rows.rows.truncate(n as usize);
     }
-    let result = ResultSet {
-        columns: rows.columns,
-        rows: rows.rows.iter().map(|r| r.values.clone()).collect(),
-    };
-    let lineage = rows.rows.into_iter().map(|r| r.lineage).collect();
+    // Split each OutRow into its value and lineage halves with a single
+    // move — no row is cloned on the way out.
+    let mut result_rows = Vec::with_capacity(rows.rows.len());
+    let mut lineage = Vec::with_capacity(rows.rows.len());
+    for r in rows.rows {
+        result_rows.push(r.values);
+        lineage.push(r.lineage);
+    }
+    let result = ResultSet { columns: rows.columns, rows: result_rows };
     Ok(ExecOutput { result, lineage })
 }
 

@@ -4,7 +4,9 @@
 
 use cyclesql_benchgen::Split;
 use cyclesql_core::experiments::{fig1, table1, ExperimentContext};
-use cyclesql_core::{evaluate_pair, CycleSql, LoopVerifier};
+use cyclesql_core::{
+    evaluate, evaluate_pair, CycleSql, EvalMode, EvalOptions, LoopVerifier, Parallelism,
+};
 use cyclesql_models::{ModelProfile, SimulatedModel};
 
 #[test]
@@ -100,4 +102,38 @@ fn frozen_verifier_transfers_to_variants() {
         }
     }
     assert!(improved >= 3, "frozen verifier must transfer to most variants: {improved}/4");
+}
+
+#[test]
+fn parallel_and_sequential_evaluation_agree_on_every_suite() {
+    // The worker pool merges per-item outcomes in index order, so every
+    // deterministic field must match a sequential run bit for bit — on each
+    // suite the experiment drivers evaluate.
+    let ctx = ExperimentContext::shared_quick();
+    let model = SimulatedModel::new(ModelProfile::resdsql_3b());
+    let cycle = ctx.cycle();
+    for (label, session) in ctx.spider_family() {
+        for mode in [EvalMode::Base, EvalMode::CycleSql] {
+            let run = |parallelism| {
+                evaluate(
+                    &model,
+                    &EvalOptions {
+                        session,
+                        split: Split::Dev,
+                        mode,
+                        cycle: (mode == EvalMode::CycleSql).then_some(&cycle),
+                        k: None,
+                        compute_ts: true,
+                        parallelism,
+                    },
+                )
+            };
+            let seq = run(Parallelism::Sequential);
+            let par = run(Parallelism::Fixed(3));
+            assert!(
+                seq.same_outcomes(&par),
+                "{label} {mode:?}: sequential and parallel runs diverged"
+            );
+        }
+    }
 }
