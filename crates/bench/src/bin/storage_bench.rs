@@ -1,0 +1,220 @@
+//! Throughput benchmark for the storage engine's two execution paths.
+//!
+//! Runs every gold query of the generated Spider and Science suites through
+//! both the retained tree-walking interpreter (`cyclesql_storage::reference`)
+//! and the compile-once pipeline (`compile` + `CompiledQuery::run`), and
+//! writes per-query-class throughput to `BENCH_storage.json`.
+//!
+//! The compiled path is timed the way callers are expected to use it —
+//! compilation hoisted out of the hot loop, `run` per iteration (lineage
+//! tracking enabled on both paths, so the comparison is like-for-like).
+//! Compile cost is reported separately.
+//!
+//! Usage: `storage_bench [--iters N] [--out PATH] [--quick]`
+
+use cyclesql_benchgen::{build_science_suite, build_spider_suite, Split, SuiteConfig, Variant};
+use cyclesql_sql::{parse, Expr, Query, QueryBody};
+use cyclesql_storage::{compile, reference, Database};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Query classes, coarsest structural feature first: a set operation
+/// trumps a subquery trumps grouping trumps a join.
+fn classify(q: &Query) -> &'static str {
+    if matches!(q.body, QueryBody::SetOp { .. }) {
+        return "setop";
+    }
+    if has_subquery(q) {
+        return "subquery";
+    }
+    if q.uses_aggregate() {
+        return "grouped";
+    }
+    let joins = q
+        .body
+        .select_cores()
+        .iter()
+        .map(|c| c.from.joins.len())
+        .sum::<usize>();
+    if joins > 0 {
+        return "join";
+    }
+    "scan"
+}
+
+fn has_subquery(q: &Query) -> bool {
+    q.body.select_cores().iter().any(|core| {
+        let mut found = false;
+        let mut scan = |e: &Expr| {
+            e.visit(&mut |x| {
+                if matches!(
+                    x,
+                    Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_)
+                ) {
+                    found = true;
+                }
+            })
+        };
+        if let Some(w) = &core.where_clause {
+            scan(w);
+        }
+        if let Some(h) = &core.having {
+            scan(h);
+        }
+        found
+    })
+}
+
+#[derive(Default)]
+struct ClassAccum {
+    queries: usize,
+    reference_secs: f64,
+    compiled_secs: f64,
+    compile_secs: f64,
+}
+
+#[derive(Serialize)]
+struct ClassReport {
+    queries: usize,
+    iters: usize,
+    reference_qps: f64,
+    compiled_qps: f64,
+    speedup: f64,
+    compile_ms_total: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    suite_queries: usize,
+    iters_per_query: usize,
+    classes: BTreeMap<String, ClassReport>,
+    overall_reference_qps: f64,
+    overall_compiled_qps: f64,
+    overall_speedup: f64,
+}
+
+fn main() {
+    let mut iters: usize = 25;
+    let mut out = String::from("BENCH_storage.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = args.next().and_then(|v| v.parse().ok()).expect("--iters N");
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            "--quick" => quick = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if quick {
+        iters = iters.min(3);
+    }
+
+    let config = if quick {
+        SuiteConfig {
+            seed: 0xBE9C4,
+            train_per_template: 1,
+            eval_per_template: 1,
+        }
+    } else {
+        SuiteConfig {
+            seed: 0xBE9C4,
+            ..SuiteConfig::default()
+        }
+    };
+    let suites = [
+        build_spider_suite(Variant::Spider, config),
+        build_science_suite(config),
+    ];
+
+    // (class, db, parsed gold) for every item of every split of both suites.
+    let mut workload: Vec<(&'static str, &Database, Query)> = Vec::new();
+    for suite in &suites {
+        for split in [Split::Train, Split::Dev, Split::Test] {
+            for item in suite.split(split) {
+                let q = parse(&item.gold_sql).expect("generated gold parses");
+                workload.push((classify(&q), suite.database(item), q));
+            }
+        }
+    }
+
+    let mut accum: BTreeMap<&'static str, ClassAccum> = BTreeMap::new();
+    for (class, db, q) in &workload {
+        let acc = accum.entry(class).or_default();
+        acc.queries += 1;
+
+        let t0 = Instant::now();
+        let compiled = compile(db, q).expect("generated gold compiles");
+        acc.compile_secs += t0.elapsed().as_secs_f64();
+
+        // Sanity: both paths must agree before we time anything.
+        let ref_out = reference::execute_with_lineage(db, q).expect("reference executes");
+        let cmp_out = compiled.run(db).expect("compiled runs");
+        assert!(
+            ref_out.result.bag_eq(&cmp_out.result),
+            "path divergence on: {}",
+            cyclesql_sql::to_sql(q)
+        );
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(reference::execute_with_lineage(db, q).unwrap());
+        }
+        acc.reference_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(compiled.run(db).unwrap());
+        }
+        acc.compiled_secs += t0.elapsed().as_secs_f64();
+    }
+
+    let qps = |queries: usize, secs: f64| {
+        if secs > 0.0 {
+            (queries * iters) as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    };
+    let mut classes = BTreeMap::new();
+    let (mut tot_q, mut tot_ref, mut tot_cmp) = (0usize, 0.0f64, 0.0f64);
+    for (class, acc) in &accum {
+        tot_q += acc.queries;
+        tot_ref += acc.reference_secs;
+        tot_cmp += acc.compiled_secs;
+        classes.insert(
+            class.to_string(),
+            ClassReport {
+                queries: acc.queries,
+                iters,
+                reference_qps: qps(acc.queries, acc.reference_secs),
+                compiled_qps: qps(acc.queries, acc.compiled_secs),
+                speedup: if acc.compiled_secs > 0.0 {
+                    acc.reference_secs / acc.compiled_secs
+                } else {
+                    f64::INFINITY
+                },
+                compile_ms_total: acc.compile_secs * 1e3,
+            },
+        );
+    }
+    let report = Report {
+        suite_queries: tot_q,
+        iters_per_query: iters,
+        classes,
+        overall_reference_qps: qps(tot_q, tot_ref),
+        overall_compiled_qps: qps(tot_q, tot_cmp),
+        overall_speedup: if tot_cmp > 0.0 {
+            tot_ref / tot_cmp
+        } else {
+            f64::INFINITY
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

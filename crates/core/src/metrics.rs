@@ -3,7 +3,7 @@
 
 use cyclesql_benchgen::BenchmarkSuite;
 use cyclesql_sql::{exact_match, parse};
-use cyclesql_storage::{execute, Database};
+use cyclesql_storage::{compile, execute, Database};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,9 +25,15 @@ pub fn em_correct(pred_sql: &str, gold_sql: &str) -> bool {
 /// Execution accuracy for one prediction: bag-equality of result sets on
 /// the benchmark database.
 pub fn ex_correct(db: &Database, pred_sql: &str, gold_sql: &str) -> bool {
-    let Ok(pred) = parse(pred_sql) else { return false };
-    let Ok(gold) = parse(gold_sql) else { return false };
-    let Ok(gold_result) = execute(db, &gold) else { return false };
+    let Ok(pred) = parse(pred_sql) else {
+        return false;
+    };
+    let Ok(gold) = parse(gold_sql) else {
+        return false;
+    };
+    let Ok(gold_result) = execute(db, &gold) else {
+        return false;
+    };
     match execute(db, &pred) {
         Ok(pred_result) => pred_result.bag_eq(&gold_result),
         Err(_) => false,
@@ -94,12 +100,27 @@ pub fn ts_correct(
     pred_sql: &str,
     gold_sql: &str,
 ) -> bool {
-    if !ex_correct(db, pred_sql, gold_sql) {
-        return false;
+    // Parse and compile each side once: the dev database and every distilled
+    // variant share one schema, so a single compiled plan serves all five
+    // executions (compilation failing is exactly the old "executes nowhere").
+    let gold_c = parse(gold_sql).ok().and_then(|q| compile(db, &q).ok());
+    let pred_c = parse(pred_sql).ok().and_then(|q| compile(db, &q).ok());
+    // EX gate: both must succeed and agree on the dev database.
+    let gold_dev = gold_c.as_ref().and_then(|c| c.run_result(db).ok());
+    let pred_dev = pred_c.as_ref().and_then(|c| c.run_result(db).ok());
+    match (&pred_dev, &gold_dev) {
+        (Some(p), Some(g)) if p.bag_eq(g) => {}
+        _ => return false,
     }
     for seed in 1..=TS_VARIANTS {
         let ok = cache.with_variant(suite, db_name, seed, |variant| {
-            ex_equal_or_both_fail(variant, pred_sql, gold_sql)
+            let p = pred_c.as_ref().and_then(|c| c.run_result(variant).ok());
+            let g = gold_c.as_ref().and_then(|c| c.run_result(variant).ok());
+            match (p, g) {
+                (Some(p), Some(g)) => p.bag_eq(&g),
+                (None, None) => true,
+                _ => false,
+            }
         });
         match ok {
             Some(true) => {}
@@ -108,16 +129,6 @@ pub fn ts_correct(
         }
     }
     true
-}
-
-fn ex_equal_or_both_fail(db: &Database, pred_sql: &str, gold_sql: &str) -> bool {
-    let pred = parse(pred_sql).ok().and_then(|q| execute(db, &q).ok());
-    let gold = parse(gold_sql).ok().and_then(|q| execute(db, &q).ok());
-    match (pred, gold) {
-        (Some(p), Some(g)) => p.bag_eq(&g),
-        (None, None) => true,
-        _ => false,
-    }
 }
 
 /// An accuracy accumulator.
@@ -170,8 +181,13 @@ mod tests {
         let item = &suite.dev[0];
         let db = suite.database(item);
         assert!(ex_correct(db, &item.gold_sql, &item.gold_sql));
-        assert!(!ex_correct(db, "SELECT count(*) FROM country WHERE 1 = 0", &item.gold_sql)
-            || item.gold_sql.contains("1 = 0"));
+        assert!(
+            !ex_correct(
+                db,
+                "SELECT count(*) FROM country WHERE 1 = 0",
+                &item.gold_sql
+            ) || item.gold_sql.contains("1 = 0")
+        );
     }
 
     #[test]
@@ -187,7 +203,14 @@ mod tests {
             .find(|i| i.gold_sql.contains("count"))
             .expect("a count item");
         let db = suite.database(item);
-        assert!(ts_correct(&suite, &cache, db, &item.db_name, &item.gold_sql, &item.gold_sql));
+        assert!(ts_correct(
+            &suite,
+            &cache,
+            db,
+            &item.db_name,
+            &item.gold_sql,
+            &item.gold_sql
+        ));
     }
 
     #[test]
@@ -208,8 +231,7 @@ mod tests {
                     }
                     t.schema.columns.iter().find_map(|c| {
                         let serial = (0..t.len()).all(|i| {
-                            t.value(i, &c.name)
-                                == Some(&cyclesql_storage::Value::Int(i as i64 + 1))
+                            t.value(i, &c.name) == Some(&cyclesql_storage::Value::Int(i as i64 + 1))
                         });
                         serial.then(|| (item, t.schema.name.clone(), c.name.clone(), t.len()))
                     })
@@ -221,7 +243,10 @@ mod tests {
         // A prediction whose filter is tuned to the dev data: the bound keeps
         // every dev row, so it coincidentally passes EX…
         let cheat = format!("SELECT count(*) FROM {table} WHERE {col} <= {n}");
-        assert!(ex_correct(db, &cheat, &gold), "coincidence must pass EX on dev data");
+        assert!(
+            ex_correct(db, &cheat, &gold),
+            "coincidence must pass EX on dev data"
+        );
         // …but a larger distilled variant has rows beyond the bound, so the
         // cheat undercounts there and TS rejects it.
         assert!(
@@ -253,7 +278,11 @@ mod more_tests {
     fn em_is_symmetric_and_value_insensitive_on_generated_golds() {
         let suite = build_spider_suite(
             Variant::Spider,
-            SuiteConfig { seed: 5, train_per_template: 1, eval_per_template: 1 },
+            SuiteConfig {
+                seed: 5,
+                train_per_template: 1,
+                eval_per_template: 1,
+            },
         );
         for item in suite.dev.iter().take(30) {
             assert!(em_correct(&item.gold_sql, &item.gold_sql), "{}", item.id);
@@ -264,7 +293,11 @@ mod more_tests {
     fn unparseable_prediction_scores_zero_on_all_metrics() {
         let suite = build_spider_suite(
             Variant::Spider,
-            SuiteConfig { seed: 5, train_per_template: 1, eval_per_template: 1 },
+            SuiteConfig {
+                seed: 5,
+                train_per_template: 1,
+                eval_per_template: 1,
+            },
         );
         let cache = VariantCache::new();
         let item = &suite.dev[0];
@@ -272,7 +305,14 @@ mod more_tests {
         let junk = "THIS IS NOT SQL";
         assert!(!em_correct(junk, &item.gold_sql));
         assert!(!ex_correct(db, junk, &item.gold_sql));
-        assert!(!ts_correct(&suite, &cache, db, &item.db_name, junk, &item.gold_sql));
+        assert!(!ts_correct(
+            &suite,
+            &cache,
+            db,
+            &item.db_name,
+            junk,
+            &item.gold_sql
+        ));
     }
 
     #[test]
@@ -280,13 +320,23 @@ mod more_tests {
         use cyclesql_models::{ModelProfile, SimulatedModel, TranslationRequest};
         let suite = build_spider_suite(
             Variant::Spider,
-            SuiteConfig { seed: 5, train_per_template: 1, eval_per_template: 1 },
+            SuiteConfig {
+                seed: 5,
+                train_per_template: 1,
+                eval_per_template: 1,
+            },
         );
         let cache = VariantCache::new();
         let model = SimulatedModel::new(ModelProfile::gpt35());
         for item in suite.dev.iter().take(25) {
             let db = suite.database(item);
-            let req = TranslationRequest { item, db, k: 1, severity: 0.0, science: false };
+            let req = TranslationRequest {
+                item,
+                db,
+                k: 1,
+                severity: 0.0,
+                science: false,
+            };
             let pred = &model.translate(&req)[0].sql;
             let ex = ex_correct(db, pred, &item.gold_sql);
             let ts = ts_correct(&suite, &cache, db, &item.db_name, pred, &item.gold_sql);

@@ -24,7 +24,7 @@ use crate::metrics::{VariantCache, TS_VARIANTS};
 use cyclesql_benchgen::{BenchmarkItem, BenchmarkSuite, Split};
 use cyclesql_models::PreparedGold;
 use cyclesql_sql::{parse, CanonicalSql, Query};
-use cyclesql_storage::{execute, Database, ResultSet};
+use cyclesql_storage::{compile, CompiledQuery, Database, ResultSet};
 use std::ops::Deref;
 use std::sync::{Arc, OnceLock};
 
@@ -35,6 +35,11 @@ pub struct PreparedItem {
     pub gold_ast: Option<Arc<Query>>,
     /// The gold canonical form for EM comparison.
     pub gold_canonical: Option<CanonicalSql>,
+    /// The gold query compiled once against the item's database schema;
+    /// `None` if parsing or compilation failed. Reused for every execution
+    /// of the gold — on the dev database and on each TS variant (which
+    /// share the schema the plan was bound against).
+    pub gold_compiled: Option<Arc<CompiledQuery>>,
     /// The gold result on the item's database; `None` if parsing or
     /// execution failed.
     pub gold_result: Option<Arc<ResultSet>>,
@@ -55,11 +60,18 @@ impl PreparedItem {
     fn prepare(item: &BenchmarkItem, db: &Database) -> Self {
         let gold_ast = parse(&item.gold_sql).ok().map(Arc::new);
         let gold_canonical = gold_ast.as_deref().map(CanonicalSql::of);
-        let gold_result =
-            gold_ast.as_deref().and_then(|q| execute(db, q).ok()).map(Arc::new);
+        let gold_compiled = gold_ast
+            .as_deref()
+            .and_then(|q| compile(db, q).ok())
+            .map(Arc::new);
+        let gold_result = gold_compiled
+            .as_deref()
+            .and_then(|c| c.run_result(db).ok())
+            .map(Arc::new);
         PreparedItem {
             gold_ast,
             gold_canonical,
+            gold_compiled,
             gold_result,
             variant_gold: Default::default(),
         }
@@ -68,9 +80,10 @@ impl PreparedItem {
     /// The gold artifacts in the form the model simulators consume, or
     /// `None` when the gold does not parse.
     pub fn as_prepared_gold(&self) -> Option<PreparedGold> {
-        self.gold_ast
-            .as_ref()
-            .map(|ast| PreparedGold { ast: Arc::clone(ast), result: self.gold_result.clone() })
+        self.gold_ast.as_ref().map(|ast| PreparedGold {
+            ast: Arc::clone(ast),
+            result: self.gold_result.clone(),
+        })
     }
 }
 
@@ -114,7 +127,13 @@ impl EvalSession {
         let prep_train = prep(&suite.train);
         let prep_dev = prep(&suite.dev);
         let prep_test = prep(&suite.test);
-        EvalSession { suite, variants: VariantCache::new(), prep_train, prep_dev, prep_test }
+        EvalSession {
+            suite,
+            variants: VariantCache::new(),
+            prep_train,
+            prep_dev,
+            prep_test,
+        }
     }
 
     /// The underlying suite.
@@ -166,9 +185,9 @@ impl EvalSession {
             match self.variant_db(&item.db_name, seed) {
                 None => VariantGoldState::Missing,
                 Some(db) => VariantGoldState::Result(
-                    prep.gold_ast
+                    prep.gold_compiled
                         .as_deref()
-                        .and_then(|q| execute(&db, q).ok())
+                        .and_then(|c| c.run_result(&db).ok())
                         .map(Arc::new),
                 ),
             }
@@ -203,6 +222,9 @@ impl EvalSession {
             return false;
         }
         let item = &self.suite.split(split)[idx];
+        // Compile the prediction once against the item's database (same
+        // schema as every variant); each seed below only re-runs the plan.
+        let pred_compiled = pred_ast.and_then(|q| compile(self.suite.database(item), q).ok());
         for seed in 1..=TS_VARIANTS {
             let Some(gold_v) = self.gold_on_variant(split, idx, seed) else {
                 // No variant generator for this db: fall back to EX.
@@ -211,7 +233,7 @@ impl EvalSession {
             let db = self
                 .variant_db(&item.db_name, seed)
                 .expect("variant exists when gold_on_variant returned Some");
-            let pred_v = pred_ast.and_then(|q| execute(&db, q).ok());
+            let pred_v = pred_compiled.as_ref().and_then(|c| c.run_result(&db).ok());
             match (pred_v, gold_v) {
                 (Some(p), Some(g)) => {
                     if !p.bag_eq(&g) {
@@ -232,11 +254,16 @@ mod tests {
     use crate::metrics::{em_correct, ex_correct, ts_correct};
     use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
     use cyclesql_sql::to_sql;
+    use cyclesql_storage::execute;
 
     fn session() -> EvalSession {
         EvalSession::new(build_spider_suite(
             Variant::Spider,
-            SuiteConfig { seed: 0xABCD, train_per_template: 1, eval_per_template: 1 },
+            SuiteConfig {
+                seed: 0xABCD,
+                train_per_template: 1,
+                eval_per_template: 1,
+            },
         ))
     }
 
@@ -294,8 +321,7 @@ mod tests {
                 let string_path =
                     ts_correct(s.suite(), s.variant_cache(), db, &item.db_name, pred, gold);
                 let pred_ast = parse(pred).ok();
-                let pred_result =
-                    pred_ast.as_ref().and_then(|q| execute(db, q).ok());
+                let pred_result = pred_ast.as_ref().and_then(|q| execute(db, q).ok());
                 let prepared_path =
                     s.ts_prepared(Split::Dev, idx, pred_ast.as_ref(), pred_result.as_ref());
                 assert_eq!(string_path, prepared_path, "{}: {pred}", item.id);
@@ -310,10 +336,7 @@ mod tests {
             let prep = s.prepared_item(Split::Dev, idx);
             for pred in [item.gold_sql.as_str(), "SELECT count(*) FROM country"] {
                 let string_path = em_correct(pred, &item.gold_sql);
-                let prepared_path = parse(pred)
-                    .ok()
-                    .map(|q| CanonicalSql::of(&q))
-                    .as_ref()
+                let prepared_path = parse(pred).ok().map(|q| CanonicalSql::of(&q)).as_ref()
                     == prep.gold_canonical.as_ref();
                 assert_eq!(string_path, prepared_path, "{}: {pred}", item.id);
             }

@@ -55,13 +55,15 @@ pub fn where_provenance(
     col_idx: usize,
 ) -> Result<WhereProvenance, ProvError> {
     if query.body.has_set_op() {
-        return Err(ProvError::Unsupported("where-provenance across set operations".into()));
+        return Err(ProvError::Unsupported(
+            "where-provenance across set operations".into(),
+        ));
     }
     let out = execute_with_lineage(db, query)?;
-    let lineage = out
-        .lineage
-        .get(row_idx)
-        .ok_or(ProvError::NoSuchResultRow { index: row_idx, len: out.lineage.len() })?;
+    let lineage = out.lineage.get(row_idx).ok_or(ProvError::NoSuchResultRow {
+        index: row_idx,
+        len: out.lineage.len(),
+    })?;
     let core = query.leading_select();
     let item = core.projections.get(col_idx).ok_or_else(|| {
         ProvError::Unsupported(format!("projection index {col_idx} out of range"))
@@ -80,22 +82,19 @@ pub fn where_provenance(
                 .iter()
                 .find(|(vis, real)| vis == t || real == t)
                 .map(|(_, real)| real.clone()),
-            None => alias_map
-                .iter()
-                .map(|(_, real)| real.clone())
-                .find(|real| {
-                    db.schema
-                        .table(real)
-                        .and_then(|s| s.column_index(&c.column))
-                        .is_some()
-                }),
+            None => alias_map.iter().map(|(_, real)| real.clone()).find(|real| {
+                db.schema
+                    .table(real)
+                    .and_then(|s| s.column_index(&c.column))
+                    .is_some()
+            }),
         };
         match real {
             Some(real) => lineage
                 .iter()
-                .filter(|src| src.table == real)
+                .filter(|src| src.table.as_ref() == real)
                 .map(|src: &SourceRef| CellRef {
-                    table: src.table.clone(),
+                    table: src.table.to_string(),
                     row: src.row,
                     column: c.column.clone(),
                 })
@@ -115,7 +114,7 @@ pub fn where_provenance(
                     FuncArg::Star => lineage
                         .iter()
                         .map(|src| CellRef {
-                            table: src.table.clone(),
+                            table: src.table.to_string(),
                             row: src.row,
                             column: "*".into(),
                         })
@@ -125,7 +124,10 @@ pub fn where_provenance(
                         _ => Vec::new(),
                     },
                 };
-                Ok(WhereProvenance::Aggregated { function: func.name().to_string(), inputs })
+                Ok(WhereProvenance::Aggregated {
+                    function: func.name().to_string(),
+                    inputs,
+                })
             }
             _ => Ok(WhereProvenance::Computed),
         },
@@ -135,7 +137,9 @@ pub fn where_provenance(
 /// Reads the value at a [`CellRef`] back from the database (used by tests
 /// to verify the copied-value invariant).
 pub fn cell_value(db: &Database, cell: &CellRef) -> Option<Value> {
-    db.table(&cell.table)?.value(cell.row, &cell.column).cloned()
+    db.table(&cell.table)?
+        .value(cell.row, &cell.column)
+        .cloned()
 }
 
 #[cfg(test)]

@@ -1,24 +1,31 @@
-//! Query executor with lineage tracking.
+//! Query execution entry points with lineage tracking.
 //!
 //! Executes the Spider SQL subset over an in-memory [`Database`]. Every
 //! output row carries a *lineage*: the set of `(table, row-index)` source
 //! tuples that produced it — the raw material for why-provenance.
+//!
+//! These functions are thin wrappers over the compile-once pipeline:
+//! [`crate::compile::compile`] lowers the query to a resolved plan (all
+//! name resolution and subquery hoisting happens there), and
+//! [`crate::ir::CompiledQuery::run`] executes it. Callers that run the
+//! same query repeatedly (the TS metric, the provenance rewrite loop)
+//! should compile once and call `run` per database instead. The original
+//! tree-walking executor survives as [`crate::reference`], pinned to this
+//! pipeline by differential tests.
 
+use crate::compile::compile;
 use crate::error::ExecError;
 use crate::result::ResultSet;
 use crate::table::Database;
-use crate::value::Value;
-use cyclesql_sql::{
-    AggFunc, BinOp, Expr, FuncArg, JoinType, Query, QueryBody, SelectCore, SelectItem,
-    SetOp, SortOrder,
-};
-use std::collections::{HashMap, HashSet};
+use cyclesql_sql::Query;
+use std::sync::Arc;
 
 /// A reference to one source tuple.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SourceRef {
-    /// Source table name.
-    pub table: String,
+    /// Source table name — a shared handle to the plan's interned name,
+    /// so cloning a lineage entry never copies the string.
+    pub table: Arc<str>,
     /// Row index within that table.
     pub row: usize,
 }
@@ -35,756 +42,23 @@ pub struct ExecOutput {
     pub lineage: Vec<Lineage>,
 }
 
-/// Executes a query, discarding lineage.
+/// Compiles and runs a query, discarding lineage.
 ///
 /// # Errors
 ///
 /// Returns [`ExecError`] for unknown tables/columns, arity mismatches in set
 /// operations, or unsupported constructs (correlated subqueries).
 pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
-    execute_with_lineage(db, q).map(|o| o.result)
+    compile(db, q)?.run_result(db)
 }
 
-/// Executes a query, tracking per-row lineage.
+/// Compiles and runs a query, tracking per-row lineage.
 ///
 /// # Errors
 ///
 /// See [`execute`].
 pub fn execute_with_lineage(db: &Database, q: &Query) -> Result<ExecOutput, ExecError> {
-    let mut rows = exec_body_with_order(db, &q.body, &q.order_by)?;
-    // ORDER BY over the combined result. For plain selects the order keys
-    // were computed during core execution; for set-op bodies we resolve
-    // order keys against output columns.
-    if !q.order_by.is_empty() {
-        sort_rows(&mut rows.rows, &rows.order_keys);
-    }
-    if let Some(n) = q.limit {
-        rows.rows.truncate(n as usize);
-    }
-    // Split each OutRow into its value and lineage halves with a single
-    // move — no row is cloned on the way out.
-    let mut result_rows = Vec::with_capacity(rows.rows.len());
-    let mut lineage = Vec::with_capacity(rows.rows.len());
-    for r in rows.rows {
-        result_rows.push(r.values);
-        lineage.push(r.lineage);
-    }
-    let result = ResultSet { columns: rows.columns, rows: result_rows };
-    Ok(ExecOutput { result, lineage })
-}
-
-/// An output row mid-pipeline: projected values, lineage, and order keys.
-#[derive(Debug, Clone)]
-struct OutRow {
-    values: Vec<Value>,
-    lineage: Lineage,
-    order_keys: Vec<Value>,
-}
-
-struct BodyOutput {
-    columns: Vec<String>,
-    rows: Vec<OutRow>,
-    /// Sort directions aligned with each row's `order_keys`.
-    order_keys: Vec<SortOrder>,
-}
-
-// The ORDER BY belongs to the whole query; its expressions are threaded down
-// so every core computes sort keys in its own naming environment (both
-// branches of a set operation must resolve the same ORDER BY columns).
-fn exec_body_with_order(
-    db: &Database,
-    body: &QueryBody,
-    order: &[cyclesql_sql::OrderItem],
-) -> Result<BodyOutput, ExecError> {
-    match body {
-        QueryBody::Select(core) => exec_core(db, core, order),
-        QueryBody::SetOp { op, left, right } => {
-            let l = exec_body_with_order(db, left, order)?;
-            let r = exec_body_with_order(db, right, order)?;
-            if l.columns.len() != r.columns.len() {
-                return Err(ExecError::new(format!(
-                    "set operation arity mismatch: {} vs {}",
-                    l.columns.len(),
-                    r.columns.len()
-                )));
-            }
-            Ok(apply_set_op(*op, l, r))
-        }
-    }
-}
-
-fn apply_set_op(op: SetOp, l: BodyOutput, r: BodyOutput) -> BodyOutput {
-    let key = |row: &OutRow| -> String {
-        row.values.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1}")
-    };
-    let right_keys: HashMap<String, Vec<usize>> = {
-        let mut m: HashMap<String, Vec<usize>> = HashMap::new();
-        for (i, row) in r.rows.iter().enumerate() {
-            m.entry(key(row)).or_default().push(i);
-        }
-        m
-    };
-    let mut out = Vec::new();
-    let mut seen = HashSet::new();
-    match op {
-        SetOp::Union => {
-            for row in l.rows.into_iter().chain(r.rows) {
-                if seen.insert(key(&row)) {
-                    out.push(row);
-                }
-            }
-        }
-        SetOp::Intersect => {
-            for row in l.rows.into_iter() {
-                let k = key(&row);
-                if let Some(ri) = right_keys.get(&k) {
-                    if seen.insert(k) {
-                        // Merge lineage from one matching right row so the
-                        // provenance spans both branches.
-                        let mut row = row;
-                        if let Some(&first) = ri.first() {
-                            for src in &r.rows[first].lineage {
-                                if !row.lineage.contains(src) {
-                                    row.lineage.push(src.clone());
-                                }
-                            }
-                        }
-                        out.push(row);
-                    }
-                }
-            }
-        }
-        SetOp::Except => {
-            for row in l.rows.into_iter() {
-                let k = key(&row);
-                if !right_keys.contains_key(&k) && seen.insert(k) {
-                    out.push(row);
-                }
-            }
-        }
-    }
-    BodyOutput { columns: l.columns, rows: out, order_keys: l.order_keys }
-}
-
-// ---------------------------------------------------------------------------
-// Core (single SELECT block) execution
-// ---------------------------------------------------------------------------
-
-/// One column visible in the working set.
-#[derive(Debug, Clone)]
-struct EnvCol {
-    /// Visible table name (alias if present, else the table name).
-    visible: String,
-    /// Real (schema) table name.
-    real: String,
-    /// Column name.
-    column: String,
-}
-
-/// Name-resolution environment for a select core.
-struct Env {
-    cols: Vec<EnvCol>,
-}
-
-impl Env {
-    fn resolve(&self, r: &cyclesql_sql::ColumnRef) -> Result<usize, ExecError> {
-        match &r.table {
-            Some(t) => self
-                .cols
-                .iter()
-                .position(|c| (c.visible == *t || c.real == *t) && c.column == r.column)
-                .ok_or_else(|| ExecError::new(format!("unknown column {t}.{}", r.column))),
-            None => self
-                .cols
-                .iter()
-                .position(|c| c.column == r.column)
-                .ok_or_else(|| ExecError::new(format!("unknown column {}", r.column))),
-        }
-    }
-
-    fn columns_of_visible(&self, table: &str) -> Vec<usize> {
-        self.cols
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.visible == table || c.real == table)
-            .map(|(i, _)| i)
-            .collect()
-    }
-}
-
-/// One joined row in the working set.
-#[derive(Debug, Clone)]
-struct WorkRow {
-    values: Vec<Value>,
-    lineage: Lineage,
-}
-
-fn exec_core(
-    db: &Database,
-    core: &SelectCore,
-    order: &[cyclesql_sql::OrderItem],
-) -> Result<BodyOutput, ExecError> {
-    let (env, mut work) = build_working_set(db, core)?;
-
-    if let Some(pred) = &core.where_clause {
-        let mut kept = Vec::with_capacity(work.len());
-        for row in work.into_iter() {
-            if eval(pred, &env, &row, db)?.is_truthy() {
-                kept.push(row);
-            }
-        }
-        work = kept;
-    }
-
-    let grouped = !core.group_by.is_empty()
-        || core.has_aggregate()
-        || core.having.as_ref().is_some_and(|h| h.contains_aggregate())
-        || order.iter().any(|o| o.expr.contains_aggregate());
-
-    let columns = projection_names(core, &env);
-    let order_dirs: Vec<SortOrder> = order.iter().map(|o| o.order).collect();
-
-    let mut out_rows: Vec<OutRow> = Vec::new();
-    if grouped {
-        let groups = group_rows(&core.group_by, &env, &work, db)?;
-        for group in groups {
-            if let Some(h) = &core.having {
-                if !eval_in_group(h, &env, &group, db)?.is_truthy() {
-                    continue;
-                }
-            }
-            let mut values = Vec::new();
-            for item in &core.projections {
-                project_item(item, &env, ProjCtx::Group(&group), db, &mut values)?;
-            }
-            let mut order_keys = Vec::new();
-            for o in order {
-                order_keys.push(eval_in_group(&o.expr, &env, &group, db)?);
-            }
-            let mut lineage: Lineage = Vec::new();
-            for r in &group {
-                for src in &r.lineage {
-                    if !lineage.contains(src) {
-                        lineage.push(src.clone());
-                    }
-                }
-            }
-            out_rows.push(OutRow { values, lineage, order_keys });
-        }
-    } else {
-        for row in &work {
-            let mut values = Vec::new();
-            for item in &core.projections {
-                project_item(item, &env, ProjCtx::Row(row), db, &mut values)?;
-            }
-            let mut order_keys = Vec::new();
-            for o in order {
-                order_keys.push(eval(&o.expr, &env, row, db)?);
-            }
-            out_rows.push(OutRow { values, lineage: row.lineage.clone(), order_keys });
-        }
-    }
-
-    if core.distinct {
-        let mut seen = HashSet::new();
-        out_rows.retain(|r| {
-            let k: String =
-                r.values.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1}");
-            seen.insert(k)
-        });
-    }
-
-    Ok(BodyOutput { columns, rows: out_rows, order_keys: order_dirs })
-}
-
-fn build_working_set(
-    db: &Database,
-    core: &SelectCore,
-) -> Result<(Env, Vec<WorkRow>), ExecError> {
-    let mut env = Env { cols: Vec::new() };
-    let base_table = db
-        .table(&core.from.base.name)
-        .ok_or_else(|| ExecError::new(format!("unknown table {}", core.from.base.name)))?;
-    let base_visible = core.from.base.visible_name().to_string();
-    for c in &base_table.schema.columns {
-        env.cols.push(EnvCol {
-            visible: base_visible.clone(),
-            real: base_table.schema.name.clone(),
-            column: c.name.clone(),
-        });
-    }
-    let mut work: Vec<WorkRow> = base_table
-        .rows
-        .iter()
-        .enumerate()
-        .map(|(i, r)| WorkRow {
-            values: r.clone(),
-            lineage: vec![SourceRef { table: base_table.schema.name.clone(), row: i }],
-        })
-        .collect();
-
-    for join in &core.from.joins {
-        let right = db
-            .table(&join.table.name)
-            .ok_or_else(|| ExecError::new(format!("unknown table {}", join.table.name)))?;
-        let right_visible = join.table.visible_name().to_string();
-        let right_start = env.cols.len();
-        for c in &right.schema.columns {
-            env.cols.push(EnvCol {
-                visible: right_visible.clone(),
-                real: right.schema.name.clone(),
-                column: c.name.clone(),
-            });
-        }
-        // Fast path: a single-equality ON over one existing column and one
-        // column of the joined table becomes a hash join. NULL keys never
-        // match (3VL), mirroring the nested-loop `sql_eq` semantics; the
-        // equivalence is pinned by a property test.
-        let hash_plan = join
-            .on
-            .as_ref()
-            .and_then(|on| equi_join_plan(on, &env, right_start));
-        let mut joined = Vec::new();
-        match hash_plan {
-            Some((left_idx, right_col_offset)) => {
-                let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-                for (ri, right_row) in right.rows.iter().enumerate() {
-                    let key = &right_row[right_col_offset];
-                    if !key.is_null() {
-                        index.entry(key.group_key()).or_default().push(ri);
-                    }
-                }
-                for left_row in &work {
-                    let key = &left_row.values[left_idx];
-                    let matches: &[usize] = if key.is_null() {
-                        &[]
-                    } else {
-                        index.get(&key.group_key()).map(|v| v.as_slice()).unwrap_or(&[])
-                    };
-                    for &ri in matches {
-                        let mut candidate_values = left_row.values.clone();
-                        candidate_values.extend(right.rows[ri].iter().cloned());
-                        let mut lineage = left_row.lineage.clone();
-                        lineage.push(SourceRef { table: right.schema.name.clone(), row: ri });
-                        joined.push(WorkRow { values: candidate_values, lineage });
-                    }
-                    if matches.is_empty() && join.join_type == JoinType::Left {
-                        let mut values = left_row.values.clone();
-                        values.extend(
-                            std::iter::repeat_n(Value::Null, env.cols.len() - right_start),
-                        );
-                        joined.push(WorkRow { values, lineage: left_row.lineage.clone() });
-                    }
-                }
-            }
-            None => {
-                for left_row in &work {
-                    let mut matched = false;
-                    for (ri, right_row) in right.rows.iter().enumerate() {
-                        let mut candidate_values = left_row.values.clone();
-                        candidate_values.extend(right_row.iter().cloned());
-                        let candidate = WorkRow {
-                            values: candidate_values,
-                            lineage: {
-                                let mut l = left_row.lineage.clone();
-                                l.push(SourceRef { table: right.schema.name.clone(), row: ri });
-                                l
-                            },
-                        };
-                        let keep = match &join.on {
-                            Some(on) => eval(on, &env, &candidate, db)?.is_truthy(),
-                            None => true,
-                        };
-                        if keep {
-                            matched = true;
-                            joined.push(candidate);
-                        }
-                    }
-                    if !matched && join.join_type == JoinType::Left {
-                        let mut values = left_row.values.clone();
-                        values.extend(
-                            std::iter::repeat_n(Value::Null, env.cols.len() - right_start),
-                        );
-                        joined.push(WorkRow { values, lineage: left_row.lineage.clone() });
-                    }
-                }
-            }
-        }
-        work = joined;
-    }
-    Ok((env, work))
-}
-
-/// Recognizes `ON a.x = b.y` where exactly one side resolves into the
-/// already-joined prefix and the other into the freshly joined table.
-/// Returns `(left working-set index, right-table column offset)`.
-fn equi_join_plan(on: &Expr, env: &Env, right_start: usize) -> Option<(usize, usize)> {
-    let Expr::Binary { op: BinOp::Eq, left, right } = on else { return None };
-    let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
-        return None;
-    };
-    let ia = env.resolve(a).ok()?;
-    let ib = env.resolve(b).ok()?;
-    match (ia < right_start, ib < right_start) {
-        (true, false) => Some((ia, ib - right_start)),
-        (false, true) => Some((ib, ia - right_start)),
-        // Both sides on the same side of the boundary: not a binary
-        // equi-join over this step — fall back to the nested loop.
-        _ => None,
-    }
-}
-
-fn projection_names(core: &SelectCore, env: &Env) -> Vec<String> {
-    let mut names = Vec::new();
-    for item in &core.projections {
-        match item {
-            SelectItem::Star => {
-                for c in &env.cols {
-                    names.push(format!("{}.{}", c.visible, c.column));
-                }
-            }
-            SelectItem::QualifiedStar(t) => {
-                for i in env.columns_of_visible(t) {
-                    let c = &env.cols[i];
-                    names.push(format!("{}.{}", c.visible, c.column));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                names.push(alias.clone().unwrap_or_else(|| expr.to_string()));
-            }
-        }
-    }
-    names
-}
-
-enum ProjCtx<'a> {
-    Row(&'a WorkRow),
-    Group(&'a [WorkRow]),
-}
-
-fn project_item(
-    item: &SelectItem,
-    env: &Env,
-    ctx: ProjCtx<'_>,
-    db: &Database,
-    out: &mut Vec<Value>,
-) -> Result<(), ExecError> {
-    let rep: Option<&WorkRow> = match &ctx {
-        ProjCtx::Row(r) => Some(r),
-        ProjCtx::Group(g) => g.first(),
-    };
-    match item {
-        SelectItem::Star => match rep {
-            Some(r) => out.extend(r.values.iter().cloned()),
-            None => out.extend(std::iter::repeat_n(Value::Null, env.cols.len())),
-        },
-        SelectItem::QualifiedStar(t) => {
-            let idxs = env.columns_of_visible(t);
-            if idxs.is_empty() {
-                return Err(ExecError::new(format!("unknown table in projection: {t}")));
-            }
-            match rep {
-                Some(r) => out.extend(idxs.iter().map(|&i| r.values[i].clone())),
-                None => out.extend(std::iter::repeat_n(Value::Null, idxs.len())),
-            }
-        }
-        SelectItem::Expr { expr, .. } => {
-            let v = match ctx {
-                ProjCtx::Row(r) => eval(expr, env, r, db)?,
-                ProjCtx::Group(g) => eval_in_group(expr, env, g, db)?,
-            };
-            out.push(v);
-        }
-    }
-    Ok(())
-}
-
-fn group_rows(
-    group_by: &[Expr],
-    env: &Env,
-    work: &[WorkRow],
-    db: &Database,
-) -> Result<Vec<Vec<WorkRow>>, ExecError> {
-    if group_by.is_empty() {
-        // Single group over the full input — even if empty (so `count(*)`
-        // over an empty table yields 0).
-        return Ok(vec![work.to_vec()]);
-    }
-    let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, Vec<WorkRow>> = HashMap::new();
-    for row in work {
-        let mut key_parts = Vec::with_capacity(group_by.len());
-        for g in group_by {
-            key_parts.push(eval(g, env, row, db)?.group_key());
-        }
-        let key = key_parts.join("\u{1}");
-        if !groups.contains_key(&key) {
-            order.push(key.clone());
-        }
-        groups.entry(key).or_default().push(row.clone());
-    }
-    Ok(order.into_iter().map(|k| groups.remove(&k).expect("group present")).collect())
-}
-
-// ---------------------------------------------------------------------------
-// Expression evaluation
-// ---------------------------------------------------------------------------
-
-fn eval(e: &Expr, env: &Env, row: &WorkRow, db: &Database) -> Result<Value, ExecError> {
-    match e {
-        Expr::Column(c) => Ok(row.values[env.resolve(c)?].clone()),
-        Expr::Literal(l) => Ok(Value::from_literal(l)),
-        Expr::Binary { op, left, right } => {
-            eval_binary(*op, &eval(left, env, row, db)?, &eval(right, env, row, db)?)
-        }
-        Expr::Not(inner) => {
-            let v = eval(inner, env, row, db)?;
-            if v.is_null() {
-                Ok(Value::Null)
-            } else {
-                Ok(Value::Bool(!v.is_truthy()))
-            }
-        }
-        Expr::Agg { .. } => {
-            Err(ExecError::new("aggregate used outside of an aggregate context"))
-        }
-        Expr::InSubquery { expr, subquery, negated } => {
-            let needle = eval(expr, env, row, db)?;
-            let sub = execute(db, subquery)?;
-            let found = sub
-                .rows
-                .iter()
-                .any(|r| r.first().map(|v| needle.sql_eq(v) == Some(true)).unwrap_or(false));
-            Ok(Value::Bool(found != *negated))
-        }
-        Expr::InList { expr, list, negated } => {
-            let needle = eval(expr, env, row, db)?;
-            let mut found = false;
-            for item in list {
-                let v = eval(item, env, row, db)?;
-                if needle.sql_eq(&v) == Some(true) {
-                    found = true;
-                    break;
-                }
-            }
-            Ok(Value::Bool(found != *negated))
-        }
-        Expr::Exists { subquery, negated } => {
-            let sub = execute(db, subquery)?;
-            Ok(Value::Bool(sub.is_empty() == *negated))
-        }
-        Expr::ScalarSubquery(q) => {
-            let sub = execute(db, q)?;
-            Ok(sub.rows.first().and_then(|r| r.first().cloned()).unwrap_or(Value::Null))
-        }
-        Expr::Between { expr, low, high, negated } => {
-            let v = eval(expr, env, row, db)?;
-            let lo = eval(low, env, row, db)?;
-            let hi = eval(high, env, row, db)?;
-            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
-                (Some(a), Some(b)) => {
-                    let inside = a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
-                    Ok(Value::Bool(inside != *negated))
-                }
-                _ => Ok(Value::Null),
-            }
-        }
-        Expr::Like { expr, pattern, negated } => {
-            let v = eval(expr, env, row, db)?;
-            match v.sql_like(pattern) {
-                Some(m) => Ok(Value::Bool(m != *negated)),
-                None => Ok(Value::Null),
-            }
-        }
-        Expr::IsNull { expr, negated } => {
-            let v = eval(expr, env, row, db)?;
-            Ok(Value::Bool(v.is_null() != *negated))
-        }
-    }
-}
-
-/// Evaluates an expression in a grouped context: aggregates fold over the
-/// group; bare columns take the first row's value (SQLite-style).
-fn eval_in_group(
-    e: &Expr,
-    env: &Env,
-    group: &[WorkRow],
-    db: &Database,
-) -> Result<Value, ExecError> {
-    match e {
-        Expr::Agg { func, distinct, arg } => eval_agg(*func, *distinct, arg, env, group, db),
-        Expr::Binary { op, left, right } => eval_binary(
-            *op,
-            &eval_in_group(left, env, group, db)?,
-            &eval_in_group(right, env, group, db)?,
-        ),
-        Expr::Not(inner) => {
-            let v = eval_in_group(inner, env, group, db)?;
-            if v.is_null() {
-                Ok(Value::Null)
-            } else {
-                Ok(Value::Bool(!v.is_truthy()))
-            }
-        }
-        _ => match group.first() {
-            Some(first) => eval(e, env, first, db),
-            None => Ok(Value::Null),
-        },
-    }
-}
-
-fn eval_agg(
-    func: AggFunc,
-    distinct: bool,
-    arg: &FuncArg,
-    env: &Env,
-    group: &[WorkRow],
-    db: &Database,
-) -> Result<Value, ExecError> {
-    // Collect the argument values (non-null), honoring DISTINCT.
-    let mut values: Vec<Value> = Vec::new();
-    match arg {
-        FuncArg::Star => {
-            if func != AggFunc::Count {
-                return Err(ExecError::new(format!("{}(*) is not valid", func.name())));
-            }
-            return Ok(Value::Int(group.len() as i64));
-        }
-        FuncArg::Expr(inner) => {
-            for row in group {
-                let v = eval(inner, env, row, db)?;
-                if !v.is_null() {
-                    values.push(v);
-                }
-            }
-        }
-    }
-    if distinct {
-        let mut seen = HashSet::new();
-        values.retain(|v| seen.insert(v.group_key()));
-    }
-    Ok(match func {
-        AggFunc::Count => Value::Int(values.len() as i64),
-        AggFunc::Sum => {
-            if values.is_empty() {
-                Value::Null
-            } else {
-                let s: f64 = values.iter().filter_map(Value::as_f64).sum();
-                if values.iter().all(|v| matches!(v, Value::Int(_) | Value::Bool(_))) {
-                    Value::Int(s as i64)
-                } else {
-                    Value::Float(s)
-                }
-            }
-        }
-        AggFunc::Avg => {
-            if values.is_empty() {
-                Value::Null
-            } else {
-                let s: f64 = values.iter().filter_map(Value::as_f64).sum();
-                Value::Float(s / values.len() as f64)
-            }
-        }
-        AggFunc::Min => values
-            .iter()
-            .cloned()
-            .min_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null),
-        AggFunc::Max => values
-            .iter()
-            .cloned()
-            .max_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null),
-    })
-}
-
-fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, ExecError> {
-    match op {
-        BinOp::And => {
-            // 3-valued AND.
-            Ok(match (l.is_null(), r.is_null()) {
-                (false, false) => Value::Bool(l.is_truthy() && r.is_truthy()),
-                _ => {
-                    if (!l.is_null() && !l.is_truthy()) || (!r.is_null() && !r.is_truthy()) {
-                        Value::Bool(false)
-                    } else {
-                        Value::Null
-                    }
-                }
-            })
-        }
-        BinOp::Or => Ok(match (l.is_null(), r.is_null()) {
-            (false, false) => Value::Bool(l.is_truthy() || r.is_truthy()),
-            _ => {
-                if (!l.is_null() && l.is_truthy()) || (!r.is_null() && r.is_truthy()) {
-                    Value::Bool(true)
-                } else {
-                    Value::Null
-                }
-            }
-        }),
-        BinOp::Eq => Ok(l.sql_eq(r).map(Value::Bool).unwrap_or(Value::Null)),
-        BinOp::NotEq => Ok(l.sql_eq(r).map(|b| Value::Bool(!b)).unwrap_or(Value::Null)),
-        BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-            Ok(match l.sql_cmp(r) {
-                None => Value::Null,
-                Some(ord) => Value::Bool(match op {
-                    BinOp::Lt => ord == std::cmp::Ordering::Less,
-                    BinOp::LtEq => ord != std::cmp::Ordering::Greater,
-                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
-                    BinOp::GtEq => ord != std::cmp::Ordering::Less,
-                    _ => unreachable!(),
-                }),
-            })
-        }
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-            if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
-            }
-            let (a, b) = match (l.as_f64(), r.as_f64()) {
-                (Some(a), Some(b)) => (a, b),
-                _ => return Ok(Value::Null),
-            };
-            let result = match op {
-                BinOp::Add => a + b,
-                BinOp::Sub => a - b,
-                BinOp::Mul => a * b,
-                BinOp::Div => {
-                    if b == 0.0 {
-                        return Ok(Value::Null);
-                    }
-                    a / b
-                }
-                _ => unreachable!(),
-            };
-            let ints = matches!(l, Value::Int(_)) && matches!(r, Value::Int(_));
-            if ints && result.fract() == 0.0 && op != BinOp::Div {
-                Ok(Value::Int(result as i64))
-            } else if ints && op == BinOp::Div {
-                // SQLite integer division truncates.
-                Ok(Value::Int(result.trunc() as i64))
-            } else {
-                Ok(Value::Float(result))
-            }
-        }
-    }
-}
-
-fn sort_rows(rows: &mut [OutRow], dirs: &[SortOrder]) {
-    rows.sort_by(|a, b| {
-        for (i, dir) in dirs.iter().enumerate() {
-            let (ka, kb) = (&a.order_keys[i], &b.order_keys[i]);
-            let ord = ka.total_cmp(kb);
-            let ord = match dir {
-                SortOrder::Asc => ord,
-                SortOrder::Desc => ord.reverse(),
-            };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+    compile(db, q)?.run(db)
 }
 
 /// Validity check: whether the query executes without error ("executable

@@ -18,17 +18,15 @@ pub(crate) fn flight_db() -> Database {
             ColumnDef::new("distance", DataType::Int),
         ],
     ));
-    schema.add_table(
-        TableSchema::new(
-            "flight",
-            vec![
-                ColumnDef::new("flno", DataType::Int),
-                ColumnDef::new("aid", DataType::Int),
-                ColumnDef::new("origin", DataType::Text),
-                ColumnDef::new("destination", DataType::Text),
-            ],
-        ),
-    );
+    schema.add_table(TableSchema::new(
+        "flight",
+        vec![
+            ColumnDef::new("flno", DataType::Int),
+            ColumnDef::new("aid", DataType::Int),
+            ColumnDef::new("origin", DataType::Text),
+            ColumnDef::new("destination", DataType::Text),
+        ],
+    ));
     schema.add_foreign_key("flight", "aid", "aircraft", "aid");
     let mut db = Database::new(schema);
     for (aid, name, dist) in [
@@ -36,7 +34,10 @@ pub(crate) fn flight_db() -> Database {
         (2, "Boeing 737-800", 3383),
         (3, "Airbus A340-300", 7120),
     ] {
-        db.insert("aircraft", vec![Value::Int(aid), Value::from(name), Value::Int(dist)]);
+        db.insert(
+            "aircraft",
+            vec![Value::Int(aid), Value::from(name), Value::Int(dist)],
+        );
     }
     for (flno, aid, origin, dest) in [
         (2, 1, "Los Angeles", "Tokyo"),
@@ -46,7 +47,12 @@ pub(crate) fn flight_db() -> Database {
     ] {
         db.insert(
             "flight",
-            vec![Value::Int(flno), Value::Int(aid), Value::from(origin), Value::from(dest)],
+            vec![
+                Value::Int(flno),
+                Value::Int(aid),
+                Value::from(origin),
+                Value::from(dest),
+            ],
         );
     }
     db
@@ -85,7 +91,12 @@ fn world_db() -> Database {
     ] {
         db.insert(
             "country",
-            vec![Value::from(code), Value::from(name), Value::from(cont), Value::Int(pop)],
+            vec![
+                Value::from(code),
+                Value::from(name),
+                Value::from(cont),
+                Value::Int(pop),
+            ],
         );
     }
     for (code, lang, official) in [
@@ -155,8 +166,8 @@ fn lineage_tracks_joined_sources() {
     assert_eq!(out.lineage.len(), 2);
     for lin in &out.lineage {
         assert_eq!(lin.len(), 2);
-        assert_eq!(lin[0].table, "flight");
-        assert_eq!(lin[1].table, "aircraft");
+        assert_eq!(lin[0].table.as_ref(), "flight");
+        assert_eq!(lin[1].table.as_ref(), "aircraft");
         // Aircraft row 2 is the A340.
         assert_eq!(lin[1].row, 2);
     }
@@ -174,7 +185,7 @@ fn aggregate_lineage_is_group_union() {
     assert_eq!(out.lineage.len(), 1);
     let flights: Vec<usize> = out.lineage[0]
         .iter()
-        .filter(|s| s.table == "flight")
+        .filter(|s| s.table.as_ref() == "flight")
         .map(|s| s.row)
         .collect();
     assert_eq!(flights.len(), 2);
@@ -216,10 +227,7 @@ fn having_filters_groups() {
 fn order_by_and_limit() {
     let db = flight_db();
     let r = run(&db, "SELECT flno FROM flight ORDER BY flno DESC LIMIT 2");
-    assert_eq!(
-        r.rows,
-        vec![vec![Value::Int(33)], vec![Value::Int(13)]]
-    );
+    assert_eq!(r.rows, vec![vec![Value::Int(33)], vec![Value::Int(13)]]);
 }
 
 #[test]
@@ -235,7 +243,10 @@ fn order_by_aggregate_in_grouped_query() {
 #[test]
 fn aggregates_min_max_sum_avg() {
     let db = flight_db();
-    let r = run(&db, "SELECT min(distance), max(distance), sum(distance), avg(distance) FROM aircraft");
+    let r = run(
+        &db,
+        "SELECT min(distance), max(distance), sum(distance), avg(distance) FROM aircraft",
+    );
     assert_eq!(r.rows[0][0], Value::Int(3383));
     assert_eq!(r.rows[0][1], Value::Int(8430));
     assert_eq!(r.rows[0][2], Value::Int(8430 + 3383 + 7120));
@@ -294,7 +305,10 @@ fn qualified_star_in_join() {
 fn left_join_pads_nulls() {
     let mut db = flight_db();
     // An aircraft with no flights.
-    db.insert("aircraft", vec![Value::Int(9), Value::from("Concorde"), Value::Int(4500)]);
+    db.insert(
+        "aircraft",
+        vec![Value::Int(9), Value::from("Concorde"), Value::Int(4500)],
+    );
     let r = run(
         &db,
         "SELECT T1.name, T2.flno FROM aircraft AS T1 LEFT JOIN flight AS T2 ON T1.aid = T2.aid \
@@ -463,7 +477,10 @@ fn set_op_arity_mismatch_errors() {
 #[test]
 fn group_key_null_handling() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT origin, count(*) FROM flight GROUP BY origin");
     // NULL origin forms its own group.
     assert_eq!(r.len(), 3);
@@ -472,7 +489,10 @@ fn group_key_null_handling() {
 #[test]
 fn count_column_skips_nulls() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT count(origin), count(*) FROM flight");
     assert_eq!(r.rows[0][0], Value::Int(4));
     assert_eq!(r.rows[0][1], Value::Int(5));
@@ -481,7 +501,10 @@ fn count_column_skips_nulls() {
 #[test]
 fn comparison_with_null_is_filtered_out() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT flno FROM flight WHERE aid > 0");
     assert_eq!(r.len(), 4); // the NULL-aid row is excluded
 }
@@ -489,7 +512,10 @@ fn comparison_with_null_is_filtered_out() {
 #[test]
 fn is_null_predicate() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT flno FROM flight WHERE aid IS NULL");
     assert_eq!(r.rows, vec![vec![Value::Int(99)]]);
 }
@@ -505,7 +531,10 @@ fn bag_comparison_of_equivalent_queries() {
 #[test]
 fn order_by_two_keys() {
     let db = flight_db();
-    let r = run(&db, "SELECT origin, flno FROM flight ORDER BY origin ASC, flno DESC");
+    let r = run(
+        &db,
+        "SELECT origin, flno FROM flight ORDER BY origin ASC, flno DESC",
+    );
     assert_eq!(r.rows[0][0], Value::from("Boston"));
     assert_eq!(r.rows[1][1], Value::Int(13));
 }
@@ -552,7 +581,10 @@ fn having_without_group_by() {
 #[test]
 fn arithmetic_null_propagation() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT aid + 1 FROM flight WHERE flno = 99");
     assert_eq!(r.rows, vec![vec![Value::Null]]);
 }
@@ -574,7 +606,10 @@ fn integer_division_truncates() {
 #[test]
 fn between_with_null_bound_filters_row_out() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT flno FROM flight WHERE aid BETWEEN 1 AND 3");
     assert_eq!(r.len(), 4, "NULL aid row excluded");
 }
@@ -582,7 +617,10 @@ fn between_with_null_bound_filters_row_out() {
 #[test]
 fn not_of_null_is_filtered() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT flno FROM flight WHERE NOT (aid = 1)");
     // NOT NULL = NULL → excluded; flights with aid != 1 remain.
     assert_eq!(r.len(), 3);
@@ -591,7 +629,10 @@ fn not_of_null_is_filtered() {
 #[test]
 fn in_list_with_null_needle_is_filtered() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(&db, "SELECT flno FROM flight WHERE aid IN (1, 2, 3)");
     assert_eq!(r.len(), 4);
 }
@@ -599,7 +640,10 @@ fn in_list_with_null_needle_is_filtered() {
 #[test]
 fn order_by_on_empty_result() {
     let db = flight_db();
-    let r = run(&db, "SELECT flno FROM flight WHERE origin = 'Nowhere' ORDER BY flno DESC");
+    let r = run(
+        &db,
+        "SELECT flno FROM flight WHERE origin = 'Nowhere' ORDER BY flno DESC",
+    );
     assert!(r.is_empty());
 }
 
@@ -621,7 +665,10 @@ fn limit_beyond_rows_is_harmless() {
 fn hash_join_skips_null_keys() {
     let mut db = flight_db();
     // A flight with a NULL aid must never match any aircraft.
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(
         &db,
         "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid",
@@ -632,7 +679,10 @@ fn hash_join_skips_null_keys() {
 #[test]
 fn left_join_with_null_key_pads() {
     let mut db = flight_db();
-    db.insert("flight", vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")]);
+    db.insert(
+        "flight",
+        vec![Value::Int(99), Value::Null, Value::Null, Value::from("X")],
+    );
     let r = run(
         &db,
         "SELECT T1.flno, T2.name FROM flight AS T1 LEFT JOIN aircraft AS T2 ON T1.aid = T2.aid \

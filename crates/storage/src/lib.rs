@@ -29,21 +29,30 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod error;
 pub mod exec;
+pub mod ir;
 pub mod plan;
+pub mod reference;
 pub mod result;
+mod run;
+mod scalar;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 #[cfg(test)]
+mod compiled_tests;
+#[cfg(test)]
 mod exec_tests;
 
+pub use compile::compile;
 pub use error::ExecError;
 pub use exec::{execute, execute_with_lineage, is_executable, ExecOutput, Lineage, SourceRef};
+pub use ir::{CompiledQuery, InProbe, RunStats};
 pub use plan::{describe_plan, PlanStep, QueryPlan};
 pub use result::ResultSet;
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
 pub use table::{Database, Row, Table};
-pub use value::Value;
+pub use value::{KeyValue, Value};

@@ -1,11 +1,14 @@
 //! Query-plan description: a human-readable account of how the executor
 //! will evaluate a query (scan order, join strategy, filters, grouping,
-//! set operations). Purely descriptive — the executor itself makes the
-//! same decisions independently — but pinned to the real dispatch logic by
-//! tests so the description cannot drift from the implementation.
+//! set operations). Rendered directly from the *compiled* plan
+//! ([`crate::compile::compile`]), so the description reports the decisions
+//! the engine actually made — it cannot drift from dispatch logic the way
+//! a hand-mirrored describer could.
 
+use crate::compile::compile;
+use crate::ir::{CBody, CCore, CompiledQuery, JoinStrategy};
 use crate::table::Database;
-use cyclesql_sql::{BinOp, Expr, Query, QueryBody, SelectCore};
+use cyclesql_sql::Query;
 use std::fmt::Write as _;
 
 /// One step of the described plan.
@@ -15,9 +18,17 @@ pub enum PlanStep {
     /// Sequential scan of a base table.
     Scan { table: String, rows: usize },
     /// Hash join on a single equality key.
-    HashJoin { table: String, rows: usize, on: String },
+    HashJoin {
+        table: String,
+        rows: usize,
+        on: String,
+    },
     /// Nested-loop join (non-equi or compound condition, or no condition).
-    NestedLoopJoin { table: String, rows: usize, on: Option<String> },
+    NestedLoopJoin {
+        table: String,
+        rows: usize,
+        on: Option<String>,
+    },
     /// Filter application.
     Filter { predicate: String },
     /// Grouping / aggregation.
@@ -72,91 +83,81 @@ impl QueryPlan {
 
     /// Whether any join uses the hash strategy.
     pub fn uses_hash_join(&self) -> bool {
-        self.steps.iter().any(|s| matches!(s, PlanStep::HashJoin { .. }))
+        self.steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::HashJoin { .. }))
     }
 }
 
-/// Describes how the executor will evaluate `query` against `db`.
+/// Describes how the executor will evaluate `query` against `db` by
+/// compiling it and rendering the compiled plan: the join strategies,
+/// grouping decisions, and step order shown are the ones the run loop
+/// will actually dispatch. A query that fails to compile (and therefore
+/// cannot execute) yields an empty plan.
 pub fn describe_plan(db: &Database, query: &Query) -> QueryPlan {
-    let mut plan = QueryPlan::default();
-    describe_body(db, &query.body, &mut plan);
-    if !query.order_by.is_empty() {
-        plan.steps.push(PlanStep::Sort { keys: query.order_by.len() });
+    match compile(db, query) {
+        Ok(compiled) => describe_compiled(db, &compiled),
+        Err(_) => QueryPlan::default(),
     }
-    if let Some(n) = query.limit {
+}
+
+fn describe_compiled(db: &Database, compiled: &CompiledQuery) -> QueryPlan {
+    let mut plan = QueryPlan::default();
+    describe_body(db, compiled, &compiled.body, &mut plan);
+    if !compiled.order_dirs.is_empty() {
+        plan.steps.push(PlanStep::Sort {
+            keys: compiled.order_dirs.len(),
+        });
+    }
+    if let Some(n) = compiled.limit {
         plan.steps.push(PlanStep::Limit { n });
     }
     plan
 }
 
-fn describe_body(db: &Database, body: &QueryBody, plan: &mut QueryPlan) {
+fn describe_body(db: &Database, compiled: &CompiledQuery, body: &CBody, plan: &mut QueryPlan) {
     match body {
-        QueryBody::Select(core) => describe_core(db, core, plan),
-        QueryBody::SetOp { op, left, right } => {
-            describe_body(db, left, plan);
-            plan.steps.push(PlanStep::SetOp { op: op.keyword().to_string() });
-            describe_body(db, right, plan);
+        CBody::Select(core) => describe_core(db, compiled, core, plan),
+        CBody::SetOp { op, left, right } => {
+            describe_body(db, compiled, left, plan);
+            plan.steps.push(PlanStep::SetOp {
+                op: op.keyword().to_string(),
+            });
+            describe_body(db, compiled, right, plan);
         }
     }
 }
 
-fn describe_core(db: &Database, core: &SelectCore, plan: &mut QueryPlan) {
+fn describe_core(db: &Database, compiled: &CompiledQuery, core: &CCore, plan: &mut QueryPlan) {
+    let table_name = |id: u32| -> &str { &compiled.tables[id as usize] };
     let row_count =
-        |name: &str| -> usize { db.table(name).map(|t| t.len()).unwrap_or(0) };
+        |id: u32| -> usize { db.table_exact(table_name(id)).map(|t| t.len()).unwrap_or(0) };
     plan.steps.push(PlanStep::Scan {
-        table: core.from.base.name.clone(),
-        rows: row_count(&core.from.base.name),
+        table: table_name(core.base).to_string(),
+        rows: row_count(core.base),
     });
-    // Track the visible prefix to mirror the executor's equi-join detection:
-    // one side must resolve into already-joined tables, the other into the
-    // fresh table.
-    let mut prefix: Vec<String> = vec![
-        core.from.base.visible_name().to_string(),
-        core.from.base.name.clone(),
-    ];
-    for join in &core.from.joins {
-        let rows = row_count(&join.table.name);
-        let fresh = [join.table.visible_name().to_string(), join.table.name.clone()];
-        let hashable = join.on.as_ref().and_then(|on| {
-            let Expr::Binary { op: BinOp::Eq, left, right } = on else { return None };
-            let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
-                return None;
-            };
-            let side = |c: &cyclesql_sql::ColumnRef| -> Option<bool> {
-                // true = prefix side, false = fresh side. Unqualified columns
-                // are ambiguous here; be conservative and refuse.
-                let q = c.table.as_deref()?;
-                if fresh.iter().any(|f| f == q) {
-                    Some(false)
-                } else if prefix.iter().any(|p| p == q) {
-                    Some(true)
-                } else {
-                    None
-                }
-            };
-            match (side(a), side(b)) {
-                (Some(x), Some(y)) if x != y => Some(on.to_string()),
-                _ => None,
-            }
-        });
-        match hashable {
-            Some(on) => plan.steps.push(PlanStep::HashJoin {
-                table: join.table.name.clone(),
+    for join in &core.joins {
+        let table = table_name(join.table).to_string();
+        let rows = row_count(join.table);
+        match &join.strategy {
+            JoinStrategy::Hash { .. } => plan.steps.push(PlanStep::HashJoin {
+                table,
                 rows,
-                on,
+                on: join.on_display.clone().unwrap_or_default(),
             }),
-            None => plan.steps.push(PlanStep::NestedLoopJoin {
-                table: join.table.name.clone(),
+            JoinStrategy::Loop { .. } => plan.steps.push(PlanStep::NestedLoopJoin {
+                table,
                 rows,
-                on: join.on.as_ref().map(|o| o.to_string()),
+                on: join.on_display.clone(),
             }),
         }
-        prefix.extend(fresh);
     }
-    if let Some(w) = &core.where_clause {
-        plan.steps.push(PlanStep::Filter { predicate: w.to_string() });
+    if let Some(predicate) = &core.filter_display {
+        plan.steps.push(PlanStep::Filter {
+            predicate: predicate.clone(),
+        });
     }
-    if core.has_aggregate() || !core.group_by.is_empty() {
+    if core.grouped {
         plan.steps.push(PlanStep::Aggregate {
             group_keys: core.group_by.len(),
             having: core.having.is_some(),
@@ -178,11 +179,17 @@ mod tests {
         let mut schema = DatabaseSchema::new("d");
         schema.add_table(TableSchema::new(
             "a",
-            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("x", DataType::Int)],
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("x", DataType::Int),
+            ],
         ));
         schema.add_table(TableSchema::new(
             "b",
-            vec![ColumnDef::new("bid", DataType::Int), ColumnDef::new("aid", DataType::Int)],
+            vec![
+                ColumnDef::new("bid", DataType::Int),
+                ColumnDef::new("aid", DataType::Int),
+            ],
         ));
         let mut d = Database::new(schema);
         d.insert("a", vec![Value::Int(1), Value::Int(10)]);
@@ -197,16 +204,18 @@ mod tests {
         let q = parse("SELECT count(*) FROM b AS t1 JOIN a AS t2 ON t1.aid = t2.id").unwrap();
         let plan = describe_plan(&d, &q);
         assert!(plan.uses_hash_join(), "{}", plan.render());
-        assert!(plan.render().contains("HASH JOIN a (1 rows)"), "{}", plan.render());
+        assert!(
+            plan.render().contains("HASH JOIN a (1 rows)"),
+            "{}",
+            plan.render()
+        );
     }
 
     #[test]
     fn compound_on_described_as_nested_loop() {
         let d = db();
-        let q = parse(
-            "SELECT count(*) FROM b AS t1 JOIN a AS t2 ON t1.aid = t2.id AND 1 = 1",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT count(*) FROM b AS t1 JOIN a AS t2 ON t1.aid = t2.id AND 1 = 1").unwrap();
         let plan = describe_plan(&d, &q);
         assert!(!plan.uses_hash_join(), "{}", plan.render());
     }
@@ -229,7 +238,15 @@ mod tests {
         .unwrap();
         let plan = describe_plan(&d, &q);
         let rendered = plan.render();
-        let order = ["SCAN", "HASH JOIN", "FILTER", "AGGREGATE", "DISTINCT", "SORT", "LIMIT"];
+        let order = [
+            "SCAN",
+            "HASH JOIN",
+            "FILTER",
+            "AGGREGATE",
+            "DISTINCT",
+            "SORT",
+            "LIMIT",
+        ];
         let mut last = 0;
         for marker in order {
             let pos = rendered[last..]
@@ -247,23 +264,51 @@ mod tests {
         let plan = describe_plan(&d, &q);
         assert!(plan.render().contains("SET UNION"), "{}", plan.render());
         assert_eq!(
-            plan.steps.iter().filter(|s| matches!(s, PlanStep::Scan { .. })).count(),
+            plan.steps
+                .iter()
+                .filter(|s| matches!(s, PlanStep::Scan { .. }))
+                .count(),
             2
         );
     }
 
-    /// The describer's hash/nested decision must match the executor's: both
-    /// strategies produce identical results anyway (pinned elsewhere), but a
-    /// drifted description would mislead; spot-check the dispatch inputs.
+    /// The description now derives from the compiled plan, so it reports
+    /// the executor's real dispatch: an unqualified `ON aid = id` resolves
+    /// at compile time and hashes (the old hand-mirrored describer had to
+    /// conservatively claim a nested loop here).
     #[test]
     fn description_matches_executor_dispatch_rules() {
         let d = db();
-        // Unqualified columns are ambiguous to the describer → nested loop
-        // (conservative), while remaining correct.
         let q = parse("SELECT count(*) FROM b JOIN a ON aid = id").unwrap();
         let plan = describe_plan(&d, &q);
-        assert!(!plan.uses_hash_join());
+        assert!(plan.uses_hash_join(), "{}", plan.render());
         let r = crate::exec::execute(&d, &q).unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    /// An uncompilable (hence unexecutable) query yields an empty plan
+    /// rather than a misleading description.
+    #[test]
+    fn uncompilable_query_has_empty_plan() {
+        let d = db();
+        let q = parse("SELECT nosuch FROM a").unwrap();
+        assert!(describe_plan(&d, &q).steps.is_empty());
+        assert!(crate::exec::execute(&d, &q).is_err());
+    }
+
+    /// Aggregates hidden in HAVING or ORDER BY force grouped execution;
+    /// the compiled-plan description reports that truthfully.
+    #[test]
+    fn order_by_aggregate_described_as_aggregate() {
+        let d = db();
+        let q = parse("SELECT aid FROM b ORDER BY count(*)").unwrap();
+        let plan = describe_plan(&d, &q);
+        assert!(
+            plan.steps
+                .iter()
+                .any(|s| matches!(s, PlanStep::Aggregate { .. })),
+            "{}",
+            plan.render()
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Query result sets and bag-semantics equivalence.
 
-use crate::value::Value;
+use crate::value::{KeyValue, Value};
 use serde::{Deserialize, Serialize};
 
 /// A query result: column display names plus rows.
@@ -15,7 +15,10 @@ pub struct ResultSet {
 impl ResultSet {
     /// An empty result with the given columns.
     pub fn empty(columns: Vec<String>) -> Self {
-        ResultSet { columns, rows: Vec::new() }
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -35,11 +38,18 @@ impl ResultSet {
         if self.columns.len() != other.columns.len() || self.rows.len() != other.rows.len() {
             return false;
         }
-        let mut a: Vec<String> = self.rows.iter().map(|r| row_key(r)).collect();
-        let mut b: Vec<String> = other.rows.iter().map(|r| row_key(r)).collect();
-        a.sort();
-        b.sort();
-        a == b
+        // Allocation-light row keys: KeyValue equality matches group_key
+        // string equality (pinned in value.rs), sorted under its arbitrary
+        // total order for multiset comparison.
+        let keyed = |rows: &[Vec<Value>]| -> Vec<Vec<KeyValue>> {
+            let mut keys: Vec<Vec<KeyValue>> = rows
+                .iter()
+                .map(|r| r.iter().map(Value::key).collect())
+                .collect();
+            keys.sort();
+            keys
+        };
+        keyed(&self.rows) == keyed(&other.rows)
     }
 
     /// A deterministic fingerprint of the bag of rows (used by the
@@ -61,7 +71,10 @@ mod tests {
     use super::*;
 
     fn rs(cols: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
-        ResultSet { columns: cols.iter().map(|s| s.to_string()).collect(), rows }
+        ResultSet {
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
     }
 
     #[test]

@@ -1,0 +1,596 @@
+//! The run loop for [`CompiledQuery`]: executes a compiled plan against a
+//! database.
+//!
+//! Per run it (1) resolves each interned table name against the target
+//! database once, (2) executes the subquery prologue — every hoisted
+//! subquery exactly once, materialized as an [`InProbe`] or a constant —
+//! and then (3) streams rows through slots-only expression evaluation.
+//! Grouping, DISTINCT, set operations, and hash joins key on
+//! [`KeyValue`]s; lineage travels as interned `(table-id, row)` pairs with
+//! set-backed ordered dedup and is materialized to [`SourceRef`]s only
+//! after LIMIT truncation.
+
+use crate::error::ExecError;
+use crate::exec::{ExecOutput, SourceRef};
+use crate::ir::{
+    row_key, CBody, CCore, CExpr, CProj, CompiledQuery, InProbe, JoinStrategy, RunStats, SrcId,
+    SubKind, SubPlan, SubResult,
+};
+use crate::result::ResultSet;
+use crate::scalar::{dedup_distinct, eval_binary, fold_agg, sort_by_order_keys};
+use crate::table::{Database, Table};
+use crate::value::{KeyValue, Value};
+use cyclesql_sql::{AggFunc, JoinType, SetOp};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+impl CompiledQuery {
+    /// Runs the compiled plan, tracking per-row lineage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if `db` lacks a table the plan references
+    /// (running against a database with a different schema) or on run-time
+    /// evaluation errors (e.g. a non-COUNT aggregate over `*`).
+    pub fn run(&self, db: &Database) -> Result<ExecOutput, ExecError> {
+        let mut stats = RunStats::default();
+        self.run_inner(db, &mut stats)
+    }
+
+    /// Runs the compiled plan, discarding lineage.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_result(&self, db: &Database) -> Result<ResultSet, ExecError> {
+        self.run(db).map(|o| o.result)
+    }
+
+    /// Runs the compiled plan and reports execution statistics (how many
+    /// hoisted subqueries were executed, each exactly once).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_with_stats(&self, db: &Database) -> Result<(ExecOutput, RunStats), ExecError> {
+        let mut stats = RunStats::default();
+        let out = self.run_inner(db, &mut stats)?;
+        Ok((out, stats))
+    }
+
+    fn run_inner(&self, db: &Database, stats: &mut RunStats) -> Result<ExecOutput, ExecError> {
+        let ctx = RunCtx::prepare(self, db, stats)?;
+        let (columns, mut rows) = exec_cbody(&ctx, &self.body)?;
+        if !self.order_dirs.is_empty() {
+            sort_by_order_keys(&mut rows, &self.order_dirs, |r: &COutRow| &r.order_keys);
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n as usize);
+        }
+        // Materialize interned lineage ids to shared table-name handles,
+        // only for rows that survived LIMIT.
+        let arcs: Vec<Arc<str>> = self.tables.iter().map(|t| Arc::from(t.as_str())).collect();
+        let mut result_rows = Vec::with_capacity(rows.len());
+        let mut lineage = Vec::with_capacity(rows.len());
+        for r in rows {
+            result_rows.push(r.values);
+            lineage.push(
+                r.lineage
+                    .into_iter()
+                    .map(|(t, row)| SourceRef {
+                        table: Arc::clone(&arcs[t as usize]),
+                        row,
+                    })
+                    .collect(),
+            );
+        }
+        Ok(ExecOutput {
+            result: ResultSet {
+                columns,
+                rows: result_rows,
+            },
+            lineage,
+        })
+    }
+}
+
+/// Per-run state: resolved tables and prologue results.
+struct RunCtx<'a> {
+    tables: Vec<&'a Table>,
+    subs: Vec<SubResult>,
+}
+
+impl<'a> RunCtx<'a> {
+    fn prepare(
+        plan: &CompiledQuery,
+        db: &'a Database,
+        stats: &mut RunStats,
+    ) -> Result<Self, ExecError> {
+        let tables = plan
+            .tables
+            .iter()
+            .map(|name| {
+                db.table_exact(name)
+                    .ok_or_else(|| ExecError::new(format!("unknown table {name}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut subs = Vec::with_capacity(plan.subs.len());
+        for sub in &plan.subs {
+            subs.push(run_prologue_step(sub, db, stats)?);
+        }
+        Ok(RunCtx { tables, subs })
+    }
+}
+
+/// Executes one hoisted subquery — the only place subqueries run, once per
+/// run regardless of outer cardinality.
+fn run_prologue_step(
+    sub: &SubPlan,
+    db: &Database,
+    stats: &mut RunStats,
+) -> Result<SubResult, ExecError> {
+    stats.subquery_runs += 1;
+    let result = sub.plan.run_inner(db, stats)?.result;
+    Ok(match &sub.kind {
+        SubKind::InSet => {
+            let mut probe = InProbe::default();
+            for row in &result.rows {
+                if let Some(v) = row.first() {
+                    probe.insert(v);
+                }
+            }
+            SubResult::Probe(probe)
+        }
+        SubKind::Exists { negated } => SubResult::Const(Value::Bool(result.is_empty() == *negated)),
+        SubKind::Scalar => SubResult::Const(
+            result
+                .rows
+                .first()
+                .and_then(|r| r.first().cloned())
+                .unwrap_or(Value::Null),
+        ),
+    })
+}
+
+/// One joined row mid-pipeline: values plus interned lineage.
+#[derive(Debug, Clone)]
+struct CWorkRow {
+    values: Vec<Value>,
+    lineage: Vec<SrcId>,
+}
+
+/// One output row mid-pipeline.
+#[derive(Debug, Clone)]
+struct COutRow {
+    values: Vec<Value>,
+    lineage: Vec<SrcId>,
+    order_keys: Vec<Value>,
+}
+
+fn exec_cbody(ctx: &RunCtx<'_>, body: &CBody) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
+    match body {
+        CBody::Select(core) => exec_ccore(ctx, core),
+        CBody::SetOp { op, left, right } => {
+            let (columns, l) = exec_cbody(ctx, left)?;
+            let (_, r) = exec_cbody(ctx, right)?;
+            Ok((columns, apply_set_op(*op, l, r)))
+        }
+    }
+}
+
+/// Set-operation dedup on [`KeyValue`] row keys, computed once per row.
+fn apply_set_op(op: SetOp, l: Vec<COutRow>, r: Vec<COutRow>) -> Vec<COutRow> {
+    let key = |row: &COutRow| row_key(&row.values);
+    let mut out = Vec::new();
+    let mut seen: HashSet<Vec<KeyValue>> = HashSet::new();
+    match op {
+        SetOp::Union => {
+            for row in l.into_iter().chain(r) {
+                let k = key(&row);
+                if seen.insert(k) {
+                    out.push(row);
+                }
+            }
+        }
+        SetOp::Intersect => {
+            // First matching right row per key, for the lineage merge.
+            let mut right_first: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+            for (i, row) in r.iter().enumerate() {
+                right_first.entry(key(row)).or_insert(i);
+            }
+            for mut row in l.into_iter() {
+                let k = key(&row);
+                if let Some(&first) = right_first.get(&k) {
+                    if seen.insert(k) {
+                        // Merge lineage from one matching right row so the
+                        // provenance spans both branches; ordered dedup via
+                        // a set rather than O(n²) scans.
+                        let mut present: HashSet<SrcId> = row.lineage.iter().copied().collect();
+                        for &src in &r[first].lineage {
+                            if present.insert(src) {
+                                row.lineage.push(src);
+                            }
+                        }
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        SetOp::Except => {
+            let right_keys: HashSet<Vec<KeyValue>> = r.iter().map(key).collect();
+            for row in l.into_iter() {
+                let k = key(&row);
+                if !right_keys.contains(&k) && seen.insert(k) {
+                    out.push(row);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn exec_ccore(ctx: &RunCtx<'_>, core: &CCore) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
+    let mut work = build_working_set(ctx, core)?;
+
+    if let Some(pred) = &core.filter {
+        let mut kept = Vec::with_capacity(work.len());
+        for row in work.into_iter() {
+            if ceval(pred, ctx, &row)?.is_truthy() {
+                kept.push(row);
+            }
+        }
+        work = kept;
+    }
+
+    let mut out_rows: Vec<COutRow> = Vec::new();
+    if core.grouped {
+        let groups = group_rows(&core.group_by, ctx, work)?;
+        for group in groups {
+            if let Some(h) = &core.having {
+                if !ceval_in_group(h, ctx, &group)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut values = Vec::new();
+            for item in &core.projections {
+                project_item(item, ctx, ProjCtx::Group(&group), &mut values)?;
+            }
+            let mut order_keys = Vec::with_capacity(core.order_exprs.len());
+            for o in &core.order_exprs {
+                order_keys.push(ceval_in_group(o, ctx, &group)?);
+            }
+            // Ordered union of the group's lineage, set-backed.
+            let mut lineage: Vec<SrcId> = Vec::new();
+            let mut present: HashSet<SrcId> = HashSet::new();
+            for r in &group {
+                for &src in &r.lineage {
+                    if present.insert(src) {
+                        lineage.push(src);
+                    }
+                }
+            }
+            out_rows.push(COutRow {
+                values,
+                lineage,
+                order_keys,
+            });
+        }
+    } else {
+        for row in work {
+            let mut values = Vec::new();
+            for item in &core.projections {
+                project_item(item, ctx, ProjCtx::Row(&row), &mut values)?;
+            }
+            let mut order_keys = Vec::with_capacity(core.order_exprs.len());
+            for o in &core.order_exprs {
+                order_keys.push(ceval(o, ctx, &row)?);
+            }
+            out_rows.push(COutRow {
+                values,
+                lineage: row.lineage,
+                order_keys,
+            });
+        }
+    }
+
+    if core.distinct {
+        let mut seen: HashSet<Vec<KeyValue>> = HashSet::new();
+        out_rows.retain(|r| seen.insert(row_key(&r.values)));
+    }
+
+    Ok((core.columns.clone(), out_rows))
+}
+
+fn build_working_set(ctx: &RunCtx<'_>, core: &CCore) -> Result<Vec<CWorkRow>, ExecError> {
+    let base = ctx.tables[core.base as usize];
+    let mut work: Vec<CWorkRow> = base
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| CWorkRow {
+            values: r.clone(),
+            lineage: vec![(core.base, i)],
+        })
+        .collect();
+
+    for join in &core.joins {
+        let right = ctx.tables[join.table as usize];
+        let mut joined = Vec::new();
+        match &join.strategy {
+            JoinStrategy::Hash {
+                left_slot,
+                right_col,
+            } => {
+                // NULL keys never match (3VL), mirroring nested-loop sql_eq.
+                let mut index: HashMap<KeyValue, Vec<usize>> = HashMap::new();
+                for (ri, right_row) in right.rows.iter().enumerate() {
+                    let k = &right_row[*right_col];
+                    if !k.is_null() {
+                        index.entry(k.key()).or_default().push(ri);
+                    }
+                }
+                for left_row in &work {
+                    let k = &left_row.values[*left_slot];
+                    let matches: &[usize] = if k.is_null() {
+                        &[]
+                    } else {
+                        index.get(&k.key()).map(|v| v.as_slice()).unwrap_or(&[])
+                    };
+                    for &ri in matches {
+                        let mut values = left_row.values.clone();
+                        values.extend(right.rows[ri].iter().cloned());
+                        let mut lineage = left_row.lineage.clone();
+                        lineage.push((join.table, ri));
+                        joined.push(CWorkRow { values, lineage });
+                    }
+                    if matches.is_empty() && join.join_type == JoinType::Left {
+                        let mut values = left_row.values.clone();
+                        values.extend(std::iter::repeat_n(Value::Null, join.right_width));
+                        joined.push(CWorkRow {
+                            values,
+                            lineage: left_row.lineage.clone(),
+                        });
+                    }
+                }
+            }
+            JoinStrategy::Loop { on } => {
+                for left_row in &work {
+                    let mut matched = false;
+                    for (ri, right_row) in right.rows.iter().enumerate() {
+                        let mut values = left_row.values.clone();
+                        values.extend(right_row.iter().cloned());
+                        let mut lineage = left_row.lineage.clone();
+                        lineage.push((join.table, ri));
+                        let candidate = CWorkRow { values, lineage };
+                        let keep = match on {
+                            Some(on) => ceval(on, ctx, &candidate)?.is_truthy(),
+                            None => true,
+                        };
+                        if keep {
+                            matched = true;
+                            joined.push(candidate);
+                        }
+                    }
+                    if !matched && join.join_type == JoinType::Left {
+                        let mut values = left_row.values.clone();
+                        values.extend(std::iter::repeat_n(Value::Null, join.right_width));
+                        joined.push(CWorkRow {
+                            values,
+                            lineage: left_row.lineage.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        work = joined;
+    }
+    Ok(work)
+}
+
+enum ProjCtx<'a> {
+    Row(&'a CWorkRow),
+    Group(&'a [CWorkRow]),
+}
+
+fn project_item(
+    item: &CProj,
+    ctx: &RunCtx<'_>,
+    pctx: ProjCtx<'_>,
+    out: &mut Vec<Value>,
+) -> Result<(), ExecError> {
+    match item {
+        CProj::Slots(idxs) => {
+            let rep: Option<&CWorkRow> = match &pctx {
+                ProjCtx::Row(r) => Some(r),
+                ProjCtx::Group(g) => g.first(),
+            };
+            match rep {
+                Some(r) => out.extend(idxs.iter().map(|&i| r.values[i].clone())),
+                // Empty group (aggregate over no rows): NULL-pad, matching
+                // the reference interpreter.
+                None => out.extend(std::iter::repeat_n(Value::Null, idxs.len())),
+            }
+        }
+        CProj::Expr(e) => {
+            let v = match pctx {
+                ProjCtx::Row(r) => ceval(e, ctx, r)?,
+                ProjCtx::Group(g) => ceval_in_group(e, ctx, g)?,
+            };
+            out.push(v);
+        }
+    }
+    Ok(())
+}
+
+/// Order-preserving grouping on [`KeyValue`] keys; rows are moved into
+/// their groups, not cloned.
+fn group_rows(
+    group_by: &[CExpr],
+    ctx: &RunCtx<'_>,
+    work: Vec<CWorkRow>,
+) -> Result<Vec<Vec<CWorkRow>>, ExecError> {
+    if group_by.is_empty() {
+        // Single group over the full input — even if empty (so `count(*)`
+        // over an empty table yields 0).
+        return Ok(vec![work]);
+    }
+    let mut index: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<CWorkRow>> = Vec::new();
+    for row in work {
+        let mut key = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key.push(ceval(g, ctx, &row)?.key());
+        }
+        let slot = *index.entry(key).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[slot].push(row);
+    }
+    Ok(groups)
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation — slots and prologue lookups only, no name
+// resolution and no subquery execution.
+// ---------------------------------------------------------------------------
+
+fn ceval(e: &CExpr, ctx: &RunCtx<'_>, row: &CWorkRow) -> Result<Value, ExecError> {
+    match e {
+        CExpr::Slot(i) => Ok(row.values[*i].clone()),
+        CExpr::Const(v) => Ok(v.clone()),
+        CExpr::Binary { op, left, right } => {
+            eval_binary(*op, &ceval(left, ctx, row)?, &ceval(right, ctx, row)?)
+        }
+        CExpr::Not(inner) => {
+            let v = ceval(inner, ctx, row)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        CExpr::Agg { .. } => Err(ExecError::new(
+            "aggregate used outside of an aggregate context",
+        )),
+        CExpr::InProbeRef { expr, sub, negated } => {
+            let needle = ceval(expr, ctx, row)?;
+            let found = match &ctx.subs[*sub] {
+                SubResult::Probe(p) => p.contains(&needle),
+                SubResult::Const(_) => {
+                    return Err(ExecError::new("internal: IN site bound to a constant"))
+                }
+            };
+            Ok(Value::Bool(found != *negated))
+        }
+        CExpr::SubConst { sub } => match &ctx.subs[*sub] {
+            SubResult::Const(v) => Ok(v.clone()),
+            SubResult::Probe(_) => Err(ExecError::new("internal: constant site bound to a probe")),
+        },
+        CExpr::InConstList {
+            expr,
+            probe,
+            negated,
+        } => {
+            let needle = ceval(expr, ctx, row)?;
+            Ok(Value::Bool(probe.contains(&needle) != *negated))
+        }
+        CExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needle = ceval(expr, ctx, row)?;
+            let mut found = false;
+            for item in list {
+                let v = ceval(item, ctx, row)?;
+                if needle.sql_eq(&v) == Some(true) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        CExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = ceval(expr, ctx, row)?;
+            let lo = ceval(low, ctx, row)?;
+            let hi = ceval(high, ctx, row)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        CExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = ceval(expr, ctx, row)?;
+            match v.sql_like(pattern) {
+                Some(m) => Ok(Value::Bool(m != *negated)),
+                None => Ok(Value::Null),
+            }
+        }
+        CExpr::IsNull { expr, negated } => {
+            let v = ceval(expr, ctx, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+/// Grouped evaluation: aggregates fold over the group; bare slots take the
+/// first row's value (SQLite-style).
+fn ceval_in_group(e: &CExpr, ctx: &RunCtx<'_>, group: &[CWorkRow]) -> Result<Value, ExecError> {
+    match e {
+        CExpr::Agg {
+            func,
+            distinct,
+            arg,
+        } => match arg {
+            None => {
+                if *func != AggFunc::Count {
+                    return Err(ExecError::new(format!("{}(*) is not valid", func.name())));
+                }
+                Ok(Value::Int(group.len() as i64))
+            }
+            Some(inner) => {
+                let mut values: Vec<Value> = Vec::new();
+                for row in group {
+                    let v = ceval(inner, ctx, row)?;
+                    if !v.is_null() {
+                        values.push(v);
+                    }
+                }
+                if *distinct {
+                    dedup_distinct(&mut values);
+                }
+                Ok(fold_agg(*func, &values))
+            }
+        },
+        CExpr::Binary { op, left, right } => eval_binary(
+            *op,
+            &ceval_in_group(left, ctx, group)?,
+            &ceval_in_group(right, ctx, group)?,
+        ),
+        CExpr::Not(inner) => {
+            let v = ceval_in_group(inner, ctx, group)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        _ => match group.first() {
+            Some(first) => ceval(e, ctx, first),
+            None => Ok(Value::Null),
+        },
+    }
+}

@@ -19,7 +19,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; panics in debug builds if the arity mismatches.
@@ -72,6 +75,14 @@ impl Database {
         self.tables.iter().find(|t| t.schema.name == lower)
     }
 
+    /// Looks up a table by its exact (lower-case schema) name, skipping the
+    /// case-folding allocation of [`Database::table`]. Compiled plans
+    /// intern schema-real names, so their per-run table resolution takes
+    /// this path.
+    pub fn table_exact(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.schema.name == name)
+    }
+
     /// Mutable table lookup.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         let lower = name.to_ascii_lowercase();
@@ -105,7 +116,10 @@ mod tests {
         let mut schema = DatabaseSchema::new("mini");
         schema.add_table(TableSchema::new(
             "t",
-            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("name", DataType::Text)],
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ],
         ));
         let mut db = Database::new(schema);
         db.insert("t", vec![Value::Int(1), Value::from("a")]);

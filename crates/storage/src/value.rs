@@ -125,6 +125,26 @@ impl Value {
         }
     }
 
+    /// The non-allocating grouping key: a hashable value whose equivalence
+    /// relation is exactly [`Value::group_key`] string equality, without the
+    /// `format!` per cell. Numbers (int/float/bool) collapse onto the bits of
+    /// their `f64` view, so `2`, `2.0`, and `true`/`1` group as before —
+    /// including the deliberate quirks: `-0.0` and `0.0` stay distinct keys,
+    /// and integers beyond 2^53 collapse like their float renderings.
+    pub fn key(&self) -> KeyValue {
+        match self {
+            Value::Null => KeyValue::Null,
+            Value::Str(s) => KeyValue::Str(s.as_str().into()),
+            Value::Bool(b) => KeyValue::Num((if *b { 1.0f64 } else { 0.0 }).to_bits()),
+            Value::Int(n) => KeyValue::Num((*n as f64).to_bits()),
+            Value::Float(x) => {
+                // All NaN payloads render as the same "NaN" string key.
+                let x = if x.is_nan() { f64::NAN } else { *x };
+                KeyValue::Num(x.to_bits())
+            }
+        }
+    }
+
     /// SQL LIKE with `%` and `_` wildcards, case-insensitive (SQLite default).
     pub fn sql_like(&self, pattern: &str) -> Option<bool> {
         match self {
@@ -136,6 +156,21 @@ impl Value {
             }
         }
     }
+}
+
+/// A cheap grouping/dedup key for one cell, used by GROUP BY, DISTINCT,
+/// set operations, hash joins, and bag comparison. Equality and hashing
+/// match [`Value::group_key`] string equality; the derived `Ord` is an
+/// arbitrary (but total and deterministic) order used only for sorting
+/// multisets before comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyValue {
+    /// SQL NULL (groups with other NULLs).
+    Null,
+    /// Any numeric value, keyed by the raw bits of its `f64` view.
+    Num(u64),
+    /// Text, keyed verbatim.
+    Str(Box<str>),
 }
 
 fn like_match(s: &str, pattern: &str) -> bool {
@@ -267,12 +302,18 @@ mod tests {
     #[test]
     fn group_key_collapses_numeric_types() {
         assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
-        assert_ne!(Value::Int(2).group_key(), Value::Str("2".into()).group_key());
+        assert_ne!(
+            Value::Int(2).group_key(),
+            Value::Str("2".into()).group_key()
+        );
     }
 
     #[test]
     fn like_wildcards() {
-        assert_eq!(Value::Str("Airbus A340".into()).sql_like("%a340%"), Some(true));
+        assert_eq!(
+            Value::Str("Airbus A340".into()).sql_like("%a340%"),
+            Some(true)
+        );
         assert_eq!(Value::Str("Airbus".into()).sql_like("air_us"), Some(true));
         assert_eq!(Value::Str("Airbus".into()).sql_like("air"), Some(false));
         assert_eq!(Value::Null.sql_like("%"), None);
@@ -285,6 +326,59 @@ mod tests {
         assert!(!Value::Int(0).is_truthy());
         assert!(Value::Int(3).is_truthy());
         assert!(!Value::Str("".into()).is_truthy());
+    }
+
+    #[test]
+    fn key_value_matches_group_key_equivalence() {
+        let samples = [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(2),
+            Value::Int(-2),
+            Value::Int(1),
+            Value::Int(i64::MAX),
+            Value::Int((1i64 << 53) + 1),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(2.0),
+            Value::Float(2.5),
+            Value::Float(1.0),
+            Value::Float((1u64 << 53) as f64),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Str("2".into()),
+            Value::Str("2.0".into()),
+            Value::Str("".into()),
+            Value::Str("abc".into()),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    a.key() == b.key(),
+                    a.group_key() == b.group_key(),
+                    "KeyValue equivalence must match group_key for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_value_preserves_group_key_quirks() {
+        // -0.0 and 0.0 render differently in group_key, so they stay
+        // distinct keys; Int/Float/Bool collapse numerically.
+        assert_ne!(Value::Float(-0.0).key(), Value::Float(0.0).key());
+        assert_eq!(Value::Int(0).key(), Value::Float(0.0).key());
+        assert_eq!(Value::Bool(true).key(), Value::Int(1).key());
+        // Integers beyond 2^53 collapse onto their f64 image, exactly like
+        // the string key (`format!("n:{}", n as f64)`).
+        let big = (1i64 << 53) + 1;
+        assert_eq!(Value::Int(big).key(), Value::Int(1i64 << 53).key());
+        assert_eq!(
+            Value::Int(big).group_key(),
+            Value::Int(1i64 << 53).group_key()
+        );
+        // Strings never collapse with numbers.
+        assert_ne!(Value::Str("2".into()).key(), Value::Int(2).key());
     }
 
     #[test]

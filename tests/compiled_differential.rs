@@ -1,0 +1,135 @@
+//! Differential test pinning the compile-once pipeline to the reference
+//! tree-walking interpreter: for every gold query of the generated Spider
+//! and Science suites, both paths must produce *identical* output — same
+//! columns, same rows in the same order (compared by `Debug` rendering,
+//! which is stricter than `Value`'s sql_eq-based `PartialEq`), and the same
+//! per-row lineage in the same order. Queries that fail must fail with the
+//! same error on both paths.
+
+use cyclesql_benchgen::{
+    build_science_suite, build_spider_suite, BenchmarkSuite, Split, SuiteConfig, Variant,
+};
+use cyclesql_provenance::rewrite_for_provenance;
+use cyclesql_sql::{parse, Query};
+use cyclesql_storage::{compile, reference, Database};
+
+fn small_config() -> SuiteConfig {
+    SuiteConfig {
+        seed: 0xD1FF,
+        train_per_template: 1,
+        eval_per_template: 1,
+    }
+}
+
+fn suites() -> Vec<BenchmarkSuite> {
+    vec![
+        build_spider_suite(Variant::Spider, small_config()),
+        build_science_suite(small_config()),
+    ]
+}
+
+/// Asserts the two execution paths agree on `q` exactly — or fail with the
+/// same error.
+fn assert_identical(db: &Database, q: &Query, ctx: &str) {
+    let reference = reference::execute_with_lineage(db, q);
+    let compiled = compile(db, q).and_then(|c| c.run(db));
+    match (reference, compiled) {
+        (Ok(r), Ok(c)) => {
+            assert_eq!(r.result.columns, c.result.columns, "columns diverge: {ctx}");
+            assert_eq!(
+                format!("{:?}", r.result.rows),
+                format!("{:?}", c.result.rows),
+                "rows diverge: {ctx}"
+            );
+            assert_eq!(r.lineage, c.lineage, "lineage diverges: {ctx}");
+        }
+        (Err(r), Err(c)) => {
+            assert_eq!(r.to_string(), c.to_string(), "errors diverge: {ctx}");
+        }
+        (r, c) => panic!(
+            "one path failed, the other succeeded: {ctx}\nreference: {:?}\ncompiled: {:?}",
+            r.map(|o| o.result.len()),
+            c.map(|o| o.result.len())
+        ),
+    }
+}
+
+#[test]
+fn every_generated_gold_is_identical_across_paths() {
+    let mut checked = 0usize;
+    for suite in suites() {
+        for split in [Split::Train, Split::Dev, Split::Test] {
+            for item in suite.split(split) {
+                let q = parse(&item.gold_sql).expect("generated gold parses");
+                assert_identical(suite.database(item), &q, &item.gold_sql);
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked > 100,
+        "suite generation produced only {checked} queries"
+    );
+}
+
+#[test]
+fn one_compiled_plan_serves_all_variant_databases() {
+    let suite = build_spider_suite(Variant::Spider, small_config());
+    let mut reused = 0usize;
+    for item in suite.dev.iter() {
+        let q = parse(&item.gold_sql).expect("generated gold parses");
+        let dev_db = suite.database(item);
+        // Compile once against the dev database's schema…
+        let Ok(compiled) = compile(dev_db, &q) else {
+            continue;
+        };
+        for seed in 1..=2 {
+            let Some(variant) = suite.database_variant(&item.db_name, seed) else {
+                continue;
+            };
+            // …and run it on each variant: same rows and lineage as a fresh
+            // interpretation of the query over that variant.
+            let via_plan = compiled
+                .run(&variant)
+                .expect("compiled plan runs on variant");
+            let direct = reference::execute_with_lineage(&variant, &q)
+                .expect("reference executes on variant");
+            assert_eq!(
+                format!("{:?}", direct.result.rows),
+                format!("{:?}", via_plan.result.rows),
+                "variant rows diverge: {}",
+                item.gold_sql
+            );
+            assert_eq!(
+                direct.lineage, via_plan.lineage,
+                "variant lineage: {}",
+                item.gold_sql
+            );
+            reused += 1;
+        }
+    }
+    assert!(reused > 20, "only {reused} plan reuses exercised");
+}
+
+#[test]
+fn provenance_rewrites_are_identical_across_paths() {
+    let suite = build_spider_suite(Variant::Spider, small_config());
+    let mut checked = 0usize;
+    for item in suite.dev.iter().take(60) {
+        let db = suite.database(item);
+        let q = parse(&item.gold_sql).expect("generated gold parses");
+        let Ok(result) = cyclesql_storage::execute(db, &q) else {
+            continue;
+        };
+        let Some(row) = result.rows.first() else {
+            continue;
+        };
+        // The provenance rewrite produces the queries the feedback loop
+        // actually runs; they must behave identically on both paths too.
+        for core in rewrite_for_provenance(db, &q, &result.columns, row) {
+            assert_identical(db, &core.query, &item.gold_sql);
+            checked += 1;
+        }
+    }
+    assert!(checked > 10, "only {checked} rewrites exercised");
+}
