@@ -1,0 +1,330 @@
+//! Serving-engine benchmark: synthetic traffic through `cyclesql-serve`.
+//!
+//! Drives a mixed multi-database workload (interleaved Spider + Science
+//! questions, each repeated so the plan cache has hits to find) through the
+//! engine in two client models:
+//!
+//! - **closed loop** — `2 × workers` client threads, each issuing its next
+//!   request as soon as the previous one completes, per worker count. This
+//!   measures capacity (throughput scaling across worker counts) and
+//!   loaded latency.
+//! - **open loop** — a dispatcher submits at a fixed arrival rate derived
+//!   from the measured capacity (0.5× and 1.5×), under both admission
+//!   policies at overload. Shedding keeps p99 near the service time while
+//!   blocking inflates it by the full queue wait — that contrast is the
+//!   point of the two policies.
+//!
+//! Latency is measured client-side (submit → response, queue wait
+//! included) and reported as exact sorted-sample percentiles. The engine's
+//! own per-stage histograms travel in the same report. Results go to
+//! `BENCH_serve.json`.
+//!
+//! Usage: `serve_bench [--requests N] [--workers CSV] [--out PATH] [--quick]`
+
+use cyclesql_benchgen::{build_science_suite, build_spider_suite, BenchmarkItem, SuiteConfig, Variant};
+use cyclesql_core::{CycleSql, LoopVerifier};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+use cyclesql_nli::AlwaysAcceptVerifier;
+use cyclesql_serve::{
+    AdmissionPolicy, Catalog, MetricsSnapshot, ServeConfig, ServeRequest, ServiceEngine, Ticket,
+};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct LatencySummary {
+    samples: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+impl LatencySummary {
+    /// Exact percentiles from the raw client-side samples.
+    fn of(mut ms: Vec<f64>) -> Self {
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pick = |q: f64| {
+            if ms.is_empty() {
+                0.0
+            } else {
+                ms[(((q * ms.len() as f64).ceil() as usize).max(1) - 1).min(ms.len() - 1)]
+            }
+        };
+        LatencySummary {
+            samples: ms.len(),
+            p50_ms: pick(0.50),
+            p95_ms: pick(0.95),
+            p99_ms: pick(0.99),
+            mean_ms: if ms.is_empty() { 0.0 } else { ms.iter().sum::<f64>() / ms.len() as f64 },
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ClosedLoopRun {
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    elapsed_secs: f64,
+    throughput_rps: f64,
+    latency: LatencySummary,
+    metrics: MetricsSnapshot,
+}
+
+#[derive(Serialize)]
+struct OpenLoopRun {
+    workers: usize,
+    policy: String,
+    offered_rps: f64,
+    achieved_rps: f64,
+    requests: usize,
+    served: usize,
+    shed_rate: f64,
+    latency: LatencySummary,
+    metrics: MetricsSnapshot,
+}
+
+#[derive(Serialize)]
+struct Report {
+    requests_per_run: usize,
+    distinct_questions: usize,
+    databases: usize,
+    closed_loop: Vec<ClosedLoopRun>,
+    open_loop: Vec<OpenLoopRun>,
+}
+
+/// The shared request mix: spider and science dev questions interleaved,
+/// the whole set repeated so every run re-sees each question at least once.
+fn workload(requests: usize, quick: bool) -> (Arc<Catalog>, Vec<Arc<BenchmarkItem>>, usize) {
+    let config = if quick {
+        SuiteConfig { seed: 0x5EB4E, train_per_template: 1, eval_per_template: 2 }
+    } else {
+        SuiteConfig { seed: 0x5EB4E, ..SuiteConfig::default() }
+    };
+    let spider = build_spider_suite(Variant::Spider, config);
+    let science = build_science_suite(config);
+    let catalog = Arc::new(Catalog::from_suites([&spider, &science]));
+    let mut distinct: Vec<Arc<BenchmarkItem>> = Vec::new();
+    for pair in spider.dev.iter().zip(science.dev.iter()) {
+        distinct.push(Arc::new(pair.0.clone()));
+        distinct.push(Arc::new(pair.1.clone()));
+    }
+    // Keep at most half as many distinct questions as requests, so every
+    // question recurs at least twice and the plan cache has hits to find
+    // even on short runs.
+    distinct.truncate((requests / 2).max(1));
+    let items: Vec<Arc<BenchmarkItem>> =
+        (0..requests).map(|i| Arc::clone(&distinct[i % distinct.len()])).collect();
+    (catalog, items, distinct.len())
+}
+
+fn engine(catalog: &Arc<Catalog>, workers: usize, policy: AdmissionPolicy, queue: usize) -> ServiceEngine {
+    ServiceEngine::start(
+        Arc::clone(catalog),
+        SimulatedModel::new(ModelProfile::resdsql_3b()),
+        // AlwaysAccept drives the full pipeline (execute → provenance →
+        // explain → verify) on every request, unlike the oracle shortcut.
+        CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier)),
+        ServeConfig { workers, queue_capacity: queue, policy, ..ServeConfig::default() },
+    )
+}
+
+fn closed_loop(catalog: &Arc<Catalog>, items: &[Arc<BenchmarkItem>], workers: usize) -> ClosedLoopRun {
+    let eng = engine(catalog, workers, AdmissionPolicy::Block, 64);
+    let clients = workers * 2;
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let eng = &eng;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return mine;
+                        }
+                        let t0 = Instant::now();
+                        eng.call(ServeRequest { item: Arc::clone(&items[i]) })
+                            .expect("closed-loop request serves");
+                        mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    ClosedLoopRun {
+        workers,
+        clients,
+        requests: items.len(),
+        elapsed_secs: elapsed,
+        throughput_rps: items.len() as f64 / elapsed,
+        latency: LatencySummary::of(latencies),
+        metrics: eng.shutdown(),
+    }
+}
+
+fn open_loop(
+    catalog: &Arc<Catalog>,
+    items: &[Arc<BenchmarkItem>],
+    workers: usize,
+    policy: AdmissionPolicy,
+    offered_rps: f64,
+) -> OpenLoopRun {
+    // A short queue (2 per worker) so overload actually engages the
+    // admission policy instead of being absorbed by queueing slack.
+    let queue = (workers * 2).max(4);
+    let eng = engine(catalog, workers, policy, queue);
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let (done_tx, done_rx) = mpsc::channel::<(Instant, Ticket)>();
+    let done_rx = Arc::new(std::sync::Mutex::new(done_rx));
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut served = 0usize;
+    std::thread::scope(|scope| {
+        // Enough collectors to wait on every request that can be in flight
+        // at once, so waiting never throttles the dispatcher.
+        let collectors: Vec<_> = (0..workers + queue)
+            .map(|_| {
+                let done_rx = Arc::clone(&done_rx);
+                scope.spawn(move || {
+                    let mut mine: Vec<f64> = Vec::new();
+                    loop {
+                        let msg = done_rx.lock().expect("collector queue").recv();
+                        let Ok((t0, ticket)) = msg else { return mine };
+                        if ticket.wait().is_ok() {
+                            mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // The dispatcher: fixed arrival schedule. Under Block, a full
+        // queue stalls the schedule (that lag is part of what the run
+        // demonstrates); under Shed, rejected arrivals cost nothing.
+        for (i, item) in items.iter().enumerate() {
+            let due = started + interval.mul_f64(i as f64);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let t0 = Instant::now();
+            if let Ok(ticket) = eng.submit(ServeRequest { item: Arc::clone(item) }) {
+                done_tx.send((t0, ticket)).expect("collectors alive");
+            }
+        }
+        drop(done_tx);
+        for c in collectors {
+            let mine = c.join().expect("collector thread");
+            served += mine.len();
+            latencies.extend(mine);
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = eng.shutdown();
+    OpenLoopRun {
+        workers,
+        policy: match policy {
+            AdmissionPolicy::Block => "block".into(),
+            AdmissionPolicy::Shed => "shed".into(),
+        },
+        offered_rps,
+        achieved_rps: served as f64 / elapsed,
+        requests: items.len(),
+        served,
+        shed_rate: metrics.shed as f64 / items.len() as f64,
+        latency: LatencySummary::of(latencies),
+        metrics,
+    }
+}
+
+fn main() {
+    let mut requests: usize = 600;
+    let mut out = String::from("BENCH_serve.json");
+    let mut workers: Vec<usize> = vec![1, 2, 4];
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => {
+                requests = args.next().and_then(|v| v.parse().ok()).expect("--requests N");
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .expect("--workers CSV")
+                    .split(',')
+                    .map(|w| w.parse().expect("worker count"))
+                    .collect();
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            "--quick" => quick = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if quick {
+        requests = requests.min(200);
+        workers.truncate(2);
+    }
+
+    let (catalog, items, distinct) = workload(requests, quick);
+    eprintln!(
+        "workload: {} requests over {} distinct questions, {} databases",
+        items.len(),
+        distinct,
+        catalog.len()
+    );
+
+    let closed: Vec<ClosedLoopRun> = workers
+        .iter()
+        .map(|&w| {
+            let run = closed_loop(&catalog, &items, w);
+            eprintln!(
+                "closed loop  workers={w}: {:.0} req/s, p99 {:.2} ms, cache hit rate {:.2}",
+                run.throughput_rps, run.latency.p99_ms, run.metrics.cache_hit_rate
+            );
+            run
+        })
+        .collect();
+
+    // Open loop at the largest worker count: offered load below and above
+    // the capacity the closed-loop runs just measured.
+    let top = *workers.last().expect("at least one worker count");
+    let capacity = closed.last().expect("closed-loop runs").throughput_rps;
+    let mut open: Vec<OpenLoopRun> = Vec::new();
+    for (policy, factor) in [
+        (AdmissionPolicy::Shed, 0.5),
+        (AdmissionPolicy::Shed, 1.5),
+        (AdmissionPolicy::Block, 1.5),
+    ] {
+        let run = open_loop(&catalog, &items, top, policy, capacity * factor);
+        eprintln!(
+            "open loop    workers={top} policy={} offered {:.0} req/s: achieved {:.0}, \
+             shed rate {:.2}, p99 {:.2} ms",
+            run.policy, run.offered_rps, run.achieved_rps, run.shed_rate, run.latency.p99_ms
+        );
+        open.push(run);
+    }
+
+    let report = Report {
+        requests_per_run: items.len(),
+        distinct_questions: distinct,
+        databases: catalog.len(),
+        closed_loop: closed,
+        open_loop: open,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -11,7 +11,7 @@ use cyclesql_nli::{
 };
 use cyclesql_provenance::{track_provenance, Provenance, ProvenanceTable};
 use cyclesql_sql::{parse, Query};
-use cyclesql_storage::{execute, Database, ResultSet};
+use cyclesql_storage::{execute, CompiledQuery, Database, ResultSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +64,60 @@ pub struct CycleSql {
     pub feedback: FeedbackKind,
 }
 
+/// Wall-clock spent in each pipeline stage of one loop run, summed over
+/// iterations. The serving engine's per-stage histograms and the Figure 8b
+/// latency accounting both read these, so there is exactly one measurement
+/// path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Model inference. The loop itself never runs the model, so it leaves
+    /// this at zero; callers that own inference (the serving engine) fill it.
+    pub translate: Duration,
+    /// Candidate execution on the database.
+    pub execute: Duration,
+    /// Why-provenance tracking.
+    pub provenance: Duration,
+    /// Explanation generation (data-grounded or SQL2NL).
+    pub explain: Duration,
+    /// Verifier entailment decisions (oracle comparison included).
+    pub verify: Duration,
+}
+
+impl StageTimings {
+    /// Total time spent inside the loop's own stages (translate excluded).
+    pub fn loop_total(&self) -> Duration {
+        self.execute + self.provenance + self.explain + self.verify
+    }
+}
+
+/// A provider of compiled plans for candidate execution, keyed however the
+/// implementation likes (the serving engine shards an LRU by
+/// `(database, canonical SQL)`). Returning `None` falls back to the
+/// compile-and-run `execute` path, which has identical semantics.
+pub trait PlanSource: Sync {
+    /// A plan for `ast` bound against `db`'s schema, or `None` when the
+    /// query cannot be compiled (the caller falls back to `execute`, which
+    /// surfaces the same error).
+    fn plan(&self, db: &Database, sql: &str, ast: &Arc<Query>) -> Option<Arc<CompiledQuery>>;
+}
+
+/// Per-run controls injected by serving callers: a deadline that abandons
+/// the candidate loop cleanly mid-iteration, and a plan source that lets
+/// repeated queries skip compilation.
+#[derive(Default, Clone, Copy)]
+pub struct RunControls<'a> {
+    /// Abandon the loop once this instant passes (checked between stages).
+    pub deadline: Option<Instant>,
+    /// Compiled-plan provider; `None` compiles per execution.
+    pub plans: Option<&'a dyn PlanSource>,
+}
+
+impl RunControls<'_> {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 /// Outcome of one feedback-loop run.
 #[derive(Debug, Clone)]
 pub struct LoopOutcome {
@@ -86,6 +140,12 @@ pub struct LoopOutcome {
     /// executed during the loop — consumers can compute EX without
     /// re-executing `chosen_sql`.
     pub chosen_result: Option<Arc<ResultSet>>,
+    /// Per-stage wall-clock, summed over iterations (`translate` is zero
+    /// unless the caller fills it).
+    pub stages: StageTimings,
+    /// Whether a [`RunControls::deadline`] abandoned the loop before every
+    /// candidate was examined.
+    pub timed_out: bool,
 }
 
 impl CycleSql {
@@ -141,42 +201,101 @@ impl CycleSql {
         candidates: &[PreparedCandidate],
         gold_result: Option<&ResultSet>,
     ) -> LoopOutcome {
+        self.run_controlled(item, db, candidates, gold_result, &RunControls::default())
+    }
+
+    /// Runs the feedback loop under serving-time controls: an optional
+    /// deadline (the loop is abandoned cleanly between stages once it
+    /// passes, falling back to whatever was chosen so far) and an optional
+    /// compiled-plan source (cache hits skip candidate compilation).
+    ///
+    /// With default controls this is exactly [`CycleSql::run_prepared`].
+    pub fn run_controlled(
+        &self,
+        item: &BenchmarkItem,
+        db: &Database,
+        candidates: &[PreparedCandidate],
+        gold_result: Option<&ResultSet>,
+        controls: &RunControls<'_>,
+    ) -> LoopOutcome {
         let start = Instant::now();
+        let mut stages = StageTimings::default();
+        let mut timed_out = false;
+        let mut examined = 0usize;
         let mut chosen: Option<ChosenCandidate> = None;
         let mut first_explained: Option<Explanation> = None;
         // The top-1 candidate's artifacts, kept for the fallback outcome.
         let mut top1_result: Option<Arc<ResultSet>> = None;
 
         for (i, cand) in candidates.iter().enumerate() {
+            if controls.expired() {
+                timed_out = true;
+                break;
+            }
             let iteration = i + 1;
+            examined = iteration;
             let Some(query) = cand.ast.as_ref() else { continue };
-            let Ok(result) = execute(db, query) else { continue };
+
+            let t = Instant::now();
+            let executed = match controls.plans.and_then(|p| p.plan(db, &cand.sql, query)) {
+                Some(plan) => plan.run_result(db),
+                None => execute(db, query),
+            };
+            stages.execute += t.elapsed();
+            let Ok(result) = executed else { continue };
             let result = Arc::new(result);
             if i == 0 {
                 top1_result = Some(Arc::clone(&result));
             }
+            if controls.expired() {
+                timed_out = true;
+                break;
+            }
 
-            let verdict_entails = match &self.verifier {
-                LoopVerifier::Oracle => {
-                    // Headroom estimate: entailment iff execution-correct.
-                    gold_result.is_some_and(|g| result.bag_eq(g))
-                }
-                other => {
+            // Premise construction (non-oracle verifiers only), timed per
+            // stage so serving histograms see provenance and explanation
+            // separately.
+            let premise = match &self.verifier {
+                LoopVerifier::Oracle => None,
+                _ => {
                     let (premise_text, facets, explanation) = match self.feedback {
                         FeedbackKind::DataGrounded => {
+                            let t = Instant::now();
                             let prov = track_provenance(db, query, &result, 0)
                                 .unwrap_or_else(|_| empty_provenance());
+                            stages.provenance += t.elapsed();
+                            let t = Instant::now();
                             let e = generate_explanation(db, query, &result, 0, &prov);
+                            stages.explain += t.elapsed();
                             (e.text.clone(), e.facets.clone(), Some(e))
                         }
                         FeedbackKind::Sql2Nl => {
+                            let t = Instant::now();
                             let s = sql_to_nl(db, query);
+                            stages.explain += t.elapsed();
                             (s.text.clone(), s.facets.clone(), None)
                         }
                     };
                     if first_explained.is_none() {
                         first_explained = explanation.clone();
                     }
+                    Some((premise_text, facets, explanation))
+                }
+            };
+            if controls.expired() {
+                timed_out = true;
+                break;
+            }
+
+            let t = Instant::now();
+            let verdict_entails = match &self.verifier {
+                LoopVerifier::Oracle => {
+                    // Headroom estimate: entailment iff execution-correct.
+                    gold_result.is_some_and(|g| result.bag_eq(g))
+                }
+                other => {
+                    let (premise_text, facets, explanation) =
+                        premise.expect("premise built for non-oracle verifiers");
                     let input = VerifyInput {
                         question: &item.question,
                         premise_text: &premise_text,
@@ -203,6 +322,7 @@ impl CycleSql {
                     entails
                 }
             };
+            stages.verify += t.elapsed();
             if verdict_entails {
                 if chosen.is_none() {
                     chosen = Some(ChosenCandidate {
@@ -227,16 +347,21 @@ impl CycleSql {
                 overhead,
                 chosen_ast: c.ast,
                 chosen_result: c.result,
+                stages,
+                timed_out,
             },
             None => LoopOutcome {
-                // Nothing validated: fall back to the top-1 candidate.
+                // Nothing validated: fall back to the top-1 candidate. A
+                // timed-out run reports only the candidates it examined.
                 chosen_sql: candidates.first().map(|c| c.sql.clone()).unwrap_or_default(),
-                iterations: candidates.len(),
+                iterations: if timed_out { examined } else { candidates.len() },
                 accepted: false,
                 explanation: first_explained,
                 overhead,
                 chosen_ast: candidates.first().and_then(|c| c.ast.clone()),
                 chosen_result: top1_result,
+                stages,
+                timed_out,
             },
         }
     }
@@ -458,5 +583,100 @@ mod more_loop_tests {
         let candidates = vec![Candidate { sql: item.gold_sql.clone(), rank: 0, score: 1.0 }];
         let outcome = cycle.run(item, db, &candidates);
         assert!(outcome.overhead.as_nanos() > 0);
+    }
+}
+
+#[cfg(test)]
+mod control_tests {
+    use super::*;
+    use crate::experiments::ExperimentContext;
+    use cyclesql_storage::compile;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn prepared(sqls: &[&str]) -> Vec<PreparedCandidate> {
+        sqls.iter()
+            .enumerate()
+            .map(|(i, s)| PreparedCandidate {
+                sql: (*s).to_string(),
+                ast: parse(s).ok().map(Arc::new),
+                rank: i,
+                score: 1.0 - i as f64 * 0.1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stage_timings_cover_every_loop_stage() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = ctx.cycle();
+        let cands = prepared(&[item.gold_sql.as_str()]);
+        let outcome = cycle.run_prepared(item, db, &cands, None);
+        let s = outcome.stages;
+        assert!(s.execute.as_nanos() > 0, "execute stage timed");
+        assert!(s.provenance.as_nanos() > 0, "provenance stage timed");
+        assert!(s.explain.as_nanos() > 0, "explain stage timed");
+        assert!(s.verify.as_nanos() > 0, "verify stage timed");
+        assert_eq!(s.translate, Duration::ZERO, "the loop never runs the model");
+        assert!(s.loop_total() <= outcome.overhead, "stages nest inside overhead");
+        assert!(!outcome.timed_out);
+    }
+
+    #[test]
+    fn expired_deadline_abandons_loop_cleanly() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = CycleSql::new(LoopVerifier::Oracle);
+        let cands = prepared(&[item.gold_sql.as_str(), item.gold_sql.as_str()]);
+        let controls = RunControls {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            plans: None,
+        };
+        let outcome = cycle.run_controlled(item, db, &cands, None, &controls);
+        assert!(outcome.timed_out);
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.iterations, 0, "abandoned before examining anything");
+        // The fallback still reports the top-1 SQL so callers can degrade
+        // gracefully.
+        assert_eq!(outcome.chosen_sql, cands[0].sql);
+    }
+
+    #[test]
+    fn plan_source_is_consulted_and_preserves_outcome() {
+        struct CountingPlans(AtomicUsize);
+        impl PlanSource for CountingPlans {
+            fn plan(
+                &self,
+                db: &Database,
+                _sql: &str,
+                ast: &Arc<Query>,
+            ) -> Option<Arc<CompiledQuery>> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                compile(db, ast).ok().map(Arc::new)
+            }
+        }
+        let ctx = ExperimentContext::shared_quick();
+        let cycle = CycleSql::new(LoopVerifier::Oracle);
+        let plans = CountingPlans(AtomicUsize::new(0));
+        for (idx, item) in ctx.spider.dev.iter().enumerate().take(10) {
+            let db = ctx.spider.database(item);
+            let gold = ctx.spider.prepared_item(cyclesql_benchgen::Split::Dev, idx);
+            let cands =
+                prepared(&[item.gold_sql.as_str(), "SELECT count(*) FROM nosuchtable"]);
+            let plain = cycle.run_prepared(item, db, &cands, gold.gold_result.as_deref());
+            let controls = RunControls { deadline: None, plans: Some(&plans) };
+            let routed =
+                cycle.run_controlled(item, db, &cands, gold.gold_result.as_deref(), &controls);
+            assert_eq!(plain.chosen_sql, routed.chosen_sql);
+            assert_eq!(plain.accepted, routed.accepted);
+            assert_eq!(plain.iterations, routed.iterations);
+            assert_eq!(
+                plain.chosen_result.as_deref().map(|r| r.rows.clone()),
+                routed.chosen_result.as_deref().map(|r| r.rows.clone())
+            );
+        }
+        assert!(plans.0.load(Ordering::Relaxed) > 0, "plan source consulted");
     }
 }

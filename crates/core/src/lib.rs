@@ -39,6 +39,7 @@ pub mod training;
 
 pub use cycle::{
     candidate_premise, premise_from_parts, CycleSql, FeedbackKind, LoopOutcome, LoopVerifier,
+    PlanSource, RunControls, StageTimings,
 };
 pub use eval::{
     any_beam_accuracy, evaluate, evaluate_pair, evaluate_science_em, trained_loop, EvalMode,

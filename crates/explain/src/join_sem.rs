@@ -7,9 +7,18 @@
 //! matched for isomorphism against the pool; on a hit the semantics template
 //! is instantiated with the concrete table names, otherwise the table names
 //! themselves describe the join.
+//!
+//! The topology matching consults the schema's FK edges repeatedly, so the
+//! adjacency structure is precomputed once per database as a [`SchemaGraph`]
+//! and shared via [`schema_graph`] — explanations no longer rescan the FK
+//! list on every request. [`discover_join_semantics_uncached`] retains the
+//! original schema-scanning implementation as the parity reference.
 
 use cyclesql_storage::DatabaseSchema;
-use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// The recognized join-semantics categories in the topology pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,11 +48,253 @@ pub struct JoinSemantics {
     pub tables: Vec<String>,
 }
 
+/// Precomputed join-topology adjacency for one database schema.
+///
+/// Built once per database ([`SchemaGraph::build`] or the process-wide
+/// [`schema_graph`] cache) and consulted by every explanation of a query on
+/// that database; the per-call work drops to hash-map lookups.
+#[derive(Debug)]
+pub struct SchemaGraph {
+    /// Lower-cased table name → NL name.
+    nl_names: HashMap<String, String>,
+    /// Unordered table pair (lexicographically normalized) → `from_table`
+    /// of the first FK edge connecting the pair, in declaration order —
+    /// exactly what [`DatabaseSchema::fk_between`] returns.
+    pair_owner: HashMap<(String, String), String>,
+    /// `from_table` → set of `to_table`s of its outgoing FK edges.
+    out_edges: HashMap<String, HashSet<String>>,
+}
+
+impl SchemaGraph {
+    /// Precomputes the adjacency structure from a schema.
+    pub fn build(schema: &DatabaseSchema) -> Self {
+        let nl_names = schema
+            .tables
+            .iter()
+            .map(|t| (t.name.clone(), t.nl_name.clone()))
+            .collect();
+        let mut pair_owner: HashMap<(String, String), String> = HashMap::new();
+        let mut out_edges: HashMap<String, HashSet<String>> = HashMap::new();
+        for fk in &schema.foreign_keys {
+            let pair = if fk.from_table <= fk.to_table {
+                (fk.from_table.clone(), fk.to_table.clone())
+            } else {
+                (fk.to_table.clone(), fk.from_table.clone())
+            };
+            // First edge per pair wins, mirroring `fk_between`'s scan order.
+            pair_owner.entry(pair).or_insert_with(|| fk.from_table.clone());
+            out_edges
+                .entry(fk.from_table.clone())
+                .or_default()
+                .insert(fk.to_table.clone());
+        }
+        SchemaGraph { nl_names, pair_owner, out_edges }
+    }
+
+    /// NL name of a table, falling back to the underscore-split SQL name.
+    fn nl(&self, name: &str) -> String {
+        let lower = name.to_ascii_lowercase();
+        self.nl_names
+            .get(&lower)
+            .cloned()
+            .unwrap_or_else(|| name.replace('_', " "))
+    }
+
+    /// The `from_table` of the FK connecting `a` and `b` (either direction),
+    /// if one exists.
+    fn fk_owner(&self, a: &str, b: &str) -> Option<&str> {
+        let pair = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        self.pair_owner.get(&pair).map(String::as_str)
+    }
+
+    /// Whether `from` holds a FK pointing at `to`.
+    fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.out_edges.get(from).is_some_and(|s| s.contains(to))
+    }
+}
+
+/// Process-wide per-database cache of built schema graphs.
+///
+/// Keyed by a hash of the graph's inputs (schema name, table names/NL names,
+/// FK edges) with full-equality verification on hit, so distinct schemas
+/// never share a graph. Growth is bounded by the number of distinct schemas
+/// the process touches (a fixed catalog in the serving engine).
+static GRAPH_CACHE: OnceLock<RwLock<HashMap<u64, Vec<(DatabaseSchema, Arc<SchemaGraph>)>>>> =
+    OnceLock::new();
+
+fn graph_cache_key(schema: &DatabaseSchema) -> u64 {
+    let mut h = DefaultHasher::new();
+    schema.name.hash(&mut h);
+    for t in &schema.tables {
+        t.name.hash(&mut h);
+        t.nl_name.hash(&mut h);
+    }
+    for fk in &schema.foreign_keys {
+        fk.from_table.hash(&mut h);
+        fk.to_table.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The shared [`SchemaGraph`] for a database schema: built on first use,
+/// `Arc`-shared on every later request for the same schema.
+pub fn schema_graph(schema: &DatabaseSchema) -> Arc<SchemaGraph> {
+    let cache = GRAPH_CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    let key = graph_cache_key(schema);
+    if let Some(bucket) = cache.read().expect("graph cache poisoned").get(&key) {
+        if let Some((_, g)) = bucket.iter().find(|(s, _)| s == schema) {
+            return Arc::clone(g);
+        }
+    }
+    let graph = Arc::new(SchemaGraph::build(schema));
+    let mut w = cache.write().expect("graph cache poisoned");
+    let bucket = w.entry(key).or_default();
+    if let Some((_, g)) = bucket.iter().find(|(s, _)| s == schema) {
+        return Arc::clone(g); // lost the build race; keep the first graph
+    }
+    bucket.push((schema.clone(), Arc::clone(&graph)));
+    graph
+}
+
 /// Discovers join semantics for a set of joined tables against a schema.
 ///
 /// `tables` lists the *real* table names in join order (duplicates allowed
-/// for self-joins).
+/// for self-joins). Adjacency comes from the per-database [`schema_graph`]
+/// cache; output is pinned identical to
+/// [`discover_join_semantics_uncached`].
 pub fn discover_join_semantics(schema: &DatabaseSchema, tables: &[String]) -> JoinSemantics {
+    discover_join_semantics_with(&schema_graph(schema), tables)
+}
+
+/// Discovers join semantics against a prebuilt [`SchemaGraph`].
+pub fn discover_join_semantics_with(graph: &SchemaGraph, tables: &[String]) -> JoinSemantics {
+    let distinct: Vec<String> = {
+        let mut seen = HashSet::new();
+        tables.iter().filter(|t| seen.insert((*t).clone())).cloned().collect()
+    };
+
+    match distinct.len() {
+        0 => JoinSemantics {
+            topology: JoinTopology::Unmatched,
+            phrase: String::new(),
+            tables: vec![],
+        },
+        1 => {
+            if tables.len() > 1 {
+                // Same table joined with itself.
+                JoinSemantics {
+                    topology: JoinTopology::SelfReference,
+                    phrase: format!(
+                        "{} paired with other {}",
+                        graph.nl(&distinct[0]),
+                        graph.nl(&distinct[0])
+                    ),
+                    tables: distinct,
+                }
+            } else {
+                JoinSemantics {
+                    topology: JoinTopology::Unmatched,
+                    phrase: graph.nl(&distinct[0]),
+                    tables: distinct,
+                }
+            }
+        }
+        2 => {
+            let (a, b) = (&distinct[0], &distinct[1]);
+            if let Some(owner) = graph.fk_owner(a, b) {
+                // One FK edge between two tables: object-attribute. The FK
+                // owner is the "detail" side.
+                let (object, attribute) =
+                    if owner == a { (b.clone(), a.clone()) } else { (a.clone(), b.clone()) };
+                JoinSemantics {
+                    topology: JoinTopology::ObjectAttribute,
+                    phrase: format!("{} with {}", graph.nl(&attribute), graph.nl(&object)),
+                    tables: distinct,
+                }
+            } else {
+                JoinSemantics {
+                    topology: JoinTopology::Unmatched,
+                    phrase: format!("{} joined with {}", graph.nl(a), graph.nl(b)),
+                    tables: distinct,
+                }
+            }
+        }
+        3 => {
+            // Look for a bridge table holding FKs to the other two: the
+            // Figure 6 subject-relationship-object topology.
+            for bridge_idx in 0..3 {
+                let bridge = &distinct[bridge_idx];
+                let others: Vec<&String> = distinct
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != bridge_idx)
+                    .map(|(_, t)| t)
+                    .collect();
+                let hits = others.iter().filter(|o| graph.has_edge(bridge, o)).count();
+                if hits == 2 {
+                    return JoinSemantics {
+                        topology: JoinTopology::SubjectRelationshipObject,
+                        phrase: format!("{} with {}", graph.nl(others[0]), graph.nl(others[1])),
+                        tables: distinct,
+                    };
+                }
+            }
+            // A hub referenced by the two others: star fragment.
+            for hub_idx in 0..3 {
+                let hub = &distinct[hub_idx];
+                let others: Vec<&String> = distinct
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != hub_idx)
+                    .map(|(_, t)| t)
+                    .collect();
+                let hits = others.iter().filter(|o| graph.has_edge(o, hub)).count();
+                if hits == 2 {
+                    return JoinSemantics {
+                        topology: JoinTopology::Star,
+                        phrase: format!(
+                            "{} and {} of {}",
+                            graph.nl(others[0]),
+                            graph.nl(others[1]),
+                            graph.nl(hub)
+                        ),
+                        tables: distinct,
+                    };
+                }
+            }
+            JoinSemantics {
+                topology: JoinTopology::Unmatched,
+                phrase: distinct
+                    .iter()
+                    .map(|t| graph.nl(t))
+                    .collect::<Vec<_>>()
+                    .join(" joined with "),
+                tables: distinct,
+            }
+        }
+        _ => JoinSemantics {
+            topology: JoinTopology::Unmatched,
+            phrase: distinct
+                .iter()
+                .map(|t| graph.nl(t))
+                .collect::<Vec<_>>()
+                .join(" joined with "),
+            tables: distinct,
+        },
+    }
+}
+
+/// The original uncached implementation, consulting the schema's FK list
+/// directly on every call. Retained as the parity reference the cached path
+/// is pinned against.
+pub fn discover_join_semantics_uncached(
+    schema: &DatabaseSchema,
+    tables: &[String],
+) -> JoinSemantics {
     let distinct: Vec<String> = {
         let mut seen = HashSet::new();
         tables.iter().filter(|t| seen.insert((*t).clone())).cloned().collect()
@@ -244,5 +495,67 @@ mod tests {
             &["singer_in_concert".into(), "concert".into(), "review".into()],
         );
         assert_eq!(sem.topology, JoinTopology::Star);
+    }
+
+    /// The cached graph path must reproduce the uncached reference exactly,
+    /// topology by topology — including unknown tables, self-joins, 4+-table
+    /// chains, and the FK-owner direction of the object–attribute phrase.
+    #[test]
+    fn cached_graph_output_pinned_to_uncached_reference() {
+        let mut s = concert_schema();
+        s.add_table(TableSchema::new(
+            "review",
+            vec![
+                ColumnDef::new("review_id", DataType::Int),
+                ColumnDef::new("concert_id", DataType::Int),
+            ],
+        ));
+        s.add_foreign_key("review", "concert_id", "concert", "concert_id");
+        let graph = SchemaGraph::build(&s);
+        let cases: Vec<Vec<String>> = vec![
+            vec![],
+            vec!["singer".into()],
+            vec!["singer".into(), "singer".into()],
+            vec!["singer".into(), "concert".into()],
+            vec!["singer_in_concert".into(), "singer".into()],
+            vec!["singer".into(), "singer_in_concert".into()],
+            vec!["singer_in_concert".into(), "concert".into(), "singer".into()],
+            vec!["singer_in_concert".into(), "concert".into(), "review".into()],
+            vec!["review".into(), "singer".into(), "concert".into()],
+            vec!["no_such_table".into(), "singer".into()],
+            vec![
+                "singer".into(),
+                "concert".into(),
+                "review".into(),
+                "singer_in_concert".into(),
+            ],
+        ];
+        for tables in &cases {
+            let reference = discover_join_semantics_uncached(&s, tables);
+            assert_eq!(
+                discover_join_semantics_with(&graph, tables),
+                reference,
+                "graph path diverged on {tables:?}"
+            );
+            assert_eq!(
+                discover_join_semantics(&s, tables),
+                reference,
+                "cached path diverged on {tables:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_graph_cache_shares_one_arc_per_schema() {
+        let s = concert_schema();
+        let a = schema_graph(&s);
+        let b = schema_graph(&s);
+        assert!(Arc::ptr_eq(&a, &b), "same schema must share one graph");
+        // A structurally different schema under the same name gets its own
+        // graph (the cache verifies full equality, not just the name).
+        let mut s2 = concert_schema();
+        s2.add_foreign_key("concert", "concert_id", "singer", "singer_id");
+        let c = schema_graph(&s2);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 }

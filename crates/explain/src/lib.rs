@@ -42,7 +42,10 @@ mod nlg_tests;
 
 pub use enrich::{enrich, Annotation, AnnotationTarget, EnrichedProvenance};
 pub use graph::{build_graph, Edge, EdgeKind, Node, NodeKind, ProvenanceGraph};
-pub use join_sem::{discover_join_semantics, JoinSemantics, JoinTopology};
+pub use join_sem::{
+    discover_join_semantics, discover_join_semantics_uncached, discover_join_semantics_with,
+    schema_graph, JoinSemantics, JoinTopology, SchemaGraph,
+};
 pub use nlg::{generate_explanation, Explanation, ExplanationFacets};
 pub use polish::polish;
 pub use quality::{panel_rating, rate_explanation, QualityScore, RatingBucket};

@@ -1,0 +1,135 @@
+//! The immutable database catalog a serving engine answers questions over.
+//!
+//! A catalog is built once at startup from the databases the deployment
+//! serves; every entry precomputes the per-database artifacts the request
+//! path would otherwise rebuild per question — today the join-semantics
+//! [`SchemaGraph`] the explanation generator consults. Entries are
+//! `Arc`-shared, so worker threads never copy a database.
+
+use cyclesql_benchgen::BenchmarkSuite;
+use cyclesql_explain::{schema_graph, SchemaGraph};
+use cyclesql_storage::Database;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One served database with its precomputed artifacts.
+#[derive(Clone)]
+pub struct CatalogEntry {
+    /// The database (shared, immutable).
+    pub db: Arc<Database>,
+    /// The prebuilt join-topology graph for explanation generation.
+    pub graph: Arc<SchemaGraph>,
+    /// Whether the database belongs to the science benchmark (drives the
+    /// simulated models' domain-shift behaviour).
+    pub science: bool,
+}
+
+/// An immutable catalog of served databases, keyed by database id (the
+/// schema name, e.g. `world_1`).
+#[derive(Default)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl Catalog {
+    /// An empty catalog (add databases with [`Catalog::add`]).
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a database under its schema name, precomputing its
+    /// artifacts. Re-registering the same id replaces the entry.
+    pub fn add(&mut self, db: Arc<Database>, science: bool) -> &mut Self {
+        let graph = schema_graph(&db.schema);
+        let id = db.schema.name.clone();
+        self.entries.insert(id, CatalogEntry { db, graph, science });
+        self
+    }
+
+    /// Builds a catalog holding every database of the given suites.
+    /// Science-variant suites mark their entries accordingly.
+    pub fn from_suites<'a>(suites: impl IntoIterator<Item = &'a BenchmarkSuite>) -> Self {
+        let mut cat = Catalog::new();
+        for suite in suites {
+            let science = suite.variant == cyclesql_benchgen::Variant::Science;
+            for db in suite.databases.values() {
+                cat.add(Arc::clone(db), science);
+            }
+        }
+        cat
+    }
+
+    /// The entry for a database id.
+    pub fn get(&self, db_id: &str) -> Option<&CatalogEntry> {
+        self.entries.get(db_id)
+    }
+
+    /// Database ids, sorted.
+    pub fn db_ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of served databases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog serves no databases.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_benchgen::{build_science_suite, build_spider_suite, SuiteConfig, Variant};
+
+    fn quick() -> SuiteConfig {
+        SuiteConfig { seed: 0x5E4E, train_per_template: 1, eval_per_template: 1 }
+    }
+
+    #[test]
+    fn catalog_covers_every_suite_database() {
+        let spider = build_spider_suite(Variant::Spider, quick());
+        let science = build_science_suite(quick());
+        let cat = Catalog::from_suites([&spider, &science]);
+        for suite in [&spider, &science] {
+            for name in suite.databases.keys() {
+                let entry = cat.get(name).expect("database registered");
+                assert_eq!(entry.db.schema.name, *name);
+            }
+        }
+        assert_eq!(
+            cat.len(),
+            spider.databases.len() + science.databases.len(),
+            "db names are disjoint across the two suites"
+        );
+    }
+
+    #[test]
+    fn entries_share_the_cached_schema_graph() {
+        let spider = build_spider_suite(Variant::Spider, quick());
+        let cat = Catalog::from_suites([&spider]);
+        let (id, entry) = {
+            let id = cat.db_ids().next().unwrap().to_string();
+            (id.clone(), cat.get(&id).unwrap().clone())
+        };
+        // The catalog's graph is the same Arc the explanation path fetches.
+        let again = schema_graph(&entry.db.schema);
+        assert!(Arc::ptr_eq(&entry.graph, &again), "{id}: graph not shared");
+    }
+
+    #[test]
+    fn science_flag_follows_the_suite() {
+        let spider = build_spider_suite(Variant::Spider, quick());
+        let science = build_science_suite(quick());
+        let cat = Catalog::from_suites([&spider, &science]);
+        for name in spider.databases.keys() {
+            assert!(!cat.get(name).unwrap().science);
+        }
+        for name in science.databases.keys() {
+            assert!(cat.get(name).unwrap().science);
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The concurrent serving engine: a fixed worker pool fed by a bounded
+//! admission queue, running the full CycleSQL pipeline (translate → execute
+//! → provenance → explain → verify) per request.
+//!
+//! Admission backpressure has two policies: [`AdmissionPolicy::Block`]
+//! parks the submitting thread until the queue has room (closed-loop
+//! clients), [`AdmissionPolicy::Shed`] rejects immediately with
+//! [`ServeError::Overloaded`] (open-loop clients that must bound tail
+//! latency). Per-request deadlines abandon the candidate loop cleanly
+//! between pipeline stages. [`ServiceEngine::shutdown`] drains every
+//! admitted request before the workers exit.
+
+use crate::catalog::Catalog;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan_cache::PlanCache;
+use cyclesql_benchgen::BenchmarkItem;
+use cyclesql_core::{CycleSql, LoopVerifier, PlanSource, RunControls, StageTimings};
+use cyclesql_models::{SimulatedModel, TranslationRequest};
+use cyclesql_sql::parse;
+use cyclesql_storage::ResultSet;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What happens when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the submitter until the queue has room (closed-loop load).
+    Block,
+    /// Reject immediately with [`ServeError::Overloaded`] (load shedding).
+    Shed,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running the pipeline.
+    pub workers: usize,
+    /// Bounded admission-queue depth.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub policy: AdmissionPolicy,
+    /// Per-request deadline, measured from admission; `None` never times
+    /// out.
+    pub deadline: Option<Duration>,
+    /// Total compiled-plan cache capacity.
+    pub plan_cache_capacity: usize,
+    /// Plan-cache shard count.
+    pub plan_cache_shards: usize,
+    /// Candidates requested from the model per question (beam size).
+    pub k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            policy: AdmissionPolicy::Block,
+            deadline: None,
+            plan_cache_capacity: 1024,
+            plan_cache_shards: 8,
+            k: 8,
+        }
+    }
+}
+
+/// One NL question to serve. The target database is the item's `db_name`.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The question (plus its gold SQL, consulted only by the oracle
+    /// verifier).
+    pub item: Arc<BenchmarkItem>,
+}
+
+/// A served answer.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The database the question was answered against.
+    pub db_id: String,
+    /// The selected SQL (first verified candidate, or the top-1 fallback).
+    pub sql: String,
+    /// Whether the verifier accepted a candidate.
+    pub accepted: bool,
+    /// Loop iterations (candidates examined).
+    pub iterations: usize,
+    /// The data-grounded explanation text of the chosen candidate, when
+    /// one was generated.
+    pub explanation: Option<String>,
+    /// The chosen candidate's result rows.
+    pub result: Option<Arc<ResultSet>>,
+    /// Per-stage wall-clock for this request (translate included).
+    pub stages: StageTimings,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed at admission: the queue was full under [`AdmissionPolicy::Shed`].
+    Overloaded,
+    /// The deadline passed before a response was produced.
+    DeadlineExceeded,
+    /// The catalog serves no database with this id.
+    UnknownDatabase(String),
+    /// The engine shut down before the request could be admitted.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "admission queue full, request shed"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::UnknownDatabase(id) => write!(f, "unknown database `{id}`"),
+            ServeError::Shutdown => write!(f, "engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One-shot response slot shared between submitter and worker.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<Result<ServeResponse, ServeError>>>,
+    ready: Condvar,
+}
+
+/// A handle to a pending response; [`Ticket::wait`] blocks until the
+/// worker fulfils it.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served (or fails).
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.slot.ready.wait(guard).expect("response slot poisoned");
+        }
+    }
+}
+
+struct Job {
+    item: Arc<BenchmarkItem>,
+    slot: Arc<Slot>,
+    deadline: Option<Instant>,
+}
+
+/// State shared by every worker.
+struct Shared {
+    catalog: Arc<Catalog>,
+    model: SimulatedModel,
+    cycle: CycleSql,
+    cache: PlanCache,
+    metrics: Metrics,
+    k: usize,
+}
+
+/// The serving engine. Start it with [`ServiceEngine::start`], submit with
+/// [`ServiceEngine::call`] (or [`ServiceEngine::submit`] for pipelined
+/// clients), and stop it with [`ServiceEngine::shutdown`], which drains
+/// in-flight requests and returns the final metrics.
+pub struct ServiceEngine {
+    shared: Arc<Shared>,
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    policy: AdmissionPolicy,
+    deadline: Option<Duration>,
+}
+
+impl ServiceEngine {
+    /// Spawns the worker pool over an immutable catalog, one model, and
+    /// one configured feedback loop.
+    pub fn start(
+        catalog: Arc<Catalog>,
+        model: SimulatedModel,
+        cycle: CycleSql,
+        config: ServeConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            catalog,
+            model,
+            cycle,
+            cache: PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards),
+            metrics: Metrics::default(),
+            k: config.k.max(1),
+        });
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServiceEngine {
+            shared,
+            tx: Some(tx),
+            workers,
+            policy: config.policy,
+            deadline: config.deadline,
+        }
+    }
+
+    /// Submits a request, returning a [`Ticket`] once admitted. Under
+    /// [`AdmissionPolicy::Block`] this parks until the queue has room;
+    /// under [`AdmissionPolicy::Shed`] a full queue fails fast with
+    /// [`ServeError::Overloaded`].
+    pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
+        let slot = Arc::new(Slot::default());
+        let job = Job {
+            item: req.item,
+            slot: Arc::clone(&slot),
+            deadline: self.deadline.map(|d| Instant::now() + d),
+        };
+        let tx = self.tx.as_ref().expect("engine running");
+        match self.policy {
+            AdmissionPolicy::Block => {
+                tx.send(job).map_err(|_| ServeError::Shutdown)?;
+            }
+            AdmissionPolicy::Shed => match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded);
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(ServeError::Shutdown),
+            },
+        }
+        self.shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { slot })
+    }
+
+    /// Submits a request and blocks for its response.
+    pub fn call(&self, req: ServeRequest) -> Result<ServeResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// The engine's plan cache (shared by every worker).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.shared.cache
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.hits(), self.shared.cache.misses())
+    }
+
+    /// Graceful shutdown: stops admitting, drains every queued request,
+    /// joins the workers, and returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_and_join();
+        self.metrics_snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        drop(self.tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServiceEngine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue; `recv` drains
+        // already-admitted jobs even after the sender is dropped, which is
+        // exactly the graceful-shutdown contract.
+        let job = match rx.lock().expect("admission queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let result = process(shared, &job);
+        shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        let mut guard = job.slot.result.lock().expect("response slot poisoned");
+        *guard = Some(result);
+        job.slot.ready.notify_one();
+    }
+}
+
+/// Runs the full pipeline for one admitted request.
+fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
+    let started = Instant::now();
+    let metrics = &shared.metrics;
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        // Expired while queued: don't burn a worker on a dead request.
+        metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError::DeadlineExceeded);
+    }
+    let item = job.item.as_ref();
+    let Some(entry) = shared.catalog.get(&item.db_name) else {
+        metrics.unknown_db.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError::UnknownDatabase(item.db_name.clone()));
+    };
+    let db = entry.db.as_ref();
+
+    let t = Instant::now();
+    let request = TranslationRequest { item, db, k: shared.k, severity: 0.0, science: entry.science };
+    let candidates = shared.model.translate_prepared(&request, None);
+    let translate = t.elapsed();
+
+    // The oracle verifier compares against the gold result; route the gold
+    // query through the plan cache too — production workloads repeat
+    // questions, so its plan is as cacheable as any candidate's.
+    let gold_result = match &shared.cycle.verifier {
+        LoopVerifier::Oracle => parse(&item.gold_sql).ok().map(Arc::new).and_then(|ast| {
+            let plan = shared.cache.plan(db, &item.gold_sql, &ast)?;
+            plan.run_result(db).ok()
+        }),
+        _ => None,
+    };
+
+    let controls = RunControls { deadline: job.deadline, plans: Some(&shared.cache) };
+    let mut outcome =
+        shared.cycle.run_controlled(item, db, &candidates, gold_result.as_ref(), &controls);
+    if outcome.timed_out {
+        metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError::DeadlineExceeded);
+    }
+    outcome.stages.translate = translate;
+
+    metrics.iterations.fetch_add(outcome.iterations as u64, Ordering::Relaxed);
+    let rejects = outcome.iterations - usize::from(outcome.accepted);
+    metrics.verifier_rejects.fetch_add(rejects as u64, Ordering::Relaxed);
+    metrics.verifier_accepts.fetch_add(u64::from(outcome.accepted), Ordering::Relaxed);
+    metrics.stages.record(&outcome.stages, started.elapsed());
+
+    Ok(ServeResponse {
+        db_id: item.db_name.clone(),
+        sql: outcome.chosen_sql,
+        accepted: outcome.accepted,
+        iterations: outcome.iterations,
+        explanation: outcome.explanation.map(|e| e.text),
+        result: outcome.chosen_result,
+        stages: outcome.stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+    use cyclesql_models::ModelProfile;
+    use cyclesql_nli::{Verdict, Verifier, VerifyInput};
+
+    fn quick_suite() -> cyclesql_benchgen::BenchmarkSuite {
+        build_spider_suite(
+            Variant::Spider,
+            SuiteConfig { seed: 0xE16, train_per_template: 1, eval_per_template: 2 },
+        )
+    }
+
+    fn oracle_engine(config: ServeConfig) -> (ServiceEngine, Vec<Arc<BenchmarkItem>>) {
+        let suite = quick_suite();
+        let items: Vec<Arc<BenchmarkItem>> =
+            suite.dev.iter().cloned().map(Arc::new).collect();
+        let catalog = Arc::new(Catalog::from_suites([&suite]));
+        let engine = ServiceEngine::start(
+            catalog,
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+            CycleSql::new(LoopVerifier::Oracle),
+            config,
+        );
+        (engine, items)
+    }
+
+    /// A verifier with a fixed wall-clock cost per verify call, so tests
+    /// can saturate the admission queue deterministically. `entails`
+    /// decides whether the loop stops at the first candidate (true) or
+    /// keeps walking the beam (false).
+    struct SlowVerifier {
+        per_verify: Duration,
+        entails: bool,
+    }
+    impl Verifier for SlowVerifier {
+        fn verify(&self, _input: &VerifyInput<'_>) -> Verdict {
+            std::thread::sleep(self.per_verify);
+            Verdict { entails: self.entails, score: if self.entails { 1.0 } else { 0.0 } }
+        }
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+    }
+
+    fn slow_engine(
+        config: ServeConfig,
+        per_verify: Duration,
+        entails: bool,
+    ) -> (ServiceEngine, Vec<Arc<BenchmarkItem>>) {
+        let suite = quick_suite();
+        let items: Vec<Arc<BenchmarkItem>> =
+            suite.dev.iter().cloned().map(Arc::new).collect();
+        let catalog = Arc::new(Catalog::from_suites([&suite]));
+        let engine = ServiceEngine::start(
+            catalog,
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+            CycleSql::new(LoopVerifier::Custom(Box::new(SlowVerifier { per_verify, entails }))),
+            config,
+        );
+        (engine, items)
+    }
+
+    #[test]
+    fn serves_requests_end_to_end() {
+        let (engine, items) = oracle_engine(ServeConfig { workers: 2, ..ServeConfig::default() });
+        for item in items.iter().take(6) {
+            let resp = engine.call(ServeRequest { item: Arc::clone(item) }).unwrap();
+            assert_eq!(resp.db_id, item.db_name);
+            assert!(!resp.sql.is_empty());
+            assert!(resp.iterations >= 1);
+        }
+        let snap = engine.shutdown();
+        assert_eq!(snap.admitted, 6);
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.stages.total.count, 6);
+        assert!(snap.cache_hits + snap.cache_misses > 0, "plans routed via cache");
+    }
+
+    #[test]
+    fn unknown_database_is_a_typed_error() {
+        let (engine, items) = oracle_engine(ServeConfig::default());
+        let mut item = (*items[0]).clone();
+        item.db_name = "no_such_db".into();
+        let err = engine.call(ServeRequest { item: Arc::new(item) }).unwrap_err();
+        assert_eq!(err, ServeError::UnknownDatabase("no_such_db".into()));
+        assert_eq!(engine.shutdown().unknown_db, 1);
+    }
+
+    #[test]
+    fn shed_policy_rejects_when_queue_is_full() {
+        let (engine, items) = slow_engine(
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                policy: AdmissionPolicy::Shed,
+                ..ServeConfig::default()
+            },
+            Duration::from_millis(40),
+            true,
+        );
+        // Burst 10 submissions: 1 in flight + 1 queued absorb the first
+        // two; the worker sleeps 40ms per request, so the rest of the burst
+        // (microseconds apart) must shed.
+        let tickets: Vec<_> =
+            (0..10).map(|i| engine.submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) })).collect();
+        let shed = tickets.iter().filter(|t| t.is_err()).count();
+        assert!(shed >= 7, "burst mostly shed, got {shed}");
+        for ticket in tickets.into_iter().flatten() {
+            assert!(ticket.wait().is_ok());
+        }
+        let snap = engine.shutdown();
+        assert_eq!(snap.shed, shed as u64);
+        assert_eq!(snap.admitted, 10 - shed as u64);
+        assert_eq!(snap.completed, snap.admitted, "admitted requests all drained");
+    }
+
+    #[test]
+    fn block_policy_admits_everything() {
+        let (engine, items) = slow_engine(
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                policy: AdmissionPolicy::Block,
+                ..ServeConfig::default()
+            },
+            Duration::from_millis(5),
+            true,
+        );
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                engine
+                    .submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) })
+                    .expect("block policy never sheds")
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let snap = engine.shutdown();
+        assert_eq!(snap.admitted, 8);
+        assert_eq!(snap.completed, 8);
+        assert_eq!(snap.shed, 0);
+    }
+
+    #[test]
+    fn deadlines_abandon_slow_requests() {
+        // The rejecting verifier keeps the loop walking the beam; the
+        // deadline check between iterations abandons it after the first
+        // 50ms verify call blows the 10ms budget.
+        let (engine, items) = slow_engine(
+            ServeConfig {
+                workers: 1,
+                deadline: Some(Duration::from_millis(10)),
+                ..ServeConfig::default()
+            },
+            Duration::from_millis(50),
+            false,
+        );
+        let err = engine.call(ServeRequest { item: Arc::clone(&items[0]) }).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        let snap = engine.shutdown();
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.stages.total.count, 0, "timed-out requests skip histograms");
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let (engine, items) = slow_engine(
+            ServeConfig { workers: 2, queue_capacity: 16, ..ServeConfig::default() },
+            Duration::from_millis(10),
+            true,
+        );
+        let tickets: Vec<_> = (0..6)
+            .map(|i| engine.submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) }).unwrap())
+            .collect();
+        let snap = engine.shutdown();
+        assert_eq!(snap.completed, 6, "every admitted request served before exit");
+        for t in tickets {
+            assert!(t.wait().is_ok(), "tickets fulfilled even after shutdown");
+        }
+    }
+}

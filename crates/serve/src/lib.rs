@@ -1,0 +1,65 @@
+//! # cyclesql-serve
+//!
+//! An in-process, std-only concurrent serving engine for the CycleSQL
+//! NLIDB: the missing layer between the per-question feedback loop
+//! (`cyclesql-core`) and a production deployment answering many users over
+//! many databases at once.
+//!
+//! The subsystem has four pieces:
+//!
+//! - [`Catalog`] — the immutable set of served databases, built once at
+//!   startup with per-database artifacts (the join-semantics
+//!   [`SchemaGraph`](cyclesql_explain::SchemaGraph)) precomputed and
+//!   `Arc`-shared across workers.
+//! - [`PlanCache`] — a sharded, capacity-bounded LRU of compiled query
+//!   plans keyed by `(db_id, canonical SQL)`, plugged into the feedback
+//!   loop as its [`PlanSource`](cyclesql_core::PlanSource) so repeated
+//!   questions skip candidate compilation.
+//! - [`ServiceEngine`] — a fixed worker pool behind a bounded admission
+//!   queue with two backpressure policies ([`AdmissionPolicy::Block`] /
+//!   [`AdmissionPolicy::Shed`]), per-request deadlines that abandon the
+//!   candidate loop cleanly mid-iteration, and graceful draining shutdown.
+//! - [`Metrics`] — lock-free counters and per-stage latency histograms,
+//!   exported as a serializable [`MetricsSnapshot`].
+//!
+//! ```
+//! use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+//! use cyclesql_core::{CycleSql, LoopVerifier};
+//! use cyclesql_models::{ModelProfile, SimulatedModel};
+//! use cyclesql_serve::{Catalog, ServeConfig, ServeRequest, ServiceEngine};
+//! use std::sync::Arc;
+//!
+//! let suite = build_spider_suite(
+//!     Variant::Spider,
+//!     SuiteConfig { seed: 7, train_per_template: 1, eval_per_template: 1 },
+//! );
+//! let catalog = Arc::new(Catalog::from_suites([&suite]));
+//! let engine = ServiceEngine::start(
+//!     catalog,
+//!     SimulatedModel::new(ModelProfile::resdsql_3b()),
+//!     CycleSql::new(LoopVerifier::Oracle),
+//!     ServeConfig { workers: 2, ..ServeConfig::default() },
+//! );
+//! let item = Arc::new(suite.dev[0].clone());
+//! let response = engine.call(ServeRequest { item }).unwrap();
+//! assert!(!response.sql.is_empty());
+//! let metrics = engine.shutdown();
+//! assert_eq!(metrics.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod engine;
+pub mod metrics;
+pub mod plan_cache;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use engine::{
+    AdmissionPolicy, ServeConfig, ServeError, ServeRequest, ServeResponse, ServiceEngine, Ticket,
+};
+pub use metrics::{
+    Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, StageHistograms, StageSnapshots,
+    HISTOGRAM_BUCKETS,
+};
+pub use plan_cache::{PlanCache, PlanKey};

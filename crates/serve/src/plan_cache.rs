@@ -1,0 +1,333 @@
+//! A sharded, capacity-bounded LRU cache of compiled query plans.
+//!
+//! Keys are `(db_id, canonical SQL)` — the canonical form is the AST's
+//! normalized print, so textual variants of the same query share one plan,
+//! while the same SQL against two catalog databases never does (plans bind
+//! column slots against one schema). Each shard is an intrusive
+//! doubly-linked LRU behind its own mutex; hit/miss counters are atomics
+//! incremented exactly once per lookup, so they stay exact under
+//! concurrency.
+
+use cyclesql_core::PlanSource;
+use cyclesql_sql::{to_sql, Query};
+use cyclesql_storage::{compile, CompiledQuery, Database};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: database id plus the canonical (AST-printed) SQL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The catalog database id (schema name).
+    pub db_id: String,
+    /// The canonical SQL text.
+    pub sql: String,
+}
+
+impl PlanKey {
+    /// The key for `ast` against `db`.
+    pub fn of(db: &Database, ast: &Query) -> Self {
+        PlanKey { db_id: db.schema.name.clone(), sql: to_sql(ast) }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: PlanKey,
+    plan: Arc<CompiledQuery>,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slab-backed intrusive list, most-recent at `head`.
+struct Shard {
+    capacity: usize,
+    map: HashMap<PlanKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            capacity,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn lookup(&mut self, key: &PlanKey) -> Option<Arc<CompiledQuery>> {
+        let slot = *self.map.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(Arc::clone(&self.nodes[slot].plan))
+    }
+
+    fn insert(&mut self, key: PlanKey, plan: Arc<CompiledQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.nodes[slot].plan = plan;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old = self.map.remove(&self.nodes[victim].key);
+            debug_assert_eq!(old, Some(victim));
+            self.free.push(victim);
+        }
+        let node = Node { key: key.clone(), plan, prev: NIL, next: NIL };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s] = node;
+                s
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The sharded plan cache. Total capacity is split exactly across shards
+/// (the first `capacity % shards` shards hold one extra entry), so the
+/// cache never exceeds its configured bound.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache bounded at `capacity` plans spread over `shards` shards
+    /// (clamped so every shard holds at least one plan when capacity
+    /// allows).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+            .collect();
+        PlanCache { shards, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    fn shard_for(&self, key: &PlanKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a plan, counting exactly one hit or miss.
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<CompiledQuery>> {
+        let found = self.shard_for(key).lock().expect("shard poisoned").lookup(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or refreshes) a plan, evicting the shard's least-recently
+    /// used entry when at capacity.
+    pub fn insert(&self, key: PlanKey, plan: Arc<CompiledQuery>) {
+        self.shard_for(&key).lock().expect("shard poisoned").insert(key, plan);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Plans currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PlanSource for PlanCache {
+    /// One lookup (hit or miss counted exactly once); a miss compiles and
+    /// caches. Queries that fail to compile return `None` — the loop's
+    /// `execute` fallback surfaces the identical error.
+    fn plan(&self, db: &Database, _sql: &str, ast: &Arc<Query>) -> Option<Arc<CompiledQuery>> {
+        let key = PlanKey::of(db, ast);
+        if let Some(plan) = self.lookup(&key) {
+            return Some(plan);
+        }
+        let plan = Arc::new(compile(db, ast).ok()?);
+        self.insert(key, Arc::clone(&plan));
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_sql::parse;
+    use cyclesql_storage::{ColumnDef, DataType, DatabaseSchema, TableSchema, Value};
+
+    fn db(name: &str) -> Database {
+        let mut schema = DatabaseSchema::new(name);
+        schema.add_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+        ));
+        let mut d = Database::new(schema);
+        for i in 0..5 {
+            d.insert("t", vec![Value::Int(i), Value::Int(i * 10)]);
+        }
+        d
+    }
+
+    fn plan_of(d: &Database, sql: &str) -> Arc<CompiledQuery> {
+        Arc::new(compile(d, &parse(sql).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn eviction_respects_total_capacity() {
+        let d = db("cap");
+        let cache = PlanCache::new(4, 2);
+        for i in 0..50 {
+            let sql = format!("SELECT v FROM t WHERE id = {i}");
+            cache.insert(
+                PlanKey { db_id: "cap".into(), sql: sql.clone() },
+                plan_of(&d, &sql),
+            );
+            assert!(cache.len() <= 4, "after {} inserts: {} entries", i + 1, cache.len());
+        }
+        assert_eq!(cache.len(), 4, "full cache stays exactly at capacity");
+    }
+
+    #[test]
+    fn lru_order_prefers_recently_used() {
+        let d = db("lru");
+        // One shard so the eviction order is fully deterministic.
+        let cache = PlanCache::new(2, 1);
+        let key = |sql: &str| PlanKey { db_id: "lru".into(), sql: sql.into() };
+        cache.insert(key("a"), plan_of(&d, "SELECT id FROM t"));
+        cache.insert(key("b"), plan_of(&d, "SELECT v FROM t"));
+        assert!(cache.lookup(&key("a")).is_some(), "touch a");
+        cache.insert(key("c"), plan_of(&d, "SELECT id, v FROM t")); // evicts b
+        assert!(cache.lookup(&key("a")).is_some(), "a survived (recently used)");
+        assert!(cache.lookup(&key("b")).is_none(), "b evicted (least recent)");
+        assert!(cache.lookup(&key("c")).is_some());
+    }
+
+    #[test]
+    fn keys_include_the_database_id() {
+        let d1 = db("db_one");
+        let cache = PlanCache::new(8, 2);
+        let ast = Arc::new(parse("SELECT count(*) FROM t").unwrap());
+        let plan = PlanSource::plan(&cache, &d1, "SELECT count(*) FROM t", &ast);
+        assert!(plan.is_some());
+        // The same canonical SQL against another catalog database misses:
+        // plans are schema-bound and never replayed across databases.
+        let other = PlanKey { db_id: "db_two".into(), sql: to_sql(&ast) };
+        assert!(cache.lookup(&other).is_none());
+        // …while the original key hits.
+        let original = PlanKey { db_id: "db_one".into(), sql: to_sql(&ast) };
+        assert!(cache.lookup(&original).is_some());
+    }
+
+    #[test]
+    fn hit_and_miss_counters_are_exact_under_concurrency() {
+        let d = db("conc");
+        let cache = PlanCache::new(64, 4);
+        let sqls: Vec<String> =
+            (0..8).map(|i| format!("SELECT v FROM t WHERE id = {i}")).collect();
+        let threads = 8;
+        let rounds = 200;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                let d = &d;
+                let sqls = &sqls;
+                scope.spawn(move || {
+                    for r in 0..rounds {
+                        let sql = &sqls[(t + r) % sqls.len()];
+                        let ast = Arc::new(parse(sql).unwrap());
+                        let plan = PlanSource::plan(cache, d, sql, &ast);
+                        assert!(plan.is_some());
+                    }
+                });
+            }
+        });
+        let lookups = cache.hits() + cache.misses();
+        assert_eq!(
+            lookups,
+            (threads * rounds) as u64,
+            "every lookup counted exactly once: {} hits + {} misses",
+            cache.hits(),
+            cache.misses()
+        );
+        // The working set fits in capacity, so after warmup everything hits;
+        // at most one compile per (thread, key) race is possible.
+        assert!(cache.misses() <= (threads * sqls.len()) as u64);
+        assert!(cache.hits() >= (threads * rounds - threads * sqls.len()) as u64);
+    }
+
+    #[test]
+    fn compile_failures_are_not_cached() {
+        let d = db("badq");
+        let cache = PlanCache::new(8, 1);
+        let ast = Arc::new(parse("SELECT missing_col FROM t").unwrap());
+        assert!(PlanSource::plan(&cache, &d, "x", &ast).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Concurrency-determinism contract: the same request set pushed through
+//! the serving engine with 1 worker and with N workers yields identical
+//! per-request responses (accepted SQL, explanation text, result rows) and
+//! identical counters modulo scheduling (the plan cache's hit/miss *split*
+//! may shift when concurrent misses race on one key, but the total lookup
+//! count may not).
+
+use cyclesql_benchgen::{build_science_suite, build_spider_suite, BenchmarkItem, SuiteConfig, Variant};
+use cyclesql_core::{CycleSql, LoopVerifier};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+use cyclesql_nli::AlwaysAcceptVerifier;
+use cyclesql_serve::{
+    AdmissionPolicy, Catalog, MetricsSnapshot, ServeConfig, ServeRequest, ServeResponse,
+    ServiceEngine,
+};
+use std::sync::Arc;
+
+fn quick() -> SuiteConfig {
+    SuiteConfig { seed: 0xDE7E, train_per_template: 1, eval_per_template: 2 }
+}
+
+/// A mixed multi-database workload: spider and science dev items
+/// interleaved, each question repeated once (so the plan cache sees hits).
+fn workload() -> (Arc<Catalog>, Vec<Arc<BenchmarkItem>>) {
+    let spider = build_spider_suite(Variant::Spider, quick());
+    let science = build_science_suite(quick());
+    let catalog = Arc::new(Catalog::from_suites([&spider, &science]));
+    let mut items: Vec<Arc<BenchmarkItem>> = Vec::new();
+    for pair in spider.dev.iter().take(12).zip(science.dev.iter().take(12)) {
+        items.push(Arc::new(pair.0.clone()));
+        items.push(Arc::new(pair.1.clone()));
+    }
+    let repeat = items.clone();
+    items.extend(repeat);
+    (catalog, items)
+}
+
+fn verifier(name: &str) -> LoopVerifier {
+    match name {
+        "oracle" => LoopVerifier::Oracle,
+        "always-accept" => LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier),
+        other => panic!("unknown verifier {other}"),
+    }
+}
+
+fn run_with_workers(
+    workers: usize,
+    catalog: &Arc<Catalog>,
+    items: &[Arc<BenchmarkItem>],
+    verifier_name: &str,
+) -> (Vec<ServeResponse>, MetricsSnapshot) {
+    let engine = ServiceEngine::start(
+        Arc::clone(catalog),
+        SimulatedModel::new(ModelProfile::resdsql_3b()),
+        CycleSql::new(verifier(verifier_name)),
+        ServeConfig {
+            workers,
+            queue_capacity: items.len().max(1),
+            policy: AdmissionPolicy::Block,
+            ..ServeConfig::default()
+        },
+    );
+    // Submit everything up front (the queue holds the whole set), then
+    // collect in submission order — responses stay index-aligned however
+    // the workers interleave.
+    let tickets: Vec<_> = items
+        .iter()
+        .map(|item| engine.submit(ServeRequest { item: Arc::clone(item) }).unwrap())
+        .collect();
+    let responses: Vec<ServeResponse> =
+        tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    (responses, engine.shutdown())
+}
+
+fn assert_deterministic(verifier_name: &str) {
+    let (catalog, items) = workload();
+    let (serial, serial_snap) = run_with_workers(1, &catalog, &items, verifier_name);
+    let (parallel, parallel_snap) = run_with_workers(4, &catalog, &items, verifier_name);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.db_id, p.db_id, "request {i}: database");
+        assert_eq!(s.sql, p.sql, "request {i}: accepted SQL");
+        assert_eq!(s.accepted, p.accepted, "request {i}: verdict");
+        assert_eq!(s.iterations, p.iterations, "request {i}: iterations");
+        assert_eq!(s.explanation, p.explanation, "request {i}: explanation text");
+        assert_eq!(
+            s.result.as_deref(),
+            p.result.as_deref(),
+            "request {i}: result rows"
+        );
+    }
+
+    // Counters are interleaving-independent…
+    assert_eq!(serial_snap.admitted, parallel_snap.admitted);
+    assert_eq!(serial_snap.completed, parallel_snap.completed);
+    assert_eq!(serial_snap.completed, items.len() as u64);
+    assert_eq!(serial_snap.shed, 0);
+    assert_eq!(serial_snap.timeouts, parallel_snap.timeouts);
+    assert_eq!(serial_snap.verifier_accepts, parallel_snap.verifier_accepts);
+    assert_eq!(serial_snap.verifier_rejects, parallel_snap.verifier_rejects);
+    // …and so is the total number of plan-cache lookups; only the
+    // hit/miss split may move when two workers race to compile one key.
+    assert_eq!(
+        serial_snap.cache_hits + serial_snap.cache_misses,
+        parallel_snap.cache_hits + parallel_snap.cache_misses,
+        "total plan lookups"
+    );
+    assert!(
+        parallel_snap.cache_hits > 0,
+        "the repeated-question mix hits the plan cache"
+    );
+    assert!(
+        parallel_snap.cache_hits >= parallel_snap.cache_misses,
+        "second pass over the workload is all hits: {} hits vs {} misses",
+        parallel_snap.cache_hits,
+        parallel_snap.cache_misses
+    );
+}
+
+#[test]
+fn oracle_loop_is_worker_count_invariant() {
+    assert_deterministic("oracle");
+}
+
+#[test]
+fn explaining_loop_is_worker_count_invariant() {
+    // AlwaysAccept runs the full provenance + explanation path per
+    // request, so this pins explanation text across interleavings too.
+    assert_deterministic("always-accept");
+}
