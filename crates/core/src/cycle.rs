@@ -9,9 +9,10 @@ use cyclesql_nli::{
     AlwaysAcceptVerifier, LlmStrawmanVerifier, PrebuiltNliVerifier, TrainedVerifier, Verifier,
     VerifyInput,
 };
+use cyclesql_obs::SpanCtx;
 use cyclesql_provenance::{track_provenance, Provenance, ProvenanceTable};
 use cyclesql_sql::{parse, Query};
-use cyclesql_storage::{execute, CompiledQuery, Database, ResultSet};
+use cyclesql_storage::{compile, execute, CompiledQuery, Database, ResultSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -102,14 +103,24 @@ pub trait PlanSource: Sync {
 }
 
 /// Per-run controls injected by serving callers: a deadline that abandons
-/// the candidate loop cleanly mid-iteration, and a plan source that lets
-/// repeated queries skip compilation.
+/// the candidate loop cleanly mid-iteration, a plan source that lets
+/// repeated queries skip compilation, and a tracing context for
+/// request-scoped observability.
 #[derive(Default, Clone, Copy)]
 pub struct RunControls<'a> {
     /// Abandon the loop once this instant passes (checked between stages).
     pub deadline: Option<Instant>,
     /// Compiled-plan provider; `None` compiles per execution.
     pub plans: Option<&'a dyn PlanSource>,
+    /// Tracing context. When enabled, each candidate iteration opens a
+    /// `cycle` child span with `execute` / `provenance` / `explain` /
+    /// `verify` stage children. Disabled by default — the loop then
+    /// allocates and emits nothing.
+    pub span: SpanCtx<'a>,
+    /// Collect an EXPLAIN ANALYZE operator profile per traced candidate
+    /// execution and attach it to the `execute` stage span. Ignored when
+    /// `span` is disabled; the candidate still executes exactly once.
+    pub analyze: bool,
 }
 
 impl RunControls<'_> {
@@ -234,21 +245,71 @@ impl CycleSql {
             }
             let iteration = i + 1;
             examined = iteration;
-            let Some(query) = cand.ast.as_ref() else { continue };
-
-            let t = Instant::now();
-            let executed = match controls.plans.and_then(|p| p.plan(db, &cand.sql, query)) {
-                Some(plan) => plan.run_result(db),
-                None => execute(db, query),
+            let mut cand_span = controls.span.child("cycle");
+            if let Some(s) = cand_span.as_mut() {
+                s.set("candidate", i);
+                s.set("rank", cand.rank);
+            }
+            let Some(query) = cand.ast.as_ref() else {
+                if let Some(mut s) = cand_span.take() {
+                    s.set("parse_error", true);
+                    s.set_error();
+                }
+                continue;
             };
+
+            let exec_span = cand_span.as_ref().map(|s| s.child("execute"));
+            let t = Instant::now();
+            let plan = controls.plans.and_then(|p| p.plan(db, &cand.sql, query));
+            let mut executed;
+            if controls.analyze && exec_span.is_some() {
+                // Analyzed execution: same single run, instrumented.
+                let analyzed = match &plan {
+                    Some(plan) => plan.run_analyzed(db),
+                    None => compile(db, query).and_then(|c| c.run_analyzed(db)),
+                };
+                executed = analyzed.map(|(out, profile)| (out.result, Some(profile)));
+            } else {
+                executed = match &plan {
+                    Some(plan) => plan.run_result(db),
+                    None => execute(db, query),
+                }
+                .map(|r| (r, None));
+            }
             stages.execute += t.elapsed();
-            let Ok(result) = executed else { continue };
+            if let Some(mut s) = exec_span {
+                s.set("plan_cached", plan.is_some());
+                match &mut executed {
+                    Ok((result, profile)) => {
+                        s.set("rows", result.rows.len());
+                        if let Some(profile) = profile.take() {
+                            s.set("analyze", profile.render(true));
+                            s.set("analyze_ops_ns", profile.ops_ns());
+                            s.set("analyze_total_ns", profile.total_ns);
+                        }
+                    }
+                    Err(e) => {
+                        s.set("exec_error", e.to_string());
+                        s.set_error();
+                    }
+                }
+            }
+            let Ok((result, _)) = executed else {
+                if let Some(mut s) = cand_span.take() {
+                    s.set_error();
+                }
+                continue;
+            };
             let result = Arc::new(result);
             if i == 0 {
                 top1_result = Some(Arc::clone(&result));
             }
             if controls.expired() {
                 timed_out = true;
+                if let Some(mut s) = cand_span.take() {
+                    s.set("deadline_abort", true);
+                    s.set_error();
+                }
                 break;
             }
 
@@ -260,19 +321,31 @@ impl CycleSql {
                 _ => {
                     let (premise_text, facets, explanation) = match self.feedback {
                         FeedbackKind::DataGrounded => {
+                            let prov_span = cand_span.as_ref().map(|s| s.child("provenance"));
                             let t = Instant::now();
                             let prov = track_provenance(db, query, &result, 0)
                                 .unwrap_or_else(|_| empty_provenance());
                             stages.provenance += t.elapsed();
+                            if let Some(mut s) = prov_span {
+                                s.set("rows", prov.table.rows.len());
+                            }
+                            let explain_span = cand_span.as_ref().map(|s| s.child("explain"));
                             let t = Instant::now();
                             let e = generate_explanation(db, query, &result, 0, &prov);
                             stages.explain += t.elapsed();
+                            if let Some(mut s) = explain_span {
+                                s.set("chars", e.text.len());
+                            }
                             (e.text.clone(), e.facets.clone(), Some(e))
                         }
                         FeedbackKind::Sql2Nl => {
+                            let explain_span = cand_span.as_ref().map(|s| s.child("explain"));
                             let t = Instant::now();
                             let s = sql_to_nl(db, query);
                             stages.explain += t.elapsed();
+                            if let Some(mut sp) = explain_span {
+                                sp.set("chars", s.text.len());
+                            }
                             (s.text.clone(), s.facets.clone(), None)
                         }
                     };
@@ -287,6 +360,7 @@ impl CycleSql {
                 break;
             }
 
+            let mut verify_span = cand_span.as_ref().map(|s| s.child("verify"));
             let t = Instant::now();
             let verdict_entails = match &self.verifier {
                 LoopVerifier::Oracle => {
@@ -323,6 +397,12 @@ impl CycleSql {
                 }
             };
             stages.verify += t.elapsed();
+            if let Some(mut s) = verify_span.take() {
+                s.set("entails", verdict_entails);
+            }
+            if let Some(mut s) = cand_span.take() {
+                s.set("entails", verdict_entails);
+            }
             if verdict_entails {
                 if chosen.is_none() {
                     chosen = Some(ChosenCandidate {
@@ -632,7 +712,7 @@ mod control_tests {
         let cands = prepared(&[item.gold_sql.as_str(), item.gold_sql.as_str()]);
         let controls = RunControls {
             deadline: Some(Instant::now() - Duration::from_millis(1)),
-            plans: None,
+            ..RunControls::default()
         };
         let outcome = cycle.run_controlled(item, db, &cands, None, &controls);
         assert!(outcome.timed_out);
@@ -666,7 +746,7 @@ mod control_tests {
             let cands =
                 prepared(&[item.gold_sql.as_str(), "SELECT count(*) FROM nosuchtable"]);
             let plain = cycle.run_prepared(item, db, &cands, gold.gold_result.as_deref());
-            let controls = RunControls { deadline: None, plans: Some(&plans) };
+            let controls = RunControls { plans: Some(&plans), ..RunControls::default() };
             let routed =
                 cycle.run_controlled(item, db, &cands, gold.gold_result.as_deref(), &controls);
             assert_eq!(plain.chosen_sql, routed.chosen_sql);
@@ -678,5 +758,158 @@ mod control_tests {
             );
         }
         assert!(plans.0.load(Ordering::Relaxed) > 0, "plan source consulted");
+    }
+}
+
+#[cfg(test)]
+mod tracing_tests {
+    use super::*;
+    use crate::experiments::ExperimentContext;
+    use cyclesql_nli::Verdict;
+    use cyclesql_obs::{MemorySink, ObsCounters, SpanSink, Tracer};
+
+    fn prepared(sqls: &[&str]) -> Vec<PreparedCandidate> {
+        sqls.iter()
+            .enumerate()
+            .map(|(i, s)| PreparedCandidate {
+                sql: (*s).to_string(),
+                ast: parse(s).ok().map(Arc::new),
+                rank: i,
+                score: 1.0 - i as f64 * 0.1,
+            })
+            .collect()
+    }
+
+    fn tracer() -> (Tracer, Arc<MemorySink>) {
+        let counters = Arc::new(ObsCounters::default());
+        let sink = Arc::new(MemorySink::new(1024, Arc::clone(&counters)));
+        let tracer = Tracer::new(sink.clone() as Arc<dyn SpanSink>, counters);
+        (tracer, sink)
+    }
+
+    #[test]
+    fn traced_loop_emits_candidate_and_stage_spans() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier));
+        let cands = prepared(&["NOT SQL @@@", item.gold_sql.as_str()]);
+        let (tracer, sink) = tracer();
+        {
+            let root = tracer.root("serve");
+            let controls = RunControls {
+                span: SpanCtx::of(&root),
+                ..RunControls::default()
+            };
+            let outcome = cycle.run_controlled(item, db, &cands, None, &controls);
+            assert!(outcome.accepted);
+        }
+        let records = sink.records();
+        let cycles: Vec<_> = records.iter().filter(|r| r.name == "cycle").collect();
+        assert_eq!(cycles.len(), 2, "one cycle span per examined candidate");
+        assert!(
+            cycles[0].error && cycles[0].attr("parse_error").is_some(),
+            "unparseable candidate marked"
+        );
+        for stage in ["execute", "provenance", "explain", "verify"] {
+            assert_eq!(
+                records.iter().filter(|r| r.name == stage).count(),
+                1,
+                "{stage} span for the one executed candidate"
+            );
+        }
+        // Stage spans are children of the second cycle span; cycle spans
+        // are children of the root.
+        let root = records.iter().find(|r| r.name == "serve").unwrap();
+        let good_cycle = cycles[1];
+        assert_eq!(good_cycle.parent_id, Some(root.span_id));
+        let exec = records.iter().find(|r| r.name == "execute").unwrap();
+        assert_eq!(exec.parent_id, Some(good_cycle.span_id));
+    }
+
+    #[test]
+    fn untraced_loop_emits_nothing() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier));
+        let cands = prepared(&[item.gold_sql.as_str()]);
+        let outcome =
+            cycle.run_controlled(item, db, &cands, None, &RunControls::default());
+        assert!(outcome.accepted, "tracing off changes nothing");
+    }
+
+    #[test]
+    fn analyze_attaches_operator_profile_to_execute_span() {
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier));
+        let cands = prepared(&[item.gold_sql.as_str()]);
+        let (tracer, sink) = tracer();
+        {
+            let root = tracer.root("serve");
+            let controls = RunControls {
+                span: SpanCtx::of(&root),
+                analyze: true,
+                ..RunControls::default()
+            };
+            cycle.run_controlled(item, db, &cands, None, &controls);
+        }
+        let records = sink.records();
+        let exec = records.iter().find(|r| r.name == "execute").unwrap();
+        let analyze = exec.attr("analyze").expect("profile attached");
+        let cyclesql_obs::AttrValue::Str(text) = analyze else {
+            panic!("analyze attr is text")
+        };
+        assert!(text.contains("RESULT"), "{text}");
+        assert!(exec.attr("analyze_total_ns").is_some());
+    }
+
+    /// Satellite guarantee: a panic inside a stage (here the verifier)
+    /// cannot lose spans. Drop guards deliver every open span to the sink
+    /// with `error=true`.
+    #[test]
+    fn panicking_verifier_loses_no_spans_and_marks_errors() {
+        struct PanicVerifier;
+        impl Verifier for PanicVerifier {
+            fn verify(&self, _input: &VerifyInput<'_>) -> Verdict {
+                panic!("verifier exploded");
+            }
+            fn name(&self) -> &'static str {
+                "panic"
+            }
+        }
+        let ctx = ExperimentContext::shared_quick();
+        let item = &ctx.spider.dev[0];
+        let db = ctx.spider.database(item);
+        let cycle = CycleSql::new(LoopVerifier::Custom(Box::new(PanicVerifier)));
+        let cands = prepared(&[item.gold_sql.as_str()]);
+        let (tracer, sink) = tracer();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let root = tracer.root("serve");
+            let controls = RunControls {
+                span: SpanCtx::of(&root),
+                ..RunControls::default()
+            };
+            cycle.run_controlled(item, db, &cands, None, &controls)
+        }));
+        assert!(result.is_err(), "the panic propagated");
+        let records = sink.records();
+        for name in ["serve", "cycle", "execute", "provenance", "explain", "verify"] {
+            assert!(
+                records.iter().any(|r| r.name == name),
+                "{name} span reached the sink despite the panic"
+            );
+        }
+        // The spans still open when the verifier panicked (verify, its
+        // cycle, the root) were finished by drop guards and marked errored.
+        for name in ["serve", "cycle", "verify"] {
+            let r = records.iter().find(|r| r.name == name).unwrap();
+            assert!(r.error, "{name} span marked error=true");
+        }
+        // Stages that completed before the panic stay clean.
+        let exec = records.iter().find(|r| r.name == "execute").unwrap();
+        assert!(!exec.error);
     }
 }

@@ -1,0 +1,179 @@
+//! Trace sampling: keep 1-in-N traces, plus every trace whose root errored
+//! (shed, deadline, failed stage).
+//!
+//! The sampler is a [`SpanSink`] wrapper. Because "was this trace
+//! interesting" is only known when its *root* finishes (children finish
+//! first), it buffers a trace's records by trace id and decides at root
+//! finish: forward the whole trace to the inner sink, or drop it and count
+//! the discards.
+
+use crate::sink::SpanSink;
+use crate::span::{ObsCounters, SpanRecord};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// When to keep a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplePolicy {
+    /// Keep every `one_in`-th trace by arrival order (1 keeps everything).
+    pub one_in: u64,
+    /// Keep every trace whose root span errored, regardless of `one_in`.
+    pub always_on_error: bool,
+}
+
+impl Default for SamplePolicy {
+    fn default() -> Self {
+        SamplePolicy {
+            one_in: 1,
+            always_on_error: true,
+        }
+    }
+}
+
+/// The sampling wrapper sink.
+pub struct SamplingSink {
+    inner: Arc<dyn SpanSink>,
+    policy: SamplePolicy,
+    decided: AtomicU64,
+    pending: Mutex<HashMap<u64, Vec<SpanRecord>>>,
+    counters: Arc<ObsCounters>,
+}
+
+impl SamplingSink {
+    /// Wraps `inner` with `policy`, counting decisions into `counters`.
+    pub fn new(inner: Arc<dyn SpanSink>, policy: SamplePolicy, counters: Arc<ObsCounters>) -> Self {
+        SamplingSink {
+            inner,
+            policy: SamplePolicy {
+                one_in: policy.one_in.max(1),
+                always_on_error: policy.always_on_error,
+            },
+            decided: AtomicU64::new(0),
+            pending: Mutex::new(HashMap::new()),
+            counters,
+        }
+    }
+}
+
+impl SpanSink for SamplingSink {
+    fn record(&self, record: SpanRecord) {
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if record.parent_id.is_some() {
+            pending.entry(record.trace_id).or_default().push(record);
+            return;
+        }
+        // Root finished: the trace is complete, decide its fate.
+        let children = pending.remove(&record.trace_id).unwrap_or_default();
+        drop(pending);
+        let nth = self.decided.fetch_add(1, Ordering::Relaxed);
+        let keep =
+            (self.policy.always_on_error && record.error) || nth.is_multiple_of(self.policy.one_in);
+        if keep {
+            self.counters.traces_sampled.fetch_add(1, Ordering::Relaxed);
+            for child in children {
+                self.inner.record(child);
+            }
+            self.inner.record(record);
+        } else {
+            self.counters
+                .traces_discarded
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .spans_dropped
+                .fetch_add(children.len() as u64 + 1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use crate::span::Tracer;
+
+    fn setup(policy: SamplePolicy) -> (Tracer, Arc<MemorySink>, Arc<ObsCounters>) {
+        let counters = Arc::new(ObsCounters::default());
+        let memory = Arc::new(MemorySink::new(4096, Arc::clone(&counters)));
+        let sampler = Arc::new(SamplingSink::new(
+            memory.clone() as Arc<dyn SpanSink>,
+            policy,
+            Arc::clone(&counters),
+        ));
+        let tracer = Tracer::new(sampler as Arc<dyn SpanSink>, Arc::clone(&counters));
+        (tracer, memory, counters)
+    }
+
+    #[test]
+    fn one_in_n_keeps_every_nth_trace() {
+        let (tracer, memory, counters) = setup(SamplePolicy {
+            one_in: 4,
+            always_on_error: true,
+        });
+        for _ in 0..12 {
+            let root = tracer.root("serve");
+            root.child("execute").finish();
+            root.finish();
+        }
+        // Traces 0, 4, 8 kept — 3 traces × 2 spans.
+        assert_eq!(memory.records().len(), 6);
+        let snap = counters.snapshot();
+        assert_eq!(snap.traces_sampled, 3);
+        assert_eq!(snap.traces_discarded, 9);
+        assert_eq!(snap.spans_dropped, 18);
+        assert_eq!(snap.spans_emitted, 6);
+        assert_eq!(snap.spans_finished, 24, "every span still finished");
+    }
+
+    #[test]
+    fn error_traces_are_always_kept() {
+        let (tracer, memory, counters) = setup(SamplePolicy {
+            one_in: 1_000_000,
+            always_on_error: true,
+        });
+        // Trace 0 is the 1-in-N pick; make the *second* trace errored and
+        // the rest clean.
+        for i in 0..10 {
+            let mut root = tracer.root("serve");
+            root.child("execute").finish();
+            if i == 1 {
+                root.set_error();
+                root.set("outcome", "deadline");
+            }
+            root.finish();
+        }
+        let records = memory.records();
+        let roots: Vec<_> = records.iter().filter(|r| r.parent_id.is_none()).collect();
+        assert_eq!(roots.len(), 2, "the head-sampled trace plus the errored one");
+        assert!(roots.iter().any(|r| r.error));
+        assert_eq!(counters.snapshot().traces_sampled, 2);
+    }
+
+    #[test]
+    fn kept_traces_arrive_whole() {
+        let (tracer, memory, _) = setup(SamplePolicy {
+            one_in: 2,
+            always_on_error: false,
+        });
+        for _ in 0..4 {
+            let root = tracer.root("serve");
+            let cand = root.child("cycle");
+            cand.child("execute").finish();
+            cand.child("verify").finish();
+            cand.finish();
+            root.finish();
+        }
+        let records = memory.records();
+        assert_eq!(records.len(), 8, "2 kept traces × 4 spans");
+        for name in ["serve", "cycle", "execute", "verify"] {
+            assert_eq!(
+                records.iter().filter(|r| r.name == name).count(),
+                2,
+                "{name} spans travel with their trace"
+            );
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Span sinks: where finished spans go.
+
+use crate::span::{ObsCounters, SpanRecord};
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Receives finished spans. Implementations must tolerate records arriving
+/// from many threads and must tolerate being called during unwinds (span
+/// drop guards fire on panic).
+pub trait SpanSink: Send + Sync {
+    /// Accepts one finished span.
+    fn record(&self, record: SpanRecord);
+}
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it —
+/// sinks run inside drop guards, where a second panic would abort.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A bounded in-memory ring buffer of span records, for tests and the
+/// flame summary. When full, the oldest record is overwritten (counted as
+/// dropped).
+pub struct MemorySink {
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+    counters: Arc<ObsCounters>,
+}
+
+impl MemorySink {
+    /// A ring holding at most `capacity` records.
+    pub fn new(capacity: usize, counters: Arc<ObsCounters>) -> Self {
+        MemorySink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            counters,
+        }
+    }
+
+    /// A copy of the buffered records, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        lock_unpoisoned(&self.buf).iter().cloned().collect()
+    }
+
+    /// Drops every buffered record.
+    pub fn clear(&self) {
+        lock_unpoisoned(&self.buf).clear();
+    }
+}
+
+impl SpanSink for MemorySink {
+    fn record(&self, record: SpanRecord) {
+        let mut buf = lock_unpoisoned(&self.buf);
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.counters.spans_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(record);
+        self.counters.spans_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Appends one JSON object per span record to a file — the offline-analysis
+/// format the `trace_report` bench replays into a flame summary.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<std::fs::File>>,
+    counters: Arc<ObsCounters>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn create(path: impl AsRef<Path>, counters: Arc<ObsCounters>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            counters,
+        })
+    }
+
+    /// Flushes buffered lines to the file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        lock_unpoisoned(&self.writer).flush()
+    }
+}
+
+impl SpanSink for JsonlSink {
+    fn record(&self, record: SpanRecord) {
+        // An I/O failure (disk full, file yanked) skips the record and
+        // counts it dropped instead of panicking inside a drop guard.
+        let line = record.to_json();
+        let mut w = lock_unpoisoned(&self.writer);
+        let ok = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .is_ok();
+        drop(w);
+        if ok {
+            self.counters.spans_emitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.spans_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A span record parsed back from a JSONL line — owned strings in place of
+/// the `&'static` names live spans carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSpan {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id; `None` for a trace root.
+    pub parent_id: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start offset in microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Whether the span recorded an error.
+    pub error: bool,
+}
+
+/// Parses one line written by [`JsonlSink`] back into a [`ParsedSpan`].
+/// Returns `None` for malformed lines (a truncated tail after a crash, a
+/// stray blank line) rather than erroring — readers skip and continue.
+pub fn parse_jsonl_line(line: &str) -> Option<ParsedSpan> {
+    fn field_u64(line: &str, key: &str) -> Option<u64> {
+        let needle = format!("\"{key}\":");
+        let at = line.find(&needle)? + needle.len();
+        let rest = &line[at..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    fn field_str(line: &str, key: &str) -> Option<String> {
+        let needle = format!("\"{key}\":\"");
+        let at = line.find(&needle)? + needle.len();
+        let rest = &line[at..];
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => return Some(out),
+                '\\' => match chars.next()? {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = chars.by_ref().take(4).collect();
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    esc => out.push(esc),
+                },
+                c => out.push(c),
+            }
+        }
+        None
+    }
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    Some(ParsedSpan {
+        trace_id: field_u64(line, "trace_id")?,
+        span_id: field_u64(line, "span_id")?,
+        parent_id: field_u64(line, "parent_id"),
+        name: field_str(line, "name")?,
+        start_us: field_u64(line, "start_us")?,
+        dur_us: field_u64(line, "dur_us")?,
+        error: line.contains("\"error\":true"),
+    })
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    #[test]
+    fn ring_buffer_overwrites_oldest() {
+        let counters = Arc::new(ObsCounters::default());
+        let sink = Arc::new(MemorySink::new(3, Arc::clone(&counters)));
+        let tracer = Tracer::new(sink.clone() as Arc<dyn SpanSink>, Arc::clone(&counters));
+        for _ in 0..5 {
+            tracer.root("r").finish();
+        }
+        let records = sink.records();
+        assert_eq!(records.len(), 3);
+        let snap = counters.snapshot();
+        assert_eq!(snap.spans_emitted, 5);
+        assert_eq!(snap.spans_dropped, 2);
+        // The survivors are the three most recent spans.
+        let ids: Vec<u64> = records.iter().map(|r| r.span_id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn jsonl_lines_round_trip_through_parse() {
+        let dir = std::env::temp_dir().join(format!("obs-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let counters = Arc::new(ObsCounters::default());
+        let sink = Arc::new(JsonlSink::create(&path, Arc::clone(&counters)).unwrap());
+        let tracer = Tracer::new(sink.clone() as Arc<dyn SpanSink>, Arc::clone(&counters));
+        {
+            let mut root = tracer.root("serve");
+            root.set("db", "world \"quoted\"\n");
+            root.set("ok", true);
+            root.set("rank", 2u64);
+            root.child("execute").finish();
+        }
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Children finish (and are written) before their parents.
+        assert!(lines[0].contains("\"name\":\"execute\""));
+        assert!(lines[1].contains("\"name\":\"serve\""));
+        assert!(lines[1].contains("\"db\":\"world \\\"quoted\\\"\\n\""));
+        assert!(lines[1].contains("\"ok\":true"));
+        assert!(lines[1].contains("\"rank\":2"));
+        let parsed: Vec<ParsedSpan> = lines
+            .iter()
+            .filter_map(|l| parse_jsonl_line(l))
+            .collect();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "execute");
+        assert_eq!(parsed[1].name, "serve");
+        assert_eq!(parsed[0].parent_id, Some(parsed[1].span_id));
+        assert_eq!(parsed[1].parent_id, None);
+        assert!(!parsed[1].error);
+        assert_eq!(counters.snapshot().spans_emitted, 2);
+        assert_eq!(parse_jsonl_line("{\"trace_id\":"), None, "truncated line");
+        assert_eq!(parse_jsonl_line(""), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

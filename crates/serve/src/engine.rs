@@ -12,14 +12,15 @@
 
 use crate::catalog::Catalog;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::plan_cache::PlanCache;
+use crate::plan_cache::{PlanCache, PlanKey};
 use cyclesql_benchgen::BenchmarkItem;
 use cyclesql_core::{CycleSql, LoopVerifier, PlanSource, RunControls, StageTimings};
 use cyclesql_models::{SimulatedModel, TranslationRequest};
-use cyclesql_sql::parse;
-use cyclesql_storage::ResultSet;
+use cyclesql_obs::{SpanCtx, Tracer};
+use cyclesql_sql::{parse, Query};
+use cyclesql_storage::{compile, CompiledQuery, Database, ResultSet};
 use std::fmt;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -149,6 +150,8 @@ impl Ticket {
 }
 
 struct Job {
+    /// Engine-assigned request id, carried into the request's root span.
+    id: u64,
     item: Arc<BenchmarkItem>,
     slot: Arc<Slot>,
     deadline: Option<Instant>,
@@ -162,6 +165,41 @@ struct Shared {
     cache: PlanCache,
     metrics: Metrics,
     k: usize,
+    /// Request tracing; `None` keeps the hot path span-free.
+    tracer: Option<Arc<Tracer>>,
+    /// Collect an EXPLAIN ANALYZE operator profile per traced execution.
+    analyze: bool,
+    /// Monotonic request-id source.
+    next_request: AtomicU64,
+}
+
+/// Per-request view of the shared plan cache: every lookup delegates to the
+/// engine-wide cache (so its global hit/miss counters stay exact), while the
+/// request's own hit/miss split is tallied here for its root span.
+struct RequestPlans<'a> {
+    cache: &'a PlanCache,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> RequestPlans<'a> {
+    fn new(cache: &'a PlanCache) -> Self {
+        RequestPlans { cache, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+}
+
+impl PlanSource for RequestPlans<'_> {
+    fn plan(&self, db: &Database, _sql: &str, ast: &Arc<Query>) -> Option<Arc<CompiledQuery>> {
+        let key = PlanKey::of(db, ast);
+        if let Some(plan) = self.cache.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(plan);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compile(db, ast).ok()?);
+        self.cache.insert(key, Arc::clone(&plan));
+        Some(plan)
+    }
 }
 
 /// The serving engine. Start it with [`ServiceEngine::start`], submit with
@@ -178,12 +216,42 @@ pub struct ServiceEngine {
 
 impl ServiceEngine {
     /// Spawns the worker pool over an immutable catalog, one model, and
-    /// one configured feedback loop.
+    /// one configured feedback loop. No request tracing: the pipeline's
+    /// span hooks all collapse to no-ops.
     pub fn start(
         catalog: Arc<Catalog>,
         model: SimulatedModel,
         cycle: CycleSql,
         config: ServeConfig,
+    ) -> Self {
+        Self::start_inner(catalog, model, cycle, config, None, false)
+    }
+
+    /// [`ServiceEngine::start`] with request tracing: every request opens a
+    /// root `serve` span on `tracer` (request id, database, admission
+    /// outcome, plan-cache hits/misses), with per-candidate `cycle` children
+    /// and `execute` / `provenance` / `explain` / `verify` stage spans
+    /// below. With `analyze` set, each traced execution additionally
+    /// collects an EXPLAIN ANALYZE operator profile, attached to its
+    /// `execute` span.
+    pub fn start_traced(
+        catalog: Arc<Catalog>,
+        model: SimulatedModel,
+        cycle: CycleSql,
+        config: ServeConfig,
+        tracer: Arc<Tracer>,
+        analyze: bool,
+    ) -> Self {
+        Self::start_inner(catalog, model, cycle, config, Some(tracer), analyze)
+    }
+
+    fn start_inner(
+        catalog: Arc<Catalog>,
+        model: SimulatedModel,
+        cycle: CycleSql,
+        config: ServeConfig,
+        tracer: Option<Arc<Tracer>>,
+        analyze: bool,
     ) -> Self {
         let shared = Arc::new(Shared {
             catalog,
@@ -192,6 +260,9 @@ impl ServiceEngine {
             cache: PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards),
             metrics: Metrics::default(),
             k: config.k.max(1),
+            tracer,
+            analyze,
+            next_request: AtomicU64::new(0),
         });
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -221,6 +292,7 @@ impl ServiceEngine {
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
         let slot = Arc::new(Slot::default());
         let job = Job {
+            id: self.shared.next_request.fetch_add(1, Ordering::Relaxed),
             item: req.item,
             slot: Arc::clone(&slot),
             deadline: self.deadline.map(|d| Instant::now() + d),
@@ -232,8 +304,17 @@ impl ServiceEngine {
             }
             AdmissionPolicy::Shed => match tx.try_send(job) {
                 Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
+                Err(TrySendError::Full(job)) => {
                     self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    // Shed requests never reach a worker, so their trace is
+                    // just the root span with the admission outcome.
+                    if let Some(tracer) = &self.shared.tracer {
+                        let mut s = tracer.root("serve");
+                        s.set("request", job.id);
+                        s.set("db", job.item.db_name.as_str());
+                        s.set("outcome", "shed");
+                        s.set_error();
+                    }
                     return Err(ServeError::Overloaded);
                 }
                 Err(TrySendError::Disconnected(_)) => return Err(ServeError::Shutdown),
@@ -298,8 +379,48 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     }
 }
 
-/// Runs the full pipeline for one admitted request.
+/// Runs the full pipeline for one admitted request, inside a root `serve`
+/// span when the engine is traced.
 fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
+    let plans = RequestPlans::new(&shared.cache);
+    let Some(tracer) = shared.tracer.as_ref() else {
+        return process_inner(shared, job, &plans, SpanCtx::none(), false);
+    };
+    let mut root = tracer.root("serve");
+    root.set("request", job.id);
+    root.set("db", job.item.db_name.as_str());
+    let result = process_inner(shared, job, &plans, SpanCtx::of(&root), shared.analyze);
+    root.set("plan_hits", plans.hits.load(Ordering::Relaxed));
+    root.set("plan_misses", plans.misses.load(Ordering::Relaxed));
+    match &result {
+        Ok(resp) => {
+            root.set("outcome", "ok");
+            root.set("accepted", resp.accepted);
+            root.set("iterations", resp.iterations);
+        }
+        Err(e) => {
+            root.set(
+                "outcome",
+                match e {
+                    ServeError::Overloaded => "overloaded",
+                    ServeError::DeadlineExceeded => "deadline",
+                    ServeError::UnknownDatabase(_) => "unknown_db",
+                    ServeError::Shutdown => "shutdown",
+                },
+            );
+            root.set_error();
+        }
+    }
+    result
+}
+
+fn process_inner(
+    shared: &Shared,
+    job: &Job,
+    plans: &RequestPlans<'_>,
+    span: SpanCtx<'_>,
+    analyze: bool,
+) -> Result<ServeResponse, ServeError> {
     let started = Instant::now();
     let metrics = &shared.metrics;
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -314,23 +435,27 @@ fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
     };
     let db = entry.db.as_ref();
 
+    let translate_span = span.child("translate");
     let t = Instant::now();
     let request = TranslationRequest { item, db, k: shared.k, severity: 0.0, science: entry.science };
     let candidates = shared.model.translate_prepared(&request, None);
     let translate = t.elapsed();
+    if let Some(mut s) = translate_span {
+        s.set("candidates", candidates.len());
+    }
 
     // The oracle verifier compares against the gold result; route the gold
     // query through the plan cache too — production workloads repeat
     // questions, so its plan is as cacheable as any candidate's.
     let gold_result = match &shared.cycle.verifier {
         LoopVerifier::Oracle => parse(&item.gold_sql).ok().map(Arc::new).and_then(|ast| {
-            let plan = shared.cache.plan(db, &item.gold_sql, &ast)?;
+            let plan = plans.plan(db, &item.gold_sql, &ast)?;
             plan.run_result(db).ok()
         }),
         _ => None,
     };
 
-    let controls = RunControls { deadline: job.deadline, plans: Some(&shared.cache) };
+    let controls = RunControls { deadline: job.deadline, plans: Some(plans), span, analyze };
     let mut outcome =
         shared.cycle.run_controlled(item, db, &candidates, gold_result.as_ref(), &controls);
     if outcome.timed_out {
@@ -522,6 +647,118 @@ mod tests {
         let snap = engine.shutdown();
         assert_eq!(snap.timeouts, 1);
         assert_eq!(snap.stages.total.count, 0, "timed-out requests skip histograms");
+    }
+
+    fn memory_tracer() -> (Arc<Tracer>, Arc<cyclesql_obs::MemorySink>) {
+        let counters = Arc::new(cyclesql_obs::ObsCounters::default());
+        let sink = Arc::new(cyclesql_obs::MemorySink::new(4096, Arc::clone(&counters)));
+        let tracer =
+            Arc::new(Tracer::new(sink.clone() as Arc<dyn cyclesql_obs::SpanSink>, counters));
+        (tracer, sink)
+    }
+
+    #[test]
+    fn traced_engine_emits_request_span_trees() {
+        let suite = quick_suite();
+        let items: Vec<Arc<BenchmarkItem>> =
+            suite.dev.iter().cloned().map(Arc::new).collect();
+        let catalog = Arc::new(Catalog::from_suites([&suite]));
+        let (tracer, sink) = memory_tracer();
+        let engine = ServiceEngine::start_traced(
+            catalog,
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+            CycleSql::new(LoopVerifier::Oracle),
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+            Arc::clone(&tracer),
+            true,
+        );
+        for item in items.iter().take(4) {
+            engine.call(ServeRequest { item: Arc::clone(item) }).unwrap();
+        }
+        let snap = engine.shutdown();
+        assert_eq!(snap.completed, 4);
+
+        let records = sink.records();
+        let roots: Vec<_> = records.iter().filter(|r| r.name == "serve").collect();
+        assert_eq!(roots.len(), 4, "one root span per request");
+        for root in &roots {
+            assert!(root.attr("request").is_some());
+            assert!(root.attr("db").is_some());
+            assert!(root.attr("outcome").is_some());
+            assert!(
+                root.attr("plan_hits").is_some() && root.attr("plan_misses").is_some(),
+                "plan-cache split on the root"
+            );
+            // Exactly one translate child per request.
+            let translates = records
+                .iter()
+                .filter(|r| r.name == "translate" && r.parent_id == Some(root.span_id))
+                .count();
+            assert_eq!(translates, 1);
+            // At least one candidate iteration, each with an execute stage
+            // child carrying the EXPLAIN ANALYZE profile (analyze=true).
+            let cycles: Vec<_> = records
+                .iter()
+                .filter(|r| r.name == "cycle" && r.parent_id == Some(root.span_id))
+                .collect();
+            assert!(!cycles.is_empty(), "candidate spans under the root");
+            let analyzed = records.iter().any(|r| {
+                r.name == "execute"
+                    && cycles.iter().any(|c| r.parent_id == Some(c.span_id))
+                    && r.attr("analyze").is_some()
+            });
+            assert!(analyzed, "EXPLAIN ANALYZE attached to an execute span");
+        }
+        // Tracing aggregates into the same histograms the untraced engine
+        // fills: the snapshot surface is unchanged.
+        assert_eq!(snap.stages.total.count, 4);
+    }
+
+    #[test]
+    fn shed_requests_trace_an_error_root_span() {
+        let suite = quick_suite();
+        let items: Vec<Arc<BenchmarkItem>> =
+            suite.dev.iter().cloned().map(Arc::new).collect();
+        let catalog = Arc::new(Catalog::from_suites([&suite]));
+        let (tracer, sink) = memory_tracer();
+        let engine = ServiceEngine::start_traced(
+            catalog,
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+            CycleSql::new(LoopVerifier::Custom(Box::new(SlowVerifier {
+                per_verify: Duration::from_millis(40),
+                entails: true,
+            }))),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                policy: AdmissionPolicy::Shed,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&tracer),
+            false,
+        );
+        let tickets: Vec<_> = (0..10)
+            .map(|i| engine.submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) }))
+            .collect();
+        let shed = tickets.iter().filter(|t| t.is_err()).count();
+        assert!(shed > 0, "burst saturated the queue");
+        for ticket in tickets.into_iter().flatten() {
+            ticket.wait().unwrap();
+        }
+        engine.shutdown();
+        let records = sink.records();
+        let shed_roots = records
+            .iter()
+            .filter(|r| {
+                r.name == "serve"
+                    && r.error
+                    && matches!(
+                        r.attr("outcome"),
+                        Some(cyclesql_obs::AttrValue::Str(s)) if s == "shed"
+                    )
+            })
+            .count();
+        assert_eq!(shed_roots, shed, "every shed request left an error root span");
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //!   [`AdmissionPolicy::Shed`]), per-request deadlines that abandon the
 //!   candidate loop cleanly mid-iteration, and graceful draining shutdown.
 //! - [`Metrics`] — lock-free counters and per-stage latency histograms,
-//!   exported as a serializable [`MetricsSnapshot`].
+//!   exported as a serializable [`MetricsSnapshot`] and renderable as
+//!   Prometheus exposition text ([`prometheus::render_all`]).
+//!
+//! Started via [`ServiceEngine::start_traced`], the engine additionally
+//! opens one `cyclesql-obs` span tree per request — root `serve` span,
+//! per-candidate `cycle` spans, and `execute` / `provenance` / `explain` /
+//! `verify` stage children, optionally carrying per-operator EXPLAIN
+//! ANALYZE profiles — without changing the metrics surface.
 //!
 //! ```
 //! use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
@@ -53,6 +60,7 @@ pub mod catalog;
 pub mod engine;
 pub mod metrics;
 pub mod plan_cache;
+pub mod prometheus;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use engine::{
@@ -63,3 +71,4 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use plan_cache::{PlanCache, PlanKey};
+pub use prometheus::{render_all, render_metrics, render_observability};

@@ -11,9 +11,9 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Histogram bucket count: bucket `b ≥ 1` covers `[2^(b-1), 2^b)`
-/// microseconds, bucket 0 covers sub-microsecond samples, and the last
-/// bucket absorbs everything from ~18 minutes up.
+/// Histogram bucket count: bucket 0 covers sub-microsecond samples, bucket
+/// `b` in `1..=29` covers `[2^(b-1), 2^b)` microseconds, and the last
+/// bucket absorbs everything from `2^29` µs (≈9 minutes) up.
 pub const HISTOGRAM_BUCKETS: usize = 31;
 
 /// A fixed-bucket, lock-free latency histogram (microsecond resolution,
@@ -247,6 +247,36 @@ mod tests {
         assert_eq!(bucket_index(3), 2);
         assert_eq!(bucket_index(4), 3);
         assert_eq!(bucket_index(1 << 40), HISTOGRAM_BUCKETS - 1);
+    }
+
+    /// Pins every one of the 31 bucket edges: bucket 0 is sub-µs, bucket
+    /// `b` in `1..=29` is exactly `[2^(b-1), 2^b)` µs, and the overflow
+    /// bucket starts at `2^29` µs (≈9 minutes) and reaches `u64::MAX`.
+    #[test]
+    fn bucket_edges_are_pinned_with_overflow() {
+        assert_eq!(bucket_index(0), 0, "bucket 0 holds sub-microsecond samples");
+        for b in 1..=(HISTOGRAM_BUCKETS - 2) {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(bucket_index(lo), b, "lower edge of bucket {b}");
+            assert_eq!(bucket_index(lo * 2 - 1), b, "last value inside bucket {b}");
+            assert_eq!(bucket_index(lo - 1), b - 1, "value below bucket {b}");
+        }
+        let overflow = HISTOGRAM_BUCKETS - 1;
+        let overflow_lo = 1u64 << (overflow - 1);
+        assert_eq!(bucket_index(overflow_lo), overflow, "overflow starts at 2^29 µs");
+        assert_eq!(bucket_index(overflow_lo - 1), overflow - 1);
+        assert_eq!(bucket_index(u64::MAX), overflow, "overflow is unbounded above");
+
+        // Recording routes through the same mapping.
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(overflow_lo - 1));
+        h.record(Duration::from_secs(86_400));
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[overflow - 1].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[overflow].load(Ordering::Relaxed), 1);
     }
 
     #[test]

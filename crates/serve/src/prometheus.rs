@@ -1,0 +1,175 @@
+//! Prometheus text-format (version 0.0.4) rendering for the engine's
+//! metrics, written by hand against the exposition-format spec so the
+//! export surface has zero dependencies.
+//!
+//! [`render_metrics`] covers every counter and per-stage histogram summary
+//! in a [`MetricsSnapshot`]; [`render_observability`] appends the span
+//! pipeline's own health counters (spans emitted/dropped, sampler
+//! decisions) from an [`ObsCountersSnapshot`]. Both emit `# HELP` / `# TYPE`
+//! headers per metric family and label stage summaries as
+//! `cyclesql_stage_latency_ms{stage="execute",quantile="0.99"}`.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use cyclesql_obs::ObsCountersSnapshot;
+use std::fmt::Write as _;
+
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    family(out, name, help, "counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    family(out, name, help, "gauge");
+    let _ = writeln!(out, "{name} {}", fmt_f64(value));
+}
+
+/// Prometheus floats: plain decimal, no exponent needed at our scales; an
+/// integral value still renders with a trailing `.0`-free form (`42`),
+/// which the format accepts.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn stage_rows(out: &mut String, stage: &str, h: &HistogramSnapshot) {
+    for (q, v) in [("0.5", h.p50_ms), ("0.95", h.p95_ms), ("0.99", h.p99_ms)] {
+        let _ = writeln!(
+            out,
+            "cyclesql_stage_latency_ms{{stage=\"{stage}\",quantile=\"{q}\"}} {}",
+            fmt_f64(v)
+        );
+    }
+    let _ = writeln!(out, "cyclesql_stage_latency_ms_mean{{stage=\"{stage}\"}} {}", fmt_f64(h.mean_ms));
+    let _ = writeln!(out, "cyclesql_stage_latency_ms_count{{stage=\"{stage}\"}} {}", h.count);
+}
+
+/// Renders a [`MetricsSnapshot`] as Prometheus exposition text.
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    counter(&mut out, "cyclesql_requests_admitted_total", "Requests admitted past backpressure.", snapshot.admitted);
+    counter(&mut out, "cyclesql_requests_completed_total", "Requests fully served.", snapshot.completed);
+    counter(&mut out, "cyclesql_requests_shed_total", "Requests rejected at admission by the shed policy.", snapshot.shed);
+    counter(&mut out, "cyclesql_requests_timeout_total", "Requests abandoned by their deadline.", snapshot.timeouts);
+    counter(&mut out, "cyclesql_requests_unknown_db_total", "Requests naming an unserved database.", snapshot.unknown_db);
+    counter(&mut out, "cyclesql_plan_cache_hits_total", "Compiled-plan cache hits.", snapshot.cache_hits);
+    counter(&mut out, "cyclesql_plan_cache_misses_total", "Compiled-plan cache misses.", snapshot.cache_misses);
+    gauge(&mut out, "cyclesql_plan_cache_hit_rate", "Plan-cache hits over lookups, in [0, 1].", snapshot.cache_hit_rate);
+    counter(&mut out, "cyclesql_verifier_accepts_total", "Accepting verifier verdicts.", snapshot.verifier_accepts);
+    counter(&mut out, "cyclesql_verifier_rejects_total", "Rejecting verifier verdicts.", snapshot.verifier_rejects);
+    gauge(&mut out, "cyclesql_loop_iterations_avg", "Mean candidate-loop iterations per completed request.", snapshot.avg_iterations);
+    family(
+        &mut out,
+        "cyclesql_stage_latency_ms",
+        "Per-stage latency summary (bucket-resolution quantiles, ms).",
+        "summary",
+    );
+    let s = &snapshot.stages;
+    for (stage, h) in [
+        ("translate", &s.translate),
+        ("execute", &s.execute),
+        ("provenance", &s.provenance),
+        ("explain", &s.explain),
+        ("verify", &s.verify),
+        ("total", &s.total),
+    ] {
+        stage_rows(&mut out, stage, h);
+    }
+    out
+}
+
+/// Renders the tracing pipeline's own counters as Prometheus exposition
+/// text (appended after [`render_metrics`] by [`render_all`]).
+pub fn render_observability(counters: &ObsCountersSnapshot) -> String {
+    let mut out = String::new();
+    counter(&mut out, "cyclesql_obs_spans_finished_total", "Spans finished and handed to the sink chain.", counters.spans_finished);
+    counter(&mut out, "cyclesql_obs_spans_emitted_total", "Span records delivered to a terminal sink.", counters.spans_emitted);
+    counter(&mut out, "cyclesql_obs_spans_dropped_total", "Span records discarded (unsampled trace or ring overwrite).", counters.spans_dropped);
+    counter(&mut out, "cyclesql_obs_traces_sampled_total", "Traces kept by the sampler.", counters.traces_sampled);
+    counter(&mut out, "cyclesql_obs_traces_discarded_total", "Traces discarded by the sampler.", counters.traces_discarded);
+    out
+}
+
+/// One text page with both the serving metrics and (when the engine is
+/// traced) the span-pipeline counters.
+pub fn render_all(snapshot: &MetricsSnapshot, counters: Option<&ObsCountersSnapshot>) -> String {
+    let mut out = render_metrics(snapshot);
+    if let Some(counters) = counters {
+        out.push_str(&render_observability(counters));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use cyclesql_core::StageTimings;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_every_counter_family_once() {
+        let m = Metrics::default();
+        m.stages.record(&StageTimings::default(), Duration::from_millis(3));
+        let text = render_metrics(&m.snapshot(7, 3));
+        for name in [
+            "cyclesql_requests_admitted_total",
+            "cyclesql_requests_completed_total",
+            "cyclesql_requests_shed_total",
+            "cyclesql_requests_timeout_total",
+            "cyclesql_requests_unknown_db_total",
+            "cyclesql_plan_cache_hits_total",
+            "cyclesql_plan_cache_misses_total",
+            "cyclesql_plan_cache_hit_rate",
+            "cyclesql_verifier_accepts_total",
+            "cyclesql_verifier_rejects_total",
+            "cyclesql_loop_iterations_avg",
+            "cyclesql_stage_latency_ms",
+        ] {
+            assert_eq!(
+                text.matches(&format!("# TYPE {name} ")).count(),
+                1,
+                "{name} typed exactly once"
+            );
+        }
+        assert!(text.contains("cyclesql_plan_cache_hits_total 7"));
+        assert!(text.contains("cyclesql_plan_cache_hit_rate 0.7"));
+        assert!(text.contains("cyclesql_stage_latency_ms_count{stage=\"total\"} 1"));
+        assert!(text.contains("{stage=\"execute\",quantile=\"0.99\"}"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in `{line}`");
+            assert!(parts.next().is_some(), "no metric name in `{line}`");
+        }
+    }
+
+    #[test]
+    fn observability_counters_render_and_append() {
+        let counters = ObsCountersSnapshot {
+            spans_finished: 10,
+            spans_emitted: 8,
+            spans_dropped: 2,
+            traces_sampled: 1,
+            traces_discarded: 1,
+        };
+        let text = render_observability(&counters);
+        assert!(text.contains("cyclesql_obs_spans_emitted_total 8"));
+        assert!(text.contains("cyclesql_obs_spans_dropped_total 2"));
+
+        let m = Metrics::default();
+        let all = render_all(&m.snapshot(0, 0), Some(&counters));
+        assert!(all.contains("cyclesql_requests_admitted_total 0"));
+        assert!(all.contains("cyclesql_obs_traces_sampled_total 1"));
+        let without = render_all(&m.snapshot(0, 0), None);
+        assert!(!without.contains("cyclesql_obs_"));
+    }
+}

@@ -3,12 +3,15 @@
 //! per-request responses (accepted SQL, explanation text, result rows) and
 //! identical counters modulo scheduling (the plan cache's hit/miss *split*
 //! may shift when concurrent misses race on one key, but the total lookup
-//! count may not).
+//! count may not). Tracing is part of the contract too: turning it on
+//! changes no response, and the spans a traced run emits are
+//! worker-count-invariant in count per stage.
 
 use cyclesql_benchgen::{build_science_suite, build_spider_suite, BenchmarkItem, SuiteConfig, Variant};
 use cyclesql_core::{CycleSql, LoopVerifier};
 use cyclesql_models::{ModelProfile, SimulatedModel};
 use cyclesql_nli::AlwaysAcceptVerifier;
+use cyclesql_obs::{MemorySink, ObsCounters, SpanRecord, SpanSink, Tracer};
 use cyclesql_serve::{
     AdmissionPolicy, Catalog, MetricsSnapshot, ServeConfig, ServeRequest, ServeResponse,
     ServiceEngine,
@@ -43,23 +46,16 @@ fn verifier(name: &str) -> LoopVerifier {
     }
 }
 
-fn run_with_workers(
-    workers: usize,
-    catalog: &Arc<Catalog>,
-    items: &[Arc<BenchmarkItem>],
-    verifier_name: &str,
-) -> (Vec<ServeResponse>, MetricsSnapshot) {
-    let engine = ServiceEngine::start(
-        Arc::clone(catalog),
-        SimulatedModel::new(ModelProfile::resdsql_3b()),
-        CycleSql::new(verifier(verifier_name)),
-        ServeConfig {
-            workers,
-            queue_capacity: items.len().max(1),
-            policy: AdmissionPolicy::Block,
-            ..ServeConfig::default()
-        },
-    );
+fn config_for(workers: usize, items: &[Arc<BenchmarkItem>]) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity: items.len().max(1),
+        policy: AdmissionPolicy::Block,
+        ..ServeConfig::default()
+    }
+}
+
+fn drain(engine: ServiceEngine, items: &[Arc<BenchmarkItem>]) -> (Vec<ServeResponse>, MetricsSnapshot) {
     // Submit everything up front (the queue holds the whole set), then
     // collect in submission order — responses stay index-aligned however
     // the workers interleave.
@@ -72,24 +68,67 @@ fn run_with_workers(
     (responses, engine.shutdown())
 }
 
+fn run_with_workers(
+    workers: usize,
+    catalog: &Arc<Catalog>,
+    items: &[Arc<BenchmarkItem>],
+    verifier_name: &str,
+) -> (Vec<ServeResponse>, MetricsSnapshot) {
+    let engine = ServiceEngine::start(
+        Arc::clone(catalog),
+        SimulatedModel::new(ModelProfile::resdsql_3b()),
+        CycleSql::new(verifier(verifier_name)),
+        config_for(workers, items),
+    );
+    drain(engine, items)
+}
+
+fn run_traced(
+    workers: usize,
+    catalog: &Arc<Catalog>,
+    items: &[Arc<BenchmarkItem>],
+    verifier_name: &str,
+    analyze: bool,
+) -> (Vec<ServeResponse>, Vec<SpanRecord>) {
+    let counters = Arc::new(ObsCounters::default());
+    let sink = Arc::new(MemorySink::new(65_536, Arc::clone(&counters)));
+    let tracer = Arc::new(Tracer::new(sink.clone() as Arc<dyn SpanSink>, counters));
+    let engine = ServiceEngine::start_traced(
+        Arc::clone(catalog),
+        SimulatedModel::new(ModelProfile::resdsql_3b()),
+        CycleSql::new(verifier(verifier_name)),
+        config_for(workers, items),
+        tracer,
+        analyze,
+    );
+    let (responses, _) = drain(engine, items);
+    (responses, sink.records())
+}
+
+/// Responses must agree field-for-field; only the wall-clock stage timings
+/// are allowed to differ between runs.
+fn assert_same_responses(a: &[ServeResponse], b: &[ServeResponse], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: response count");
+    for (i, (s, p)) in a.iter().zip(b).enumerate() {
+        assert_eq!(s.db_id, p.db_id, "{what}, request {i}: database");
+        assert_eq!(s.sql, p.sql, "{what}, request {i}: accepted SQL");
+        assert_eq!(s.accepted, p.accepted, "{what}, request {i}: verdict");
+        assert_eq!(s.iterations, p.iterations, "{what}, request {i}: iterations");
+        assert_eq!(s.explanation, p.explanation, "{what}, request {i}: explanation text");
+        assert_eq!(
+            s.result.as_deref(),
+            p.result.as_deref(),
+            "{what}, request {i}: result rows"
+        );
+    }
+}
+
 fn assert_deterministic(verifier_name: &str) {
     let (catalog, items) = workload();
     let (serial, serial_snap) = run_with_workers(1, &catalog, &items, verifier_name);
     let (parallel, parallel_snap) = run_with_workers(4, &catalog, &items, verifier_name);
 
-    assert_eq!(serial.len(), parallel.len());
-    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
-        assert_eq!(s.db_id, p.db_id, "request {i}: database");
-        assert_eq!(s.sql, p.sql, "request {i}: accepted SQL");
-        assert_eq!(s.accepted, p.accepted, "request {i}: verdict");
-        assert_eq!(s.iterations, p.iterations, "request {i}: iterations");
-        assert_eq!(s.explanation, p.explanation, "request {i}: explanation text");
-        assert_eq!(
-            s.result.as_deref(),
-            p.result.as_deref(),
-            "request {i}: result rows"
-        );
-    }
+    assert_same_responses(&serial, &parallel, "1 vs 4 workers");
 
     // Counters are interleaving-independent…
     assert_eq!(serial_snap.admitted, parallel_snap.admitted);
@@ -128,4 +167,42 @@ fn explaining_loop_is_worker_count_invariant() {
     // AlwaysAccept runs the full provenance + explanation path per
     // request, so this pins explanation text across interleavings too.
     assert_deterministic("always-accept");
+}
+
+#[test]
+fn traced_responses_and_span_counts_are_worker_count_invariant() {
+    let (catalog, items) = workload();
+    let (serial, serial_spans) = run_traced(1, &catalog, &items, "always-accept", false);
+    let (parallel, parallel_spans) = run_traced(4, &catalog, &items, "always-accept", false);
+
+    assert_same_responses(&serial, &parallel, "traced, 1 vs 4 workers");
+
+    // The span streams interleave differently, but each stage emits
+    // exactly the same number of spans either way.
+    let count = |spans: &[SpanRecord], name: &str| spans.iter().filter(|r| r.name == name).count();
+    for stage in ["serve", "translate", "cycle", "execute", "provenance", "explain", "verify"] {
+        assert_eq!(
+            count(&serial_spans, stage),
+            count(&parallel_spans, stage),
+            "span count for stage `{stage}`"
+        );
+    }
+    assert_eq!(count(&serial_spans, "serve"), items.len(), "one root span per request");
+    assert_eq!(
+        serial_spans.len(),
+        parallel_spans.len(),
+        "total spans emitted"
+    );
+}
+
+#[test]
+fn tracing_changes_no_responses() {
+    let (catalog, items) = workload();
+    let (untraced, _) = run_with_workers(2, &catalog, &items, "always-accept");
+    let (traced, spans) = run_traced(2, &catalog, &items, "always-accept", false);
+    let (analyzed, _) = run_traced(2, &catalog, &items, "always-accept", true);
+
+    assert_same_responses(&untraced, &traced, "tracing off vs on");
+    assert_same_responses(&untraced, &analyzed, "tracing off vs EXPLAIN ANALYZE");
+    assert!(!spans.is_empty(), "traced run actually emitted spans");
 }

@@ -34,6 +34,7 @@ pub mod error;
 pub mod exec;
 pub mod ir;
 pub mod plan;
+pub mod profile;
 pub mod reference;
 pub mod result;
 mod run;
@@ -51,7 +52,8 @@ pub use compile::compile;
 pub use error::ExecError;
 pub use exec::{execute, execute_with_lineage, is_executable, ExecOutput, Lineage, SourceRef};
 pub use ir::{CompiledQuery, InProbe, RunStats};
-pub use plan::{describe_plan, PlanStep, QueryPlan};
+pub use plan::{describe_plan, describe_plan_analyze, PlanStep, QueryPlan};
+pub use profile::{OpProfile, PlanProfile, SubProfile};
 pub use result::ResultSet;
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
 pub use table::{Database, Row, Table};

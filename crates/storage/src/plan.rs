@@ -6,7 +6,9 @@
 //! a hand-mirrored describer could.
 
 use crate::compile::compile;
+use crate::error::ExecError;
 use crate::ir::{CBody, CCore, CompiledQuery, JoinStrategy};
+use crate::profile::PlanProfile;
 use crate::table::Database;
 use cyclesql_sql::Query;
 use std::fmt::Write as _;
@@ -99,6 +101,24 @@ pub fn describe_plan(db: &Database, query: &Query) -> QueryPlan {
         Ok(compiled) => describe_compiled(db, &compiled),
         Err(_) => QueryPlan::default(),
     }
+}
+
+/// EXPLAIN ANALYZE: compiles `query`, executes it once against `db` with
+/// per-operator instrumentation, and returns the measured plan — the same
+/// operator sequence [`describe_plan`] reports, annotated with observed
+/// rows in/out, probe and comparison counts, hash-index sizes, prologue
+/// subquery timings, and per-operator wall time. Render the result with
+/// [`PlanProfile::render`] (`with_timing: false` is deterministic for a
+/// given database, which golden tests pin).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when the query cannot compile or its execution
+/// fails — the same failures [`crate::exec::execute`] surfaces.
+pub fn describe_plan_analyze(db: &Database, query: &Query) -> Result<PlanProfile, ExecError> {
+    let compiled = compile(db, query)?;
+    let (_, profile) = compiled.run_analyzed(db)?;
+    Ok(profile)
 }
 
 fn describe_compiled(db: &Database, compiled: &CompiledQuery) -> QueryPlan {
@@ -294,6 +314,48 @@ mod tests {
         let q = parse("SELECT nosuch FROM a").unwrap();
         assert!(describe_plan(&d, &q).steps.is_empty());
         assert!(crate::exec::execute(&d, &q).is_err());
+    }
+
+    /// The analyzed plan is the described plan plus measurements: same
+    /// operators, same order, and the observed row flow is consistent
+    /// between adjacent operators.
+    #[test]
+    fn analyze_matches_describe_and_reconciles_rows() {
+        let d = db();
+        let q = parse(
+            "SELECT DISTINCT t2.x, count(*) FROM b AS t1 JOIN a AS t2 ON t1.aid = t2.id \
+             WHERE t1.bid > 0 GROUP BY t2.x ORDER BY t2.x LIMIT 5",
+        )
+        .unwrap();
+        let described = describe_plan(&d, &q);
+        let profile = describe_plan_analyze(&d, &q).unwrap();
+        let steps: Vec<&PlanStep> = profile.ops.iter().map(|o| &o.step).collect();
+        assert_eq!(steps.len(), described.steps.len());
+        for (got, want) in steps.iter().zip(&described.steps) {
+            assert_eq!(*got, want, "analyze drifted from describe");
+        }
+        // Row flow: scan feeds the join, the join feeds the filter, the
+        // final operator's output is the result cardinality.
+        assert_eq!(profile.ops[0].rows_out, 2, "scan of b");
+        assert_eq!(profile.ops[1].rows_in, 2);
+        assert!(profile.ops[1].hash_entries > 0, "hash build side counted");
+        assert_eq!(profile.ops.last().unwrap().rows_out, profile.rows_out);
+        let exec_rows = crate::exec::execute(&d, &q).unwrap().rows.len();
+        assert_eq!(profile.rows_out, exec_rows, "analyze ran the real query");
+        assert!(profile.total_ns >= profile.ops_ns());
+    }
+
+    /// Prologue subqueries are measured once each, with result sizes.
+    #[test]
+    fn analyze_times_prologue_subqueries() {
+        let d = db();
+        let q = parse("SELECT x FROM a WHERE id IN (SELECT aid FROM b)").unwrap();
+        let profile = describe_plan_analyze(&d, &q).unwrap();
+        assert_eq!(profile.prologue.len(), 1);
+        assert_eq!(profile.prologue[0].kind, "in-set");
+        assert_eq!(profile.prologue[0].rows, 2);
+        let rendered = profile.render(false);
+        assert!(rendered.starts_with("PROLOGUE SUBQUERY 0 [in-set] -> 2 rows"), "{rendered}");
     }
 
     /// Aggregates hidden in HAVING or ORDER BY force grouped execution;

@@ -16,6 +16,8 @@ use crate::ir::{
     row_key, CBody, CCore, CExpr, CProj, CompiledQuery, InProbe, JoinStrategy, RunStats, SrcId,
     SubKind, SubPlan, SubResult,
 };
+use crate::plan::PlanStep;
+use crate::profile::{OpProfile, PlanProfile, Prof, SubProfile};
 use crate::result::ResultSet;
 use crate::scalar::{dedup_distinct, eval_binary, fold_agg, sort_by_order_keys};
 use crate::table::{Database, Table};
@@ -23,6 +25,7 @@ use crate::value::{KeyValue, Value};
 use cyclesql_sql::{AggFunc, JoinType, SetOp};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 impl CompiledQuery {
     /// Runs the compiled plan, tracking per-row lineage.
@@ -34,7 +37,7 @@ impl CompiledQuery {
     /// evaluation errors (e.g. a non-COUNT aggregate over `*`).
     pub fn run(&self, db: &Database) -> Result<ExecOutput, ExecError> {
         let mut stats = RunStats::default();
-        self.run_inner(db, &mut stats)
+        self.run_inner(db, &mut stats, &mut Prof::Off)
     }
 
     /// Runs the compiled plan, discarding lineage.
@@ -54,18 +57,69 @@ impl CompiledQuery {
     /// See [`CompiledQuery::run`].
     pub fn run_with_stats(&self, db: &Database) -> Result<(ExecOutput, RunStats), ExecError> {
         let mut stats = RunStats::default();
-        let out = self.run_inner(db, &mut stats)?;
+        let out = self.run_inner(db, &mut stats, &mut Prof::Off)?;
         Ok((out, stats))
     }
 
-    fn run_inner(&self, db: &Database, stats: &mut RunStats) -> Result<ExecOutput, ExecError> {
-        let ctx = RunCtx::prepare(self, db, stats)?;
-        let (columns, mut rows) = exec_cbody(&ctx, &self.body)?;
+    /// Runs the compiled plan with per-operator instrumentation: rows
+    /// in/out, probe and comparison counts, hash-index sizes, prologue
+    /// subquery timings, and per-operator wall time — the data behind
+    /// [`crate::plan::describe_plan_analyze`]. Exactly one execution; the
+    /// result is the same one [`CompiledQuery::run`] would produce.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_analyzed(&self, db: &Database) -> Result<(ExecOutput, PlanProfile), ExecError> {
+        let mut stats = RunStats::default();
+        let mut prof = Prof::On(Box::default());
+        let t = Instant::now();
+        let out = self.run_inner(db, &mut stats, &mut prof)?;
+        let total_ns = t.elapsed().as_nanos() as u64;
+        let Prof::On(mut profile) = prof else {
+            unreachable!("profiling stays on for the whole run")
+        };
+        profile.total_ns = total_ns;
+        profile.rows_out = out.result.rows.len();
+        Ok((out, *profile))
+    }
+
+    fn run_inner(
+        &self,
+        db: &Database,
+        stats: &mut RunStats,
+        prof: &mut Prof,
+    ) -> Result<ExecOutput, ExecError> {
+        let ctx = RunCtx::prepare(self, db, stats, prof)?;
+        let (columns, mut rows) = exec_cbody(&ctx, &self.body, prof)?;
         if !self.order_dirs.is_empty() {
+            let t = prof.start();
+            let n = rows.len();
             sort_by_order_keys(&mut rows, &self.order_dirs, |r: &COutRow| &r.order_keys);
+            if let Some(t) = t {
+                prof.push_op(OpProfile {
+                    step: PlanStep::Sort { keys: self.order_dirs.len() },
+                    rows_in: n,
+                    rows_out: n,
+                    comparisons: 0,
+                    hash_entries: 0,
+                    elapsed_ns: t.elapsed().as_nanos() as u64,
+                });
+            }
         }
         if let Some(n) = self.limit {
+            let before = rows.len();
             rows.truncate(n as usize);
+            if prof.enabled() {
+                prof.push_op(OpProfile {
+                    step: PlanStep::Limit { n },
+                    rows_in: before,
+                    rows_out: rows.len(),
+                    comparisons: 0,
+                    hash_entries: 0,
+                    elapsed_ns: 0,
+                });
+            }
         }
         // Materialize interned lineage ids to shared table-name handles,
         // only for rows that survived LIMIT.
@@ -105,6 +159,7 @@ impl<'a> RunCtx<'a> {
         plan: &CompiledQuery,
         db: &'a Database,
         stats: &mut RunStats,
+        prof: &mut Prof,
     ) -> Result<Self, ExecError> {
         let tables = plan
             .tables
@@ -116,21 +171,37 @@ impl<'a> RunCtx<'a> {
             .collect::<Result<Vec<_>, _>>()?;
         let mut subs = Vec::with_capacity(plan.subs.len());
         for sub in &plan.subs {
-            subs.push(run_prologue_step(sub, db, stats)?);
+            subs.push(run_prologue_step(sub, db, stats, prof)?);
         }
         Ok(RunCtx { tables, subs })
     }
 }
 
 /// Executes one hoisted subquery — the only place subqueries run, once per
-/// run regardless of outer cardinality.
+/// run regardless of outer cardinality. Profiled runs record each step's
+/// result size and wall time as a [`SubProfile`]; the subquery's own
+/// operators are not expanded into the outer profile.
 fn run_prologue_step(
     sub: &SubPlan,
     db: &Database,
     stats: &mut RunStats,
+    prof: &mut Prof,
 ) -> Result<SubResult, ExecError> {
     stats.subquery_runs += 1;
-    let result = sub.plan.run_inner(db, stats)?.result;
+    let t = prof.start();
+    let result = sub.plan.run_inner(db, stats, &mut Prof::Off)?.result;
+    if let Some(t) = t {
+        prof.push_sub(SubProfile {
+            index: 0, // assigned from push order
+            kind: match &sub.kind {
+                SubKind::InSet => "in-set",
+                SubKind::Exists { .. } => "exists",
+                SubKind::Scalar => "scalar",
+            },
+            rows: result.rows.len(),
+            elapsed_ns: t.elapsed().as_nanos() as u64,
+        });
+    }
     Ok(match &sub.kind {
         SubKind::InSet => {
             let mut probe = InProbe::default();
@@ -167,13 +238,45 @@ struct COutRow {
     order_keys: Vec<Value>,
 }
 
-fn exec_cbody(ctx: &RunCtx<'_>, body: &CBody) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
+fn exec_cbody(
+    ctx: &RunCtx<'_>,
+    body: &CBody,
+    prof: &mut Prof,
+) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
     match body {
-        CBody::Select(core) => exec_ccore(ctx, core),
+        CBody::Select(core) => exec_ccore(ctx, core, prof),
         CBody::SetOp { op, left, right } => {
-            let (columns, l) = exec_cbody(ctx, left)?;
-            let (_, r) = exec_cbody(ctx, right)?;
-            Ok((columns, apply_set_op(*op, l, r)))
+            let (columns, l) = exec_cbody(ctx, left, prof)?;
+            // Reserve the set-op marker between the branches (matching
+            // describe order); its measurements exist only after the merge.
+            let marker = prof.enabled().then(|| {
+                prof.push_op(OpProfile {
+                    step: PlanStep::SetOp { op: op.keyword().to_string() },
+                    rows_in: 0,
+                    rows_out: 0,
+                    comparisons: 0,
+                    hash_entries: 0,
+                    elapsed_ns: 0,
+                })
+            });
+            let (_, r) = exec_cbody(ctx, right, prof)?;
+            let t = prof.start();
+            let rows_in = l.len() + r.len();
+            let merged = apply_set_op(*op, l, r);
+            if let (Some(marker), Some(t)) = (marker, t) {
+                prof.patch_op(
+                    marker,
+                    OpProfile {
+                        step: PlanStep::SetOp { op: op.keyword().to_string() },
+                        rows_in,
+                        rows_out: merged.len(),
+                        comparisons: 0,
+                        hash_entries: 0,
+                        elapsed_ns: t.elapsed().as_nanos() as u64,
+                    },
+                );
+            }
+            Ok((columns, merged))
         }
     }
 }
@@ -229,10 +332,16 @@ fn apply_set_op(op: SetOp, l: Vec<COutRow>, r: Vec<COutRow>) -> Vec<COutRow> {
     out
 }
 
-fn exec_ccore(ctx: &RunCtx<'_>, core: &CCore) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
-    let mut work = build_working_set(ctx, core)?;
+fn exec_ccore(
+    ctx: &RunCtx<'_>,
+    core: &CCore,
+    prof: &mut Prof,
+) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
+    let mut work = build_working_set(ctx, core, prof)?;
 
     if let Some(pred) = &core.filter {
+        let t = prof.start();
+        let rows_in = work.len();
         let mut kept = Vec::with_capacity(work.len());
         for row in work.into_iter() {
             if ceval(pred, ctx, &row)?.is_truthy() {
@@ -240,8 +349,22 @@ fn exec_ccore(ctx: &RunCtx<'_>, core: &CCore) -> Result<(Vec<String>, Vec<COutRo
             }
         }
         work = kept;
+        if let Some(t) = t {
+            prof.push_op(OpProfile {
+                step: PlanStep::Filter {
+                    predicate: core.filter_display.clone().unwrap_or_default(),
+                },
+                rows_in,
+                rows_out: work.len(),
+                comparisons: rows_in,
+                hash_entries: 0,
+                elapsed_ns: t.elapsed().as_nanos() as u64,
+            });
+        }
     }
 
+    let agg_t = prof.start();
+    let agg_rows_in = work.len();
     let mut out_rows: Vec<COutRow> = Vec::new();
     if core.grouped {
         let groups = group_rows(&core.group_by, ctx, work)?;
@@ -293,16 +416,49 @@ fn exec_ccore(ctx: &RunCtx<'_>, core: &CCore) -> Result<(Vec<String>, Vec<COutRo
         }
     }
 
+    if core.grouped {
+        if let Some(t) = agg_t {
+            prof.push_op(OpProfile {
+                step: PlanStep::Aggregate {
+                    group_keys: core.group_by.len(),
+                    having: core.having.is_some(),
+                },
+                rows_in: agg_rows_in,
+                rows_out: out_rows.len(),
+                comparisons: 0,
+                hash_entries: 0,
+                elapsed_ns: t.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+
     if core.distinct {
+        let t = prof.start();
+        let rows_in = out_rows.len();
         let mut seen: HashSet<Vec<KeyValue>> = HashSet::new();
         out_rows.retain(|r| seen.insert(row_key(&r.values)));
+        if let Some(t) = t {
+            prof.push_op(OpProfile {
+                step: PlanStep::Distinct,
+                rows_in,
+                rows_out: out_rows.len(),
+                comparisons: 0,
+                hash_entries: 0,
+                elapsed_ns: t.elapsed().as_nanos() as u64,
+            });
+        }
     }
 
     Ok((core.columns.clone(), out_rows))
 }
 
-fn build_working_set(ctx: &RunCtx<'_>, core: &CCore) -> Result<Vec<CWorkRow>, ExecError> {
+fn build_working_set(
+    ctx: &RunCtx<'_>,
+    core: &CCore,
+    prof: &mut Prof,
+) -> Result<Vec<CWorkRow>, ExecError> {
     let base = ctx.tables[core.base as usize];
+    let t = prof.start();
     let mut work: Vec<CWorkRow> = base
         .rows
         .iter()
@@ -312,9 +468,26 @@ fn build_working_set(ctx: &RunCtx<'_>, core: &CCore) -> Result<Vec<CWorkRow>, Ex
             lineage: vec![(core.base, i)],
         })
         .collect();
+    if let Some(t) = t {
+        prof.push_op(OpProfile {
+            step: PlanStep::Scan {
+                table: base.schema.name.clone(),
+                rows: base.len(),
+            },
+            rows_in: base.len(),
+            rows_out: work.len(),
+            comparisons: 0,
+            hash_entries: 0,
+            elapsed_ns: t.elapsed().as_nanos() as u64,
+        });
+    }
 
     for join in &core.joins {
         let right = ctx.tables[join.table as usize];
+        let t = prof.start();
+        let rows_in = work.len();
+        let mut hash_entries = 0usize;
+        let mut comparisons = 0usize;
         let mut joined = Vec::new();
         match &join.strategy {
             JoinStrategy::Hash {
@@ -327,8 +500,10 @@ fn build_working_set(ctx: &RunCtx<'_>, core: &CCore) -> Result<Vec<CWorkRow>, Ex
                     let k = &right_row[*right_col];
                     if !k.is_null() {
                         index.entry(k.key()).or_default().push(ri);
+                        hash_entries += 1;
                     }
                 }
+                comparisons = work.len();
                 for left_row in &work {
                     let k = &left_row.values[*left_slot];
                     let matches: &[usize] = if k.is_null() {
@@ -363,7 +538,10 @@ fn build_working_set(ctx: &RunCtx<'_>, core: &CCore) -> Result<Vec<CWorkRow>, Ex
                         lineage.push((join.table, ri));
                         let candidate = CWorkRow { values, lineage };
                         let keep = match on {
-                            Some(on) => ceval(on, ctx, &candidate)?.is_truthy(),
+                            Some(on) => {
+                                comparisons += 1;
+                                ceval(on, ctx, &candidate)?.is_truthy()
+                            }
                             None => true,
                         };
                         if keep {
@@ -383,6 +561,30 @@ fn build_working_set(ctx: &RunCtx<'_>, core: &CCore) -> Result<Vec<CWorkRow>, Ex
             }
         }
         work = joined;
+        if let Some(t) = t {
+            let table = right.schema.name.clone();
+            let rows = right.len();
+            let step = match &join.strategy {
+                JoinStrategy::Hash { .. } => PlanStep::HashJoin {
+                    table,
+                    rows,
+                    on: join.on_display.clone().unwrap_or_default(),
+                },
+                JoinStrategy::Loop { .. } => PlanStep::NestedLoopJoin {
+                    table,
+                    rows,
+                    on: join.on_display.clone(),
+                },
+            };
+            prof.push_op(OpProfile {
+                step,
+                rows_in,
+                rows_out: work.len(),
+                comparisons,
+                hash_entries,
+                elapsed_ns: t.elapsed().as_nanos() as u64,
+            });
+        }
     }
     Ok(work)
 }

@@ -1,0 +1,88 @@
+//! Golden tests for `describe_plan_analyze`: one query per plan class —
+//! join, group/aggregate, set operation, and subquery prologue — executed
+//! against a seeded generator database, with the rendered operator tree
+//! (including exact per-operator row counts) pinned verbatim.
+//!
+//! The databases come from the deterministic benchmark generator, so the
+//! row counts below are stable across runs and platforms; a change here
+//! means either the generator's data or the executor's operator accounting
+//! moved, and both are worth noticing.
+
+use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+use cyclesql_sql::parse;
+use cyclesql_storage::{describe_plan_analyze, Database};
+
+/// The world_1 database regenerated from a pinned variant seed — the same
+/// construction the test-suite metric uses, independent of suite split
+/// contents.
+fn world() -> Database {
+    let suite = build_spider_suite(
+        Variant::Spider,
+        SuiteConfig { seed: 0x601D, train_per_template: 1, eval_per_template: 1 },
+    );
+    suite.database_variant("world_1", 1).expect("world_1 domain exists")
+}
+
+fn analyze(db: &Database, sql: &str) -> String {
+    let query = parse(sql).expect("golden query parses");
+    describe_plan_analyze(db, &query).expect("golden query executes").render(false)
+}
+
+#[test]
+fn join_plan_pins_rows_and_strategy() {
+    let db = world();
+    let got = analyze(
+        &db,
+        "SELECT T1.name, T2.name FROM country AS T1 JOIN city AS T2 \
+         ON T1.code = T2.countrycode ORDER BY T1.name LIMIT 5",
+    );
+    let expected = "\
+SCAN country (26 rows) | in=26 out=26
+HASH JOIN city (66 rows) ON t1.code = t2.countrycode | in=26 out=66 cmp=26 hash=66
+SORT (1 key(s)) | in=66 out=66
+LIMIT 5 | in=66 out=5
+RESULT 5 rows
+";
+    assert_eq!(got, expected, "join operator tree moved:\n{got}");
+}
+
+#[test]
+fn aggregate_plan_pins_group_counts() {
+    let db = world();
+    let got = analyze(&db, "SELECT continent, count(*) FROM country GROUP BY continent");
+    let expected = "\
+SCAN country (26 rows) | in=26 out=26
+AGGREGATE (1 group key(s)) | in=26 out=6
+RESULT 6 rows
+";
+    assert_eq!(got, expected, "aggregate operator tree moved:\n{got}");
+}
+
+#[test]
+fn set_op_plan_pins_branch_rows() {
+    let db = world();
+    let got = analyze(&db, "SELECT name FROM country UNION SELECT name FROM city");
+    let expected = "\
+SCAN country (26 rows) | in=26 out=26
+SET UNION | in=92 out=92
+SCAN city (66 rows) | in=66 out=66
+RESULT 92 rows
+";
+    assert_eq!(got, expected, "set-op operator tree moved:\n{got}");
+}
+
+#[test]
+fn subquery_prologue_plan_pins_prologue_rows() {
+    let db = world();
+    let got = analyze(
+        &db,
+        "SELECT name FROM country WHERE code IN (SELECT countrycode FROM city)",
+    );
+    let expected = "\
+PROLOGUE SUBQUERY 0 [in-set] -> 66 rows
+SCAN country (26 rows) | in=26 out=26
+FILTER code IN (SELECT countrycode FROM city) | in=26 out=24 cmp=26
+RESULT 24 rows
+";
+    assert_eq!(got, expected, "subquery operator tree moved:\n{got}");
+}
