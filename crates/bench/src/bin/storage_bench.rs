@@ -1,16 +1,19 @@
-//! Throughput benchmark for the storage engine's two execution paths.
+//! Throughput benchmark for the storage engine's execution paths.
 //!
 //! Runs every gold query of the generated Spider and Science suites through
-//! both the retained tree-walking interpreter (`cyclesql_storage::reference`)
-//! and the compile-once pipeline (`compile` + `CompiledQuery::run`), and
-//! writes per-query-class throughput to `BENCH_storage.json`.
+//! the retained tree-walking interpreter (`cyclesql_storage::reference`),
+//! the compiled row-at-a-time engine (`CompiledQuery::run_rowwise`), and the
+//! compiled columnar batch engine (`CompiledQuery::run`, the default path),
+//! and writes per-query-class throughput to `BENCH_storage.json`.
 //!
-//! The compiled path is timed the way callers are expected to use it —
-//! compilation hoisted out of the hot loop, `run` per iteration (lineage
-//! tracking enabled on both paths, so the comparison is like-for-like).
-//! Compile cost is reported separately.
+//! The compiled paths are timed the way callers are expected to use them —
+//! compilation hoisted out of the hot loop, one run per iteration (lineage
+//! tracking enabled on every path, so the comparison is like-for-like).
+//! Compile cost is reported separately. `speedup` is the row engine over
+//! the reference interpreter; `columnar_speedup` is the columnar engine
+//! over the row engine, i.e. what vectorization itself buys.
 //!
-//! Usage: `storage_bench [--iters N] [--out PATH] [--quick]`
+//! Usage: `storage_bench [--iters N] [--out PATH] [--quick] [--engine row|columnar|reference|all]`
 
 use cyclesql_benchgen::{build_science_suite, build_spider_suite, Split, SuiteConfig, Variant};
 use cyclesql_sql::{parse, Expr, Query, QueryBody};
@@ -70,7 +73,8 @@ fn has_subquery(q: &Query) -> bool {
 struct ClassAccum {
     queries: usize,
     reference_secs: f64,
-    compiled_secs: f64,
+    row_secs: f64,
+    columnar_secs: f64,
     compile_secs: f64,
 }
 
@@ -79,8 +83,12 @@ struct ClassReport {
     queries: usize,
     iters: usize,
     reference_qps: f64,
-    compiled_qps: f64,
+    row_qps: f64,
+    columnar_qps: f64,
+    /// Row engine vs the reference interpreter (compile-once win).
     speedup: f64,
+    /// Columnar engine vs the row engine (vectorization win).
+    columnar_speedup: f64,
     compile_ms_total: f64,
 }
 
@@ -88,16 +96,28 @@ struct ClassReport {
 struct Report {
     suite_queries: usize,
     iters_per_query: usize,
+    engines: Vec<String>,
     classes: BTreeMap<String, ClassReport>,
     overall_reference_qps: f64,
-    overall_compiled_qps: f64,
+    overall_row_qps: f64,
+    overall_columnar_qps: f64,
     overall_speedup: f64,
+    overall_columnar_speedup: f64,
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 && num > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
 }
 
 fn main() {
     let mut iters: usize = 25;
     let mut out = String::from("BENCH_storage.json");
     let mut quick = false;
+    let mut engines: Vec<&'static str> = vec!["reference", "row", "columnar"];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -106,6 +126,16 @@ fn main() {
             }
             "--out" => out = args.next().expect("--out PATH"),
             "--quick" => quick = true,
+            "--engine" => {
+                let v = args.next().expect("--engine row|columnar|reference|all");
+                engines = match v.as_str() {
+                    "all" => vec!["reference", "row", "columnar"],
+                    "reference" => vec!["reference"],
+                    "row" => vec!["row"],
+                    "columnar" => vec!["columnar"],
+                    other => panic!("unknown engine: {other} (want row|columnar|reference|all)"),
+                };
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -141,6 +171,15 @@ fn main() {
         }
     }
 
+    // Columnar shadows are a load-time cost in serving; build them up
+    // front here too so the timed region measures steady-state execution.
+    for suite in &suites {
+        for db in suite.databases.values() {
+            db.precompute_columnar();
+        }
+    }
+
+    let runs = |e: &str| engines.contains(&e);
     let mut accum: BTreeMap<&'static str, ClassAccum> = BTreeMap::new();
     for (class, db, q) in &workload {
         let acc = accum.entry(class).or_default();
@@ -150,53 +189,68 @@ fn main() {
         let compiled = compile(db, q).expect("generated gold compiles");
         acc.compile_secs += t0.elapsed().as_secs_f64();
 
-        // Sanity: both paths must agree before we time anything.
+        // Sanity: all three paths must agree before we time anything.
         let ref_out = reference::execute_with_lineage(db, q).expect("reference executes");
-        let cmp_out = compiled.run(db).expect("compiled runs");
-        assert!(
-            ref_out.result.bag_eq(&cmp_out.result),
-            "path divergence on: {}",
-            cyclesql_sql::to_sql(q)
-        );
-
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(reference::execute_with_lineage(db, q).unwrap());
+        for (engine, out) in [
+            ("row", compiled.run_rowwise(db).expect("row engine runs")),
+            ("columnar", compiled.run(db).expect("columnar engine runs")),
+        ] {
+            assert!(
+                ref_out.result.bag_eq(&out.result),
+                "{engine} diverges on: {}",
+                cyclesql_sql::to_sql(q)
+            );
         }
-        acc.reference_secs += t0.elapsed().as_secs_f64();
 
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(compiled.run(db).unwrap());
+        if runs("reference") {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(reference::execute_with_lineage(db, q).unwrap());
+            }
+            acc.reference_secs += t0.elapsed().as_secs_f64();
         }
-        acc.compiled_secs += t0.elapsed().as_secs_f64();
+
+        if runs("row") {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(compiled.run_rowwise(db).unwrap());
+            }
+            acc.row_secs += t0.elapsed().as_secs_f64();
+        }
+
+        if runs("columnar") {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(compiled.run(db).unwrap());
+            }
+            acc.columnar_secs += t0.elapsed().as_secs_f64();
+        }
     }
 
     let qps = |queries: usize, secs: f64| {
         if secs > 0.0 {
             (queries * iters) as f64 / secs
         } else {
-            f64::INFINITY
+            0.0
         }
     };
     let mut classes = BTreeMap::new();
-    let (mut tot_q, mut tot_ref, mut tot_cmp) = (0usize, 0.0f64, 0.0f64);
+    let (mut tot_q, mut tot_ref, mut tot_row, mut tot_col) = (0usize, 0.0f64, 0.0f64, 0.0f64);
     for (class, acc) in &accum {
         tot_q += acc.queries;
         tot_ref += acc.reference_secs;
-        tot_cmp += acc.compiled_secs;
+        tot_row += acc.row_secs;
+        tot_col += acc.columnar_secs;
         classes.insert(
             class.to_string(),
             ClassReport {
                 queries: acc.queries,
                 iters,
                 reference_qps: qps(acc.queries, acc.reference_secs),
-                compiled_qps: qps(acc.queries, acc.compiled_secs),
-                speedup: if acc.compiled_secs > 0.0 {
-                    acc.reference_secs / acc.compiled_secs
-                } else {
-                    f64::INFINITY
-                },
+                row_qps: qps(acc.queries, acc.row_secs),
+                columnar_qps: qps(acc.queries, acc.columnar_secs),
+                speedup: ratio(acc.reference_secs, acc.row_secs),
+                columnar_speedup: ratio(acc.row_secs, acc.columnar_secs),
                 compile_ms_total: acc.compile_secs * 1e3,
             },
         );
@@ -204,14 +258,13 @@ fn main() {
     let report = Report {
         suite_queries: tot_q,
         iters_per_query: iters,
+        engines: engines.iter().map(|e| e.to_string()).collect(),
         classes,
         overall_reference_qps: qps(tot_q, tot_ref),
-        overall_compiled_qps: qps(tot_q, tot_cmp),
-        overall_speedup: if tot_cmp > 0.0 {
-            tot_ref / tot_cmp
-        } else {
-            f64::INFINITY
-        },
+        overall_row_qps: qps(tot_q, tot_row),
+        overall_columnar_qps: qps(tot_q, tot_col),
+        overall_speedup: ratio(tot_ref, tot_row),
+        overall_columnar_speedup: ratio(tot_row, tot_col),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write report");

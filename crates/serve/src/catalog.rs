@@ -2,8 +2,9 @@
 //!
 //! A catalog is built once at startup from the databases the deployment
 //! serves; every entry precomputes the per-database artifacts the request
-//! path would otherwise rebuild per question — today the join-semantics
-//! [`SchemaGraph`] the explanation generator consults. Entries are
+//! path would otherwise rebuild per question — the join-semantics
+//! [`SchemaGraph`] the explanation generator consults and each table's
+//! column-major shadow the vectorized executor scans. Entries are
 //! `Arc`-shared, so worker threads never copy a database.
 
 use cyclesql_benchgen::BenchmarkSuite;
@@ -41,6 +42,10 @@ impl Catalog {
     /// artifacts. Re-registering the same id replaces the entry.
     pub fn add(&mut self, db: Arc<Database>, science: bool) -> &mut Self {
         let graph = schema_graph(&db.schema);
+        // Build every table's column-major shadow up front so the first
+        // query against this entry doesn't pay the transpose; runs share
+        // the shadows via Arc.
+        db.precompute_columnar();
         let id = db.schema.name.clone();
         self.entries.insert(id, CatalogEntry { db, graph, science });
         self
@@ -86,7 +91,11 @@ mod tests {
     use cyclesql_benchgen::{build_science_suite, build_spider_suite, SuiteConfig, Variant};
 
     fn quick() -> SuiteConfig {
-        SuiteConfig { seed: 0x5E4E, train_per_template: 1, eval_per_template: 1 }
+        SuiteConfig {
+            seed: 0x5E4E,
+            train_per_template: 1,
+            eval_per_template: 1,
+        }
     }
 
     #[test]

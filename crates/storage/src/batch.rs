@@ -1,0 +1,891 @@
+//! Vectorized columnar execution for [`CompiledQuery`].
+//!
+//! Instead of materializing joined `Vec<Value>` rows, this engine streams
+//! fixed-size chunks of *row ids* through batch kernels. A batch is one id
+//! column per joined side (base table plus each join); `u32::MAX` marks a
+//! LEFT-join pad. Values are gathered lazily from each table's shared
+//! [`ColumnarTable`](crate::table::ColumnarTable) shadow — scan, join, and
+//! filter never copy values, and projections materialize output rows only
+//! for rows that survive the filter (late materialization). Lineage rides
+//! along for free: the side id columns *are* the lineage, so per-row
+//! `SrcId` vectors are assembled only at projection time.
+//!
+//! Parity contract: this engine is bit-identical to the row interpreter in
+//! [`crate::run`] on rows, lineage, profile counters, and errors. Profile
+//! counters accumulate per operator across chunks, so EXPLAIN ANALYZE
+//! output is independent of the batch size. Expression evaluation visits
+//! exactly the same (operator, row) sites as the row engine — including
+//! the IN-list short-circuit, which evaluates each list item only over
+//! still-unmatched rows — so an error is raised on the same inputs. On any
+//! error the caller falls back to the row interpreter, which reruns the
+//! query and supplies the authoritative (identical) message.
+
+use crate::error::ExecError;
+use crate::exec::ExecOutput;
+use crate::ir::{
+    row_key, CBody, CCore, CExpr, CProj, CompiledQuery, JoinStrategy, RunStats, SrcId, SubResult,
+};
+use crate::plan::PlanStep;
+use crate::profile::{OpProfile, Prof};
+use crate::run::{apply_set_op, finish_run, COutRow, RunCtx};
+use crate::scalar::{dedup_distinct, eval_binary, fold_agg};
+use crate::table::{ColumnarTable, Database};
+use crate::value::{KeyValue, Value};
+use cyclesql_sql::{AggFunc, JoinType};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Row-id sentinel for a LEFT-join pad: slots read as NULL and the side
+/// contributes no lineage entry.
+const NONE_ROW: u32 = u32::MAX;
+
+/// Runs `plan` through the columnar engine, falling back to the row
+/// interpreter on any error so messages, stats, and profiles are exactly
+/// the row engine's in the error case.
+pub(crate) fn run_columnar(
+    plan: &CompiledQuery,
+    db: &Database,
+    stats: &mut RunStats,
+    prof: &mut Prof,
+    batch_rows: usize,
+) -> Result<ExecOutput, ExecError> {
+    let mut c_stats = RunStats::default();
+    let mut c_prof = if prof.enabled() {
+        Prof::On(Box::default())
+    } else {
+        Prof::Off
+    };
+    match run_columnar_inner(plan, db, &mut c_stats, &mut c_prof, batch_rows) {
+        Ok(out) => {
+            *stats = c_stats;
+            *prof = c_prof;
+            Ok(out)
+        }
+        // The columnar engine errors exactly when the row engine would
+        // (same evaluation sites), but possibly in a different order.
+        // Rerun row-wise against the caller's untouched stats/profile and
+        // let it pick the canonical first error.
+        Err(_) => plan.run_inner(db, stats, prof),
+    }
+}
+
+fn run_columnar_inner(
+    plan: &CompiledQuery,
+    db: &Database,
+    stats: &mut RunStats,
+    prof: &mut Prof,
+    batch_rows: usize,
+) -> Result<ExecOutput, ExecError> {
+    let ctx = RunCtx::prepare(plan, db, stats, prof)?;
+    if ctx.tables.iter().any(|t| t.len() >= NONE_ROW as usize) {
+        // Row ids are u32 with one sentinel; absurdly large tables take
+        // the row path via the fallback.
+        return Err(ExecError::new(
+            "internal: table too large for columnar row ids",
+        ));
+    }
+    let cols: Vec<Arc<ColumnarTable>> = ctx.tables.iter().map(|t| t.columnar()).collect();
+    let bx = BCtx {
+        run: &ctx,
+        cols,
+        null: Value::Null,
+    };
+    let (columns, rows) = exec_cbody(&bx, &plan.body, prof, batch_rows)?;
+    finish_run(plan, &columns, rows, prof)
+}
+
+/// Columnar run state: the shared per-run context plus each resolved
+/// table's column-major shadow.
+struct BCtx<'a> {
+    run: &'a RunCtx<'a>,
+    cols: Vec<Arc<ColumnarTable>>,
+    /// The value LEFT-join pad slots resolve to.
+    null: Value,
+}
+
+/// One joined side of a core's output space.
+struct SideMeta {
+    /// Interned table id (index into `BCtx::cols` / `RunCtx::tables`).
+    table: u32,
+}
+
+/// The static layout of one core's working space: its sides and the
+/// slot → (side, column) map, derived once per core from the base table's
+/// arity and each join's `right_width`.
+struct Shape {
+    sides: Vec<SideMeta>,
+    slot_map: Vec<(usize, usize)>,
+}
+
+impl Shape {
+    fn of(bx: &BCtx<'_>, core: &CCore) -> Shape {
+        let mut sides = vec![SideMeta { table: core.base }];
+        let mut slot_map = Vec::new();
+        let base_width = bx.cols[core.base as usize].cols.len();
+        slot_map.extend((0..base_width).map(|c| (0usize, c)));
+        for join in &core.joins {
+            let side = sides.len();
+            sides.push(SideMeta { table: join.table });
+            slot_map.extend((0..join.right_width).map(|c| (side, c)));
+        }
+        Shape { sides, slot_map }
+    }
+}
+
+/// A chunk of working rows: one row-id column per side joined so far.
+/// All columns have equal length; `NONE_ROW` ids are LEFT pads.
+struct Batch {
+    ids: Vec<Vec<u32>>,
+}
+
+impl Batch {
+    fn len(&self) -> usize {
+        self.ids.first().map_or(0, Vec::len)
+    }
+}
+
+/// Gathers each existing side through the selection vector `sel` and
+/// appends `new_ids` as the next side.
+fn gather_extend(batch: &Batch, sel: &[u32], new_ids: Vec<u32>) -> Batch {
+    let mut ids = Vec::with_capacity(batch.ids.len() + 1);
+    for side in &batch.ids {
+        ids.push(sel.iter().map(|&i| side[i as usize]).collect());
+    }
+    ids.push(new_ids);
+    Batch { ids }
+}
+
+/// Gathers each side through the selection vector, keeping the side count.
+fn gather(batch: &Batch, sel: &[u32]) -> Batch {
+    Batch {
+        ids: batch
+            .ids
+            .iter()
+            .map(|side| sel.iter().map(|&i| side[i as usize]).collect())
+            .collect(),
+    }
+}
+
+/// Resolves one slot of one batch row to a borrowed value.
+#[inline]
+fn slot_val<'b>(
+    bx: &'b BCtx<'_>,
+    shape: &Shape,
+    batch: &Batch,
+    row: usize,
+    slot: usize,
+) -> &'b Value {
+    let (side, col) = shape.slot_map[slot];
+    let id = batch.ids[side][row];
+    if id == NONE_ROW {
+        &bx.null
+    } else {
+        &bx.cols[shape.sides[side].table as usize].cols[col][id as usize]
+    }
+}
+
+/// The interned lineage of one batch row: its non-pad side ids, in side
+/// (base, join₁, join₂, …) order — the same order the row engine pushes.
+fn row_lineage(shape: &Shape, batch: &Batch, row: usize) -> Vec<SrcId> {
+    let mut lin = Vec::with_capacity(batch.ids.len());
+    for (side, meta) in batch.ids.iter().zip(&shape.sides) {
+        let id = side[row];
+        if id != NONE_ROW {
+            lin.push((meta.table, id as usize));
+        }
+    }
+    lin
+}
+
+/// Per-operator counters accumulated across chunks; pushed as a single
+/// [`OpProfile`] after the chunk loop so profiles match the row engine's
+/// whole-input totals regardless of batch size.
+#[derive(Default, Clone, Copy)]
+struct OpAcc {
+    rows_in: usize,
+    rows_out: usize,
+    comparisons: usize,
+    hash_entries: usize,
+    ns: u64,
+}
+
+fn lap(t: Option<Instant>) -> u64 {
+    t.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
+fn exec_cbody(
+    bx: &BCtx<'_>,
+    body: &CBody,
+    prof: &mut Prof,
+    batch_rows: usize,
+) -> Result<(Arc<[String]>, Vec<COutRow>), ExecError> {
+    match body {
+        CBody::Select(core) => exec_ccore(bx, core, prof, batch_rows),
+        CBody::SetOp { op, left, right } => {
+            let (columns, l) = exec_cbody(bx, left, prof, batch_rows)?;
+            // Reserve the set-op marker between the branches, mirroring
+            // the row engine's (and describe's) operator order.
+            let marker = prof.enabled().then(|| {
+                prof.push_op(OpProfile {
+                    step: PlanStep::SetOp {
+                        op: op.keyword().to_string(),
+                    },
+                    rows_in: 0,
+                    rows_out: 0,
+                    comparisons: 0,
+                    hash_entries: 0,
+                    elapsed_ns: 0,
+                })
+            });
+            let (_, r) = exec_cbody(bx, right, prof, batch_rows)?;
+            let t = prof.start();
+            let rows_in = l.len() + r.len();
+            let merged = apply_set_op(*op, l, r);
+            if let (Some(marker), Some(t)) = (marker, t) {
+                prof.patch_op(
+                    marker,
+                    OpProfile {
+                        step: PlanStep::SetOp {
+                            op: op.keyword().to_string(),
+                        },
+                        rows_in,
+                        rows_out: merged.len(),
+                        comparisons: 0,
+                        hash_entries: 0,
+                        elapsed_ns: t.elapsed().as_nanos() as u64,
+                    },
+                );
+            }
+            Ok((columns, merged))
+        }
+    }
+}
+
+fn exec_ccore(
+    bx: &BCtx<'_>,
+    core: &CCore,
+    prof: &mut Prof,
+    batch_rows: usize,
+) -> Result<(Arc<[String]>, Vec<COutRow>), ExecError> {
+    let shape = Shape::of(bx, core);
+    let base_len = bx.cols[core.base as usize].len;
+    let timing = prof.enabled();
+
+    let mut scan_acc = OpAcc::default();
+    let mut join_accs = vec![OpAcc::default(); core.joins.len()];
+    let mut filter_acc = OpAcc::default();
+
+    // Hash-join build sides are indexed once per run, not per chunk; NULL
+    // keys never enter the index (3VL), matching the row engine.
+    let mut join_hash: Vec<Option<HashMap<KeyValue, Vec<u32>>>> = Vec::new();
+    for (ji, join) in core.joins.iter().enumerate() {
+        join_hash.push(match &join.strategy {
+            JoinStrategy::Hash { right_col, .. } => {
+                let t = timing.then(Instant::now);
+                let right = &bx.cols[join.table as usize].cols[*right_col];
+                let mut index: HashMap<KeyValue, Vec<u32>> = HashMap::new();
+                for (ri, k) in right.iter().enumerate() {
+                    if !k.is_null() {
+                        index.entry(k.key()).or_default().push(ri as u32);
+                        join_accs[ji].hash_entries += 1;
+                    }
+                }
+                join_accs[ji].ns += lap(t);
+                Some(index)
+            }
+            JoinStrategy::Loop { .. } => None,
+        });
+    }
+
+    let mut out_rows: Vec<COutRow> = Vec::new();
+    // Grouped cores accumulate surviving row ids across chunks and group
+    // once at the end (aggregates need whole groups, not chunks).
+    let mut acc = Batch {
+        ids: shape.sides.iter().map(|_| Vec::new()).collect(),
+    };
+
+    let mut start = 0usize;
+    while start < base_len {
+        let end = (start + batch_rows).min(base_len);
+        let t = timing.then(Instant::now);
+        let mut batch = Batch {
+            ids: vec![(start as u32..end as u32).collect()],
+        };
+        scan_acc.rows_in += end - start;
+        scan_acc.rows_out += end - start;
+        scan_acc.ns += lap(t);
+        start = end;
+
+        for (ji, join) in core.joins.iter().enumerate() {
+            let t = timing.then(Instant::now);
+            let n = batch.len();
+            join_accs[ji].rows_in += n;
+            match &join.strategy {
+                JoinStrategy::Hash { left_slot, .. } => {
+                    let index = join_hash[ji].as_ref().expect("hash strategy has an index");
+                    join_accs[ji].comparisons += n;
+                    let mut sel: Vec<u32> = Vec::new();
+                    let mut new_ids: Vec<u32> = Vec::new();
+                    for r in 0..n {
+                        let k = slot_val(bx, &shape, &batch, r, *left_slot);
+                        let matches: &[u32] = if k.is_null() {
+                            &[]
+                        } else {
+                            index.get(&k.key()).map(|v| v.as_slice()).unwrap_or(&[])
+                        };
+                        for &ri in matches {
+                            sel.push(r as u32);
+                            new_ids.push(ri);
+                        }
+                        if matches.is_empty() && join.join_type == JoinType::Left {
+                            sel.push(r as u32);
+                            new_ids.push(NONE_ROW);
+                        }
+                    }
+                    batch = gather_extend(&batch, &sel, new_ids);
+                }
+                JoinStrategy::Loop { on } => {
+                    let right_len = bx.cols[join.table as usize].len;
+                    match on {
+                        Some(on) => {
+                            // Expand the full candidate cross-product for
+                            // this chunk, evaluate ON as one column, then
+                            // gather the survivors (with LEFT pads stitched
+                            // back per left row, preserving row order).
+                            let mut sel = Vec::with_capacity(n * right_len);
+                            let mut new_ids = Vec::with_capacity(n * right_len);
+                            for r in 0..n {
+                                for ri in 0..right_len {
+                                    sel.push(r as u32);
+                                    new_ids.push(ri as u32);
+                                }
+                            }
+                            let cand = gather_extend(&batch, &sel, new_ids);
+                            join_accs[ji].comparisons += cand.len();
+                            let keep = eval_col(on, bx, &shape, &cand, None)?;
+                            let mut ksel: Vec<u32> = Vec::new();
+                            let mut kids: Vec<u32> = Vec::new();
+                            for r in 0..n {
+                                let mut matched = false;
+                                for ri in 0..right_len {
+                                    if keep.get(r * right_len + ri).is_truthy() {
+                                        matched = true;
+                                        ksel.push(r as u32);
+                                        kids.push(ri as u32);
+                                    }
+                                }
+                                if !matched && join.join_type == JoinType::Left {
+                                    ksel.push(r as u32);
+                                    kids.push(NONE_ROW);
+                                }
+                            }
+                            batch = gather_extend(&batch, &ksel, kids);
+                        }
+                        None => {
+                            // Cross join: every pairing survives; an empty
+                            // right side LEFT-pads each left row.
+                            if right_len == 0 && join.join_type == JoinType::Left {
+                                let sel: Vec<u32> = (0..n as u32).collect();
+                                batch = gather_extend(&batch, &sel, vec![NONE_ROW; n]);
+                            } else {
+                                let mut sel = Vec::with_capacity(n * right_len);
+                                let mut new_ids = Vec::with_capacity(n * right_len);
+                                for r in 0..n {
+                                    for ri in 0..right_len {
+                                        sel.push(r as u32);
+                                        new_ids.push(ri as u32);
+                                    }
+                                }
+                                batch = gather_extend(&batch, &sel, new_ids);
+                            }
+                        }
+                    }
+                }
+            }
+            join_accs[ji].rows_out += batch.len();
+            join_accs[ji].ns += lap(t);
+        }
+
+        if let Some(pred) = &core.filter {
+            let t = timing.then(Instant::now);
+            let n = batch.len();
+            filter_acc.rows_in += n;
+            filter_acc.comparisons += n;
+            let col = eval_col(pred, bx, &shape, &batch, None)?;
+            let sel: Vec<u32> = (0..n)
+                .filter(|&r| col.get(r).is_truthy())
+                .map(|r| r as u32)
+                .collect();
+            batch = gather(&batch, &sel);
+            filter_acc.rows_out += batch.len();
+            filter_acc.ns += lap(t);
+        }
+
+        if core.grouped {
+            for (acc_ids, side) in acc.ids.iter_mut().zip(&batch.ids) {
+                acc_ids.extend_from_slice(side);
+            }
+        } else {
+            project_chunk(bx, &shape, core, &batch, &mut out_rows)?;
+        }
+    }
+
+    if timing {
+        let base = bx.run.tables[core.base as usize];
+        prof.push_op(OpProfile {
+            step: PlanStep::Scan {
+                table: base.schema.name.clone(),
+                rows: base.len(),
+            },
+            rows_in: base.len(),
+            rows_out: scan_acc.rows_out,
+            comparisons: 0,
+            hash_entries: 0,
+            elapsed_ns: scan_acc.ns,
+        });
+        for (join, acc) in core.joins.iter().zip(&join_accs) {
+            let right = bx.run.tables[join.table as usize];
+            let table = right.schema.name.clone();
+            let rows = right.len();
+            let step = match &join.strategy {
+                JoinStrategy::Hash { .. } => PlanStep::HashJoin {
+                    table,
+                    rows,
+                    on: join.on_display.clone().unwrap_or_default(),
+                },
+                JoinStrategy::Loop { .. } => PlanStep::NestedLoopJoin {
+                    table,
+                    rows,
+                    on: join.on_display.clone(),
+                },
+            };
+            prof.push_op(OpProfile {
+                step,
+                rows_in: acc.rows_in,
+                rows_out: acc.rows_out,
+                comparisons: acc.comparisons,
+                hash_entries: acc.hash_entries,
+                elapsed_ns: acc.ns,
+            });
+        }
+        if core.filter.is_some() {
+            prof.push_op(OpProfile {
+                step: PlanStep::Filter {
+                    predicate: core.filter_display.clone().unwrap_or_default(),
+                },
+                rows_in: filter_acc.rows_in,
+                rows_out: filter_acc.rows_out,
+                comparisons: filter_acc.comparisons,
+                hash_entries: 0,
+                elapsed_ns: filter_acc.ns,
+            });
+        }
+    }
+
+    if core.grouped {
+        let t = timing.then(Instant::now);
+        let agg_rows_in = acc.len();
+        let groups = group_ids(bx, &shape, core, &acc)?;
+        for rows in &groups {
+            if let Some(h) = &core.having {
+                if !beval_group(h, bx, &shape, &acc, rows)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut values = Vec::new();
+            for item in &core.projections {
+                match item {
+                    CProj::Slots(idxs) => match rows.first() {
+                        Some(&r0) => values.extend(
+                            idxs.iter()
+                                .map(|&i| slot_val(bx, &shape, &acc, r0 as usize, i).clone()),
+                        ),
+                        // Empty group (aggregate over no rows): NULL-pad,
+                        // matching the reference interpreter.
+                        None => values.extend(std::iter::repeat_n(Value::Null, idxs.len())),
+                    },
+                    CProj::Expr(e) => values.push(beval_group(e, bx, &shape, &acc, rows)?),
+                }
+            }
+            let mut order_keys = Vec::with_capacity(core.order_exprs.len());
+            for o in &core.order_exprs {
+                order_keys.push(beval_group(o, bx, &shape, &acc, rows)?);
+            }
+            // Ordered union of the group's lineage, set-backed.
+            let mut lineage: Vec<SrcId> = Vec::new();
+            let mut present: HashSet<SrcId> = HashSet::new();
+            for &r in rows {
+                for src in row_lineage(&shape, &acc, r as usize) {
+                    if present.insert(src) {
+                        lineage.push(src);
+                    }
+                }
+            }
+            out_rows.push(COutRow {
+                values,
+                lineage,
+                order_keys,
+            });
+        }
+        if timing {
+            prof.push_op(OpProfile {
+                step: PlanStep::Aggregate {
+                    group_keys: core.group_by.len(),
+                    having: core.having.is_some(),
+                },
+                rows_in: agg_rows_in,
+                rows_out: out_rows.len(),
+                comparisons: 0,
+                hash_entries: 0,
+                elapsed_ns: lap(t),
+            });
+        }
+    }
+
+    if core.distinct {
+        let t = timing.then(Instant::now);
+        let rows_in = out_rows.len();
+        let mut seen: HashSet<Vec<KeyValue>> = HashSet::new();
+        out_rows.retain(|r| seen.insert(row_key(&r.values)));
+        if timing {
+            prof.push_op(OpProfile {
+                step: PlanStep::Distinct,
+                rows_in,
+                rows_out: out_rows.len(),
+                comparisons: 0,
+                hash_entries: 0,
+                elapsed_ns: lap(t),
+            });
+        }
+    }
+
+    Ok((Arc::clone(&core.columns), out_rows))
+}
+
+/// Materializes one filtered chunk into output rows (late
+/// materialization): expression projections and ORDER BY keys are
+/// evaluated as whole columns first, then rows are assembled.
+fn project_chunk(
+    bx: &BCtx<'_>,
+    shape: &Shape,
+    core: &CCore,
+    batch: &Batch,
+    out_rows: &mut Vec<COutRow>,
+) -> Result<(), ExecError> {
+    let n = batch.len();
+    let mut proj_cols: Vec<Option<ECol<'_>>> = Vec::with_capacity(core.projections.len());
+    for item in &core.projections {
+        proj_cols.push(match item {
+            CProj::Slots(_) => None,
+            CProj::Expr(e) => Some(eval_col(e, bx, shape, batch, None)?),
+        });
+    }
+    let mut order_cols = Vec::with_capacity(core.order_exprs.len());
+    for o in &core.order_exprs {
+        order_cols.push(eval_col(o, bx, shape, batch, None)?);
+    }
+    out_rows.reserve(n);
+    for r in 0..n {
+        let mut values = Vec::new();
+        for (item, col) in core.projections.iter().zip(&proj_cols) {
+            match item {
+                CProj::Slots(idxs) => values.extend(
+                    idxs.iter()
+                        .map(|&i| slot_val(bx, shape, batch, r, i).clone()),
+                ),
+                CProj::Expr(_) => values.push(
+                    col.as_ref()
+                        .expect("expr projection has a column")
+                        .get(r)
+                        .clone(),
+                ),
+            }
+        }
+        let order_keys = order_cols.iter().map(|c| c.get(r).clone()).collect();
+        out_rows.push(COutRow {
+            values,
+            lineage: row_lineage(shape, batch, r),
+            order_keys,
+        });
+    }
+    Ok(())
+}
+
+/// Order-preserving grouping over the accumulated batch: group keys are
+/// evaluated as whole columns, rows hash into groups of row indices.
+fn group_ids(
+    bx: &BCtx<'_>,
+    shape: &Shape,
+    core: &CCore,
+    acc: &Batch,
+) -> Result<Vec<Vec<u32>>, ExecError> {
+    if core.group_by.is_empty() {
+        // Single group over the full input — even if empty (so `count(*)`
+        // over an empty table yields 0).
+        return Ok(vec![(0..acc.len() as u32).collect()]);
+    }
+    let mut key_cols = Vec::with_capacity(core.group_by.len());
+    for g in &core.group_by {
+        key_cols.push(eval_col(g, bx, shape, acc, None)?);
+    }
+    let mut index: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    for r in 0..acc.len() {
+        let key: Vec<KeyValue> = key_cols.iter().map(|c| c.get(r).key()).collect();
+        let slot = *index.entry(key).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[slot].push(r as u32);
+    }
+    Ok(groups)
+}
+
+/// An evaluated expression column over a batch (or a selection of it).
+enum ECol<'b> {
+    /// Borrowed values gathered straight from table columns (slot reads).
+    Refs(Vec<&'b Value>),
+    /// Computed values.
+    Owned(Vec<Value>),
+    /// One value replicated across the column (constants).
+    Splat(Value),
+}
+
+impl ECol<'_> {
+    fn get(&self, i: usize) -> &Value {
+        match self {
+            ECol::Refs(v) => v[i],
+            ECol::Owned(v) => &v[i],
+            ECol::Splat(v) => v,
+        }
+    }
+}
+
+/// Evaluates `e` over `sel` (or the whole batch when `None`), producing a
+/// column of `sel.len()` values. Visits exactly the evaluation sites the
+/// row engine's `ceval` visits for the same rows — see the module docs.
+fn eval_col<'b>(
+    e: &CExpr,
+    bx: &'b BCtx<'_>,
+    shape: &Shape,
+    batch: &Batch,
+    sel: Option<&[u32]>,
+) -> Result<ECol<'b>, ExecError> {
+    let n = sel.map_or(batch.len(), <[u32]>::len);
+    let row_at = |k: usize| sel.map_or(k, |s| s[k] as usize);
+    match e {
+        CExpr::Slot(i) => Ok(ECol::Refs(
+            (0..n)
+                .map(|k| slot_val(bx, shape, batch, row_at(k), *i))
+                .collect(),
+        )),
+        CExpr::Const(v) => Ok(ECol::Splat(v.clone())),
+        CExpr::Binary { op, left, right } => {
+            let l = eval_col(left, bx, shape, batch, sel)?;
+            let r = eval_col(right, bx, shape, batch, sel)?;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                out.push(eval_binary(*op, l.get(k), r.get(k))?);
+            }
+            Ok(ECol::Owned(out))
+        }
+        CExpr::Not(inner) => {
+            let v = eval_col(inner, bx, shape, batch, sel)?;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                let v = v.get(k);
+                out.push(if v.is_null() {
+                    Value::Null
+                } else {
+                    Value::Bool(!v.is_truthy())
+                });
+            }
+            Ok(ECol::Owned(out))
+        }
+        CExpr::Agg { .. } => {
+            // The row engine only reaches this error when a row exists to
+            // evaluate; an empty selection must stay silent.
+            if n == 0 {
+                Ok(ECol::Owned(Vec::new()))
+            } else {
+                Err(ExecError::new(
+                    "aggregate used outside of an aggregate context",
+                ))
+            }
+        }
+        CExpr::InProbeRef { expr, sub, negated } => {
+            let needle = eval_col(expr, bx, shape, batch, sel)?;
+            match &bx.run.subs[*sub] {
+                SubResult::Probe(p) => {
+                    let mut out = Vec::with_capacity(n);
+                    for k in 0..n {
+                        out.push(Value::Bool(p.contains(needle.get(k)) != *negated));
+                    }
+                    Ok(ECol::Owned(out))
+                }
+                SubResult::Const(_) => {
+                    if n == 0 {
+                        Ok(ECol::Owned(Vec::new()))
+                    } else {
+                        Err(ExecError::new("internal: IN site bound to a constant"))
+                    }
+                }
+            }
+        }
+        CExpr::SubConst { sub } => match &bx.run.subs[*sub] {
+            SubResult::Const(v) => Ok(ECol::Splat(v.clone())),
+            SubResult::Probe(_) => {
+                if n == 0 {
+                    Ok(ECol::Owned(Vec::new()))
+                } else {
+                    Err(ExecError::new("internal: constant site bound to a probe"))
+                }
+            }
+        },
+        CExpr::InConstList {
+            expr,
+            probe,
+            negated,
+        } => {
+            let needle = eval_col(expr, bx, shape, batch, sel)?;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                out.push(Value::Bool(probe.contains(needle.get(k)) != *negated));
+            }
+            Ok(ECol::Owned(out))
+        }
+        CExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            // Preserve the row engine's per-row short-circuit exactly:
+            // each list item is evaluated only over rows no earlier item
+            // matched, so error reachability is identical.
+            let needle = eval_col(expr, bx, shape, batch, sel)?;
+            let mut out = vec![Value::Bool(*negated); n];
+            let mut rem_pos: Vec<usize> = (0..n).collect();
+            for item in list {
+                if rem_pos.is_empty() {
+                    break;
+                }
+                let rem_rows: Vec<u32> = rem_pos.iter().map(|&k| row_at(k) as u32).collect();
+                let item_col = eval_col(item, bx, shape, batch, Some(&rem_rows))?;
+                let mut next_rem = Vec::with_capacity(rem_pos.len());
+                for (j, &k) in rem_pos.iter().enumerate() {
+                    if needle.get(k).sql_eq(item_col.get(j)) == Some(true) {
+                        out[k] = Value::Bool(!*negated);
+                    } else {
+                        next_rem.push(k);
+                    }
+                }
+                rem_pos = next_rem;
+            }
+            Ok(ECol::Owned(out))
+        }
+        CExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_col(expr, bx, shape, batch, sel)?;
+            let lo = eval_col(low, bx, shape, batch, sel)?;
+            let hi = eval_col(high, bx, shape, batch, sel)?;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                let v = v.get(k);
+                out.push(match (v.sql_cmp(lo.get(k)), v.sql_cmp(hi.get(k))) {
+                    (Some(a), Some(b)) => {
+                        let inside =
+                            a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                        Value::Bool(inside != *negated)
+                    }
+                    _ => Value::Null,
+                });
+            }
+            Ok(ECol::Owned(out))
+        }
+        CExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_col(expr, bx, shape, batch, sel)?;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                out.push(match v.get(k).sql_like(pattern) {
+                    Some(m) => Value::Bool(m != *negated),
+                    None => Value::Null,
+                });
+            }
+            Ok(ECol::Owned(out))
+        }
+        CExpr::IsNull { expr, negated } => {
+            let v = eval_col(expr, bx, shape, batch, sel)?;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                out.push(Value::Bool(v.get(k).is_null() != *negated));
+            }
+            Ok(ECol::Owned(out))
+        }
+    }
+}
+
+/// Grouped evaluation over a group's row indices: aggregates fold over
+/// the group's column values; bare expressions take the first row
+/// (SQLite-style), mirroring the row engine's `ceval_in_group`.
+fn beval_group(
+    e: &CExpr,
+    bx: &BCtx<'_>,
+    shape: &Shape,
+    batch: &Batch,
+    rows: &[u32],
+) -> Result<Value, ExecError> {
+    match e {
+        CExpr::Agg {
+            func,
+            distinct,
+            arg,
+        } => match arg {
+            None => {
+                if *func != AggFunc::Count {
+                    return Err(ExecError::new(format!("{}(*) is not valid", func.name())));
+                }
+                Ok(Value::Int(rows.len() as i64))
+            }
+            Some(inner) => {
+                let col = eval_col(inner, bx, shape, batch, Some(rows))?;
+                let mut values: Vec<Value> = Vec::new();
+                for k in 0..rows.len() {
+                    let v = col.get(k);
+                    if !v.is_null() {
+                        values.push(v.clone());
+                    }
+                }
+                if *distinct {
+                    dedup_distinct(&mut values);
+                }
+                Ok(fold_agg(*func, &values))
+            }
+        },
+        CExpr::Binary { op, left, right } => eval_binary(
+            *op,
+            &beval_group(left, bx, shape, batch, rows)?,
+            &beval_group(right, bx, shape, batch, rows)?,
+        ),
+        CExpr::Not(inner) => {
+            let v = beval_group(inner, bx, shape, batch, rows)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        _ => match rows.first() {
+            Some(&r0) => Ok(eval_col(e, bx, shape, batch, Some(&[r0]))?.get(0).clone()),
+            None => Ok(Value::Null),
+        },
+    }
+}

@@ -210,7 +210,7 @@ impl Compiler<'_> {
             || core.having.as_ref().is_some_and(|h| h.contains_aggregate())
             || order.iter().any(|o| o.expr.contains_aggregate());
 
-        let columns = projection_names(core, &env);
+        let columns: std::sync::Arc<[String]> = projection_names(core, &env).into();
         let projections = core
             .projections
             .iter()

@@ -241,8 +241,9 @@ pub(crate) struct CCore {
     pub grouped: bool,
     /// Resolved projections.
     pub projections: Vec<CProj>,
-    /// Output column display names, precomputed.
-    pub columns: Vec<String>,
+    /// Output column display names, precomputed once at compile time and
+    /// shared into each run's result without cloning the strings.
+    pub columns: std::sync::Arc<[String]>,
     /// Compiled ORDER BY key expressions (threaded down from the query so
     /// each set-op branch resolves them in its own environment).
     pub order_exprs: Vec<CExpr>,

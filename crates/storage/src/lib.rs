@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 pub mod compile;
 pub mod error;
 pub mod exec;
@@ -56,5 +57,5 @@ pub use plan::{describe_plan, describe_plan_analyze, PlanStep, QueryPlan};
 pub use profile::{OpProfile, PlanProfile, SubProfile};
 pub use result::ResultSet;
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
-pub use table::{Database, Row, Table};
+pub use table::{ColumnarTable, Database, Row, Table};
 pub use value::{KeyValue, Value};

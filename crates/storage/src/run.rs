@@ -30,12 +30,47 @@ use std::time::Instant;
 impl CompiledQuery {
     /// Runs the compiled plan, tracking per-row lineage.
     ///
+    /// Execution is vectorized: rows stream through the columnar batch
+    /// kernels in [`crate::batch`], falling back to the row-at-a-time
+    /// interpreter only if the columnar run hits an evaluation error (so
+    /// error messages always come from the row engine and stay
+    /// bit-identical to the reference interpreter).
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError`] if `db` lacks a table the plan references
     /// (running against a database with a different schema) or on run-time
     /// evaluation errors (e.g. a non-COUNT aggregate over `*`).
     pub fn run(&self, db: &Database) -> Result<ExecOutput, ExecError> {
+        let mut stats = RunStats::default();
+        crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, DEFAULT_BATCH_ROWS)
+    }
+
+    /// Runs the columnar engine with an explicit batch size (rows per
+    /// chunk, clamped to at least 1). Results are identical for every
+    /// batch size; this exists so tests can sweep chunk boundaries and
+    /// benchmarks can explore the batch-size axis.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_batched(
+        &self,
+        db: &Database,
+        rows_per_batch: usize,
+    ) -> Result<ExecOutput, ExecError> {
+        let mut stats = RunStats::default();
+        crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, rows_per_batch.max(1))
+    }
+
+    /// Runs the compiled plan through the row-at-a-time interpreter,
+    /// bypassing the columnar kernels. Kept public as the differential
+    /// anchor for tests and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_rowwise(&self, db: &Database) -> Result<ExecOutput, ExecError> {
         let mut stats = RunStats::default();
         self.run_inner(db, &mut stats, &mut Prof::Off)
     }
@@ -57,7 +92,8 @@ impl CompiledQuery {
     /// See [`CompiledQuery::run`].
     pub fn run_with_stats(&self, db: &Database) -> Result<(ExecOutput, RunStats), ExecError> {
         let mut stats = RunStats::default();
-        let out = self.run_inner(db, &mut stats, &mut Prof::Off)?;
+        let out =
+            crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, DEFAULT_BATCH_ROWS)?;
         Ok((out, stats))
     }
 
@@ -66,11 +102,36 @@ impl CompiledQuery {
     /// subquery timings, and per-operator wall time — the data behind
     /// [`crate::plan::describe_plan_analyze`]. Exactly one execution; the
     /// result is the same one [`CompiledQuery::run`] would produce.
+    /// Columnar batches accumulate each operator's counters across chunks,
+    /// so the profile is independent of the batch size.
     ///
     /// # Errors
     ///
     /// See [`CompiledQuery::run`].
     pub fn run_analyzed(&self, db: &Database) -> Result<(ExecOutput, PlanProfile), ExecError> {
+        let mut stats = RunStats::default();
+        let mut prof = Prof::On(Box::default());
+        let t = Instant::now();
+        let out = crate::batch::run_columnar(self, db, &mut stats, &mut prof, DEFAULT_BATCH_ROWS)?;
+        let total_ns = t.elapsed().as_nanos() as u64;
+        let Prof::On(mut profile) = prof else {
+            unreachable!("profiling stays on for the whole run")
+        };
+        profile.total_ns = total_ns;
+        profile.rows_out = out.result.rows.len();
+        Ok((out, *profile))
+    }
+
+    /// [`CompiledQuery::run_analyzed`] pinned to the row engine, for
+    /// counter-parity tests and the benchmark's row axis.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_rowwise_analyzed(
+        &self,
+        db: &Database,
+    ) -> Result<(ExecOutput, PlanProfile), ExecError> {
         let mut stats = RunStats::default();
         let mut prof = Prof::On(Box::default());
         let t = Instant::now();
@@ -84,78 +145,123 @@ impl CompiledQuery {
         Ok((out, *profile))
     }
 
-    fn run_inner(
+    /// [`CompiledQuery::run_analyzed`] with an explicit batch size; the
+    /// chunk-sweep counter tests drive this.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_batched_analyzed(
+        &self,
+        db: &Database,
+        rows_per_batch: usize,
+    ) -> Result<(ExecOutput, PlanProfile), ExecError> {
+        let mut stats = RunStats::default();
+        let mut prof = Prof::On(Box::default());
+        let t = Instant::now();
+        let out =
+            crate::batch::run_columnar(self, db, &mut stats, &mut prof, rows_per_batch.max(1))?;
+        let total_ns = t.elapsed().as_nanos() as u64;
+        let Prof::On(mut profile) = prof else {
+            unreachable!("profiling stays on for the whole run")
+        };
+        profile.total_ns = total_ns;
+        profile.rows_out = out.result.rows.len();
+        Ok((out, *profile))
+    }
+
+    pub(crate) fn run_inner(
         &self,
         db: &Database,
         stats: &mut RunStats,
         prof: &mut Prof,
     ) -> Result<ExecOutput, ExecError> {
         let ctx = RunCtx::prepare(self, db, stats, prof)?;
-        let (columns, mut rows) = exec_cbody(&ctx, &self.body, prof)?;
-        if !self.order_dirs.is_empty() {
-            let t = prof.start();
-            let n = rows.len();
-            sort_by_order_keys(&mut rows, &self.order_dirs, |r: &COutRow| &r.order_keys);
-            if let Some(t) = t {
-                prof.push_op(OpProfile {
-                    step: PlanStep::Sort { keys: self.order_dirs.len() },
-                    rows_in: n,
-                    rows_out: n,
-                    comparisons: 0,
-                    hash_entries: 0,
-                    elapsed_ns: t.elapsed().as_nanos() as u64,
-                });
-            }
-        }
-        if let Some(n) = self.limit {
-            let before = rows.len();
-            rows.truncate(n as usize);
-            if prof.enabled() {
-                prof.push_op(OpProfile {
-                    step: PlanStep::Limit { n },
-                    rows_in: before,
-                    rows_out: rows.len(),
-                    comparisons: 0,
-                    hash_entries: 0,
-                    elapsed_ns: 0,
-                });
-            }
-        }
-        // Materialize interned lineage ids to shared table-name handles,
-        // only for rows that survived LIMIT.
-        let arcs: Vec<Arc<str>> = self.tables.iter().map(|t| Arc::from(t.as_str())).collect();
-        let mut result_rows = Vec::with_capacity(rows.len());
-        let mut lineage = Vec::with_capacity(rows.len());
-        for r in rows {
-            result_rows.push(r.values);
-            lineage.push(
-                r.lineage
-                    .into_iter()
-                    .map(|(t, row)| SourceRef {
-                        table: Arc::clone(&arcs[t as usize]),
-                        row,
-                    })
-                    .collect(),
-            );
-        }
-        Ok(ExecOutput {
-            result: ResultSet {
-                columns,
-                rows: result_rows,
-            },
-            lineage,
-        })
+        let (columns, rows) = exec_cbody(&ctx, &self.body, prof)?;
+        finish_run(self, &columns, rows, prof)
     }
 }
 
-/// Per-run state: resolved tables and prologue results.
-struct RunCtx<'a> {
-    tables: Vec<&'a Table>,
-    subs: Vec<SubResult>,
+/// Default rows-per-chunk for the columnar engine: large enough to
+/// amortize per-batch dispatch, small enough to keep a chunk's id columns
+/// and evaluated columns cache-resident.
+pub(crate) const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// The shared tail of both engines: ORDER BY, LIMIT, and lineage
+/// materialization, with their profile entries. Interned lineage ids are
+/// resolved to shared table-name handles only for rows that survive LIMIT.
+pub(crate) fn finish_run(
+    plan: &CompiledQuery,
+    columns: &Arc<[String]>,
+    mut rows: Vec<COutRow>,
+    prof: &mut Prof,
+) -> Result<ExecOutput, ExecError> {
+    if !plan.order_dirs.is_empty() {
+        let t = prof.start();
+        let n = rows.len();
+        sort_by_order_keys(&mut rows, &plan.order_dirs, |r: &COutRow| &r.order_keys);
+        if let Some(t) = t {
+            prof.push_op(OpProfile {
+                step: PlanStep::Sort {
+                    keys: plan.order_dirs.len(),
+                },
+                rows_in: n,
+                rows_out: n,
+                comparisons: 0,
+                hash_entries: 0,
+                elapsed_ns: t.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+    if let Some(n) = plan.limit {
+        let before = rows.len();
+        rows.truncate(n as usize);
+        if prof.enabled() {
+            prof.push_op(OpProfile {
+                step: PlanStep::Limit { n },
+                rows_in: before,
+                rows_out: rows.len(),
+                comparisons: 0,
+                hash_entries: 0,
+                elapsed_ns: 0,
+            });
+        }
+    }
+    let arcs: Vec<Arc<str>> = plan.tables.iter().map(|t| Arc::from(t.as_str())).collect();
+    let mut result_rows = Vec::with_capacity(rows.len());
+    let mut lineage = Vec::with_capacity(rows.len());
+    for r in rows {
+        result_rows.push(r.values);
+        lineage.push(
+            r.lineage
+                .into_iter()
+                .map(|(t, row)| SourceRef {
+                    table: Arc::clone(&arcs[t as usize]),
+                    row,
+                })
+                .collect(),
+        );
+    }
+    Ok(ExecOutput {
+        result: ResultSet {
+            columns: columns.to_vec(),
+            rows: result_rows,
+        },
+        lineage,
+    })
+}
+
+/// Per-run state: resolved tables and prologue results. Shared between
+/// the row interpreter here and the columnar kernels in [`crate::batch`],
+/// so both engines resolve tables and run the subquery prologue
+/// identically.
+pub(crate) struct RunCtx<'a> {
+    pub(crate) tables: Vec<&'a Table>,
+    pub(crate) subs: Vec<SubResult>,
 }
 
 impl<'a> RunCtx<'a> {
-    fn prepare(
+    pub(crate) fn prepare(
         plan: &CompiledQuery,
         db: &'a Database,
         stats: &mut RunStats,
@@ -230,19 +336,54 @@ struct CWorkRow {
     lineage: Vec<SrcId>,
 }
 
-/// One output row mid-pipeline.
+/// One output row mid-pipeline — also produced by the columnar kernels,
+/// which late-materialize values into this shape just before the shared
+/// sort/limit tail.
 #[derive(Debug, Clone)]
-struct COutRow {
-    values: Vec<Value>,
-    lineage: Vec<SrcId>,
-    order_keys: Vec<Value>,
+pub(crate) struct COutRow {
+    pub(crate) values: Vec<Value>,
+    pub(crate) lineage: Vec<SrcId>,
+    pub(crate) order_keys: Vec<Value>,
+}
+
+/// Positional value access shared by full work rows and join candidates,
+/// so predicate evaluation never needs a materialized candidate row.
+trait SlotVals {
+    fn slot(&self, i: usize) -> &Value;
+}
+
+impl SlotVals for CWorkRow {
+    #[inline]
+    fn slot(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+/// A nested-loop join candidate: the left row and a borrowed right row.
+/// ON predicates evaluate against this view; only candidates that pass
+/// are assembled into owned [`CWorkRow`]s.
+struct JoinCand<'a> {
+    left: &'a CWorkRow,
+    right: &'a [Value],
+}
+
+impl SlotVals for JoinCand<'_> {
+    #[inline]
+    fn slot(&self, i: usize) -> &Value {
+        let split = self.left.values.len();
+        if i < split {
+            &self.left.values[i]
+        } else {
+            &self.right[i - split]
+        }
+    }
 }
 
 fn exec_cbody(
     ctx: &RunCtx<'_>,
     body: &CBody,
     prof: &mut Prof,
-) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
+) -> Result<(Arc<[String]>, Vec<COutRow>), ExecError> {
     match body {
         CBody::Select(core) => exec_ccore(ctx, core, prof),
         CBody::SetOp { op, left, right } => {
@@ -251,7 +392,9 @@ fn exec_cbody(
             // describe order); its measurements exist only after the merge.
             let marker = prof.enabled().then(|| {
                 prof.push_op(OpProfile {
-                    step: PlanStep::SetOp { op: op.keyword().to_string() },
+                    step: PlanStep::SetOp {
+                        op: op.keyword().to_string(),
+                    },
                     rows_in: 0,
                     rows_out: 0,
                     comparisons: 0,
@@ -267,7 +410,9 @@ fn exec_cbody(
                 prof.patch_op(
                     marker,
                     OpProfile {
-                        step: PlanStep::SetOp { op: op.keyword().to_string() },
+                        step: PlanStep::SetOp {
+                            op: op.keyword().to_string(),
+                        },
                         rows_in,
                         rows_out: merged.len(),
                         comparisons: 0,
@@ -282,7 +427,8 @@ fn exec_cbody(
 }
 
 /// Set-operation dedup on [`KeyValue`] row keys, computed once per row.
-fn apply_set_op(op: SetOp, l: Vec<COutRow>, r: Vec<COutRow>) -> Vec<COutRow> {
+/// Shared with the columnar engine, which merges branch outputs here too.
+pub(crate) fn apply_set_op(op: SetOp, l: Vec<COutRow>, r: Vec<COutRow>) -> Vec<COutRow> {
     let key = |row: &COutRow| row_key(&row.values);
     let mut out = Vec::new();
     let mut seen: HashSet<Vec<KeyValue>> = HashSet::new();
@@ -336,7 +482,7 @@ fn exec_ccore(
     ctx: &RunCtx<'_>,
     core: &CCore,
     prof: &mut Prof,
-) -> Result<(Vec<String>, Vec<COutRow>), ExecError> {
+) -> Result<(Arc<[String]>, Vec<COutRow>), ExecError> {
     let mut work = build_working_set(ctx, core, prof)?;
 
     if let Some(pred) = &core.filter {
@@ -449,7 +595,7 @@ fn exec_ccore(
         }
     }
 
-    Ok((core.columns.clone(), out_rows))
+    Ok((Arc::clone(&core.columns), out_rows))
 }
 
 fn build_working_set(
@@ -512,19 +658,10 @@ fn build_working_set(
                         index.get(&k.key()).map(|v| v.as_slice()).unwrap_or(&[])
                     };
                     for &ri in matches {
-                        let mut values = left_row.values.clone();
-                        values.extend(right.rows[ri].iter().cloned());
-                        let mut lineage = left_row.lineage.clone();
-                        lineage.push((join.table, ri));
-                        joined.push(CWorkRow { values, lineage });
+                        joined.push(join_rows(left_row, &right.rows[ri], join.table, ri));
                     }
                     if matches.is_empty() && join.join_type == JoinType::Left {
-                        let mut values = left_row.values.clone();
-                        values.extend(std::iter::repeat_n(Value::Null, join.right_width));
-                        joined.push(CWorkRow {
-                            values,
-                            lineage: left_row.lineage.clone(),
-                        });
+                        joined.push(pad_left(left_row, join.right_width));
                     }
                 }
             }
@@ -532,30 +669,26 @@ fn build_working_set(
                 for left_row in &work {
                     let mut matched = false;
                     for (ri, right_row) in right.rows.iter().enumerate() {
-                        let mut values = left_row.values.clone();
-                        values.extend(right_row.iter().cloned());
-                        let mut lineage = left_row.lineage.clone();
-                        lineage.push((join.table, ri));
-                        let candidate = CWorkRow { values, lineage };
+                        // Evaluate ON against a borrowed candidate view;
+                        // only matches are assembled into owned rows.
                         let keep = match on {
                             Some(on) => {
                                 comparisons += 1;
-                                ceval(on, ctx, &candidate)?.is_truthy()
+                                let cand = JoinCand {
+                                    left: left_row,
+                                    right: right_row,
+                                };
+                                ceval(on, ctx, &cand)?.is_truthy()
                             }
                             None => true,
                         };
                         if keep {
                             matched = true;
-                            joined.push(candidate);
+                            joined.push(join_rows(left_row, right_row, join.table, ri));
                         }
                     }
                     if !matched && join.join_type == JoinType::Left {
-                        let mut values = left_row.values.clone();
-                        values.extend(std::iter::repeat_n(Value::Null, join.right_width));
-                        joined.push(CWorkRow {
-                            values,
-                            lineage: left_row.lineage.clone(),
-                        });
+                        joined.push(pad_left(left_row, join.right_width));
                     }
                 }
             }
@@ -587,6 +720,28 @@ fn build_working_set(
         }
     }
     Ok(work)
+}
+
+/// Assembles a kept join output row with exact-capacity allocations.
+fn join_rows(left: &CWorkRow, right_row: &[Value], table: u32, ri: usize) -> CWorkRow {
+    let mut values = Vec::with_capacity(left.values.len() + right_row.len());
+    values.extend_from_slice(&left.values);
+    values.extend_from_slice(right_row);
+    let mut lineage = Vec::with_capacity(left.lineage.len() + 1);
+    lineage.extend_from_slice(&left.lineage);
+    lineage.push((table, ri));
+    CWorkRow { values, lineage }
+}
+
+/// A LEFT-join pad row: NULLs for the right side, no right lineage entry.
+fn pad_left(left: &CWorkRow, right_width: usize) -> CWorkRow {
+    let mut values = Vec::with_capacity(left.values.len() + right_width);
+    values.extend_from_slice(&left.values);
+    values.extend(std::iter::repeat_n(Value::Null, right_width));
+    CWorkRow {
+        values,
+        lineage: left.lineage.clone(),
+    }
 }
 
 enum ProjCtx<'a> {
@@ -657,9 +812,9 @@ fn group_rows(
 // resolution and no subquery execution.
 // ---------------------------------------------------------------------------
 
-fn ceval(e: &CExpr, ctx: &RunCtx<'_>, row: &CWorkRow) -> Result<Value, ExecError> {
+fn ceval<S: SlotVals>(e: &CExpr, ctx: &RunCtx<'_>, row: &S) -> Result<Value, ExecError> {
     match e {
-        CExpr::Slot(i) => Ok(row.values[*i].clone()),
+        CExpr::Slot(i) => Ok(row.slot(*i).clone()),
         CExpr::Const(v) => Ok(v.clone()),
         CExpr::Binary { op, left, right } => {
             eval_binary(*op, &ceval(left, ctx, row)?, &ceval(right, ctx, row)?)

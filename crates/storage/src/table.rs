@@ -1,11 +1,54 @@
-//! Tables, rows, and the in-memory database.
+//! Tables, rows, and the in-memory database — including the column-major
+//! shadow the vectorized engine scans.
 
 use crate::schema::{DatabaseSchema, TableSchema};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// One row of values (positionally aligned with the table schema).
 pub type Row = Vec<Value>;
+
+/// A column-major copy of one table's data: `cols[c][r]` holds the same
+/// value as the row-major `rows[r][c]`.
+///
+/// The columnar engine's kernels (scan, filter, hash join build/probe)
+/// iterate one column at a time over this layout instead of walking
+/// `Vec<Row>`; gathers address values by `(column, row-id)`. Built once per
+/// table (lazily on first use, or eagerly via
+/// [`Database::precompute_columnar`]) and shared via `Arc` across every
+/// concurrent run.
+#[derive(Debug, Clone)]
+pub struct ColumnarTable {
+    /// One value vector per schema column, each `len` entries long.
+    pub cols: Vec<Vec<Value>>,
+    /// Row count at build time (the staleness guard compares this against
+    /// the live table's row count).
+    pub len: usize,
+}
+
+impl ColumnarTable {
+    /// Transposes row storage into column vectors.
+    pub fn build(rows: &[Row], width: usize) -> Self {
+        let mut cols: Vec<Vec<Value>> =
+            (0..width).map(|_| Vec::with_capacity(rows.len())).collect();
+        for row in rows {
+            for (c, v) in row.iter().enumerate() {
+                cols[c].push(v.clone());
+            }
+        }
+        ColumnarTable {
+            cols,
+            len: rows.len(),
+        }
+    }
+
+    /// The value at `(row, column)`.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.cols[col][row]
+    }
+}
 
 /// A table: schema plus row storage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -14,6 +57,10 @@ pub struct Table {
     pub schema: TableSchema,
     /// Row storage.
     pub rows: Vec<Row>,
+    /// Lazily built column-major shadow of `rows`, shared across runs.
+    /// Invalidated by [`Table::push_row`]; never serialized.
+    #[serde(skip)]
+    columnar: OnceLock<Arc<ColumnarTable>>,
 }
 
 impl Table {
@@ -22,6 +69,7 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -33,7 +81,26 @@ impl Table {
             "row arity mismatch for table {}",
             self.schema.name
         );
+        self.columnar.take();
         self.rows.push(row);
+    }
+
+    /// The column-major shadow of this table, building it on first use.
+    ///
+    /// `rows` is public, so a caller can mutate storage behind the cache's
+    /// back; a row-count mismatch is detected here and answered with a
+    /// fresh (uncached) transpose. Same-length in-place edits through the
+    /// public field are not detectable — route mutations through
+    /// [`Table::push_row`] or rebuild the table.
+    pub fn columnar(&self) -> Arc<ColumnarTable> {
+        let built = self
+            .columnar
+            .get_or_init(|| Arc::new(ColumnarTable::build(&self.rows, self.schema.columns.len())));
+        if built.len == self.rows.len() {
+            Arc::clone(built)
+        } else {
+            Arc::new(ColumnarTable::build(&self.rows, self.schema.columns.len()))
+        }
     }
 
     /// Number of rows.
@@ -105,6 +172,16 @@ impl Database {
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(Table::len).sum()
     }
+
+    /// Eagerly builds every table's columnar shadow, so the first query
+    /// against a freshly loaded database doesn't pay the transpose cost.
+    /// Called once at catalog load; the shadows are shared via `Arc`
+    /// across all subsequent runs.
+    pub fn precompute_columnar(&self) {
+        for t in &self.tables {
+            let _ = t.columnar();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +219,44 @@ mod tests {
     fn insert_into_missing_table_panics() {
         let mut db = mini_db();
         db.insert("nope", vec![]);
+    }
+
+    #[test]
+    fn columnar_shadow_transposes_rows() {
+        let db = mini_db();
+        let t = db.table("t").unwrap();
+        let c = t.columnar();
+        assert_eq!(c.len, 2);
+        assert_eq!(c.cols.len(), 2);
+        for (r, row) in t.rows.iter().enumerate() {
+            for (ci, v) in row.iter().enumerate() {
+                assert_eq!(c.value(r, ci), v);
+            }
+        }
+        // Second call shares the same build.
+        assert!(Arc::ptr_eq(&c, &t.columnar()));
+    }
+
+    #[test]
+    fn push_row_invalidates_columnar_shadow() {
+        let mut db = mini_db();
+        let before = db.table("t").unwrap().columnar();
+        assert_eq!(before.len, 2);
+        db.insert("t", vec![Value::Int(3), Value::from("c")]);
+        let after = db.table("t").unwrap().columnar();
+        assert_eq!(after.len, 3);
+        assert_eq!(after.value(2, 1), &Value::from("c"));
+    }
+
+    #[test]
+    fn direct_row_mutation_is_caught_by_stale_guard() {
+        let mut db = mini_db();
+        db.precompute_columnar();
+        // Mutating the public `rows` field bypasses push_row's
+        // invalidation; the length guard must still serve fresh data.
+        db.table_mut("t").unwrap().rows.clear();
+        let c = db.table("t").unwrap().columnar();
+        assert_eq!(c.len, 0);
+        assert!(c.cols.iter().all(Vec::is_empty));
     }
 }

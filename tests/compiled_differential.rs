@@ -1,17 +1,19 @@
-//! Differential test pinning the compile-once pipeline to the reference
+//! Differential test pinning the full engine matrix to the reference
 //! tree-walking interpreter: for every gold query of the generated Spider
-//! and Science suites, both paths must produce *identical* output — same
-//! columns, same rows in the same order (compared by `Debug` rendering,
-//! which is stricter than `Value`'s sql_eq-based `PartialEq`), and the same
-//! per-row lineage in the same order. Queries that fail must fail with the
-//! same error on both paths.
+//! and Science suites, the reference interpreter, the compiled row-at-a-time
+//! engine, and the compiled columnar engine (at the default batch size and
+//! at a tiny chunk size that forces mid-operator batch boundaries) must
+//! produce *identical* output — same columns, same rows in the same order
+//! (compared by `Debug` rendering, which is stricter than `Value`'s
+//! sql_eq-based `PartialEq`), and the same per-row lineage in the same
+//! order. Queries that fail must fail with the same error on every path.
 
 use cyclesql_benchgen::{
     build_science_suite, build_spider_suite, BenchmarkSuite, Split, SuiteConfig, Variant,
 };
 use cyclesql_provenance::rewrite_for_provenance;
 use cyclesql_sql::{parse, Query};
-use cyclesql_storage::{compile, reference, Database};
+use cyclesql_storage::{compile, reference, Database, ExecError, ExecOutput};
 
 fn small_config() -> SuiteConfig {
     SuiteConfig {
@@ -28,34 +30,75 @@ fn suites() -> Vec<BenchmarkSuite> {
     ]
 }
 
-/// Asserts the two execution paths agree on `q` exactly — or fail with the
+/// Forces a chunk boundary inside nearly every operator on the generated
+/// databases (which all have more than three rows per table).
+const TINY_BATCH: usize = 3;
+
+/// Asserts `got` matches the reference outcome exactly — or fails with the
 /// same error.
-fn assert_identical(db: &Database, q: &Query, ctx: &str) {
-    let reference = reference::execute_with_lineage(db, q);
-    let compiled = compile(db, q).and_then(|c| c.run(db));
-    match (reference, compiled) {
+fn assert_matches_reference(
+    reference: &Result<ExecOutput, ExecError>,
+    got: Result<ExecOutput, ExecError>,
+    engine: &str,
+    ctx: &str,
+) {
+    match (reference, got) {
         (Ok(r), Ok(c)) => {
-            assert_eq!(r.result.columns, c.result.columns, "columns diverge: {ctx}");
+            assert_eq!(
+                r.result.columns, c.result.columns,
+                "columns diverge [{engine}]: {ctx}"
+            );
             assert_eq!(
                 format!("{:?}", r.result.rows),
                 format!("{:?}", c.result.rows),
-                "rows diverge: {ctx}"
+                "rows diverge [{engine}]: {ctx}"
             );
-            assert_eq!(r.lineage, c.lineage, "lineage diverges: {ctx}");
+            assert_eq!(r.lineage, c.lineage, "lineage diverges [{engine}]: {ctx}");
         }
         (Err(r), Err(c)) => {
-            assert_eq!(r.to_string(), c.to_string(), "errors diverge: {ctx}");
+            assert_eq!(
+                r.to_string(),
+                c.to_string(),
+                "errors diverge [{engine}]: {ctx}"
+            );
         }
         (r, c) => panic!(
-            "one path failed, the other succeeded: {ctx}\nreference: {:?}\ncompiled: {:?}",
-            r.map(|o| o.result.len()),
+            "one path failed, the other succeeded [{engine}]: {ctx}\nreference: {:?}\n{engine}: {:?}",
+            r.as_ref().map(|o| o.result.len()),
             c.map(|o| o.result.len())
         ),
     }
 }
 
+/// Asserts every engine in the matrix agrees with the reference
+/// interpreter on `q` exactly — or fails with the same error.
+fn assert_identical(db: &Database, q: &Query, ctx: &str) {
+    let reference = reference::execute_with_lineage(db, q);
+    let compiled = compile(db, q);
+    match &compiled {
+        Ok(plan) => {
+            assert_matches_reference(&reference, plan.run_rowwise(db), "row", ctx);
+            assert_matches_reference(&reference, plan.run(db), "columnar", ctx);
+            assert_matches_reference(
+                &reference,
+                plan.run_batched(db, TINY_BATCH),
+                "columnar/tiny-batch",
+                ctx,
+            );
+        }
+        Err(e) => {
+            let r = reference.expect_err(&format!("reference succeeded but compile failed: {ctx}"));
+            assert_eq!(
+                r.to_string(),
+                e.to_string(),
+                "compile error diverges: {ctx}"
+            );
+        }
+    }
+}
+
 #[test]
-fn every_generated_gold_is_identical_across_paths() {
+fn every_generated_gold_is_identical_across_engines() {
     let mut checked = 0usize;
     for suite in suites() {
         for split in [Split::Train, Split::Dev, Split::Test] {
@@ -87,24 +130,33 @@ fn one_compiled_plan_serves_all_variant_databases() {
             let Some(variant) = suite.database_variant(&item.db_name, seed) else {
                 continue;
             };
-            // …and run it on each variant: same rows and lineage as a fresh
-            // interpretation of the query over that variant.
-            let via_plan = compiled
-                .run(&variant)
-                .expect("compiled plan runs on variant");
+            // …and run it on each variant through every engine: same rows
+            // and lineage as a fresh interpretation over that variant.
             let direct = reference::execute_with_lineage(&variant, &q)
                 .expect("reference executes on variant");
-            assert_eq!(
-                format!("{:?}", direct.result.rows),
-                format!("{:?}", via_plan.result.rows),
-                "variant rows diverge: {}",
-                item.gold_sql
-            );
-            assert_eq!(
-                direct.lineage, via_plan.lineage,
-                "variant lineage: {}",
-                item.gold_sql
-            );
+            for (engine, out) in [
+                ("row", compiled.run_rowwise(&variant)),
+                ("columnar", compiled.run(&variant)),
+                (
+                    "columnar/tiny-batch",
+                    compiled.run_batched(&variant, TINY_BATCH),
+                ),
+            ] {
+                let out = out.unwrap_or_else(|e| {
+                    panic!("{engine} failed on variant: {e} ({})", item.gold_sql)
+                });
+                assert_eq!(
+                    format!("{:?}", direct.result.rows),
+                    format!("{:?}", out.result.rows),
+                    "variant rows diverge [{engine}]: {}",
+                    item.gold_sql
+                );
+                assert_eq!(
+                    direct.lineage, out.lineage,
+                    "variant lineage [{engine}]: {}",
+                    item.gold_sql
+                );
+            }
             reused += 1;
         }
     }
@@ -112,7 +164,7 @@ fn one_compiled_plan_serves_all_variant_databases() {
 }
 
 #[test]
-fn provenance_rewrites_are_identical_across_paths() {
+fn provenance_rewrites_are_identical_across_engines() {
     let suite = build_spider_suite(Variant::Spider, small_config());
     let mut checked = 0usize;
     for item in suite.dev.iter().take(60) {
@@ -125,7 +177,7 @@ fn provenance_rewrites_are_identical_across_paths() {
             continue;
         };
         // The provenance rewrite produces the queries the feedback loop
-        // actually runs; they must behave identically on both paths too.
+        // actually runs; they must behave identically on every path too.
         for core in rewrite_for_provenance(db, &q, &result.columns, row) {
             assert_identical(db, &core.query, &item.gold_sql);
             checked += 1;

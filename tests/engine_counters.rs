@@ -1,0 +1,142 @@
+//! EXPLAIN ANALYZE counter parity between the row-at-a-time engine and the
+//! columnar batch engine, over the same four plan classes the golden test
+//! pins (join, group/aggregate, set operation, subquery prologue).
+//!
+//! The columnar engine accumulates each operator's in/out/cmp/hash
+//! counters across chunks, so the profile must be *identical* to the row
+//! engine's — for every batch size, including degenerate one-row chunks
+//! and chunk sizes that split operators mid-stream. Engines are compared
+//! to each other (not to pinned constants), so the assertions hold on any
+//! generated database.
+
+use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
+use cyclesql_sql::parse;
+use cyclesql_storage::{compile, Database};
+
+/// Chunk sizes that exercise the interesting boundaries: one row per
+/// batch, sizes that split every operator mid-stream, and one larger than
+/// any table (single chunk, the default regime).
+const CHUNK_SWEEP: [usize; 4] = [1, 3, 7, 1024];
+
+/// The same pinned world_1 variant the golden plan test uses.
+fn world() -> Database {
+    let suite = build_spider_suite(
+        Variant::Spider,
+        SuiteConfig {
+            seed: 0x601D,
+            train_per_template: 1,
+            eval_per_template: 1,
+        },
+    );
+    suite
+        .database_variant("world_1", 1)
+        .expect("world_1 domain exists")
+}
+
+/// Asserts the columnar profile equals the row profile at every swept
+/// batch size: same operator steps, same in/out/cmp/hash counters, same
+/// prologue subquery measurements, and the same result.
+fn assert_counter_parity(db: &Database, sql: &str) {
+    let query = parse(sql).expect("query parses");
+    let plan = compile(db, &query).expect("query compiles");
+    let (row_out, row_prof) = plan.run_rowwise_analyzed(db).expect("row engine runs");
+    let row_render = row_prof.render(false);
+    for chunk in CHUNK_SWEEP {
+        let (col_out, col_prof) = plan
+            .run_batched_analyzed(db, chunk)
+            .expect("columnar engine runs");
+        // The timing-free rendering covers step shapes, operator order,
+        // and every in/out/cmp/hash counter in one comparison.
+        assert_eq!(
+            row_render,
+            col_prof.render(false),
+            "profile diverges at batch size {chunk}: {sql}"
+        );
+        assert_eq!(
+            row_prof.ops.len(),
+            col_prof.ops.len(),
+            "operator count diverges at batch size {chunk}: {sql}"
+        );
+        for (r, c) in row_prof.ops.iter().zip(&col_prof.ops) {
+            assert_eq!(r.rows_in, c.rows_in, "rows_in at batch size {chunk}: {sql}");
+            assert_eq!(
+                r.rows_out, c.rows_out,
+                "rows_out at batch size {chunk}: {sql}"
+            );
+            assert_eq!(
+                r.comparisons, c.comparisons,
+                "comparisons at batch size {chunk}: {sql}"
+            );
+            assert_eq!(
+                r.hash_entries, c.hash_entries,
+                "hash_entries at batch size {chunk}: {sql}"
+            );
+        }
+        assert_eq!(
+            row_prof.prologue.len(),
+            col_prof.prologue.len(),
+            "prologue count at batch size {chunk}: {sql}"
+        );
+        for (r, c) in row_prof.prologue.iter().zip(&col_prof.prologue) {
+            assert_eq!(r.index, c.index, "prologue index: {sql}");
+            assert_eq!(r.kind, c.kind, "prologue kind: {sql}");
+            assert_eq!(r.rows, c.rows, "prologue rows: {sql}");
+        }
+        // The profiled run is the real run: results must match too.
+        assert_eq!(
+            format!("{:?}", row_out.result.rows),
+            format!("{:?}", col_out.result.rows),
+            "rows diverge at batch size {chunk}: {sql}"
+        );
+        assert_eq!(
+            row_out.lineage, col_out.lineage,
+            "lineage diverges at batch size {chunk}: {sql}"
+        );
+    }
+}
+
+#[test]
+fn join_counters_are_batch_size_invariant() {
+    let db = world();
+    assert_counter_parity(
+        &db,
+        "SELECT T1.name, T2.name FROM country AS T1 JOIN city AS T2 \
+         ON T1.code = T2.countrycode ORDER BY T1.name LIMIT 5",
+    );
+}
+
+#[test]
+fn aggregate_counters_are_batch_size_invariant() {
+    let db = world();
+    assert_counter_parity(
+        &db,
+        "SELECT continent, count(*) FROM country GROUP BY continent",
+    );
+}
+
+#[test]
+fn set_op_counters_are_batch_size_invariant() {
+    let db = world();
+    assert_counter_parity(&db, "SELECT name FROM country UNION SELECT name FROM city");
+}
+
+#[test]
+fn subquery_prologue_counters_are_batch_size_invariant() {
+    let db = world();
+    assert_counter_parity(
+        &db,
+        "SELECT name FROM country WHERE code IN (SELECT countrycode FROM city)",
+    );
+}
+
+#[test]
+fn nested_loop_and_distinct_counters_are_batch_size_invariant() {
+    // A non-equi join forces the nested-loop strategy; DISTINCT and a
+    // filter exercise the remaining batch kernels in one plan.
+    let db = world();
+    assert_counter_parity(
+        &db,
+        "SELECT DISTINCT T1.continent FROM country AS T1 JOIN city AS T2 \
+         ON T1.population > T2.population WHERE T2.population > 1000000",
+    );
+}
