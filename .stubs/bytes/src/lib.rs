@@ -1,0 +1,1 @@
+//! Placeholder: declared in the workspace manifest but unused.

@@ -1,0 +1,187 @@
+//! Minimal std-only proptest stand-in: deterministic random sampling, no
+//! shrinking. Supports the combinators and macros the workspace uses:
+//! `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, `Just`, ranges, string regex-lite strategies,
+//! `prop_map`/`prop_filter`/`prop_recursive`, `collection::vec`,
+//! `option::of`, and `any::<bool|i32>()`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, TestRng, VecStrategy};
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next() & 1 == 0 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arb_sample(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arb_sample(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arb_sample(rng: &mut TestRng) -> bool {
+            rng.next() & 1 == 1
+        }
+    }
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb_sample(rng: &mut TestRng) -> $t {
+                    rng.next() as $t
+                }
+            }
+        )*}
+    }
+    arb_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+    impl Arbitrary for f64 {
+        fn arb_sample(rng: &mut TestRng) -> f64 {
+            (rng.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Marker payload thrown by `prop_assume!` to skip a case.
+pub struct SkipCase;
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @items ($cfg); $($rest)* }
+    };
+    (@items ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::strategy::TestRng::deterministic(stringify!($name));
+                let mut __ran = 0u32;
+                let mut __attempts = 0u32;
+                while __ran < __cfg.cases && __attempts < __cfg.cases * 16 {
+                    __attempts += 1;
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    match __result {
+                        Ok(_) => { __ran += 1; }
+                        Err(payload) => {
+                            if payload.downcast_ref::<$crate::SkipCase>().is_some() {
+                                continue;
+                            }
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @items ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            ::std::panic::panic_any($crate::SkipCase);
+        }
+    };
+}

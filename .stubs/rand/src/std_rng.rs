@@ -1,0 +1,131 @@
+//! StdRng = ChaCha12 behind rand_core's `BlockRng`, replicated exactly:
+//! 4 ChaCha blocks (64 u32 words) per refill, sequential word consumption,
+//! `next_u64` = low word then high word with the split-block edge case.
+
+use crate::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64;
+
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    key: [u32; 8],
+    counter: u64,
+    stream: [u32; 2],
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha12_block(key: &[u32; 8], counter: u64, stream: &[u32; 2], out: &mut [u32]) {
+    let mut state = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream[0],
+        stream[1],
+    ];
+    let initial = state;
+    for _ in 0..6 {
+        quarter(&mut state, 0, 4, 8, 12);
+        quarter(&mut state, 1, 5, 9, 13);
+        quarter(&mut state, 2, 6, 10, 14);
+        quarter(&mut state, 3, 7, 11, 15);
+        quarter(&mut state, 0, 5, 10, 15);
+        quarter(&mut state, 1, 6, 11, 12);
+        quarter(&mut state, 2, 7, 8, 13);
+        quarter(&mut state, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = state[i].wrapping_add(initial[i]);
+    }
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        for block in 0..4 {
+            chacha12_block(
+                &self.key,
+                self.counter.wrapping_add(block as u64),
+                &self.stream,
+                &mut self.buf[block * 16..block * 16 + 16],
+            );
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+
+    fn generate_and_set(&mut self, index: usize) {
+        self.refill();
+        self.index = index;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        StdRng {
+            key,
+            counter: 0,
+            stream: [0, 0],
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let read_u64 = |buf: &[u32; BUF_WORDS], i: usize| -> u64 {
+            (buf[i] as u64) | ((buf[i + 1] as u64) << 32)
+        };
+        let len = BUF_WORDS;
+        if self.index < len - 1 {
+            self.index += 2;
+            read_u64(&self.buf, self.index - 2)
+        } else if self.index >= len {
+            self.generate_and_set(2);
+            read_u64(&self.buf, 0)
+        } else {
+            // One word left: low half from the old block, high half from the
+            // fresh one (rand_core's BlockRng split-read).
+            let x = self.buf[len - 1] as u64;
+            self.generate_and_set(1);
+            let y = self.buf[0] as u64;
+            (y << 32) | x
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! `gen_range` sampling identical to rand 0.8's `UniformInt` /
+//! `UniformFloat` single-sample paths.
+
+use crate::{RngCore, Standard};
+use std::ops::{Range, RangeInclusive};
+
+pub trait SampleUniform: Sized {}
+
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Widening multiply: (high word, low word).
+pub trait WideMul: Copy {
+    fn wmul(self, b: Self) -> (Self, Self);
+}
+
+impl WideMul for u32 {
+    fn wmul(self, b: u32) -> (u32, u32) {
+        let t = (self as u64).wrapping_mul(b as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+}
+impl WideMul for u64 {
+    fn wmul(self, b: u64) -> (u64, u64) {
+        let t = (self as u128).wrapping_mul(b as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+}
+impl WideMul for usize {
+    fn wmul(self, b: usize) -> (usize, usize) {
+        let (hi, lo) = (self as u64).wmul(b as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+macro_rules! uniform_int {
+    ($ty:ty, $uty:ty, $ularge:ty) => {
+        impl SampleUniform for $ty {}
+
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "gen_range: low >= high");
+                let range = high.wrapping_sub(low) as $uty as $ularge;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $ularge = <$ularge as Standard>::standard(rng);
+                    let (hi, lo) = WideMul::wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: low > high");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $uty as $ularge;
+                if range == 0 {
+                    // Full integer domain: any value works.
+                    return <$ularge as Standard>::standard(rng) as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $ularge = <$ularge as Standard>::standard(rng);
+                    let (hi, lo) = WideMul::wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int!(i32, u32, u32);
+uniform_int!(u32, u32, u32);
+uniform_int!(i64, u64, u64);
+uniform_int!(u64, u64, u64);
+uniform_int!(isize, usize, usize);
+uniform_int!(usize, usize, usize);
+
+macro_rules! uniform_float {
+    ($ty:ty, $bits_to_discard:expr) => {
+        impl SampleUniform for $ty {}
+
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (self.start, self.end);
+                debug_assert!(low < high, "gen_range: low >= high");
+                let mut scale = high - low;
+                assert!(scale >= 0.0, "gen_range: range overflow");
+                loop {
+                    // Value in [1, 2) from 52 random mantissa bits, minus 1.
+                    let value1_2 = <$ty>::from_bits(
+                        (1023u64 << 52) | (rng.next_u64() >> $bits_to_discard),
+                    );
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding pushed res to high: retry one ulp down
+                    // (rand's decrease_masked).
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                debug_assert!(low <= high, "gen_range: low > high");
+                let scale = high - low;
+                assert!(scale >= 0.0, "gen_range: range overflow");
+                // rand 0.8's float sample_single_inclusive: one draw, no
+                // rejection loop.
+                let value1_2 =
+                    <$ty>::from_bits((1023u64 << 52) | (rng.next_u64() >> $bits_to_discard));
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+        }
+    };
+}
+
+uniform_float!(f64, 12);

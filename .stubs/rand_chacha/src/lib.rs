@@ -1,0 +1,1 @@
+//! Placeholder: declared in manifests but unused by workspace code.

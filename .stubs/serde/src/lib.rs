@@ -1,0 +1,487 @@
+//! Minimal std-only stand-in for serde, sufficient for local offline builds.
+//! The data model is a JSON value tree; derives come from the sibling
+//! `serde_derive` stub.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod __value {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(Number),
+        String(String),
+        Array(Vec<Value>),
+        Object(Map<String, Value>),
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        I(i64),
+        U(u64),
+        F(f64),
+    }
+
+    impl Number {
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Number::I(n) => Some(n),
+                Number::U(n) => i64::try_from(n).ok(),
+                Number::F(f) if f.fract() == 0.0 && f.abs() < 9.22e18 => Some(f as i64),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Number::I(n) => u64::try_from(n).ok(),
+                Number::U(n) => Some(n),
+                Number::F(f) if f.fract() == 0.0 && f >= 0.0 && f < 1.9e19 => Some(f as u64),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Number::I(n) => Some(n as f64),
+                Number::U(n) => Some(n as f64),
+                Number::F(f) => Some(f),
+            }
+        }
+    }
+
+    /// Insertion-ordered string-keyed map (mirrors serde_json's Map API
+    /// surface that the workspace uses).
+    #[derive(Debug, Clone, PartialEq, Default)]
+    pub struct Map<K, V> {
+        entries: Vec<(K, V)>,
+    }
+
+    impl<V> Map<String, V> {
+        pub fn new() -> Self {
+            Map {
+                entries: Vec::new(),
+            }
+        }
+        pub fn insert(&mut self, k: String, v: V) -> Option<V> {
+            if let Some(slot) = self.entries.iter_mut().find(|(ek, _)| *ek == k) {
+                return Some(std::mem::replace(&mut slot.1, v));
+            }
+            self.entries.push((k, v));
+            None
+        }
+        pub fn get(&self, k: &str) -> Option<&V> {
+            self.entries.iter().find(|(ek, _)| ek == k).map(|(_, v)| v)
+        }
+        pub fn iter(&self) -> impl Iterator<Item = (&String, &V)> {
+            self.entries.iter().map(|(k, v)| (k, v))
+        }
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+    }
+
+    impl<V> FromIterator<(String, V)> for Map<String, V> {
+        fn from_iter<T: IntoIterator<Item = (String, V)>>(iter: T) -> Self {
+            let mut m = Map::new();
+            for (k, v) in iter {
+                m.insert(k, v);
+            }
+            m
+        }
+    }
+
+    impl<V> IntoIterator for Map<String, V> {
+        type Item = (String, V);
+        type IntoIter = std::vec::IntoIter<(String, V)>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.entries.into_iter()
+        }
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&Map<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => n.as_f64(),
+                _ => None,
+            }
+        }
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Number(n) => n.as_i64(),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) => n.as_u64(),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object().and_then(|m| m.get(key))
+        }
+    }
+}
+
+use __value::{Map, Number, Value};
+
+pub trait Serialize {
+    fn __jv(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn __from_jv(v: &Value) -> Result<Self, String>;
+}
+
+// ---- Serialize impls -------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __jv(&self) -> Value { Value::Number(Number::I(*self as i64)) }
+        }
+    )*}
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __jv(&self) -> Value { Value::Number(Number::U(*self as u64)) }
+        }
+    )*}
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn __jv(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F(*self))
+        } else {
+            Value::Null
+        }
+    }
+}
+impl Serialize for f32 {
+    fn __jv(&self) -> Value {
+        (*self as f64).__jv()
+    }
+}
+impl Serialize for bool {
+    fn __jv(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn __jv(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn __jv(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn __jv(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __jv(&self) -> Value {
+        (**self).__jv()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn __jv(&self) -> Value {
+        (**self).__jv()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn __jv(&self) -> Value {
+        (**self).__jv()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn __jv(&self) -> Value {
+        (**self).__jv()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __jv(&self) -> Value {
+        match self {
+            Some(v) => v.__jv(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __jv(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__jv).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn __jv(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__jv).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn __jv(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__jv).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn __jv(&self) -> Value {
+                Value::Array(vec![$(self.$n.__jv()),+])
+            }
+        }
+    )*}
+}
+ser_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn __jv(&self) -> Value {
+        let mut m = Map::new();
+        // Deterministic output: sort keys like a canonicalizing serializer.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| k.as_str());
+        for (k, v) in entries {
+            m.insert(k.clone(), v.__jv());
+        }
+        Value::Object(m)
+    }
+}
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn __jv(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.__jv());
+        }
+        Value::Object(m)
+    }
+}
+impl<V: Serialize> Serialize for std::collections::BTreeMap<&'static str, V> {
+    fn __jv(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_string(), v.__jv());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Value {
+    fn __jv(&self) -> Value {
+        self.clone()
+    }
+}
+impl<V: Serialize> Serialize for Map<String, V> {
+    fn __jv(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self.iter() {
+            m.insert(k.clone(), v.__jv());
+        }
+        Value::Object(m)
+    }
+}
+
+// ---- Deserialize impls -----------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn __from_jv(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| format!("number out of range for {}", stringify!($t))),
+                    _ => Err(format!("expected integer, got {v:?}")),
+                }
+            }
+        }
+    )*}
+}
+de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn __from_jv(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| format!("number out of range for {}", stringify!($t))),
+                    _ => Err(format!("expected integer, got {v:?}")),
+                }
+            }
+        }
+    )*}
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Number(n) => n.as_f64().ok_or_else(|| "bad number".to_string()),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(format!("expected number, got {v:?}")),
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        f64::__from_jv(v).map(|f| f as f32)
+    }
+}
+impl Deserialize for bool {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+impl Deserialize for String {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+impl Deserialize for char {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        let s = String::__from_jv(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err("expected single-char string".to_string()),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::__from_jv(other).map(Some),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.iter().map(T::__from_jv).collect(),
+            _ => Err(format!("expected array, got {v:?}")),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        T::__from_jv(v).map(Box::new)
+    }
+}
+impl Deserialize for std::sync::Arc<str> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        String::__from_jv(v).map(|s| s.into())
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        T::__from_jv(v).map(std::sync::Arc::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn __from_jv(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            {
+                                let _ = stringify!($n);
+                                $t::__from_jv(it.next().ok_or("tuple too short")?)?
+                            },
+                        )+))
+                    }
+                    _ => Err(format!("expected array, got {v:?}")),
+                }
+            }
+        }
+    )*}
+}
+de_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| V::__from_jv(v).map(|v| (k.clone(), v)))
+                .collect(),
+            _ => Err(format!("expected object, got {v:?}")),
+        }
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| V::__from_jv(v).map(|v| (k.clone(), v)))
+                .collect(),
+            _ => Err(format!("expected object, got {v:?}")),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+impl<V: Deserialize> Deserialize for Map<String, V> {
+    fn __from_jv(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| V::__from_jv(v).map(|v| (k.clone(), v)))
+                .collect(),
+            _ => Err(format!("expected object, got {v:?}")),
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the std-only serde
+//! stub: parses the type definition straight off the token stream (no syn)
+//! and emits impls of the stub's `__jv`/`__from_jv` traits. Supports plain
+//! (non-generic) structs with named fields, tuple structs, unit structs,
+//! and enums with unit/tuple/struct variants, plus `#[serde(skip)]` and
+//! `#[serde(default)]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Parsed {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+fn serde_attr_flags(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>, attrs: &mut FieldAttrs) {
+    // Called with the iterator positioned after a '#'; consumes the [..] group.
+    if let Some(TokenTree::Group(g)) = tokens.peek() {
+        if g.delimiter() == Delimiter::Bracket {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(flag) = t {
+                                match flag.to_string().as_str() {
+                                    "skip" => attrs.skip = true,
+                                    "default" => attrs.default = true,
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            tokens.next();
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        let mut attrs = FieldAttrs::default();
+        // attributes / visibility
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    serde_attr_flags(&mut tokens, &mut attrs);
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: unexpected token in fields: {other:?}"),
+        };
+        // ':'
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected ':' after field {name}: {other:?}"),
+        }
+        // skip the type: consume until a top-level ','
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth <= 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut any = false;
+    for t in group {
+        match t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    count += 1;
+                } else {
+                    any = true;
+                }
+            }
+            _ => any = true,
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        // attributes
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    let mut ignored = FieldAttrs::default();
+                    serde_attr_flags(&mut tokens, &mut ignored);
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: unexpected token in variants: {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // consume up to and including the ',' (also skips `= discr`)
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let mut tokens = input.into_iter().peekable();
+    // skip outer attributes and visibility
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let mut ignored = FieldAttrs::default();
+                serde_attr_flags(&mut tokens, &mut ignored);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Parsed::NamedStruct(name, parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Parsed::TupleStruct(name, count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Parsed::UnitStruct(name),
+            other => panic!("serde stub derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Parsed::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind {other}"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match parsed {
+        Parsed::NamedStruct(name, fields) => {
+            let mut body = String::from(
+                "let mut __m = ::serde::__value::Map::new();\n",
+            );
+            for f in &fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                body.push_str(&format!(
+                    "__m.insert(\"{n}\".to_string(), ::serde::Serialize::__jv(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::__value::Value::Object(__m)");
+            impl_ser(&name, &body)
+        }
+        Parsed::TupleStruct(name, n) => {
+            let body = if n == 1 {
+                "::serde::Serialize::__jv(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Serialize::__jv(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::__value::Value::Array(vec![{}])",
+                    items.join(", ")
+                )
+            };
+            impl_ser(&name, &body)
+        }
+        Parsed::UnitStruct(name) => impl_ser(&name, "::serde::__value::Value::Null"),
+        Parsed::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::__value::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::__jv(__x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::__jv({b})"))
+                                .collect();
+                            format!(
+                                "::serde::__value::Value::Array(vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __m = ::serde::__value::Map::new();\n\
+                             __m.insert(\"{v}\".to_string(), {inner});\n\
+                             ::serde::__value::Value::Object(__m)\n\
+                             }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __f = ::serde::__value::Map::new();\n",
+                        );
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            inner.push_str(&format!(
+                                "__f.insert(\"{n}\".to_string(), ::serde::Serialize::__jv({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::serde::__value::Map::new();\n\
+                             __m.insert(\"{v}\".to_string(), ::serde::__value::Value::Object(__f));\n\
+                             ::serde::__value::Value::Object(__m)\n\
+                             }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            impl_ser(&name, &format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    code.parse().expect("serde stub derive: generated Serialize impl parses")
+}
+
+fn impl_ser(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn __jv(&self) -> ::serde::__value::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match parsed {
+        Parsed::NamedStruct(name, fields) => {
+            let mut body = String::from(
+                "let __o = __v.as_object().ok_or_else(|| format!(\"expected object for struct\"))?;\n",
+            );
+            body.push_str(&format!("Ok({name} {{\n"));
+            for f in &fields {
+                if f.attrs.skip {
+                    body.push_str(&format!(
+                        "{n}: ::std::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                } else if f.attrs.default {
+                    body.push_str(&format!(
+                        "{n}: match __o.get(\"{n}\") {{ Some(x) => ::serde::Deserialize::__from_jv(x)?, None => ::std::default::Default::default() }},\n",
+                        n = f.name
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "{n}: ::serde::Deserialize::__from_jv(__o.get(\"{n}\").ok_or_else(|| format!(\"missing field {n}\"))?)?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            body.push_str("})");
+            impl_de(&name, &body)
+        }
+        Parsed::TupleStruct(name, n) => {
+            let body = if n == 1 {
+                format!("Ok({name}(::serde::Deserialize::__from_jv(__v)?))")
+            } else {
+                let mut b = String::from(
+                    "let __a = __v.as_array().ok_or_else(|| format!(\"expected array\"))?;\n",
+                );
+                let items: Vec<String> = (0..n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::__from_jv(__a.get({i}).ok_or_else(|| format!(\"tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                b.push_str(&format!("Ok({name}({}))", items.join(", ")));
+                b
+            };
+            impl_de(&name, &body)
+        }
+        Parsed::UnitStruct(name) => impl_de(&name, &format!("Ok({name})")),
+        Parsed::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in &variants {
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            format!(
+                                "return Ok({name}::{v}(::serde::Deserialize::__from_jv(__inner)?));",
+                                v = v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::__from_jv(__a.get({i}).ok_or_else(|| format!(\"variant tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "let __a = __inner.as_array().ok_or_else(|| format!(\"expected array\"))?;\n\
+                                 return Ok({name}::{v}({items}));",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        keyed_arms.push_str(&format!(
+                            "\"{v}\" => {{ {inner} }}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inner = String::from(
+                            "let __f = __inner.as_object().ok_or_else(|| format!(\"expected object\"))?;\n",
+                        );
+                        inner.push_str(&format!("return Ok({name}::{v} {{\n", v = v.name));
+                        for f in fields {
+                            if f.attrs.skip {
+                                inner.push_str(&format!(
+                                    "{n}: ::std::default::Default::default(),\n",
+                                    n = f.name
+                                ));
+                            } else {
+                                inner.push_str(&format!(
+                                    "{n}: ::serde::Deserialize::__from_jv(__f.get(\"{n}\").ok_or_else(|| format!(\"missing field {n}\"))?)?,\n",
+                                    n = f.name
+                                ));
+                            }
+                        }
+                        inner.push_str("});");
+                        keyed_arms.push_str(&format!(
+                            "\"{v}\" => {{ {inner} }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                     match __s {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                 }}\n\
+                 if let Some(__o) = __v.as_object() {{\n\
+                     if let Some((__k, __inner)) = __o.iter().next() {{\n\
+                         match __k.as_str() {{\n{keyed_arms}\n_ => {{}}\n}}\n\
+                     }}\n\
+                 }}\n\
+                 Err(format!(\"no matching variant of {name}\"))"
+            );
+            impl_de(&name, &body)
+        }
+    };
+    code.parse().expect("serde stub derive: generated Deserialize impl parses")
+}
+
+fn impl_de(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn __from_jv(__v: &::serde::__value::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiled_differential-5ede16ecc932399b.d: tests/compiled_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiled_differential-5ede16ecc932399b.rmeta: tests/compiled_differential.rs Cargo.toml
+
+tests/compiled_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9e886f31b401afe9.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9e886f31b401afe9.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

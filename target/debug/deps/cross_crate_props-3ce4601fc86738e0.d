@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_props-3ce4601fc86738e0.d: tests/cross_crate_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_props-3ce4601fc86738e0.rmeta: tests/cross_crate_props.rs Cargo.toml
+
+tests/cross_crate_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

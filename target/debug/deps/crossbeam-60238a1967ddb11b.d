@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-60238a1967ddb11b.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-60238a1967ddb11b.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

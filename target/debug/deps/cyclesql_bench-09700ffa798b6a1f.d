@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cyclesql_bench-09700ffa798b6a1f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_bench-09700ffa798b6a1f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cyclesql_benchgen-6f9efeec8cb3975a.d: crates/benchgen/src/lib.rs crates/benchgen/src/datagen.rs crates/benchgen/src/domains.rs crates/benchgen/src/suite.rs crates/benchgen/src/templates.rs crates/benchgen/src/variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_benchgen-6f9efeec8cb3975a.rmeta: crates/benchgen/src/lib.rs crates/benchgen/src/datagen.rs crates/benchgen/src/domains.rs crates/benchgen/src/suite.rs crates/benchgen/src/templates.rs crates/benchgen/src/variants.rs Cargo.toml
+
+crates/benchgen/src/lib.rs:
+crates/benchgen/src/datagen.rs:
+crates/benchgen/src/domains.rs:
+crates/benchgen/src/suite.rs:
+crates/benchgen/src/templates.rs:
+crates/benchgen/src/variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

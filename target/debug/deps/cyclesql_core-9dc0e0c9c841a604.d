@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/cyclesql_core-9dc0e0c9c841a604.d: crates/core/src/lib.rs crates/core/src/cycle.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/context.rs crates/core/src/experiments/ext_ablation.rs crates/core/src/experiments/ext_arch.rs crates/core/src/experiments/ext_human.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/human.rs crates/core/src/metrics.rs crates/core/src/session.rs crates/core/src/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_core-9dc0e0c9c841a604.rmeta: crates/core/src/lib.rs crates/core/src/cycle.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/context.rs crates/core/src/experiments/ext_ablation.rs crates/core/src/experiments/ext_arch.rs crates/core/src/experiments/ext_human.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/human.rs crates/core/src/metrics.rs crates/core/src/session.rs crates/core/src/training.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cycle.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/context.rs:
+crates/core/src/experiments/ext_ablation.rs:
+crates/core/src/experiments/ext_arch.rs:
+crates/core/src/experiments/ext_human.rs:
+crates/core/src/experiments/fig1.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/fig10.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/table2.rs:
+crates/core/src/experiments/table3.rs:
+crates/core/src/experiments/table4.rs:
+crates/core/src/human.rs:
+crates/core/src/metrics.rs:
+crates/core/src/session.rs:
+crates/core/src/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

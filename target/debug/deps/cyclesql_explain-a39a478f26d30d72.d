@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cyclesql_explain-a39a478f26d30d72.d: crates/explain/src/lib.rs crates/explain/src/enrich.rs crates/explain/src/graph.rs crates/explain/src/join_sem.rs crates/explain/src/nlg.rs crates/explain/src/polish.rs crates/explain/src/quality.rs crates/explain/src/sql2nl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_explain-a39a478f26d30d72.rmeta: crates/explain/src/lib.rs crates/explain/src/enrich.rs crates/explain/src/graph.rs crates/explain/src/join_sem.rs crates/explain/src/nlg.rs crates/explain/src/polish.rs crates/explain/src/quality.rs crates/explain/src/sql2nl.rs Cargo.toml
+
+crates/explain/src/lib.rs:
+crates/explain/src/enrich.rs:
+crates/explain/src/graph.rs:
+crates/explain/src/join_sem.rs:
+crates/explain/src/nlg.rs:
+crates/explain/src/polish.rs:
+crates/explain/src/quality.rs:
+crates/explain/src/sql2nl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cyclesql_integration-051c146fdf16c6a6.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_integration-051c146fdf16c6a6.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

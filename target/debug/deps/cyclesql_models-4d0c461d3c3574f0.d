@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cyclesql_models-4d0c461d3c3574f0.d: crates/models/src/lib.rs crates/models/src/error_ops.rs crates/models/src/profile.rs crates/models/src/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_models-4d0c461d3c3574f0.rmeta: crates/models/src/lib.rs crates/models/src/error_ops.rs crates/models/src/profile.rs crates/models/src/simulate.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/error_ops.rs:
+crates/models/src/profile.rs:
+crates/models/src/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

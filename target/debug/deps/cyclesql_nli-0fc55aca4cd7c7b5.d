@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cyclesql_nli-0fc55aca4cd7c7b5.d: crates/nli/src/lib.rs crates/nli/src/features.rs crates/nli/src/loss.rs crates/nli/src/mlp.rs crates/nli/src/model.rs crates/nli/src/verifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_nli-0fc55aca4cd7c7b5.rmeta: crates/nli/src/lib.rs crates/nli/src/features.rs crates/nli/src/loss.rs crates/nli/src/mlp.rs crates/nli/src/model.rs crates/nli/src/verifier.rs Cargo.toml
+
+crates/nli/src/lib.rs:
+crates/nli/src/features.rs:
+crates/nli/src/loss.rs:
+crates/nli/src/mlp.rs:
+crates/nli/src/model.rs:
+crates/nli/src/verifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

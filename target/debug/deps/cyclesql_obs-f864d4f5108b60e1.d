@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cyclesql_obs-f864d4f5108b60e1.d: crates/obs/src/lib.rs crates/obs/src/sample.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_obs-f864d4f5108b60e1.rmeta: crates/obs/src/lib.rs crates/obs/src/sample.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/sample.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

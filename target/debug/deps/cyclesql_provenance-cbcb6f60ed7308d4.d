@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cyclesql_provenance-cbcb6f60ed7308d4.d: crates/provenance/src/lib.rs crates/provenance/src/capture.rs crates/provenance/src/empty.rs crates/provenance/src/error.rs crates/provenance/src/rewrite.rs crates/provenance/src/where_prov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_provenance-cbcb6f60ed7308d4.rmeta: crates/provenance/src/lib.rs crates/provenance/src/capture.rs crates/provenance/src/empty.rs crates/provenance/src/error.rs crates/provenance/src/rewrite.rs crates/provenance/src/where_prov.rs Cargo.toml
+
+crates/provenance/src/lib.rs:
+crates/provenance/src/capture.rs:
+crates/provenance/src/empty.rs:
+crates/provenance/src/error.rs:
+crates/provenance/src/rewrite.rs:
+crates/provenance/src/where_prov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

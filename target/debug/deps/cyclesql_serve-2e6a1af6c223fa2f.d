@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cyclesql_serve-2e6a1af6c223fa2f.d: crates/serve/src/lib.rs crates/serve/src/catalog.rs crates/serve/src/engine.rs crates/serve/src/metrics.rs crates/serve/src/plan_cache.rs crates/serve/src/prometheus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_serve-2e6a1af6c223fa2f.rmeta: crates/serve/src/lib.rs crates/serve/src/catalog.rs crates/serve/src/engine.rs crates/serve/src/metrics.rs crates/serve/src/plan_cache.rs crates/serve/src/prometheus.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/catalog.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/plan_cache.rs:
+crates/serve/src/prometheus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

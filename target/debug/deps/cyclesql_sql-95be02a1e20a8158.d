@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cyclesql_sql-95be02a1e20a8158.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/canonical.rs crates/sql/src/difficulty.rs crates/sql/src/error.rs crates/sql/src/parser.rs crates/sql/src/printer.rs crates/sql/src/token.rs crates/sql/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_sql-95be02a1e20a8158.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/canonical.rs crates/sql/src/difficulty.rs crates/sql/src/error.rs crates/sql/src/parser.rs crates/sql/src/printer.rs crates/sql/src/token.rs crates/sql/src/units.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/canonical.rs:
+crates/sql/src/difficulty.rs:
+crates/sql/src/error.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:
+crates/sql/src/token.rs:
+crates/sql/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/cyclesql_storage-906a14b78ff55019.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/compile.rs crates/storage/src/error.rs crates/storage/src/exec.rs crates/storage/src/ir.rs crates/storage/src/plan.rs crates/storage/src/profile.rs crates/storage/src/reference.rs crates/storage/src/result.rs crates/storage/src/run.rs crates/storage/src/scalar.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclesql_storage-906a14b78ff55019.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/compile.rs crates/storage/src/error.rs crates/storage/src/exec.rs crates/storage/src/ir.rs crates/storage/src/plan.rs crates/storage/src/profile.rs crates/storage/src/reference.rs crates/storage/src/result.rs crates/storage/src/run.rs crates/storage/src/scalar.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/compile.rs:
+crates/storage/src/error.rs:
+crates/storage/src/exec.rs:
+crates/storage/src/ir.rs:
+crates/storage/src/plan.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/reference.rs:
+crates/storage/src/result.rs:
+crates/storage/src/run.rs:
+crates/storage/src/scalar.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_counters-dcf117987d2563b7.d: tests/engine_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_counters-dcf117987d2563b7.rmeta: tests/engine_counters.rs Cargo.toml
+
+tests/engine_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

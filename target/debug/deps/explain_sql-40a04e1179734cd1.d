@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/explain_sql-40a04e1179734cd1.d: crates/bench/src/bin/explain_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexplain_sql-40a04e1179734cd1.rmeta: crates/bench/src/bin/explain_sql.rs Cargo.toml
+
+crates/bench/src/bin/explain_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

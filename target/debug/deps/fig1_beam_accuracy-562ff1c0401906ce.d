@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_beam_accuracy-562ff1c0401906ce.d: crates/bench/benches/fig1_beam_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_beam_accuracy-562ff1c0401906ce.rmeta: crates/bench/benches/fig1_beam_accuracy.rs Cargo.toml
+
+crates/bench/benches/fig1_beam_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-deda313e753914a1.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-deda313e753914a1.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

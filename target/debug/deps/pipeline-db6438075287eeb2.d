@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-db6438075287eeb2.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-db6438075287eeb2.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

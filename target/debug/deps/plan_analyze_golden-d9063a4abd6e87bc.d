@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_analyze_golden-d9063a4abd6e87bc.d: tests/plan_analyze_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_analyze_golden-d9063a4abd6e87bc.rmeta: tests/plan_analyze_golden.rs Cargo.toml
+
+tests/plan_analyze_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-776c0792abe76c85.d: .stubs/proptest/src/lib.rs .stubs/proptest/src/strategy.rs .stubs/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-776c0792abe76c85.rmeta: .stubs/proptest/src/lib.rs .stubs/proptest/src/strategy.rs .stubs/proptest/src/test_runner.rs
+
+.stubs/proptest/src/lib.rs:
+.stubs/proptest/src/strategy.rs:
+.stubs/proptest/src/test_runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-4fc73cbcf4a15b02.d: .stubs/rand/src/lib.rs .stubs/rand/src/seq.rs .stubs/rand/src/std_rng.rs .stubs/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/librand-4fc73cbcf4a15b02.rmeta: .stubs/rand/src/lib.rs .stubs/rand/src/seq.rs .stubs/rand/src/std_rng.rs .stubs/rand/src/uniform.rs
+
+.stubs/rand/src/lib.rs:
+.stubs/rand/src/seq.rs:
+.stubs/rand/src/std_rng.rs:
+.stubs/rand/src/uniform.rs:

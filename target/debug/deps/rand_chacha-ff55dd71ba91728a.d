@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-ff55dd71ba91728a.d: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-ff55dd71ba91728a.rmeta: .stubs/rand_chacha/src/lib.rs
+
+.stubs/rand_chacha/src/lib.rs:

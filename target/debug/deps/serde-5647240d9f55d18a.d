@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-5647240d9f55d18a.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5647240d9f55d18a.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c3f611fdbbec7693.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-c3f611fdbbec7693.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

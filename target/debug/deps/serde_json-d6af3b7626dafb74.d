@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-d6af3b7626dafb74.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d6af3b7626dafb74.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_bench-72de67eac1798624.d: crates/bench/src/bin/storage_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_bench-72de67eac1798624.rmeta: crates/bench/src/bin/storage_bench.rs Cargo.toml
+
+crates/bench/src/bin/storage_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiled_differential-140acec121f4fe4f.d: tests/compiled_differential.rs
+
+/root/repo/target/release/deps/compiled_differential-140acec121f4fe4f: tests/compiled_differential.rs
+
+tests/compiled_differential.rs:

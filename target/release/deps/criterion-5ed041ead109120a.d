@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-5ed041ead109120a.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-5ed041ead109120a.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-5ed041ead109120a.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

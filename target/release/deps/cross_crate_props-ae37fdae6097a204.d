@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_crate_props-ae37fdae6097a204.d: tests/cross_crate_props.rs
+
+/root/repo/target/release/deps/cross_crate_props-ae37fdae6097a204: tests/cross_crate_props.rs
+
+tests/cross_crate_props.rs:

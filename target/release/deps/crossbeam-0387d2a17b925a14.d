@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-0387d2a17b925a14.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0387d2a17b925a14.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0387d2a17b925a14.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cyclesql_bench-ac26feee58da0bee.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcyclesql_bench-ac26feee58da0bee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcyclesql_bench-ac26feee58da0bee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cyclesql_bench-e4a3be8bea9d21ac.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/cyclesql_bench-e4a3be8bea9d21ac: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

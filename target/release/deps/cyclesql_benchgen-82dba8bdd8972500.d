@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cyclesql_benchgen-82dba8bdd8972500.d: crates/benchgen/src/lib.rs crates/benchgen/src/datagen.rs crates/benchgen/src/domains.rs crates/benchgen/src/suite.rs crates/benchgen/src/templates.rs crates/benchgen/src/variants.rs
+
+/root/repo/target/release/deps/cyclesql_benchgen-82dba8bdd8972500: crates/benchgen/src/lib.rs crates/benchgen/src/datagen.rs crates/benchgen/src/domains.rs crates/benchgen/src/suite.rs crates/benchgen/src/templates.rs crates/benchgen/src/variants.rs
+
+crates/benchgen/src/lib.rs:
+crates/benchgen/src/datagen.rs:
+crates/benchgen/src/domains.rs:
+crates/benchgen/src/suite.rs:
+crates/benchgen/src/templates.rs:
+crates/benchgen/src/variants.rs:

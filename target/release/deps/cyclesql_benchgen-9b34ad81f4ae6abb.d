@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cyclesql_benchgen-9b34ad81f4ae6abb.d: crates/benchgen/src/lib.rs crates/benchgen/src/datagen.rs crates/benchgen/src/domains.rs crates/benchgen/src/suite.rs crates/benchgen/src/templates.rs crates/benchgen/src/variants.rs
+
+/root/repo/target/release/deps/libcyclesql_benchgen-9b34ad81f4ae6abb.rlib: crates/benchgen/src/lib.rs crates/benchgen/src/datagen.rs crates/benchgen/src/domains.rs crates/benchgen/src/suite.rs crates/benchgen/src/templates.rs crates/benchgen/src/variants.rs
+
+/root/repo/target/release/deps/libcyclesql_benchgen-9b34ad81f4ae6abb.rmeta: crates/benchgen/src/lib.rs crates/benchgen/src/datagen.rs crates/benchgen/src/domains.rs crates/benchgen/src/suite.rs crates/benchgen/src/templates.rs crates/benchgen/src/variants.rs
+
+crates/benchgen/src/lib.rs:
+crates/benchgen/src/datagen.rs:
+crates/benchgen/src/domains.rs:
+crates/benchgen/src/suite.rs:
+crates/benchgen/src/templates.rs:
+crates/benchgen/src/variants.rs:

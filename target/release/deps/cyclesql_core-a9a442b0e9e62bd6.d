@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/cyclesql_core-a9a442b0e9e62bd6.d: crates/core/src/lib.rs crates/core/src/cycle.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/context.rs crates/core/src/experiments/ext_ablation.rs crates/core/src/experiments/ext_arch.rs crates/core/src/experiments/ext_human.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/human.rs crates/core/src/metrics.rs crates/core/src/session.rs crates/core/src/training.rs
+
+/root/repo/target/release/deps/cyclesql_core-a9a442b0e9e62bd6: crates/core/src/lib.rs crates/core/src/cycle.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/context.rs crates/core/src/experiments/ext_ablation.rs crates/core/src/experiments/ext_arch.rs crates/core/src/experiments/ext_human.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/experiments/table4.rs crates/core/src/human.rs crates/core/src/metrics.rs crates/core/src/session.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cycle.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/context.rs:
+crates/core/src/experiments/ext_ablation.rs:
+crates/core/src/experiments/ext_arch.rs:
+crates/core/src/experiments/ext_human.rs:
+crates/core/src/experiments/fig1.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/fig10.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/table2.rs:
+crates/core/src/experiments/table3.rs:
+crates/core/src/experiments/table4.rs:
+crates/core/src/human.rs:
+crates/core/src/metrics.rs:
+crates/core/src/session.rs:
+crates/core/src/training.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cyclesql_explain-8d5ad4672099f3e6.d: crates/explain/src/lib.rs crates/explain/src/enrich.rs crates/explain/src/graph.rs crates/explain/src/join_sem.rs crates/explain/src/nlg.rs crates/explain/src/polish.rs crates/explain/src/quality.rs crates/explain/src/sql2nl.rs crates/explain/src/nlg_tests.rs
+
+/root/repo/target/release/deps/cyclesql_explain-8d5ad4672099f3e6: crates/explain/src/lib.rs crates/explain/src/enrich.rs crates/explain/src/graph.rs crates/explain/src/join_sem.rs crates/explain/src/nlg.rs crates/explain/src/polish.rs crates/explain/src/quality.rs crates/explain/src/sql2nl.rs crates/explain/src/nlg_tests.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/enrich.rs:
+crates/explain/src/graph.rs:
+crates/explain/src/join_sem.rs:
+crates/explain/src/nlg.rs:
+crates/explain/src/polish.rs:
+crates/explain/src/quality.rs:
+crates/explain/src/sql2nl.rs:
+crates/explain/src/nlg_tests.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cyclesql_explain-e8c4df07f2e5fb09.d: crates/explain/src/lib.rs crates/explain/src/enrich.rs crates/explain/src/graph.rs crates/explain/src/join_sem.rs crates/explain/src/nlg.rs crates/explain/src/polish.rs crates/explain/src/quality.rs crates/explain/src/sql2nl.rs
+
+/root/repo/target/release/deps/libcyclesql_explain-e8c4df07f2e5fb09.rlib: crates/explain/src/lib.rs crates/explain/src/enrich.rs crates/explain/src/graph.rs crates/explain/src/join_sem.rs crates/explain/src/nlg.rs crates/explain/src/polish.rs crates/explain/src/quality.rs crates/explain/src/sql2nl.rs
+
+/root/repo/target/release/deps/libcyclesql_explain-e8c4df07f2e5fb09.rmeta: crates/explain/src/lib.rs crates/explain/src/enrich.rs crates/explain/src/graph.rs crates/explain/src/join_sem.rs crates/explain/src/nlg.rs crates/explain/src/polish.rs crates/explain/src/quality.rs crates/explain/src/sql2nl.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/enrich.rs:
+crates/explain/src/graph.rs:
+crates/explain/src/join_sem.rs:
+crates/explain/src/nlg.rs:
+crates/explain/src/polish.rs:
+crates/explain/src/quality.rs:
+crates/explain/src/sql2nl.rs:

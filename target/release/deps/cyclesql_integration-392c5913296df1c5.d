@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cyclesql_integration-392c5913296df1c5.d: tests/lib.rs
+
+/root/repo/target/release/deps/libcyclesql_integration-392c5913296df1c5.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libcyclesql_integration-392c5913296df1c5.rmeta: tests/lib.rs
+
+tests/lib.rs:

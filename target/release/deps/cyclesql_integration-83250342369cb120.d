@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cyclesql_integration-83250342369cb120.d: tests/lib.rs
+
+/root/repo/target/release/deps/cyclesql_integration-83250342369cb120: tests/lib.rs
+
+tests/lib.rs:

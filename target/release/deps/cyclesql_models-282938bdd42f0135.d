@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cyclesql_models-282938bdd42f0135.d: crates/models/src/lib.rs crates/models/src/error_ops.rs crates/models/src/profile.rs crates/models/src/simulate.rs
+
+/root/repo/target/release/deps/libcyclesql_models-282938bdd42f0135.rlib: crates/models/src/lib.rs crates/models/src/error_ops.rs crates/models/src/profile.rs crates/models/src/simulate.rs
+
+/root/repo/target/release/deps/libcyclesql_models-282938bdd42f0135.rmeta: crates/models/src/lib.rs crates/models/src/error_ops.rs crates/models/src/profile.rs crates/models/src/simulate.rs
+
+crates/models/src/lib.rs:
+crates/models/src/error_ops.rs:
+crates/models/src/profile.rs:
+crates/models/src/simulate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cyclesql_models-fc328b60438a98a8.d: crates/models/src/lib.rs crates/models/src/error_ops.rs crates/models/src/profile.rs crates/models/src/simulate.rs
+
+/root/repo/target/release/deps/cyclesql_models-fc328b60438a98a8: crates/models/src/lib.rs crates/models/src/error_ops.rs crates/models/src/profile.rs crates/models/src/simulate.rs
+
+crates/models/src/lib.rs:
+crates/models/src/error_ops.rs:
+crates/models/src/profile.rs:
+crates/models/src/simulate.rs:

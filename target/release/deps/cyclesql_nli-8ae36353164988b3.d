@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cyclesql_nli-8ae36353164988b3.d: crates/nli/src/lib.rs crates/nli/src/features.rs crates/nli/src/loss.rs crates/nli/src/mlp.rs crates/nli/src/model.rs crates/nli/src/verifier.rs
+
+/root/repo/target/release/deps/libcyclesql_nli-8ae36353164988b3.rlib: crates/nli/src/lib.rs crates/nli/src/features.rs crates/nli/src/loss.rs crates/nli/src/mlp.rs crates/nli/src/model.rs crates/nli/src/verifier.rs
+
+/root/repo/target/release/deps/libcyclesql_nli-8ae36353164988b3.rmeta: crates/nli/src/lib.rs crates/nli/src/features.rs crates/nli/src/loss.rs crates/nli/src/mlp.rs crates/nli/src/model.rs crates/nli/src/verifier.rs
+
+crates/nli/src/lib.rs:
+crates/nli/src/features.rs:
+crates/nli/src/loss.rs:
+crates/nli/src/mlp.rs:
+crates/nli/src/model.rs:
+crates/nli/src/verifier.rs:

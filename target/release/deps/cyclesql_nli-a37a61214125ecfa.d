@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cyclesql_nli-a37a61214125ecfa.d: crates/nli/src/lib.rs crates/nli/src/features.rs crates/nli/src/loss.rs crates/nli/src/mlp.rs crates/nli/src/model.rs crates/nli/src/verifier.rs
+
+/root/repo/target/release/deps/cyclesql_nli-a37a61214125ecfa: crates/nli/src/lib.rs crates/nli/src/features.rs crates/nli/src/loss.rs crates/nli/src/mlp.rs crates/nli/src/model.rs crates/nli/src/verifier.rs
+
+crates/nli/src/lib.rs:
+crates/nli/src/features.rs:
+crates/nli/src/loss.rs:
+crates/nli/src/mlp.rs:
+crates/nli/src/model.rs:
+crates/nli/src/verifier.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cyclesql_obs-3e696a77dd5d0b1c.d: crates/obs/src/lib.rs crates/obs/src/sample.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/cyclesql_obs-3e696a77dd5d0b1c: crates/obs/src/lib.rs crates/obs/src/sample.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/sample.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cyclesql_obs-ec04d086878803f6.d: crates/obs/src/lib.rs crates/obs/src/sample.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcyclesql_obs-ec04d086878803f6.rlib: crates/obs/src/lib.rs crates/obs/src/sample.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcyclesql_obs-ec04d086878803f6.rmeta: crates/obs/src/lib.rs crates/obs/src/sample.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/sample.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

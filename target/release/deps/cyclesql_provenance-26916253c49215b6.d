@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cyclesql_provenance-26916253c49215b6.d: crates/provenance/src/lib.rs crates/provenance/src/capture.rs crates/provenance/src/empty.rs crates/provenance/src/error.rs crates/provenance/src/rewrite.rs crates/provenance/src/where_prov.rs
+
+/root/repo/target/release/deps/cyclesql_provenance-26916253c49215b6: crates/provenance/src/lib.rs crates/provenance/src/capture.rs crates/provenance/src/empty.rs crates/provenance/src/error.rs crates/provenance/src/rewrite.rs crates/provenance/src/where_prov.rs
+
+crates/provenance/src/lib.rs:
+crates/provenance/src/capture.rs:
+crates/provenance/src/empty.rs:
+crates/provenance/src/error.rs:
+crates/provenance/src/rewrite.rs:
+crates/provenance/src/where_prov.rs:

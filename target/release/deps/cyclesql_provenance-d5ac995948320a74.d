@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cyclesql_provenance-d5ac995948320a74.d: crates/provenance/src/lib.rs crates/provenance/src/capture.rs crates/provenance/src/empty.rs crates/provenance/src/error.rs crates/provenance/src/rewrite.rs crates/provenance/src/where_prov.rs
+
+/root/repo/target/release/deps/libcyclesql_provenance-d5ac995948320a74.rlib: crates/provenance/src/lib.rs crates/provenance/src/capture.rs crates/provenance/src/empty.rs crates/provenance/src/error.rs crates/provenance/src/rewrite.rs crates/provenance/src/where_prov.rs
+
+/root/repo/target/release/deps/libcyclesql_provenance-d5ac995948320a74.rmeta: crates/provenance/src/lib.rs crates/provenance/src/capture.rs crates/provenance/src/empty.rs crates/provenance/src/error.rs crates/provenance/src/rewrite.rs crates/provenance/src/where_prov.rs
+
+crates/provenance/src/lib.rs:
+crates/provenance/src/capture.rs:
+crates/provenance/src/empty.rs:
+crates/provenance/src/error.rs:
+crates/provenance/src/rewrite.rs:
+crates/provenance/src/where_prov.rs:

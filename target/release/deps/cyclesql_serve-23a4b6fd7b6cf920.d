@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cyclesql_serve-23a4b6fd7b6cf920.d: crates/serve/src/lib.rs crates/serve/src/catalog.rs crates/serve/src/engine.rs crates/serve/src/metrics.rs crates/serve/src/plan_cache.rs crates/serve/src/prometheus.rs
+
+/root/repo/target/release/deps/cyclesql_serve-23a4b6fd7b6cf920: crates/serve/src/lib.rs crates/serve/src/catalog.rs crates/serve/src/engine.rs crates/serve/src/metrics.rs crates/serve/src/plan_cache.rs crates/serve/src/prometheus.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/catalog.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/plan_cache.rs:
+crates/serve/src/prometheus.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cyclesql_serve-b615e50c858fd7a3.d: crates/serve/src/lib.rs crates/serve/src/catalog.rs crates/serve/src/engine.rs crates/serve/src/metrics.rs crates/serve/src/plan_cache.rs crates/serve/src/prometheus.rs
+
+/root/repo/target/release/deps/libcyclesql_serve-b615e50c858fd7a3.rlib: crates/serve/src/lib.rs crates/serve/src/catalog.rs crates/serve/src/engine.rs crates/serve/src/metrics.rs crates/serve/src/plan_cache.rs crates/serve/src/prometheus.rs
+
+/root/repo/target/release/deps/libcyclesql_serve-b615e50c858fd7a3.rmeta: crates/serve/src/lib.rs crates/serve/src/catalog.rs crates/serve/src/engine.rs crates/serve/src/metrics.rs crates/serve/src/plan_cache.rs crates/serve/src/prometheus.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/catalog.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/plan_cache.rs:
+crates/serve/src/prometheus.rs:

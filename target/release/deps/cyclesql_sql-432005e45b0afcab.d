@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cyclesql_sql-432005e45b0afcab.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/canonical.rs crates/sql/src/difficulty.rs crates/sql/src/error.rs crates/sql/src/parser.rs crates/sql/src/printer.rs crates/sql/src/token.rs crates/sql/src/units.rs
+
+/root/repo/target/release/deps/cyclesql_sql-432005e45b0afcab: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/canonical.rs crates/sql/src/difficulty.rs crates/sql/src/error.rs crates/sql/src/parser.rs crates/sql/src/printer.rs crates/sql/src/token.rs crates/sql/src/units.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/canonical.rs:
+crates/sql/src/difficulty.rs:
+crates/sql/src/error.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:
+crates/sql/src/token.rs:
+crates/sql/src/units.rs:

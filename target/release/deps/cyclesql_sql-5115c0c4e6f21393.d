@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cyclesql_sql-5115c0c4e6f21393.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/canonical.rs crates/sql/src/difficulty.rs crates/sql/src/error.rs crates/sql/src/parser.rs crates/sql/src/printer.rs crates/sql/src/token.rs crates/sql/src/units.rs
+
+/root/repo/target/release/deps/libcyclesql_sql-5115c0c4e6f21393.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/canonical.rs crates/sql/src/difficulty.rs crates/sql/src/error.rs crates/sql/src/parser.rs crates/sql/src/printer.rs crates/sql/src/token.rs crates/sql/src/units.rs
+
+/root/repo/target/release/deps/libcyclesql_sql-5115c0c4e6f21393.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/canonical.rs crates/sql/src/difficulty.rs crates/sql/src/error.rs crates/sql/src/parser.rs crates/sql/src/printer.rs crates/sql/src/token.rs crates/sql/src/units.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/canonical.rs:
+crates/sql/src/difficulty.rs:
+crates/sql/src/error.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:
+crates/sql/src/token.rs:
+crates/sql/src/units.rs:

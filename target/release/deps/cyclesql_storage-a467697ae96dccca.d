@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/cyclesql_storage-a467697ae96dccca.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/compile.rs crates/storage/src/error.rs crates/storage/src/exec.rs crates/storage/src/ir.rs crates/storage/src/plan.rs crates/storage/src/profile.rs crates/storage/src/reference.rs crates/storage/src/result.rs crates/storage/src/run.rs crates/storage/src/scalar.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libcyclesql_storage-a467697ae96dccca.rlib: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/compile.rs crates/storage/src/error.rs crates/storage/src/exec.rs crates/storage/src/ir.rs crates/storage/src/plan.rs crates/storage/src/profile.rs crates/storage/src/reference.rs crates/storage/src/result.rs crates/storage/src/run.rs crates/storage/src/scalar.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libcyclesql_storage-a467697ae96dccca.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/compile.rs crates/storage/src/error.rs crates/storage/src/exec.rs crates/storage/src/ir.rs crates/storage/src/plan.rs crates/storage/src/profile.rs crates/storage/src/reference.rs crates/storage/src/result.rs crates/storage/src/run.rs crates/storage/src/scalar.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/compile.rs:
+crates/storage/src/error.rs:
+crates/storage/src/exec.rs:
+crates/storage/src/ir.rs:
+crates/storage/src/plan.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/reference.rs:
+crates/storage/src/result.rs:
+crates/storage/src/run.rs:
+crates/storage/src/scalar.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/cyclesql_storage-fbe3436fb3cc052c.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/compile.rs crates/storage/src/error.rs crates/storage/src/exec.rs crates/storage/src/ir.rs crates/storage/src/plan.rs crates/storage/src/profile.rs crates/storage/src/reference.rs crates/storage/src/result.rs crates/storage/src/run.rs crates/storage/src/scalar.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/compiled_tests.rs crates/storage/src/exec_tests.rs
+
+/root/repo/target/release/deps/cyclesql_storage-fbe3436fb3cc052c: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/compile.rs crates/storage/src/error.rs crates/storage/src/exec.rs crates/storage/src/ir.rs crates/storage/src/plan.rs crates/storage/src/profile.rs crates/storage/src/reference.rs crates/storage/src/result.rs crates/storage/src/run.rs crates/storage/src/scalar.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/compiled_tests.rs crates/storage/src/exec_tests.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/compile.rs:
+crates/storage/src/error.rs:
+crates/storage/src/exec.rs:
+crates/storage/src/ir.rs:
+crates/storage/src/plan.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/reference.rs:
+crates/storage/src/result.rs:
+crates/storage/src/run.rs:
+crates/storage/src/scalar.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+crates/storage/src/compiled_tests.rs:
+crates/storage/src/exec_tests.rs:

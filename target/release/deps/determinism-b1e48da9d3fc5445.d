@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-b1e48da9d3fc5445.d: crates/serve/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-b1e48da9d3fc5445: crates/serve/tests/determinism.rs
+
+crates/serve/tests/determinism.rs:

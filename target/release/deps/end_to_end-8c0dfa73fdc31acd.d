@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-8c0dfa73fdc31acd.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-8c0dfa73fdc31acd: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_counters-2b18086e8490a9d2.d: tests/engine_counters.rs
+
+/root/repo/target/release/deps/engine_counters-2b18086e8490a9d2: tests/engine_counters.rs
+
+tests/engine_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explain_sql-d0b861517ff08f91.d: crates/bench/src/bin/explain_sql.rs
+
+/root/repo/target/release/deps/explain_sql-d0b861517ff08f91: crates/bench/src/bin/explain_sql.rs
+
+crates/bench/src/bin/explain_sql.rs:

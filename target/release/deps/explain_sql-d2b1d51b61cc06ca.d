@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explain_sql-d2b1d51b61cc06ca.d: crates/bench/src/bin/explain_sql.rs
+
+/root/repo/target/release/deps/explain_sql-d2b1d51b61cc06ca: crates/bench/src/bin/explain_sql.rs
+
+crates/bench/src/bin/explain_sql.rs:

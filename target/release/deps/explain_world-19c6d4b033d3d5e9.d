@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explain_world-19c6d4b033d3d5e9.d: examples/explain_world.rs
+
+/root/repo/target/release/deps/explain_world-19c6d4b033d3d5e9: examples/explain_world.rs
+
+examples/explain_world.rs:

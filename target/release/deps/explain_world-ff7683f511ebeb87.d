@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explain_world-ff7683f511ebeb87.d: examples/explain_world.rs
+
+/root/repo/target/release/deps/explain_world-ff7683f511ebeb87: examples/explain_world.rs
+
+examples/explain_world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions_tour-3e04f274398f439d.d: examples/extensions_tour.rs
+
+/root/repo/target/release/deps/extensions_tour-3e04f274398f439d: examples/extensions_tour.rs
+
+examples/extensions_tour.rs:

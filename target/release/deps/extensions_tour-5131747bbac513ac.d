@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions_tour-5131747bbac513ac.d: examples/extensions_tour.rs
+
+/root/repo/target/release/deps/extensions_tour-5131747bbac513ac: examples/extensions_tour.rs
+
+examples/extensions_tour.rs:

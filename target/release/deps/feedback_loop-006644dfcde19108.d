@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/feedback_loop-006644dfcde19108.d: examples/feedback_loop.rs
+
+/root/repo/target/release/deps/feedback_loop-006644dfcde19108: examples/feedback_loop.rs
+
+examples/feedback_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/feedback_loop-d664d41c91acaf8f.d: examples/feedback_loop.rs
+
+/root/repo/target/release/deps/feedback_loop-d664d41c91acaf8f: examples/feedback_loop.rs
+
+examples/feedback_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nlidb_demo-06c16120bf3c29d7.d: examples/nlidb_demo.rs
+
+/root/repo/target/release/deps/nlidb_demo-06c16120bf3c29d7: examples/nlidb_demo.rs
+
+examples/nlidb_demo.rs:

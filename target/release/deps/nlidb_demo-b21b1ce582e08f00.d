@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nlidb_demo-b21b1ce582e08f00.d: examples/nlidb_demo.rs
+
+/root/repo/target/release/deps/nlidb_demo-b21b1ce582e08f00: examples/nlidb_demo.rs
+
+examples/nlidb_demo.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-3dbce18587894388.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3dbce18587894388.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3dbce18587894388.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

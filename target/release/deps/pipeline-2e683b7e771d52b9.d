@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-2e683b7e771d52b9.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-2e683b7e771d52b9: tests/pipeline.rs
+
+tests/pipeline.rs:

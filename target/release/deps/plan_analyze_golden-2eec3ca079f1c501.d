@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plan_analyze_golden-2eec3ca079f1c501.d: tests/plan_analyze_golden.rs
+
+/root/repo/target/release/deps/plan_analyze_golden-2eec3ca079f1c501: tests/plan_analyze_golden.rs
+
+tests/plan_analyze_golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-219b12d0a1fa0341.d: .stubs/proptest/src/lib.rs .stubs/proptest/src/strategy.rs .stubs/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-219b12d0a1fa0341.rlib: .stubs/proptest/src/lib.rs .stubs/proptest/src/strategy.rs .stubs/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-219b12d0a1fa0341.rmeta: .stubs/proptest/src/lib.rs .stubs/proptest/src/strategy.rs .stubs/proptest/src/test_runner.rs
+
+.stubs/proptest/src/lib.rs:
+.stubs/proptest/src/strategy.rs:
+.stubs/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_exec-7baae58b929b53cd.d: crates/storage/tests/proptest_exec.rs
+
+/root/repo/target/release/deps/proptest_exec-7baae58b929b53cd: crates/storage/tests/proptest_exec.rs
+
+crates/storage/tests/proptest_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_roundtrip-91296589ca620a81.d: crates/sql/tests/proptest_roundtrip.rs
+
+/root/repo/target/release/deps/proptest_roundtrip-91296589ca620a81: crates/sql/tests/proptest_roundtrip.rs
+
+crates/sql/tests/proptest_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/provenance_tour-be722d9413150791.d: examples/provenance_tour.rs
+
+/root/repo/target/release/deps/provenance_tour-be722d9413150791: examples/provenance_tour.rs
+
+examples/provenance_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/provenance_tour-f1eba4e049960b6d.d: examples/provenance_tour.rs
+
+/root/repo/target/release/deps/provenance_tour-f1eba4e049960b6d: examples/provenance_tour.rs
+
+examples/provenance_tour.rs:

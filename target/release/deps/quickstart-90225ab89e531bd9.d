@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-90225ab89e531bd9.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-90225ab89e531bd9: examples/quickstart.rs
+
+examples/quickstart.rs:

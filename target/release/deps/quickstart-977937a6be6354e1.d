@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-977937a6be6354e1.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-977937a6be6354e1: examples/quickstart.rs
+
+examples/quickstart.rs:

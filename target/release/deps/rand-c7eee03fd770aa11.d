@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-c7eee03fd770aa11.d: .stubs/rand/src/lib.rs .stubs/rand/src/seq.rs .stubs/rand/src/std_rng.rs .stubs/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-c7eee03fd770aa11.rlib: .stubs/rand/src/lib.rs .stubs/rand/src/seq.rs .stubs/rand/src/std_rng.rs .stubs/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-c7eee03fd770aa11.rmeta: .stubs/rand/src/lib.rs .stubs/rand/src/seq.rs .stubs/rand/src/std_rng.rs .stubs/rand/src/uniform.rs
+
+.stubs/rand/src/lib.rs:
+.stubs/rand/src/seq.rs:
+.stubs/rand/src/std_rng.rs:
+.stubs/rand/src/uniform.rs:

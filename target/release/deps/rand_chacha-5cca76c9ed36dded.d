@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-5cca76c9ed36dded.d: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-5cca76c9ed36dded.rlib: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-5cca76c9ed36dded.rmeta: .stubs/rand_chacha/src/lib.rs
+
+.stubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-4dfd380d9cec1924.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-4dfd380d9cec1924: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

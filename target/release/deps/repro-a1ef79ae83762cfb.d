@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-a1ef79ae83762cfb.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-a1ef79ae83762cfb: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

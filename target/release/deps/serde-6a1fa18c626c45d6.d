@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-6a1fa18c626c45d6.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-6a1fa18c626c45d6.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-6a1fa18c626c45d6.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2af7981bd54111af.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2af7981bd54111af.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

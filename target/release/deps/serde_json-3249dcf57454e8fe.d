@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-3249dcf57454e8fe.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3249dcf57454e8fe.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3249dcf57454e8fe.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_bench-01a087828b7f8cf0.d: crates/bench/src/bin/serve_bench.rs
+
+/root/repo/target/release/deps/serve_bench-01a087828b7f8cf0: crates/bench/src/bin/serve_bench.rs
+
+crates/bench/src/bin/serve_bench.rs:

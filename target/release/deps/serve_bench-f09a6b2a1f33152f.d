@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_bench-f09a6b2a1f33152f.d: crates/bench/src/bin/serve_bench.rs
+
+/root/repo/target/release/deps/serve_bench-f09a6b2a1f33152f: crates/bench/src/bin/serve_bench.rs
+
+crates/bench/src/bin/serve_bench.rs:

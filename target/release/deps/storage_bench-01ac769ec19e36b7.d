@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storage_bench-01ac769ec19e36b7.d: crates/bench/src/bin/storage_bench.rs
+
+/root/repo/target/release/deps/storage_bench-01ac769ec19e36b7: crates/bench/src/bin/storage_bench.rs
+
+crates/bench/src/bin/storage_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storage_bench-dae1235b58fa4833.d: crates/bench/src/bin/storage_bench.rs
+
+/root/repo/target/release/deps/storage_bench-dae1235b58fa4833: crates/bench/src/bin/storage_bench.rs
+
+crates/bench/src/bin/storage_bench.rs:

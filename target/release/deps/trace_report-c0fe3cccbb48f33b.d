@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_report-c0fe3cccbb48f33b.d: crates/bench/src/bin/trace_report.rs
+
+/root/repo/target/release/deps/trace_report-c0fe3cccbb48f33b: crates/bench/src/bin/trace_report.rs
+
+crates/bench/src/bin/trace_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_report-f8d15192c705ef41.d: crates/bench/src/bin/trace_report.rs
+
+/root/repo/target/release/deps/trace_report-f8d15192c705ef41: crates/bench/src/bin/trace_report.rs
+
+crates/bench/src/bin/trace_report.rs:
