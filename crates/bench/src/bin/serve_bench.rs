@@ -21,7 +21,9 @@
 //!
 //! Usage: `serve_bench [--requests N] [--workers CSV] [--out PATH] [--quick]`
 
-use cyclesql_benchgen::{build_science_suite, build_spider_suite, BenchmarkItem, SuiteConfig, Variant};
+use cyclesql_benchgen::{
+    build_science_suite, build_spider_suite, BenchmarkItem, SuiteConfig, Variant,
+};
 use cyclesql_core::{CycleSql, LoopVerifier};
 use cyclesql_models::{ModelProfile, SimulatedModel};
 use cyclesql_nli::AlwaysAcceptVerifier;
@@ -59,7 +61,11 @@ impl LatencySummary {
             p50_ms: pick(0.50),
             p95_ms: pick(0.95),
             p99_ms: pick(0.99),
-            mean_ms: if ms.is_empty() { 0.0 } else { ms.iter().sum::<f64>() / ms.len() as f64 },
+            mean_ms: if ms.is_empty() {
+                0.0
+            } else {
+                ms.iter().sum::<f64>() / ms.len() as f64
+            },
         }
     }
 }
@@ -67,6 +73,11 @@ impl LatencySummary {
 #[derive(Serialize)]
 struct ClosedLoopRun {
     workers: usize,
+    /// Idle-engine intra-query morsel width (1 = parallelism off). The
+    /// engine divides this by live occupancy, so at closed-loop saturation
+    /// the effective width degrades toward 1 — the run pair demonstrates
+    /// the no-oversubscription cap rather than raw parallel speedup.
+    intra_query_threads: usize,
     clients: usize,
     requests: usize,
     elapsed_secs: f64,
@@ -101,9 +112,16 @@ struct Report {
 /// the whole set repeated so every run re-sees each question at least once.
 fn workload(requests: usize, quick: bool) -> (Arc<Catalog>, Vec<Arc<BenchmarkItem>>, usize) {
     let config = if quick {
-        SuiteConfig { seed: 0x5EB4E, train_per_template: 1, eval_per_template: 2 }
+        SuiteConfig {
+            seed: 0x5EB4E,
+            train_per_template: 1,
+            eval_per_template: 2,
+        }
     } else {
-        SuiteConfig { seed: 0x5EB4E, ..SuiteConfig::default() }
+        SuiteConfig {
+            seed: 0x5EB4E,
+            ..SuiteConfig::default()
+        }
     };
     let spider = build_spider_suite(Variant::Spider, config);
     let science = build_science_suite(config);
@@ -117,24 +135,42 @@ fn workload(requests: usize, quick: bool) -> (Arc<Catalog>, Vec<Arc<BenchmarkIte
     // question recurs at least twice and the plan cache has hits to find
     // even on short runs.
     distinct.truncate((requests / 2).max(1));
-    let items: Vec<Arc<BenchmarkItem>> =
-        (0..requests).map(|i| Arc::clone(&distinct[i % distinct.len()])).collect();
+    let items: Vec<Arc<BenchmarkItem>> = (0..requests)
+        .map(|i| Arc::clone(&distinct[i % distinct.len()]))
+        .collect();
     (catalog, items, distinct.len())
 }
 
-fn engine(catalog: &Arc<Catalog>, workers: usize, policy: AdmissionPolicy, queue: usize) -> ServiceEngine {
+fn engine(
+    catalog: &Arc<Catalog>,
+    workers: usize,
+    policy: AdmissionPolicy,
+    queue: usize,
+    intra: usize,
+) -> ServiceEngine {
     ServiceEngine::start(
         Arc::clone(catalog),
         SimulatedModel::new(ModelProfile::resdsql_3b()),
         // AlwaysAccept drives the full pipeline (execute → provenance →
         // explain → verify) on every request, unlike the oracle shortcut.
         CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier)),
-        ServeConfig { workers, queue_capacity: queue, policy, ..ServeConfig::default() },
+        ServeConfig {
+            workers,
+            queue_capacity: queue,
+            policy,
+            intra_query_threads: intra,
+            ..ServeConfig::default()
+        },
     )
 }
 
-fn closed_loop(catalog: &Arc<Catalog>, items: &[Arc<BenchmarkItem>], workers: usize) -> ClosedLoopRun {
-    let eng = engine(catalog, workers, AdmissionPolicy::Block, 64);
+fn closed_loop(
+    catalog: &Arc<Catalog>,
+    items: &[Arc<BenchmarkItem>],
+    workers: usize,
+    intra: usize,
+) -> ClosedLoopRun {
+    let eng = engine(catalog, workers, AdmissionPolicy::Block, 64, intra);
     let clients = workers * 2;
     let next = AtomicUsize::new(0);
     let started = Instant::now();
@@ -152,8 +188,10 @@ fn closed_loop(catalog: &Arc<Catalog>, items: &[Arc<BenchmarkItem>], workers: us
                             return mine;
                         }
                         let t0 = Instant::now();
-                        eng.call(ServeRequest { item: Arc::clone(&items[i]) })
-                            .expect("closed-loop request serves");
+                        eng.call(ServeRequest {
+                            item: Arc::clone(&items[i]),
+                        })
+                        .expect("closed-loop request serves");
                         mine.push(t0.elapsed().as_secs_f64() * 1e3);
                     }
                 })
@@ -166,6 +204,7 @@ fn closed_loop(catalog: &Arc<Catalog>, items: &[Arc<BenchmarkItem>], workers: us
     let elapsed = started.elapsed().as_secs_f64();
     ClosedLoopRun {
         workers,
+        intra_query_threads: intra,
         clients,
         requests: items.len(),
         elapsed_secs: elapsed,
@@ -185,7 +224,7 @@ fn open_loop(
     // A short queue (2 per worker) so overload actually engages the
     // admission policy instead of being absorbed by queueing slack.
     let queue = (workers * 2).max(4);
-    let eng = engine(catalog, workers, policy, queue);
+    let eng = engine(catalog, workers, policy, queue, 1);
     let interval = Duration::from_secs_f64(1.0 / offered_rps);
     let (done_tx, done_rx) = mpsc::channel::<(Instant, Ticket)>();
     let done_rx = Arc::new(std::sync::Mutex::new(done_rx));
@@ -219,7 +258,9 @@ fn open_loop(
                 std::thread::sleep(wait);
             }
             let t0 = Instant::now();
-            if let Ok(ticket) = eng.submit(ServeRequest { item: Arc::clone(item) }) {
+            if let Ok(ticket) = eng.submit(ServeRequest {
+                item: Arc::clone(item),
+            }) {
                 done_tx.send((t0, ticket)).expect("collectors alive");
             }
         }
@@ -257,7 +298,10 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--requests" => {
-                requests = args.next().and_then(|v| v.parse().ok()).expect("--requests N");
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests N");
             }
             "--workers" => {
                 workers = args
@@ -285,22 +329,32 @@ fn main() {
         catalog.len()
     );
 
-    let closed: Vec<ClosedLoopRun> = workers
-        .iter()
-        .map(|&w| {
-            let run = closed_loop(&catalog, &items, w);
+    // Each worker count runs with intra-query parallelism off (1) and on
+    // (4): the occupancy-divided cap means the pair should track each
+    // other at closed-loop saturation while "on" helps when workers idle.
+    let mut closed: Vec<ClosedLoopRun> = Vec::new();
+    for &w in &workers {
+        for intra in [1, 4] {
+            let run = closed_loop(&catalog, &items, w, intra);
             eprintln!(
-                "closed loop  workers={w}: {:.0} req/s, p99 {:.2} ms, cache hit rate {:.2}",
+                "closed loop  workers={w} intra={intra}: {:.0} req/s, p99 {:.2} ms, \
+                 cache hit rate {:.2}",
                 run.throughput_rps, run.latency.p99_ms, run.metrics.cache_hit_rate
             );
-            run
-        })
-        .collect();
+            closed.push(run);
+        }
+    }
 
     // Open loop at the largest worker count: offered load below and above
-    // the capacity the closed-loop runs just measured.
+    // the capacity the closed-loop runs just measured (the parallelism-off
+    // baseline, so offered rates stay comparable across revisions).
     let top = *workers.last().expect("at least one worker count");
-    let capacity = closed.last().expect("closed-loop runs").throughput_rps;
+    let capacity = closed
+        .iter()
+        .rev()
+        .find(|r| r.workers == top && r.intra_query_threads == 1)
+        .expect("closed-loop runs")
+        .throughput_rps;
     let mut open: Vec<OpenLoopRun> = Vec::new();
     for (policy, factor) in [
         (AdmissionPolicy::Shed, 0.5),

@@ -13,11 +13,18 @@
 //! the reference interpreter; `columnar_speedup` is the columnar engine
 //! over the row engine, i.e. what vectorization itself buys.
 //!
-//! Usage: `storage_bench [--iters N] [--out PATH] [--quick] [--engine row|columnar|reference|all]`
+//! `--threads N` additionally times the columnar engine with an N-wide
+//! morsel pool; `--threads sweep` times every width in {2, 4, 8}.
+//! `parallel_speedup` is single-threaded columnar over the widest timed
+//! pool — what intra-query parallelism buys on this host (`host_threads`
+//! records how many cores were actually available; on a single-core host
+//! the honest expectation is ~1×, minus pool overhead).
+//!
+//! Usage: `storage_bench [--iters N] [--out PATH] [--quick] [--engine row|columnar|reference|all] [--threads N|sweep]`
 
 use cyclesql_benchgen::{build_science_suite, build_spider_suite, Split, SuiteConfig, Variant};
 use cyclesql_sql::{parse, Expr, Query, QueryBody};
-use cyclesql_storage::{compile, reference, Database};
+use cyclesql_storage::{compile, reference, Database, ExecOpts};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -75,6 +82,8 @@ struct ClassAccum {
     reference_secs: f64,
     row_secs: f64,
     columnar_secs: f64,
+    /// Seconds per timed morsel-pool width (keyed by thread count).
+    parallel_secs: BTreeMap<usize, f64>,
     compile_secs: f64,
 }
 
@@ -89,6 +98,13 @@ struct ClassReport {
     speedup: f64,
     /// Columnar engine vs the row engine (vectorization win).
     columnar_speedup: f64,
+    /// Columnar throughput per timed morsel-pool width (key = threads).
+    #[serde(skip_serializing_if = "BTreeMap::is_empty")]
+    parallel_qps: BTreeMap<String, f64>,
+    /// Single-threaded columnar vs the widest timed pool (the intra-query
+    /// parallelism win on this host).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    parallel_speedup: Option<f64>,
     compile_ms_total: f64,
 }
 
@@ -97,12 +113,19 @@ struct Report {
     suite_queries: usize,
     iters_per_query: usize,
     engines: Vec<String>,
+    /// Morsel-pool widths timed by `--threads` (empty without the flag).
+    threads: Vec<usize>,
+    /// Cores actually available to this run — the ceiling on any
+    /// honest `parallel_speedup`.
+    host_threads: usize,
     classes: BTreeMap<String, ClassReport>,
     overall_reference_qps: f64,
     overall_row_qps: f64,
     overall_columnar_qps: f64,
     overall_speedup: f64,
     overall_columnar_speedup: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    overall_parallel_speedup: Option<f64>,
 }
 
 fn ratio(num: f64, den: f64) -> f64 {
@@ -118,6 +141,7 @@ fn main() {
     let mut out = String::from("BENCH_storage.json");
     let mut quick = false;
     let mut engines: Vec<&'static str> = vec!["reference", "row", "columnar"];
+    let mut thread_widths: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -126,6 +150,14 @@ fn main() {
             }
             "--out" => out = args.next().expect("--out PATH"),
             "--quick" => quick = true,
+            "--threads" => {
+                let v = args.next().expect("--threads N|sweep");
+                thread_widths = match v.as_str() {
+                    "sweep" => vec![2, 4, 8],
+                    n => vec![n.parse().expect("--threads N|sweep")],
+                };
+                thread_widths.retain(|&t| t > 1);
+            }
             "--engine" => {
                 let v = args.next().expect("--engine row|columnar|reference|all");
                 engines = match v.as_str() {
@@ -225,6 +257,18 @@ fn main() {
             }
             acc.columnar_secs += t0.elapsed().as_secs_f64();
         }
+
+        for &threads in &thread_widths {
+            let opts = ExecOpts {
+                threads,
+                ..ExecOpts::default()
+            };
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(compiled.run_opts(db, &opts).unwrap());
+            }
+            *acc.parallel_secs.entry(threads).or_default() += t0.elapsed().as_secs_f64();
+        }
     }
 
     let qps = |queries: usize, secs: f64| {
@@ -234,13 +278,18 @@ fn main() {
             0.0
         }
     };
+    // The headline `parallel_speedup` compares against the widest pool.
+    let widest = thread_widths.iter().copied().max();
     let mut classes = BTreeMap::new();
     let (mut tot_q, mut tot_ref, mut tot_row, mut tot_col) = (0usize, 0.0f64, 0.0f64, 0.0f64);
+    let mut tot_par = 0.0f64;
     for (class, acc) in &accum {
         tot_q += acc.queries;
         tot_ref += acc.reference_secs;
         tot_row += acc.row_secs;
         tot_col += acc.columnar_secs;
+        let widest_secs = widest.map(|t| acc.parallel_secs[&t]);
+        tot_par += widest_secs.unwrap_or(0.0);
         classes.insert(
             class.to_string(),
             ClassReport {
@@ -251,6 +300,12 @@ fn main() {
                 columnar_qps: qps(acc.queries, acc.columnar_secs),
                 speedup: ratio(acc.reference_secs, acc.row_secs),
                 columnar_speedup: ratio(acc.row_secs, acc.columnar_secs),
+                parallel_qps: acc
+                    .parallel_secs
+                    .iter()
+                    .map(|(&t, &secs)| (t.to_string(), qps(acc.queries, secs)))
+                    .collect(),
+                parallel_speedup: widest_secs.map(|secs| ratio(acc.columnar_secs, secs)),
                 compile_ms_total: acc.compile_secs * 1e3,
             },
         );
@@ -259,12 +314,15 @@ fn main() {
         suite_queries: tot_q,
         iters_per_query: iters,
         engines: engines.iter().map(|e| e.to_string()).collect(),
+        threads: thread_widths.clone(),
+        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
         classes,
         overall_reference_qps: qps(tot_q, tot_ref),
         overall_row_qps: qps(tot_q, tot_row),
         overall_columnar_qps: qps(tot_q, tot_col),
         overall_speedup: ratio(tot_ref, tot_row),
         overall_columnar_speedup: ratio(tot_row, tot_col),
+        overall_parallel_speedup: widest.map(|_| ratio(tot_col, tot_par)),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write report");

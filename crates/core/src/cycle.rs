@@ -12,7 +12,7 @@ use cyclesql_nli::{
 use cyclesql_obs::SpanCtx;
 use cyclesql_provenance::{track_provenance, Provenance, ProvenanceTable};
 use cyclesql_sql::{parse, Query};
-use cyclesql_storage::{compile, execute, CompiledQuery, Database, ResultSet};
+use cyclesql_storage::{compile, execute, CompiledQuery, Database, ExecOpts, ResultSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -121,6 +121,11 @@ pub struct RunControls<'a> {
     /// execution and attach it to the `execute` stage span. Ignored when
     /// `span` is disabled; the candidate still executes exactly once.
     pub analyze: bool,
+    /// Intra-query morsel workers per candidate execution. `0` or `1`
+    /// executes single-threaded; serving callers derive this from their
+    /// own pool occupancy so intra-query parallelism never oversubscribes
+    /// the host. Results are bit-identical at every setting.
+    pub exec_threads: usize,
 }
 
 impl RunControls<'_> {
@@ -162,7 +167,10 @@ pub struct LoopOutcome {
 impl CycleSql {
     /// Builds a loop with the given verifier and data-grounded feedback.
     pub fn new(verifier: LoopVerifier) -> Self {
-        CycleSql { verifier, feedback: FeedbackKind::DataGrounded }
+        CycleSql {
+            verifier,
+            feedback: FeedbackKind::DataGrounded,
+        }
     }
 
     /// Runs the feedback loop over ranked string candidates.
@@ -190,9 +198,9 @@ impl CycleSql {
             })
             .collect();
         let gold_result = match &self.verifier {
-            LoopVerifier::Oracle => {
-                parse(&item.gold_sql).ok().and_then(|q| execute(db, &q).ok())
-            }
+            LoopVerifier::Oracle => parse(&item.gold_sql)
+                .ok()
+                .and_then(|q| execute(db, &q).ok()),
             _ => None,
         };
         self.run_prepared(item, db, &prepared, gold_result.as_ref())
@@ -261,20 +269,27 @@ impl CycleSql {
             let exec_span = cand_span.as_ref().map(|s| s.child("execute"));
             let t = Instant::now();
             let plan = controls.plans.and_then(|p| p.plan(db, &cand.sql, query));
+            // Morsel workers trace under the execute stage span, so traces
+            // show which candidate ran in parallel and how wide.
+            let opts = ExecOpts {
+                threads: controls.exec_threads.max(1),
+                span: exec_span.as_ref().map_or(SpanCtx::none(), SpanCtx::of),
+                ..ExecOpts::default()
+            };
             let mut executed;
             if controls.analyze && exec_span.is_some() {
                 // Analyzed execution: same single run, instrumented.
                 let analyzed = match &plan {
-                    Some(plan) => plan.run_analyzed(db),
-                    None => compile(db, query).and_then(|c| c.run_analyzed(db)),
+                    Some(plan) => plan.run_opts_analyzed(db, &opts),
+                    None => compile(db, query).and_then(|c| c.run_opts_analyzed(db, &opts)),
                 };
                 executed = analyzed.map(|(out, profile)| (out.result, Some(profile)));
             } else {
                 executed = match &plan {
-                    Some(plan) => plan.run_result(db),
-                    None => execute(db, query),
+                    Some(plan) => plan.run_opts(db, &opts),
+                    None => compile(db, query).and_then(|c| c.run_opts(db, &opts)),
                 }
-                .map(|r| (r, None));
+                .map(|(out, _)| (out.result, None));
             }
             stages.execute += t.elapsed();
             if let Some(mut s) = exec_span {
@@ -433,8 +448,15 @@ impl CycleSql {
             None => LoopOutcome {
                 // Nothing validated: fall back to the top-1 candidate. A
                 // timed-out run reports only the candidates it examined.
-                chosen_sql: candidates.first().map(|c| c.sql.clone()).unwrap_or_default(),
-                iterations: if timed_out { examined } else { candidates.len() },
+                chosen_sql: candidates
+                    .first()
+                    .map(|c| c.sql.clone())
+                    .unwrap_or_default(),
+                iterations: if timed_out {
+                    examined
+                } else {
+                    candidates.len()
+                },
                 accepted: false,
                 explanation: first_explained,
                 overhead,
@@ -484,8 +506,8 @@ pub fn premise_from_parts(
     match feedback {
         FeedbackKind::DataGrounded => {
             let result = result?;
-            let prov = track_provenance(db, query, result, 0)
-                .unwrap_or_else(|_| empty_provenance());
+            let prov =
+                track_provenance(db, query, result, 0).unwrap_or_else(|_| empty_provenance());
             let e = generate_explanation(db, query, result, 0, &prov);
             Some((e.text, e.facets))
         }
@@ -499,7 +521,10 @@ pub fn premise_from_parts(
 fn empty_provenance() -> Provenance {
     Provenance {
         rewritten: Vec::new(),
-        table: ProvenanceTable { columns: Vec::new(), rows: Vec::new() },
+        table: ProvenanceTable {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        },
         empty_result: true,
     }
 }
@@ -525,7 +550,13 @@ mod tests {
         let mut any_correct = 0usize;
         for item in suite.dev.iter().take(60) {
             let db = suite.database(item);
-            let req = TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
+            let req = TranslationRequest {
+                item,
+                db,
+                k: 8,
+                severity: 0.0,
+                science: false,
+            };
             let cands = model.translate(&req);
             let outcome = cycle.run(item, db, &cands);
             if crate::metrics::ex_correct(db, &outcome.chosen_sql, &item.gold_sql) {
@@ -547,7 +578,13 @@ mod tests {
         let cycle = CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier));
         for item in suite.dev.iter().take(20) {
             let db = suite.database(item);
-            let req = TranslationRequest { item, db, k: 8, severity: 0.0, science: false };
+            let req = TranslationRequest {
+                item,
+                db,
+                k: 8,
+                severity: 0.0,
+                science: false,
+            };
             let cands = model.translate(&req);
             let outcome = cycle.run(item, db, &cands);
             // First parseable+executable candidate is accepted; with a
@@ -568,7 +605,13 @@ mod tests {
         let cycle = CycleSql::new(LoopVerifier::Trained(TrainedVerifier { model: nli }));
         let item = &suite.dev[0];
         let db = suite.database(item);
-        let req = TranslationRequest { item, db, k: 4, severity: 0.0, science: false };
+        let req = TranslationRequest {
+            item,
+            db,
+            k: 4,
+            severity: 0.0,
+            science: false,
+        };
         let cands = model.translate(&req);
         let outcome = cycle.run(item, db, &cands);
         assert!(!outcome.accepted);
@@ -582,8 +625,16 @@ mod tests {
         let item = &suite.dev[0];
         let db = suite.database(item);
         let cands = vec![
-            Candidate { sql: "THIS IS NOT SQL @@@".into(), rank: 0, score: 1.0 },
-            Candidate { sql: item.gold_sql.clone(), rank: 1, score: 0.9 },
+            Candidate {
+                sql: "THIS IS NOT SQL @@@".into(),
+                rank: 0,
+                score: 1.0,
+            },
+            Candidate {
+                sql: item.gold_sql.clone(),
+                rank: 1,
+                score: 0.9,
+            },
         ];
         let cycle = CycleSql::new(LoopVerifier::Oracle);
         let outcome = cycle.run(item, db, &cands);
@@ -629,8 +680,16 @@ mod more_loop_tests {
         let item = &ctx.spider.dev[0];
         let db = ctx.spider.database(item);
         let candidates = vec![
-            Candidate { sql: "SELECT x FROM nonexistent_table".into(), rank: 0, score: 1.0 },
-            Candidate { sql: item.gold_sql.clone(), rank: 1, score: 0.9 },
+            Candidate {
+                sql: "SELECT x FROM nonexistent_table".into(),
+                rank: 0,
+                score: 1.0,
+            },
+            Candidate {
+                sql: item.gold_sql.clone(),
+                rank: 1,
+                score: 0.9,
+            },
         ];
         let cycle = CycleSql::new(LoopVerifier::Oracle);
         let outcome = cycle.run(item, db, &candidates);
@@ -647,7 +706,11 @@ mod more_loop_tests {
             verifier: LoopVerifier::Trained(ctx.verifier.clone()),
             feedback: FeedbackKind::Sql2Nl,
         };
-        let candidates = vec![Candidate { sql: item.gold_sql.clone(), rank: 0, score: 1.0 }];
+        let candidates = vec![Candidate {
+            sql: item.gold_sql.clone(),
+            rank: 0,
+            score: 1.0,
+        }];
         let outcome = cycle.run(item, db, &candidates);
         // SQL2NL premises never carry an explanation object.
         assert!(outcome.explanation.is_none());
@@ -660,7 +723,11 @@ mod more_loop_tests {
         let item = &ctx.spider.dev[0];
         let db = ctx.spider.database(item);
         let cycle = ctx.cycle();
-        let candidates = vec![Candidate { sql: item.gold_sql.clone(), rank: 0, score: 1.0 }];
+        let candidates = vec![Candidate {
+            sql: item.gold_sql.clone(),
+            rank: 0,
+            score: 1.0,
+        }];
         let outcome = cycle.run(item, db, &candidates);
         assert!(outcome.overhead.as_nanos() > 0);
     }
@@ -699,7 +766,10 @@ mod control_tests {
         assert!(s.explain.as_nanos() > 0, "explain stage timed");
         assert!(s.verify.as_nanos() > 0, "verify stage timed");
         assert_eq!(s.translate, Duration::ZERO, "the loop never runs the model");
-        assert!(s.loop_total() <= outcome.overhead, "stages nest inside overhead");
+        assert!(
+            s.loop_total() <= outcome.overhead,
+            "stages nest inside overhead"
+        );
         assert!(!outcome.timed_out);
     }
 
@@ -743,10 +813,12 @@ mod control_tests {
         for (idx, item) in ctx.spider.dev.iter().enumerate().take(10) {
             let db = ctx.spider.database(item);
             let gold = ctx.spider.prepared_item(cyclesql_benchgen::Split::Dev, idx);
-            let cands =
-                prepared(&[item.gold_sql.as_str(), "SELECT count(*) FROM nosuchtable"]);
+            let cands = prepared(&[item.gold_sql.as_str(), "SELECT count(*) FROM nosuchtable"]);
             let plain = cycle.run_prepared(item, db, &cands, gold.gold_result.as_deref());
-            let controls = RunControls { plans: Some(&plans), ..RunControls::default() };
+            let controls = RunControls {
+                plans: Some(&plans),
+                ..RunControls::default()
+            };
             let routed =
                 cycle.run_controlled(item, db, &cands, gold.gold_result.as_deref(), &controls);
             assert_eq!(plain.chosen_sql, routed.chosen_sql);
@@ -834,8 +906,7 @@ mod tracing_tests {
         let db = ctx.spider.database(item);
         let cycle = CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier));
         let cands = prepared(&[item.gold_sql.as_str()]);
-        let outcome =
-            cycle.run_controlled(item, db, &cands, None, &RunControls::default());
+        let outcome = cycle.run_controlled(item, db, &cands, None, &RunControls::default());
         assert!(outcome.accepted, "tracing off changes nothing");
     }
 
@@ -896,7 +967,14 @@ mod tracing_tests {
         }));
         assert!(result.is_err(), "the panic propagated");
         let records = sink.records();
-        for name in ["serve", "cycle", "execute", "provenance", "explain", "verify"] {
+        for name in [
+            "serve",
+            "cycle",
+            "execute",
+            "provenance",
+            "explain",
+            "verify",
+        ] {
             assert!(
                 records.iter().any(|r| r.name == name),
                 "{name} span reached the sink despite the panic"

@@ -20,7 +20,7 @@ use cyclesql_obs::{SpanCtx, Tracer};
 use cyclesql_sql::{parse, Query};
 use cyclesql_storage::{compile, CompiledQuery, Database, ResultSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -53,6 +53,13 @@ pub struct ServeConfig {
     pub plan_cache_shards: usize,
     /// Candidates requested from the model per question (beam size).
     pub k: usize,
+    /// Intra-query morsel workers per candidate execution when the engine
+    /// is otherwise idle. The effective width divides by the number of
+    /// in-flight requests (floor 1), so intra-query parallelism speeds up
+    /// a lightly loaded engine without oversubscribing a saturated one —
+    /// at full occupancy every query degrades to single-threaded
+    /// execution. `1` (the default) disables intra-query parallelism.
+    pub intra_query_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +72,7 @@ impl Default for ServeConfig {
             plan_cache_capacity: 1024,
             plan_cache_shards: 8,
             k: 8,
+            intra_query_threads: 1,
         }
     }
 }
@@ -171,6 +179,12 @@ struct Shared {
     analyze: bool,
     /// Monotonic request-id source.
     next_request: AtomicU64,
+    /// Idle-engine intra-query worker cap ([`ServeConfig`] knob).
+    intra_query_threads: usize,
+    /// Requests currently being processed by workers (the occupancy gauge
+    /// that divides `intra_query_threads` into each request's effective
+    /// execution width).
+    in_flight: AtomicUsize,
 }
 
 /// Per-request view of the shared plan cache: every lookup delegates to the
@@ -184,7 +198,11 @@ struct RequestPlans<'a> {
 
 impl<'a> RequestPlans<'a> {
     fn new(cache: &'a PlanCache) -> Self {
-        RequestPlans { cache, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        RequestPlans {
+            cache,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 }
 
@@ -263,6 +281,8 @@ impl ServiceEngine {
             tracer,
             analyze,
             next_request: AtomicU64::new(0),
+            intra_query_threads: config.intra_query_threads.max(1),
+            in_flight: AtomicUsize::new(0),
         });
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -379,17 +399,53 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     }
 }
 
+/// RAII occupancy ticket: registers one in-flight request on construction
+/// and reports the occupancy *including this request*, so the divisor is
+/// never zero; deregisters on drop (any exit path, including panics).
+struct InFlight<'a> {
+    gauge: &'a AtomicUsize,
+    occupancy: usize,
+}
+
+impl<'a> InFlight<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> Self {
+        let occupancy = gauge.fetch_add(1, Ordering::Relaxed) + 1;
+        InFlight { gauge, occupancy }
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Runs the full pipeline for one admitted request, inside a root `serve`
 /// span when the engine is traced.
 fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
+    // Split the idle-engine intra-query budget across whatever is running
+    // right now: an idle engine gives this request the full width, a
+    // saturated one degrades it to single-threaded execution, and total
+    // execution threads never exceed `workers × intra_query_threads /
+    // occupancy` — no oversubscription as load rises.
+    let ticket = InFlight::enter(&shared.in_flight);
+    let exec_threads = (shared.intra_query_threads / ticket.occupancy).max(1);
     let plans = RequestPlans::new(&shared.cache);
     let Some(tracer) = shared.tracer.as_ref() else {
-        return process_inner(shared, job, &plans, SpanCtx::none(), false);
+        return process_inner(shared, job, &plans, SpanCtx::none(), false, exec_threads);
     };
     let mut root = tracer.root("serve");
     root.set("request", job.id);
     root.set("db", job.item.db_name.as_str());
-    let result = process_inner(shared, job, &plans, SpanCtx::of(&root), shared.analyze);
+    root.set("exec_threads", exec_threads);
+    let result = process_inner(
+        shared,
+        job,
+        &plans,
+        SpanCtx::of(&root),
+        shared.analyze,
+        exec_threads,
+    );
     root.set("plan_hits", plans.hits.load(Ordering::Relaxed));
     root.set("plan_misses", plans.misses.load(Ordering::Relaxed));
     match &result {
@@ -420,6 +476,7 @@ fn process_inner(
     plans: &RequestPlans<'_>,
     span: SpanCtx<'_>,
     analyze: bool,
+    exec_threads: usize,
 ) -> Result<ServeResponse, ServeError> {
     let started = Instant::now();
     let metrics = &shared.metrics;
@@ -437,7 +494,13 @@ fn process_inner(
 
     let translate_span = span.child("translate");
     let t = Instant::now();
-    let request = TranslationRequest { item, db, k: shared.k, severity: 0.0, science: entry.science };
+    let request = TranslationRequest {
+        item,
+        db,
+        k: shared.k,
+        severity: 0.0,
+        science: entry.science,
+    };
     let candidates = shared.model.translate_prepared(&request, None);
     let translate = t.elapsed();
     if let Some(mut s) = translate_span {
@@ -455,19 +518,33 @@ fn process_inner(
         _ => None,
     };
 
-    let controls = RunControls { deadline: job.deadline, plans: Some(plans), span, analyze };
+    let controls = RunControls {
+        deadline: job.deadline,
+        plans: Some(plans),
+        span,
+        analyze,
+        exec_threads,
+    };
     let mut outcome =
-        shared.cycle.run_controlled(item, db, &candidates, gold_result.as_ref(), &controls);
+        shared
+            .cycle
+            .run_controlled(item, db, &candidates, gold_result.as_ref(), &controls);
     if outcome.timed_out {
         metrics.timeouts.fetch_add(1, Ordering::Relaxed);
         return Err(ServeError::DeadlineExceeded);
     }
     outcome.stages.translate = translate;
 
-    metrics.iterations.fetch_add(outcome.iterations as u64, Ordering::Relaxed);
+    metrics
+        .iterations
+        .fetch_add(outcome.iterations as u64, Ordering::Relaxed);
     let rejects = outcome.iterations - usize::from(outcome.accepted);
-    metrics.verifier_rejects.fetch_add(rejects as u64, Ordering::Relaxed);
-    metrics.verifier_accepts.fetch_add(u64::from(outcome.accepted), Ordering::Relaxed);
+    metrics
+        .verifier_rejects
+        .fetch_add(rejects as u64, Ordering::Relaxed);
+    metrics
+        .verifier_accepts
+        .fetch_add(u64::from(outcome.accepted), Ordering::Relaxed);
     metrics.stages.record(&outcome.stages, started.elapsed());
 
     Ok(ServeResponse {
@@ -491,14 +568,17 @@ mod tests {
     fn quick_suite() -> cyclesql_benchgen::BenchmarkSuite {
         build_spider_suite(
             Variant::Spider,
-            SuiteConfig { seed: 0xE16, train_per_template: 1, eval_per_template: 2 },
+            SuiteConfig {
+                seed: 0xE16,
+                train_per_template: 1,
+                eval_per_template: 2,
+            },
         )
     }
 
     fn oracle_engine(config: ServeConfig) -> (ServiceEngine, Vec<Arc<BenchmarkItem>>) {
         let suite = quick_suite();
-        let items: Vec<Arc<BenchmarkItem>> =
-            suite.dev.iter().cloned().map(Arc::new).collect();
+        let items: Vec<Arc<BenchmarkItem>> = suite.dev.iter().cloned().map(Arc::new).collect();
         let catalog = Arc::new(Catalog::from_suites([&suite]));
         let engine = ServiceEngine::start(
             catalog,
@@ -520,7 +600,10 @@ mod tests {
     impl Verifier for SlowVerifier {
         fn verify(&self, _input: &VerifyInput<'_>) -> Verdict {
             std::thread::sleep(self.per_verify);
-            Verdict { entails: self.entails, score: if self.entails { 1.0 } else { 0.0 } }
+            Verdict {
+                entails: self.entails,
+                score: if self.entails { 1.0 } else { 0.0 },
+            }
         }
         fn name(&self) -> &'static str {
             "slow"
@@ -533,13 +616,15 @@ mod tests {
         entails: bool,
     ) -> (ServiceEngine, Vec<Arc<BenchmarkItem>>) {
         let suite = quick_suite();
-        let items: Vec<Arc<BenchmarkItem>> =
-            suite.dev.iter().cloned().map(Arc::new).collect();
+        let items: Vec<Arc<BenchmarkItem>> = suite.dev.iter().cloned().map(Arc::new).collect();
         let catalog = Arc::new(Catalog::from_suites([&suite]));
         let engine = ServiceEngine::start(
             catalog,
             SimulatedModel::new(ModelProfile::resdsql_3b()),
-            CycleSql::new(LoopVerifier::Custom(Box::new(SlowVerifier { per_verify, entails }))),
+            CycleSql::new(LoopVerifier::Custom(Box::new(SlowVerifier {
+                per_verify,
+                entails,
+            }))),
             config,
         );
         (engine, items)
@@ -547,9 +632,16 @@ mod tests {
 
     #[test]
     fn serves_requests_end_to_end() {
-        let (engine, items) = oracle_engine(ServeConfig { workers: 2, ..ServeConfig::default() });
+        let (engine, items) = oracle_engine(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
         for item in items.iter().take(6) {
-            let resp = engine.call(ServeRequest { item: Arc::clone(item) }).unwrap();
+            let resp = engine
+                .call(ServeRequest {
+                    item: Arc::clone(item),
+                })
+                .unwrap();
             assert_eq!(resp.db_id, item.db_name);
             assert!(!resp.sql.is_empty());
             assert!(resp.iterations >= 1);
@@ -559,7 +651,10 @@ mod tests {
         assert_eq!(snap.completed, 6);
         assert_eq!(snap.shed, 0);
         assert_eq!(snap.stages.total.count, 6);
-        assert!(snap.cache_hits + snap.cache_misses > 0, "plans routed via cache");
+        assert!(
+            snap.cache_hits + snap.cache_misses > 0,
+            "plans routed via cache"
+        );
     }
 
     #[test]
@@ -567,7 +662,11 @@ mod tests {
         let (engine, items) = oracle_engine(ServeConfig::default());
         let mut item = (*items[0]).clone();
         item.db_name = "no_such_db".into();
-        let err = engine.call(ServeRequest { item: Arc::new(item) }).unwrap_err();
+        let err = engine
+            .call(ServeRequest {
+                item: Arc::new(item),
+            })
+            .unwrap_err();
         assert_eq!(err, ServeError::UnknownDatabase("no_such_db".into()));
         assert_eq!(engine.shutdown().unknown_db, 1);
     }
@@ -587,8 +686,13 @@ mod tests {
         // Burst 10 submissions: 1 in flight + 1 queued absorb the first
         // two; the worker sleeps 40ms per request, so the rest of the burst
         // (microseconds apart) must shed.
-        let tickets: Vec<_> =
-            (0..10).map(|i| engine.submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) })).collect();
+        let tickets: Vec<_> = (0..10)
+            .map(|i| {
+                engine.submit(ServeRequest {
+                    item: Arc::clone(&items[i % items.len()]),
+                })
+            })
+            .collect();
         let shed = tickets.iter().filter(|t| t.is_err()).count();
         assert!(shed >= 7, "burst mostly shed, got {shed}");
         for ticket in tickets.into_iter().flatten() {
@@ -597,7 +701,10 @@ mod tests {
         let snap = engine.shutdown();
         assert_eq!(snap.shed, shed as u64);
         assert_eq!(snap.admitted, 10 - shed as u64);
-        assert_eq!(snap.completed, snap.admitted, "admitted requests all drained");
+        assert_eq!(
+            snap.completed, snap.admitted,
+            "admitted requests all drained"
+        );
     }
 
     #[test]
@@ -615,7 +722,9 @@ mod tests {
         let tickets: Vec<_> = (0..8)
             .map(|i| {
                 engine
-                    .submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) })
+                    .submit(ServeRequest {
+                        item: Arc::clone(&items[i % items.len()]),
+                    })
                     .expect("block policy never sheds")
             })
             .collect();
@@ -642,38 +751,53 @@ mod tests {
             Duration::from_millis(50),
             false,
         );
-        let err = engine.call(ServeRequest { item: Arc::clone(&items[0]) }).unwrap_err();
+        let err = engine
+            .call(ServeRequest {
+                item: Arc::clone(&items[0]),
+            })
+            .unwrap_err();
         assert_eq!(err, ServeError::DeadlineExceeded);
         let snap = engine.shutdown();
         assert_eq!(snap.timeouts, 1);
-        assert_eq!(snap.stages.total.count, 0, "timed-out requests skip histograms");
+        assert_eq!(
+            snap.stages.total.count, 0,
+            "timed-out requests skip histograms"
+        );
     }
 
     fn memory_tracer() -> (Arc<Tracer>, Arc<cyclesql_obs::MemorySink>) {
         let counters = Arc::new(cyclesql_obs::ObsCounters::default());
         let sink = Arc::new(cyclesql_obs::MemorySink::new(4096, Arc::clone(&counters)));
-        let tracer =
-            Arc::new(Tracer::new(sink.clone() as Arc<dyn cyclesql_obs::SpanSink>, counters));
+        let tracer = Arc::new(Tracer::new(
+            sink.clone() as Arc<dyn cyclesql_obs::SpanSink>,
+            counters,
+        ));
         (tracer, sink)
     }
 
     #[test]
     fn traced_engine_emits_request_span_trees() {
         let suite = quick_suite();
-        let items: Vec<Arc<BenchmarkItem>> =
-            suite.dev.iter().cloned().map(Arc::new).collect();
+        let items: Vec<Arc<BenchmarkItem>> = suite.dev.iter().cloned().map(Arc::new).collect();
         let catalog = Arc::new(Catalog::from_suites([&suite]));
         let (tracer, sink) = memory_tracer();
         let engine = ServiceEngine::start_traced(
             catalog,
             SimulatedModel::new(ModelProfile::resdsql_3b()),
             CycleSql::new(LoopVerifier::Oracle),
-            ServeConfig { workers: 2, ..ServeConfig::default() },
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
             Arc::clone(&tracer),
             true,
         );
         for item in items.iter().take(4) {
-            engine.call(ServeRequest { item: Arc::clone(item) }).unwrap();
+            engine
+                .call(ServeRequest {
+                    item: Arc::clone(item),
+                })
+                .unwrap();
         }
         let snap = engine.shutdown();
         assert_eq!(snap.completed, 4);
@@ -717,8 +841,7 @@ mod tests {
     #[test]
     fn shed_requests_trace_an_error_root_span() {
         let suite = quick_suite();
-        let items: Vec<Arc<BenchmarkItem>> =
-            suite.dev.iter().cloned().map(Arc::new).collect();
+        let items: Vec<Arc<BenchmarkItem>> = suite.dev.iter().cloned().map(Arc::new).collect();
         let catalog = Arc::new(Catalog::from_suites([&suite]));
         let (tracer, sink) = memory_tracer();
         let engine = ServiceEngine::start_traced(
@@ -738,7 +861,11 @@ mod tests {
             false,
         );
         let tickets: Vec<_> = (0..10)
-            .map(|i| engine.submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) }))
+            .map(|i| {
+                engine.submit(ServeRequest {
+                    item: Arc::clone(&items[i % items.len()]),
+                })
+            })
             .collect();
         let shed = tickets.iter().filter(|t| t.is_err()).count();
         assert!(shed > 0, "burst saturated the queue");
@@ -758,21 +885,37 @@ mod tests {
                     )
             })
             .count();
-        assert_eq!(shed_roots, shed, "every shed request left an error root span");
+        assert_eq!(
+            shed_roots, shed,
+            "every shed request left an error root span"
+        );
     }
 
     #[test]
     fn shutdown_drains_admitted_requests() {
         let (engine, items) = slow_engine(
-            ServeConfig { workers: 2, queue_capacity: 16, ..ServeConfig::default() },
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 16,
+                ..ServeConfig::default()
+            },
             Duration::from_millis(10),
             true,
         );
         let tickets: Vec<_> = (0..6)
-            .map(|i| engine.submit(ServeRequest { item: Arc::clone(&items[i % items.len()]) }).unwrap())
+            .map(|i| {
+                engine
+                    .submit(ServeRequest {
+                        item: Arc::clone(&items[i % items.len()]),
+                    })
+                    .unwrap()
+            })
             .collect();
         let snap = engine.shutdown();
-        assert_eq!(snap.completed, 6, "every admitted request served before exit");
+        assert_eq!(
+            snap.completed, 6,
+            "every admitted request served before exit"
+        );
         for t in tickets {
             assert!(t.wait().is_ok(), "tickets fulfilled even after shutdown");
         }

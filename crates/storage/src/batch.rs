@@ -1,4 +1,5 @@
-//! Vectorized columnar execution for [`CompiledQuery`].
+//! Vectorized columnar execution for [`CompiledQuery`], with morsel-driven
+//! intra-query parallelism.
 //!
 //! Instead of materializing joined `Vec<Value>` rows, this engine streams
 //! fixed-size chunks of *row ids* through batch kernels. A batch is one id
@@ -10,15 +11,30 @@
 //! along for free: the side id columns *are* the lineage, so per-row
 //! `SrcId` vectors are assembled only at projection time.
 //!
+//! Each chunk is a *morsel*: one contiguous range of base-table row ids
+//! that flows through scan → join → filter → late materialization (or, for
+//! grouped cores, into a per-morsel partial group table) independently of
+//! every other chunk. With [`ExecOpts::threads`] > 1 a `std::thread::scope`
+//! work-stealing pool claims morsel indices from a shared atomic counter —
+//! the same pattern `EvalSession` uses across queries — and the driver
+//! merges per-morsel outputs strictly in morsel-index order: output rows
+//! concatenate, partial group tables merge first-seen-first, and operator
+//! counters sum. Because morsel boundaries depend only on the batch size,
+//! a parallel run visits exactly the evaluation sites a single-threaded
+//! run visits, and rows, lineage, stats, and profiles are bit-identical at
+//! every thread count. The first error in morsel-index order wins, so the
+//! error path is deterministic too.
+//!
 //! Parity contract: this engine is bit-identical to the row interpreter in
 //! [`crate::run`] on rows, lineage, profile counters, and errors. Profile
-//! counters accumulate per operator across chunks, so EXPLAIN ANALYZE
-//! output is independent of the batch size. Expression evaluation visits
-//! exactly the same (operator, row) sites as the row engine — including
-//! the IN-list short-circuit, which evaluates each list item only over
-//! still-unmatched rows — so an error is raised on the same inputs. On any
-//! error the caller falls back to the row interpreter, which reruns the
-//! query and supplies the authoritative (identical) message.
+//! counters accumulate per operator across morsels, so EXPLAIN ANALYZE
+//! output is independent of both the batch size and the thread count.
+//! Expression evaluation visits exactly the same (operator, row) sites as
+//! the row engine — including the IN-list short-circuit, which evaluates
+//! each list item only over still-unmatched rows — so an error is raised
+//! on the same inputs. On any error the caller falls back to the row
+//! interpreter, which reruns the query and supplies the authoritative
+//! (identical) message.
 
 use crate::error::ExecError;
 use crate::exec::ExecOutput;
@@ -27,12 +43,14 @@ use crate::ir::{
 };
 use crate::plan::PlanStep;
 use crate::profile::{OpProfile, Prof};
-use crate::run::{apply_set_op, finish_run, COutRow, RunCtx};
+use crate::run::{apply_set_op, finish_run, COutRow, ExecOpts, RunCtx};
 use crate::scalar::{dedup_distinct, eval_binary, fold_agg};
 use crate::table::{ColumnarTable, Database};
 use crate::value::{KeyValue, Value};
+use cyclesql_obs::SpanCtx;
 use cyclesql_sql::{AggFunc, JoinType};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,20 +61,24 @@ const NONE_ROW: u32 = u32::MAX;
 /// Runs `plan` through the columnar engine, falling back to the row
 /// interpreter on any error so messages, stats, and profiles are exactly
 /// the row engine's in the error case.
+///
+/// Stats accumulate onto `*stats` (snapshot-on-entry, write-back on
+/// success), so the vectorized subquery prologue can nest columnar runs
+/// without wiping the counters the outer run already collected.
 pub(crate) fn run_columnar(
     plan: &CompiledQuery,
     db: &Database,
     stats: &mut RunStats,
     prof: &mut Prof,
-    batch_rows: usize,
+    opts: &ExecOpts<'_>,
 ) -> Result<ExecOutput, ExecError> {
-    let mut c_stats = RunStats::default();
+    let mut c_stats = *stats;
     let mut c_prof = if prof.enabled() {
         Prof::On(Box::default())
     } else {
         Prof::Off
     };
-    match run_columnar_inner(plan, db, &mut c_stats, &mut c_prof, batch_rows) {
+    match run_columnar_inner(plan, db, &mut c_stats, &mut c_prof, opts) {
         Ok(out) => {
             *stats = c_stats;
             *prof = c_prof;
@@ -75,9 +97,10 @@ fn run_columnar_inner(
     db: &Database,
     stats: &mut RunStats,
     prof: &mut Prof,
-    batch_rows: usize,
+    opts: &ExecOpts<'_>,
 ) -> Result<ExecOutput, ExecError> {
-    let ctx = RunCtx::prepare(plan, db, stats, prof)?;
+    let batch_rows = opts.batch_rows.max(1);
+    let ctx = RunCtx::prepare(plan, db, stats, prof, Some(batch_rows))?;
     if ctx.tables.iter().any(|t| t.len() >= NONE_ROW as usize) {
         // Row ids are u32 with one sentinel; absurdly large tables take
         // the row path via the fallback.
@@ -90,18 +113,24 @@ fn run_columnar_inner(
         run: &ctx,
         cols,
         null: Value::Null,
+        threads: opts.threads.max(1),
+        span: opts.span,
     };
     let (columns, rows) = exec_cbody(&bx, &plan.body, prof, batch_rows)?;
     finish_run(plan, &columns, rows, prof)
 }
 
 /// Columnar run state: the shared per-run context plus each resolved
-/// table's column-major shadow.
+/// table's column-major shadow. Shared immutably across morsel workers.
 struct BCtx<'a> {
     run: &'a RunCtx<'a>,
     cols: Vec<Arc<ColumnarTable>>,
     /// The value LEFT-join pad slots resolve to.
     null: Value,
+    /// Intra-query worker cap (1 = execute morsels on the calling thread).
+    threads: usize,
+    /// Tracing context for the morsel pool's per-worker child spans.
+    span: SpanCtx<'a>,
 }
 
 /// One joined side of a core's output space.
@@ -198,9 +227,9 @@ fn row_lineage(shape: &Shape, batch: &Batch, row: usize) -> Vec<SrcId> {
     lin
 }
 
-/// Per-operator counters accumulated across chunks; pushed as a single
-/// [`OpProfile`] after the chunk loop so profiles match the row engine's
-/// whole-input totals regardless of batch size.
+/// Per-operator counters accumulated across morsels; pushed as a single
+/// [`OpProfile`] after the merge so profiles match the row engine's
+/// whole-input totals regardless of batch size or thread count.
 #[derive(Default, Clone, Copy)]
 struct OpAcc {
     rows_in: usize,
@@ -208,6 +237,19 @@ struct OpAcc {
     comparisons: usize,
     hash_entries: usize,
     ns: u64,
+}
+
+impl OpAcc {
+    /// Sums another morsel's counters into this one. Counters are plain
+    /// sums, so merge order cannot change them; only `ns` (not compared by
+    /// parity tests) overlaps across workers.
+    fn merge(&mut self, other: &OpAcc) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.comparisons += other.comparisons;
+        self.hash_entries += other.hash_entries;
+        self.ns += other.ns;
+    }
 }
 
 fn lap(t: Option<Instant>) -> u64 {
@@ -262,6 +304,40 @@ fn exec_cbody(
     }
 }
 
+/// One morsel's completed pipeline output plus its operator counters.
+struct MorselOut {
+    scan: OpAcc,
+    joins: Vec<OpAcc>,
+    filter: OpAcc,
+    /// Wall time spent evaluating group keys and building the partial
+    /// group table (folded into the Aggregate operator's elapsed time).
+    agg_ns: u64,
+    data: MorselData,
+}
+
+/// What a morsel produces: projected output rows for plain cores, or the
+/// filtered id batch plus a partial group table for grouped cores.
+enum MorselData {
+    Rows(Vec<COutRow>),
+    Grouped {
+        batch: Batch,
+        /// Morsel-local groups in first-seen order: group key → the
+        /// morsel-local row indices belonging to it. Empty when the core
+        /// has no GROUP BY expressions (single global group).
+        partial: Vec<(Vec<KeyValue>, Vec<u32>)>,
+    },
+}
+
+impl MorselData {
+    /// Rows this morsel contributed (for the worker span).
+    fn len(&self) -> usize {
+        match self {
+            MorselData::Rows(rows) => rows.len(),
+            MorselData::Grouped { batch, .. } => batch.len(),
+        }
+    }
+}
+
 fn exec_ccore(
     bx: &BCtx<'_>,
     core: &CCore,
@@ -275,9 +351,11 @@ fn exec_ccore(
     let mut scan_acc = OpAcc::default();
     let mut join_accs = vec![OpAcc::default(); core.joins.len()];
     let mut filter_acc = OpAcc::default();
+    let mut agg_ns = 0u64;
 
-    // Hash-join build sides are indexed once per run, not per chunk; NULL
-    // keys never enter the index (3VL), matching the row engine.
+    // Hash-join build sides are indexed once per run, on the calling
+    // thread, and shared read-only by every morsel worker; NULL keys never
+    // enter the index (3VL), matching the row engine.
     let mut join_hash: Vec<Option<HashMap<KeyValue, Vec<u32>>>> = Vec::new();
     for (ji, join) in core.joins.iter().enumerate() {
         join_hash.push(match &join.strategy {
@@ -298,136 +376,44 @@ fn exec_ccore(
         });
     }
 
+    // Execute every morsel — sequentially or on the pool — then fold the
+    // outputs strictly in morsel-index order, which makes the merged rows,
+    // group order, and counters identical to a single-threaded pass.
+    let morsels = run_morsels(bx, core, &shape, &join_hash, base_len, batch_rows, timing)?;
+
     let mut out_rows: Vec<COutRow> = Vec::new();
-    // Grouped cores accumulate surviving row ids across chunks and group
-    // once at the end (aggregates need whole groups, not chunks).
+    // Grouped cores accumulate surviving row ids across morsels and merge
+    // the per-morsel partial group tables (aggregates need whole groups).
     let mut acc = Batch {
         ids: shape.sides.iter().map(|_| Vec::new()).collect(),
     };
-
-    let mut start = 0usize;
-    while start < base_len {
-        let end = (start + batch_rows).min(base_len);
-        let t = timing.then(Instant::now);
-        let mut batch = Batch {
-            ids: vec![(start as u32..end as u32).collect()],
-        };
-        scan_acc.rows_in += end - start;
-        scan_acc.rows_out += end - start;
-        scan_acc.ns += lap(t);
-        start = end;
-
-        for (ji, join) in core.joins.iter().enumerate() {
-            let t = timing.then(Instant::now);
-            let n = batch.len();
-            join_accs[ji].rows_in += n;
-            match &join.strategy {
-                JoinStrategy::Hash { left_slot, .. } => {
-                    let index = join_hash[ji].as_ref().expect("hash strategy has an index");
-                    join_accs[ji].comparisons += n;
-                    let mut sel: Vec<u32> = Vec::new();
-                    let mut new_ids: Vec<u32> = Vec::new();
-                    for r in 0..n {
-                        let k = slot_val(bx, &shape, &batch, r, *left_slot);
-                        let matches: &[u32] = if k.is_null() {
-                            &[]
-                        } else {
-                            index.get(&k.key()).map(|v| v.as_slice()).unwrap_or(&[])
-                        };
-                        for &ri in matches {
-                            sel.push(r as u32);
-                            new_ids.push(ri);
-                        }
-                        if matches.is_empty() && join.join_type == JoinType::Left {
-                            sel.push(r as u32);
-                            new_ids.push(NONE_ROW);
-                        }
-                    }
-                    batch = gather_extend(&batch, &sel, new_ids);
+    let mut group_index: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    for morsel in morsels {
+        scan_acc.merge(&morsel.scan);
+        for (total, part) in join_accs.iter_mut().zip(&morsel.joins) {
+            total.merge(part);
+        }
+        filter_acc.merge(&morsel.filter);
+        agg_ns += morsel.agg_ns;
+        match morsel.data {
+            MorselData::Rows(rows) => out_rows.extend(rows),
+            MorselData::Grouped { batch, partial } => {
+                let offset = acc.len() as u32;
+                for (acc_ids, side) in acc.ids.iter_mut().zip(batch.ids) {
+                    acc_ids.extend(side);
                 }
-                JoinStrategy::Loop { on } => {
-                    let right_len = bx.cols[join.table as usize].len;
-                    match on {
-                        Some(on) => {
-                            // Expand the full candidate cross-product for
-                            // this chunk, evaluate ON as one column, then
-                            // gather the survivors (with LEFT pads stitched
-                            // back per left row, preserving row order).
-                            let mut sel = Vec::with_capacity(n * right_len);
-                            let mut new_ids = Vec::with_capacity(n * right_len);
-                            for r in 0..n {
-                                for ri in 0..right_len {
-                                    sel.push(r as u32);
-                                    new_ids.push(ri as u32);
-                                }
-                            }
-                            let cand = gather_extend(&batch, &sel, new_ids);
-                            join_accs[ji].comparisons += cand.len();
-                            let keep = eval_col(on, bx, &shape, &cand, None)?;
-                            let mut ksel: Vec<u32> = Vec::new();
-                            let mut kids: Vec<u32> = Vec::new();
-                            for r in 0..n {
-                                let mut matched = false;
-                                for ri in 0..right_len {
-                                    if keep.get(r * right_len + ri).is_truthy() {
-                                        matched = true;
-                                        ksel.push(r as u32);
-                                        kids.push(ri as u32);
-                                    }
-                                }
-                                if !matched && join.join_type == JoinType::Left {
-                                    ksel.push(r as u32);
-                                    kids.push(NONE_ROW);
-                                }
-                            }
-                            batch = gather_extend(&batch, &ksel, kids);
-                        }
-                        None => {
-                            // Cross join: every pairing survives; an empty
-                            // right side LEFT-pads each left row.
-                            if right_len == 0 && join.join_type == JoinType::Left {
-                                let sel: Vec<u32> = (0..n as u32).collect();
-                                batch = gather_extend(&batch, &sel, vec![NONE_ROW; n]);
-                            } else {
-                                let mut sel = Vec::with_capacity(n * right_len);
-                                let mut new_ids = Vec::with_capacity(n * right_len);
-                                for r in 0..n {
-                                    for ri in 0..right_len {
-                                        sel.push(r as u32);
-                                        new_ids.push(ri as u32);
-                                    }
-                                }
-                                batch = gather_extend(&batch, &sel, new_ids);
-                            }
-                        }
-                    }
+                // Partial tables are first-seen-ordered within their
+                // morsel; merging them in morsel-index order reproduces
+                // the global first-seen group order exactly.
+                for (key, local_rows) in partial {
+                    let slot = *group_index.entry(key).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    });
+                    groups[slot].extend(local_rows.into_iter().map(|r| r + offset));
                 }
             }
-            join_accs[ji].rows_out += batch.len();
-            join_accs[ji].ns += lap(t);
-        }
-
-        if let Some(pred) = &core.filter {
-            let t = timing.then(Instant::now);
-            let n = batch.len();
-            filter_acc.rows_in += n;
-            filter_acc.comparisons += n;
-            let col = eval_col(pred, bx, &shape, &batch, None)?;
-            let sel: Vec<u32> = (0..n)
-                .filter(|&r| col.get(r).is_truthy())
-                .map(|r| r as u32)
-                .collect();
-            batch = gather(&batch, &sel);
-            filter_acc.rows_out += batch.len();
-            filter_acc.ns += lap(t);
-        }
-
-        if core.grouped {
-            for (acc_ids, side) in acc.ids.iter_mut().zip(&batch.ids) {
-                acc_ids.extend_from_slice(side);
-            }
-        } else {
-            project_chunk(bx, &shape, core, &batch, &mut out_rows)?;
         }
     }
 
@@ -486,7 +472,11 @@ fn exec_ccore(
     if core.grouped {
         let t = timing.then(Instant::now);
         let agg_rows_in = acc.len();
-        let groups = group_ids(bx, &shape, core, &acc)?;
+        if core.group_by.is_empty() {
+            // Single group over the full input — even if empty (so
+            // `count(*)` over an empty table yields 0).
+            groups = vec![(0..acc.len() as u32).collect()];
+        }
         for rows in &groups {
             if let Some(h) = &core.having {
                 if !beval_group(h, bx, &shape, &acc, rows)?.is_truthy() {
@@ -538,7 +528,7 @@ fn exec_ccore(
                 rows_out: out_rows.len(),
                 comparisons: 0,
                 hash_entries: 0,
-                elapsed_ns: lap(t),
+                elapsed_ns: agg_ns + lap(t),
             });
         }
     }
@@ -563,16 +553,284 @@ fn exec_ccore(
     Ok((Arc::clone(&core.columns), out_rows))
 }
 
-/// Materializes one filtered chunk into output rows (late
+/// Executes every morsel of one core and returns the outputs in
+/// morsel-index order.
+///
+/// Sequential (`threads <= 1`, or a single morsel): morsels run on the
+/// calling thread, in order, and the first error returns immediately.
+///
+/// Parallel: `std::thread::scope` workers claim morsel indices from a
+/// shared atomic counter (work-stealing — fast workers take more morsels),
+/// results land in index-addressed slots, and an error raises an abort
+/// flag so idle workers stop claiming. Because the counter is claimed
+/// monotonically and every claimed morsel is joined, all slots below the
+/// first erroring index are complete — scanning the slots in order makes
+/// the *first erroring morsel in morsel order* win, exactly as a
+/// sequential pass would.
+fn run_morsels(
+    bx: &BCtx<'_>,
+    core: &CCore,
+    shape: &Shape,
+    join_hash: &[Option<HashMap<KeyValue, Vec<u32>>>],
+    base_len: usize,
+    batch_rows: usize,
+    timing: bool,
+) -> Result<Vec<MorselOut>, ExecError> {
+    let count = base_len.div_ceil(batch_rows);
+    let bounds = move |m: usize| {
+        let start = m * batch_rows;
+        (start, (start + batch_rows).min(base_len))
+    };
+    let workers = bx.threads.min(count);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(count);
+        for m in 0..count {
+            let (start, end) = bounds(m);
+            out.push(run_morsel(bx, core, shape, join_hash, start, end, timing)?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<MorselOut, ExecError>>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                let abort = &abort;
+                scope.spawn(move || {
+                    let mut wspan = bx.span.child("morsels");
+                    let mut done: Vec<(usize, Result<MorselOut, ExecError>)> = Vec::new();
+                    let mut rows = 0usize;
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= count {
+                            break;
+                        }
+                        let (start, end) = bounds(m);
+                        let result = run_morsel(bx, core, shape, join_hash, start, end, timing);
+                        match &result {
+                            Ok(morsel) => rows += morsel.data.len(),
+                            Err(_) => abort.store(true, Ordering::Relaxed),
+                        }
+                        done.push((m, result));
+                    }
+                    if let Some(s) = wspan.as_mut() {
+                        s.set("worker", w);
+                        s.set("morsels", done.len());
+                        s.set("rows", rows);
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (m, result) in handle.join().expect("morsel worker panicked") {
+                slots[m] = Some(result);
+            }
+        }
+    });
+
+    let mut out = Vec::with_capacity(count);
+    for slot in slots {
+        match slot {
+            Some(Ok(morsel)) => out.push(morsel),
+            Some(Err(e)) => return Err(e),
+            // Unclaimed after an abort. Claim order makes this unreachable
+            // below the erroring index; stay defensive — any error here
+            // just routes through the row-engine fallback.
+            None => return Err(ExecError::new("internal: morsel pool aborted")),
+        }
+    }
+    Ok(out)
+}
+
+/// Runs one morsel — a contiguous `[start, end)` range of base row ids —
+/// through scan → joins → filter, then either late-materializes output
+/// rows (plain cores) or builds the morsel's partial group table (grouped
+/// cores). Self-contained: touches only shared read-only state, so any
+/// number of morsels run concurrently.
+fn run_morsel(
+    bx: &BCtx<'_>,
+    core: &CCore,
+    shape: &Shape,
+    join_hash: &[Option<HashMap<KeyValue, Vec<u32>>>],
+    start: usize,
+    end: usize,
+    timing: bool,
+) -> Result<MorselOut, ExecError> {
+    let mut scan = OpAcc::default();
+    let mut joins = vec![OpAcc::default(); core.joins.len()];
+    let mut filter_acc = OpAcc::default();
+
+    let t = timing.then(Instant::now);
+    let mut batch = Batch {
+        ids: vec![(start as u32..end as u32).collect()],
+    };
+    scan.rows_in += end - start;
+    scan.rows_out += end - start;
+    scan.ns += lap(t);
+
+    for (ji, join) in core.joins.iter().enumerate() {
+        let t = timing.then(Instant::now);
+        let n = batch.len();
+        joins[ji].rows_in += n;
+        match &join.strategy {
+            JoinStrategy::Hash { left_slot, .. } => {
+                let index = join_hash[ji].as_ref().expect("hash strategy has an index");
+                joins[ji].comparisons += n;
+                let mut sel: Vec<u32> = Vec::new();
+                let mut new_ids: Vec<u32> = Vec::new();
+                for r in 0..n {
+                    let k = slot_val(bx, shape, &batch, r, *left_slot);
+                    let matches: &[u32] = if k.is_null() {
+                        &[]
+                    } else {
+                        index.get(&k.key()).map(|v| v.as_slice()).unwrap_or(&[])
+                    };
+                    for &ri in matches {
+                        sel.push(r as u32);
+                        new_ids.push(ri);
+                    }
+                    if matches.is_empty() && join.join_type == JoinType::Left {
+                        sel.push(r as u32);
+                        new_ids.push(NONE_ROW);
+                    }
+                }
+                batch = gather_extend(&batch, &sel, new_ids);
+            }
+            JoinStrategy::Loop { on } => {
+                let right_len = bx.cols[join.table as usize].len;
+                match on {
+                    Some(on) => {
+                        // Expand the full candidate cross-product for
+                        // this morsel, evaluate ON as one column, then
+                        // gather the survivors (with LEFT pads stitched
+                        // back per left row, preserving row order).
+                        let mut sel = Vec::with_capacity(n * right_len);
+                        let mut new_ids = Vec::with_capacity(n * right_len);
+                        for r in 0..n {
+                            for ri in 0..right_len {
+                                sel.push(r as u32);
+                                new_ids.push(ri as u32);
+                            }
+                        }
+                        let cand = gather_extend(&batch, &sel, new_ids);
+                        joins[ji].comparisons += cand.len();
+                        let keep = eval_col(on, bx, shape, &cand, None)?;
+                        let mut ksel: Vec<u32> = Vec::new();
+                        let mut kids: Vec<u32> = Vec::new();
+                        for r in 0..n {
+                            let mut matched = false;
+                            for ri in 0..right_len {
+                                if keep.get(r * right_len + ri).is_truthy() {
+                                    matched = true;
+                                    ksel.push(r as u32);
+                                    kids.push(ri as u32);
+                                }
+                            }
+                            if !matched && join.join_type == JoinType::Left {
+                                ksel.push(r as u32);
+                                kids.push(NONE_ROW);
+                            }
+                        }
+                        batch = gather_extend(&batch, &ksel, kids);
+                    }
+                    None => {
+                        // Cross join: every pairing survives; an empty
+                        // right side LEFT-pads each left row.
+                        if right_len == 0 && join.join_type == JoinType::Left {
+                            let sel: Vec<u32> = (0..n as u32).collect();
+                            batch = gather_extend(&batch, &sel, vec![NONE_ROW; n]);
+                        } else {
+                            let mut sel = Vec::with_capacity(n * right_len);
+                            let mut new_ids = Vec::with_capacity(n * right_len);
+                            for r in 0..n {
+                                for ri in 0..right_len {
+                                    sel.push(r as u32);
+                                    new_ids.push(ri as u32);
+                                }
+                            }
+                            batch = gather_extend(&batch, &sel, new_ids);
+                        }
+                    }
+                }
+            }
+        }
+        joins[ji].rows_out += batch.len();
+        joins[ji].ns += lap(t);
+    }
+
+    if let Some(pred) = &core.filter {
+        let t = timing.then(Instant::now);
+        let n = batch.len();
+        filter_acc.rows_in += n;
+        filter_acc.comparisons += n;
+        let col = eval_col(pred, bx, shape, &batch, None)?;
+        let sel: Vec<u32> = (0..n)
+            .filter(|&r| col.get(r).is_truthy())
+            .map(|r| r as u32)
+            .collect();
+        batch = gather(&batch, &sel);
+        filter_acc.rows_out += batch.len();
+        filter_acc.ns += lap(t);
+    }
+
+    let mut agg_ns = 0u64;
+    let data = if core.grouped {
+        let partial = if core.group_by.is_empty() {
+            Vec::new()
+        } else {
+            let t = timing.then(Instant::now);
+            let mut key_cols = Vec::with_capacity(core.group_by.len());
+            for g in &core.group_by {
+                key_cols.push(eval_col(g, bx, shape, &batch, None)?);
+            }
+            let mut index: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+            let mut partial: Vec<(Vec<KeyValue>, Vec<u32>)> = Vec::new();
+            for r in 0..batch.len() {
+                let key: Vec<KeyValue> = key_cols.iter().map(|c| c.get(r).key()).collect();
+                let slot = match index.get(&key) {
+                    Some(&slot) => slot,
+                    None => {
+                        let slot = partial.len();
+                        index.insert(key.clone(), slot);
+                        partial.push((key, Vec::new()));
+                        slot
+                    }
+                };
+                partial[slot].1.push(r as u32);
+            }
+            agg_ns = lap(t);
+            partial
+        };
+        MorselData::Grouped { batch, partial }
+    } else {
+        MorselData::Rows(project_morsel(bx, shape, core, &batch)?)
+    };
+
+    Ok(MorselOut {
+        scan,
+        joins,
+        filter: filter_acc,
+        agg_ns,
+        data,
+    })
+}
+
+/// Materializes one filtered morsel into output rows (late
 /// materialization): expression projections and ORDER BY keys are
 /// evaluated as whole columns first, then rows are assembled.
-fn project_chunk(
+fn project_morsel(
     bx: &BCtx<'_>,
     shape: &Shape,
     core: &CCore,
     batch: &Batch,
-    out_rows: &mut Vec<COutRow>,
-) -> Result<(), ExecError> {
+) -> Result<Vec<COutRow>, ExecError> {
     let n = batch.len();
     let mut proj_cols: Vec<Option<ECol<'_>>> = Vec::with_capacity(core.projections.len());
     for item in &core.projections {
@@ -585,7 +843,7 @@ fn project_chunk(
     for o in &core.order_exprs {
         order_cols.push(eval_col(o, bx, shape, batch, None)?);
     }
-    out_rows.reserve(n);
+    let mut out_rows = Vec::with_capacity(n);
     for r in 0..n {
         let mut values = Vec::new();
         for (item, col) in core.projections.iter().zip(&proj_cols) {
@@ -609,37 +867,7 @@ fn project_chunk(
             order_keys,
         });
     }
-    Ok(())
-}
-
-/// Order-preserving grouping over the accumulated batch: group keys are
-/// evaluated as whole columns, rows hash into groups of row indices.
-fn group_ids(
-    bx: &BCtx<'_>,
-    shape: &Shape,
-    core: &CCore,
-    acc: &Batch,
-) -> Result<Vec<Vec<u32>>, ExecError> {
-    if core.group_by.is_empty() {
-        // Single group over the full input — even if empty (so `count(*)`
-        // over an empty table yields 0).
-        return Ok(vec![(0..acc.len() as u32).collect()]);
-    }
-    let mut key_cols = Vec::with_capacity(core.group_by.len());
-    for g in &core.group_by {
-        key_cols.push(eval_col(g, bx, shape, acc, None)?);
-    }
-    let mut index: HashMap<Vec<KeyValue>, usize> = HashMap::new();
-    let mut groups: Vec<Vec<u32>> = Vec::new();
-    for r in 0..acc.len() {
-        let key: Vec<KeyValue> = key_cols.iter().map(|c| c.get(r).key()).collect();
-        let slot = *index.entry(key).or_insert_with(|| {
-            groups.push(Vec::new());
-            groups.len() - 1
-        });
-        groups[slot].push(r as u32);
-    }
-    Ok(groups)
+    Ok(out_rows)
 }
 
 /// An evaluated expression column over a batch (or a selection of it).

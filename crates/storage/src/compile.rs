@@ -10,6 +10,10 @@
 //!
 //! Subqueries are compiled recursively into prologue plans
 //! ([`crate::ir::SubPlan`]); the engine executes each exactly once per run.
+//!
+//! A compiled plan is immutable and `Sync`: runs borrow it read-only, so
+//! one plan serves concurrent requests (the serving tier's plan cache) and
+//! the morsel pool's workers share it without copies or locks.
 
 use crate::error::ExecError;
 use crate::ir::{

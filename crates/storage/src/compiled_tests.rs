@@ -244,3 +244,81 @@ fn differential_spot_checks() {
         assert_paths_identical(&db, sql);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel execution
+// ---------------------------------------------------------------------------
+
+#[test]
+fn morsel_pool_output_is_thread_count_invariant() {
+    use crate::run::ExecOpts;
+    let db = flight_db();
+    // One-row morsels make every operator cross a morsel boundary, and 8
+    // workers over at most four morsels leaves some workers idle — the
+    // in-order merge must hide all of it.
+    for sql in [
+        "SELECT aid, count(*), avg(price) FROM flight GROUP BY aid HAVING count(*) > 1",
+        "SELECT T1.flno, T2.name FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid \
+         ORDER BY T1.flno",
+        "SELECT DISTINCT aid FROM flight",
+        "SELECT count(*) FROM flight WHERE price > 10000",
+    ] {
+        let q = parse(sql).unwrap();
+        let plan = compile(&db, &q).unwrap();
+        for batch_rows in [1, 2, 1024] {
+            let opts = ExecOpts {
+                batch_rows,
+                ..ExecOpts::default()
+            };
+            let (base, base_stats) = plan.run_opts(&db, &opts).unwrap();
+            for threads in [2, 4, 8] {
+                let opts = ExecOpts {
+                    batch_rows,
+                    threads,
+                    ..ExecOpts::default()
+                };
+                let (out, stats) = plan.run_opts(&db, &opts).unwrap();
+                assert_eq!(
+                    format!("{:?}", base.result.rows),
+                    format!("{:?}", out.result.rows),
+                    "rows at {threads} threads, batch {batch_rows}: {sql}"
+                );
+                assert_eq!(
+                    base.lineage, out.lineage,
+                    "lineage at {threads} threads, batch {batch_rows}: {sql}"
+                );
+                assert_eq!(base_stats, stats, "stats at {threads} threads: {sql}");
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorized_prologue_keeps_subquery_run_counts() {
+    use crate::run::ExecOpts;
+    let db = flight_db();
+    // The prologue now executes through the columnar kernels; the
+    // accumulate-on-success stats contract must still count each hoisted
+    // subquery exactly once, at any batch size or thread count.
+    let q = parse(
+        "SELECT flno FROM flight WHERE aid IN \
+         (SELECT aid FROM aircraft WHERE distance > (SELECT avg(distance) FROM aircraft))",
+    )
+    .unwrap();
+    let plan = compile(&db, &q).unwrap();
+    for batch_rows in [1, 1024] {
+        for threads in [1, 4] {
+            let opts = ExecOpts {
+                batch_rows,
+                threads,
+                ..ExecOpts::default()
+            };
+            let (out, stats) = plan.run_opts(&db, &opts).unwrap();
+            assert_eq!(
+                stats.subquery_runs, 2,
+                "batch {batch_rows}, {threads} threads"
+            );
+            assert_eq!(out.result.len(), 3);
+        }
+    }
+}

@@ -56,6 +56,7 @@ pub use ir::{CompiledQuery, InProbe, RunStats};
 pub use plan::{describe_plan, describe_plan_analyze, PlanStep, QueryPlan};
 pub use profile::{OpProfile, PlanProfile, SubProfile};
 pub use result::ResultSet;
+pub use run::ExecOpts;
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
 pub use table::{ColumnarTable, Database, Row, Table};
 pub use value::{KeyValue, Value};

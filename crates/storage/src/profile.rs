@@ -10,6 +10,12 @@
 //! executor. Disabled, every instrumentation site is one branch on an enum
 //! discriminant — no clocks are read, no strings are built, nothing
 //! allocates — so the untraced hot path keeps its compiled-execution cost.
+//!
+//! The columnar engine accumulates each operator's in/out/cmp/hash
+//! counters across morsels and pushes one [`OpProfile`] per operator after
+//! the in-order merge, so a profile is invariant to both the batch size
+//! and the morsel-pool width ([`crate::run::ExecOpts::threads`]) — only
+//! `elapsed_ns` (which overlaps across workers) varies run to run.
 
 use crate::plan::PlanStep;
 use std::fmt::Write as _;
@@ -204,7 +210,10 @@ mod tests {
         let profile = PlanProfile {
             ops: vec![
                 OpProfile {
-                    step: PlanStep::Scan { table: "a".into(), rows: 3 },
+                    step: PlanStep::Scan {
+                        table: "a".into(),
+                        rows: 3,
+                    },
                     rows_in: 3,
                     rows_out: 3,
                     comparisons: 0,
@@ -212,7 +221,9 @@ mod tests {
                     elapsed_ns: 123,
                 },
                 OpProfile {
-                    step: PlanStep::Filter { predicate: "x > 1".into() },
+                    step: PlanStep::Filter {
+                        predicate: "x > 1".into(),
+                    },
                     rows_in: 3,
                     rows_out: 2,
                     comparisons: 3,
@@ -220,7 +231,12 @@ mod tests {
                     elapsed_ns: 456,
                 },
             ],
-            prologue: vec![SubProfile { index: 0, kind: "in-set", rows: 4, elapsed_ns: 789 }],
+            prologue: vec![SubProfile {
+                index: 0,
+                kind: "in-set",
+                rows: 4,
+                elapsed_ns: 789,
+            }],
             total_ns: 1_000,
             rows_out: 2,
         };
@@ -241,7 +257,12 @@ mod tests {
     fn off_prof_reads_no_clock_and_keeps_nothing() {
         let mut prof = Prof::Off;
         assert!(prof.start().is_none());
-        prof.push_sub(SubProfile { index: 0, kind: "scalar", rows: 1, elapsed_ns: 1 });
+        prof.push_sub(SubProfile {
+            index: 0,
+            kind: "scalar",
+            rows: 1,
+            elapsed_ns: 1,
+        });
         let idx = prof.push_op(OpProfile {
             step: PlanStep::Distinct,
             rows_in: 0,

@@ -22,6 +22,7 @@ use crate::result::ResultSet;
 use crate::scalar::{dedup_distinct, eval_binary, fold_agg, sort_by_order_keys};
 use crate::table::{Database, Table};
 use crate::value::{KeyValue, Value};
+use cyclesql_obs::SpanCtx;
 use cyclesql_sql::{AggFunc, JoinType, SetOp};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -42,8 +43,52 @@ impl CompiledQuery {
     /// (running against a database with a different schema) or on run-time
     /// evaluation errors (e.g. a non-COUNT aggregate over `*`).
     pub fn run(&self, db: &Database) -> Result<ExecOutput, ExecError> {
+        self.run_opts(db, &ExecOpts::default()).map(|(out, _)| out)
+    }
+
+    /// Runs the columnar engine under explicit execution options: batch
+    /// size, intra-query worker threads, and a tracing context for the
+    /// morsel pool. Results — rows, lineage, stats, and (via
+    /// [`CompiledQuery::run_opts_analyzed`]) profile counters — are
+    /// bit-identical at every thread count and batch size; only wall time
+    /// changes.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_opts(
+        &self,
+        db: &Database,
+        opts: &ExecOpts<'_>,
+    ) -> Result<(ExecOutput, RunStats), ExecError> {
         let mut stats = RunStats::default();
-        crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, DEFAULT_BATCH_ROWS)
+        let out = crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, opts)?;
+        Ok((out, stats))
+    }
+
+    /// [`CompiledQuery::run_opts`] with per-operator instrumentation.
+    /// Counters are summed across morsels in morsel-index order, so the
+    /// profile is identical to a single-threaded run's (timings aside).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledQuery::run`].
+    pub fn run_opts_analyzed(
+        &self,
+        db: &Database,
+        opts: &ExecOpts<'_>,
+    ) -> Result<(ExecOutput, PlanProfile), ExecError> {
+        let mut stats = RunStats::default();
+        let mut prof = Prof::On(Box::default());
+        let t = Instant::now();
+        let out = crate::batch::run_columnar(self, db, &mut stats, &mut prof, opts)?;
+        let total_ns = t.elapsed().as_nanos() as u64;
+        let Prof::On(mut profile) = prof else {
+            unreachable!("profiling stays on for the whole run")
+        };
+        profile.total_ns = total_ns;
+        profile.rows_out = out.result.rows.len();
+        Ok((out, *profile))
     }
 
     /// Runs the columnar engine with an explicit batch size (rows per
@@ -59,8 +104,11 @@ impl CompiledQuery {
         db: &Database,
         rows_per_batch: usize,
     ) -> Result<ExecOutput, ExecError> {
-        let mut stats = RunStats::default();
-        crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, rows_per_batch.max(1))
+        let opts = ExecOpts {
+            batch_rows: rows_per_batch,
+            ..ExecOpts::default()
+        };
+        self.run_opts(db, &opts).map(|(out, _)| out)
     }
 
     /// Runs the compiled plan through the row-at-a-time interpreter,
@@ -91,10 +139,7 @@ impl CompiledQuery {
     ///
     /// See [`CompiledQuery::run`].
     pub fn run_with_stats(&self, db: &Database) -> Result<(ExecOutput, RunStats), ExecError> {
-        let mut stats = RunStats::default();
-        let out =
-            crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, DEFAULT_BATCH_ROWS)?;
-        Ok((out, stats))
+        self.run_opts(db, &ExecOpts::default())
     }
 
     /// Runs the compiled plan with per-operator instrumentation: rows
@@ -109,17 +154,7 @@ impl CompiledQuery {
     ///
     /// See [`CompiledQuery::run`].
     pub fn run_analyzed(&self, db: &Database) -> Result<(ExecOutput, PlanProfile), ExecError> {
-        let mut stats = RunStats::default();
-        let mut prof = Prof::On(Box::default());
-        let t = Instant::now();
-        let out = crate::batch::run_columnar(self, db, &mut stats, &mut prof, DEFAULT_BATCH_ROWS)?;
-        let total_ns = t.elapsed().as_nanos() as u64;
-        let Prof::On(mut profile) = prof else {
-            unreachable!("profiling stays on for the whole run")
-        };
-        profile.total_ns = total_ns;
-        profile.rows_out = out.result.rows.len();
-        Ok((out, *profile))
+        self.run_opts_analyzed(db, &ExecOpts::default())
     }
 
     /// [`CompiledQuery::run_analyzed`] pinned to the row engine, for
@@ -156,18 +191,11 @@ impl CompiledQuery {
         db: &Database,
         rows_per_batch: usize,
     ) -> Result<(ExecOutput, PlanProfile), ExecError> {
-        let mut stats = RunStats::default();
-        let mut prof = Prof::On(Box::default());
-        let t = Instant::now();
-        let out =
-            crate::batch::run_columnar(self, db, &mut stats, &mut prof, rows_per_batch.max(1))?;
-        let total_ns = t.elapsed().as_nanos() as u64;
-        let Prof::On(mut profile) = prof else {
-            unreachable!("profiling stays on for the whole run")
+        let opts = ExecOpts {
+            batch_rows: rows_per_batch,
+            ..ExecOpts::default()
         };
-        profile.total_ns = total_ns;
-        profile.rows_out = out.result.rows.len();
-        Ok((out, *profile))
+        self.run_opts_analyzed(db, &opts)
     }
 
     pub(crate) fn run_inner(
@@ -176,7 +204,7 @@ impl CompiledQuery {
         stats: &mut RunStats,
         prof: &mut Prof,
     ) -> Result<ExecOutput, ExecError> {
-        let ctx = RunCtx::prepare(self, db, stats, prof)?;
+        let ctx = RunCtx::prepare(self, db, stats, prof, None)?;
         let (columns, rows) = exec_cbody(&ctx, &self.body, prof)?;
         finish_run(self, &columns, rows, prof)
     }
@@ -186,6 +214,38 @@ impl CompiledQuery {
 /// amortize per-batch dispatch, small enough to keep a chunk's id columns
 /// and evaluated columns cache-resident.
 pub(crate) const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// Execution options for the columnar engine: batch size, intra-query
+/// parallelism, and a tracing context for the morsel worker pool.
+///
+/// A morsel is one batch-sized range of base-table row ids; with
+/// `threads > 1` morsels are claimed by a work-stealing pool and their
+/// outputs merged in morsel-index order, so every observable output (rows,
+/// lineage order, [`RunStats`], EXPLAIN ANALYZE counters, errors) is
+/// bit-identical to a single-threaded run at the same batch size.
+#[derive(Clone, Copy)]
+pub struct ExecOpts<'a> {
+    /// Rows per morsel/chunk (clamped to at least 1).
+    pub batch_rows: usize,
+    /// Maximum intra-query worker threads. `0` and `1` both mean
+    /// single-threaded execution on the calling thread; the pool never
+    /// spawns more workers than there are morsels.
+    pub threads: usize,
+    /// Tracing context: with parallelism active and tracing enabled, each
+    /// pool worker emits one `morsels` child span (worker index, morsels
+    /// claimed, rows produced). Disabled contexts cost nothing.
+    pub span: SpanCtx<'a>,
+}
+
+impl Default for ExecOpts<'_> {
+    fn default() -> Self {
+        ExecOpts {
+            batch_rows: DEFAULT_BATCH_ROWS,
+            threads: 1,
+            span: SpanCtx::none(),
+        }
+    }
+}
 
 /// The shared tail of both engines: ORDER BY, LIMIT, and lineage
 /// materialization, with their profile entries. Interned lineage ids are
@@ -261,11 +321,17 @@ pub(crate) struct RunCtx<'a> {
 }
 
 impl<'a> RunCtx<'a> {
+    /// `prologue_batch` selects the engine for the subquery prologue:
+    /// `Some(batch_rows)` runs each hoisted subquery through the columnar
+    /// batch kernels (the columnar outer run passes its own batch size so
+    /// chunk-boundary sweeps cover the prologue too), `None` keeps it on
+    /// the row interpreter (the row engine stays a pure row-wise anchor).
     pub(crate) fn prepare(
         plan: &CompiledQuery,
         db: &'a Database,
         stats: &mut RunStats,
         prof: &mut Prof,
+        prologue_batch: Option<usize>,
     ) -> Result<Self, ExecError> {
         let tables = plan
             .tables
@@ -277,7 +343,7 @@ impl<'a> RunCtx<'a> {
             .collect::<Result<Vec<_>, _>>()?;
         let mut subs = Vec::with_capacity(plan.subs.len());
         for sub in &plan.subs {
-            subs.push(run_prologue_step(sub, db, stats, prof)?);
+            subs.push(run_prologue_step(sub, db, stats, prof, prologue_batch)?);
         }
         Ok(RunCtx { tables, subs })
     }
@@ -292,10 +358,26 @@ fn run_prologue_step(
     db: &Database,
     stats: &mut RunStats,
     prof: &mut Prof,
+    prologue_batch: Option<usize>,
 ) -> Result<SubResult, ExecError> {
     stats.subquery_runs += 1;
     let t = prof.start();
-    let result = sub.plan.run_inner(db, stats, &mut Prof::Off)?.result;
+    let result = match prologue_batch {
+        // Vectorized prologue: the subplan streams through the same batch
+        // kernels as the outer query (single-threaded — prologue plans run
+        // once and are rarely scan-bound). `run_columnar` accumulates onto
+        // the caller's stats and falls back to the row interpreter on any
+        // evaluation error, so results, `subquery_runs`, and error messages
+        // are identical to a row-wise prologue.
+        Some(batch_rows) => {
+            let opts = ExecOpts {
+                batch_rows,
+                ..ExecOpts::default()
+            };
+            crate::batch::run_columnar(&sub.plan, db, stats, &mut Prof::Off, &opts)?.result
+        }
+        None => sub.plan.run_inner(db, stats, &mut Prof::Off)?.result,
+    };
     if let Some(t) = t {
         prof.push_sub(SubProfile {
             index: 0, // assigned from push order

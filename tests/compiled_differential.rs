@@ -7,13 +7,18 @@
 //! (compared by `Debug` rendering, which is stricter than `Value`'s
 //! sql_eq-based `PartialEq`), and the same per-row lineage in the same
 //! order. Queries that fail must fail with the same error on every path.
+//!
+//! The columnar engine additionally runs a thread-count sweep: every
+//! worker count must produce output (rows, lineage, `RunStats`) that is
+//! bit-identical to the single-threaded columnar engine at the same batch
+//! size, and runtime errors must surface identically mid-morsel.
 
 use cyclesql_benchgen::{
     build_science_suite, build_spider_suite, BenchmarkSuite, Split, SuiteConfig, Variant,
 };
 use cyclesql_provenance::rewrite_for_provenance;
 use cyclesql_sql::{parse, Query};
-use cyclesql_storage::{compile, reference, Database, ExecError, ExecOutput};
+use cyclesql_storage::{compile, reference, Database, ExecError, ExecOpts, ExecOutput};
 
 fn small_config() -> SuiteConfig {
     SuiteConfig {
@@ -33,6 +38,16 @@ fn suites() -> Vec<BenchmarkSuite> {
 /// Forces a chunk boundary inside nearly every operator on the generated
 /// databases (which all have more than three rows per table).
 const TINY_BATCH: usize = 3;
+
+/// Morsel-pool widths the parallel sweep exercises: single-threaded
+/// baseline, undersubscribed, and more workers than most scans have
+/// morsels (idle workers must not perturb the merge).
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Batch sizes the parallel sweep crosses with [`THREAD_SWEEP`]:
+/// one-row morsels (maximum interleaving), a size that splits operators
+/// mid-stream, and the default single-morsel-per-small-table regime.
+const BATCH_SWEEP: [usize; 3] = [1, 7, 1024];
 
 /// Asserts `got` matches the reference outcome exactly — or fails with the
 /// same error.
@@ -85,6 +100,7 @@ fn assert_identical(db: &Database, q: &Query, ctx: &str) {
                 "columnar/tiny-batch",
                 ctx,
             );
+            assert_thread_invariant(db, plan, ctx);
         }
         Err(e) => {
             let r = reference.expect_err(&format!("reference succeeded but compile failed: {ctx}"));
@@ -93,6 +109,61 @@ fn assert_identical(db: &Database, q: &Query, ctx: &str) {
                 e.to_string(),
                 "compile error diverges: {ctx}"
             );
+        }
+    }
+}
+
+/// Asserts the full thread × batch matrix produces output bit-identical
+/// to the single-threaded columnar engine at the same batch size — rows,
+/// lineage order, and `RunStats` — and that errors match too.
+fn assert_thread_invariant(db: &Database, plan: &cyclesql_storage::CompiledQuery, ctx: &str) {
+    for batch_rows in BATCH_SWEEP {
+        let baseline = plan.run_opts(
+            db,
+            &ExecOpts {
+                batch_rows,
+                ..ExecOpts::default()
+            },
+        );
+        for threads in THREAD_SWEEP {
+            let got = plan.run_opts(
+                db,
+                &ExecOpts {
+                    batch_rows,
+                    threads,
+                    ..ExecOpts::default()
+                },
+            );
+            match (&baseline, got) {
+                (Ok((b_out, b_stats)), Ok((out, stats))) => {
+                    assert_eq!(
+                        format!("{:?}", b_out.result.rows),
+                        format!("{:?}", out.result.rows),
+                        "rows diverge at {threads} threads, batch {batch_rows}: {ctx}"
+                    );
+                    assert_eq!(
+                        b_out.lineage, out.lineage,
+                        "lineage diverges at {threads} threads, batch {batch_rows}: {ctx}"
+                    );
+                    assert_eq!(
+                        *b_stats, stats,
+                        "RunStats diverge at {threads} threads, batch {batch_rows}: {ctx}"
+                    );
+                }
+                (Err(b), Err(e)) => {
+                    assert_eq!(
+                        b.to_string(),
+                        e.to_string(),
+                        "errors diverge at {threads} threads, batch {batch_rows}: {ctx}"
+                    );
+                }
+                (b, g) => panic!(
+                    "outcome diverges at {threads} threads, batch {batch_rows}: {ctx}\n\
+                     single-threaded: {:?}\nparallel: {:?}",
+                    b.as_ref().map(|(o, _)| o.result.len()),
+                    g.map(|(o, _)| o.result.len())
+                ),
+            }
         }
     }
 }
@@ -184,4 +255,44 @@ fn provenance_rewrites_are_identical_across_engines() {
         }
     }
     assert!(checked > 10, "only {checked} rewrites exercised");
+}
+
+#[test]
+fn mid_morsel_evaluation_errors_match_at_every_thread_count() {
+    // An aggregate in WHERE compiles but raises "aggregate used outside of
+    // an aggregate context" the moment the filter evaluates a row — so
+    // with one-row morsels, every morsel errors mid-stream. Whichever
+    // worker trips it first, the engine must surface exactly the row
+    // engine's error at every width (first-erroring-morsel-in-order wins,
+    // then the fallback reruns row-wise for the canonical message).
+    let suite = build_spider_suite(Variant::Spider, small_config());
+    let db = suite
+        .database_variant("world_1", 1)
+        .expect("world_1 domain exists");
+    let db = &db;
+    let q = parse("SELECT name FROM country WHERE count(*) > 1").expect("parses");
+    let plan = compile(db, &q).expect("aggregate placement is a runtime error");
+    let row_err = plan
+        .run_rowwise(db)
+        .expect_err("row engine errors")
+        .to_string();
+    for batch_rows in BATCH_SWEEP {
+        for threads in THREAD_SWEEP {
+            let err = plan
+                .run_opts(
+                    db,
+                    &ExecOpts {
+                        batch_rows,
+                        threads,
+                        ..ExecOpts::default()
+                    },
+                )
+                .expect_err("columnar engine errors")
+                .to_string();
+            assert_eq!(
+                row_err, err,
+                "error diverges at {threads} threads, batch {batch_rows}"
+            );
+        }
+    }
 }

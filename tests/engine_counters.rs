@@ -8,15 +8,24 @@
 //! and chunk sizes that split operators mid-stream. Engines are compared
 //! to each other (not to pinned constants), so the assertions hold on any
 //! generated database.
+//!
+//! The same invariance holds for the morsel pool: counters sum per
+//! operator across morsels in morsel-index order, so the profile is also
+//! *thread-count* invariant — every (batch size × worker count) cell of
+//! the sweep must render the identical timing-free profile.
 
 use cyclesql_benchgen::{build_spider_suite, SuiteConfig, Variant};
 use cyclesql_sql::parse;
-use cyclesql_storage::{compile, Database};
+use cyclesql_storage::{compile, Database, ExecOpts};
 
 /// Chunk sizes that exercise the interesting boundaries: one row per
 /// batch, sizes that split every operator mid-stream, and one larger than
 /// any table (single chunk, the default regime).
 const CHUNK_SWEEP: [usize; 4] = [1, 3, 7, 1024];
+
+/// Morsel-pool widths crossed with [`CHUNK_SWEEP`]: the single-threaded
+/// baseline, undersubscribed, and more workers than morsels.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// The same pinned world_1 variant the golden plan test uses.
 fn world() -> Database {
@@ -45,6 +54,21 @@ fn assert_counter_parity(db: &Database, sql: &str) {
         let (col_out, col_prof) = plan
             .run_batched_analyzed(db, chunk)
             .expect("columnar engine runs");
+        for threads in THREAD_SWEEP {
+            let opts = ExecOpts {
+                batch_rows: chunk,
+                threads,
+                ..ExecOpts::default()
+            };
+            let (_, par_prof) = plan
+                .run_opts_analyzed(db, &opts)
+                .expect("parallel columnar engine runs");
+            assert_eq!(
+                row_render,
+                par_prof.render(false),
+                "profile diverges at {threads} threads, batch size {chunk}: {sql}"
+            );
+        }
         // The timing-free rendering covers step shapes, operator order,
         // and every in/out/cmp/hash counter in one comparison.
         assert_eq!(
