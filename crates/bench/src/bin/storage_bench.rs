@@ -23,34 +23,68 @@
 //! Usage: `storage_bench [--iters N] [--out PATH] [--quick] [--engine row|columnar|reference|all] [--threads N|sweep]`
 
 use cyclesql_benchgen::{build_science_suite, build_spider_suite, Split, SuiteConfig, Variant};
-use cyclesql_sql::{parse, Expr, Query, QueryBody};
+use cyclesql_sql::{parse, Expr, JoinType, Query, QueryBody};
 use cyclesql_storage::{compile, reference, Database, ExecOpts};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-/// Query classes, coarsest structural feature first: a set operation
-/// trumps a subquery trumps grouping trumps a join.
+/// Query classes, coarsest structural feature first: a CTE prologue
+/// trumps a set operation trumps a subquery trumps a CASE mapping trumps
+/// grouping trumps an outer join trumps an inner join.
 fn classify(q: &Query) -> &'static str {
+    if !q.ctes.is_empty() {
+        return "cte";
+    }
     if matches!(q.body, QueryBody::SetOp { .. }) {
         return "setop";
     }
     if has_subquery(q) {
         return "subquery";
     }
+    if has_case(q) {
+        return "case";
+    }
     if q.uses_aggregate() {
         return "grouped";
     }
-    let joins = q
-        .body
-        .select_cores()
+    let cores = q.body.select_cores();
+    if cores
         .iter()
-        .map(|c| c.from.joins.len())
-        .sum::<usize>();
+        .any(|c| c.from.joins.iter().any(|j| j.join_type != JoinType::Inner))
+    {
+        return "outer_join";
+    }
+    let joins = cores.iter().map(|c| c.from.joins.len()).sum::<usize>();
     if joins > 0 {
         return "join";
     }
     "scan"
+}
+
+fn has_case(q: &Query) -> bool {
+    q.body.select_cores().iter().any(|core| {
+        let mut found = false;
+        let mut scan = |e: &Expr| {
+            e.visit(&mut |x| {
+                if matches!(x, Expr::Case { .. }) {
+                    found = true;
+                }
+            })
+        };
+        for p in &core.projections {
+            if let cyclesql_sql::SelectItem::Expr { expr, .. } = p {
+                scan(expr);
+            }
+        }
+        if let Some(w) = &core.where_clause {
+            scan(w);
+        }
+        if let Some(h) = &core.having {
+            scan(h);
+        }
+        found
+    })
 }
 
 fn has_subquery(q: &Query) -> bool {

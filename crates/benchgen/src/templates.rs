@@ -179,6 +179,12 @@ const TEMPLATES: &[Template] = &[
     Template { name: "between", gen: t_between, weight: 2 },
     Template { name: "order_topk", gen: t_order_topk, weight: 2 },
     Template { name: "count_distinct", gen: t_count_distinct, weight: 1 },
+    // Dialect-frontier templates (appended so earlier templates keep their
+    // RNG draw order and generated items stay stable).
+    Template { name: "cte_count", gen: t_cte_count, weight: 2 },
+    Template { name: "case_label", gen: t_case_label, weight: 2 },
+    Template { name: "right_join_all", gen: t_right_join_all, weight: 2 },
+    Template { name: "full_join_audit", gen: t_full_join_audit, weight: 2 },
 ];
 
 fn t_list_all(c: &Ctx<'_>, _rng: &mut StdRng) -> Option<(String, String)> {
@@ -630,6 +636,81 @@ fn t_count_distinct(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
     ))
 }
 
+fn t_cte_count(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let th = c.sample_threshold(&e.table, num, rng)?;
+    Some((
+        format!(
+            "Considering only {} whose {} exceeds {}, how many are there?",
+            pluralize(&c.table_nl(&e.table)),
+            c.col_nl(&e.table, num),
+            th
+        ),
+        format!(
+            "WITH filtered AS (SELECT {} FROM {} WHERE {num} > {th}) \
+             SELECT count(*) FROM filtered",
+            e.name_col, e.table
+        ),
+    ))
+}
+
+fn t_case_label(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let num = pick(&e.num_cols, rng)?;
+    let th = c.sample_threshold(&e.table, num, rng)?;
+    Some((
+        format!(
+            "For each {}, show its {} and whether its {} is high (above {}) or low.",
+            c.table_nl(&e.table),
+            c.col_nl(&e.table, &e.name_col),
+            c.col_nl(&e.table, num),
+            th
+        ),
+        format!(
+            "SELECT {}, CASE WHEN {num} > {th} THEN 'high' ELSE 'low' END FROM {}",
+            e.name_col, e.table
+        ),
+    ))
+}
+
+fn t_right_join_all(c: &Ctx<'_>, _rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    Some((
+        format!(
+            "List every {} alongside its {} entries, including {} without any.",
+            c.table_nl(&e.table),
+            c.table_nl(&d.table),
+            pluralize(&c.table_nl(&e.table))
+        ),
+        format!(
+            "SELECT T2.{} FROM {} AS T1 RIGHT JOIN {} AS T2 ON T1.{} = T2.{}",
+            e.name_col, d.table, e.table, d.fk, d.parent_key
+        ),
+    ))
+}
+
+fn t_full_join_audit(c: &Ctx<'_>, rng: &mut StdRng) -> Option<(String, String)> {
+    let e = &c.domain.entity;
+    let d = c.domain.detail.as_ref()?;
+    let dcat = pick(&d.cat_cols, rng)?;
+    Some((
+        format!(
+            "Pair all {} with all {} entries, keeping unmatched rows from both sides, \
+             and show each {} with the {} value.",
+            pluralize(&c.table_nl(&e.table)),
+            c.table_nl(&d.table),
+            c.col_nl(&e.table, &e.name_col),
+            c.col_nl(&d.table, dcat)
+        ),
+        format!(
+            "SELECT T2.{}, T1.{dcat} FROM {} AS T1 FULL OUTER JOIN {} AS T2 ON T1.{} = T2.{}",
+            e.name_col, d.table, e.table, d.fk, d.parent_key
+        ),
+    ))
+}
+
 fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
     if items.is_empty() {
         None
@@ -702,6 +783,17 @@ mod tests {
         // The question carries the literal that the SQL filters on.
         let val_in_sql = lookup.gold_sql.split('\'').nth(1).unwrap();
         assert!(lookup.question.contains(val_in_sql), "{:?}", lookup);
+    }
+
+    #[test]
+    fn dialect_frontier_templates_present() {
+        let d = world_domain();
+        let db = generate_database(&d.def, 19, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = generate_items(&d, &db, &mut rng, 3);
+        for t in ["cte_count", "case_label", "right_join_all", "full_join_audit"] {
+            assert!(items.iter().any(|i| i.template == t), "missing template {t}");
+        }
     }
 
     #[test]

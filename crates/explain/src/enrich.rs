@@ -126,6 +126,15 @@ fn anchor(unit: &QueryUnit, table: &ProvenanceTable) -> AnnotationTarget {
             None => AnnotationTarget::Table,
         },
         UnitSemantics::HavingCondition { .. } => AnnotationTarget::Table,
+        // A CTE definition describes an intermediate table the whole query
+        // reads from — global semantics, like a join linkage.
+        UnitSemantics::CteDefinition { .. } => AnnotationTarget::Table,
+        UnitSemantics::CaseMapping { operand, .. } => match operand {
+            // A CASE mapping re-labels its discriminating column when one
+            // exists; otherwise it speaks about the row as a whole.
+            Some(c) => col_target(c),
+            None => AnnotationTarget::Table,
+        },
         UnitSemantics::OrderKey { .. }
         | UnitSemantics::RowLimit { .. }
         | UnitSemantics::SetOperation { .. } => AnnotationTarget::Result,

@@ -14,6 +14,7 @@
 //! list on every request. [`discover_join_semantics_uncached`] retains the
 //! original schema-scanning implementation as the parity reference.
 
+use cyclesql_sql::JoinType;
 use cyclesql_storage::DatabaseSchema;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -285,6 +286,26 @@ pub fn discover_join_semantics_with(graph: &SchemaGraph, tables: &[String]) -> J
                 .join(" joined with "),
             tables: distinct,
         },
+    }
+}
+
+/// NL phrase for a join flavor's row-retention semantics: which side of
+/// the join survives without a match. `left`/`right` are NL table names.
+///
+/// The match is exhaustive on purpose — a new join flavor must decide its
+/// phrasing here rather than silently reading like an inner join.
+pub fn join_flavor_phrase(join_type: JoinType, left: &str, right: &str) -> Option<String> {
+    match join_type {
+        JoinType::Inner => None,
+        JoinType::Left => {
+            Some(format!("keeping every {left} even without a matching {right}"))
+        }
+        JoinType::Right => {
+            Some(format!("keeping every {right} even without a matching {left}"))
+        }
+        JoinType::Full => Some(format!(
+            "keeping every {left} and every {right} even when unmatched"
+        )),
     }
 }
 

@@ -13,10 +13,11 @@
 
 use crate::enrich::enrich;
 use crate::graph::build_graph;
-use crate::join_sem::discover_join_semantics;
+use crate::join_sem::{discover_join_semantics, join_flavor_phrase};
 use cyclesql_provenance::Provenance;
 use cyclesql_sql::{
-    AggFunc, BinOp, ClauseKind, Literal, Query, SetOp, SortOrder, UnitSemantics,
+    AggFunc, BinOp, ClauseKind, Expr, Literal, Query, SelectItem, SetOp, SortOrder,
+    UnitSemantics,
 };
 use cyclesql_storage::{Database, ResultSet, Value};
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,12 @@ pub struct ExplanationFacets {
     pub like_patterns: Vec<String>,
     /// Whether the explained result was empty.
     pub empty_result: bool,
+    /// Names of `WITH` definitions the query builds before its main select.
+    pub cte_names: Vec<String>,
+    /// Keywords of non-inner join flavors in FROM order (`"LEFT JOIN"`, ...).
+    pub outer_joins: Vec<String>,
+    /// Number of `CASE` mappings the explanation conveys.
+    pub case_count: usize,
 }
 
 /// A generated natural-language explanation.
@@ -141,10 +148,33 @@ pub fn generate_explanation(
         join_sem.phrase.clone()
     };
 
+    // --- Outer-join retention semantics -------------------------------------
+    // Which join side survives without a match. Left side of each phrase is
+    // the previous table in the FROM chain; dispatch is exhaustive over the
+    // join flavors via `join_flavor_phrase`.
+    let table_nl = |name: &str| -> String {
+        db.schema
+            .table(name)
+            .map(|t| t.nl_name.clone())
+            .unwrap_or_else(|| name.replace('_', " "))
+    };
+    let mut retention_phrases: Vec<String> = Vec::new();
+    let mut prev_table = core.from.base.name.clone();
+    for j in &core.from.joins {
+        if let Some(p) =
+            join_flavor_phrase(j.join_type, &table_nl(&prev_table), &table_nl(&j.table.name))
+        {
+            facets.outer_joins.push(j.join_type.keyword().to_string());
+            retention_phrases.push(p);
+        }
+        prev_table = j.table.name.clone();
+    }
+
     // --- Per-element phrases (Generate-PHASE) ------------------------------
+    let mut setup_phrases: Vec<String> = Vec::new();
     let mut filter_phrases: Vec<String> = Vec::new();
     let mut result_phrases: Vec<String> = Vec::new();
-    let mut tail_phrases: Vec<String> = Vec::new();
+    let mut tail_phrases: Vec<String> = retention_phrases;
 
     let result_row: Option<&Vec<Value>> = result.rows.get(row_idx);
     let prov_row = prov.table.rows.first();
@@ -405,6 +435,114 @@ pub fn generate_explanation(
                     .to_string(),
                 );
             }
+            UnitSemantics::CteDefinition { name, tables, .. } => {
+                facets.cte_names.push(name.clone());
+                let sources: Vec<String> =
+                    tables.iter().map(|t| table_nl(t)).collect();
+                let mut phrase = if sources.is_empty() {
+                    format!("first builds an intermediate result named {name}")
+                } else {
+                    format!(
+                        "first builds an intermediate result named {name} from {}",
+                        sources.join(" and ")
+                    )
+                };
+                // The CTE body's filter thresholds are premise content: the
+                // verifier must be able to match them against the question.
+                if let Some(cte) = query.ctes.iter().find(|c| c.name == *name) {
+                    let body_tables = cte.query.all_tables();
+                    let mut conds = Vec::new();
+                    if let Some(w) = &cte.query.leading_select().where_clause {
+                        simple_comparisons(w, &mut conds);
+                    }
+                    let mut kept: Vec<String> = Vec::new();
+                    for (c, op, v) in &conds {
+                        let cn = column_nl(db, &body_tables, c);
+                        let vtext = literal_text(v);
+                        grounded.push(vtext.clone());
+                        facets.comparisons.push((cn.clone(), *op, vtext.clone()));
+                        kept.push(format!("{cn} is {} {vtext}", op_phrase(*op)));
+                    }
+                    if !kept.is_empty() {
+                        phrase.push_str(&format!(
+                            ", keeping rows where {}",
+                            kept.join(" and ")
+                        ));
+                    }
+                }
+                setup_phrases.push(phrase);
+            }
+            UnitSemantics::CaseMapping { operand, branches, has_else, sql } => {
+                facets.case_count += 1;
+                let opname = operand.as_ref().map(&nl_col);
+                let fallback = if *has_else { " with a fallback" } else { "" };
+                // The discriminating branch conditions are premise content:
+                // ground their thresholds so the verifier can match them
+                // against the question.
+                let mut conds = Vec::new();
+                if let Some(Expr::Case { operand: op_expr, branches: arms, .. }) =
+                    find_case(query, sql)
+                {
+                    for (cond, _) in arms {
+                        match (op_expr.as_deref(), cond) {
+                            // Simple form: `CASE col WHEN lit` is an equality.
+                            (Some(Expr::Column(c)), Expr::Literal(v)) => {
+                                conds.push((c.clone(), BinOp::Eq, v.clone()))
+                            }
+                            (None, cond) => simple_comparisons(cond, &mut conds),
+                            _ => {}
+                        }
+                    }
+                }
+                let mut tests: Vec<String> = Vec::new();
+                for (c, op, v) in &conds {
+                    let cn = nl_col(c);
+                    let vtext = literal_text(v);
+                    grounded.push(vtext.clone());
+                    facets.comparisons.push((cn.clone(), *op, vtext.clone()));
+                    tests.push(format!("{cn} is {} {vtext}", op_phrase(*op)));
+                }
+                let depending = if tests.is_empty() {
+                    String::new()
+                } else {
+                    format!(" depending on whether {}", tests.join(" or "))
+                };
+                if u.clause == ClauseKind::Select {
+                    // A CASE projection occupies a result column: quote the
+                    // value it produced for the explained row.
+                    let value = result_row.and_then(|r| r.get(proj_seen)).cloned();
+                    proj_seen += 1;
+                    let based = match &opname {
+                        Some(c) => format!("based on the {c}"),
+                        None => "based on the row".to_string(),
+                    };
+                    match value {
+                        Some(v) if !v.is_null() => {
+                            let vtext = v.to_string();
+                            grounded.push(vtext.clone());
+                            result_phrases.push(format!(
+                                "{based}, a case mapping over {}{fallback} \
+                                 yields {vtext}{depending}",
+                                plural(*branches, "condition")
+                            ));
+                        }
+                        _ => result_phrases.push(format!(
+                            "{based}, the value is derived through a case mapping \
+                             over {}{fallback}{depending}",
+                            plural(*branches, "condition")
+                        )),
+                    }
+                } else {
+                    let on = match &opname {
+                        Some(c) => format!(" on the {c}"),
+                        None => String::new(),
+                    };
+                    filter_phrases.push(format!(
+                        "a case mapping{on} over {}{fallback} holds{depending}",
+                        plural(*branches, "condition")
+                    ));
+                }
+            }
             UnitSemantics::Opaque { sql, .. } => {
                 filter_phrases.push(format!("satisfying {sql}"));
             }
@@ -419,6 +557,10 @@ pub fn generate_explanation(
     // --- Compose-PHASE -----------------------------------------------------
     let mut phrases = Vec::new();
     let mut body = String::new();
+    if !setup_phrases.is_empty() {
+        body.push_str(&format!("The query {}. ", setup_phrases.join(", then ")));
+        phrases.extend(setup_phrases.clone());
+    }
     if !filter_phrases.is_empty() {
         body.push_str(&format!(
             "That is, for {subject}, filtered by {}",
@@ -532,6 +674,71 @@ fn column_nl(db: &Database, tables: &[String], c: &cyclesql_sql::ColumnRef) -> S
         }
     }
     c.column.replace('_', " ")
+}
+
+/// Collects the simple `column op literal` conjuncts of a predicate,
+/// normalizing flipped literals. OR branches, subqueries and other
+/// structures are skipped — this mines groundable thresholds, it does not
+/// need to be exhaustive.
+fn simple_comparisons(
+    e: &Expr,
+    out: &mut Vec<(cyclesql_sql::ColumnRef, BinOp, Literal)>,
+) {
+    match e {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            simple_comparisons(left, out);
+            simple_comparisons(right, out);
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) => {
+                    out.push((c.clone(), *op, v.clone()))
+                }
+                (Expr::Literal(v), Expr::Column(c)) => {
+                    out.push((c.clone(), op.flipped(), v.clone()))
+                }
+                _ => {}
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Finds the `CASE` expression rendering as `sql` in the query's
+/// projections or predicates (the unit only carries the rendering).
+fn find_case<'a>(q: &'a Query, sql: &str) -> Option<&'a Expr> {
+    fn in_expr<'a>(e: &'a Expr, sql: &str) -> Option<&'a Expr> {
+        if matches!(e, Expr::Case { .. }) && e.to_string() == sql {
+            return Some(e);
+        }
+        match e {
+            Expr::Binary { left, right, .. } => {
+                in_expr(left, sql).or_else(|| in_expr(right, sql))
+            }
+            Expr::Not(inner) => in_expr(inner, sql),
+            Expr::Case { operand, branches, else_ } => operand
+                .as_deref()
+                .and_then(|o| in_expr(o, sql))
+                .or_else(|| {
+                    branches.iter().find_map(|(c, r)| {
+                        in_expr(c, sql).or_else(|| in_expr(r, sql))
+                    })
+                })
+                .or_else(|| else_.as_deref().and_then(|x| in_expr(x, sql))),
+            _ => None,
+        }
+    }
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for core in q.body.select_cores() {
+        for p in &core.projections {
+            if let SelectItem::Expr { expr, .. } = p {
+                exprs.push(expr);
+            }
+        }
+        exprs.extend(core.where_clause.iter());
+        exprs.extend(core.having.iter());
+    }
+    exprs.into_iter().find_map(|e| in_expr(e, sql))
 }
 
 fn op_phrase(op: BinOp) -> &'static str {

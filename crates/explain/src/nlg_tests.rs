@@ -377,3 +377,69 @@ fn singular_count_uses_is() {
     let e = generate_explanation(&db, &q, &result, 0, &prov);
     assert!(e.text.contains("there is 1 country in total"), "{}", e.text);
 }
+
+#[test]
+fn cte_explanation_names_intermediate_result() {
+    let db = world_db();
+    let e = explain(
+        &db,
+        "WITH euro AS (SELECT name, population FROM country WHERE continent = 'Europe') \
+         SELECT count(*) FROM euro",
+    );
+    assert!(
+        e.text.contains("first builds an intermediate result named euro"),
+        "{}",
+        e.text
+    );
+    assert!(e.text.contains("country"), "{}", e.text);
+    assert_eq!(e.facets.cte_names, vec!["euro".to_string()]);
+    // The aggregate over the CTE body is still grounded: 2 European rows.
+    assert!(e.text.contains('2'), "{}", e.text);
+}
+
+#[test]
+fn case_projection_quotes_mapped_value() {
+    let db = world_db();
+    let e = explain(
+        &db,
+        "SELECT name, CASE WHEN population > 1000000 THEN 'big' ELSE 'small' END \
+         FROM country WHERE name = 'Aruba'",
+    );
+    assert!(e.text.contains("case mapping"), "{}", e.text);
+    assert!(e.text.contains("small"), "{}", e.text);
+    assert_eq!(e.facets.case_count, 1);
+}
+
+#[test]
+fn left_join_explanation_keeps_retention_phrase() {
+    let db = flight_db();
+    let e = explain(
+        &db,
+        "SELECT T2.name FROM flight AS T1 LEFT JOIN aircraft AS T2 ON T1.aid = T2.aid",
+    );
+    assert!(e.text.contains("keeping every"), "{}", e.text);
+    assert_eq!(e.facets.outer_joins, vec!["LEFT JOIN".to_string()]);
+}
+
+#[test]
+fn full_outer_join_explanation_mentions_both_sides() {
+    let db = world_db();
+    let e = explain(
+        &db,
+        "SELECT T1.name FROM country AS T1 FULL OUTER JOIN countrylanguage AS T2 \
+         ON T1.code = T2.countrycode",
+    );
+    assert!(e.text.contains("even when unmatched"), "{}", e.text);
+    assert_eq!(e.facets.outer_joins, vec!["FULL OUTER JOIN".to_string()]);
+}
+
+#[test]
+fn inner_join_has_no_retention_phrase_or_outer_facet() {
+    let db = flight_db();
+    let e = explain(
+        &db,
+        "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid",
+    );
+    assert!(!e.text.contains("keeping every"), "{}", e.text);
+    assert!(e.facets.outer_joins.is_empty());
+}

@@ -8,7 +8,7 @@
 //! dropped predicates, flipped negations/orderings, and swapped set ops.
 
 use cyclesql_sql::{
-    AggFunc, BinOp, Expr, FuncArg, Literal, Query, QueryBody, SelectItem, SetOp,
+    AggFunc, BinOp, Expr, FuncArg, JoinType, Literal, Query, QueryBody, SelectItem, SetOp,
 };
 use cyclesql_storage::Database;
 use rand::rngs::StdRng;
@@ -45,11 +45,20 @@ pub enum ErrorOp {
     FlipNegation,
     /// Change the HAVING bound.
     ChangeHavingBound,
+    /// Use the wrong join flavor (INNER ↔ LEFT, RIGHT ↔ FULL) — the
+    /// retained-rows confusion outer joins invite.
+    WrongJoinFlavor,
+    /// Scramble a CASE expression: swap the first two WHEN branches, or a
+    /// lone branch's THEN with the ELSE.
+    WrongCaseBranch,
+    /// Drop the WHERE filter inside a `WITH` body, over-widening the
+    /// intermediate table the rest of the query reads.
+    DropCteFilter,
 }
 
 impl ErrorOp {
     /// All operators.
-    pub const ALL: [ErrorOp; 14] = [
+    pub const ALL: [ErrorOp; 17] = [
         ErrorOp::WrongAggregate,
         ErrorOp::PlainToCount,
         ErrorOp::CountToPlain,
@@ -64,6 +73,9 @@ impl ErrorOp {
         ErrorOp::WrongJoinKey,
         ErrorOp::FlipNegation,
         ErrorOp::ChangeHavingBound,
+        ErrorOp::WrongJoinFlavor,
+        ErrorOp::WrongCaseBranch,
+        ErrorOp::DropCteFilter,
     ];
 }
 
@@ -107,6 +119,9 @@ pub fn apply_error_op(
         ErrorOp::WrongJoinKey => wrong_join_key(&mut q, db, rng),
         ErrorOp::FlipNegation => flip_negation(&mut q),
         ErrorOp::ChangeHavingBound => change_having_bound(&mut q),
+        ErrorOp::WrongJoinFlavor => wrong_join_flavor(&mut q),
+        ErrorOp::WrongCaseBranch => wrong_case_branch(&mut q),
+        ErrorOp::DropCteFilter => drop_cte_filter(&mut q),
     };
     applied.then_some(q)
 }
@@ -432,6 +447,67 @@ fn flip_negation_in(e: &mut Expr) -> bool {
     }
 }
 
+fn wrong_join_flavor(q: &mut Query) -> bool {
+    let core = q.leading_select_mut();
+    let Some(join) = core.from.joins.first_mut() else { return false };
+    // Exhaustive rotation — every flavor has a designated confusion, so a
+    // new flavor must pick its wrong twin here.
+    join.join_type = match join.join_type {
+        JoinType::Inner => JoinType::Left,
+        JoinType::Left => JoinType::Inner,
+        JoinType::Right => JoinType::Full,
+        JoinType::Full => JoinType::Right,
+    };
+    true
+}
+
+fn wrong_case_branch(q: &mut Query) -> bool {
+    let core = q.leading_select_mut();
+    for item in &mut core.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            if corrupt_case_in(expr) {
+                return true;
+            }
+        }
+    }
+    if let Some(w) = &mut core.where_clause {
+        if corrupt_case_in(w) {
+            return true;
+        }
+    }
+    false
+}
+
+fn corrupt_case_in(e: &mut Expr) -> bool {
+    match e {
+        Expr::Case { branches, else_, .. } => {
+            if branches.len() >= 2 {
+                branches.swap(0, 1);
+                true
+            } else if let (Some((_, then)), Some(els)) =
+                (branches.first_mut(), else_.as_deref_mut())
+            {
+                std::mem::swap(then, els);
+                true
+            } else {
+                false
+            }
+        }
+        Expr::Binary { left, right, .. } => corrupt_case_in(left) || corrupt_case_in(right),
+        Expr::Not(inner) => corrupt_case_in(inner),
+        _ => false,
+    }
+}
+
+fn drop_cte_filter(q: &mut Query) -> bool {
+    for cte in &mut q.ctes {
+        if cte.query.leading_select_mut().where_clause.take().is_some() {
+            return true;
+        }
+    }
+    false
+}
+
 fn change_having_bound(q: &mut Query) -> bool {
     let core = q.leading_select_mut();
     let Some(h) = &mut core.having else { return false };
@@ -556,6 +632,57 @@ mod tests {
     }
 
     #[test]
+    fn wrong_join_flavor_rotates_every_flavor() {
+        let d = db();
+        let cases = [
+            ("JOIN", "LEFT JOIN"),
+            ("LEFT JOIN", "JOIN"),
+            ("RIGHT JOIN", "FULL OUTER JOIN"),
+            ("FULL OUTER JOIN", "RIGHT JOIN"),
+        ];
+        for (from, to) in cases {
+            let q = parse(&format!(
+                "SELECT flno FROM flight AS T1 {from} aircraft AS T2 ON T1.aid = T2.aid"
+            ))
+            .unwrap();
+            let wrong = apply_error_op(ErrorOp::WrongJoinFlavor, &q, &d, &mut rng()).unwrap();
+            assert!(to_sql(&wrong).contains(to), "{from}: {}", to_sql(&wrong));
+        }
+        let no_join = parse("SELECT flno FROM flight").unwrap();
+        assert!(apply_error_op(ErrorOp::WrongJoinFlavor, &no_join, &d, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn wrong_case_branch_swaps_arms() {
+        let d = db();
+        let q = parse(
+            "SELECT CASE WHEN aid = 3 THEN 'a' WHEN aid = 4 THEN 'b' END FROM flight",
+        )
+        .unwrap();
+        let wrong = apply_error_op(ErrorOp::WrongCaseBranch, &q, &d, &mut rng()).unwrap();
+        let sql = to_sql(&wrong);
+        assert!(sql.find("'b'").unwrap() < sql.find("'a'").unwrap(), "{sql}");
+        // Single branch: THEN and ELSE trade places.
+        let q2 =
+            parse("SELECT CASE WHEN aid = 3 THEN 'hit' ELSE 'miss' END FROM flight").unwrap();
+        let wrong2 = apply_error_op(ErrorOp::WrongCaseBranch, &q2, &d, &mut rng()).unwrap();
+        assert!(to_sql(&wrong2).contains("THEN 'miss' ELSE 'hit'"), "{}", to_sql(&wrong2));
+    }
+
+    #[test]
+    fn drop_cte_filter_widens_with_body() {
+        let d = db();
+        let q = parse(
+            "WITH la AS (SELECT flno FROM flight WHERE origin = 'LA') SELECT count(*) FROM la",
+        )
+        .unwrap();
+        let wrong = apply_error_op(ErrorOp::DropCteFilter, &q, &d, &mut rng()).unwrap();
+        assert!(!to_sql(&wrong).contains("WHERE"), "{}", to_sql(&wrong));
+        let plain = parse("SELECT flno FROM flight WHERE origin = 'LA'").unwrap();
+        assert!(apply_error_op(ErrorOp::DropCteFilter, &plain, &d, &mut rng()).is_none());
+    }
+
+    #[test]
     fn all_ops_produce_executable_sql_when_applicable() {
         let d = db();
         let queries = [
@@ -564,6 +691,10 @@ mod tests {
             "SELECT max(aid) FROM flight GROUP BY origin HAVING count(*) > 1 ORDER BY max(aid) DESC LIMIT 1",
             "SELECT flno FROM flight INTERSECT SELECT flno FROM flight WHERE aid = 3",
             "SELECT DISTINCT origin FROM flight WHERE aid IN (SELECT aid FROM aircraft)",
+            "WITH la AS (SELECT flno, aid FROM flight WHERE origin = 'LA') SELECT count(*) FROM la",
+            "SELECT CASE WHEN aid = 3 THEN 'a' ELSE 'b' END FROM flight",
+            "SELECT T1.flno FROM flight AS T1 FULL OUTER JOIN aircraft AS T2 ON T1.aid = T2.aid",
+            "SELECT T1.flno FROM flight AS T1 RIGHT JOIN aircraft AS T2 ON T1.aid = T2.aid",
         ];
         for sql in queries {
             let q = parse(sql).unwrap();

@@ -15,7 +15,7 @@ use cyclesql_sql::{AggFunc, BinOp, SetOp, SortOrder};
 use std::collections::HashSet;
 
 /// Number of features produced by [`extract_features`].
-pub const FEATURE_DIM: usize = 28;
+pub const FEATURE_DIM: usize = 30;
 
 /// Intent signals mined from the NL question (the hypothesis).
 #[derive(Debug, Clone, Default)]
@@ -52,6 +52,11 @@ pub struct QuestionIntent {
     pub between: bool,
     /// "different"/"distinct"/"unique" phrasing.
     pub distinct: bool,
+    /// Outer-join retention phrasing ("including X without any",
+    /// "unmatched rows").
+    pub retention: bool,
+    /// Classification phrasing ("whether … is high or low", "label").
+    pub classify: bool,
     /// Numbers mentioned in the question.
     pub numbers: Vec<String>,
     /// Top-k number if present ("top 3").
@@ -95,11 +100,17 @@ pub fn question_intent(question: &str) -> QuestionIntent {
     intent.per_group = phrase("for each") || word("per") || word("each");
     intent.at_least = phrase("at least") || phrase("or more") || phrase("no fewer");
     intent.gt = phrase("greater than") || phrase("more than") || word("above")
-        || word("over") || word("exceeding") || intent.at_least;
+        || word("over") || word("exceeding") || word("exceeds") || intent.at_least;
     intent.lt = phrase("less than") || word("below") || word("under") || phrase("at most")
         || phrase("fewer than");
     intent.between = word("between");
     intent.distinct = word("different") || word("distinct") || word("unique");
+    intent.retention = phrase("without any") || word("unmatched")
+        || phrase("even when") || phrase("even if")
+        || (word("including") && word("without"));
+    intent.classify = word("whether") || word("classify") || word("classified")
+        || word("categorize") || word("categorized") || word("label")
+        || word("labeled") || (word("high") && word("low"));
 
     for token in q.split(|c: char| !c.is_ascii_alphanumeric() && c != '.') {
         if token.is_empty() {
@@ -251,12 +262,27 @@ pub fn extract_features(
     }
 
     // 12: negation agreement (an EXCEPT set operation realizes negation).
+    // Retention questions ("including countries without any") use negation
+    // words to describe outer-join padding, not a filter — neutral when the
+    // premise conveys an outer join.
     let premise_negates = facets.negations > 0 || facets.set_op == Some(SetOp::Except);
-    f.push(agree(intent.negation, premise_negates));
+    let retention_explained = intent.retention && !facets.outer_joins.is_empty();
+    if retention_explained {
+        f.push(0.0);
+    } else {
+        f.push(agree(intent.negation, premise_negates));
+    }
     // 13: grouping agreement. Grouping without "for each" is natural in
     // superlative questions ("which continent has the most…"), so only a
-    // plain question with grouping counts as a mismatch.
+    // plain question with grouping counts as a mismatch. "For each X,
+    // show…" over a CASE labelling or a padded join enumerates rows rather
+    // than aggregating groups — also neutral.
     if intent.superlative && !facets.group_keys.is_empty() && !intent.per_group {
+        f.push(0.0);
+    } else if intent.per_group
+        && facets.group_keys.is_empty()
+        && (facets.case_count > 0 || !facets.outer_joins.is_empty())
+    {
         f.push(0.0);
     } else {
         f.push(agree(intent.per_group, !facets.group_keys.is_empty()));
@@ -305,7 +331,11 @@ pub fn extract_features(
         Some(SetOp::Except) => agree(intent.except || intent.negation, true),
         Some(SetOp::Union) => 0.2,
         None => {
-            if intent.both || intent.except {
+            if retention_explained {
+                // "unmatched rows from both sides" describes join padding,
+                // not an intersection.
+                0.0
+            } else if intent.both || intent.except {
                 // Wanted a set operation, premise has none — mildly negative
                 // (NOT IN can realize "except" without a set op).
                 if facets.negations > 0 {
@@ -389,14 +419,22 @@ pub fn extract_features(
         f.push(2.0 * hits as f64 / entities.len() as f64 - 1.0);
     }
 
-    // 26: no-negative-evidence — a derived indicator the linear model
+    // 26: outer-join retention agreement — "including X without any" /
+    // "unmatched" questions expect a padded (LEFT/RIGHT/FULL) join.
+    f.push(agree(intent.retention, !facets.outer_joins.is_empty()));
+
+    // 27: classification agreement — "whether … is high or low" questions
+    // expect a CASE mapping in the premise.
+    f.push(agree(intent.classify, facets.case_count > 0));
+
+    // 28: no-negative-evidence — a derived indicator the linear model
     // cannot express itself: +1 when no individual feature flags a
     // mismatch, -1 otherwise. This is what separates a bland-but-correct
     // explanation (nothing wrong detected) from a subtly wrong one.
     let clean = !f.iter().any(|&x| x <= -0.5);
     f.push(if clean { 1.0 } else { -1.0 });
 
-    // 27: bias.
+    // 29: bias.
     f.push(1.0);
 
     debug_assert_eq!(f.len(), FEATURE_DIM);

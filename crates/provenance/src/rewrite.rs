@@ -45,12 +45,13 @@ pub fn rewrite_for_provenance(
     let cores = original.body.select_cores();
     cores
         .into_iter()
-        .map(|core| rewrite_core(db, core, result_columns, result_row))
+        .map(|core| rewrite_core(db, original, core, result_columns, result_row))
         .collect()
 }
 
 fn rewrite_core(
     db: &Database,
+    original: &Query,
     core: &SelectCore,
     result_columns: &[String],
     result_row: &[Value],
@@ -180,7 +181,11 @@ fn rewrite_core(
     conjuncts.extend(having_moved);
     new_core.where_clause = Expr::from_conjuncts(conjuncts);
 
+    // Carry the CTEs over unchanged: the rewritten core may reference them
+    // in FROM, and a `WITH` body is its own query — the rules apply to the
+    // outer select, not to the named tables it draws from.
     let query = Query {
+        ctes: original.ctes.clone(),
         body: QueryBody::Select(new_core),
         order_by: Vec::new(),
         limit: None,

@@ -182,6 +182,16 @@ pub enum Expr {
     Like { expr: Box<Expr>, pattern: String, negated: bool },
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<Expr>, negated: bool },
+    /// `CASE [operand] WHEN cond THEN value ... [ELSE value] END`.
+    ///
+    /// With an operand, each `WHEN` arm compares `operand = cond`; without
+    /// one, each `WHEN` arm is a boolean condition. Branches evaluate
+    /// lazily, first match wins, and a missing `ELSE` yields `NULL`.
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_: Option<Box<Expr>>,
+    },
 }
 
 impl Expr {
@@ -258,6 +268,18 @@ impl Expr {
                 high.visit(f);
             }
             Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::Case { operand, branches, else_ } => {
+                if let Some(op) = operand {
+                    op.visit(f);
+                }
+                for (cond, value) in branches {
+                    cond.visit(f);
+                    value.visit(f);
+                }
+                if let Some(e) = else_ {
+                    e.visit(f);
+                }
+            }
             _ => {}
         }
     }
@@ -336,12 +358,40 @@ impl TableRef {
 }
 
 #[allow(missing_docs)] // variant/field names are self-describing
-/// Join flavor. Spider uses inner joins almost exclusively; `LEFT` appears in
-/// a handful of queries.
+/// Join flavor. Spider uses inner joins almost exclusively; the outer
+/// flavors pad the non-preserved side with NULL rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum JoinType {
     Inner,
     Left,
+    Right,
+    Full,
+}
+
+impl JoinType {
+    /// Which sides are padded with NULLs when unmatched, as
+    /// `(pad_unmatched_left_rows, pad_unmatched_right_rows)`.
+    ///
+    /// The match is deliberately exhaustive: adding a flavor must force
+    /// every engine's pad logic to say what it does.
+    pub fn pads(self) -> (bool, bool) {
+        match self {
+            JoinType::Inner => (false, false),
+            JoinType::Left => (true, false),
+            JoinType::Right => (false, true),
+            JoinType::Full => (true, true),
+        }
+    }
+
+    /// SQL surface keyword(s) for the flavor.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            JoinType::Inner => "JOIN",
+            JoinType::Left => "LEFT JOIN",
+            JoinType::Right => "RIGHT JOIN",
+            JoinType::Full => "FULL OUTER JOIN",
+        }
+    }
 }
 
 #[allow(missing_docs)] // variant/field names are self-describing
@@ -488,10 +538,25 @@ impl QueryBody {
     }
 }
 
+/// One `WITH name AS (query)` common table expression. Non-recursive: the
+/// body may reference base tables and *earlier* CTEs of the same `WITH`
+/// list, never itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cte {
+    /// Name the CTE is visible under (lower-cased); shadows a base table
+    /// of the same name for the rest of the query.
+    pub name: String,
+    /// The CTE body.
+    pub query: Query,
+}
+
 #[allow(missing_docs)] // variant/field names are self-describing
-/// A full SQL query: body plus ordering and limit.
+/// A full SQL query: optional CTE prologue, body, ordering and limit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Query {
+    /// `WITH` common table expressions, in declaration order.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub ctes: Vec<Cte>,
     pub body: QueryBody,
     pub order_by: Vec<OrderItem>,
     pub limit: Option<u64>,
@@ -500,7 +565,12 @@ pub struct Query {
 impl Query {
     /// Wraps a select core into a full query with no ordering or limit.
     pub fn simple(core: SelectCore) -> Query {
-        Query { body: QueryBody::Select(core), order_by: Vec::new(), limit: None }
+        Query {
+            ctes: Vec::new(),
+            body: QueryBody::Select(core),
+            order_by: Vec::new(),
+            limit: None,
+        }
     }
 
     /// The leftmost select core.
@@ -513,12 +583,21 @@ impl Query {
         self.body.leading_select_mut()
     }
 
-    /// All tables referenced anywhere in the query, including subqueries.
+    /// All *base* tables referenced anywhere in the query, including
+    /// subqueries and CTE bodies. CTE names themselves are excluded: a
+    /// `FROM` of a CTE reads the materialized intermediate, not a base
+    /// table.
     pub fn all_tables(&self) -> Vec<String> {
         let mut out = Vec::new();
+        let cte_names: Vec<&str> = self.ctes.iter().map(|c| c.name.as_str()).collect();
+        for cte in &self.ctes {
+            out.extend(cte.query.all_tables());
+        }
         for core in self.body.select_cores() {
             for t in core.from.tables() {
-                out.push(t.name.clone());
+                if !cte_names.iter().any(|n| *n == t.name) {
+                    out.push(t.name.clone());
+                }
             }
             let mut nested: Vec<&Query> = Vec::new();
             if let Some(w) = &core.where_clause {
@@ -528,7 +607,9 @@ impl Query {
                 nested.extend(h.subqueries());
             }
             for q in nested {
-                out.extend(q.all_tables());
+                out.extend(
+                    q.all_tables().into_iter().filter(|n| !cte_names.iter().any(|c| c == n)),
+                );
             }
         }
         out.sort();

@@ -64,6 +64,14 @@ pub fn canonicalize(q: &mut Query) {
 
 fn collect_table_names(q: &Query) -> std::collections::HashSet<String> {
     let mut names = std::collections::HashSet::new();
+    fn walk_query(q: &Query, names: &mut std::collections::HashSet<String>) {
+        for cte in &q.ctes {
+            // CTE names behave like table names for collision purposes.
+            names.insert(cte.name.clone());
+            walk_query(&cte.query, names);
+        }
+        walk_body(&q.body, names);
+    }
     fn walk_body(b: &QueryBody, names: &mut std::collections::HashSet<String>) {
         match b {
             QueryBody::Select(core) => {
@@ -78,7 +86,7 @@ fn collect_table_names(q: &Query) -> std::collections::HashSet<String> {
                     subs.extend(h.subqueries());
                 }
                 for sq in subs {
-                    walk_body(&sq.body, names);
+                    walk_query(sq, names);
                 }
             }
             QueryBody::SetOp { left, right, .. } => {
@@ -87,7 +95,7 @@ fn collect_table_names(q: &Query) -> std::collections::HashSet<String> {
             }
         }
     }
-    walk_body(&q.body, &mut names);
+    walk_query(q, &mut names);
     names
 }
 
@@ -96,6 +104,9 @@ fn collect_table_names(q: &Query) -> std::collections::HashSet<String> {
 // ---------------------------------------------------------------------------
 
 fn normalize_query(q: &mut Query) {
+    for cte in &mut q.ctes {
+        normalize_query(&mut cte.query);
+    }
     normalize_body(&mut q.body);
     for o in &mut q.order_by {
         normalize_expr(&mut o.expr);
@@ -186,6 +197,20 @@ fn normalize_expr(e: &mut Expr) {
             *pattern = "?".to_string();
         }
         Expr::IsNull { expr, .. } => normalize_expr(expr),
+        Expr::Case { operand, branches, else_ } => {
+            if let Some(op) = operand {
+                normalize_expr(op);
+            }
+            // Branch order is semantic (first match wins): normalize in
+            // place, never sort.
+            for (cond, value) in branches.iter_mut() {
+                normalize_expr(cond);
+                normalize_expr(value);
+            }
+            if let Some(e) = else_ {
+                normalize_expr(e);
+            }
+        }
     }
 }
 
@@ -236,6 +261,18 @@ fn mask_qualifiers(e: &mut Expr) {
             mask_qualifiers(high);
         }
         Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => mask_qualifiers(expr),
+        Expr::Case { operand, branches, else_ } => {
+            if let Some(op) = operand {
+                mask_qualifiers(op);
+            }
+            for (cond, value) in branches.iter_mut() {
+                mask_qualifiers(cond);
+                mask_qualifiers(value);
+            }
+            if let Some(e) = else_ {
+                mask_qualifiers(e);
+            }
+        }
         // Subqueries contribute their full text; masking inside them is
         // unnecessary for a stable ordering key.
         _ => {}
@@ -273,6 +310,14 @@ impl AliasRenamer {
 }
 
 fn rename_query(q: &mut Query, renamer: &mut AliasRenamer) {
+    for cte in &mut q.ctes {
+        // CTE names are meaningful identifiers (they name an intermediate
+        // result), not throwaway aliases: pin them to themselves so every
+        // reference — qualified column or FROM — keeps the name, and
+        // rename the aliases *inside* the body with the shared renamer.
+        renamer.map.insert(cte.name.clone(), cte.name.clone());
+        rename_query(&mut cte.query, renamer);
+    }
     rename_body(&mut q.body, renamer);
     for o in &mut q.order_by {
         rename_expr(&mut o.expr, renamer);
@@ -361,6 +406,18 @@ fn rename_expr(e: &mut Expr, renamer: &mut AliasRenamer) {
             rename_expr(high, renamer);
         }
         Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => rename_expr(expr, renamer),
+        Expr::Case { operand, branches, else_ } => {
+            if let Some(op) = operand {
+                rename_expr(op, renamer);
+            }
+            for (cond, value) in branches.iter_mut() {
+                rename_expr(cond, renamer);
+                rename_expr(value, renamer);
+            }
+            if let Some(e) = else_ {
+                rename_expr(e, renamer);
+            }
+        }
     }
 }
 
@@ -475,6 +532,57 @@ mod tests {
     fn canonical_key_is_stable() {
         let q = parse("SELECT a FROM t WHERE x = 1 AND y = 2").unwrap();
         assert_eq!(canonical_key(&q), canonical_key(&q));
+    }
+
+    #[test]
+    fn cte_names_survive_canonicalization() {
+        let q = parse(
+            "WITH big AS (SELECT name FROM city WHERE population > 1000) \
+             SELECT big.name FROM big",
+        )
+        .unwrap();
+        let k = canonical_key(&q);
+        assert!(k.contains("WITH big AS"), "key: {k}");
+        assert!(k.contains("FROM big"), "key: {k}");
+        // Idempotent: canonicalizing the canonical form is a fixed point.
+        assert_eq!(k, canonical_key(&parse(&k).unwrap()));
+    }
+
+    #[test]
+    fn cte_literals_masked_and_aliases_renamed() {
+        assert!(em(
+            "WITH big AS (SELECT name FROM city AS c WHERE c.population > 1000) SELECT name FROM big",
+            "WITH big AS (SELECT name FROM city AS z WHERE z.population > 9) SELECT name FROM big",
+        ));
+        // Different CTE names are structural: they name the intermediate.
+        assert!(!em(
+            "WITH big AS (SELECT name FROM city) SELECT name FROM big",
+            "WITH tiny AS (SELECT name FROM city) SELECT name FROM tiny",
+        ));
+    }
+
+    #[test]
+    fn case_branch_order_is_structural_but_values_are_not() {
+        assert!(em(
+            "SELECT CASE WHEN x > 1 THEN 'a' ELSE 'b' END FROM t",
+            "SELECT CASE WHEN x > 9 THEN 'zz' ELSE 'qq' END FROM t",
+        ));
+        assert!(!em(
+            "SELECT CASE WHEN x > 1 THEN 'a' WHEN y > 1 THEN 'b' END FROM t",
+            "SELECT CASE WHEN y > 1 THEN 'b' WHEN x > 1 THEN 'a' END FROM t",
+        ));
+    }
+
+    #[test]
+    fn join_flavor_is_structural() {
+        assert!(!em(
+            "SELECT a FROM t LEFT JOIN u ON t.id = u.id",
+            "SELECT a FROM t RIGHT JOIN u ON t.id = u.id",
+        ));
+        let q = parse("SELECT a FROM t FULL OUTER JOIN u ON t.id = u.id").unwrap();
+        let k = canonical_key(&q);
+        assert!(k.contains("FULL OUTER JOIN"), "key: {k}");
+        assert_eq!(k, canonical_key(&parse(&k).unwrap()));
     }
 
     #[test]

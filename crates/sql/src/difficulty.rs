@@ -58,6 +58,12 @@ pub fn component_counts(q: &Query) -> ComponentCounts {
 }
 
 fn count_query(q: &Query, c: &mut ComponentCounts, top_level: bool) {
+    // A CTE is a nested query the same way a subquery is: count the
+    // definition as a component2 and fold in its body's components.
+    for cte in &q.ctes {
+        c.comp2 += 1;
+        count_query(&cte.query, c, false);
+    }
     if !q.order_by.is_empty() {
         c.comp1 += 1;
     }
@@ -133,6 +139,7 @@ fn count_expr(e: &Expr, c: &mut ComponentCounts) {
     e.visit(&mut |sub| match sub {
         Expr::Binary { op: BinOp::Or, .. } => c.comp1 += 1,
         Expr::Like { .. } => c.comp1 += 1,
+        Expr::Case { .. } => c.others += 1,
         _ => {}
     });
     for sq in e.subqueries() {

@@ -5,9 +5,11 @@
 //! classifier, and the clause-unit decomposition used by the semantics
 //! enrichment stage.
 //!
-//! The grammar is the Spider SQL subset: `SELECT` (with `DISTINCT`,
-//! aggregates, arithmetic), multi-way `JOIN ... ON`, `WHERE` with boolean
-//! logic and `IN`/`EXISTS`/scalar subqueries, `GROUP BY`/`HAVING`,
+//! The grammar is the Spider SQL subset plus a dialect extension: `SELECT`
+//! (with `DISTINCT`, aggregates, arithmetic), multi-way `JOIN ... ON` in
+//! all four flavors (`INNER`/`LEFT`/`RIGHT`/`FULL OUTER`), `WHERE` with
+//! boolean logic and `IN`/`EXISTS`/scalar subqueries, `CASE WHEN`
+//! expressions, `WITH` common table expressions, `GROUP BY`/`HAVING`,
 //! `ORDER BY`/`LIMIT`, and `UNION`/`INTERSECT`/`EXCEPT`.
 //!
 //! ```
@@ -33,8 +35,8 @@ pub mod token;
 pub mod units;
 
 pub use ast::{
-    AggFunc, BinOp, ColumnRef, Expr, FromClause, FuncArg, Join, JoinType, Literal, OrderItem,
-    Query, QueryBody, SelectCore, SelectItem, SetOp, SortOrder, TableRef,
+    AggFunc, BinOp, ColumnRef, Cte, Expr, FromClause, FuncArg, Join, JoinType, Literal,
+    OrderItem, Query, QueryBody, SelectCore, SelectItem, SetOp, SortOrder, TableRef,
 };
 pub use canonical::{canonical_key, canonicalize, exact_match, CanonicalSql};
 pub use difficulty::{classify, component_counts, ComponentCounts, Difficulty};

@@ -2,30 +2,60 @@
 
 use crate::ast::*;
 use crate::error::SqlError;
-use crate::token::{tokenize, Keyword, Token};
+use crate::token::{tokenize_spanned, Keyword, Token};
 
 /// Parses a SQL string into a [`Query`].
 ///
 /// # Errors
 ///
-/// Returns [`SqlError`] on lexical or syntactic problems.
+/// Returns [`SqlError`] on lexical or syntactic problems. Parse errors
+/// carry the byte offset of the offending token:
+/// `expected X at offset N near 'tok'`.
 pub fn parse(input: &str) -> Result<Query, SqlError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let (tokens, offsets) = tokenize_spanned(input)?;
+    let mut p = Parser { tokens, offsets, pos: 0, input_len: input.len() };
     let q = p.parse_query()?;
     p.eat_if(&Token::Semicolon);
     if p.pos != p.tokens.len() {
-        return Err(SqlError::parse(format!(
-            "trailing tokens after query: {:?}",
-            &p.tokens[p.pos..p.tokens.len().min(p.pos + 4)]
-        )));
+        return Err(p.err_expected("end of input"));
     }
     Ok(q)
 }
 
+/// Surface text of a token, for `near '...'` spans in error messages.
+fn token_text(t: &Token) -> String {
+    match t {
+        Token::Keyword(k) => k.text().to_string(),
+        Token::Ident(s) => s.clone(),
+        Token::Int(n) => n.to_string(),
+        Token::Float(x) => x.to_string(),
+        Token::Str(s) => s.clone(),
+        Token::LParen => "(".into(),
+        Token::RParen => ")".into(),
+        Token::Comma => ",".into(),
+        Token::Dot => ".".into(),
+        Token::Star => "*".into(),
+        Token::Eq => "=".into(),
+        Token::NotEq => "!=".into(),
+        Token::Lt => "<".into(),
+        Token::LtEq => "<=".into(),
+        Token::Gt => ">".into(),
+        Token::GtEq => ">=".into(),
+        Token::Plus => "+".into(),
+        Token::Minus => "-".into(),
+        Token::Slash => "/".into(),
+        Token::Semicolon => ";".into(),
+    }
+}
+
 struct Parser {
     tokens: Vec<Token>,
+    /// Byte offset of each token in the original input, parallel to
+    /// `tokens`.
+    offsets: Vec<usize>,
     pos: usize,
+    /// Total input length in bytes — the offset reported at end of input.
+    input_len: usize,
 }
 
 impl Parser {
@@ -37,12 +67,25 @@ impl Parser {
         self.tokens.get(self.pos + 1)
     }
 
-    fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
-        if t.is_some() {
-            self.pos += 1;
+    /// Byte offset of the current token, or of end of input.
+    fn offset(&self) -> usize {
+        self.offsets.get(self.pos).copied().unwrap_or(self.input_len)
+    }
+
+    /// Builds the standard span-bearing parse error for the current
+    /// position: `expected {what} at offset {N} near '{tok}'`.
+    fn err_expected(&self, what: impl std::fmt::Display) -> SqlError {
+        match self.peek() {
+            Some(t) => SqlError::parse(format!(
+                "expected {what} at offset {} near '{}'",
+                self.offset(),
+                token_text(t)
+            )),
+            None => SqlError::parse(format!(
+                "expected {what} at offset {} near end of input",
+                self.input_len
+            )),
         }
-        t
     }
 
     fn eat_if(&mut self, tok: &Token) -> bool {
@@ -62,7 +105,7 @@ impl Parser {
         if self.eat_if(tok) {
             Ok(())
         } else {
-            Err(SqlError::parse(format!("expected {tok:?}, found {:?}", self.peek())))
+            Err(self.err_expected(token_text(tok)))
         }
     }
 
@@ -71,8 +114,12 @@ impl Parser {
     }
 
     fn expect_ident(&mut self) -> Result<String, SqlError> {
-        match self.next() {
-            Some(Token::Ident(name)) => Ok(name),
+        match self.peek() {
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
             // Aggregate keywords double as identifiers in some schemas
             // (`min` column etc.) — accept them where an identifier is needed.
             Some(Token::Keyword(kw))
@@ -81,21 +128,45 @@ impl Parser {
                     Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max
                 ) =>
             {
-                Ok(match kw {
-                    Keyword::Count => "count".into(),
-                    Keyword::Sum => "sum".into(),
-                    Keyword::Avg => "avg".into(),
-                    Keyword::Min => "min".into(),
-                    Keyword::Max => "max".into(),
-                    _ => unreachable!(),
-                })
+                let name = kw.text().to_string();
+                self.pos += 1;
+                Ok(name)
             }
-            other => Err(SqlError::parse(format!("expected identifier, found {other:?}"))),
+            _ => Err(self.err_expected("identifier")),
         }
     }
 
-    // query := body [ORDER BY items] [LIMIT n]
+    /// Whether the current token starts a (sub)query: `SELECT` or `WITH`.
+    fn at_query_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Keyword(Keyword::Select)) | Some(Token::Keyword(Keyword::With))
+        )
+    }
+
+    // query := [WITH name AS (query) (, name AS (query))*]
+    //          body [ORDER BY items] [LIMIT n]
     fn parse_query(&mut self) -> Result<Query, SqlError> {
+        let mut ctes = Vec::new();
+        if self.eat_kw(Keyword::With) {
+            loop {
+                let name_offset = self.offset();
+                let name = self.expect_ident()?;
+                if ctes.iter().any(|c: &Cte| c.name == name) {
+                    return Err(SqlError::parse(format!(
+                        "duplicate CTE name '{name}' at offset {name_offset}"
+                    )));
+                }
+                self.expect_kw(Keyword::As)?;
+                self.expect(&Token::LParen)?;
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                ctes.push(Cte { name, query });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
         let body = self.parse_body()?;
         let mut order_by = Vec::new();
         if self.eat_kw(Keyword::Order) {
@@ -116,16 +187,15 @@ impl Parser {
         }
         let mut limit = None;
         if self.eat_kw(Keyword::Limit) {
-            match self.next() {
-                Some(Token::Int(n)) if n >= 0 => limit = Some(n as u64),
-                other => {
-                    return Err(SqlError::parse(format!(
-                        "expected non-negative integer after LIMIT, found {other:?}"
-                    )))
+            match self.peek() {
+                Some(Token::Int(n)) if *n >= 0 => {
+                    limit = Some(*n as u64);
+                    self.pos += 1;
                 }
+                _ => return Err(self.err_expected("non-negative integer after LIMIT")),
             }
         }
-        Ok(Query { body, order_by, limit })
+        Ok(Query { ctes, body, order_by, limit })
     }
 
     // body := core (setop core)*   (left-associative)
@@ -219,6 +289,14 @@ impl Parser {
                 self.eat_kw(Keyword::Outer);
                 self.expect_kw(Keyword::Join)?;
                 JoinType::Left
+            } else if self.eat_kw(Keyword::Right) {
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinType::Right
+            } else if self.eat_kw(Keyword::Full) {
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinType::Full
             } else if self.eat_if(&Token::Comma) {
                 // Comma join is treated as an inner cross join.
                 JoinType::Inner
@@ -302,7 +380,7 @@ impl Parser {
         let negated = self.eat_kw(Keyword::Not);
         if self.eat_kw(Keyword::In) {
             self.expect(&Token::LParen)?;
-            if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+            if self.at_query_start() {
                 let subquery = self.parse_query()?;
                 self.expect(&Token::RParen)?;
                 return Ok(Expr::InSubquery {
@@ -333,19 +411,17 @@ impl Parser {
             });
         }
         if self.eat_kw(Keyword::Like) {
-            match self.next() {
+            match self.peek() {
                 Some(Token::Str(pattern)) => {
-                    return Ok(Expr::Like { expr: Box::new(left), pattern, negated })
+                    let pattern = pattern.clone();
+                    self.pos += 1;
+                    return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
                 }
-                other => {
-                    return Err(SqlError::parse(format!(
-                        "expected string pattern after LIKE, found {other:?}"
-                    )))
-                }
+                _ => return Err(self.err_expected("string pattern after LIKE")),
             }
         }
         if negated {
-            return Err(SqlError::parse("dangling NOT before non-predicate".to_string()));
+            return Err(self.err_expected("IN, BETWEEN or LIKE after NOT"));
         }
         if self.eat_kw(Keyword::Is) {
             let negated = self.eat_kw(Keyword::Not);
@@ -462,10 +538,37 @@ impl Parser {
                 }
                 self.parse_column_ref()
             }
+            Some(Token::Keyword(Keyword::Case)) => {
+                self.pos += 1;
+                // Simple form carries an operand before the first WHEN.
+                let operand = if self.peek() == Some(&Token::Keyword(Keyword::When)) {
+                    None
+                } else {
+                    Some(Box::new(self.parse_expr()?))
+                };
+                self.expect_kw(Keyword::When)?;
+                let mut branches = Vec::new();
+                loop {
+                    let cond = self.parse_expr()?;
+                    self.expect_kw(Keyword::Then)?;
+                    let value = self.parse_expr()?;
+                    branches.push((cond, value));
+                    if !self.eat_kw(Keyword::When) {
+                        break;
+                    }
+                }
+                let else_ = if self.eat_kw(Keyword::Else) {
+                    Some(Box::new(self.parse_expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw(Keyword::End)?;
+                Ok(Expr::Case { operand, branches, else_ })
+            }
             Some(Token::Ident(_)) => self.parse_column_ref(),
             Some(Token::LParen) => {
                 self.pos += 1;
-                if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+                if self.at_query_start() {
                     let q = self.parse_query()?;
                     self.expect(&Token::RParen)?;
                     Ok(Expr::ScalarSubquery(Box::new(q)))
@@ -475,7 +578,7 @@ impl Parser {
                     Ok(e)
                 }
             }
-            other => Err(SqlError::parse(format!("unexpected token in expression: {other:?}"))),
+            _ => Err(self.err_expected("expression")),
         }
     }
 
@@ -687,6 +790,135 @@ mod tests {
             &q.leading_select().projections[0],
             SelectItem::Expr { expr: Expr::Column(c), .. } if c.column == "max"
         ));
+    }
+
+    #[test]
+    fn with_cte_parses() {
+        let q = parse(
+            "WITH big AS (SELECT name, population FROM city WHERE population > 1000) \
+             SELECT name FROM big WHERE population < 9999",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 1);
+        assert_eq!(q.ctes[0].name, "big");
+        assert_eq!(q.leading_select().from.base.name, "big");
+        assert_eq!(q.all_tables(), vec!["city".to_string()]);
+    }
+
+    #[test]
+    fn with_multiple_ctes_and_order() {
+        let q = parse(
+            "WITH a AS (SELECT x FROM t), b AS (SELECT x FROM a) \
+             SELECT x FROM b ORDER BY x LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 2);
+        assert_eq!(q.ctes[1].name, "b");
+        assert_eq!(q.ctes[1].query.leading_select().from.base.name, "a");
+        assert_eq!(q.limit, Some(2));
+    }
+
+    #[test]
+    fn duplicate_cte_name_rejected() {
+        let err = parse("WITH a AS (SELECT x FROM t), a AS (SELECT y FROM u) SELECT * FROM a")
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate CTE name 'a'"), "{err}");
+    }
+
+    #[test]
+    fn cte_usable_in_subquery_position() {
+        let q = parse(
+            "SELECT name FROM city WHERE id IN \
+             (WITH k AS (SELECT id FROM city WHERE population > 5) SELECT id FROM k)",
+        )
+        .unwrap();
+        let subs = q.leading_select().where_clause.as_ref().unwrap().subqueries();
+        assert_eq!(subs[0].ctes.len(), 1);
+    }
+
+    #[test]
+    fn searched_case_expression() {
+        let q = parse(
+            "SELECT name, CASE WHEN population > 1000 THEN 'big' ELSE 'small' END \
+             FROM city",
+        )
+        .unwrap();
+        match &q.leading_select().projections[1] {
+            SelectItem::Expr { expr: Expr::Case { operand, branches, else_ }, .. } => {
+                assert!(operand.is_none());
+                assert_eq!(branches.len(), 1);
+                assert!(else_.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_case_with_operand_no_else() {
+        let q = parse(
+            "SELECT CASE continent WHEN 'Asia' THEN 1 WHEN 'Europe' THEN 2 END FROM country",
+        )
+        .unwrap();
+        match &q.leading_select().projections[0] {
+            SelectItem::Expr { expr: Expr::Case { operand, branches, else_ }, .. } => {
+                assert!(operand.is_some());
+                assert_eq!(branches.len(), 2);
+                assert!(else_.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_in_where_clause() {
+        let q = parse(
+            "SELECT name FROM city WHERE CASE WHEN population > 10 THEN TRUE ELSE FALSE END",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.leading_select().where_clause,
+            Some(Expr::Case { .. })
+        ));
+    }
+
+    #[test]
+    fn right_and_full_outer_joins() {
+        let q = parse("SELECT a FROM t RIGHT JOIN u ON t.id = u.id").unwrap();
+        assert_eq!(q.leading_select().from.joins[0].join_type, JoinType::Right);
+        let q = parse("SELECT a FROM t RIGHT OUTER JOIN u ON t.id = u.id").unwrap();
+        assert_eq!(q.leading_select().from.joins[0].join_type, JoinType::Right);
+        let q = parse("SELECT a FROM t FULL OUTER JOIN u ON t.id = u.id").unwrap();
+        assert_eq!(q.leading_select().from.joins[0].join_type, JoinType::Full);
+        let q = parse("SELECT a FROM t FULL JOIN u ON t.id = u.id").unwrap();
+        assert_eq!(q.leading_select().from.joins[0].join_type, JoinType::Full);
+    }
+
+    #[test]
+    fn error_offsets_are_pinned() {
+        // Missing FROM: error points at the offending token's byte offset.
+        let err = parse("SELECT a WHERE x = 1").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error: expected FROM at offset 9 near 'WHERE'"
+        );
+        // Truncated input: offset is the input length, near end of input.
+        let err = parse("SELECT a FROM").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error: expected identifier at offset 13 near end of input"
+        );
+        // Trailing garbage after a complete query.
+        let err = parse("SELECT a FROM t garbage tokens").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error: expected end of input at offset 24 near 'tokens'"
+        );
+        // CASE missing END.
+        let err = parse("SELECT CASE WHEN a THEN 1 FROM t").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error: expected END at offset 26 near 'FROM'"
+        );
     }
 
     #[test]

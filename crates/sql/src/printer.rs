@@ -105,6 +105,19 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
             }
+            Expr::Case { operand, branches, else_ } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (cond, value) in branches {
+                    write!(f, " WHEN {cond} THEN {value}")?;
+                }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
         }
     }
 }
@@ -159,9 +172,12 @@ impl fmt::Display for SelectCore {
         }
         write!(f, " FROM {}", self.from.base)?;
         for j in &self.from.joins {
+            // Exhaustive over JoinType via keyword(): a new flavor cannot
+            // silently print as an inner join.
             match j.join_type {
-                JoinType::Inner => write!(f, " JOIN {}", j.table)?,
-                JoinType::Left => write!(f, " LEFT JOIN {}", j.table)?,
+                JoinType::Inner | JoinType::Left | JoinType::Right | JoinType::Full => {
+                    write!(f, " {} {}", j.join_type.keyword(), j.table)?
+                }
             }
             if let Some(on) = &j.on {
                 write!(f, " ON {on}")?;
@@ -199,6 +215,16 @@ impl fmt::Display for QueryBody {
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.ctes.is_empty() {
+            write!(f, "WITH ")?;
+            for (i, cte) in self.ctes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{} AS ({})", cte.name, cte.query)?;
+            }
+            write!(f, " ")?;
+        }
         write!(f, "{}", self.body)?;
         if !self.order_by.is_empty() {
             write!(f, " ORDER BY ")?;
@@ -265,9 +291,25 @@ mod tests {
             "SELECT a FROM t WHERE y = 2.5",
             "SELECT sum(price) FROM orders UNION SELECT sum(cost) FROM expenses",
             "SELECT a FROM t EXCEPT SELECT a FROM u",
+            "WITH big AS (SELECT name, population FROM city WHERE population > 1000) SELECT name FROM big",
+            "WITH a AS (SELECT x FROM t), b AS (SELECT x FROM a) SELECT x FROM b ORDER BY x ASC LIMIT 2",
+            "SELECT name, CASE WHEN population > 1000 THEN 'big' ELSE 'small' END FROM city",
+            "SELECT CASE continent WHEN 'Asia' THEN 1 WHEN 'Europe' THEN 2 END FROM country",
+            "SELECT a FROM t RIGHT JOIN u ON t.id = u.id",
+            "SELECT a FROM t FULL OUTER JOIN u ON t.id = u.id",
+            "SELECT name FROM city WHERE id IN (WITH k AS (SELECT id FROM city) SELECT id FROM k)",
+            "SELECT CASE WHEN a > 1 THEN CASE WHEN b > 2 THEN 'x' END ELSE 'y' END FROM t",
         ] {
             roundtrip(sql);
         }
+    }
+
+    #[test]
+    fn outer_join_flavors_print_their_keywords() {
+        let q = parse("SELECT a FROM t RIGHT OUTER JOIN u ON t.id = u.id").unwrap();
+        assert!(to_sql(&q).contains(" RIGHT JOIN u "), "printed: {}", to_sql(&q));
+        let q = parse("SELECT a FROM t FULL JOIN u ON t.id = u.id").unwrap();
+        assert!(to_sql(&q).contains(" FULL OUTER JOIN u "), "printed: {}", to_sql(&q));
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub enum Keyword {
     Max,
     True,
     False,
+    With,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Right,
+    Full,
 }
 
 impl Keyword {
@@ -84,8 +92,66 @@ impl Keyword {
             "max" => Keyword::Max,
             "true" => Keyword::True,
             "false" => Keyword::False,
+            "with" => Keyword::With,
+            "case" => Keyword::Case,
+            "when" => Keyword::When,
+            "then" => Keyword::Then,
+            "else" => Keyword::Else,
+            "end" => Keyword::End,
+            "right" => Keyword::Right,
+            "full" => Keyword::Full,
             _ => return None,
         })
+    }
+
+    /// Upper-case surface text of the keyword, for error messages.
+    pub fn text(self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Order => "ORDER",
+            Keyword::Limit => "LIMIT",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::Left => "LEFT",
+            Keyword::Outer => "OUTER",
+            Keyword::On => "ON",
+            Keyword::As => "AS",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Exists => "EXISTS",
+            Keyword::Between => "BETWEEN",
+            Keyword::Like => "LIKE",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::Union => "UNION",
+            Keyword::Intersect => "INTERSECT",
+            Keyword::Except => "EXCEPT",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::Count => "count",
+            Keyword::Sum => "sum",
+            Keyword::Avg => "avg",
+            Keyword::Min => "min",
+            Keyword::Max => "max",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::With => "WITH",
+            Keyword::Case => "CASE",
+            Keyword::When => "WHEN",
+            Keyword::Then => "THEN",
+            Keyword::Else => "ELSE",
+            Keyword::End => "END",
+            Keyword::Right => "RIGHT",
+            Keyword::Full => "FULL",
+        }
     }
 }
 
@@ -140,11 +206,24 @@ pub enum Token {
 ///
 /// Returns [`SqlError::Lex`] on unterminated strings or unexpected bytes.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    Ok(tokenize_spanned(input)?.0)
+}
+
+/// Tokenizes a SQL string, also returning each token's starting byte
+/// offset in `input` (parallel to the token vector). The parser uses the
+/// offsets to report `at offset N` spans in error messages.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Lex`] on unterminated strings or unexpected bytes.
+pub fn tokenize_spanned(input: &str) -> Result<(Vec<Token>, Vec<usize>), SqlError> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
+    let mut offsets = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let tok_start = i;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
@@ -314,8 +393,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 return Err(SqlError::lex(format!("unexpected character {other:?} at byte {i}")))
             }
         }
+        // Every arm above appends at most one token; tag it with the byte
+        // offset the iteration started at (whitespace appends none).
+        while offsets.len() < tokens.len() {
+            offsets.push(tok_start);
+        }
     }
-    Ok(tokens)
+    Ok((tokens, offsets))
 }
 
 #[cfg(test)]
@@ -389,5 +473,32 @@ mod tests {
     fn unicode_in_string_literal() {
         let toks = tokenize("'Nabereznyje Tšelny'").expect("tokenize");
         assert_eq!(toks, vec![Token::Str("Nabereznyje Tšelny".into())]);
+    }
+
+    #[test]
+    fn new_dialect_keywords() {
+        let toks = tokenize("WITH CASE WHEN THEN ELSE END RIGHT FULL").expect("tokenize");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::With),
+                Token::Keyword(Keyword::Case),
+                Token::Keyword(Keyword::When),
+                Token::Keyword(Keyword::Then),
+                Token::Keyword(Keyword::Else),
+                Token::Keyword(Keyword::End),
+                Token::Keyword(Keyword::Right),
+                Token::Keyword(Keyword::Full),
+            ]
+        );
+    }
+
+    #[test]
+    fn spanned_offsets_point_at_token_starts() {
+        let (toks, offs) = tokenize_spanned("SELECT a, 'x'  FROM t1").expect("tokenize");
+        assert_eq!(toks.len(), offs.len());
+        // SELECT@0 a@7 ,@8 'x'@10 FROM@15 t1@20
+        assert_eq!(offs, vec![0, 7, 8, 10, 15, 20]);
+        assert_eq!(toks[3], Token::Str("x".into()));
     }
 }

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 /// The clause a unit was extracted from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ClauseKind {
+    With,
     Select,
     Where,
     GroupBy,
@@ -28,6 +29,7 @@ impl ClauseKind {
     /// Keyword used when rendering annotations.
     pub fn keyword(self) -> &'static str {
         match self {
+            ClauseKind::With => "WITH",
             ClauseKind::Select => "SELECT",
             ClauseKind::Where => "WHERE",
             ClauseKind::GroupBy => "GROUP BY",
@@ -78,6 +80,14 @@ pub enum UnitSemantics {
     RowLimit { n: u64 },
     /// Set operation combining two branches.
     SetOperation { op: SetOp },
+    /// A `WITH name AS (...)` definition: an intermediate result the rest
+    /// of the query reads from. `tables` are the base tables the body
+    /// draws on.
+    CteDefinition { name: String, sql: String, tables: Vec<String> },
+    /// A `CASE` mapping: `operand` is the discriminating column when one
+    /// exists (simple form, or the first column of the first condition),
+    /// `branches` counts the WHEN arms.
+    CaseMapping { operand: Option<ColumnRef>, branches: usize, has_else: bool, sql: String },
     /// Fallback for structures not covered above — the raw rendering.
     Opaque { sql: String, columns: Vec<ColumnRef> },
 }
@@ -96,6 +106,17 @@ pub struct QueryUnit {
 /// Decomposes a query into its units, in clause order.
 pub fn decompose(q: &Query) -> Vec<QueryUnit> {
     let mut units = Vec::new();
+    for cte in &q.ctes {
+        units.push(QueryUnit {
+            clause: ClauseKind::With,
+            semantics: UnitSemantics::CteDefinition {
+                name: cte.name.clone(),
+                sql: cte.query.to_string(),
+                tables: cte.query.all_tables(),
+            },
+            core_index: 0,
+        });
+    }
     decompose_body(&q.body, &mut units, &mut 0);
     for o in &q.order_by {
         let (agg, column) = match &o.expr {
@@ -207,10 +228,27 @@ fn projection_semantics(expr: &Expr) -> UnitSemantics {
                 FuncArg::Expr(e) => first_column(e),
             },
         },
+        Expr::Case { .. } => case_semantics(expr),
         other => UnitSemantics::Opaque {
             sql: other.to_string(),
             columns: other.columns().into_iter().cloned().collect(),
         },
+    }
+}
+
+fn case_semantics(e: &Expr) -> UnitSemantics {
+    let Expr::Case { operand, branches, else_ } = e else {
+        return opaque(e);
+    };
+    let discriminant = operand
+        .as_deref()
+        .and_then(first_column)
+        .or_else(|| branches.first().and_then(|(cond, _)| first_column(cond)));
+    UnitSemantics::CaseMapping {
+        operand: discriminant,
+        branches: branches.len(),
+        has_else: else_.is_some(),
+        sql: e.to_string(),
     }
 }
 
@@ -302,6 +340,7 @@ fn predicate_semantics(e: &Expr) -> UnitSemantics {
             }
             _ => opaque(e),
         },
+        Expr::Case { .. } => case_semantics(e),
         _ => opaque(e),
     }
 }
@@ -455,6 +494,49 @@ mod tests {
     fn star_projection() {
         let us = units("SELECT * FROM t");
         assert!(matches!(&us[0].semantics, UnitSemantics::ProjectAll { table: None }));
+    }
+
+    #[test]
+    fn cte_definition_unit_leads() {
+        let us = units(
+            "WITH big AS (SELECT name FROM city WHERE population > 1000) SELECT name FROM big",
+        );
+        assert_eq!(us[0].clause, ClauseKind::With);
+        match &us[0].semantics {
+            UnitSemantics::CteDefinition { name, sql, tables } => {
+                assert_eq!(name, "big");
+                assert!(sql.contains("population"));
+                assert_eq!(tables, &vec!["city".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_projection_unit() {
+        let us = units(
+            "SELECT CASE WHEN population > 1000 THEN 'big' ELSE 'small' END FROM city",
+        );
+        match &us[0].semantics {
+            UnitSemantics::CaseMapping { operand, branches, has_else, .. } => {
+                assert_eq!(operand.as_ref().unwrap().column, "population");
+                assert_eq!(*branches, 1);
+                assert!(*has_else);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_case_uses_operand_column() {
+        let us = units("SELECT CASE continent WHEN 'Asia' THEN 1 END FROM country");
+        match &us[0].semantics {
+            UnitSemantics::CaseMapping { operand, has_else, .. } => {
+                assert_eq!(operand.as_ref().unwrap().column, "continent");
+                assert!(!*has_else);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ fn ident() -> impl Strategy<Value = String> {
                 | "distinct" | "join" | "inner" | "left" | "outer" | "on" | "as" | "and"
                 | "or" | "not" | "in" | "exists" | "between" | "like" | "is" | "null"
                 | "union" | "intersect" | "except" | "asc" | "desc" | "true" | "false"
+                | "with" | "case" | "when" | "then" | "else" | "end" | "right" | "full"
         )
     })
 }
@@ -108,6 +109,47 @@ fn projection() -> impl Strategy<Value = SelectItem> {
             expr: Expr::Agg { func: AggFunc::Count, distinct: false, arg: FuncArg::Star },
             alias: None,
         }),
+        // CASE expressions in projection position, both searched and simple.
+        (
+            proptest::option::of(column()),
+            proptest::collection::vec((comparison(), literal()), 1..3),
+            proptest::option::of(literal()),
+        )
+            .prop_map(|(operand, arms, else_lit)| {
+                let branches = arms
+                    .into_iter()
+                    .map(|(cond, value)| {
+                        // Simple CASE compares the operand against WHEN values,
+                        // so use a literal there instead of a predicate.
+                        let when = if operand.is_some() {
+                            match &cond {
+                                Expr::Binary { right, .. } => (**right).clone(),
+                                _ => cond.clone(),
+                            }
+                        } else {
+                            cond
+                        };
+                        (when, Expr::lit(value))
+                    })
+                    .collect();
+                SelectItem::Expr {
+                    expr: Expr::Case {
+                        operand: operand.map(|c| Box::new(Expr::col(c))),
+                        branches,
+                        else_: else_lit.map(|l| Box::new(Expr::lit(l))),
+                    },
+                    alias: None,
+                }
+            }),
+    ]
+}
+
+fn join_type() -> impl Strategy<Value = JoinType> {
+    prop_oneof![
+        Just(JoinType::Inner),
+        Just(JoinType::Left),
+        Just(JoinType::Right),
+        Just(JoinType::Full),
     ]
 }
 
@@ -117,7 +159,7 @@ fn select_core() -> impl Strategy<Value = SelectCore> {
         proptest::collection::vec(projection(), 1..4),
         ident(),
         proptest::option::of(ident()),
-        proptest::option::of((ident(), proptest::option::of(comparison()))),
+        proptest::option::of((join_type(), ident(), proptest::option::of(comparison()))),
         proptest::option::of(predicate()),
         proptest::collection::vec(column().prop_map(Expr::col), 0..2),
         proptest::option::of(comparison()),
@@ -125,9 +167,9 @@ fn select_core() -> impl Strategy<Value = SelectCore> {
         .prop_map(
             |(distinct, projections, base, alias, join, where_clause, group_by, having)| {
                 let joins = join
-                    .map(|(t, on)| {
+                    .map(|(jt, t, on)| {
                         vec![Join {
-                            join_type: JoinType::Inner,
+                            join_type: jt,
                             table: TableRef { name: t, alias: None },
                             on,
                         }]
@@ -147,6 +189,9 @@ fn select_core() -> impl Strategy<Value = SelectCore> {
 
 fn query() -> impl Strategy<Value = Query> {
     (
+        // CTE bodies are simple selects; names are indexed so they never
+        // collide (the parser rejects duplicate CTE names).
+        proptest::collection::vec(select_core(), 0..3),
         select_core(),
         proptest::option::of(select_core().prop_map(|c| (SetOp::Union, c))),
         proptest::collection::vec(
@@ -158,7 +203,15 @@ fn query() -> impl Strategy<Value = Query> {
         ),
         proptest::option::of(0u64..100),
     )
-        .prop_map(|(core, setop, order_by, limit)| {
+        .prop_map(|(cte_cores, core, setop, order_by, limit)| {
+            let ctes = cte_cores
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| Cte {
+                    name: format!("cte_{i}"),
+                    query: Query::simple(c),
+                })
+                .collect();
             let body = match setop {
                 Some((op, right)) => QueryBody::SetOp {
                     op,
@@ -167,7 +220,7 @@ fn query() -> impl Strategy<Value = Query> {
                 },
                 None => QueryBody::Select(core),
             };
-            Query { body, order_by, limit }
+            Query { ctes, body, order_by, limit }
         })
 }
 
@@ -245,6 +298,18 @@ fn mask_literals(q: &mut Query) {
                 *pattern = "?".into();
             }
             Expr::IsNull { expr, .. } => mask_expr(expr),
+            Expr::Case { operand, branches, else_ } => {
+                if let Some(op) = operand {
+                    mask_expr(op);
+                }
+                for (cond, value) in branches {
+                    mask_expr(cond);
+                    mask_expr(value);
+                }
+                if let Some(e) = else_ {
+                    mask_expr(e);
+                }
+            }
             _ => {}
         }
     }
@@ -277,6 +342,9 @@ fn mask_literals(q: &mut Query) {
             }
         }
     }
+    for cte in &mut q.ctes {
+        mask_literals(&mut cte.query);
+    }
     mask_body(&mut q.body);
     for o in &mut q.order_by {
         mask_expr(&mut o.expr);
@@ -305,6 +373,9 @@ proptest! {
                 Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"), Just("BY"),
                 Just("a"), Just("b"), Just("t"), Just("="), Just("1"), Just("("), Just(")"),
                 Just("AND"), Just("OR"), Just("NOT"), Just("count"), Just("*"), Just(","),
+                Just("WITH"), Just("AS"), Just("CASE"), Just("WHEN"), Just("THEN"),
+                Just("ELSE"), Just("END"), Just("RIGHT"), Just("FULL"), Just("OUTER"),
+                Just("JOIN"), Just("ON"),
             ],
             0..24
         )

@@ -43,19 +43,20 @@ use crate::ir::{
 };
 use crate::plan::PlanStep;
 use crate::profile::{OpProfile, Prof};
-use crate::run::{apply_set_op, finish_run, COutRow, ExecOpts, RunCtx};
+use crate::run::{apply_set_op, finish_run, materialize_ctes, COutRow, CteMat, ExecOpts, RunCtx};
 use crate::scalar::{dedup_distinct, eval_binary, fold_agg};
 use crate::table::{ColumnarTable, Database};
 use crate::value::{KeyValue, Value};
 use cyclesql_obs::SpanCtx;
-use cyclesql_sql::{AggFunc, JoinType};
+use cyclesql_sql::AggFunc;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Row-id sentinel for a LEFT-join pad: slots read as NULL and the side
-/// contributes no lineage entry.
+/// Row-id sentinel for a join pad (unmatched LEFT/FULL left row or
+/// RIGHT/FULL right row): slots read as NULL and the side contributes no
+/// lineage entry.
 const NONE_ROW: u32 = u32::MAX;
 
 /// Runs `plan` through the columnar engine, falling back to the row
@@ -64,13 +65,16 @@ const NONE_ROW: u32 = u32::MAX;
 ///
 /// Stats accumulate onto `*stats` (snapshot-on-entry, write-back on
 /// success), so the vectorized subquery prologue can nest columnar runs
-/// without wiping the counters the outer run already collected.
+/// without wiping the counters the outer run already collected. `extra`
+/// carries enclosing-scope CTE materializations (for nested CTE bodies
+/// and hoisted subqueries); top-level callers pass `&[]`.
 pub(crate) fn run_columnar(
     plan: &CompiledQuery,
     db: &Database,
     stats: &mut RunStats,
     prof: &mut Prof,
     opts: &ExecOpts<'_>,
+    extra: &[&CteMat],
 ) -> Result<ExecOutput, ExecError> {
     let mut c_stats = *stats;
     let mut c_prof = if prof.enabled() {
@@ -78,7 +82,7 @@ pub(crate) fn run_columnar(
     } else {
         Prof::Off
     };
-    match run_columnar_inner(plan, db, &mut c_stats, &mut c_prof, opts) {
+    match run_columnar_inner(plan, db, &mut c_stats, &mut c_prof, opts, extra) {
         Ok(out) => {
             *stats = c_stats;
             *prof = c_prof;
@@ -88,7 +92,7 @@ pub(crate) fn run_columnar(
         // (same evaluation sites), but possibly in a different order.
         // Rerun row-wise against the caller's untouched stats/profile and
         // let it pick the canonical first error.
-        Err(_) => plan.run_inner(db, stats, prof),
+        Err(_) => plan.run_extra(db, stats, prof, extra),
     }
 }
 
@@ -98,9 +102,12 @@ fn run_columnar_inner(
     stats: &mut RunStats,
     prof: &mut Prof,
     opts: &ExecOpts<'_>,
+    extra: &[&CteMat],
 ) -> Result<ExecOutput, ExecError> {
     let batch_rows = opts.batch_rows.max(1);
-    let ctx = RunCtx::prepare(plan, db, stats, prof, Some(batch_rows))?;
+    let mats = materialize_ctes(plan, db, stats, prof, extra, Some(batch_rows))?;
+    let avail: Vec<&CteMat> = extra.iter().copied().chain(mats.iter()).collect();
+    let ctx = RunCtx::prepare(plan, db, stats, prof, Some(batch_rows), &avail)?;
     if ctx.tables.iter().any(|t| t.len() >= NONE_ROW as usize) {
         // Row ids are u32 with one sentinel; absurdly large tables take
         // the row path via the fallback.
@@ -117,7 +124,7 @@ fn run_columnar_inner(
         span: opts.span,
     };
     let (columns, rows) = exec_cbody(&bx, &plan.body, prof, batch_rows)?;
-    finish_run(plan, &columns, rows, prof)
+    finish_run(plan, &columns, rows, prof, &avail)
 }
 
 /// Columnar run state: the shared per-run context plus each resolved
@@ -576,7 +583,17 @@ fn run_morsels(
     batch_rows: usize,
     timing: bool,
 ) -> Result<Vec<MorselOut>, ExecError> {
-    let count = base_len.div_ceil(batch_rows);
+    // RIGHT/FULL pad appends are a whole-input decision (a right row is
+    // unmatched only if *no* left row anywhere matched it), so cores with
+    // a right-padding join run as one morsel spanning the entire base
+    // table — even an empty one, whose pad rows still must appear. This
+    // trivially keeps results invariant across thread and batch settings.
+    let pads_right = core.joins.iter().any(|j| j.join_type.pads().1);
+    let (count, batch_rows) = if pads_right {
+        (1, base_len.max(1))
+    } else {
+        (base_len.div_ceil(batch_rows), batch_rows)
+    };
     let bounds = move |m: usize| {
         let start = m * batch_rows;
         (start, (start + batch_rows).min(base_len))
@@ -679,6 +696,12 @@ fn run_morsel(
         let t = timing.then(Instant::now);
         let n = batch.len();
         joins[ji].rows_in += n;
+        let (pad_l, pad_r) = join.join_type.pads();
+        let right_len = bx.cols[join.table as usize].len;
+        // Which right rows matched at least one left row; only tracked
+        // when this flavor pads the right side (such cores run as a
+        // single whole-input morsel, so the view here is global).
+        let mut matched_right = vec![false; if pad_r { right_len } else { 0 }];
         match &join.strategy {
             JoinStrategy::Hash { left_slot, .. } => {
                 let index = join_hash[ji].as_ref().expect("hash strategy has an index");
@@ -693,10 +716,13 @@ fn run_morsel(
                         index.get(&k.key()).map(|v| v.as_slice()).unwrap_or(&[])
                     };
                     for &ri in matches {
+                        if pad_r {
+                            matched_right[ri as usize] = true;
+                        }
                         sel.push(r as u32);
                         new_ids.push(ri);
                     }
-                    if matches.is_empty() && join.join_type == JoinType::Left {
+                    if matches.is_empty() && pad_l {
                         sel.push(r as u32);
                         new_ids.push(NONE_ROW);
                     }
@@ -704,7 +730,6 @@ fn run_morsel(
                 batch = gather_extend(&batch, &sel, new_ids);
             }
             JoinStrategy::Loop { on } => {
-                let right_len = bx.cols[join.table as usize].len;
                 match on {
                     Some(on) => {
                         // Expand the full candidate cross-product for
@@ -729,11 +754,14 @@ fn run_morsel(
                             for ri in 0..right_len {
                                 if keep.get(r * right_len + ri).is_truthy() {
                                     matched = true;
+                                    if pad_r {
+                                        matched_right[ri] = true;
+                                    }
                                     ksel.push(r as u32);
                                     kids.push(ri as u32);
                                 }
                             }
-                            if !matched && join.join_type == JoinType::Left {
+                            if !matched && pad_l {
                                 ksel.push(r as u32);
                                 kids.push(NONE_ROW);
                             }
@@ -742,8 +770,8 @@ fn run_morsel(
                     }
                     None => {
                         // Cross join: every pairing survives; an empty
-                        // right side LEFT-pads each left row.
-                        if right_len == 0 && join.join_type == JoinType::Left {
+                        // right side pads each left row under LEFT/FULL.
+                        if right_len == 0 && pad_l {
                             let sel: Vec<u32> = (0..n as u32).collect();
                             batch = gather_extend(&batch, &sel, vec![NONE_ROW; n]);
                         } else {
@@ -755,9 +783,29 @@ fn run_morsel(
                                     new_ids.push(ri as u32);
                                 }
                             }
+                            if pad_r && n > 0 {
+                                // Every pairing survived, so with any left
+                                // row at all no right row is unmatched.
+                                matched_right.fill(true);
+                            }
                             batch = gather_extend(&batch, &sel, new_ids);
                         }
                     }
+                }
+            }
+        }
+        // Unmatched right rows append after every left-driven output, in
+        // right-row order — the canonical order all three engines share.
+        // All prior sides pad to NONE_ROW, so the pad row's slots read as
+        // NULL and its lineage is the right row alone.
+        if pad_r {
+            let last = batch.ids.len() - 1;
+            for (ri, matched) in matched_right.iter().enumerate() {
+                if !*matched {
+                    for side in &mut batch.ids[..last] {
+                        side.push(NONE_ROW);
+                    }
+                    batch.ids[last].push(ri as u32);
                 }
             }
         }
@@ -1058,6 +1106,62 @@ fn eval_col<'b>(
             }
             Ok(ECol::Owned(out))
         }
+        CExpr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            // Preserve the row engine's per-row lazy branch walk exactly
+            // (the IN-list narrowing idiom): each WHEN sees only rows no
+            // earlier branch matched, each THEN only the rows its WHEN
+            // matched, and ELSE only the rows nothing matched — so error
+            // reachability is identical.
+            let opv = operand
+                .as_ref()
+                .map(|o| eval_col(o, bx, shape, batch, sel))
+                .transpose()?;
+            let mut out = vec![Value::Null; n];
+            let mut rem_pos: Vec<usize> = (0..n).collect();
+            for (when, then) in branches {
+                if rem_pos.is_empty() {
+                    break;
+                }
+                let rem_rows: Vec<u32> = rem_pos.iter().map(|&k| row_at(k) as u32).collect();
+                let when_col = eval_col(when, bx, shape, batch, Some(&rem_rows))?;
+                let mut matched_pos: Vec<usize> = Vec::new();
+                let mut next_rem: Vec<usize> = Vec::with_capacity(rem_pos.len());
+                for (j, &k) in rem_pos.iter().enumerate() {
+                    let hit = match &opv {
+                        Some(op) => op.get(k).sql_eq(when_col.get(j)) == Some(true),
+                        None => when_col.get(j).is_truthy(),
+                    };
+                    if hit {
+                        matched_pos.push(k);
+                    } else {
+                        next_rem.push(k);
+                    }
+                }
+                if !matched_pos.is_empty() {
+                    let hit_rows: Vec<u32> =
+                        matched_pos.iter().map(|&k| row_at(k) as u32).collect();
+                    let then_col = eval_col(then, bx, shape, batch, Some(&hit_rows))?;
+                    for (j, &k) in matched_pos.iter().enumerate() {
+                        out[k] = then_col.get(j).clone();
+                    }
+                }
+                rem_pos = next_rem;
+            }
+            if let Some(e) = else_ {
+                if !rem_pos.is_empty() {
+                    let rem_rows: Vec<u32> = rem_pos.iter().map(|&k| row_at(k) as u32).collect();
+                    let else_col = eval_col(e, bx, shape, batch, Some(&rem_rows))?;
+                    for (j, &k) in rem_pos.iter().enumerate() {
+                        out[k] = else_col.get(j).clone();
+                    }
+                }
+            }
+            Ok(ECol::Owned(out))
+        }
     }
 }
 
@@ -1109,6 +1213,32 @@ fn beval_group(
                 Ok(Value::Null)
             } else {
                 Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        // CASE over aggregates: every piece evaluates in group context,
+        // mirroring the row engine's `ceval_in_group`.
+        CExpr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            let opv = operand
+                .as_ref()
+                .map(|o| beval_group(o, bx, shape, batch, rows))
+                .transpose()?;
+            for (when, then) in branches {
+                let w = beval_group(when, bx, shape, batch, rows)?;
+                let hit = match &opv {
+                    Some(op) => op.sql_eq(&w) == Some(true),
+                    None => w.is_truthy(),
+                };
+                if hit {
+                    return beval_group(then, bx, shape, batch, rows);
+                }
+            }
+            match else_ {
+                Some(e) => beval_group(e, bx, shape, batch, rows),
+                None => Ok(Value::Null),
             }
         }
         _ => match rows.first() {

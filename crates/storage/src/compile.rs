@@ -17,7 +17,8 @@
 
 use crate::error::ExecError;
 use crate::ir::{
-    CBody, CCore, CExpr, CJoin, CProj, CompiledQuery, InProbe, JoinStrategy, SubKind, SubPlan,
+    CBody, CCore, CExpr, CJoin, CProj, CompiledQuery, CtePlan, InProbe, JoinStrategy, SubKind,
+    SubPlan,
 };
 use crate::table::Database;
 use crate::value::Value;
@@ -36,14 +37,51 @@ use cyclesql_sql::{BinOp, Expr, FuncArg, OrderItem, Query, QueryBody, SelectCore
 /// same conditions (and messages) the reference interpreter reports at
 /// run time.
 pub fn compile(db: &Database, query: &Query) -> Result<CompiledQuery, ExecError> {
+    compile_scoped(db, query, &[])
+}
+
+/// The schema one in-scope CTE exposes: its declared name and the bare
+/// output column names of its body.
+#[derive(Clone)]
+struct CteSchema {
+    name: String,
+    columns: Vec<String>,
+}
+
+/// Compiles `query` with `outer` CTE definitions in scope. `WITH` bodies
+/// compile before the main body, each seeing the outer scope plus every
+/// earlier sibling; an inner definition shadows an outer one of the same
+/// name, exactly as the reference interpreter's shadow-database front
+/// insertion resolves it.
+fn compile_scoped(
+    db: &Database,
+    query: &Query,
+    outer: &[CteSchema],
+) -> Result<CompiledQuery, ExecError> {
     let mut c = Compiler {
         db,
         tables: Vec::new(),
+        ctes: Vec::new(),
         subs: Vec::new(),
+        scope: outer.to_vec(),
     };
+    for cte in &query.ctes {
+        let plan = compile_scoped(db, &cte.query, &c.scope)?;
+        let columns = plan.body.first_core().bare_columns.clone();
+        c.scope.push(CteSchema {
+            name: cte.name.clone(),
+            columns: columns.clone(),
+        });
+        c.ctes.push(CtePlan {
+            name: cte.name.clone(),
+            plan,
+            columns,
+        });
+    }
     let body = c.compile_body(&query.body, &query.order_by)?;
     Ok(CompiledQuery {
         tables: c.tables,
+        ctes: c.ctes,
         subs: c.subs,
         body,
         order_dirs: query.order_by.iter().map(|o| o.order).collect(),
@@ -97,17 +135,48 @@ impl Env {
 struct Compiler<'a> {
     db: &'a Database,
     tables: Vec<String>,
+    ctes: Vec<CtePlan>,
     subs: Vec<SubPlan>,
+    /// CTE definitions visible to `FROM` resolution: enclosing scopes
+    /// first, then this query's own, in declaration order. Resolution
+    /// scans latest-first so inner/later definitions shadow earlier ones.
+    scope: Vec<CteSchema>,
 }
 
 impl Compiler<'_> {
-    /// Interns a (schema-real, already lower-case) table name.
+    /// Interns a resolved source name — a (lower-case) schema table or a
+    /// (verbatim) CTE name. The two cannot collide inside one plan: a CTE
+    /// whose name matches a schema table shadows it, so only one of the
+    /// pair is ever interned.
     fn intern(&mut self, name: &str) -> u32 {
         if let Some(i) = self.tables.iter().position(|t| t == name) {
             return i as u32;
         }
         self.tables.push(name.to_string());
         (self.tables.len() - 1) as u32
+    }
+
+    /// Resolves a `FROM` source name: in-scope CTEs first (latest
+    /// declaration wins, case-insensitive like schema lookup), then the
+    /// database schema. Returns the canonical name to intern and the
+    /// source's column names.
+    fn source_schema(&self, name: &str) -> Result<(String, Vec<String>), ExecError> {
+        if let Some(c) = self
+            .scope
+            .iter()
+            .rev()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+        {
+            return Ok((c.name.clone(), c.columns.clone()));
+        }
+        let t = self
+            .db
+            .table(name)
+            .ok_or_else(|| ExecError::new(format!("unknown table {name}")))?;
+        Ok((
+            t.schema.name.clone(),
+            t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        ))
     }
 
     fn compile_body(&mut self, body: &QueryBody, order: &[OrderItem]) -> Result<CBody, ExecError> {
@@ -134,34 +203,28 @@ impl Compiler<'_> {
 
     fn compile_core(&mut self, core: &SelectCore, order: &[OrderItem]) -> Result<CCore, ExecError> {
         let mut env = Env { cols: Vec::new() };
-        let base_table = self
-            .db
-            .table(&core.from.base.name)
-            .ok_or_else(|| ExecError::new(format!("unknown table {}", core.from.base.name)))?;
-        let base = self.intern(&base_table.schema.name);
+        let (base_real, base_cols) = self.source_schema(&core.from.base.name)?;
+        let base = self.intern(&base_real);
         let base_visible = core.from.base.visible_name().to_string();
-        for c in &base_table.schema.columns {
+        for col in &base_cols {
             env.cols.push(EnvCol {
                 visible: base_visible.clone(),
-                real: base_table.schema.name.clone(),
-                column: c.name.clone(),
+                real: base_real.clone(),
+                column: col.clone(),
             });
         }
 
         let mut joins = Vec::with_capacity(core.from.joins.len());
         for join in &core.from.joins {
-            let right = self
-                .db
-                .table(&join.table.name)
-                .ok_or_else(|| ExecError::new(format!("unknown table {}", join.table.name)))?;
-            let table = self.intern(&right.schema.name);
+            let (right_real, right_cols) = self.source_schema(&join.table.name)?;
+            let table = self.intern(&right_real);
             let right_visible = join.table.visible_name().to_string();
             let right_start = env.cols.len();
-            for c in &right.schema.columns {
+            for col in &right_cols {
                 env.cols.push(EnvCol {
                     visible: right_visible.clone(),
-                    real: right.schema.name.clone(),
-                    column: c.name.clone(),
+                    real: right_real.clone(),
+                    column: col.clone(),
                 });
             }
             // Same fast-path rule as the reference interpreter: a single
@@ -187,7 +250,7 @@ impl Compiler<'_> {
             joins.push(CJoin {
                 table,
                 join_type: join.join_type,
-                right_width: right.schema.columns.len(),
+                right_width: right_cols.len(),
                 strategy,
                 on_display: join.on.as_ref().map(|o| o.to_string()),
             });
@@ -215,6 +278,7 @@ impl Compiler<'_> {
             || order.iter().any(|o| o.expr.contains_aggregate());
 
         let columns: std::sync::Arc<[String]> = projection_names(core, &env).into();
+        let bare_columns = bare_projection_names(core, &env);
         let projections = core
             .projections
             .iter()
@@ -235,6 +299,7 @@ impl Compiler<'_> {
             grouped,
             projections,
             columns,
+            bare_columns,
             order_exprs,
             distinct: core.distinct,
         })
@@ -259,8 +324,10 @@ impl Compiler<'_> {
         // Subqueries are always uncorrelated in this dialect (their columns
         // resolve in their own scope only), so a fresh recursive compile —
         // with its own interner, since subquery lineage is discarded — is
-        // the complete story.
-        let plan = compile(self.db, subquery)?;
+        // the complete story. The enclosing CTE scope stays visible: the
+        // reference interpreter executes subqueries against the shadow
+        // database that already holds every materialized CTE.
+        let plan = compile_scoped(self.db, subquery, &self.scope)?;
         self.subs.push(SubPlan { kind, plan });
         Ok(self.subs.len() - 1)
     }
@@ -364,6 +431,24 @@ impl Compiler<'_> {
                 expr: Box::new(self.lower(expr, env)?),
                 negated: *negated,
             },
+            Expr::Case {
+                operand,
+                branches,
+                else_,
+            } => CExpr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| self.lower(o, env).map(Box::new))
+                    .transpose()?,
+                branches: branches
+                    .iter()
+                    .map(|(when, then)| Ok((self.lower(when, env)?, self.lower(then, env)?)))
+                    .collect::<Result<Vec<_>, ExecError>>()?,
+                else_: else_
+                    .as_ref()
+                    .map(|e| self.lower(e, env).map(Box::new))
+                    .transpose()?,
+            },
         })
     }
 }
@@ -411,6 +496,36 @@ fn projection_names(core: &SelectCore, env: &Env) -> Vec<String> {
             }
             SelectItem::Expr { expr, alias } => {
                 names.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+            }
+        }
+    }
+    names
+}
+
+/// Bare (unqualified, lower-case) output column names — the schema a CTE
+/// materialized from this core exposes to queries that scan it. Mirrors
+/// the reference interpreter's copy; keep the two in sync.
+fn bare_projection_names(core: &SelectCore, env: &Env) -> Vec<String> {
+    let mut names = Vec::new();
+    for item in &core.projections {
+        match item {
+            SelectItem::Star => {
+                for c in &env.cols {
+                    names.push(c.column.to_lowercase());
+                }
+            }
+            SelectItem::QualifiedStar(t) => {
+                for i in env.columns_of_visible(t) {
+                    names.push(env.cols[i].column.to_lowercase());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match (alias, expr) {
+                    (Some(a), _) => a.clone(),
+                    (None, Expr::Column(c)) => c.column.clone(),
+                    (None, e) => e.to_string(),
+                };
+                names.push(name.to_lowercase());
             }
         }
     }

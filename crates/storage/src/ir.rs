@@ -27,6 +27,9 @@ pub struct RunStats {
     /// Number of hoisted subquery plans executed. Each subquery site runs
     /// exactly once per run regardless of the outer row count.
     pub subquery_runs: usize,
+    /// Number of CTE bodies materialized. Each `WITH` definition runs
+    /// exactly once per run, referenced or not.
+    pub cte_runs: usize,
 }
 
 /// A prebuilt hash-probe over the values of a subquery result (or constant
@@ -185,6 +188,15 @@ pub(crate) enum CExpr {
     },
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<CExpr>, negated: bool },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`. Branches evaluate
+    /// lazily: the operand (if any) once per row, each WHEN only until the
+    /// first match, the matching THEN only, and ELSE only when nothing
+    /// matched. A missing ELSE yields NULL.
+    Case {
+        operand: Option<Box<CExpr>>,
+        branches: Vec<(CExpr, CExpr)>,
+        else_: Option<Box<CExpr>>,
+    },
 }
 
 /// One projection item, resolved.
@@ -209,11 +221,12 @@ pub(crate) enum JoinStrategy {
 /// One compiled join step.
 #[derive(Debug, Clone)]
 pub(crate) struct CJoin {
-    /// Interned id of the joined table.
+    /// Interned id of the joined table (a schema table or a CTE).
     pub table: u32,
-    /// INNER or LEFT.
+    /// Join flavor; [`JoinType::pads`] drives NULL-padding of unmatched
+    /// left rows (LEFT/FULL) and unmatched right rows (RIGHT/FULL).
     pub join_type: JoinType,
-    /// Number of columns the joined table contributes (for LEFT padding).
+    /// Number of columns the joined table contributes (for pad rows).
     pub right_width: usize,
     /// Hash or nested-loop execution.
     pub strategy: JoinStrategy,
@@ -244,6 +257,9 @@ pub(crate) struct CCore {
     /// Output column display names, precomputed once at compile time and
     /// shared into each run's result without cloning the strings.
     pub columns: std::sync::Arc<[String]>,
+    /// Bare (unqualified, lower-case) output column names — the schema a
+    /// CTE materialized from this core exposes to the queries that scan it.
+    pub bare_columns: Vec<String>,
     /// Compiled ORDER BY key expressions (threaded down from the query so
     /// each set-op branch resolves them in its own environment).
     pub order_exprs: Vec<CExpr>,
@@ -272,6 +288,28 @@ impl CBody {
             CBody::SetOp { left, .. } => left.width(),
         }
     }
+
+    /// The left-most core — the one whose columns name the output.
+    pub(crate) fn first_core(&self) -> &CCore {
+        match self {
+            CBody::Select(core) => core,
+            CBody::SetOp { left, .. } => left.first_core(),
+        }
+    }
+}
+
+/// One compiled `WITH` definition: a full subplan plus the bare column
+/// names its materialized table exposes. Each CTE materializes exactly
+/// once per run, before the subquery prologue, in declaration order.
+#[derive(Debug, Clone)]
+pub(crate) struct CtePlan {
+    /// Declared CTE name (verbatim); shadows schema tables and any
+    /// same-named CTE from an enclosing scope.
+    pub name: String,
+    /// The compiled body (which may carry its own nested CTEs).
+    pub plan: CompiledQuery,
+    /// Bare output column names, the materialized table's schema.
+    pub columns: Vec<String>,
 }
 
 /// What a hoisted subquery site needs at run time.
@@ -309,6 +347,9 @@ pub(crate) enum SubResult {
 pub struct CompiledQuery {
     /// Interned table names; lineage ids index into this.
     pub(crate) tables: Vec<String>,
+    /// `WITH` definitions, materialized once per run (in order, before
+    /// the subquery prologue); later bodies may scan earlier ones.
+    pub(crate) ctes: Vec<CtePlan>,
     /// Hoisted uncorrelated subqueries, executed once per run.
     pub(crate) subs: Vec<SubPlan>,
     /// The compiled body.

@@ -44,7 +44,8 @@ pub struct OpProfile {
 pub struct SubProfile {
     /// Position in the prologue (execution order).
     pub index: usize,
-    /// How the result is consumed: `"in-set"`, `"exists"`, or `"scalar"`.
+    /// How the result is consumed: `"in-set"`, `"exists"`, `"scalar"`,
+    /// or `"cte"` (a materialized `WITH` body).
     pub kind: &'static str,
     /// Rows the subquery produced.
     pub rows: usize,

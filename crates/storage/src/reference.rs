@@ -16,10 +16,11 @@ use crate::error::ExecError;
 use crate::exec::{ExecOutput, Lineage, SourceRef};
 use crate::result::ResultSet;
 use crate::scalar::{dedup_distinct, eval_binary, fold_agg, sort_by_order_keys};
-use crate::table::Database;
+use crate::schema::{ColumnDef, DataType, TableSchema};
+use crate::table::{Database, Table};
 use crate::value::Value;
 use cyclesql_sql::{
-    AggFunc, Expr, FuncArg, JoinType, Query, QueryBody, SelectCore, SelectItem, SetOp, SortOrder,
+    AggFunc, Expr, FuncArg, Query, QueryBody, SelectCore, SelectItem, SetOp, SortOrder,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -40,6 +41,105 @@ pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
 ///
 /// See [`execute`].
 pub fn execute_with_lineage(db: &Database, q: &Query) -> Result<ExecOutput, ExecError> {
+    exec_query(db, q).map(|(out, _)| out)
+}
+
+/// Executes a query and also reports the bare (unqualified, lower-case)
+/// output column names — the schema a `WITH` definition materialized from
+/// this query exposes.
+///
+/// The query's own CTEs execute first, in declaration order, each against
+/// a growing shadow copy of the database; every materialized table is
+/// front-inserted so it shadows schema tables and enclosing definitions of
+/// the same name, and subqueries inside later bodies (and the main body)
+/// see it like any other table. Body lineage recorded against a CTE
+/// materialized at *this* level is expanded into that CTE row's own
+/// base-table lineage at this level's output boundary (order-preserving,
+/// first occurrence wins); references to an enclosing scope's CTEs pass
+/// through untouched for the enclosing level to expand.
+fn exec_query(db: &Database, q: &Query) -> Result<(ExecOutput, Vec<String>), ExecError> {
+    validate_names(db, q)?;
+    if q.ctes.is_empty() {
+        let out = exec_no_ctes(db, q)?;
+        let env = from_env(db, first_core(&q.body))?;
+        let bare = bare_projection_names(first_core(&q.body), &env);
+        return Ok((out, bare));
+    }
+    let mut db2 = db.clone();
+    // Lower-case CTE name → per-row base lineage of its materialization.
+    let mut maps: HashMap<String, Vec<Lineage>> = HashMap::new();
+    for cte in &q.ctes {
+        let (body_out, bare) = exec_query(&db2, &cte.query)?;
+        let expanded = expand_lineage(body_out.lineage, &maps);
+        let schema = TableSchema::new(
+            &cte.name,
+            bare.iter()
+                .map(|c| ColumnDef::new(c, DataType::Text))
+                .collect(),
+        );
+        let mut table = Table::new(schema);
+        for row in body_out.result.rows {
+            table.push_row(row);
+        }
+        let key = table.schema.name.clone();
+        db2.tables.insert(0, table);
+        maps.insert(key, expanded);
+    }
+    let out = exec_no_ctes(&db2, q)?;
+    let lineage = expand_lineage(out.lineage, &maps);
+    let env = from_env(&db2, first_core(&q.body))?;
+    let bare = bare_projection_names(first_core(&q.body), &env);
+    Ok((
+        ExecOutput {
+            result: out.result,
+            lineage,
+        },
+        bare,
+    ))
+}
+
+/// Expands pseudo-references into materialized CTEs (rows of `maps`) into
+/// their stored base lineage, order-preserving with first-occurrence
+/// dedup; references to anything else pass through (deduped the same way,
+/// matching the compiled engine's splice).
+fn expand_lineage(lineage: Vec<Lineage>, maps: &HashMap<String, Vec<Lineage>>) -> Vec<Lineage> {
+    lineage
+        .into_iter()
+        .map(|row| {
+            let mut out: Lineage = Vec::with_capacity(row.len());
+            for src in row {
+                match maps.get(src.table.as_ref()) {
+                    Some(rows) => {
+                        for s in &rows[src.row] {
+                            if !out.contains(s) {
+                                out.push(s.clone());
+                            }
+                        }
+                    }
+                    None => {
+                        if !out.contains(&src) {
+                            out.push(src);
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// The left-most core of a body — the one whose projections name the
+/// output columns.
+fn first_core(body: &QueryBody) -> &SelectCore {
+    match body {
+        QueryBody::Select(core) => core,
+        QueryBody::SetOp { left, .. } => first_core(left),
+    }
+}
+
+/// The body / ORDER BY / LIMIT pipeline, ignoring `q.ctes` (the caller
+/// has already materialized them into `db` when present).
+fn exec_no_ctes(db: &Database, q: &Query) -> Result<ExecOutput, ExecError> {
     let mut rows = exec_body_with_order(db, &q.body, &q.order_by)?;
     // ORDER BY over the combined result. For plain selects the order keys
     // were computed during core execution; for set-op bodies we resolve
@@ -367,6 +467,10 @@ fn build_working_set(
             .on
             .as_ref()
             .and_then(|on| equi_join_plan(on, &env, right_start));
+        let (pad_l, pad_r) = join.join_type.pads();
+        // Which right rows matched at least one left row; only tracked
+        // when this flavor pads the right side.
+        let mut matched_right = vec![false; if pad_r { right.rows.len() } else { 0 }];
         let mut joined = Vec::new();
         match hash_plan {
             Some((left_idx, right_col_offset)) => {
@@ -388,6 +492,9 @@ fn build_working_set(
                             .unwrap_or(&[])
                     };
                     for &ri in matches {
+                        if pad_r {
+                            matched_right[ri] = true;
+                        }
                         let mut candidate_values = left_row.values.clone();
                         candidate_values.extend(right.rows[ri].iter().cloned());
                         let mut lineage = left_row.lineage.clone();
@@ -400,7 +507,7 @@ fn build_working_set(
                             lineage,
                         });
                     }
-                    if matches.is_empty() && join.join_type == JoinType::Left {
+                    if matches.is_empty() && pad_l {
                         let mut values = left_row.values.clone();
                         values.extend(std::iter::repeat_n(
                             Value::Null,
@@ -436,10 +543,13 @@ fn build_working_set(
                         };
                         if keep {
                             matched = true;
+                            if pad_r {
+                                matched_right[ri] = true;
+                            }
                             joined.push(candidate);
                         }
                     }
-                    if !matched && join.join_type == JoinType::Left {
+                    if !matched && pad_l {
                         let mut values = left_row.values.clone();
                         values.extend(std::iter::repeat_n(
                             Value::Null,
@@ -450,6 +560,25 @@ fn build_working_set(
                             lineage: left_row.lineage.clone(),
                         });
                     }
+                }
+            }
+        }
+        // Unmatched right rows append after every left-driven output, in
+        // right-row order — the canonical order all three engines share.
+        // The joined prefix pads to NULL and the lineage is the right row
+        // alone.
+        if pad_r {
+            for (ri, right_row) in right.rows.iter().enumerate() {
+                if !matched_right[ri] {
+                    let mut values = vec![Value::Null; right_start];
+                    values.extend(right_row.iter().cloned());
+                    joined.push(WorkRow {
+                        values,
+                        lineage: vec![SourceRef {
+                            table: Arc::clone(&right_name),
+                            row: ri,
+                        }],
+                    });
                 }
             }
         }
@@ -505,6 +634,250 @@ fn projection_names(core: &SelectCore, env: &RefEnv) -> Vec<String> {
         }
     }
     names
+}
+
+/// The naming environment a core's FROM clause exposes, without building
+/// the working set — for computing a CTE's output schema after its body
+/// has executed.
+fn from_env(db: &Database, core: &SelectCore) -> Result<RefEnv, ExecError> {
+    let mut env = RefEnv { cols: Vec::new() };
+    let base_table = db
+        .table(&core.from.base.name)
+        .ok_or_else(|| ExecError::new(format!("unknown table {}", core.from.base.name)))?;
+    let base_visible = core.from.base.visible_name().to_string();
+    for c in &base_table.schema.columns {
+        env.cols.push(EnvCol {
+            visible: base_visible.clone(),
+            real: base_table.schema.name.clone(),
+            column: c.name.clone(),
+        });
+    }
+    for join in &core.from.joins {
+        let right = db
+            .table(&join.table.name)
+            .ok_or_else(|| ExecError::new(format!("unknown table {}", join.table.name)))?;
+        let right_visible = join.table.visible_name().to_string();
+        for c in &right.schema.columns {
+            env.cols.push(EnvCol {
+                visible: right_visible.clone(),
+                real: right.schema.name.clone(),
+                column: c.name.clone(),
+            });
+        }
+    }
+    Ok(env)
+}
+
+/// Bare (unqualified, lower-case) output column names — the schema a CTE
+/// materialized from this core exposes to queries that scan it. Mirrors
+/// the compiled engine's copy; keep the two in sync.
+fn bare_projection_names(core: &SelectCore, env: &RefEnv) -> Vec<String> {
+    let mut names = Vec::new();
+    for item in &core.projections {
+        match item {
+            SelectItem::Star => {
+                for c in &env.cols {
+                    names.push(c.column.to_lowercase());
+                }
+            }
+            SelectItem::QualifiedStar(t) => {
+                for i in env.columns_of_visible(t) {
+                    names.push(env.cols[i].column.to_lowercase());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match (alias, expr) {
+                    (Some(a), _) => a.clone(),
+                    (None, Expr::Column(c)) => c.column.clone(),
+                    (None, e) => e.to_string(),
+                };
+                names.push(name.to_lowercase());
+            }
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------------------
+// Eager name resolution
+// ---------------------------------------------------------------------------
+//
+// The interpreter binds column names per row, so a query whose working set
+// is empty would never touch an unresolvable reference — while the compiled
+// engine rejects it at compile time. This pass walks the query in exactly
+// the order `compile_core` lowers it (base table, then per join its table
+// and ON, then WHERE, GROUP BY, HAVING, projections, ORDER BY, recursing
+// into subqueries where they are hoisted) so the *first* error, and its
+// message, are identical on every path.
+
+/// A statically-known source: a CTE name and its output columns.
+type NameScope = (String, Vec<String>);
+
+fn validate_names(db: &Database, q: &Query) -> Result<(), ExecError> {
+    validate_scoped(db, q, &[])
+}
+
+fn validate_scoped(db: &Database, q: &Query, outer: &[NameScope]) -> Result<(), ExecError> {
+    let mut scope = outer.to_vec();
+    for cte in &q.ctes {
+        validate_scoped(db, &cte.query, &scope)?;
+        let core = first_core(&cte.query.body);
+        let mut env = RefEnv { cols: Vec::new() };
+        push_source(db, &scope, &core.from.base, &mut env)?;
+        for join in &core.from.joins {
+            push_source(db, &scope, &join.table, &mut env)?;
+        }
+        scope.push((cte.name.clone(), bare_projection_names(core, &env)));
+    }
+    validate_vbody(db, &q.body, &q.order_by, &scope)
+}
+
+fn validate_vbody(
+    db: &Database,
+    body: &QueryBody,
+    order: &[cyclesql_sql::OrderItem],
+    scope: &[NameScope],
+) -> Result<(), ExecError> {
+    match body {
+        QueryBody::Select(core) => validate_vcore(db, core, order, scope),
+        QueryBody::SetOp { left, right, .. } => {
+            validate_vbody(db, left, order, scope)?;
+            validate_vbody(db, right, order, scope)
+        }
+    }
+}
+
+/// Resolves one `FROM` source — in-scope CTEs first (latest declaration
+/// wins), then the database — and appends its columns to the environment.
+fn push_source(
+    db: &Database,
+    scope: &[NameScope],
+    source: &cyclesql_sql::TableRef,
+    env: &mut RefEnv,
+) -> Result<(), ExecError> {
+    let visible = source.visible_name().to_string();
+    if let Some((real, columns)) = scope
+        .iter()
+        .rev()
+        .find(|(n, _)| n.eq_ignore_ascii_case(&source.name))
+    {
+        for c in columns {
+            env.cols.push(EnvCol {
+                visible: visible.clone(),
+                real: real.clone(),
+                column: c.clone(),
+            });
+        }
+        return Ok(());
+    }
+    let t = db
+        .table(&source.name)
+        .ok_or_else(|| ExecError::new(format!("unknown table {}", source.name)))?;
+    for c in &t.schema.columns {
+        env.cols.push(EnvCol {
+            visible: visible.clone(),
+            real: t.schema.name.clone(),
+            column: c.name.clone(),
+        });
+    }
+    Ok(())
+}
+
+fn validate_vcore(
+    db: &Database,
+    core: &SelectCore,
+    order: &[cyclesql_sql::OrderItem],
+    scope: &[NameScope],
+) -> Result<(), ExecError> {
+    let mut env = RefEnv { cols: Vec::new() };
+    push_source(db, scope, &core.from.base, &mut env)?;
+    for join in &core.from.joins {
+        push_source(db, scope, &join.table, &mut env)?;
+        if let Some(on) = &join.on {
+            validate_expr(db, on, &env, scope)?;
+        }
+    }
+    if let Some(w) = &core.where_clause {
+        validate_expr(db, w, &env, scope)?;
+    }
+    for g in &core.group_by {
+        validate_expr(db, g, &env, scope)?;
+    }
+    if let Some(h) = &core.having {
+        validate_expr(db, h, &env, scope)?;
+    }
+    for item in &core.projections {
+        match item {
+            SelectItem::Star => {}
+            SelectItem::QualifiedStar(t) => {
+                if env.columns_of_visible(t).is_empty() {
+                    return Err(ExecError::new(format!("unknown table in projection: {t}")));
+                }
+            }
+            SelectItem::Expr { expr, .. } => validate_expr(db, expr, &env, scope)?,
+        }
+    }
+    for o in order {
+        validate_expr(db, &o.expr, &env, scope)?;
+    }
+    Ok(())
+}
+
+/// Resolves every column reference in an expression, recursing into
+/// subqueries with the enclosing CTE scope (they are uncorrelated, so the
+/// outer column environment does not leak in). Exhaustive over [`Expr`]:
+/// adding a variant must state its resolution rule here.
+fn validate_expr(
+    db: &Database,
+    e: &Expr,
+    env: &RefEnv,
+    scope: &[NameScope],
+) -> Result<(), ExecError> {
+    match e {
+        Expr::Column(c) => env.lookup(c).map(|_| ()),
+        Expr::Literal(_) => Ok(()),
+        Expr::Binary { left, right, .. } => {
+            validate_expr(db, left, env, scope)?;
+            validate_expr(db, right, env, scope)
+        }
+        Expr::Not(x) => validate_expr(db, x, env, scope),
+        Expr::Agg { arg, .. } => match arg {
+            FuncArg::Star => Ok(()),
+            FuncArg::Expr(x) => validate_expr(db, x, env, scope),
+        },
+        Expr::InSubquery { expr, subquery, .. } => {
+            validate_expr(db, expr, env, scope)?;
+            validate_scoped(db, subquery, scope)
+        }
+        Expr::InList { expr, list, .. } => {
+            validate_expr(db, expr, env, scope)?;
+            for item in list {
+                validate_expr(db, item, env, scope)?;
+            }
+            Ok(())
+        }
+        Expr::Exists { subquery, .. } => validate_scoped(db, subquery, scope),
+        Expr::ScalarSubquery(subquery) => validate_scoped(db, subquery, scope),
+        Expr::Between { expr, low, high, .. } => {
+            validate_expr(db, expr, env, scope)?;
+            validate_expr(db, low, env, scope)?;
+            validate_expr(db, high, env, scope)
+        }
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => validate_expr(db, expr, env, scope),
+        Expr::Case { operand, branches, else_ } => {
+            if let Some(op) = operand {
+                validate_expr(db, op, env, scope)?;
+            }
+            for (cond, value) in branches {
+                validate_expr(db, cond, env, scope)?;
+                validate_expr(db, value, env, scope)?;
+            }
+            if let Some(x) = else_ {
+                validate_expr(db, x, env, scope)?;
+            }
+            Ok(())
+        }
+    }
 }
 
 enum ProjCtx<'a> {
@@ -675,6 +1048,31 @@ fn eval(e: &Expr, env: &RefEnv, row: &WorkRow, db: &Database) -> Result<Value, E
             let v = eval(expr, env, row, db)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
+        Expr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            // Lazy: operand once, WHENs until the first hit, one THEN.
+            let opv = operand
+                .as_ref()
+                .map(|o| eval(o, env, row, db))
+                .transpose()?;
+            for (when, then) in branches {
+                let w = eval(when, env, row, db)?;
+                let hit = match &opv {
+                    Some(op) => op.sql_eq(&w) == Some(true),
+                    None => w.is_truthy(),
+                };
+                if hit {
+                    return eval(then, env, row, db);
+                }
+            }
+            match else_ {
+                Some(e) => eval(e, env, row, db),
+                None => Ok(Value::Null),
+            }
+        }
     }
 }
 
@@ -703,6 +1101,33 @@ fn eval_in_group(
                 Ok(Value::Null)
             } else {
                 Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            // CASE over a group: branches may mix aggregates and group
+            // keys, so every sub-expression recurses through the group
+            // evaluator. Same lazy order as the per-row form.
+            let opv = operand
+                .as_ref()
+                .map(|o| eval_in_group(o, env, group, db))
+                .transpose()?;
+            for (when, then) in branches {
+                let w = eval_in_group(when, env, group, db)?;
+                let hit = match &opv {
+                    Some(op) => op.sql_eq(&w) == Some(true),
+                    None => w.is_truthy(),
+                };
+                if hit {
+                    return eval_in_group(then, env, group, db);
+                }
+            }
+            match else_ {
+                Some(e) => eval_in_group(e, env, group, db),
+                None => Ok(Value::Null),
             }
         }
         _ => match group.first() {

@@ -20,10 +20,11 @@ use crate::plan::PlanStep;
 use crate::profile::{OpProfile, PlanProfile, Prof, SubProfile};
 use crate::result::ResultSet;
 use crate::scalar::{dedup_distinct, eval_binary, fold_agg, sort_by_order_keys};
+use crate::schema::{ColumnDef, DataType, TableSchema};
 use crate::table::{Database, Table};
 use crate::value::{KeyValue, Value};
 use cyclesql_obs::SpanCtx;
-use cyclesql_sql::{AggFunc, JoinType, SetOp};
+use cyclesql_sql::{AggFunc, SetOp};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,7 +63,7 @@ impl CompiledQuery {
         opts: &ExecOpts<'_>,
     ) -> Result<(ExecOutput, RunStats), ExecError> {
         let mut stats = RunStats::default();
-        let out = crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, opts)?;
+        let out = crate::batch::run_columnar(self, db, &mut stats, &mut Prof::Off, opts, &[])?;
         Ok((out, stats))
     }
 
@@ -81,7 +82,7 @@ impl CompiledQuery {
         let mut stats = RunStats::default();
         let mut prof = Prof::On(Box::default());
         let t = Instant::now();
-        let out = crate::batch::run_columnar(self, db, &mut stats, &mut prof, opts)?;
+        let out = crate::batch::run_columnar(self, db, &mut stats, &mut prof, opts, &[])?;
         let total_ns = t.elapsed().as_nanos() as u64;
         let Prof::On(mut profile) = prof else {
             unreachable!("profiling stays on for the whole run")
@@ -204,10 +205,99 @@ impl CompiledQuery {
         stats: &mut RunStats,
         prof: &mut Prof,
     ) -> Result<ExecOutput, ExecError> {
-        let ctx = RunCtx::prepare(self, db, stats, prof, None)?;
-        let (columns, rows) = exec_cbody(&ctx, &self.body, prof)?;
-        finish_run(self, &columns, rows, prof)
+        self.run_extra(db, stats, prof, &[])
     }
+
+    /// [`CompiledQuery::run_inner`] with enclosing-scope CTE
+    /// materializations visible to name resolution — the entry point for
+    /// CTE bodies and hoisted subqueries that scan an outer `WITH` table.
+    /// This plan's own CTEs materialize first (before the subquery
+    /// prologue, matching the reference interpreter's bodies-before-main
+    /// evaluation order), then the main body runs with the combined scope.
+    pub(crate) fn run_extra(
+        &self,
+        db: &Database,
+        stats: &mut RunStats,
+        prof: &mut Prof,
+        extra: &[&CteMat],
+    ) -> Result<ExecOutput, ExecError> {
+        let mats = materialize_ctes(self, db, stats, prof, extra, None)?;
+        let avail: Vec<&CteMat> = extra.iter().copied().chain(mats.iter()).collect();
+        let ctx = RunCtx::prepare(self, db, stats, prof, None, &avail)?;
+        let (columns, rows) = exec_cbody(&ctx, &self.body, prof)?;
+        finish_run(self, &columns, rows, prof, &avail)
+    }
+}
+
+/// One materialized `WITH` definition: the result as a scannable
+/// [`Table`] plus each result row's base-table lineage. Bodies that scan
+/// the CTE record pseudo-references `(cte-id, row)`; [`finish_run`]
+/// splices those into the stored base lineage at the output boundary.
+pub(crate) struct CteMat {
+    /// Declared CTE name (verbatim, as interned by the compiler).
+    pub(crate) name: String,
+    /// The materialized rows, scannable like any base table.
+    pub(crate) table: Table,
+    /// Per-row base-table lineage, parallel to `table.rows`.
+    pub(crate) lineage: Vec<Vec<SourceRef>>,
+}
+
+/// Materializes a plan's `WITH` definitions in declaration order, each
+/// body seeing the enclosing scope (`extra`) plus every earlier sibling —
+/// exactly the visibility the compiler resolved against. Each body runs
+/// once per run (counted in [`RunStats::cte_runs`]) on the engine
+/// `prologue_batch` selects, like the subquery prologue.
+pub(crate) fn materialize_ctes(
+    plan: &CompiledQuery,
+    db: &Database,
+    stats: &mut RunStats,
+    prof: &mut Prof,
+    extra: &[&CteMat],
+    prologue_batch: Option<usize>,
+) -> Result<Vec<CteMat>, ExecError> {
+    let mut mats: Vec<CteMat> = Vec::with_capacity(plan.ctes.len());
+    for cte in &plan.ctes {
+        let avail: Vec<&CteMat> = extra.iter().copied().chain(mats.iter()).collect();
+        stats.cte_runs += 1;
+        let t = prof.start();
+        let out = match prologue_batch {
+            Some(batch_rows) => {
+                let opts = ExecOpts {
+                    batch_rows,
+                    ..ExecOpts::default()
+                };
+                crate::batch::run_columnar(&cte.plan, db, stats, &mut Prof::Off, &opts, &avail)?
+            }
+            None => cte.plan.run_extra(db, stats, &mut Prof::Off, &avail)?,
+        };
+        if let Some(t) = t {
+            prof.push_sub(SubProfile {
+                index: 0, // assigned from push order
+                kind: "cte",
+                rows: out.result.rows.len(),
+                elapsed_ns: t.elapsed().as_nanos() as u64,
+            });
+        }
+        // Declared types are not tracked for CTE outputs (values carry
+        // their own runtime types); Text is a display-only placeholder.
+        let schema = TableSchema::new(
+            &cte.name,
+            cte.columns
+                .iter()
+                .map(|c| ColumnDef::new(c, DataType::Text))
+                .collect(),
+        );
+        let mut table = Table::new(schema);
+        for row in out.result.rows {
+            table.push_row(row);
+        }
+        mats.push(CteMat {
+            name: cte.name.clone(),
+            table,
+            lineage: out.lineage,
+        });
+    }
+    Ok(mats)
 }
 
 /// Default rows-per-chunk for the columnar engine: large enough to
@@ -249,12 +339,16 @@ impl Default for ExecOpts<'_> {
 
 /// The shared tail of both engines: ORDER BY, LIMIT, and lineage
 /// materialization, with their profile entries. Interned lineage ids are
-/// resolved to shared table-name handles only for rows that survive LIMIT.
+/// resolved to shared table-name handles only for rows that survive
+/// LIMIT. With CTEs in scope, pseudo-references into a materialized CTE
+/// expand here into that CTE row's own base-table lineage
+/// (order-preserving, first occurrence wins).
 pub(crate) fn finish_run(
     plan: &CompiledQuery,
     columns: &Arc<[String]>,
     mut rows: Vec<COutRow>,
     prof: &mut Prof,
+    ctes: &[&CteMat],
 ) -> Result<ExecOutput, ExecError> {
     if !plan.order_dirs.is_empty() {
         let t = prof.start();
@@ -290,17 +384,52 @@ pub(crate) fn finish_run(
     let arcs: Vec<Arc<str>> = plan.tables.iter().map(|t| Arc::from(t.as_str())).collect();
     let mut result_rows = Vec::with_capacity(rows.len());
     let mut lineage = Vec::with_capacity(rows.len());
-    for r in rows {
-        result_rows.push(r.values);
-        lineage.push(
-            r.lineage
-                .into_iter()
-                .map(|(t, row)| SourceRef {
-                    table: Arc::clone(&arcs[t as usize]),
-                    row,
-                })
-                .collect(),
-        );
+    if ctes.is_empty() {
+        for r in rows {
+            result_rows.push(r.values);
+            lineage.push(
+                r.lineage
+                    .into_iter()
+                    .map(|(t, row)| SourceRef {
+                        table: Arc::clone(&arcs[t as usize]),
+                        row,
+                    })
+                    .collect(),
+            );
+        }
+    } else {
+        // Which interned ids are CTEs (latest declaration shadows, like
+        // name resolution in `RunCtx::prepare`).
+        let mat_of: Vec<Option<&CteMat>> = plan
+            .tables
+            .iter()
+            .map(|t| ctes.iter().rev().find(|m| m.name == *t).copied())
+            .collect();
+        for r in rows {
+            result_rows.push(r.values);
+            let mut out: Vec<SourceRef> = Vec::with_capacity(r.lineage.len());
+            for (t, row) in r.lineage {
+                match mat_of[t as usize] {
+                    Some(mat) => {
+                        for src in &mat.lineage[row] {
+                            if !out.contains(src) {
+                                out.push(src.clone());
+                            }
+                        }
+                    }
+                    None => {
+                        let src = SourceRef {
+                            table: Arc::clone(&arcs[t as usize]),
+                            row,
+                        };
+                        if !out.contains(&src) {
+                            out.push(src);
+                        }
+                    }
+                }
+            }
+            lineage.push(out);
+        }
     }
     Ok(ExecOutput {
         result: ResultSet {
@@ -332,18 +461,26 @@ impl<'a> RunCtx<'a> {
         stats: &mut RunStats,
         prof: &mut Prof,
         prologue_batch: Option<usize>,
+        extra: &[&'a CteMat],
     ) -> Result<Self, ExecError> {
         let tables = plan
             .tables
             .iter()
             .map(|name| {
-                db.table_exact(name)
+                // Materialized CTEs shadow schema tables; latest
+                // declaration wins, matching compile-time scoping.
+                extra
+                    .iter()
+                    .rev()
+                    .find(|m| m.name == *name)
+                    .map(|m| &m.table)
+                    .or_else(|| db.table_exact(name))
                     .ok_or_else(|| ExecError::new(format!("unknown table {name}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
         let mut subs = Vec::with_capacity(plan.subs.len());
         for sub in &plan.subs {
-            subs.push(run_prologue_step(sub, db, stats, prof, prologue_batch)?);
+            subs.push(run_prologue_step(sub, db, stats, prof, prologue_batch, extra)?);
         }
         Ok(RunCtx { tables, subs })
     }
@@ -359,6 +496,7 @@ fn run_prologue_step(
     stats: &mut RunStats,
     prof: &mut Prof,
     prologue_batch: Option<usize>,
+    extra: &[&CteMat],
 ) -> Result<SubResult, ExecError> {
     stats.subquery_runs += 1;
     let t = prof.start();
@@ -368,15 +506,17 @@ fn run_prologue_step(
         // once and are rarely scan-bound). `run_columnar` accumulates onto
         // the caller's stats and falls back to the row interpreter on any
         // evaluation error, so results, `subquery_runs`, and error messages
-        // are identical to a row-wise prologue.
+        // are identical to a row-wise prologue. Enclosing CTEs stay in
+        // scope: the reference interpreter runs subqueries against the
+        // shadow database that already holds them.
         Some(batch_rows) => {
             let opts = ExecOpts {
                 batch_rows,
                 ..ExecOpts::default()
             };
-            crate::batch::run_columnar(&sub.plan, db, stats, &mut Prof::Off, &opts)?.result
+            crate::batch::run_columnar(&sub.plan, db, stats, &mut Prof::Off, &opts, extra)?.result
         }
-        None => sub.plan.run_inner(db, stats, &mut Prof::Off)?.result,
+        None => sub.plan.run_extra(db, stats, &mut Prof::Off, extra)?.result,
     };
     if let Some(t) = t {
         prof.push_sub(SubProfile {
@@ -710,6 +850,9 @@ fn build_working_set(
         });
     }
 
+    // Running width of the joined prefix, for RIGHT/FULL pad rows (the
+    // working set may be empty, so the width cannot be read off a row).
+    let mut left_width = base.schema.columns.len();
     for join in &core.joins {
         let right = ctx.tables[join.table as usize];
         let t = prof.start();
@@ -717,12 +860,18 @@ fn build_working_set(
         let mut hash_entries = 0usize;
         let mut comparisons = 0usize;
         let mut joined = Vec::new();
+        let (pad_l, pad_r) = join.join_type.pads();
+        // Which right rows matched at least one left row; only tracked
+        // when this flavor pads the right side.
+        let mut matched_right = vec![false; if pad_r { right.rows.len() } else { 0 }];
         match &join.strategy {
             JoinStrategy::Hash {
                 left_slot,
                 right_col,
             } => {
-                // NULL keys never match (3VL), mirroring nested-loop sql_eq.
+                // NULL keys never match (3VL), mirroring nested-loop
+                // sql_eq — a NULL-key right row is never indexed, so under
+                // RIGHT/FULL it pads by construction.
                 let mut index: HashMap<KeyValue, Vec<usize>> = HashMap::new();
                 for (ri, right_row) in right.rows.iter().enumerate() {
                     let k = &right_row[*right_col];
@@ -740,9 +889,12 @@ fn build_working_set(
                         index.get(&k.key()).map(|v| v.as_slice()).unwrap_or(&[])
                     };
                     for &ri in matches {
+                        if pad_r {
+                            matched_right[ri] = true;
+                        }
                         joined.push(join_rows(left_row, &right.rows[ri], join.table, ri));
                     }
-                    if matches.is_empty() && join.join_type == JoinType::Left {
+                    if matches.is_empty() && pad_l {
                         joined.push(pad_left(left_row, join.right_width));
                     }
                 }
@@ -766,16 +918,29 @@ fn build_working_set(
                         };
                         if keep {
                             matched = true;
+                            if pad_r {
+                                matched_right[ri] = true;
+                            }
                             joined.push(join_rows(left_row, right_row, join.table, ri));
                         }
                     }
-                    if !matched && join.join_type == JoinType::Left {
+                    if !matched && pad_l {
                         joined.push(pad_left(left_row, join.right_width));
                     }
                 }
             }
         }
+        // Unmatched right rows append after every left-driven output, in
+        // right-row order — the canonical order all three engines share.
+        if pad_r {
+            for (ri, right_row) in right.rows.iter().enumerate() {
+                if !matched_right[ri] {
+                    joined.push(pad_right(left_width, right_row, join.table, ri));
+                }
+            }
+        }
         work = joined;
+        left_width += join.right_width;
         if let Some(t) = t {
             let table = right.schema.name.clone();
             let rows = right.len();
@@ -815,7 +980,8 @@ fn join_rows(left: &CWorkRow, right_row: &[Value], table: u32, ri: usize) -> CWo
     CWorkRow { values, lineage }
 }
 
-/// A LEFT-join pad row: NULLs for the right side, no right lineage entry.
+/// A LEFT/FULL pad row for an unmatched left row: NULLs for the right
+/// side, no right lineage entry.
 fn pad_left(left: &CWorkRow, right_width: usize) -> CWorkRow {
     let mut values = Vec::with_capacity(left.values.len() + right_width);
     values.extend_from_slice(&left.values);
@@ -823,6 +989,18 @@ fn pad_left(left: &CWorkRow, right_width: usize) -> CWorkRow {
     CWorkRow {
         values,
         lineage: left.lineage.clone(),
+    }
+}
+
+/// A RIGHT/FULL pad row for an unmatched right row: NULLs for the whole
+/// joined prefix, lineage anchored on the right row alone.
+fn pad_right(left_width: usize, right_row: &[Value], table: u32, ri: usize) -> CWorkRow {
+    let mut values = Vec::with_capacity(left_width + right_row.len());
+    values.extend(std::iter::repeat_n(Value::Null, left_width));
+    values.extend_from_slice(right_row);
+    CWorkRow {
+        values,
+        lineage: vec![(table, ri)],
     }
 }
 
@@ -982,6 +1160,28 @@ fn ceval<S: SlotVals>(e: &CExpr, ctx: &RunCtx<'_>, row: &S) -> Result<Value, Exe
             let v = ceval(expr, ctx, row)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
+        CExpr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            // Lazy: operand once, WHENs until the first hit, one THEN.
+            let opv = operand.as_ref().map(|o| ceval(o, ctx, row)).transpose()?;
+            for (when, then) in branches {
+                let w = ceval(when, ctx, row)?;
+                let hit = match &opv {
+                    Some(op) => op.sql_eq(&w) == Some(true),
+                    None => w.is_truthy(),
+                };
+                if hit {
+                    return ceval(then, ctx, row);
+                }
+            }
+            match else_ {
+                Some(e) => ceval(e, ctx, row),
+                None => Ok(Value::Null),
+            }
+        }
     }
 }
 
@@ -1025,6 +1225,32 @@ fn ceval_in_group(e: &CExpr, ctx: &RunCtx<'_>, group: &[CWorkRow]) -> Result<Val
                 Ok(Value::Null)
             } else {
                 Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        // CASE over aggregates: every piece evaluates in group context
+        // (so e.g. `CASE WHEN count(*) > 2 THEN …` folds per group).
+        CExpr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            let opv = operand
+                .as_ref()
+                .map(|o| ceval_in_group(o, ctx, group))
+                .transpose()?;
+            for (when, then) in branches {
+                let w = ceval_in_group(when, ctx, group)?;
+                let hit = match &opv {
+                    Some(op) => op.sql_eq(&w) == Some(true),
+                    None => w.is_truthy(),
+                };
+                if hit {
+                    return ceval_in_group(then, ctx, group);
+                }
+            }
+            match else_ {
+                Some(e) => ceval_in_group(e, ctx, group),
+                None => Ok(Value::Null),
             }
         }
         _ => match group.first() {

@@ -164,3 +164,33 @@ fn nested_loop_and_distinct_counters_are_batch_size_invariant() {
          ON T1.population > T2.population WHERE T2.population > 1000000",
     );
 }
+
+#[test]
+fn cte_counters_are_batch_size_invariant() {
+    let db = world();
+    assert_counter_parity(
+        &db,
+        "WITH big AS (SELECT code, name FROM country WHERE population > 1000000) \
+         SELECT count(*) FROM big",
+    );
+}
+
+#[test]
+fn case_counters_are_batch_size_invariant() {
+    let db = world();
+    assert_counter_parity(
+        &db,
+        "SELECT name, CASE WHEN population > 1000000 THEN 'big' ELSE 'small' END \
+         FROM country ORDER BY name LIMIT 5",
+    );
+}
+
+#[test]
+fn outer_join_counters_are_batch_size_invariant() {
+    let db = world();
+    assert_counter_parity(
+        &db,
+        "SELECT T1.name, T2.name FROM country AS T1 FULL OUTER JOIN city AS T2 \
+         ON T1.code = T2.countrycode ORDER BY T1.name, T2.name LIMIT 10",
+    );
+}
