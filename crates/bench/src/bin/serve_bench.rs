@@ -19,13 +19,23 @@
 //! own per-stage histograms travel in the same report. Results go to
 //! `BENCH_serve.json`.
 //!
-//! Usage: `serve_bench [--requests N] [--workers CSV] [--out PATH] [--quick]`
+//! `--net` additionally drives the whole stack over real TCP: for each
+//! shard count in `--shards` it boots a loopback [`NetServer`], measures
+//! closed-loop wire capacity, then replays the workload open-loop at
+//! 0.5×/1.0×/1.5× of that capacity — tail latency (p50/p95/p99) and shed
+//! rate per offered load, per shard count. Latency here includes HTTP
+//! framing, routing, and the socket round-trip, so the delta against the
+//! in-process numbers is the wire tax.
+//!
+//! Usage: `serve_bench [--requests N] [--workers CSV] [--out PATH] [--quick]
+//!                     [--net] [--shards CSV]`
 
 use cyclesql_benchgen::{
     build_science_suite, build_spider_suite, BenchmarkItem, SuiteConfig, Variant,
 };
 use cyclesql_core::{CycleSql, LoopVerifier};
 use cyclesql_models::{ModelProfile, SimulatedModel};
+use cyclesql_net::{encode_query, HttpClient, NetConfig, NetServer, RouterConfig};
 use cyclesql_nli::AlwaysAcceptVerifier;
 use cyclesql_serve::{
     AdmissionPolicy, Catalog, MetricsSnapshot, ServeConfig, ServeRequest, ServiceEngine, Ticket,
@@ -99,6 +109,25 @@ struct OpenLoopRun {
     metrics: MetricsSnapshot,
 }
 
+/// One run against the TCP front door (`--net`). `mode` is `"closed"`
+/// (capacity probe, `offered_rps` echoes the measured rate) or `"open"`
+/// (fixed arrival schedule). Latency is wall time from first request byte
+/// to last response byte, so HTTP framing and routing are inside it.
+#[derive(Serialize)]
+struct NetRun {
+    shards: usize,
+    mode: String,
+    policy: String,
+    connections: usize,
+    offered_rps: f64,
+    achieved_rps: f64,
+    requests: usize,
+    served: usize,
+    shed: usize,
+    shed_rate: f64,
+    latency: LatencySummary,
+}
+
 #[derive(Serialize)]
 struct Report {
     requests_per_run: usize,
@@ -106,6 +135,8 @@ struct Report {
     databases: usize,
     closed_loop: Vec<ClosedLoopRun>,
     open_loop: Vec<OpenLoopRun>,
+    /// Wire-tier runs; empty unless `--net` was passed.
+    net: Vec<NetRun>,
 }
 
 /// The shared request mix: spider and science dev questions interleaved,
@@ -289,11 +320,176 @@ fn open_loop(
     }
 }
 
+/// Boots a loopback front door with one single-worker engine per shard,
+/// so shard count is the only scaling knob on the wire path.
+fn net_server(
+    catalog: &Arc<Catalog>,
+    shards: usize,
+    policy: AdmissionPolicy,
+    queue: usize,
+) -> NetServer {
+    NetServer::start(
+        "127.0.0.1:0",
+        NetConfig {
+            router: RouterConfig {
+                shards,
+                ..RouterConfig::default()
+            },
+            ..NetConfig::default()
+        },
+        catalog,
+        |_, slice| {
+            ServiceEngine::start(
+                slice,
+                SimulatedModel::new(ModelProfile::resdsql_3b()),
+                CycleSql::new(LoopVerifier::AlwaysAccept(AlwaysAcceptVerifier)),
+                ServeConfig {
+                    workers: 1,
+                    queue_capacity: queue,
+                    policy,
+                    ..ServeConfig::default()
+                },
+            )
+        },
+        None,
+    )
+    .expect("bind loopback for net bench")
+}
+
+/// Closed-loop capacity probe over TCP: each connection fires its next
+/// request the moment the previous response lands. Runs against `Block`
+/// admission so nothing sheds and the measured rate is pure capacity.
+fn net_closed_loop(catalog: &Arc<Catalog>, bodies: &[String], shards: usize) -> NetRun {
+    let server = net_server(catalog, shards, AdmissionPolicy::Block, 64);
+    let addr = server.local_addr();
+    let connections = (shards * 2).max(2);
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(bodies.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= bodies.len() {
+                            return mine;
+                        }
+                        let t0 = Instant::now();
+                        let resp = client
+                            .request("POST", "/v1/query", Some(&bodies[i]))
+                            .expect("closed-loop net request");
+                        assert_eq!(resp.status, 200, "{}", resp.body_str());
+                        mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("net client thread"));
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.drain(Duration::from_secs(30));
+    let served = latencies.len();
+    NetRun {
+        shards,
+        mode: "closed".into(),
+        policy: "block".into(),
+        connections,
+        offered_rps: served as f64 / elapsed,
+        achieved_rps: served as f64 / elapsed,
+        requests: bodies.len(),
+        served,
+        shed: 0,
+        shed_rate: 0.0,
+        latency: LatencySummary::of(latencies),
+    }
+}
+
+/// Open-loop run over TCP at a fixed offered rate: request `i` is due at
+/// `start + i/rate`, striped across enough keep-alive connections that a
+/// slow response rarely delays the next arrival. A short per-shard queue
+/// under `Shed` means overload turns into fast 503s, which is exactly
+/// what the shed-rate column records.
+fn net_open_loop(
+    catalog: &Arc<Catalog>,
+    bodies: &[String],
+    shards: usize,
+    offered_rps: f64,
+) -> NetRun {
+    let server = net_server(catalog, shards, AdmissionPolicy::Shed, (shards * 2).max(4));
+    let addr = server.local_addr();
+    let connections = 8usize.min(bodies.len()).max(1);
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut shed = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|stripe| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut lat: Vec<f64> = Vec::new();
+                    let mut rejected = 0usize;
+                    let mut i = stripe;
+                    while i < bodies.len() {
+                        let due = started + interval.mul_f64(i as f64);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let t0 = Instant::now();
+                        let resp = client
+                            .request("POST", "/v1/query", Some(&bodies[i]))
+                            .expect("open-loop net request");
+                        match resp.status {
+                            200 => lat.push(t0.elapsed().as_secs_f64() * 1e3),
+                            503 => rejected += 1,
+                            other => panic!("unexpected status {other}: {}", resp.body_str()),
+                        }
+                        if resp.closes() {
+                            client = HttpClient::connect(addr).expect("reconnect");
+                        }
+                        i += connections;
+                    }
+                    (lat, rejected)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, rejected) = h.join().expect("net sender thread");
+            latencies.extend(lat);
+            shed += rejected;
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.drain(Duration::from_secs(30));
+    let served = latencies.len();
+    NetRun {
+        shards,
+        mode: "open".into(),
+        policy: "shed".into(),
+        connections,
+        offered_rps,
+        achieved_rps: served as f64 / elapsed,
+        requests: bodies.len(),
+        served,
+        shed,
+        shed_rate: shed as f64 / bodies.len() as f64,
+        latency: LatencySummary::of(latencies),
+    }
+}
+
 fn main() {
     let mut requests: usize = 600;
     let mut out = String::from("BENCH_serve.json");
     let mut workers: Vec<usize> = vec![1, 2, 4];
     let mut quick = false;
+    let mut net = false;
+    let mut shards: Vec<usize> = vec![1, 2];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -313,12 +509,22 @@ fn main() {
             }
             "--out" => out = args.next().expect("--out PATH"),
             "--quick" => quick = true,
+            "--net" => net = true,
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards CSV")
+                    .split(',')
+                    .map(|s| s.parse().expect("shard count"))
+                    .collect();
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
     if quick {
         requests = requests.min(200);
         workers.truncate(2);
+        shards.truncate(2);
     }
 
     let (catalog, items, distinct) = workload(requests, quick);
@@ -370,12 +576,39 @@ fn main() {
         open.push(run);
     }
 
+    // Wire-tier curves: per shard count, measure TCP capacity closed-loop,
+    // then sweep offered load around it. Each shard count contributes a
+    // tail-latency-vs-offered-load curve (plus its shed-rate companion).
+    let mut net_runs: Vec<NetRun> = Vec::new();
+    if net {
+        let bodies: Vec<String> = items.iter().map(|item| encode_query(item)).collect();
+        for &s in &shards {
+            let probe = net_closed_loop(&catalog, &bodies, s);
+            let capacity = probe.achieved_rps;
+            eprintln!(
+                "net closed   shards={s}: {:.0} req/s over TCP, p99 {:.2} ms",
+                capacity, probe.latency.p99_ms
+            );
+            net_runs.push(probe);
+            for factor in [0.5, 1.0, 1.5] {
+                let run = net_open_loop(&catalog, &bodies, s, capacity * factor);
+                eprintln!(
+                    "net open     shards={s} offered {:.0} req/s: achieved {:.0}, \
+                     shed rate {:.2}, p99 {:.2} ms",
+                    run.offered_rps, run.achieved_rps, run.shed_rate, run.latency.p99_ms
+                );
+                net_runs.push(run);
+            }
+        }
+    }
+
     let report = Report {
         requests_per_run: items.len(),
         distinct_questions: distinct,
         databases: catalog.len(),
         closed_loop: closed,
         open_loop: open,
+        net: net_runs,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write report");

@@ -20,7 +20,12 @@
 //! records how many cores were actually available; on a single-core host
 //! the honest expectation is ~1×, minus pool overhead).
 //!
-//! Usage: `storage_bench [--iters N] [--out PATH] [--quick] [--engine row|columnar|reference|all] [--threads N|sweep]`
+//! Numbers from this bench only compare across runs on comparable hosts,
+//! so `host_threads` is recorded in the artifact and checked before
+//! overwriting: a run on fewer cores than the existing artifact was
+//! produced with refuses to clobber it unless `--force` is passed.
+//!
+//! Usage: `storage_bench [--iters N] [--out PATH] [--quick] [--engine row|columnar|reference|all] [--threads N|sweep] [--force]`
 
 use cyclesql_benchgen::{build_science_suite, build_spider_suite, Split, SuiteConfig, Variant};
 use cyclesql_sql::{parse, Expr, JoinType, Query, QueryBody};
@@ -170,12 +175,28 @@ fn ratio(num: f64, den: f64) -> f64 {
     }
 }
 
+/// The `host_threads` value recorded in an existing artifact, if the file
+/// exists and carries one. A targeted scan, not a full parse — the guard
+/// must work even if the report schema around it has drifted.
+fn recorded_host_threads(path: &str) -> Option<usize> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find("\"host_threads\"")?;
+    let rest = text[at..].split_once(':')?.1;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
 fn main() {
     let mut iters: usize = 25;
     let mut out = String::from("BENCH_storage.json");
     let mut quick = false;
     let mut engines: Vec<&'static str> = vec!["reference", "row", "columnar"];
     let mut thread_widths: Vec<usize> = Vec::new();
+    let mut force = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -202,11 +223,27 @@ fn main() {
                     other => panic!("unknown engine: {other} (want row|columnar|reference|all)"),
                 };
             }
+            "--force" => force = true,
             other => panic!("unknown argument: {other}"),
         }
     }
     if quick {
         iters = iters.min(3);
+    }
+
+    // Throughput numbers from different core counts are not comparable;
+    // don't silently replace a beefier host's artifact with this run's.
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("host_threads: {host_threads}");
+    if let Some(recorded) = recorded_host_threads(&out) {
+        if recorded > host_threads && !force {
+            eprintln!(
+                "storage_bench: {out} was produced on {recorded} threads but this host has \
+                 {host_threads}; refusing to overwrite a multi-core artifact with a weaker run \
+                 (pass --force to do it anyway)"
+            );
+            std::process::exit(1);
+        }
     }
 
     let config = if quick {
@@ -349,7 +386,7 @@ fn main() {
         iters_per_query: iters,
         engines: engines.iter().map(|e| e.to_string()).collect(),
         threads: thread_widths.clone(),
-        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        host_threads,
         classes,
         overall_reference_qps: qps(tot_q, tot_ref),
         overall_row_qps: qps(tot_q, tot_row),

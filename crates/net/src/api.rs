@@ -1,0 +1,308 @@
+//! The JSON API surface: decoding `POST /v1/query` bodies into
+//! [`BenchmarkItem`]s and encoding [`ServeResponse`]s back to bytes.
+//!
+//! Response bodies are deliberately free of anything volatile — no
+//! timings, no shard ids, no queue waits. Routing metadata travels in
+//! `x-cyclesql-*` response headers instead, so the *body bytes* for a
+//! given question are identical whether the deployment runs one shard or
+//! eight, and identical to what the in-process engine would produce. The
+//! end-to-end parity and shard-determinism tests pin exactly that.
+
+use crate::json::Json;
+use cyclesql_benchgen::{BenchmarkItem, Split};
+use cyclesql_obs::push_json_str;
+use cyclesql_serve::ServeResponse;
+use cyclesql_sql::Difficulty;
+use cyclesql_storage::Value;
+use std::sync::Arc;
+
+/// A decoded `/v1/query` request body.
+#[derive(Debug, Clone)]
+pub struct ApiQuery {
+    /// Target database id (required).
+    pub db: String,
+    /// The NL question (required).
+    pub question: String,
+    /// Stable request id; defaults to a hash-friendly composite of db and
+    /// question so identical questions behave identically.
+    pub id: String,
+    /// The unperturbed question; defaults to `question`.
+    pub base_question: String,
+    /// Gold SQL for oracle verification; empty when the caller has none.
+    pub gold_sql: String,
+    /// Declared difficulty; defaults to `medium`.
+    pub difficulty: Difficulty,
+}
+
+impl ApiQuery {
+    /// Decodes a request body. Unknown fields are ignored; missing
+    /// required fields or wrong types fail with a message for the `400`
+    /// body.
+    pub fn parse(body: &[u8]) -> Result<ApiQuery, String> {
+        let doc = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("request body must be a JSON object".into());
+        }
+        let field = |key: &str| -> Result<Option<String>, String> {
+            match doc.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Str(s)) => Ok(Some(s.clone())),
+                Some(_) => Err(format!("field `{key}` must be a string")),
+            }
+        };
+        let db = field("db")?.ok_or("missing required field `db`")?;
+        let question = field("question")?.ok_or("missing required field `question`")?;
+        if db.is_empty() {
+            return Err("field `db` must be non-empty".into());
+        }
+        if question.is_empty() {
+            return Err("field `question` must be non-empty".into());
+        }
+        let id = field("id")?.unwrap_or_else(|| format!("net:{db}:{question}"));
+        let base_question = field("base_question")?.unwrap_or_else(|| question.clone());
+        let gold_sql = field("gold_sql")?.unwrap_or_default();
+        let difficulty = match field("difficulty")? {
+            None => Difficulty::Medium,
+            Some(s) => parse_difficulty(&s)
+                .ok_or_else(|| format!("unknown difficulty `{s}` (easy|medium|hard|extra)"))?,
+        };
+        Ok(ApiQuery {
+            db,
+            question,
+            id,
+            base_question,
+            gold_sql,
+            difficulty,
+        })
+    }
+
+    /// The benchmark item the serving engine runs.
+    pub fn into_item(self) -> Arc<BenchmarkItem> {
+        Arc::new(BenchmarkItem {
+            id: self.id,
+            db_name: self.db,
+            question: self.question,
+            base_question: self.base_question,
+            gold_sql: self.gold_sql,
+            difficulty: self.difficulty,
+            split: Split::Dev,
+            template: "net",
+        })
+    }
+}
+
+fn parse_difficulty(s: &str) -> Option<Difficulty> {
+    match s.to_ascii_lowercase().as_str() {
+        "easy" => Some(Difficulty::Easy),
+        "medium" => Some(Difficulty::Medium),
+        "hard" => Some(Difficulty::Hard),
+        "extra" | "extra_hard" | "extrahard" => Some(Difficulty::ExtraHard),
+        _ => None,
+    }
+}
+
+/// Encodes a served answer as the `/v1/query` response body. Stable:
+/// contains no timings and no routing metadata (those live in response
+/// headers), so the bytes depend only on the question and the catalog.
+pub fn encode_response(resp: &ServeResponse) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"db\":");
+    push_json_str(&mut out, &resp.db_id);
+    out.push_str(",\"sql\":");
+    push_json_str(&mut out, &resp.sql);
+    out.push_str(",\"accepted\":");
+    out.push_str(if resp.accepted { "true" } else { "false" });
+    out.push_str(&format!(",\"iterations\":{}", resp.iterations));
+    out.push_str(",\"explanation\":");
+    match &resp.explanation {
+        Some(text) => push_json_str(&mut out, text),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"result\":");
+    match &resp.result {
+        Some(rs) => {
+            out.push_str("{\"columns\":[");
+            for (i, col) in rs.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, col);
+            }
+            out.push_str("],\"rows\":[");
+            for (i, row) in rs.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, v) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    push_value(&mut out, v);
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            // Mirror the obs writer: non-finite floats have no JSON
+            // spelling, so they encode as null.
+            if f.is_finite() {
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => push_json_str(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Encodes an error body: `{"error": kind, "detail": message}`.
+pub fn encode_error(kind: &str, detail: &str) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"error\":");
+    push_json_str(&mut out, kind);
+    out.push_str(",\"detail\":");
+    push_json_str(&mut out, detail);
+    out.push('}');
+    out
+}
+
+/// Renders a benchmark item as a `/v1/query` request body — what `netd
+/// --emit-sample` writes for smoke tests and what the README's `curl`
+/// example sends.
+pub fn encode_query(item: &BenchmarkItem) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"db\":");
+    push_json_str(&mut out, &item.db_name);
+    out.push_str(",\"question\":");
+    push_json_str(&mut out, &item.question);
+    out.push_str(",\"id\":");
+    push_json_str(&mut out, &item.id);
+    out.push_str(",\"base_question\":");
+    push_json_str(&mut out, &item.base_question);
+    out.push_str(",\"gold_sql\":");
+    push_json_str(&mut out, &item.gold_sql);
+    out.push_str(",\"difficulty\":");
+    push_json_str(
+        &mut out,
+        match item.difficulty {
+            Difficulty::Easy => "easy",
+            Difficulty::Medium => "medium",
+            Difficulty::Hard => "hard",
+            Difficulty::ExtraHard => "extra",
+        },
+    );
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesql_core::StageTimings;
+    use cyclesql_storage::ResultSet;
+    use std::time::Duration;
+
+    #[test]
+    fn parses_a_full_query_body() {
+        let body = br#"{"db":"world_1","question":"how many cities?","id":"q1",
+            "base_question":"how many cities?","gold_sql":"SELECT count(*) FROM city",
+            "difficulty":"hard"}"#;
+        let q = ApiQuery::parse(body).unwrap();
+        assert_eq!(q.db, "world_1");
+        assert_eq!(q.difficulty, Difficulty::Hard);
+        let item = q.into_item();
+        assert_eq!(item.db_name, "world_1");
+        assert_eq!(item.template, "net");
+    }
+
+    #[test]
+    fn defaults_fill_optional_fields() {
+        let q = ApiQuery::parse(br#"{"db":"d","question":"q"}"#).unwrap();
+        assert_eq!(q.id, "net:d:q");
+        assert_eq!(q.base_question, "q");
+        assert_eq!(q.gold_sql, "");
+        assert_eq!(q.difficulty, Difficulty::Medium);
+    }
+
+    #[test]
+    fn rejects_missing_or_mistyped_fields() {
+        for body in [
+            &br#"{"question":"q"}"#[..],
+            br#"{"db":"d"}"#,
+            br#"{"db":"","question":"q"}"#,
+            br#"{"db":7,"question":"q"}"#,
+            br#"{"db":"d","question":"q","difficulty":"impossible"}"#,
+            br#"[1,2,3]"#,
+            b"not json",
+        ] {
+            assert!(
+                ApiQuery::parse(body).is_err(),
+                "{:?} parsed",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn query_encoding_round_trips_through_the_parser() {
+        let item = BenchmarkItem {
+            id: "q\"42\"".into(),
+            db_name: "world_1".into(),
+            question: "cafés with\nnewlines".into(),
+            base_question: "cafés".into(),
+            gold_sql: "SELECT 1".into(),
+            difficulty: Difficulty::ExtraHard,
+            split: Split::Dev,
+            template: "net",
+        };
+        let q = ApiQuery::parse(encode_query(&item).as_bytes()).unwrap();
+        assert_eq!(q.id, item.id);
+        assert_eq!(q.question, item.question);
+        assert_eq!(q.gold_sql, item.gold_sql);
+        assert_eq!(q.difficulty, Difficulty::ExtraHard);
+    }
+
+    #[test]
+    fn response_encoding_is_stable_and_omits_volatile_fields() {
+        let resp = ServeResponse {
+            db_id: "world_1".into(),
+            sql: "SELECT name FROM city".into(),
+            accepted: true,
+            iterations: 2,
+            explanation: Some("returns 3 rows".into()),
+            result: Some(Arc::new(ResultSet {
+                columns: vec!["name".into()],
+                rows: vec![
+                    vec![Value::Str("Oslo".into())],
+                    vec![Value::Null],
+                    vec![Value::Float(1.5)],
+                ],
+            })),
+            stages: StageTimings::default(),
+            queue_wait: Duration::from_millis(123),
+        };
+        let body = encode_response(&resp);
+        assert_eq!(
+            body,
+            "{\"db\":\"world_1\",\"sql\":\"SELECT name FROM city\",\"accepted\":true,\
+             \"iterations\":2,\"explanation\":\"returns 3 rows\",\
+             \"result\":{\"columns\":[\"name\"],\"rows\":[[\"Oslo\"],[null],[1.5]]}}"
+        );
+        assert!(!body.contains("123"), "queue wait stays out of the body");
+        let parsed = Json::parse(body.as_bytes()).unwrap();
+        assert_eq!(parsed.get("db").and_then(Json::as_str), Some("world_1"));
+    }
+}

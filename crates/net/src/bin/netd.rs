@@ -1,0 +1,179 @@
+//! `netd` — the CycleSQL network daemon: boots the generated benchmark
+//! catalog behind the HTTP front door and serves until drained.
+//!
+//! ```text
+//! netd --addr 127.0.0.1:8787 --shards 2 --quick
+//! curl -s localhost:8787/v1/health
+//! curl -s localhost:8787/v1/query -d @sample_query.json
+//! curl -s -X POST localhost:8787/v1/drain   # graceful shutdown
+//! ```
+//!
+//! There is deliberately no signal handling (std-only): the graceful
+//! shutdown path is `POST /v1/drain`, which finishes in-flight requests,
+//! refuses new ones with 503, and lets the process exit 0.
+
+use cyclesql_benchgen::{build_science_suite, build_spider_suite, SuiteConfig, Variant};
+use cyclesql_core::{CycleSql, LoopVerifier};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+use cyclesql_net::{encode_query, NetConfig, NetServer, RouterConfig};
+use cyclesql_serve::{AdmissionPolicy, Catalog, ServeConfig};
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    shards: usize,
+    replication: usize,
+    workers: usize,
+    queue: usize,
+    policy: AdmissionPolicy,
+    deadline_ms: Option<u64>,
+    quick: bool,
+    emit_sample: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8787".into(),
+        shards: 1,
+        replication: 1,
+        workers: 2,
+        queue: 64,
+        policy: AdmissionPolicy::Shed,
+        deadline_ms: None,
+        quick: false,
+        emit_sample: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--replication" => {
+                args.replication = value("--replication")?
+                    .parse()
+                    .map_err(|e| format!("--replication: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--policy" => {
+                args.policy = match value("--policy")?.as_str() {
+                    "shed" => AdmissionPolicy::Shed,
+                    "block" => AdmissionPolicy::Block,
+                    other => return Err(format!("--policy: `{other}` is not shed|block")),
+                }
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--quick" => args.quick = true,
+            "--emit-sample" => args.emit_sample = Some(value("--emit-sample")?),
+            "--help" | "-h" => {
+                println!(
+                    "netd [--addr HOST:PORT] [--shards N] [--replication N] [--workers N] \
+                     [--queue N] [--policy shed|block] [--deadline-ms N] [--quick] \
+                     [--emit-sample PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("netd: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let suite_config = SuiteConfig {
+        seed: 0x0CE1,
+        train_per_template: 1,
+        eval_per_template: if args.quick { 1 } else { 2 },
+    };
+    let spider = build_spider_suite(Variant::Spider, suite_config);
+    let science = build_science_suite(suite_config);
+    let catalog = Catalog::from_suites([&spider, &science]);
+
+    if let Some(path) = &args.emit_sample {
+        // A valid /v1/query body for smoke tests and curl examples.
+        let item = spider.dev.first().expect("suite has dev items");
+        if let Err(e) = std::fs::write(path, encode_query(item)) {
+            eprintln!("netd: cannot write sample to {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("sample query written to {path}");
+    }
+
+    let serve_config = ServeConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        policy: args.policy,
+        deadline: args.deadline_ms.map(Duration::from_millis),
+        ..ServeConfig::default()
+    };
+    let net_config = NetConfig {
+        router: RouterConfig {
+            shards: args.shards,
+            replication: args.replication,
+            ..RouterConfig::default()
+        },
+        ..NetConfig::default()
+    };
+    let server = match NetServer::start(
+        &args.addr,
+        net_config,
+        &catalog,
+        |_, slice| {
+            cyclesql_serve::ServiceEngine::start(
+                slice,
+                SimulatedModel::new(ModelProfile::resdsql_3b()),
+                CycleSql::new(LoopVerifier::Oracle),
+                serve_config.clone(),
+            )
+        },
+        None,
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("netd: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "cyclesql-netd listening on http://{} shards={} databases={} (POST /v1/drain to stop)",
+        server.local_addr(),
+        server.sharded().shard_count(),
+        server.sharded().database_count(),
+    );
+
+    server.wait_until_draining();
+    println!("drain requested, finishing in-flight requests");
+    let report = server.drain(Duration::from_secs(10));
+    let served: u64 = report.shard_metrics.iter().map(|(_, m)| m.completed).sum();
+    println!(
+        "drained: {} requests served, {} shed, {} refused during drain, {} connections forced",
+        served, report.net.queries_shed, report.net.drain_rejected, report.forced_connections,
+    );
+}

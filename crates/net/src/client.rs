@@ -1,0 +1,141 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection —
+//! just enough for the integration tests, the CI smoke job's driver, and
+//! `serve_bench --net`'s closed/open-loop load generators. Speaks only
+//! what the server emits: `Content-Length`-framed responses.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Whether the server asked to close the connection.
+    pub fn closes(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One keep-alive connection to the server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with a read timeout so a hung server fails tests instead
+    /// of wedging them.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        self.send_request(method, path, body)?;
+        self.read_response()
+    }
+
+    /// Serializes and sends a request without reading the response
+    /// (pipelining support).
+    pub fn send_request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<()> {
+        let body = body.unwrap_or("");
+        let wire = format!(
+            "{method} {path} HTTP/1.1\r\nhost: cyclesql\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(wire.as_bytes())
+    }
+
+    /// Sends raw bytes as-is (malformed-input tests, byte-at-a-time
+    /// writes).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one `Content-Length`-framed response.
+    pub fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| {
+                let (n, v) = line.split_once(':')?;
+                Some((n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            })
+            .collect();
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        self.buf.drain(..head_end + 4);
+        while self.buf.len() < length {
+            self.fill()?;
+        }
+        let body = self.buf.drain(..length).collect();
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut tmp = [0u8; 4096];
+        let n = self.stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&tmp[..n]);
+        Ok(())
+    }
+}

@@ -1,0 +1,508 @@
+//! An incremental HTTP/1.1 request parser and response writer over raw
+//! bytes — no async runtime, no external dependencies.
+//!
+//! The parser is a push-driven state machine: the connection loop feeds it
+//! whatever bytes the socket yields (possibly one at a time), and it
+//! produces complete [`Request`]s once the head and the declared
+//! `Content-Length` body have arrived. Anything malformed fails with a
+//! typed [`HttpError`] that maps onto the right status code: `400` for
+//! framing the parser cannot recover from, `431` when the head outgrows
+//! [`HttpLimits::max_head_bytes`], `413` when the declared body outgrows
+//! [`HttpLimits::max_body_bytes`], and `501` for transfer encodings this
+//! server does not speak. Bytes left over after a request are retained, so
+//! pipelined requests parse without another read.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+/// Hard size limits the parser enforces while a request assembles.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (up to the blank line).
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A complete parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase by validation.
+    pub method: String,
+    /// Request target (path + optional query), always starting with `/`.
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection may serve another request afterwards.
+    pub keep_alive: bool,
+    /// Wall-clock microseconds from the request's first byte reaching the
+    /// parser until it completed — wire assembly time, including waits for
+    /// the peer's next write.
+    pub assemble_us: u64,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. The connection is closed after the
+/// mapped response: once framing is lost there is no safe way to find the
+/// next request boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or length framing → `400`.
+    BadRequest(&'static str),
+    /// Head exceeded [`HttpLimits::max_head_bytes`] → `431`.
+    HeadTooLarge,
+    /// Declared body exceeds [`HttpLimits::max_body_bytes`] → `413`.
+    BodyTooLarge,
+    /// `Transfer-Encoding` is not implemented → `501`.
+    NotImplemented(&'static str),
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::NotImplemented(_) => 501,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(d) | HttpError::NotImplemented(d) => d,
+            HttpError::HeadTooLarge => "request head exceeds the configured limit",
+            HttpError::BodyTooLarge => "request body exceeds the configured limit",
+        }
+    }
+}
+
+enum State {
+    /// Accumulating the head (request line + headers).
+    Head,
+    /// Head parsed; waiting for `need` body bytes.
+    Body { head: Request, need: usize },
+}
+
+/// The incremental parser. Feed bytes with [`RequestParser::push`]; call
+/// [`RequestParser::advance`] with no new bytes to drain a pipelined
+/// request already sitting in the buffer.
+pub struct RequestParser {
+    limits: HttpLimits,
+    buf: Vec<u8>,
+    state: State,
+    started: Option<Instant>,
+}
+
+impl RequestParser {
+    /// A parser enforcing the given limits.
+    pub fn new(limits: HttpLimits) -> Self {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            state: State::Head,
+            started: None,
+        }
+    }
+
+    /// Whether no partial request is buffered (safe to close on drain or
+    /// idle timeout without cutting a request in half).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, State::Head) && self.buf.is_empty()
+    }
+
+    /// Appends bytes and attempts to complete a request.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        if !bytes.is_empty() && self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        self.buf.extend_from_slice(bytes);
+        self.advance()
+    }
+
+    /// Attempts to complete a request from already-buffered bytes.
+    pub fn advance(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match std::mem::replace(&mut self.state, State::Head) {
+                State::Head => {
+                    let Some(head_len) = find_head_end(&self.buf) else {
+                        if self.buf.len() > self.limits.max_head_bytes {
+                            return Err(HttpError::HeadTooLarge);
+                        }
+                        return Ok(None);
+                    };
+                    if head_len > self.limits.max_head_bytes {
+                        return Err(HttpError::HeadTooLarge);
+                    }
+                    let (head, need) = parse_head(&self.buf[..head_len], &self.limits)?;
+                    self.buf.drain(..head_len + 4);
+                    self.state = State::Body { head, need };
+                }
+                State::Body { mut head, need } => {
+                    if self.buf.len() < need {
+                        self.state = State::Body { head, need };
+                        return Ok(None);
+                    }
+                    head.body = self.buf.drain(..need).collect();
+                    head.assemble_us = self
+                        .started
+                        .take()
+                        .map(|t| t.elapsed().as_micros() as u64)
+                        .unwrap_or(0);
+                    // Re-arm timing if pipelined bytes are already waiting.
+                    if !self.buf.is_empty() {
+                        self.started = Some(Instant::now());
+                    }
+                    return Ok(Some(head));
+                }
+            }
+        }
+    }
+}
+
+/// Index of `\r\n\r\n` terminating the head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_head(head: &[u8], limits: &HttpLimits) -> Result<(Request, usize), HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::BadRequest("head is not UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(
+            "request target must be absolute path",
+        ));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadRequest("unsupported HTTP version")),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(HttpError::BadRequest("obsolete header folding"));
+        }
+        let Some(colon) = line.find(':') else {
+            return Err(HttpError::BadRequest("header line missing colon"));
+        };
+        let name = &line[..colon];
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((
+            name.to_ascii_lowercase(),
+            line[colon + 1..].trim().to_string(),
+        ));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::NotImplemented("transfer-encoding not supported"));
+    }
+    let mut content_length = 0usize;
+    let mut seen_length: Option<&str> = None;
+    for (n, v) in &headers {
+        if n == "content-length" {
+            if seen_length.is_some_and(|prev| prev != v) {
+                return Err(HttpError::BadRequest("conflicting content-length headers"));
+            }
+            seen_length = Some(v);
+            content_length = v
+                .parse()
+                .map_err(|_| HttpError::BadRequest("malformed content-length"))?;
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    // Connection handling: HTTP/1.1 defaults to keep-alive, 1.0 to close;
+    // an explicit Connection token overrides either way.
+    let mut keep_alive = http11;
+    if let Some((_, v)) = headers.iter().find(|(n, _)| n == "connection") {
+        let tokens: Vec<String> = v
+            .split(',')
+            .map(|t| t.trim().to_ascii_lowercase())
+            .collect();
+        if tokens.iter().any(|t| t == "close") {
+            keep_alive = false;
+        } else if tokens.iter().any(|t| t == "keep-alive") {
+            keep_alive = true;
+        }
+    }
+
+    Ok((
+        Request {
+            method: method.to_string(),
+            path: target.to_string(),
+            headers,
+            body: Vec::new(),
+            keep_alive,
+            assemble_us: 0,
+        },
+        content_length,
+    ))
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` (seconds), sent with shed responses.
+    pub retry_after: Option<u64>,
+    /// Extra response headers (name must be valid as-is).
+    pub extra: Vec<(&'static str, String)>,
+    /// Whether the server closes the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+            extra: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            content_type: "text/plain; version=0.0.4",
+            ..Response::json(status, body)
+        }
+    }
+
+    /// Marks the connection for closing after this response.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra.push((name, value));
+        self
+    }
+
+    /// Serializes status line, headers, and body.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("content-type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        if let Some(secs) = self.retry_after {
+            out.extend_from_slice(format!("retry-after: {secs}\r\n").as_bytes());
+        }
+        for (name, value) in &self.extra {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(if self.close {
+            b"connection: close\r\n"
+        } else {
+            b"connection: keep-alive\r\n"
+        });
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)
+    }
+}
+
+/// Reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        RequestParser::new(HttpLimits::default()).push(bytes)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_all(b"GET /v1/health HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/health");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.header("Host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_byte_at_a_time() {
+        let wire = b"POST /v1/query HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut out = None;
+        for (i, b) in wire.iter().enumerate() {
+            let got = parser.push(std::slice::from_ref(b)).unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "complete early at byte {i}");
+            } else {
+                out = got;
+            }
+        }
+        let req = out.expect("request completes on the final byte");
+        assert_eq!(req.body, b"hello");
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_from_the_retained_buffer() {
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let first = parser.push(wire).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert!(!parser.is_idle(), "second request still buffered");
+        let second = parser.advance().unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for wire in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"get /lower HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"GET / HTTP/1.1\r\ncontent-length: ten\r\n\r\n",
+            b"GET / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n",
+        ] {
+            let err = parse_all(wire).unwrap_err();
+            assert_eq!(err.status(), 400, "{:?}", String::from_utf8_lossy(wire));
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_without_terminator() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        };
+        let mut parser = RequestParser::new(limits);
+        // A slowloris-style endless header: no CRLFCRLF ever arrives, but
+        // the parser still rejects once the buffer outgrows the limit.
+        let mut wire = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        wire.extend(std::iter::repeat_n(b'a', 128));
+        assert_eq!(parser.push(&wire).unwrap_err(), HttpError::HeadTooLarge);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_before_the_body_arrives() {
+        let limits = HttpLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 16,
+        };
+        let err = RequestParser::new(limits)
+            .push(b"POST / HTTP/1.1\r\ncontent-length: 17\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(err, HttpError::BodyTooLarge);
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn transfer_encoding_is_501() {
+        let err = parse_all(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse_all(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_all(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive, "1.0 opts in explicitly");
+    }
+
+    #[test]
+    fn response_serializes_with_framing_headers() {
+        let mut out = Vec::new();
+        Response::json(503, "{\"error\":\"overloaded\"}".into())
+            .with_header("x-cyclesql-shard", "3".into())
+            .closing()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("content-length: 22\r\n"));
+        assert!(text.contains("x-cyclesql-shard: 3\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"));
+    }
+}

@@ -1,0 +1,548 @@
+//! The TCP front door: an accept loop over `std::net::TcpListener`,
+//! one thread per connection, keep-alive with idle timeouts, and a
+//! graceful drain protocol.
+//!
+//! Connection threads read in short ticks (a small `set_read_timeout`)
+//! so they observe the drain flag promptly without an async runtime:
+//! once draining starts, idle keep-alive connections close, requests
+//! mid-assembly are allowed to finish arriving and then refused with
+//! `503`, and requests already dispatched to a shard run to completion.
+//! [`NetServer::drain`] stops the acceptor, waits for in-flight
+//! connections up to a grace period, then shuts every shard down —
+//! which drains each engine's admitted queue before its workers exit.
+
+use crate::api::{encode_error, encode_response, ApiQuery};
+use crate::http::{HttpLimits, Request, RequestParser, Response};
+use crate::metrics::{NetMetrics, NetMetricsSnapshot};
+use crate::router::{RouterConfig, ShardedEngine};
+use cyclesql_obs::{SharedSpan, Tracer};
+use cyclesql_serve::{render_metrics_sharded, Catalog, MetricsSnapshot, ServeError, ServiceEngine};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a blocked connection read wakes to check the drain flag.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+/// Front-door configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// HTTP parser limits.
+    pub limits: HttpLimits,
+    /// Keep-alive connections idle longer than this close; a request that
+    /// stays incomplete this long is answered `408` and closed.
+    pub idle_timeout: Duration,
+    /// Concurrent connection cap; excess connections get an immediate
+    /// `503` and close.
+    pub max_connections: usize,
+    /// Shard routing configuration.
+    pub router: RouterConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            limits: HttpLimits::default(),
+            idle_timeout: Duration::from_secs(5),
+            max_connections: 128,
+            router: RouterConfig::default(),
+        }
+    }
+}
+
+struct NetShared {
+    sharded: ShardedEngine,
+    tracer: Option<Arc<Tracer>>,
+    limits: HttpLimits,
+    idle_timeout: Duration,
+    max_connections: usize,
+    local: SocketAddr,
+    draining: AtomicBool,
+    drain_gate: Mutex<bool>,
+    drain_cv: Condvar,
+    active: Mutex<usize>,
+    active_cv: Condvar,
+    metrics: NetMetrics,
+}
+
+impl NetShared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        *self.drain_gate.lock().expect("drain gate poisoned") = true;
+        self.drain_cv.notify_all();
+        // Wake the acceptor out of its blocking accept; it sees the flag
+        // and exits instead of handling this connection.
+        let _ = TcpStream::connect(self.local);
+    }
+}
+
+/// What the drain left behind.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Connections still open when the grace period expired (0 on a
+    /// fully graceful drain).
+    pub forced_connections: usize,
+    /// Final per-shard engine metrics.
+    pub shard_metrics: Vec<(usize, MetricsSnapshot)>,
+    /// Final wire-tier counters.
+    pub net: NetMetricsSnapshot,
+}
+
+/// A running front door. Dropping it drains abruptly (no connection
+/// grace); call [`NetServer::drain`] for the graceful path.
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    acceptor: Option<JoinHandle<()>>,
+    local: SocketAddr,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), slices
+    /// `catalog` across the configured shards — `make_engine` builds each
+    /// shard's engine from its catalog slice — and starts accepting.
+    /// `tracer`, when given, opens one `net` root span per query with the
+    /// engine's `serve` span nested under it.
+    pub fn start(
+        addr: &str,
+        config: NetConfig,
+        catalog: &Catalog,
+        make_engine: impl FnMut(usize, Arc<Catalog>) -> ServiceEngine,
+        tracer: Option<Arc<Tracer>>,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let sharded = ShardedEngine::build(catalog, &config.router, make_engine);
+        let shared = Arc::new(NetShared {
+            sharded,
+            tracer,
+            limits: config.limits,
+            idle_timeout: config.idle_timeout,
+            max_connections: config.max_connections.max(1),
+            local,
+            draining: AtomicBool::new(false),
+            drain_gate: Mutex::new(false),
+            drain_cv: Condvar::new(),
+            active: Mutex::new(0),
+            active_cv: Condvar::new(),
+            metrics: NetMetrics::default(),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("net-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(NetServer {
+            shared,
+            acceptor: Some(acceptor),
+            local,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The shard router (for tests and occupancy inspection).
+    pub fn sharded(&self) -> &ShardedEngine {
+        &self.shared.sharded
+    }
+
+    /// Point-in-time wire-tier counters.
+    pub fn net_metrics(&self) -> NetMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Flips the server into draining mode: the acceptor stops, idle
+    /// connections close, new requests are refused with `503`. Idempotent;
+    /// also reachable over the wire as `POST /v1/drain`.
+    pub fn begin_drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether draining has started.
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Blocks until draining starts (via [`NetServer::begin_drain`] or a
+    /// wire `POST /v1/drain`). This is `netd`'s main-thread parking spot.
+    pub fn wait_until_draining(&self) {
+        let mut gate = self.shared.drain_gate.lock().expect("drain gate poisoned");
+        while !*gate {
+            gate = self
+                .shared
+                .drain_cv
+                .wait(gate)
+                .expect("drain gate poisoned");
+        }
+    }
+
+    /// Graceful shutdown: begin draining, wait up to `grace` for open
+    /// connections to finish their in-flight requests, then shut every
+    /// shard down (each engine drains its admitted queue). Returns the
+    /// final metrics; `forced_connections` counts connections that
+    /// outlived the grace period.
+    pub fn drain(mut self, grace: Duration) -> DrainReport {
+        self.shared.begin_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let deadline = Instant::now() + grace;
+        let mut active = self.shared.active.lock().expect("active gauge poisoned");
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .shared
+                .active_cv
+                .wait_timeout(active, deadline - now)
+                .expect("active gauge poisoned");
+            active = guard;
+        }
+        let forced_connections = *active;
+        drop(active);
+        DrainReport {
+            forced_connections,
+            shard_metrics: self.shared.sharded.shutdown_all(),
+            net: self.shared.metrics.snapshot(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // Abrupt path (graceful `drain` already emptied these): stop the
+        // acceptor and the shards; connection threads fail their submits
+        // with `Shutdown` and exit on their next tick.
+        self.shared.begin_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.sharded.shutdown_all();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<NetShared>) {
+    loop {
+        let (stream, remote) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.is_draining() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.is_draining() {
+            // Either the self-wake from `begin_drain` or a late client;
+            // both just close.
+            return;
+        }
+        {
+            let mut active = shared.active.lock().expect("active gauge poisoned");
+            if *active >= shared.max_connections {
+                drop(active);
+                shared
+                    .metrics
+                    .connections_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut stream = stream;
+                let _ = Response::json(503, encode_error("overloaded", "connection limit reached"))
+                    .closing()
+                    .write_to(&mut stream);
+                continue;
+            }
+            *active += 1;
+        }
+        shared
+            .metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("net-conn".into())
+            .spawn(move || {
+                let _release = ActiveConn(&conn_shared);
+                handle_conn(&conn_shared, stream, remote);
+            });
+        if spawned.is_err() {
+            // Could not spawn: release the slot we reserved.
+            *shared.active.lock().expect("active gauge poisoned") -= 1;
+            shared.active_cv.notify_all();
+        }
+    }
+}
+
+/// RAII active-connection slot; notifies drain waiters on release.
+struct ActiveConn<'a>(&'a NetShared);
+
+impl Drop for ActiveConn<'_> {
+    fn drop(&mut self) {
+        *self.0.active.lock().expect("active gauge poisoned") -= 1;
+        self.0.active_cv.notify_all();
+    }
+}
+
+fn handle_conn(shared: &NetShared, mut stream: TcpStream, remote: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut parser = RequestParser::new(shared.limits);
+    let mut tmp = [0u8; 4096];
+    loop {
+        // Assemble one request, ticking so drain and idle timeouts are
+        // observed while blocked on the socket.
+        let mut waited = Duration::ZERO;
+        let req: Request = loop {
+            match parser.advance() {
+                Ok(Some(req)) => break req,
+                Ok(None) => {}
+                Err(e) => return reject_parse(shared, &mut stream, &e),
+            }
+            if shared.is_draining() && parser.is_idle() {
+                // Idle keep-alive connection during drain: just close.
+                return;
+            }
+            match stream.read(&mut tmp) {
+                Ok(0) => return,
+                Ok(n) => {
+                    waited = Duration::ZERO;
+                    match parser.push(&tmp[..n]) {
+                        Ok(Some(req)) => break req,
+                        Ok(None) => {}
+                        Err(e) => return reject_parse(shared, &mut stream, &e),
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    waited += READ_TICK;
+                    if waited >= shared.idle_timeout {
+                        if parser.is_idle() {
+                            return;
+                        }
+                        // Mid-request stall: tell the client before closing.
+                        shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let _ = Response::json(
+                            408,
+                            encode_error("timeout", "request did not complete in time"),
+                        )
+                        .closing()
+                        .write_to(&mut stream);
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .assemble
+            .record(Duration::from_micros(req.assemble_us));
+        if shared.is_draining() {
+            // A request that arrived (or was pipelined) after drain began:
+            // refuse it; the client should retry against another instance.
+            shared
+                .metrics
+                .drain_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let mut resp = Response::json(503, encode_error("draining", "server is draining"));
+            resp.retry_after = Some(1);
+            let _ = resp.closing().write_to(&mut stream);
+            return;
+        }
+        let keep_alive = req.keep_alive;
+        let mut resp = dispatch(shared, &req, remote);
+        if !keep_alive {
+            resp.close = true;
+        }
+        if resp.write_to(&mut stream).is_err() || resp.close {
+            return;
+        }
+    }
+}
+
+fn reject_parse(shared: &NetShared, stream: &mut TcpStream, e: &crate::http::HttpError) {
+    shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+    let _ = Response::json(e.status(), encode_error("http", e.detail()))
+        .closing()
+        .write_to(stream);
+}
+
+/// Strips the query string off a request target.
+fn path_only(target: &str) -> &str {
+    target.split('?').next().unwrap_or(target)
+}
+
+fn dispatch(shared: &NetShared, req: &Request, remote: SocketAddr) -> Response {
+    let path = path_only(&req.path);
+    match (req.method.as_str(), path) {
+        ("GET", "/v1/health") => Response::json(200, health_body(shared)),
+        ("GET", "/metrics") => Response::text(200, metrics_page(shared)),
+        ("POST", "/v1/query") => query(shared, req, remote),
+        ("POST", "/v1/drain") => {
+            shared.begin_drain();
+            Response::json(200, "{\"draining\":true}".into()).closing()
+        }
+        (_, "/v1/health" | "/metrics" | "/v1/query" | "/v1/drain") => Response::json(
+            405,
+            encode_error("method_not_allowed", "wrong method for this path"),
+        ),
+        _ => Response::json(404, encode_error("not_found", "unknown path")),
+    }
+}
+
+fn health_body(shared: &NetShared) -> String {
+    format!(
+        "{{\"status\":\"{}\",\"shards\":{},\"databases\":{}}}",
+        if shared.is_draining() {
+            "draining"
+        } else {
+            "ok"
+        },
+        shared.sharded.shard_count(),
+        shared.sharded.database_count(),
+    )
+}
+
+/// The `/metrics` page: per-shard engine families (shard-labelled) plus
+/// the wire-tier families.
+fn metrics_page(shared: &NetShared) -> String {
+    let shards = shared.sharded.metrics();
+    let mut page = render_metrics_sharded(&shards);
+    page.push_str(&shared.metrics.render());
+    page
+}
+
+fn query(shared: &NetShared, req: &Request, remote: SocketAddr) -> Response {
+    // The `net` root span covers wire handling; the engine opens its
+    // `serve` span as a child, so one trace follows the request across
+    // both tiers and threads.
+    let span = shared.tracer.as_ref().map(|t| {
+        let mut s = t.root("net");
+        s.set("remote", remote.to_string());
+        s.set("assemble_us", req.assemble_us);
+        SharedSpan::new(s)
+    });
+    let finish = |span: Option<SharedSpan>, status: u16, outcome: &'static str| {
+        if let Some(s) = span {
+            s.set("status", u64::from(status));
+            s.set("outcome", outcome);
+            if status >= 400 {
+                s.set_error();
+            }
+            s.finish();
+        }
+    };
+
+    let q = match ApiQuery::parse(&req.body) {
+        Ok(q) => q,
+        Err(msg) => {
+            finish(span, 400, "bad_request");
+            return Response::json(400, encode_error("bad_request", &msg));
+        }
+    };
+    let decision = match shared.sharded.route(&q.db) {
+        Ok(d) => d,
+        Err(_) => {
+            shared
+                .metrics
+                .queries_unknown_db
+                .fetch_add(1, Ordering::Relaxed);
+            finish(span, 404, "unknown_db");
+            return Response::json(
+                404,
+                encode_error("unknown_database", "no such database in the catalog"),
+            );
+        }
+    };
+    if let Some(s) = &span {
+        s.set("shard", decision.shard as u64);
+        s.set("spilled", decision.spilled);
+    }
+    if decision.spilled {
+        shared.metrics.spilled.fetch_add(1, Ordering::Relaxed);
+    }
+    let shard_header = |resp: Response| {
+        resp.with_header("x-cyclesql-shard", decision.shard.to_string())
+            .with_header("x-cyclesql-spilled", decision.spilled.to_string())
+    };
+    match shared
+        .sharded
+        .call_on(decision, q.into_item(), span.clone())
+    {
+        Ok(resp) => {
+            shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = &span {
+                s.set("queue_wait_us", resp.queue_wait.as_micros() as u64);
+            }
+            finish(span, 200, "ok");
+            shard_header(Response::json(200, encode_response(&resp))).with_header(
+                "x-cyclesql-queue-wait-us",
+                resp.queue_wait.as_micros().to_string(),
+            )
+        }
+        Err(ServeError::Overloaded) => {
+            shared.metrics.queries_shed.fetch_add(1, Ordering::Relaxed);
+            finish(span, 503, "shed");
+            let mut resp = Response::json(
+                503,
+                encode_error("overloaded", "admission queue full, request shed"),
+            );
+            resp.retry_after = Some(1);
+            shard_header(resp)
+        }
+        Err(ServeError::DeadlineExceeded) => {
+            shared
+                .metrics
+                .queries_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            finish(span, 504, "deadline");
+            shard_header(Response::json(
+                504,
+                encode_error("deadline_exceeded", "request exceeded its deadline"),
+            ))
+        }
+        Err(ServeError::UnknownDatabase(_)) => {
+            shared
+                .metrics
+                .queries_unknown_db
+                .fetch_add(1, Ordering::Relaxed);
+            finish(span, 404, "unknown_db");
+            shard_header(Response::json(
+                404,
+                encode_error("unknown_database", "no such database in the catalog"),
+            ))
+        }
+        Err(ServeError::Shutdown) => {
+            shared
+                .metrics
+                .drain_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            finish(span, 503, "shutdown");
+            shard_header(Response::json(
+                503,
+                encode_error("draining", "server is draining"),
+            ))
+            .closing()
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! End-to-end acceptance: a query POSTed over real TCP returns the same
+//! answer/explanation bytes as the in-process engine path; responses are
+//! byte-identical across shard counts; graceful drain completes all
+//! admitted requests and rejects new ones; one trace covers wire and
+//! pipeline tiers.
+
+use cyclesql_benchgen::{build_spider_suite, BenchmarkSuite, SuiteConfig, Variant};
+use cyclesql_core::{CycleSql, LoopVerifier};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+use cyclesql_net::{
+    encode_query, encode_response, ApiQuery, HttpClient, NetConfig, NetServer, RouterConfig,
+};
+use cyclesql_nli::{Verdict, Verifier, VerifyInput};
+use cyclesql_obs::{MemorySink, ObsCounters, SpanSink, Tracer};
+use cyclesql_serve::{Catalog, ServeConfig, ServeRequest, ServiceEngine};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn suite() -> BenchmarkSuite {
+    build_spider_suite(
+        Variant::Spider,
+        SuiteConfig {
+            seed: 0xE2E,
+            train_per_template: 1,
+            eval_per_template: 2,
+        },
+    )
+}
+
+fn engine_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn oracle_factory() -> impl FnMut(usize, Arc<Catalog>) -> ServiceEngine {
+    |_, slice| {
+        ServiceEngine::start(
+            slice,
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+            CycleSql::new(LoopVerifier::Oracle),
+            engine_config(),
+        )
+    }
+}
+
+fn start_sharded(suite: &BenchmarkSuite, shards: usize) -> NetServer {
+    let catalog = Catalog::from_suites([suite]);
+    NetServer::start(
+        "127.0.0.1:0",
+        NetConfig {
+            router: RouterConfig {
+                shards,
+                ..RouterConfig::default()
+            },
+            ..NetConfig::default()
+        },
+        &catalog,
+        oracle_factory(),
+        None,
+    )
+    .expect("bind loopback")
+}
+
+/// The tentpole acceptance: byte parity between the TCP path and the
+/// in-process engine path, pinned per dev item.
+#[test]
+fn tcp_responses_match_the_in_process_engine_byte_for_byte() {
+    let suite = suite();
+    let server = start_sharded(&suite, 1);
+    // The reference engine sees the same catalog and the same wire item
+    // the server reconstructs from JSON.
+    let catalog = Arc::new(Catalog::from_suites([&suite]));
+    let reference = ServiceEngine::start(
+        catalog,
+        SimulatedModel::new(ModelProfile::resdsql_3b()),
+        CycleSql::new(LoopVerifier::Oracle),
+        engine_config(),
+    );
+
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    for item in suite.dev.iter().take(6) {
+        let body = encode_query(item);
+        let wire_item = ApiQuery::parse(body.as_bytes()).unwrap().into_item();
+        let expected = encode_response(
+            &reference
+                .submit(ServeRequest { item: wire_item })
+                .unwrap()
+                .wait()
+                .unwrap(),
+        );
+        let resp = client.request("POST", "/v1/query", Some(&body)).unwrap();
+        assert_eq!(resp.status, 200, "{}", item.id);
+        assert_eq!(
+            resp.body_str(),
+            expected,
+            "{}: wire bytes diverge from the in-process path",
+            item.id
+        );
+        assert!(resp.body_str().contains("\"explanation\""));
+    }
+    reference.shutdown();
+}
+
+/// Shard-count determinism: the same request set gets byte-identical
+/// response bodies from a 1-shard and a 4-shard deployment.
+#[test]
+fn responses_are_identical_across_shard_counts() {
+    let suite = suite();
+    let one = start_sharded(&suite, 1);
+    let four = start_sharded(&suite, 4);
+    let mut c1 = HttpClient::connect(one.local_addr()).unwrap();
+    let mut c4 = HttpClient::connect(four.local_addr()).unwrap();
+    let mut shards_seen = std::collections::BTreeSet::new();
+    for item in suite.dev.iter() {
+        let body = encode_query(item);
+        let r1 = c1.request("POST", "/v1/query", Some(&body)).unwrap();
+        let r4 = c4.request("POST", "/v1/query", Some(&body)).unwrap();
+        assert_eq!((r1.status, r4.status), (200, 200), "{}", item.id);
+        assert_eq!(
+            r1.body, r4.body,
+            "{}: shard layout leaked into the response body",
+            item.id
+        );
+        assert_eq!(r1.header("x-cyclesql-shard"), Some("0"));
+        shards_seen.insert(r4.header("x-cyclesql-shard").unwrap().to_string());
+    }
+    assert!(
+        shards_seen.len() > 1,
+        "4-shard deployment actually spread the catalog: {shards_seen:?}"
+    );
+}
+
+/// A verifier with a fixed service time, for load control.
+struct SlowVerifier(Duration);
+
+impl Verifier for SlowVerifier {
+    fn verify(&self, _input: &VerifyInput<'_>) -> Verdict {
+        std::thread::sleep(self.0);
+        Verdict {
+            entails: true,
+            score: 1.0,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+/// Graceful drain under load: every admitted request completes with 200,
+/// the post-drain server accepts no new connections, and nothing is
+/// forced.
+#[test]
+fn drain_under_load_completes_admitted_requests() {
+    let suite = suite();
+    let catalog = Catalog::from_suites([&suite]);
+    let server = NetServer::start(
+        "127.0.0.1:0",
+        NetConfig {
+            router: RouterConfig {
+                shards: 2,
+                ..RouterConfig::default()
+            },
+            ..NetConfig::default()
+        },
+        &catalog,
+        |_, slice| {
+            ServiceEngine::start(
+                slice,
+                SimulatedModel::new(ModelProfile::resdsql_3b()),
+                CycleSql::new(LoopVerifier::Custom(Box::new(SlowVerifier(
+                    Duration::from_millis(120),
+                )))),
+                ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                },
+            )
+        },
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let item = suite.dev[i % suite.dev.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                let body = encode_query(&item);
+                client
+                    .request("POST", "/v1/query", Some(&body))
+                    .unwrap()
+                    .status
+            })
+        })
+        .collect();
+
+    // Let the burst get admitted, then drain while it is in flight.
+    std::thread::sleep(Duration::from_millis(60));
+    let report = server.drain(Duration::from_secs(30));
+
+    for client in clients {
+        assert_eq!(
+            client.join().unwrap(),
+            200,
+            "admitted request completed during drain"
+        );
+    }
+    assert_eq!(report.forced_connections, 0, "no connection was cut");
+    let completed: u64 = report.shard_metrics.iter().map(|(_, m)| m.completed).sum();
+    assert_eq!(completed, 4, "every admitted request ran to completion");
+
+    // The drained server accepts nothing new.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut s) => {
+            use std::io::{Read, Write};
+            let _ = s.write_all(b"GET /v1/health HTTP/1.1\r\n\r\n");
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut buf = [0u8; 16];
+            // Either the connect was refused outright or the socket sits
+            // in the dead listener's backlog and yields no response.
+            !matches!(s.read(&mut buf), Ok(n) if n > 0)
+        }
+    };
+    assert!(refused, "post-drain server answered a new connection");
+}
+
+/// The /metrics page carries per-shard engine families (shard-labelled)
+/// plus the wire-tier families, one header per family.
+#[test]
+fn metrics_page_reports_shards_and_wire_counters() {
+    let suite = suite();
+    let server = start_sharded(&suite, 2);
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    for item in suite.dev.iter().take(3) {
+        let body = encode_query(item);
+        assert_eq!(
+            client
+                .request("POST", "/v1/query", Some(&body))
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    let page = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(page.status, 200);
+    assert!(page
+        .header("content-type")
+        .is_some_and(|t| t.starts_with("text/plain")));
+    let text = page.body_str();
+    assert!(text.contains("shard=\"0\""), "shard labels present");
+    assert!(text.contains("shard=\"1\""));
+    assert!(text.contains("cyclesql_net_requests 4\n"), "{text}");
+    assert!(text.contains("cyclesql_net_queries_ok 3\n"));
+    for family in ["cyclesql_requests_admitted_total", "cyclesql_net_requests"] {
+        assert_eq!(
+            text.matches(&format!("# HELP {family} ")).count(),
+            1,
+            "{family} header appears once"
+        );
+    }
+}
+
+/// One trace per query: the `net` root span (remote addr, shard, queue
+/// wait) with the engine's `serve` span as its child, across threads.
+#[test]
+fn net_root_span_wraps_the_serve_span() {
+    let suite = suite();
+    let catalog = Catalog::from_suites([&suite]);
+    let counters = Arc::new(ObsCounters::default());
+    let sink = Arc::new(MemorySink::new(4096, Arc::clone(&counters)));
+    let tracer = Arc::new(Tracer::new(
+        Arc::clone(&sink) as Arc<dyn SpanSink>,
+        counters,
+    ));
+    let server = NetServer::start(
+        "127.0.0.1:0",
+        NetConfig::default(),
+        &catalog,
+        oracle_factory(),
+        Some(tracer),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let body = encode_query(&suite.dev[0]);
+    let resp = client.request("POST", "/v1/query", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200);
+    drop(client);
+    let report = server.drain(Duration::from_secs(10));
+    assert_eq!(report.net.queries_ok, 1);
+
+    let records = sink.records();
+    let net = records
+        .iter()
+        .find(|r| r.name == "net")
+        .expect("net root span recorded");
+    assert!(net.parent_id.is_none(), "net is the trace root");
+    assert!(net.attr("remote").is_some());
+    assert!(net.attr("assemble_us").is_some());
+    assert!(net.attr("shard").is_some());
+    assert!(net.attr("queue_wait_us").is_some());
+    assert!(
+        matches!(net.attr("status"), Some(cyclesql_obs::AttrValue::Int(200))),
+        "status recorded"
+    );
+    let serve = records
+        .iter()
+        .find(|r| r.name == "serve")
+        .expect("serve span recorded");
+    assert_eq!(
+        serve.parent_id,
+        Some(net.span_id),
+        "engine span nests under the wire span across threads"
+    );
+    assert_eq!(serve.trace_id, net.trace_id, "one trace covers both tiers");
+}

@@ -1,0 +1,275 @@
+//! Wire-level protocol tests against a live server on loopback:
+//! malformed framing, limits, split reads, keep-alive, timeouts, and the
+//! drain protocol as a client observes it.
+
+use cyclesql_benchgen::{build_spider_suite, BenchmarkSuite, SuiteConfig, Variant};
+use cyclesql_core::{CycleSql, LoopVerifier};
+use cyclesql_models::{ModelProfile, SimulatedModel};
+use cyclesql_net::{encode_query, HttpClient, HttpLimits, NetConfig, NetServer};
+use cyclesql_nli::{Verdict, Verifier, VerifyInput};
+use cyclesql_serve::{Catalog, ServeConfig, ServiceEngine};
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn suite() -> BenchmarkSuite {
+    build_spider_suite(
+        Variant::Spider,
+        SuiteConfig {
+            seed: 0x4E7,
+            train_per_template: 1,
+            eval_per_template: 1,
+        },
+    )
+}
+
+fn start_server(config: NetConfig, suite: &BenchmarkSuite) -> NetServer {
+    let catalog = Catalog::from_suites([suite]);
+    NetServer::start(
+        "127.0.0.1:0",
+        config,
+        &catalog,
+        |_, slice| {
+            ServiceEngine::start(
+                slice,
+                SimulatedModel::new(ModelProfile::resdsql_3b()),
+                CycleSql::new(LoopVerifier::Oracle),
+                ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                },
+            )
+        },
+        None,
+    )
+    .expect("bind loopback")
+}
+
+/// A verifier that sleeps, so a request's service time is controllable
+/// from the test.
+struct SlowVerifier(Duration);
+
+impl Verifier for SlowVerifier {
+    fn verify(&self, _input: &VerifyInput<'_>) -> Verdict {
+        std::thread::sleep(self.0);
+        Verdict {
+            entails: true,
+            score: 1.0,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+#[test]
+fn malformed_request_lines_get_400_and_close() {
+    let suite = suite();
+    let server = start_server(NetConfig::default(), &suite);
+    for wire in [
+        &b"GARBAGE\r\n\r\n"[..],
+        b"GET noslash HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/2.0\r\n\r\n",
+        b"POST /v1/query HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+    ] {
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        client.send_raw(wire).unwrap();
+        let resp = client.read_response().unwrap();
+        assert_eq!(resp.status, 400, "{:?}", String::from_utf8_lossy(wire));
+        assert!(resp.closes(), "framing errors close the connection");
+        assert!(resp.body_str().contains("\"error\""));
+    }
+    assert_eq!(server.net_metrics().parse_errors, 4);
+}
+
+#[test]
+fn oversized_heads_and_bodies_get_431_and_413() {
+    let suite = suite();
+    let server = start_server(
+        NetConfig {
+            limits: HttpLimits {
+                max_head_bytes: 256,
+                max_body_bytes: 64,
+            },
+            ..NetConfig::default()
+        },
+        &suite,
+    );
+
+    // Head past the limit, no terminator in sight: 431.
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let mut wire = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+    wire.extend(std::iter::repeat_n(b'a', 512));
+    client.send_raw(&wire).unwrap();
+    assert_eq!(client.read_response().unwrap().status, 431);
+
+    // Declared body past the limit: 413 before the body even arrives.
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    client
+        .send_raw(b"POST /v1/query HTTP/1.1\r\ncontent-length: 65\r\n\r\n")
+        .unwrap();
+    assert_eq!(client.read_response().unwrap().status, 413);
+
+    // Transfer-encoding is not spoken here: 501.
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    client
+        .send_raw(b"POST /v1/query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
+        .unwrap();
+    assert_eq!(client.read_response().unwrap().status, 501);
+}
+
+#[test]
+fn byte_at_a_time_writes_still_parse() {
+    let suite = suite();
+    let server = start_server(NetConfig::default(), &suite);
+    let body = encode_query(&suite.dev[0]);
+    let wire = format!(
+        "POST /v1/query HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    for b in wire.as_bytes() {
+        client.send_raw(std::slice::from_ref(b)).unwrap();
+    }
+    let resp = client.read_response().unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("\"sql\""));
+    assert!(
+        resp.header("x-cyclesql-shard").is_some(),
+        "routing metadata travels in headers"
+    );
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let suite = suite();
+    let server = start_server(NetConfig::default(), &suite);
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    for i in 0..3 {
+        let body = encode_query(&suite.dev[i % suite.dev.len()]);
+        let resp = client.request("POST", "/v1/query", Some(&body)).unwrap();
+        assert_eq!(resp.status, 200, "request {i} on the same connection");
+        assert!(!resp.closes());
+    }
+    let health = client.request("GET", "/v1/health", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body_str().contains("\"status\":\"ok\""));
+    assert_eq!(
+        server.net_metrics().connections_accepted,
+        1,
+        "all requests shared one connection"
+    );
+}
+
+#[test]
+fn unknown_paths_and_wrong_methods_are_typed() {
+    let suite = suite();
+    let server = start_server(NetConfig::default(), &suite);
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.request("GET", "/nope", None).unwrap().status, 404);
+    assert_eq!(
+        client.request("GET", "/v1/query", None).unwrap().status,
+        405,
+        "query is POST-only"
+    );
+    assert_eq!(
+        client
+            .request("POST", "/metrics", Some("{}"))
+            .unwrap()
+            .status,
+        405
+    );
+    let resp = client
+        .request("POST", "/v1/query", Some("{\"db\":\"x\"}"))
+        .unwrap();
+    assert_eq!(resp.status, 400, "missing question");
+    let resp = client
+        .request(
+            "POST",
+            "/v1/query",
+            Some("{\"db\":\"no_such_db\",\"question\":\"q\"}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404, "unrouted database");
+}
+
+#[test]
+fn idle_connections_time_out_and_stalled_requests_get_408() {
+    let suite = suite();
+    let server = start_server(
+        NetConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..NetConfig::default()
+        },
+        &suite,
+    );
+
+    // Fully idle connection: closed silently.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "idle connection closed without a response");
+
+    // Half a request, then silence: 408 and close.
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    client.send_raw(b"POST /v1/query HTTP/1.1\r\ncont").unwrap();
+    let resp = client.read_response().unwrap();
+    assert_eq!(resp.status, 408);
+    assert!(resp.closes());
+    assert_eq!(server.net_metrics().timeouts, 1);
+}
+
+#[test]
+fn pipelined_request_after_drain_begins_is_rejected_while_first_completes() {
+    let suite = suite();
+    let catalog = Catalog::from_suites([&suite]);
+    // 300ms per request: the drain flag flips while request 1 is in the
+    // engine, well before the handler looks at pipelined request 2.
+    let server = NetServer::start(
+        "127.0.0.1:0",
+        NetConfig::default(),
+        &catalog,
+        |_, slice| {
+            ServiceEngine::start(
+                slice,
+                SimulatedModel::new(ModelProfile::resdsql_3b()),
+                CycleSql::new(LoopVerifier::Custom(Box::new(SlowVerifier(
+                    Duration::from_millis(300),
+                )))),
+                ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                },
+            )
+        },
+        None,
+    )
+    .unwrap();
+
+    let body = encode_query(&suite.dev[0]);
+    let one = format!(
+        "POST /v1/query HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    client.send_raw(one.repeat(2).as_bytes()).unwrap();
+
+    std::thread::sleep(Duration::from_millis(100));
+    server.begin_drain();
+
+    let first = client.read_response().unwrap();
+    assert_eq!(first.status, 200, "in-flight request completed");
+    let second = client.read_response().unwrap();
+    assert_eq!(second.status, 503, "pipelined request refused after drain");
+    assert!(second.closes());
+    assert!(second.header("retry-after").is_some());
+    assert!(second.body_str().contains("draining"));
+
+    let report = server.drain(Duration::from_secs(10));
+    assert_eq!(report.net.queries_ok, 1);
+    assert_eq!(report.net.drain_rejected, 1);
+    assert_eq!(report.forced_connections, 0);
+}

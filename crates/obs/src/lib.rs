@@ -52,6 +52,6 @@ pub mod span;
 pub use sample::{SamplePolicy, SamplingSink};
 pub use sink::{parse_jsonl_line, JsonlSink, MemorySink, ParsedSpan, SpanSink};
 pub use span::{
-    push_json_str, Attr, AttrValue, ObsCounters, ObsCountersSnapshot, Span, SpanCtx, SpanRecord,
-    Tracer,
+    push_json_str, Attr, AttrValue, ObsCounters, ObsCountersSnapshot, SharedSpan, Span, SpanCtx,
+    SpanRecord, Tracer,
 };

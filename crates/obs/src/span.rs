@@ -3,7 +3,7 @@
 use crate::sink::SpanSink;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A typed attribute value.
@@ -376,6 +376,61 @@ impl Drop for Span {
     }
 }
 
+/// A clonable, thread-safe handle to a span whose owner and finisher live
+/// on different threads — the cross-thread sibling of [`SpanCtx`].
+///
+/// The serving front door needs this shape: a connection thread opens a
+/// `net` root span, hands it to an engine worker (which opens the `serve`
+/// child under it), and only finishes the root once the response is on the
+/// wire. Every operation locks briefly; after [`SharedSpan::finish`] (or
+/// the last clone dropping) further calls are no-ops, so a worker holding
+/// a stale handle can never resurrect a finished span.
+#[derive(Clone)]
+pub struct SharedSpan {
+    inner: Arc<Mutex<Option<Span>>>,
+}
+
+impl SharedSpan {
+    /// Wraps an open span for cross-thread sharing.
+    pub fn new(span: Span) -> Self {
+        SharedSpan {
+            inner: Arc::new(Mutex::new(Some(span))),
+        }
+    }
+
+    /// Opens a child of the shared span, or `None` if it already finished.
+    pub fn child(&self, name: &'static str) -> Option<Span> {
+        self.lock().as_ref().map(|s| s.child(name))
+    }
+
+    /// Appends a typed attribute (no-op after finish).
+    pub fn set(&self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(s) = self.lock().as_mut() {
+            s.set(key, value);
+        }
+    }
+
+    /// Marks the span errored (no-op after finish).
+    pub fn set_error(&self) {
+        if let Some(s) = self.lock().as_mut() {
+            s.set_error();
+        }
+    }
+
+    /// Finishes the span now, across every clone of the handle.
+    pub fn finish(&self) {
+        if let Some(s) = self.lock().take() {
+            s.finish();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Span>> {
+        // Recover from poisoning: spans finish inside drop guards where a
+        // second panic would abort.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// A `Copy` tracing context threaded through the pipeline. Empty when
 /// tracing is off — every operation is then a no-op branch, so untraced
 /// requests pay nothing.
@@ -518,6 +573,37 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 8 * 50 + 1, "no id collisions");
+    }
+
+    #[test]
+    fn shared_span_nests_across_threads_and_finishes_once() {
+        let (tracer, sink, _) = tracer();
+        let shared = SharedSpan::new(tracer.root("net"));
+        shared.set("remote", "127.0.0.1:9");
+        let worker = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                let child = shared.child("serve").expect("parent still open");
+                child.finish();
+            })
+        };
+        worker.join().unwrap();
+        shared.finish();
+        // Idempotent: a second finish and post-finish operations are no-ops.
+        shared.finish();
+        shared.set("late", true);
+        assert!(shared.child("late").is_none());
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        let child = records.iter().find(|r| r.name == "serve").unwrap();
+        let root = records.iter().find(|r| r.name == "net").unwrap();
+        assert_eq!(child.parent_id, Some(root.span_id));
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(
+            root.attr("remote"),
+            Some(&AttrValue::Str("127.0.0.1:9".into()))
+        );
+        assert!(root.attr("late").is_none(), "post-finish set dropped");
     }
 
     #[test]

@@ -69,6 +69,22 @@ impl Catalog {
         self.entries.get(db_id)
     }
 
+    /// A catalog serving only the named databases, sharing this catalog's
+    /// entries (`Arc`-cloned — no database copies, no artifact rebuilds).
+    /// Unknown ids are skipped. This is how a shard router slices one
+    /// deployment catalog into per-shard catalogs with replicas: a
+    /// database assigned to several shards shares one `Arc<Database>`
+    /// read-only across all of them.
+    pub fn subset<'a>(&self, ids: impl IntoIterator<Item = &'a str>) -> Catalog {
+        let mut cat = Catalog::new();
+        for id in ids {
+            if let Some(entry) = self.entries.get(id) {
+                cat.entries.insert(id.to_string(), entry.clone());
+            }
+        }
+        cat
+    }
+
     /// Database ids, sorted.
     pub fn db_ids(&self) -> impl Iterator<Item = &str> {
         self.entries.keys().map(String::as_str)
@@ -127,6 +143,23 @@ mod tests {
         // The catalog's graph is the same Arc the explanation path fetches.
         let again = schema_graph(&entry.db.schema);
         assert!(Arc::ptr_eq(&entry.graph, &again), "{id}: graph not shared");
+    }
+
+    #[test]
+    fn subset_shares_entries_and_skips_unknown_ids() {
+        let spider = build_spider_suite(Variant::Spider, quick());
+        let cat = Catalog::from_suites([&spider]);
+        let ids: Vec<String> = cat.db_ids().map(str::to_string).collect();
+        let keep = &ids[..ids.len().min(2)];
+        let sub = cat.subset(keep.iter().map(String::as_str).chain(["no_such_db"]));
+        assert_eq!(sub.len(), keep.len());
+        for id in keep {
+            let a = cat.get(id).unwrap();
+            let b = sub.get(id).unwrap();
+            assert!(Arc::ptr_eq(&a.db, &b.db), "{id}: database not shared");
+            assert!(Arc::ptr_eq(&a.graph, &b.graph), "{id}: graph not shared");
+        }
+        assert!(sub.get("no_such_db").is_none());
     }
 
     #[test]

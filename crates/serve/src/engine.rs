@@ -16,7 +16,7 @@ use crate::plan_cache::{PlanCache, PlanKey};
 use cyclesql_benchgen::BenchmarkItem;
 use cyclesql_core::{CycleSql, LoopVerifier, PlanSource, RunControls, StageTimings};
 use cyclesql_models::{SimulatedModel, TranslationRequest};
-use cyclesql_obs::{SpanCtx, Tracer};
+use cyclesql_obs::{SharedSpan, SpanCtx, Span, Tracer};
 use cyclesql_sql::{parse, Query};
 use cyclesql_storage::{compile, CompiledQuery, Database, ResultSet};
 use std::fmt;
@@ -103,6 +103,9 @@ pub struct ServeResponse {
     pub result: Option<Arc<ResultSet>>,
     /// Per-stage wall-clock for this request (translate included).
     pub stages: StageTimings,
+    /// Time the request spent in the admission queue before a worker
+    /// picked it up.
+    pub queue_wait: Duration,
 }
 
 /// Why a request was not served.
@@ -163,6 +166,12 @@ struct Job {
     item: Arc<BenchmarkItem>,
     slot: Arc<Slot>,
     deadline: Option<Instant>,
+    /// Admission time, for queue-wait accounting.
+    submitted: Instant,
+    /// When a front tier (the network server) owns the request's root
+    /// span, the engine's `serve` span becomes its child instead of a
+    /// trace root.
+    parent: Option<SharedSpan>,
 }
 
 /// State shared by every worker.
@@ -310,12 +319,29 @@ impl ServiceEngine {
     /// under [`AdmissionPolicy::Shed`] a full queue fails fast with
     /// [`ServeError::Overloaded`].
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
+        self.submit_under(req, None)
+    }
+
+    /// [`ServiceEngine::submit`] with an optional parent span owned by a
+    /// front tier: the request's `serve` span is opened as its child
+    /// instead of a trace root, so one trace covers wire handling and
+    /// pipeline work. When a parent is supplied, shed outcomes are *not*
+    /// given an engine-side span — the caller owns the root and records
+    /// the admission outcome there.
+    pub fn submit_under(
+        &self,
+        req: ServeRequest,
+        parent: Option<SharedSpan>,
+    ) -> Result<Ticket, ServeError> {
         let slot = Arc::new(Slot::default());
+        let has_parent = parent.is_some();
         let job = Job {
             id: self.shared.next_request.fetch_add(1, Ordering::Relaxed),
             item: req.item,
             slot: Arc::clone(&slot),
             deadline: self.deadline.map(|d| Instant::now() + d),
+            submitted: Instant::now(),
+            parent,
         };
         let tx = self.tx.as_ref().expect("engine running");
         match self.policy {
@@ -328,7 +354,7 @@ impl ServiceEngine {
                     self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
                     // Shed requests never reach a worker, so their trace is
                     // just the root span with the admission outcome.
-                    if let Some(tracer) = &self.shared.tracer {
+                    if let (Some(tracer), false) = (&self.shared.tracer, has_parent) {
                         let mut s = tracer.root("serve");
                         s.set("request", job.id);
                         s.set("db", job.item.db_name.as_str());
@@ -352,6 +378,12 @@ impl ServiceEngine {
     /// The engine's plan cache (shared by every worker).
     pub fn plan_cache(&self) -> &PlanCache {
         &self.shared.cache
+    }
+
+    /// Requests currently being processed by workers (excludes queued
+    /// requests). A front router reads this as the shard's busyness.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
     }
 
     /// A point-in-time metrics snapshot.
@@ -423,6 +455,11 @@ impl Drop for InFlight<'_> {
 /// Runs the full pipeline for one admitted request, inside a root `serve`
 /// span when the engine is traced.
 fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
+    // Queue wait is measured for every dequeued request — success, error,
+    // or deadline-expired-in-queue alike — because it is a property of the
+    // admission queue, not of the pipeline outcome.
+    let queue_wait = job.submitted.elapsed();
+    shared.metrics.queue_wait.record(queue_wait);
     // Split the idle-engine intra-query budget across whatever is running
     // right now: an idle engine gives this request the full width, a
     // saturated one degrades it to single-threaded execution, and total
@@ -431,13 +468,21 @@ fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
     let ticket = InFlight::enter(&shared.in_flight);
     let exec_threads = (shared.intra_query_threads / ticket.occupancy).max(1);
     let plans = RequestPlans::new(&shared.cache);
-    let Some(tracer) = shared.tracer.as_ref() else {
-        return process_inner(shared, job, &plans, SpanCtx::none(), false, exec_threads);
+    // The `serve` span: a child of the front tier's root when one was
+    // supplied (the parent's tracer carries the trace), otherwise a trace
+    // root on the engine's own tracer, otherwise tracing is off.
+    let root: Option<Span> = match &job.parent {
+        Some(parent) => parent.child("serve"),
+        None => shared.tracer.as_ref().map(|t| t.root("serve")),
     };
-    let mut root = tracer.root("serve");
+    let Some(mut root) = root else {
+        return process_inner(shared, job, &plans, SpanCtx::none(), false, exec_threads)
+            .map(|r| with_queue_wait(r, queue_wait));
+    };
     root.set("request", job.id);
     root.set("db", job.item.db_name.as_str());
     root.set("exec_threads", exec_threads);
+    root.set("queue_wait_us", queue_wait.as_micros() as u64);
     let result = process_inner(
         shared,
         job,
@@ -445,7 +490,8 @@ fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
         SpanCtx::of(&root),
         shared.analyze,
         exec_threads,
-    );
+    )
+    .map(|r| with_queue_wait(r, queue_wait));
     root.set("plan_hits", plans.hits.load(Ordering::Relaxed));
     root.set("plan_misses", plans.misses.load(Ordering::Relaxed));
     match &result {
@@ -468,6 +514,12 @@ fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
         }
     }
     result
+}
+
+/// Stamps the queue wait measured at dequeue onto a finished response.
+fn with_queue_wait(mut resp: ServeResponse, queue_wait: Duration) -> ServeResponse {
+    resp.queue_wait = queue_wait;
+    resp
 }
 
 fn process_inner(
@@ -555,6 +607,7 @@ fn process_inner(
         explanation: outcome.explanation.map(|e| e.text),
         result: outcome.chosen_result,
         stages: outcome.stages,
+        queue_wait: Duration::ZERO,
     })
 }
 

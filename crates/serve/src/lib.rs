@@ -71,4 +71,4 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use plan_cache::{PlanCache, PlanKey};
-pub use prometheus::{render_all, render_metrics, render_observability};
+pub use prometheus::{render_all, render_metrics, render_metrics_sharded, render_observability};

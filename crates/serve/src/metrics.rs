@@ -149,6 +149,9 @@ pub struct Metrics {
     pub iterations: AtomicU64,
     /// Per-stage latency histograms.
     pub stages: StageHistograms,
+    /// Admission-queue wait (submit → worker dequeue), recorded for every
+    /// dequeued request including ones whose deadline expired in queue.
+    pub queue_wait: Histogram,
 }
 
 impl Metrics {
@@ -185,6 +188,7 @@ impl Metrics {
                 verify: self.stages.verify.snapshot(),
                 total: self.stages.total.snapshot(),
             },
+            queue_wait: self.queue_wait.snapshot(),
         }
     }
 }
@@ -233,6 +237,8 @@ pub struct MetricsSnapshot {
     pub avg_iterations: f64,
     /// Per-stage latency histograms.
     pub stages: StageSnapshots,
+    /// Admission-queue wait histogram.
+    pub queue_wait: HistogramSnapshot,
 }
 
 #[cfg(test)]

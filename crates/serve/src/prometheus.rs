@@ -39,16 +39,58 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn stage_rows(out: &mut String, stage: &str, h: &HistogramSnapshot) {
-    for (q, v) in [("0.5", h.p50_ms), ("0.95", h.p95_ms), ("0.99", h.p99_ms)] {
-        let _ = writeln!(
-            out,
-            "cyclesql_stage_latency_ms{{stage=\"{stage}\",quantile=\"{q}\"}} {}",
-            fmt_f64(v)
-        );
+/// Joins label pairs into `k="v",k2="v2"` (no braces); empty for no labels.
+fn label_str(labels: &[(&str, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One `name{labels} value` sample line; `labels` may be empty.
+fn sample(out: &mut String, name: &str, labels: &str, value: &str) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
     }
-    let _ = writeln!(out, "cyclesql_stage_latency_ms_mean{{stage=\"{stage}\"}} {}", fmt_f64(h.mean_ms));
-    let _ = writeln!(out, "cyclesql_stage_latency_ms_count{{stage=\"{stage}\"}} {}", h.count);
+}
+
+/// Quantile/mean/count rows of one summary-style histogram family, with
+/// `extra` labels (e.g. `shard="0"`) prepended to the per-row labels.
+fn summary_rows(out: &mut String, name: &str, extra: &str, h: &HistogramSnapshot) {
+    let join = |l: &str| {
+        if extra.is_empty() {
+            l.to_string()
+        } else if l.is_empty() {
+            extra.to_string()
+        } else {
+            format!("{extra},{l}")
+        }
+    };
+    for (q, v) in [("0.5", h.p50_ms), ("0.95", h.p95_ms), ("0.99", h.p99_ms)] {
+        sample(out, name, &join(&format!("quantile=\"{q}\"")), &fmt_f64(v));
+    }
+    sample(out, &format!("{name}_mean"), &join(""), &fmt_f64(h.mean_ms));
+    sample(out, &format!("{name}_count"), &join(""), &h.count.to_string());
+}
+
+fn stage_rows(out: &mut String, stage: &str, h: &HistogramSnapshot) {
+    stage_rows_labeled(out, "", stage, h);
+}
+
+fn stage_rows_labeled(out: &mut String, extra: &str, stage: &str, h: &HistogramSnapshot) {
+    summary_rows(
+        out,
+        "cyclesql_stage_latency_ms",
+        &if extra.is_empty() {
+            format!("stage=\"{stage}\"")
+        } else {
+            format!("{extra},stage=\"{stage}\"")
+        },
+        h,
+    );
 }
 
 /// Renders a [`MetricsSnapshot`] as Prometheus exposition text.
@@ -81,6 +123,86 @@ pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
         ("total", &s.total),
     ] {
         stage_rows(&mut out, stage, h);
+    }
+    family(
+        &mut out,
+        "cyclesql_queue_wait_ms",
+        "Admission-queue wait (submit to worker dequeue, ms).",
+        "summary",
+    );
+    summary_rows(&mut out, "cyclesql_queue_wait_ms", "", &snapshot.queue_wait);
+    out
+}
+
+/// Renders several engines' snapshots as one exposition page, each sample
+/// labeled `shard="<id>"`. Every family keeps a single `# HELP` / `# TYPE`
+/// header (required by the format), with one labeled sample per shard —
+/// the shape the network tier's `/metrics` endpoint serves when the
+/// catalog is split across engine instances.
+pub fn render_metrics_sharded(shards: &[(usize, MetricsSnapshot)]) -> String {
+    let mut out = String::new();
+    let counters: [(&str, &str, fn(&MetricsSnapshot) -> u64); 9] = [
+        ("cyclesql_requests_admitted_total", "Requests admitted past backpressure.", |s| s.admitted),
+        ("cyclesql_requests_completed_total", "Requests fully served.", |s| s.completed),
+        ("cyclesql_requests_shed_total", "Requests rejected at admission by the shed policy.", |s| s.shed),
+        ("cyclesql_requests_timeout_total", "Requests abandoned by their deadline.", |s| s.timeouts),
+        ("cyclesql_requests_unknown_db_total", "Requests naming an unserved database.", |s| s.unknown_db),
+        ("cyclesql_plan_cache_hits_total", "Compiled-plan cache hits.", |s| s.cache_hits),
+        ("cyclesql_plan_cache_misses_total", "Compiled-plan cache misses.", |s| s.cache_misses),
+        ("cyclesql_verifier_accepts_total", "Accepting verifier verdicts.", |s| s.verifier_accepts),
+        ("cyclesql_verifier_rejects_total", "Rejecting verifier verdicts.", |s| s.verifier_rejects),
+    ];
+    for (name, help, get) in counters {
+        family(&mut out, name, help, "counter");
+        for (shard, snap) in shards {
+            let labels = label_str(&[("shard", shard.to_string())]);
+            sample(&mut out, name, &labels, &get(snap).to_string());
+        }
+    }
+    let gauges: [(&str, &str, fn(&MetricsSnapshot) -> f64); 2] = [
+        ("cyclesql_plan_cache_hit_rate", "Plan-cache hits over lookups, in [0, 1].", |s| {
+            s.cache_hit_rate
+        }),
+        ("cyclesql_loop_iterations_avg", "Mean candidate-loop iterations per completed request.", |s| {
+            s.avg_iterations
+        }),
+    ];
+    for (name, help, get) in gauges {
+        family(&mut out, name, help, "gauge");
+        for (shard, snap) in shards {
+            let labels = label_str(&[("shard", shard.to_string())]);
+            sample(&mut out, name, &labels, &fmt_f64(get(snap)));
+        }
+    }
+    family(
+        &mut out,
+        "cyclesql_stage_latency_ms",
+        "Per-stage latency summary (bucket-resolution quantiles, ms).",
+        "summary",
+    );
+    for (shard, snap) in shards {
+        let extra = label_str(&[("shard", shard.to_string())]);
+        let s = &snap.stages;
+        for (stage, h) in [
+            ("translate", &s.translate),
+            ("execute", &s.execute),
+            ("provenance", &s.provenance),
+            ("explain", &s.explain),
+            ("verify", &s.verify),
+            ("total", &s.total),
+        ] {
+            stage_rows_labeled(&mut out, &extra, stage, h);
+        }
+    }
+    family(
+        &mut out,
+        "cyclesql_queue_wait_ms",
+        "Admission-queue wait (submit to worker dequeue, ms).",
+        "summary",
+    );
+    for (shard, snap) in shards {
+        let extra = label_str(&[("shard", shard.to_string())]);
+        summary_rows(&mut out, "cyclesql_queue_wait_ms", &extra, &snap.queue_wait);
     }
     out
 }
@@ -132,6 +254,7 @@ mod tests {
             "cyclesql_verifier_rejects_total",
             "cyclesql_loop_iterations_avg",
             "cyclesql_stage_latency_ms",
+            "cyclesql_queue_wait_ms",
         ] {
             assert_eq!(
                 text.matches(&format!("# TYPE {name} ")).count(),
@@ -144,6 +267,34 @@ mod tests {
         assert!(text.contains("cyclesql_stage_latency_ms_count{stage=\"total\"} 1"));
         assert!(text.contains("{stage=\"execute\",quantile=\"0.99\"}"));
         // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in `{line}`");
+            assert!(parts.next().is_some(), "no metric name in `{line}`");
+        }
+    }
+
+    #[test]
+    fn sharded_rendering_keeps_one_header_per_family() {
+        let m0 = Metrics::default();
+        m0.admitted.store(5, std::sync::atomic::Ordering::Relaxed);
+        m0.stages.record(&StageTimings::default(), Duration::from_millis(2));
+        m0.queue_wait.record(Duration::from_micros(700));
+        let m1 = Metrics::default();
+        m1.admitted.store(9, std::sync::atomic::Ordering::Relaxed);
+        let shards = vec![(0usize, m0.snapshot(3, 1)), (1usize, m1.snapshot(0, 0))];
+        let text = render_metrics_sharded(&shards);
+        assert_eq!(
+            text.matches("# TYPE cyclesql_requests_admitted_total ").count(),
+            1,
+            "one TYPE header even with two shards"
+        );
+        assert!(text.contains("cyclesql_requests_admitted_total{shard=\"0\"} 5"));
+        assert!(text.contains("cyclesql_requests_admitted_total{shard=\"1\"} 9"));
+        assert!(text.contains("{shard=\"0\",stage=\"total\",quantile=\"0.99\"}"));
+        assert!(text.contains("cyclesql_queue_wait_ms_count{shard=\"0\"} 1"));
+        // Every non-comment line still parses as `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
             let value = parts.next().unwrap();
