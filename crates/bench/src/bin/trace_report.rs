@@ -1,15 +1,17 @@
 //! Tracing-overhead benchmark and trace inspector for the serving engine.
 //!
-//! Drives the same closed-loop workload through `cyclesql-serve` three
+//! Drives the same closed-loop workload through `cyclesql-serve` four
 //! times — tracing **off** (plain [`ServiceEngine::start`]), tracing **on**
 //! (a root `serve` span per request with per-candidate and per-stage
-//! children, sampled 1-in-2 into a JSONL file), and tracing on with
+//! children, sampled 1-in-2 into a JSONL file), tracing on with
 //! **EXPLAIN ANALYZE** operator profiles attached to every `execute`
-//! span — and reports the relative overhead of each mode.
+//! span, and **windowed** telemetry (rolling per-stage histogram rings,
+//! no tracing) — and reports the relative overhead of each mode.
 //!
 //! Outputs:
 //! - `BENCH_obs.json` (`--out`): elapsed / throughput / span-pipeline
-//!   counters per mode plus `overhead_on_pct` and `overhead_analyze_pct`.
+//!   counters per mode plus `overhead_on_pct`, `overhead_analyze_pct`,
+//!   and `overhead_window_pct`.
 //! - a span JSONL file (`--jsonl`) from the traced run, which the report
 //!   then re-reads to print a per-stage flame summary (count, total,
 //!   mean, max per span name) to stderr.
@@ -28,8 +30,8 @@ use cyclesql_core::{CycleSql, LoopVerifier};
 use cyclesql_models::{ModelProfile, SimulatedModel};
 use cyclesql_nli::AlwaysAcceptVerifier;
 use cyclesql_obs::{
-    parse_jsonl_line, AttrValue, JsonlSink, MemorySink, ObsCounters, ObsCountersSnapshot,
-    ParsedSpan, SamplePolicy, SamplingSink, SpanSink, Tracer,
+    parse_jsonl_line, stage_summary, AttrValue, JsonlSink, MemorySink, ObsCounters,
+    ObsCountersSnapshot, ParsedSpan, SamplePolicy, SamplingSink, SpanSink, Tracer, WindowConfig,
 };
 use cyclesql_serve::{render_all, Catalog, ServeConfig, ServeRequest, ServiceEngine};
 use std::fmt::Write as _;
@@ -110,43 +112,6 @@ fn mode_json(out: &mut String, name: &str, r: &ModeResult) {
     );
 }
 
-/// Aggregates the traced run's JSONL by span name and renders an indented
-/// per-stage summary (the span hierarchy is fixed, so indentation is by
-/// known name).
-fn flame_summary(spans: &[ParsedSpan]) -> String {
-    const ORDER: [(&str, usize); 7] = [
-        ("serve", 0),
-        ("translate", 1),
-        ("cycle", 1),
-        ("execute", 2),
-        ("provenance", 2),
-        ("explain", 2),
-        ("verify", 2),
-    ];
-    let mut out = String::from("span                 count     total_ms    mean_us     max_us\n");
-    for (name, depth) in ORDER {
-        let mut count = 0u64;
-        let mut total_us = 0u64;
-        let mut max_us = 0u64;
-        for s in spans.iter().filter(|s| s.name == name) {
-            count += 1;
-            total_us += s.dur_us;
-            max_us = max_us.max(s.dur_us);
-        }
-        if count == 0 {
-            continue;
-        }
-        let label = format!("{}{}", "  ".repeat(depth), name);
-        let _ = writeln!(
-            out,
-            "{label:<20} {count:>6} {:>12.2} {:>10.1} {max_us:>10}",
-            total_us as f64 / 1e3,
-            total_us as f64 / count as f64,
-        );
-    }
-    out
-}
-
 fn main() {
     let mut requests: usize = 300;
     let mut workers: usize = 4;
@@ -201,13 +166,32 @@ fn main() {
             && c.spans_emitted == 0
             && c.spans_dropped == 0
             && c.traces_sampled == 0
-            && c.traces_discarded == 0;
+            && c.traces_discarded == 0
+            && c.span_ring_overwrites == 0
+            && c.request_ring_overwrites == 0;
         if !zero {
             eprintln!("FAIL: tracing-off run touched the span pipeline: {c:?}");
             std::process::exit(1);
         }
         eprintln!("tracing-off span counters all zero");
     }
+
+    // Windowed telemetry without tracing: the rolling per-stage histogram
+    // rings record every request, but no spans exist, so this isolates
+    // the window bookkeeping cost.
+    let window = {
+        let counters = Arc::new(ObsCounters::default());
+        let engine = ServiceEngine::start(
+            Arc::clone(&catalog),
+            SimulatedModel::new(ModelProfile::resdsql_3b()),
+            cycle(),
+            ServeConfig { window: Some(WindowConfig::default()), ..config() },
+        );
+        let elapsed = drive(&engine, &items, clients);
+        engine.shutdown();
+        mode_result(elapsed, requests, counters.snapshot())
+    };
+    eprintln!("window  : {:.2} req/s", window.throughput_rps);
 
     // Tracing on: spans sampled 1-in-2 (errors always kept) into JSONL.
     let (on, on_prom) = {
@@ -283,7 +267,11 @@ fn main() {
     };
     let overhead_on = overhead(&on);
     let overhead_analyze = overhead(&analyze);
-    eprintln!("overhead: on {overhead_on:+.2}%  analyze {overhead_analyze:+.2}%");
+    let overhead_window = overhead(&window);
+    eprintln!(
+        "overhead: on {overhead_on:+.2}%  analyze {overhead_analyze:+.2}%  \
+         window {overhead_window:+.2}%"
+    );
 
     // Per-stage flame summary, re-read from the JSONL artifact.
     let spans: Vec<ParsedSpan> = std::fs::read_to_string(&jsonl_path)
@@ -292,7 +280,7 @@ fn main() {
         .filter_map(parse_jsonl_line)
         .collect();
     eprintln!("\nflame summary ({} spans from {jsonl_path}):", spans.len());
-    eprintln!("{}", flame_summary(&spans));
+    eprintln!("{}", stage_summary(&spans));
     if let Some(text) = analyze_sample {
         eprintln!("sample EXPLAIN ANALYZE:\n{text}");
     }
@@ -305,9 +293,12 @@ fn main() {
     mode_json(&mut json, "on", &on);
     json.push(',');
     mode_json(&mut json, "analyze", &analyze);
+    json.push(',');
+    mode_json(&mut json, "window", &window);
     let _ = write!(
         json,
-        ",\"overhead_on_pct\":{overhead_on:.3},\"overhead_analyze_pct\":{overhead_analyze:.3}}}"
+        ",\"overhead_on_pct\":{overhead_on:.3},\"overhead_analyze_pct\":{overhead_analyze:.3},\
+         \"overhead_window_pct\":{overhead_window:.3}}}"
     );
     std::fs::write(&out_path, &json).expect("write report");
     println!("{json}");

@@ -15,8 +15,10 @@
 use cyclesql_benchgen::{build_science_suite, build_spider_suite, SuiteConfig, Variant};
 use cyclesql_core::{CycleSql, LoopVerifier};
 use cyclesql_models::{ModelProfile, SimulatedModel};
-use cyclesql_net::{encode_query, NetConfig, NetServer, RouterConfig};
+use cyclesql_net::{encode_query, NetConfig, NetObs, NetServer, RouterConfig};
+use cyclesql_obs::{MemorySink, ObsCounters, SpanSink, Tracer, WindowConfig};
 use cyclesql_serve::{AdmissionPolicy, Catalog, ServeConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -29,6 +31,7 @@ struct Args {
     deadline_ms: Option<u64>,
     quick: bool,
     emit_sample: Option<String>,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         quick: false,
         emit_sample: None,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,11 +88,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quick" => args.quick = true,
             "--emit-sample" => args.emit_sample = Some(value("--emit-sample")?),
+            "--trace" => args.trace = true,
             "--help" | "-h" => {
                 println!(
                     "netd [--addr HOST:PORT] [--shards N] [--replication N] [--workers N] \
                      [--queue N] [--policy shed|block] [--deadline-ms N] [--quick] \
-                     [--emit-sample PATH]"
+                     [--emit-sample PATH] [--trace]"
                 );
                 std::process::exit(0);
             }
@@ -126,11 +131,24 @@ fn main() {
         println!("sample query written to {path}");
     }
 
+    // --trace: one tracer shared by the front door and every shard, a
+    // 64k-span debug ring behind /v1/debug/flame, and per-stage rolling
+    // telemetry windows behind /v1/debug/telemetry and /metrics exemplars.
+    let obs = args.trace.then(|| {
+        let counters = Arc::new(ObsCounters::default());
+        let sink = Arc::new(MemorySink::new(65536, Arc::clone(&counters)));
+        let tracer = Arc::new(Tracer::new(
+            Arc::clone(&sink) as Arc<dyn SpanSink>,
+            counters,
+        ));
+        (tracer, sink)
+    });
     let serve_config = ServeConfig {
         workers: args.workers,
         queue_capacity: args.queue,
         policy: args.policy,
         deadline: args.deadline_ms.map(Duration::from_millis),
+        window: args.trace.then(WindowConfig::default),
         ..ServeConfig::default()
     };
     let net_config = NetConfig {
@@ -141,19 +159,35 @@ fn main() {
         },
         ..NetConfig::default()
     };
+    let engine_tracer = obs.as_ref().map(|(tracer, _)| Arc::clone(tracer));
     let server = match NetServer::start(
         &args.addr,
         net_config,
         &catalog,
         |_, slice| {
-            cyclesql_serve::ServiceEngine::start(
-                slice,
-                SimulatedModel::new(ModelProfile::resdsql_3b()),
-                CycleSql::new(LoopVerifier::Oracle),
-                serve_config.clone(),
-            )
+            let model = SimulatedModel::new(ModelProfile::resdsql_3b());
+            let cycle = CycleSql::new(LoopVerifier::Oracle);
+            match &engine_tracer {
+                Some(tracer) => cyclesql_serve::ServiceEngine::start_traced(
+                    slice,
+                    model,
+                    cycle,
+                    serve_config.clone(),
+                    Arc::clone(tracer),
+                    false,
+                ),
+                None => cyclesql_serve::ServiceEngine::start(
+                    slice,
+                    model,
+                    cycle,
+                    serve_config.clone(),
+                ),
+            }
         },
-        None,
+        obs.map(|(tracer, sink)| NetObs {
+            tracer,
+            spans: Some(sink),
+        }),
     ) {
         Ok(server) => server,
         Err(e) => {

@@ -32,6 +32,7 @@
 
 pub mod api;
 pub mod client;
+pub mod debug;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -44,4 +45,4 @@ pub use http::{HttpError, HttpLimits, Request, RequestParser, Response};
 pub use json::Json;
 pub use metrics::{NetMetrics, NetMetricsSnapshot};
 pub use router::{fnv1a, RouteDecision, RouterConfig, ShardedEngine};
-pub use server::{DrainReport, NetConfig, NetServer};
+pub use server::{DrainReport, NetConfig, NetObs, NetServer};

@@ -14,9 +14,10 @@
 //! shard skew bounded under zipfian load.
 
 use cyclesql_benchgen::BenchmarkItem;
-use cyclesql_obs::SharedSpan;
+use cyclesql_obs::{SharedSpan, WindowSnapshot};
 use cyclesql_serve::{
-    Catalog, MetricsSnapshot, ServeError, ServeRequest, ServeResponse, ServiceEngine, Ticket,
+    Catalog, MetricsSnapshot, RequestSummary, ServeError, ServeRequest, ServeResponse,
+    ServiceEngine, Ticket,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -252,6 +253,46 @@ impl ShardedEngine {
             .filter_map(|(i, s)| {
                 let guard = s.engine.read().expect("shard engine lock poisoned");
                 guard.as_ref().map(|e| (i, e.metrics_snapshot()))
+            })
+            .collect()
+    }
+
+    /// Per-shard recent-request debug summaries (shards with the request
+    /// log disabled contribute empty vecs).
+    pub fn recent_requests(&self) -> Vec<(usize, Vec<RequestSummary>)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let guard = s.engine.read().expect("shard engine lock poisoned");
+                guard.as_ref().map(|e| (i, e.recent_requests()))
+            })
+            .collect()
+    }
+
+    /// Per-shard slow-request summaries at or above `threshold_us`.
+    pub fn slow_requests(&self, threshold_us: u64) -> Vec<(usize, Vec<RequestSummary>)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let guard = s.engine.read().expect("shard engine lock poisoned");
+                guard.as_ref().map(|e| (i, e.slow_requests(threshold_us)))
+            })
+            .collect()
+    }
+
+    /// Per-shard rolling-window telemetry snapshots; shards without
+    /// windows enabled are omitted.
+    pub fn telemetry(&self) -> Vec<(usize, Vec<(&'static str, WindowSnapshot)>)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let guard = s.engine.read().expect("shard engine lock poisoned");
+                guard
+                    .as_ref()
+                    .and_then(|e| e.telemetry_snapshot().map(|t| (i, t)))
             })
             .collect()
     }

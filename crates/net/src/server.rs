@@ -12,11 +12,19 @@
 //! which drains each engine's admitted queue before its workers exit.
 
 use crate::api::{encode_error, encode_response, ApiQuery};
+use crate::debug::{
+    flame_for_trace, query_param, render_requests_json, render_slow_json, render_telemetry_json,
+};
 use crate::http::{HttpLimits, Request, RequestParser, Response};
 use crate::metrics::{NetMetrics, NetMetricsSnapshot};
 use crate::router::{RouterConfig, ShardedEngine};
-use cyclesql_obs::{SharedSpan, Tracer};
-use cyclesql_serve::{render_metrics_sharded, Catalog, MetricsSnapshot, ServeError, ServiceEngine};
+use cyclesql_obs::{
+    format_trace_id, parse_trace_id, parse_traceparent, MemorySink, SharedSpan, Tracer,
+};
+use cyclesql_serve::{
+    render_metrics_sharded, render_windows_sharded, Catalog, MetricsSnapshot, ServeError,
+    ServiceEngine,
+};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,9 +61,23 @@ impl Default for NetConfig {
     }
 }
 
+/// Observability wiring for the front door: the tracer that mints `net`
+/// root spans (honouring inbound `traceparent` headers), plus an optional
+/// in-memory span ring that backs `GET /v1/debug/flame` — without the
+/// ring the endpoint answers 404 for every trace.
+pub struct NetObs {
+    /// Root-span source for wire requests.
+    pub tracer: Arc<Tracer>,
+    /// Span ring the flame endpoint reads finished spans from. Point the
+    /// tracer's sink chain at the same ring (directly or via a sampler)
+    /// or the lookups will always miss.
+    pub spans: Option<Arc<MemorySink>>,
+}
+
 struct NetShared {
     sharded: ShardedEngine,
     tracer: Option<Arc<Tracer>>,
+    spans: Option<Arc<MemorySink>>,
     limits: HttpLimits,
     idle_timeout: Duration,
     max_connections: usize,
@@ -109,21 +131,28 @@ impl NetServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), slices
     /// `catalog` across the configured shards — `make_engine` builds each
     /// shard's engine from its catalog slice — and starts accepting.
-    /// `tracer`, when given, opens one `net` root span per query with the
-    /// engine's `serve` span nested under it.
+    /// `obs`, when given, opens one `net` root span per query with the
+    /// engine's `serve` span nested under it; an inbound `traceparent`
+    /// (or `x-cyclesql-traceparent`) header supplies the trace id, which
+    /// is echoed back as `x-cyclesql-trace-id`.
     pub fn start(
         addr: &str,
         config: NetConfig,
         catalog: &Catalog,
         make_engine: impl FnMut(usize, Arc<Catalog>) -> ServiceEngine,
-        tracer: Option<Arc<Tracer>>,
+        obs: Option<NetObs>,
     ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let sharded = ShardedEngine::build(catalog, &config.router, make_engine);
+        let (tracer, spans) = match obs {
+            Some(o) => (Some(o.tracer), o.spans),
+            None => (None, None),
+        };
         let shared = Arc::new(NetShared {
             sharded,
             tracer,
+            spans,
             limits: config.limits,
             idle_timeout: config.idle_timeout,
             max_connections: config.max_connections.max(1),
@@ -357,9 +386,11 @@ fn handle_conn(shared: &NetShared, mut stream: TcpStream, remote: SocketAddr) {
             .metrics
             .assemble
             .record(Duration::from_micros(req.assemble_us));
-        if shared.is_draining() {
+        if shared.is_draining() && !drain_exempt(&req) {
             // A request that arrived (or was pipelined) after drain began:
             // refuse it; the client should retry against another instance.
+            // Read-only scrape paths stay answerable (see `drain_exempt`)
+            // so an operator can watch the drain itself.
             shared
                 .metrics
                 .drain_rejected
@@ -392,21 +423,91 @@ fn path_only(target: &str) -> &str {
     target.split('?').next().unwrap_or(target)
 }
 
+/// Read-only observation paths keep answering during drain: health,
+/// metrics, and the debug endpoints carry no work into the engines and
+/// are exactly what an operator scrapes to watch a drain complete. The
+/// connection still closes once idle, so drain converges.
+fn drain_exempt(req: &Request) -> bool {
+    if req.method != "GET" {
+        return false;
+    }
+    let path = path_only(&req.path);
+    path == "/v1/health" || path == "/metrics" || path.starts_with("/v1/debug/")
+}
+
 fn dispatch(shared: &NetShared, req: &Request, remote: SocketAddr) -> Response {
     let path = path_only(&req.path);
     match (req.method.as_str(), path) {
         ("GET", "/v1/health") => Response::json(200, health_body(shared)),
         ("GET", "/metrics") => Response::text(200, metrics_page(shared)),
         ("POST", "/v1/query") => query(shared, req, remote),
+        ("GET", "/v1/debug/requests") => debug_requests(shared, req),
+        ("GET", "/v1/debug/slow") => debug_slow(shared, req),
+        ("GET", "/v1/debug/flame") => debug_flame(shared, req),
+        ("GET", "/v1/debug/telemetry") => {
+            Response::json(200, render_telemetry_json(&shared.sharded.telemetry()))
+        }
         ("POST", "/v1/drain") => {
             shared.begin_drain();
             Response::json(200, "{\"draining\":true}".into()).closing()
         }
-        (_, "/v1/health" | "/metrics" | "/v1/query" | "/v1/drain") => Response::json(
+        (
+            _,
+            "/v1/health" | "/metrics" | "/v1/query" | "/v1/drain" | "/v1/debug/requests"
+            | "/v1/debug/slow" | "/v1/debug/flame" | "/v1/debug/telemetry",
+        ) => Response::json(
             405,
             encode_error("method_not_allowed", "wrong method for this path"),
         ),
         _ => Response::json(404, encode_error("not_found", "unknown path")),
+    }
+}
+
+/// `GET /v1/debug/requests[?limit=N]`: the per-shard rings of recent
+/// request summaries, newest last.
+fn debug_requests(shared: &NetShared, req: &Request) -> Response {
+    let limit = query_param(&req.path, "limit").and_then(|v| v.parse::<usize>().ok());
+    Response::json(
+        200,
+        render_requests_json(&shared.sharded.recent_requests(), limit),
+    )
+}
+
+/// `GET /v1/debug/slow?threshold_ms=N`: buffered requests at or above the
+/// threshold (default 100ms), with per-stage attribution.
+fn debug_slow(shared: &NetShared, req: &Request) -> Response {
+    let threshold_us = query_param(&req.path, "threshold_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100)
+        .saturating_mul(1_000);
+    Response::json(
+        200,
+        render_slow_json(&shared.sharded.slow_requests(threshold_us), threshold_us),
+    )
+}
+
+/// `GET /v1/debug/flame?trace_id=<16 hex>`: a text flamegraph of one
+/// trace from the debug span ring. 404 when the ring is absent, the id is
+/// malformed, or no span of that trace is (still) buffered.
+fn debug_flame(shared: &NetShared, req: &Request) -> Response {
+    let Some(spans) = &shared.spans else {
+        return Response::json(
+            404,
+            encode_error("no_span_ring", "server started without a debug span ring"),
+        );
+    };
+    let Some(trace_id) = query_param(&req.path, "trace_id").and_then(parse_trace_id) else {
+        return Response::json(
+            400,
+            encode_error("bad_request", "trace_id must be up to 16 hex digits"),
+        );
+    };
+    match flame_for_trace(&spans.records(), trace_id) {
+        Some(flame) => Response::text(200, flame),
+        None => Response::json(
+            404,
+            encode_error("unknown_trace", "no spans buffered for this trace id"),
+        ),
     }
 }
 
@@ -423,11 +524,16 @@ fn health_body(shared: &NetShared) -> String {
     )
 }
 
-/// The `/metrics` page: per-shard engine families (shard-labelled) plus
+/// The `/metrics` page: per-shard engine families (shard-labelled), the
+/// rolling-window telemetry with trace exemplars (when enabled), plus
 /// the wire-tier families.
 fn metrics_page(shared: &NetShared) -> String {
     let shards = shared.sharded.metrics();
     let mut page = render_metrics_sharded(&shards);
+    let windows = shared.sharded.telemetry();
+    if !windows.is_empty() {
+        page.push_str(&render_windows_sharded(&windows));
+    }
     page.push_str(&shared.metrics.render());
     page
 }
@@ -435,13 +541,36 @@ fn metrics_page(shared: &NetShared) -> String {
 fn query(shared: &NetShared, req: &Request, remote: SocketAddr) -> Response {
     // The `net` root span covers wire handling; the engine opens its
     // `serve` span as a child, so one trace follows the request across
-    // both tiers and threads.
+    // both tiers and threads. An inbound trace context (our own
+    // `x-cyclesql-traceparent`, else standard W3C `traceparent`) supplies
+    // the trace id so the client's trace and ours stitch together; a
+    // malformed header is ignored — a fresh trace is minted and the
+    // request served normally, never rejected.
+    let inbound = req
+        .header("x-cyclesql-traceparent")
+        .or_else(|| req.header("traceparent"))
+        .and_then(parse_traceparent);
+    let mut trace_id = None;
     let span = shared.tracer.as_ref().map(|t| {
-        let mut s = t.root("net");
+        let mut s = match inbound {
+            Some(id) => {
+                let mut s = t.root_for_trace("net", id);
+                s.set("trace_propagated", true);
+                s
+            }
+            None => t.root("net"),
+        };
+        trace_id = Some(s.trace_id());
         s.set("remote", remote.to_string());
         s.set("assemble_us", req.assemble_us);
         SharedSpan::new(s)
     });
+    // Echo the trace id on every query response so the caller can fetch
+    // `/v1/debug/flame?trace_id=<this>` afterwards.
+    let trace_header = move |resp: Response| match trace_id {
+        Some(id) => resp.with_header("x-cyclesql-trace-id", format_trace_id(id)),
+        None => resp,
+    };
     let finish = |span: Option<SharedSpan>, status: u16, outcome: &'static str| {
         if let Some(s) = span {
             s.set("status", u64::from(status));
@@ -457,7 +586,7 @@ fn query(shared: &NetShared, req: &Request, remote: SocketAddr) -> Response {
         Ok(q) => q,
         Err(msg) => {
             finish(span, 400, "bad_request");
-            return Response::json(400, encode_error("bad_request", &msg));
+            return trace_header(Response::json(400, encode_error("bad_request", &msg)));
         }
     };
     let decision = match shared.sharded.route(&q.db) {
@@ -468,10 +597,10 @@ fn query(shared: &NetShared, req: &Request, remote: SocketAddr) -> Response {
                 .queries_unknown_db
                 .fetch_add(1, Ordering::Relaxed);
             finish(span, 404, "unknown_db");
-            return Response::json(
+            return trace_header(Response::json(
                 404,
                 encode_error("unknown_database", "no such database in the catalog"),
-            );
+            ));
         }
     };
     if let Some(s) = &span {
@@ -482,8 +611,10 @@ fn query(shared: &NetShared, req: &Request, remote: SocketAddr) -> Response {
         shared.metrics.spilled.fetch_add(1, Ordering::Relaxed);
     }
     let shard_header = |resp: Response| {
-        resp.with_header("x-cyclesql-shard", decision.shard.to_string())
-            .with_header("x-cyclesql-spilled", decision.spilled.to_string())
+        trace_header(
+            resp.with_header("x-cyclesql-shard", decision.shard.to_string())
+                .with_header("x-cyclesql-spilled", decision.spilled.to_string()),
+        )
     };
     match shared
         .sharded

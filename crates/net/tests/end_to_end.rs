@@ -282,7 +282,10 @@ fn net_root_span_wraps_the_serve_span() {
         NetConfig::default(),
         &catalog,
         oracle_factory(),
-        Some(tracer),
+        Some(cyclesql_net::NetObs {
+            tracer,
+            spans: Some(Arc::clone(&sink)),
+        }),
     )
     .unwrap();
     let mut client = HttpClient::connect(server.local_addr()).unwrap();

@@ -273,3 +273,85 @@ fn pipelined_request_after_drain_begins_is_rejected_while_first_completes() {
     assert_eq!(report.net.drain_rejected, 1);
     assert_eq!(report.forced_connections, 0);
 }
+
+#[test]
+fn malformed_traceparent_is_ignored_never_rejected() {
+    use cyclesql_net::NetObs;
+    use cyclesql_obs::{MemorySink, ObsCounters, SpanSink, Tracer};
+    use std::sync::Arc;
+
+    let suite = suite();
+    let catalog = Catalog::from_suites([&suite]);
+    let counters = Arc::new(ObsCounters::default());
+    let sink = Arc::new(MemorySink::new(4096, Arc::clone(&counters)));
+    let tracer = Arc::new(Tracer::new(
+        Arc::clone(&sink) as Arc<dyn SpanSink>,
+        counters,
+    ));
+    let server = NetServer::start(
+        "127.0.0.1:0",
+        NetConfig::default(),
+        &catalog,
+        |_, slice| {
+            ServiceEngine::start_traced(
+                slice,
+                SimulatedModel::new(ModelProfile::resdsql_3b()),
+                CycleSql::new(LoopVerifier::Oracle),
+                ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                },
+                Arc::clone(&tracer),
+                false,
+            )
+        },
+        Some(NetObs {
+            tracer: Arc::clone(&tracer),
+            spans: Some(Arc::clone(&sink)),
+        }),
+    )
+    .unwrap();
+
+    let body = encode_query(&suite.dev[0]);
+    for garbage in [
+        "not-a-traceparent",
+        "00-zzzz-yyyy-01",
+        "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+        "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+    ] {
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let wire = format!(
+            "POST /v1/query HTTP/1.1\r\nhost: t\r\ntraceparent: {garbage}\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        client.send_raw(wire.as_bytes()).unwrap();
+        let resp = client.read_response().unwrap();
+        assert_eq!(resp.status, 200, "bad traceparent {garbage:?} still served");
+        // A fresh trace was minted: the echoed id parses and is non-zero.
+        let echoed = resp
+            .header("x-cyclesql-trace-id")
+            .expect("trace id echoed even for malformed inbound context");
+        let id = cyclesql_obs::parse_trace_id(echoed).expect("echoed id is hex");
+        assert_ne!(id, 0);
+    }
+
+    // A well-formed header, by contrast, is propagated verbatim.
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let wire = format!(
+        "POST /v1/query HTTP/1.1\r\nhost: t\r\n\
+         traceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    client.send_raw(wire.as_bytes()).unwrap();
+    let resp = client.read_response().unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("x-cyclesql-trace-id"),
+        Some("8448eb211c80319c"),
+        "low 64 bits of the wire trace id echoed"
+    );
+    drop(client);
+    server.drain(Duration::from_secs(10));
+}

@@ -1,0 +1,254 @@
+//! Text flamegraphs and per-stage summaries built from finished spans.
+//!
+//! Both the live debug endpoint (`GET /v1/debug/flame` over an in-memory
+//! span ring) and the offline `trace_report` tool (over a JSONL trace
+//! file) need the same rendering: reconstruct the span tree of one trace
+//! and draw it as indented lines with duration bars. [`FlameSpan`] is the
+//! neutral input shape both sources convert into.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::sink::ParsedSpan;
+use crate::span::SpanRecord;
+use crate::trace::format_trace_id;
+
+/// A span reduced to what flame rendering needs, convertible from both
+/// the in-memory [`SpanRecord`] and the JSONL [`ParsedSpan`].
+#[derive(Debug, Clone)]
+pub struct FlameSpan {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id; `None` for a trace root.
+    pub parent_id: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start offset in microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Whether the span recorded an error.
+    pub error: bool,
+}
+
+impl From<&SpanRecord> for FlameSpan {
+    fn from(r: &SpanRecord) -> Self {
+        FlameSpan {
+            trace_id: r.trace_id,
+            span_id: r.span_id,
+            parent_id: r.parent_id,
+            name: r.name.to_string(),
+            start_us: r.start_us,
+            dur_us: r.dur_us,
+            error: r.error,
+        }
+    }
+}
+
+impl From<&ParsedSpan> for FlameSpan {
+    fn from(r: &ParsedSpan) -> Self {
+        FlameSpan {
+            trace_id: r.trace_id,
+            span_id: r.span_id,
+            parent_id: r.parent_id,
+            name: r.name.clone(),
+            start_us: r.start_us,
+            dur_us: r.dur_us,
+            error: r.error,
+        }
+    }
+}
+
+/// Renders one trace as a text flamegraph. Spans not belonging to
+/// `trace_id` are ignored; returns `None` when the trace has no spans.
+///
+/// The output is a top-down tree: roots (spans whose parent is absent
+/// from the trace) first, children indented beneath their parent in
+/// `start_us` order. Each line carries the span name, duration, share of
+/// its root's duration as a bar, and an error marker. The header spells
+/// the trace id the way response headers do (16 hex digits), so a caller
+/// can grep the id they sent straight out of the graph.
+pub fn render_flame(spans: &[FlameSpan], trace_id: u64) -> Option<String> {
+    let trace: Vec<&FlameSpan> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    if trace.is_empty() {
+        return None;
+    }
+    let ids: std::collections::HashSet<u64> = trace.iter().map(|s| s.span_id).collect();
+    let mut children: HashMap<u64, Vec<&FlameSpan>> = HashMap::new();
+    let mut roots: Vec<&FlameSpan> = Vec::new();
+    for s in &trace {
+        match s.parent_id {
+            // A parent id pointing outside the captured set still makes
+            // this span a visible root (e.g. ring overwrote the parent).
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
+            _ => roots.push(s),
+        }
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|s| (s.start_us, s.span_id));
+    }
+    roots.sort_by_key(|s| (s.start_us, s.span_id));
+
+    let mut out = format!(
+        "trace {} ({} span{})\n",
+        format_trace_id(trace_id),
+        trace.len(),
+        if trace.len() == 1 { "" } else { "s" }
+    );
+    for root in roots {
+        render_node(&mut out, &children, root, 0, root.dur_us.max(1));
+    }
+    Some(out)
+}
+
+fn render_node(
+    out: &mut String,
+    children: &HashMap<u64, Vec<&FlameSpan>>,
+    span: &FlameSpan,
+    depth: usize,
+    root_us: u64,
+) {
+    const BAR_WIDTH: usize = 20;
+    let filled = ((span.dur_us as f64 / root_us as f64) * BAR_WIDTH as f64).round() as usize;
+    let filled = filled.clamp(if span.dur_us > 0 { 1 } else { 0 }, BAR_WIDTH);
+    let bar: String = "#".repeat(filled) + &".".repeat(BAR_WIDTH - filled);
+    let label = format!("{}{}", "  ".repeat(depth), span.name);
+    let _ = writeln!(
+        out,
+        "{label:<24} {:>10} us  [{bar}]{}",
+        span.dur_us,
+        if span.error { "  ERROR" } else { "" }
+    );
+    if let Some(kids) = children.get(&span.span_id) {
+        for kid in kids {
+            render_node(out, children, kid, depth + 1, root_us);
+        }
+    }
+}
+
+/// Aggregates parsed spans into a fixed-order per-stage summary table
+/// (count, total ms, mean µs, max µs). The span hierarchy is fixed, so
+/// indentation is by known stage name; unknown names are skipped.
+pub fn stage_summary(spans: &[ParsedSpan]) -> String {
+    const ORDER: [(&str, usize); 7] = [
+        ("serve", 0),
+        ("translate", 1),
+        ("cycle", 1),
+        ("execute", 2),
+        ("provenance", 2),
+        ("explain", 2),
+        ("verify", 2),
+    ];
+    let mut out = String::from("span                 count     total_ms    mean_us     max_us\n");
+    for (name, depth) in ORDER {
+        let mut count = 0u64;
+        let mut total_us = 0u64;
+        let mut max_us = 0u64;
+        for s in spans.iter().filter(|s| s.name == name) {
+            count += 1;
+            total_us += s.dur_us;
+            max_us = max_us.max(s.dur_us);
+        }
+        if count == 0 {
+            continue;
+        }
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let _ = writeln!(
+            out,
+            "{label:<20} {count:>6} {:>12.2} {:>10.1} {max_us:>10}",
+            total_us as f64 / 1e3,
+            total_us as f64 / count as f64,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace_id: u64,
+        span_id: u64,
+        parent_id: Option<u64>,
+        name: &str,
+        start_us: u64,
+        dur_us: u64,
+        error: bool,
+    ) -> FlameSpan {
+        FlameSpan {
+            trace_id,
+            span_id,
+            parent_id,
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            error,
+        }
+    }
+
+    #[test]
+    fn flame_tree_indents_children_under_parents_in_start_order() {
+        let spans = vec![
+            span(7, 1, None, "serve", 0, 1_000, false),
+            span(7, 3, Some(2), "execute", 120, 400, false),
+            span(7, 2, Some(1), "cycle", 100, 800, false),
+            span(7, 4, Some(2), "verify", 600, 100, true),
+            span(99, 50, None, "serve", 0, 5, false), // other trace: ignored
+        ];
+        let text = render_flame(&spans, 7).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "trace 0000000000000007 (4 spans)");
+        assert!(lines[1].starts_with("serve "));
+        assert!(lines[2].starts_with("  cycle "));
+        assert!(lines[3].starts_with("    execute "));
+        assert!(lines[4].starts_with("    verify "));
+        assert!(lines[4].ends_with("ERROR"));
+        assert!(!text.contains("trace 0000000000000063"));
+    }
+
+    #[test]
+    fn unknown_trace_renders_nothing() {
+        let spans = vec![span(1, 1, None, "serve", 0, 10, false)];
+        assert!(render_flame(&spans, 2).is_none());
+        assert!(render_flame(&[], 1).is_none());
+    }
+
+    #[test]
+    fn orphaned_span_becomes_a_root() {
+        // Parent id 9 was never captured (ring overwrote it): the child
+        // still renders, as a root.
+        let spans = vec![span(5, 10, Some(9), "execute", 50, 20, false)];
+        let text = render_flame(&spans, 5).unwrap();
+        assert!(text.lines().nth(1).unwrap().starts_with("execute "));
+    }
+
+    #[test]
+    fn stage_summary_counts_and_orders_known_stages() {
+        let parsed = |name: &str, dur_us: u64| ParsedSpan {
+            trace_id: 1,
+            span_id: 1,
+            parent_id: None,
+            name: name.to_string(),
+            start_us: 0,
+            dur_us,
+            error: false,
+        };
+        let spans = vec![
+            parsed("execute", 100),
+            parsed("serve", 300),
+            parsed("execute", 300),
+            parsed("mystery", 1), // unknown: skipped
+        ];
+        let text = stage_summary(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("span"));
+        assert!(lines[1].trim_start().starts_with("serve"));
+        let exec = lines[2].trim_start();
+        assert!(exec.starts_with("execute"));
+        assert!(exec.contains('2'), "two execute spans: {exec}");
+        assert!(!text.contains("mystery"));
+    }
+}

@@ -24,6 +24,16 @@
 //!   tracer is installed the context is empty and every call is a branch
 //!   on a `None`: the traced-off hot path allocates nothing and emits
 //!   nothing (pinned by [`ObsCounters`] reading zero).
+//! - [`trace`] — wire trace-context propagation: W3C `traceparent`
+//!   parsing into the tracer's 64-bit ids, and the hex spelling used by
+//!   response headers and debug endpoints.
+//! - [`window`] — rolling time-windowed telemetry: per-stage rings of
+//!   fixed-width buckets (rate, error rate, log₂-µs latency histogram)
+//!   whose histogram buckets carry **exemplars** (trace id + SQL digest
+//!   of a recent request), deterministic under an injected clock.
+//! - [`flame`] — text flamegraphs and per-stage summaries rebuilt from
+//!   finished spans, shared by the live `/v1/debug/flame` endpoint and
+//!   the offline `trace_report` tool.
 //!
 //! ```
 //! use cyclesql_obs::{MemorySink, ObsCounters, Tracer};
@@ -45,13 +55,22 @@
 
 #![warn(missing_docs)]
 
+pub mod flame;
 pub mod sample;
 pub mod sink;
 pub mod span;
+pub mod trace;
+pub mod window;
 
+pub use flame::{render_flame, stage_summary, FlameSpan};
 pub use sample::{SamplePolicy, SamplingSink};
 pub use sink::{parse_jsonl_line, JsonlSink, MemorySink, ParsedSpan, SpanSink};
 pub use span::{
     push_json_str, Attr, AttrValue, ObsCounters, ObsCountersSnapshot, SharedSpan, Span, SpanCtx,
     SpanRecord, Tracer,
+};
+pub use trace::{format_trace_id, parse_trace_id, parse_traceparent};
+pub use window::{
+    latency_bucket, latency_bucket_upper_us, Exemplar, Window, WindowConfig, WindowSet,
+    WindowSnapshot, LATENCY_BUCKETS,
 };

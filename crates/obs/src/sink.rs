@@ -57,6 +57,9 @@ impl SpanSink for MemorySink {
         if buf.len() == self.capacity {
             buf.pop_front();
             self.counters.spans_dropped.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .span_ring_overwrites
+                .fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(record);
         self.counters.spans_emitted.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +213,11 @@ mod tests {
         let snap = counters.snapshot();
         assert_eq!(snap.spans_emitted, 5);
         assert_eq!(snap.spans_dropped, 2);
+        assert_eq!(
+            snap.span_ring_overwrites, 2,
+            "every ring eviction is counted as an overwrite"
+        );
+        assert_eq!(snap.request_ring_overwrites, 0);
         // The survivors are the three most recent spans.
         let ids: Vec<u64> = records.iter().map(|r| r.span_id).collect();
         assert_eq!(ids, vec![3, 4, 5]);

@@ -175,6 +175,13 @@ pub struct ObsCounters {
     pub traces_sampled: AtomicU64,
     /// Traces discarded by the sampler.
     pub traces_discarded: AtomicU64,
+    /// Span-ring slots overwritten before being read (bounded
+    /// [`MemorySink`](crate::sink::MemorySink) evictions; a subset of
+    /// `spans_dropped`).
+    pub span_ring_overwrites: AtomicU64,
+    /// Request-summary-ring slots overwritten before being read (the
+    /// serving tier's debug request log evicting its oldest entry).
+    pub request_ring_overwrites: AtomicU64,
 }
 
 /// Serializable point-in-time view of [`ObsCounters`].
@@ -190,6 +197,10 @@ pub struct ObsCountersSnapshot {
     pub traces_sampled: u64,
     /// Traces discarded by the sampler.
     pub traces_discarded: u64,
+    /// Span-ring slots overwritten before being read.
+    pub span_ring_overwrites: u64,
+    /// Request-summary-ring slots overwritten before being read.
+    pub request_ring_overwrites: u64,
 }
 
 impl ObsCounters {
@@ -202,6 +213,8 @@ impl ObsCounters {
             spans_dropped: load(&self.spans_dropped),
             traces_sampled: load(&self.traces_sampled),
             traces_discarded: load(&self.traces_discarded),
+            span_ring_overwrites: load(&self.span_ring_overwrites),
+            request_ring_overwrites: load(&self.request_ring_overwrites),
         }
     }
 }
@@ -240,6 +253,14 @@ impl Tracer {
     /// Opens a new trace with a root span named `name`.
     pub fn root(&self, name: &'static str) -> Span {
         let trace_id = self.shared.next_trace.fetch_add(1, Ordering::Relaxed);
+        Span::open(Arc::clone(&self.shared), trace_id, None, name)
+    }
+
+    /// Opens a root span under a caller-supplied trace id — wire trace
+    /// propagation: the id parsed from an inbound `traceparent` header
+    /// becomes this process's trace id, so client, front door, and engine
+    /// spans stitch into one trace.
+    pub fn root_for_trace(&self, name: &'static str, trace_id: u64) -> Span {
         Span::open(Arc::clone(&self.shared), trace_id, None, name)
     }
 
@@ -401,6 +422,11 @@ impl SharedSpan {
     /// Opens a child of the shared span, or `None` if it already finished.
     pub fn child(&self, name: &'static str) -> Option<Span> {
         self.lock().as_ref().map(|s| s.child(name))
+    }
+
+    /// The trace id, or `None` if the span already finished.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.lock().as_ref().map(|s| s.trace_id())
     }
 
     /// Appends a typed attribute (no-op after finish).

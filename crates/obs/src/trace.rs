@@ -1,0 +1,111 @@
+//! Wire trace-context propagation: parsing inbound W3C `traceparent`
+//! headers into the tracer's 64-bit trace ids and formatting those ids
+//! for response headers.
+//!
+//! The accepted shape is the W3C Trace Context `traceparent` field:
+//! `VV-TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT-PPPPPPPPPPPPPPPP-FF` — a 2-hex
+//! version, a 32-hex (128-bit) trace id, a 16-hex parent span id, and a
+//! 2-hex flags byte. This tracer keys traces by `u64`, so the low 64 bits
+//! of the wire trace id become the internal id (falling back to the high
+//! 64 bits when the low half is all zero, which the spec permits).
+//!
+//! Parsing is deliberately total: any malformed header yields `None` and
+//! the caller mints a fresh trace — a bad `traceparent` must never fail
+//! the request it rode in on.
+
+/// Parses a W3C `traceparent` header value into the internal 64-bit trace
+/// id. Returns `None` for anything malformed: wrong field count or width,
+/// non-hex characters, the forbidden `ff` version, or an all-zero trace
+/// or parent id (both invalid per spec).
+pub fn parse_traceparent(value: &str) -> Option<u64> {
+    let mut parts = value.trim().split('-');
+    let version = parts.next()?;
+    let trace = parts.next()?;
+    let parent = parts.next()?;
+    let flags = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    if version.len() != 2 || trace.len() != 32 || parent.len() != 16 || flags.len() != 2 {
+        return None;
+    }
+    let hex = |s: &str| s.bytes().all(|b| b.is_ascii_hexdigit());
+    if !hex(version) || !hex(trace) || !hex(parent) || !hex(flags) {
+        return None;
+    }
+    // Version ff is reserved-invalid; all-zero ids are invalid.
+    if version.eq_ignore_ascii_case("ff") {
+        return None;
+    }
+    if trace.bytes().all(|b| b == b'0') || parent.bytes().all(|b| b == b'0') {
+        return None;
+    }
+    let high = u64::from_str_radix(&trace[..16], 16).ok()?;
+    let low = u64::from_str_radix(&trace[16..], 16).ok()?;
+    Some(if low != 0 { low } else { high })
+}
+
+/// Renders an internal trace id the way response headers and debug
+/// endpoints spell it: 16 lowercase hex digits.
+pub fn format_trace_id(trace_id: u64) -> String {
+    format!("{trace_id:016x}")
+}
+
+/// Parses a trace id previously rendered by [`format_trace_id`] (16 hex
+/// digits; shorter hex strings are accepted for hand-typed queries).
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_traceparent_yields_low_64_bits() {
+        let id = parse_traceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01");
+        assert_eq!(id, Some(0x8448_eb21_1c80_319c));
+    }
+
+    #[test]
+    fn zero_low_half_falls_back_to_high_half() {
+        let id = parse_traceparent("00-0af7651916cd43dd0000000000000000-b7ad6b7169203331-01");
+        assert_eq!(id, Some(0x0af7_6519_16cd_43dd));
+    }
+
+    #[test]
+    fn malformed_headers_parse_to_none() {
+        for bad in [
+            "",
+            "00",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // missing flags
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+            "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad version hex
+            "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // reserved version
+            "00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+            "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero parent id
+            "00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01",   // short trace id
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333g-01", // non-hex parent
+            "not a traceparent at all",
+        ] {
+            assert_eq!(parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_header_spelling() {
+        for id in [1u64, 0x8448_eb21_1c80_319c, u64::MAX] {
+            let hex = format_trace_id(id);
+            assert_eq!(hex.len(), 16);
+            assert_eq!(parse_trace_id(&hex), Some(id));
+        }
+        assert_eq!(parse_trace_id("2a"), Some(42), "short hex accepted");
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("00000000000000000a1"), None, "too long");
+        assert_eq!(parse_trace_id("nope"), None);
+    }
+}

@@ -13,10 +13,13 @@
 use crate::catalog::Catalog;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{PlanCache, PlanKey};
+use crate::requests::{sql_digest, RequestLog, RequestSummary};
 use cyclesql_benchgen::BenchmarkItem;
 use cyclesql_core::{CycleSql, LoopVerifier, PlanSource, RunControls, StageTimings};
 use cyclesql_models::{SimulatedModel, TranslationRequest};
-use cyclesql_obs::{SharedSpan, SpanCtx, Span, Tracer};
+use cyclesql_obs::{
+    Exemplar, SharedSpan, Span, SpanCtx, Tracer, WindowConfig, WindowSet, WindowSnapshot,
+};
 use cyclesql_sql::{parse, Query};
 use cyclesql_storage::{compile, CompiledQuery, Database, ResultSet};
 use std::fmt;
@@ -60,6 +63,15 @@ pub struct ServeConfig {
     /// at full occupancy every query degrades to single-threaded
     /// execution. `1` (the default) disables intra-query parallelism.
     pub intra_query_threads: usize,
+    /// Capacity of the per-request debug summary ring behind
+    /// `/v1/debug/requests`; `0` disables it. Overwrites of unread
+    /// entries are counted into the tracer's `ObsCounters` only when the
+    /// engine is traced, keeping the untraced all-zero counter gate.
+    pub request_log_capacity: usize,
+    /// Rolling windowed telemetry (per-stage rate / error-rate / latency
+    /// histograms with trace exemplars). `None` (the default) keeps the
+    /// hot path free of window bookkeeping.
+    pub window: Option<WindowConfig>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +85,8 @@ impl Default for ServeConfig {
             plan_cache_shards: 8,
             k: 8,
             intra_query_threads: 1,
+            request_log_capacity: 256,
+            window: None,
         }
     }
 }
@@ -194,7 +208,22 @@ struct Shared {
     /// that divides `intra_query_threads` into each request's effective
     /// execution width).
     in_flight: AtomicUsize,
+    /// Bounded per-request debug summaries; `None` when disabled.
+    requests: Option<RequestLog>,
+    /// Rolling windowed telemetry; `None` when disabled.
+    windows: Option<Arc<WindowSet>>,
 }
+
+/// Window indices in [`Shared::windows`]: `total` first, then the five
+/// pipeline stages in [`crate::requests::STAGE_NAMES`] order.
+const WINDOW_STAGES: [&str; 6] = [
+    "total",
+    "translate",
+    "execute",
+    "provenance",
+    "explain",
+    "verify",
+];
 
 /// Per-request view of the shared plan cache: every lookup delegates to the
 /// engine-wide cache (so its global hit/miss counters stay exact), while the
@@ -280,6 +309,14 @@ impl ServiceEngine {
         tracer: Option<Arc<Tracer>>,
         analyze: bool,
     ) -> Self {
+        // Overwrite accounting for the request ring goes through the
+        // tracer's counters; an untraced engine's ring counts nothing.
+        let ring_counters = tracer.as_ref().map(|t| Arc::clone(t.counters()));
+        let requests = (config.request_log_capacity > 0)
+            .then(|| RequestLog::new(config.request_log_capacity, ring_counters));
+        let windows = config
+            .window
+            .map(|cfg| Arc::new(WindowSet::new(&WINDOW_STAGES, cfg)));
         let shared = Arc::new(Shared {
             catalog,
             model,
@@ -292,6 +329,8 @@ impl ServiceEngine {
             next_request: AtomicU64::new(0),
             intra_query_threads: config.intra_query_threads.max(1),
             in_flight: AtomicUsize::new(0),
+            requests,
+            windows,
         });
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -354,12 +393,34 @@ impl ServiceEngine {
                     self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
                     // Shed requests never reach a worker, so their trace is
                     // just the root span with the admission outcome.
+                    let mut trace_id = job.parent.as_ref().and_then(|p| p.trace_id());
                     if let (Some(tracer), false) = (&self.shared.tracer, has_parent) {
                         let mut s = tracer.root("serve");
+                        trace_id = Some(s.trace_id());
                         s.set("request", job.id);
                         s.set("db", job.item.db_name.as_str());
                         s.set("outcome", "shed");
                         s.set_error();
+                    }
+                    if let Some(log) = &self.shared.requests {
+                        log.push(RequestSummary {
+                            request: job.id,
+                            trace_id,
+                            item_id: job.item.id.clone(),
+                            db: job.item.db_name.clone(),
+                            outcome: "shed",
+                            accepted: false,
+                            iterations: 0,
+                            plan_hits: 0,
+                            plan_misses: 0,
+                            queue_wait_us: 0,
+                            total_us: 0,
+                            stages_us: [0; 5],
+                            sql_digest: 0,
+                        });
+                    }
+                    if let Some(windows) = &self.shared.windows {
+                        windows.record(0, 0, true, None);
                     }
                     return Err(ServeError::Overloaded);
                 }
@@ -384,6 +445,32 @@ impl ServiceEngine {
     /// requests). A front router reads this as the shard's busyness.
     pub fn in_flight(&self) -> usize {
         self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Buffered per-request debug summaries, oldest first (empty when the
+    /// request log is disabled).
+    pub fn recent_requests(&self) -> Vec<RequestSummary> {
+        self.shared
+            .requests
+            .as_ref()
+            .map(RequestLog::recent)
+            .unwrap_or_default()
+    }
+
+    /// Buffered summaries at least `threshold_us` of total time, oldest
+    /// first (empty when the request log is disabled).
+    pub fn slow_requests(&self, threshold_us: u64) -> Vec<RequestSummary> {
+        self.shared
+            .requests
+            .as_ref()
+            .map(|log| log.slow(threshold_us))
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time windowed telemetry per stage (`None` when windows
+    /// are disabled). Labels are `total` plus the five pipeline stages.
+    pub fn telemetry_snapshot(&self) -> Option<Vec<(&'static str, WindowSnapshot)>> {
+        self.shared.windows.as_ref().map(|w| w.snapshot())
     }
 
     /// A point-in-time metrics snapshot.
@@ -468,6 +555,7 @@ fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
     let ticket = InFlight::enter(&shared.in_flight);
     let exec_threads = (shared.intra_query_threads / ticket.occupancy).max(1);
     let plans = RequestPlans::new(&shared.cache);
+    let started = Instant::now();
     // The `serve` span: a child of the front tier's root when one was
     // supplied (the parent's tracer carries the trace), otherwise a trace
     // root on the engine's own tracer, otherwise tracing is off.
@@ -475,45 +563,119 @@ fn process(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
         Some(parent) => parent.child("serve"),
         None => shared.tracer.as_ref().map(|t| t.root("serve")),
     };
-    let Some(mut root) = root else {
-        return process_inner(shared, job, &plans, SpanCtx::none(), false, exec_threads)
+    let trace_id = root.as_ref().map(Span::trace_id);
+    let result = match root {
+        None => process_inner(shared, job, &plans, SpanCtx::none(), false, exec_threads)
+            .map(|r| with_queue_wait(r, queue_wait)),
+        Some(mut root) => {
+            root.set("request", job.id);
+            root.set("db", job.item.db_name.as_str());
+            root.set("exec_threads", exec_threads);
+            root.set("queue_wait_us", queue_wait.as_micros() as u64);
+            let result = process_inner(
+                shared,
+                job,
+                &plans,
+                SpanCtx::of(&root),
+                shared.analyze,
+                exec_threads,
+            )
             .map(|r| with_queue_wait(r, queue_wait));
-    };
-    root.set("request", job.id);
-    root.set("db", job.item.db_name.as_str());
-    root.set("exec_threads", exec_threads);
-    root.set("queue_wait_us", queue_wait.as_micros() as u64);
-    let result = process_inner(
-        shared,
-        job,
-        &plans,
-        SpanCtx::of(&root),
-        shared.analyze,
-        exec_threads,
-    )
-    .map(|r| with_queue_wait(r, queue_wait));
-    root.set("plan_hits", plans.hits.load(Ordering::Relaxed));
-    root.set("plan_misses", plans.misses.load(Ordering::Relaxed));
-    match &result {
-        Ok(resp) => {
-            root.set("outcome", "ok");
-            root.set("accepted", resp.accepted);
-            root.set("iterations", resp.iterations);
+            root.set("plan_hits", plans.hits.load(Ordering::Relaxed));
+            root.set("plan_misses", plans.misses.load(Ordering::Relaxed));
+            match &result {
+                Ok(resp) => {
+                    root.set("outcome", "ok");
+                    root.set("accepted", resp.accepted);
+                    root.set("iterations", resp.iterations);
+                }
+                Err(e) => {
+                    root.set("outcome", outcome_label(e));
+                    root.set_error();
+                }
+            }
+            result
         }
-        Err(e) => {
-            root.set(
-                "outcome",
-                match e {
-                    ServeError::Overloaded => "overloaded",
-                    ServeError::DeadlineExceeded => "deadline",
-                    ServeError::UnknownDatabase(_) => "unknown_db",
-                    ServeError::Shutdown => "shutdown",
-                },
-            );
-            root.set_error();
+    };
+    record_outcome(shared, job, &plans, trace_id, queue_wait, started, &result);
+    result
+}
+
+/// The fixed outcome vocabulary shared by spans and request summaries.
+fn outcome_label(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Overloaded => "overloaded",
+        ServeError::DeadlineExceeded => "deadline",
+        ServeError::UnknownDatabase(_) => "unknown_db",
+        ServeError::Shutdown => "shutdown",
+    }
+}
+
+/// Files one finished request into the debug summary ring and the rolling
+/// telemetry windows (whichever are enabled). Exemplars are attached only
+/// when the request was traced — they carry its trace id.
+fn record_outcome(
+    shared: &Shared,
+    job: &Job,
+    plans: &RequestPlans<'_>,
+    trace_id: Option<u64>,
+    queue_wait: Duration,
+    started: Instant,
+    result: &Result<ServeResponse, ServeError>,
+) {
+    if shared.requests.is_none() && shared.windows.is_none() {
+        return;
+    }
+    let total_us = started.elapsed().as_micros() as u64;
+    let us = |d: Duration| d.as_micros() as u64;
+    let (outcome, accepted, iterations, stages_us, digest) = match result {
+        Ok(resp) => (
+            "ok",
+            resp.accepted,
+            resp.iterations,
+            [
+                us(resp.stages.translate),
+                us(resp.stages.execute),
+                us(resp.stages.provenance),
+                us(resp.stages.explain),
+                us(resp.stages.verify),
+            ],
+            sql_digest(&resp.sql),
+        ),
+        Err(e) => (outcome_label(e), false, 0, [0; 5], 0),
+    };
+    if let Some(log) = &shared.requests {
+        log.push(RequestSummary {
+            request: job.id,
+            trace_id,
+            item_id: job.item.id.clone(),
+            db: job.item.db_name.clone(),
+            outcome,
+            accepted,
+            iterations,
+            plan_hits: plans.hits.load(Ordering::Relaxed),
+            plan_misses: plans.misses.load(Ordering::Relaxed),
+            queue_wait_us: queue_wait.as_micros() as u64,
+            total_us,
+            stages_us,
+            sql_digest: digest,
+        });
+    }
+    if let Some(windows) = &shared.windows {
+        let exemplar = |value_us: u64| {
+            trace_id.map(|tid| Exemplar {
+                trace_id: tid,
+                sql_digest: digest,
+                value_us,
+            })
+        };
+        windows.record(0, total_us, result.is_err(), exemplar(total_us));
+        if result.is_ok() {
+            for (i, stage_us) in stages_us.into_iter().enumerate() {
+                windows.record(i + 1, stage_us, false, exemplar(stage_us));
+            }
         }
     }
-    result
 }
 
 /// Stamps the queue wait measured at dequeue onto a finished response.

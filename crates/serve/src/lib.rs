@@ -61,6 +61,7 @@ pub mod engine;
 pub mod metrics;
 pub mod plan_cache;
 pub mod prometheus;
+pub mod requests;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use engine::{
@@ -71,4 +72,8 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use plan_cache::{PlanCache, PlanKey};
-pub use prometheus::{render_all, render_metrics, render_metrics_sharded, render_observability};
+pub use prometheus::{
+    render_all, render_metrics, render_metrics_sharded, render_observability, render_windows,
+    render_windows_sharded,
+};
+pub use requests::{fnv1a_digest, sql_digest, RequestLog, RequestSummary, STAGE_NAMES};

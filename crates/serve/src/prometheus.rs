@@ -10,7 +10,7 @@
 //! `cyclesql_stage_latency_ms{stage="execute",quantile="0.99"}`.
 
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
-use cyclesql_obs::ObsCountersSnapshot;
+use cyclesql_obs::{ObsCountersSnapshot, WindowSnapshot};
 use std::fmt::Write as _;
 
 fn family(out: &mut String, name: &str, help: &str, kind: &str) {
@@ -216,7 +216,133 @@ pub fn render_observability(counters: &ObsCountersSnapshot) -> String {
     counter(&mut out, "cyclesql_obs_spans_dropped_total", "Span records discarded (unsampled trace or ring overwrite).", counters.spans_dropped);
     counter(&mut out, "cyclesql_obs_traces_sampled_total", "Traces kept by the sampler.", counters.traces_sampled);
     counter(&mut out, "cyclesql_obs_traces_discarded_total", "Traces discarded by the sampler.", counters.traces_discarded);
+    counter(&mut out, "cyclesql_obs_span_ring_overwrites_total", "Span-ring slots overwritten before being read.", counters.span_ring_overwrites);
+    counter(&mut out, "cyclesql_obs_request_ring_overwrites_total", "Request-summary-ring slots overwritten before being read.", counters.request_ring_overwrites);
     out
+}
+
+/// Renders per-stage rolling-window telemetry as OpenMetrics-style
+/// exposition text, exemplars included: each populated latency bucket may
+/// carry `# {trace_id="...",sql="..."} value` — the trace id and SQL
+/// digest of a recent request that landed in that bucket — so a scrape
+/// can link a histogram spike to one concrete trace.
+///
+/// `shard` adds a `shard="<id>"` label to every sample (pass `None` for a
+/// single-engine page). Histogram rows are cumulative (`le` in µs), with
+/// the standard `+Inf`, `_count`, and `_sum` rows per stage.
+pub fn render_windows(windows: &[(&'static str, WindowSnapshot)], shard: Option<usize>) -> String {
+    let mut out = String::new();
+    render_windows_into(&mut out, windows, shard, true);
+    out
+}
+
+/// Renders several shards' window snapshots as one page with a single
+/// header per family.
+pub fn render_windows_sharded(
+    shards: &[(usize, Vec<(&'static str, WindowSnapshot)>)],
+) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for (shard, windows) in shards {
+        render_windows_into(&mut out, windows, Some(*shard), first);
+        first = false;
+    }
+    out
+}
+
+fn render_windows_into(
+    out: &mut String,
+    windows: &[(&'static str, WindowSnapshot)],
+    shard: Option<usize>,
+    headers: bool,
+) {
+    let base = |stage: &str| match shard {
+        Some(s) => format!("shard=\"{s}\",stage=\"{stage}\""),
+        None => format!("stage=\"{stage}\""),
+    };
+    if headers {
+        family(
+            out,
+            "cyclesql_window_requests_per_sec",
+            "Request rate over the rolling window.",
+            "gauge",
+        );
+    }
+    for (stage, w) in windows {
+        sample(
+            out,
+            "cyclesql_window_requests_per_sec",
+            &base(stage),
+            &fmt_f64(w.rate_per_sec),
+        );
+    }
+    if headers {
+        family(
+            out,
+            "cyclesql_window_error_rate",
+            "Errored requests over requests in the rolling window, in [0, 1].",
+            "gauge",
+        );
+    }
+    for (stage, w) in windows {
+        sample(
+            out,
+            "cyclesql_window_error_rate",
+            &base(stage),
+            &fmt_f64(w.error_rate),
+        );
+    }
+    if headers {
+        family(
+            out,
+            "cyclesql_window_latency_us",
+            "Rolling-window latency histogram (µs) with trace exemplars.",
+            "histogram",
+        );
+    }
+    for (stage, w) in windows {
+        let labels = base(stage);
+        let mut cumulative = 0u64;
+        for (b, n) in w.hist.iter().enumerate() {
+            cumulative += n;
+            // Keep the page bounded: only buckets that changed the
+            // cumulative count get a row (plus +Inf below).
+            if *n == 0 {
+                continue;
+            }
+            let le = cyclesql_obs::latency_bucket_upper_us(b);
+            let mut line = format!(
+                "cyclesql_window_latency_us_bucket{{{labels},le=\"{le}\"}} {cumulative}"
+            );
+            if let Some(ex) = &w.exemplars[b] {
+                let _ = write!(
+                    line,
+                    " # {{trace_id=\"{}\",sql=\"{:016x}\"}} {}",
+                    cyclesql_obs::format_trace_id(ex.trace_id),
+                    ex.sql_digest,
+                    ex.value_us
+                );
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(
+            out,
+            "cyclesql_window_latency_us_bucket{{{labels},le=\"+Inf\"}} {}",
+            w.count
+        );
+        sample(
+            out,
+            "cyclesql_window_latency_us_count",
+            &labels,
+            &w.count.to_string(),
+        );
+        sample(
+            out,
+            "cyclesql_window_latency_us_sum",
+            &labels,
+            &w.sum_us.to_string(),
+        );
+    }
 }
 
 /// One text page with both the serving metrics and (when the engine is
@@ -311,10 +437,14 @@ mod tests {
             spans_dropped: 2,
             traces_sampled: 1,
             traces_discarded: 1,
+            span_ring_overwrites: 2,
+            request_ring_overwrites: 4,
         };
         let text = render_observability(&counters);
         assert!(text.contains("cyclesql_obs_spans_emitted_total 8"));
         assert!(text.contains("cyclesql_obs_spans_dropped_total 2"));
+        assert!(text.contains("cyclesql_obs_span_ring_overwrites_total 2"));
+        assert!(text.contains("cyclesql_obs_request_ring_overwrites_total 4"));
 
         let m = Metrics::default();
         let all = render_all(&m.snapshot(0, 0), Some(&counters));
@@ -322,5 +452,55 @@ mod tests {
         assert!(all.contains("cyclesql_obs_traces_sampled_total 1"));
         let without = render_all(&m.snapshot(0, 0), None);
         assert!(!without.contains("cyclesql_obs_"));
+    }
+
+    #[test]
+    fn window_rendering_carries_openmetrics_exemplars() {
+        use cyclesql_obs::{latency_bucket, Exemplar, Window, WindowConfig};
+        let w = Window::new(WindowConfig {
+            bucket_ms: 1_000,
+            buckets: 60,
+        });
+        w.record_at(
+            100,
+            1_500,
+            false,
+            Some(Exemplar {
+                trace_id: 0x8448_eb21_1c80_319c,
+                sql_digest: 0xdead_beef,
+                value_us: 1_500,
+            }),
+        );
+        w.record_at(200, 10, true, None);
+        let windows = vec![("total", w.snapshot_at(500))];
+        let text = render_windows(&windows, None);
+        assert!(text.contains("# TYPE cyclesql_window_latency_us histogram"));
+        assert!(text.contains("cyclesql_window_requests_per_sec{stage=\"total\"}"));
+        assert!(text.contains("cyclesql_window_error_rate{stage=\"total\"} 0.5"));
+        // The exemplar rides its bucket row in OpenMetrics syntax.
+        let le = cyclesql_obs::latency_bucket_upper_us(latency_bucket(1_500));
+        let bucket_line = text
+            .lines()
+            .find(|l| l.contains(&format!("le=\"{le}\"")))
+            .expect("exemplar bucket row");
+        assert!(
+            bucket_line.contains("# {trace_id=\"8448eb211c80319c\",sql=\"00000000deadbeef\"} 1500"),
+            "exemplar on `{bucket_line}`"
+        );
+        assert!(text.contains("le=\"+Inf\"}} 2") || text.contains("le=\"+Inf\"} 2"));
+        assert!(text.contains("cyclesql_window_latency_us_count{stage=\"total\"} 2"));
+        assert!(text.contains("cyclesql_window_latency_us_sum{stage=\"total\"} 1510"));
+
+        // Sharded form: single header, shard labels on every row.
+        let sharded = render_windows_sharded(&[
+            (0, vec![("total", w.snapshot_at(500))]),
+            (1, vec![("total", w.snapshot_at(500))]),
+        ]);
+        assert_eq!(
+            sharded.matches("# TYPE cyclesql_window_latency_us ").count(),
+            1
+        );
+        assert!(sharded.contains("shard=\"0\",stage=\"total\""));
+        assert!(sharded.contains("shard=\"1\",stage=\"total\""));
     }
 }
